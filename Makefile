@@ -1,0 +1,24 @@
+# Convenience targets for the ARTEMIS reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples figures verify all
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+figures:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s -q
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f > /dev/null && echo OK; done
+
+verify: test bench examples
+
+all: install verify

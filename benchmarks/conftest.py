@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper. The
+simulated metrics (completion, times, energies, bytes) are the result;
+pytest-benchmark's wall-clock timing of the simulation itself is
+incidental. Benchmarks therefore run one round (simulations are
+deterministic) and print the paper-comparable rows to stdout — run with
+``pytest benchmarks/ --benchmark-only -s`` to see them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def print_table(title: str, header: Sequence[str],
+                rows: Iterable[Sequence[object]]) -> None:
+    rows = [tuple(str(c) for c in row) for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+              for i, h in enumerate(header)]
+    line = "  ".join(h.ljust(w) for h, w in zip(header, widths))
+    print()
+    print(f"== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+def run_once(benchmark, fn):
+    """Run a deterministic simulation exactly once under the benchmark
+    fixture and return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,82 @@
+"""Ablation: action arbitration policy (§3.3).
+
+When several properties fail on one event "the runtime determines the
+appropriate course of action". This ablation shows the severity-ordered
+default is load-bearing: a naive first-reported policy can let a weak
+action (restartTask) shadow the escape hatch (skipPath) forever,
+recreating the very non-termination ARTEMIS exists to prevent.
+"""
+
+from conftest import print_table, run_once
+
+from repro.core.arbiter import first_reported, most_severe
+from repro.core.runtime import ArtemisRuntime
+from repro.energy.environment import EnergyEnvironment
+from repro.energy.power import PowerModel, TaskCost
+from repro.sim.device import Device
+from repro.spec.validator import load_properties
+from repro.taskgraph.builder import AppBuilder
+
+# Task c needs data from task x, which is never on any path before it:
+# the collect property fails on every start and asks for restartTask
+# (which never re-runs x). The maxTries property is the escape hatch —
+# but only if arbitration lets its skipPath through.
+SPEC = """
+c {
+    collect: 1 dpTask: x onFail: restartTask;
+    maxTries: 5 onFail: skipPath;
+}
+"""
+
+POWER = PowerModel({}, default_cost=TaskCost(0.05, 1e-3))
+
+
+def build():
+    app = (
+        AppBuilder("arb")
+        .task("c").task("d").task("x")
+        .path(1, ["c", "d"])
+        .path(2, ["x"])
+        .build()
+    )
+    return app, load_properties(SPEC, app)
+
+
+def run_with(policy):
+    app, props = build()
+    device = Device(EnergyEnvironment.continuous())
+    runtime = ArtemisRuntime(app, props, device, POWER, policy=policy)
+    result = device.run(runtime, max_time_s=10.0)
+    return device, result
+
+
+def measure():
+    out = {}
+    for label, policy in (("most_severe", most_severe),
+                          ("first_reported", first_reported)):
+        device, result = run_with(policy)
+        out[label] = {
+            "completed": result.completed,
+            "time_s": result.total_time_s,
+            "skips": device.trace.count("path_skip"),
+            "actions": device.trace.count("monitor_action"),
+        }
+    return out
+
+
+def test_ablation_arbitration_policy(benchmark):
+    out = run_once(benchmark, measure)
+
+    print_table(
+        "Ablation: arbitration policy under simultaneous failures",
+        ["policy", "completed", "path skips", "monitor actions"],
+        [(k, v["completed"], v["skips"], v["actions"])
+         for k, v in out.items()],
+    )
+
+    # Severity ordering lets the skipPath escape fire at the 6th start.
+    assert out["most_severe"]["completed"]
+    assert out["most_severe"]["skips"] == 1
+    # First-reported keeps choosing restartTask: non-termination.
+    assert not out["first_reported"]["completed"]
+    assert out["first_reported"]["actions"] > 50

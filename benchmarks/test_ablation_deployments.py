@@ -1,0 +1,79 @@
+"""Ablation: monitor deployment alternatives (§6/§7).
+
+Compares the shipped modular design against the two alternatives the
+paper discusses and rejects:
+
+* inlined (AOP weaving): lower time overhead, larger code footprint;
+* remote (external wireless monitor): maximal modularity, energy
+  overhead dominated by the radio.
+"""
+
+from conftest import print_table, run_once
+
+from repro.core.deployments import InlinedArtemisRuntime, RemoteMonitorRuntime
+from repro.core.generator import generate_machines
+from repro.core.runtime import ArtemisRuntime
+from repro.memsize.model import (
+    artemis_monitor_memory,
+    artemis_runtime_memory,
+    inlined_memory,
+)
+from repro.spec.validator import load_properties
+from repro.workloads.health import (
+    BENCHMARK_SPEC,
+    build_health_app,
+    health_power_model,
+    make_continuous_device,
+)
+
+DEPLOYMENTS = [
+    ("modular", ArtemisRuntime),
+    ("inlined", InlinedArtemisRuntime),
+    ("remote", RemoteMonitorRuntime),
+]
+
+
+def measure():
+    rows = []
+    for label, cls in DEPLOYMENTS:
+        device = make_continuous_device()
+        app = build_health_app()
+        props = load_properties(BENCHMARK_SPEC, app)
+        runtime = cls(app, props, device, health_power_model())
+        result = device.run(runtime)
+        rows.append({
+            "label": label,
+            "completed": result.completed,
+            "check_time_ms": (result.runtime_overhead_s
+                              + result.monitor_overhead_s) * 1e3,
+            "check_energy_mj": (result.energy_j["runtime"]
+                                + result.energy_j["monitor"]) * 1e3,
+        })
+    app = build_health_app()
+    machines = generate_machines(load_properties(BENCHMARK_SPEC, app))
+    modular_text = (artemis_runtime_memory(app).text_bytes
+                    + artemis_monitor_memory(app, machines).text_bytes)
+    inlined_text = inlined_memory(app, machines).text_bytes
+    return rows, modular_text, inlined_text
+
+
+def test_ablation_deployments(benchmark):
+    rows, modular_text, inlined_text = run_once(benchmark, measure)
+
+    print_table(
+        "Ablation: monitor deployment (continuous power, one run)",
+        ["deployment", "check time (ms)", "check energy (mJ)"],
+        [(r["label"], f"{r['check_time_ms']:.2f}",
+          f"{r['check_energy_mj']:.4f}") for r in rows],
+    )
+    print(f"code footprint: modular={modular_text} B, "
+          f"inlined={inlined_text} B (+{inlined_text - modular_text} B)")
+
+    by = {r["label"]: r for r in rows}
+    assert all(r["completed"] for r in rows)
+    # Inlining trades code size for time: faster checks, bigger binary.
+    assert by["inlined"]["check_time_ms"] < by["modular"]["check_time_ms"]
+    assert inlined_text > modular_text
+    # The remote monitor trades energy for modularity: the radio makes
+    # checking far more expensive than local computation.
+    assert by["remote"]["check_energy_mj"] > 5 * by["modular"]["check_energy_mj"]

@@ -1,0 +1,58 @@
+"""Figure 13: the maxAttempt timeline.
+
+Paper result: with a charging delay beyond the MITD window, ARTEMIS
+makes exactly three attempts to complete Path 2 (each MITD violation
+triggering a path restart) and then skips the path via the maxAttempt
+escape, executing `send` on the next path and finishing the run.
+"""
+
+from conftest import print_table, run_once
+
+from repro.workloads.health import build_artemis, make_intermittent_device
+
+DELAY_S = 420.0  # 7 minutes: beyond the 5-minute MITD
+CAP_S = 4 * 3600.0
+
+
+def timeline():
+    device = make_intermittent_device(DELAY_S)
+    result = device.run(build_artemis(device), max_time_s=CAP_S)
+    events = [
+        e for e in device.trace
+        if e.kind in ("task_start", "task_end", "power_failure", "boot",
+                      "monitor_action", "path_restart", "path_skip",
+                      "path_complete", "run_complete")
+    ]
+    return result, events
+
+
+def test_fig13_three_attempts_then_skip(benchmark):
+    result, events = run_once(benchmark, timeline)
+
+    print_table(
+        "Figure 13: ARTEMIS maxAttempt timeline (7 min charging delay)",
+        ["t (s)", "event", "detail"],
+        [
+            (f"{e.t:.1f}", e.kind,
+             " ".join(f"{k}={v}" for k, v in e.detail.items() if v is not None))
+            for e in events
+        ],
+    )
+
+    assert result.completed
+    mitd_actions = [e for e in events if e.kind == "monitor_action"
+                    and str(e.detail.get("source", "")).startswith("MITD")]
+    # Exactly three attempts: two restarts, then the escalation.
+    assert [e.detail["action"] for e in mitd_actions] == [
+        "restartPath", "restartPath", "skipPath"]
+
+    # Path 2 was entered exactly three times (one initial + two restarts)
+    accel_runs = [e for e in events if e.kind == "task_end"
+                  and e.detail.get("task") == "accel"]
+    assert len(accel_runs) == 3
+
+    # send never completed on path 2, but did on paths 1 and 3.
+    send_paths = [e.detail["path"] for e in events
+                  if e.kind == "task_end" and e.detail.get("task") == "send"]
+    assert 2 not in send_paths
+    assert 1 in send_paths and 3 in send_paths

@@ -1,0 +1,54 @@
+"""Figure 14: execution time and overheads on continuous power.
+
+Paper result: on continuous power the task flow of ARTEMIS and Mayfly is
+identical; application time dominates (seconds scale), and the checking
+overheads of both systems are small, with ARTEMIS slightly above Mayfly
+because of its separate monitor calls.
+"""
+
+from conftest import print_table, run_once
+
+from repro.workloads.health import (
+    build_artemis,
+    build_mayfly,
+    make_continuous_device,
+)
+
+
+def measure():
+    adev = make_continuous_device()
+    ares = adev.run(build_artemis(adev))
+    mdev = make_continuous_device()
+    mres = mdev.run(build_mayfly(mdev))
+    return ares, mres
+
+
+def test_fig14_execution_time_on_continuous_power(benchmark):
+    ares, mres = run_once(benchmark, measure)
+
+    print_table(
+        "Figure 14: execution time on continuous power (seconds)",
+        ["system", "app (s)", "runtime ovh (s)", "monitor ovh (s)", "total (s)"],
+        [
+            ("ARTEMIS", f"{ares.app_time_s:.3f}",
+             f"{ares.runtime_overhead_s:.4f}",
+             f"{ares.monitor_overhead_s:.4f}",
+             f"{ares.total_time_s:.3f}"),
+            ("Mayfly", f"{mres.app_time_s:.3f}",
+             f"{mres.runtime_overhead_s:.4f}",
+             f"{mres.monitor_overhead_s:.4f}",
+             f"{mres.total_time_s:.3f}"),
+        ],
+    )
+
+    assert ares.completed and mres.completed
+    # Identical application flow: same app time.
+    assert abs(ares.app_time_s - mres.app_time_s) < 1e-6
+    # Totals nearly identical (within 2%).
+    assert abs(ares.total_time_s - mres.total_time_s) <= 0.02 * mres.total_time_s
+    # Overheads are small against app time.
+    assert ares.overhead_fraction < 0.02
+    assert mres.overhead_fraction < 0.02
+    # ARTEMIS total overhead slightly higher than Mayfly's.
+    assert (ares.runtime_overhead_s + ares.monitor_overhead_s
+            > mres.runtime_overhead_s + mres.monitor_overhead_s)

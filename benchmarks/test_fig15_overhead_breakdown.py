@@ -1,0 +1,54 @@
+"""Figure 15: detailed overhead breakdown (milliseconds scale).
+
+Paper result: zooming into the overhead components, ARTEMIS pays a
+runtime overhead comparable to Mayfly's plus a separate monitor
+overhead for its thorough property checking; both remain milliseconds
+over a whole application run.
+"""
+
+from conftest import print_table, run_once
+
+from repro.workloads.health import (
+    build_artemis,
+    build_mayfly,
+    make_continuous_device,
+)
+
+
+def measure():
+    adev = make_continuous_device()
+    ares = adev.run(build_artemis(adev))
+    mdev = make_continuous_device()
+    mres = mdev.run(build_mayfly(mdev))
+    a_events = adev.trace.count("task_start") + adev.trace.count("task_end")
+    m_events = mdev.trace.count("task_start") + mdev.trace.count("task_end")
+    return ares, mres, a_events, m_events
+
+
+def test_fig15_overhead_breakdown_ms(benchmark):
+    ares, mres, a_events, m_events = run_once(benchmark, measure)
+
+    a_rt, a_mon = ares.runtime_overhead_s * 1e3, ares.monitor_overhead_s * 1e3
+    m_rt, m_mon = mres.runtime_overhead_s * 1e3, mres.monitor_overhead_s * 1e3
+    print_table(
+        "Figure 15: overhead breakdown (milliseconds)",
+        ["system", "runtime (ms)", "monitor (ms)", "total (ms)",
+         "events", "us/event"],
+        [
+            ("ARTEMIS", f"{a_rt:.2f}", f"{a_mon:.2f}", f"{a_rt + a_mon:.2f}",
+             a_events, f"{(a_rt + a_mon) / a_events * 1e3:.1f}"),
+            ("Mayfly", f"{m_rt:.2f}", f"{m_mon:.2f}", f"{m_rt + m_mon:.2f}",
+             m_events, f"{(m_rt + m_mon) / m_events * 1e3:.1f}"),
+        ],
+    )
+
+    # Milliseconds scale, not seconds.
+    assert 1.0 < a_rt + a_mon < 500.0
+    assert 1.0 < m_rt + m_mon < 500.0
+    # Mayfly has no separate monitor; its checking is inside the runtime.
+    assert m_mon == 0.0
+    assert a_mon > 0.0
+    # ARTEMIS monitor overhead is the dominant part of its extra cost.
+    assert (a_rt + a_mon) > (m_rt + m_mon)
+    extra = (a_rt + a_mon) - (m_rt + m_mon)
+    assert a_mon > 0.5 * extra

@@ -1,0 +1,99 @@
+"""Scalability of property checking (contribution 3 of the paper).
+
+ARTEMIS claims "scalable property checking based on monitoring an open
+set of properties with minimal programming effort". This bench grows
+the monitored property set from 2 to 24 over a fixed 12-task
+application and measures (i) the monitor time overhead per event and
+(ii) the generated monitor's memory footprint. The expected shape is
+linear growth with a per-property slope matching the cost model — no
+superlinear blow-up from the event-dispatch design — while the
+specification effort is one line per property.
+"""
+
+from conftest import print_table, run_once
+
+from repro.core.generator import generate_machines
+from repro.core.runtime import ArtemisRuntime
+from repro.energy.environment import EnergyEnvironment
+from repro.energy.power import PowerModel, TaskCost
+from repro.memsize.model import artemis_monitor_memory
+from repro.sim.device import Device
+from repro.spec.validator import load_properties
+from repro.taskgraph.builder import AppBuilder
+
+N_TASKS = 12
+PROPERTY_COUNTS = [2, 4, 8, 16, 24]
+
+
+def build_app():
+    builder = AppBuilder("scale")
+    names = [f"t{i}" for i in range(N_TASKS)]
+    for name in names:
+        builder.task(name)
+    return builder.path(1, names).build()
+
+
+def spec_with(n_properties):
+    """One-line-per-property specification: alternating maxTries and
+    MITD properties spread over the task chain."""
+    lines = []
+    for k in range(n_properties):
+        task = f"t{(k % (N_TASKS - 1)) + 1}"
+        kind = k % 3
+        if kind == 0:
+            lines.append(f"{task} {{ maxTries: {10 + k} onFail: skipPath; }}")
+        elif kind == 1:
+            dep = f"t{k % (N_TASKS - 1)}"
+            lines.append(
+                f"{task} {{ MITD: {60 + k}s dpTask: {dep} onFail: restartPath "
+                f"maxAttempt: 3 onFail: skipPath; }}")
+        else:
+            lines.append(
+                f"{task} {{ maxDuration: {30 + k}s onFail: skipTask; }}")
+    # (kind, task) pairs stay unique up to 3*(N_TASKS-1) = 33 properties.
+    return "\n".join(lines)
+
+
+def measure():
+    rows = []
+    power = PowerModel({}, default_cost=TaskCost(0.05, 1e-3))
+    for n in PROPERTY_COUNTS:
+        app = build_app()
+        props = load_properties(spec_with(n), app)
+        device = Device(EnergyEnvironment.continuous())
+        runtime = ArtemisRuntime(app, props, device, power)
+        result = device.run(runtime, runs=5)
+        events = (device.trace.count("task_start")
+                  + device.trace.count("task_end"))
+        machines = generate_machines(props)
+        memory = artemis_monitor_memory(app, machines)
+        rows.append({
+            "n": n,
+            "monitor_us_per_event": result.monitor_overhead_s / events * 1e6,
+            "monitor_text": memory.text_bytes,
+            "monitor_fram": memory.fram_bytes,
+        })
+    return rows
+
+
+def test_scalability_with_property_count(benchmark):
+    rows = run_once(benchmark, measure)
+    print_table(
+        "Scalability: cost vs number of monitored properties",
+        ["#properties", "monitor us/event", "monitor .text (B)",
+         "monitor FRAM (B)"],
+        [(r["n"], f"{r['monitor_us_per_event']:.1f}", r["monitor_text"],
+          r["monitor_fram"]) for r in rows],
+    )
+    # Monotone growth...
+    per_event = [r["monitor_us_per_event"] for r in rows]
+    assert per_event == sorted(per_event)
+    # ...and roughly linear: the us/event per property is stable within
+    # 2x between the smallest and largest configuration.
+    slopes = [(b["monitor_us_per_event"] - a["monitor_us_per_event"])
+              / (b["n"] - a["n"])
+              for a, b in zip(rows, rows[1:])]
+    assert max(slopes) < 2 * min(slopes) + 1e-9
+    # Code size also grows linearly in machine count.
+    text_per_prop = [r["monitor_text"] / r["n"] for r in rows]
+    assert max(text_per_prop) < 1.8 * min(text_per_prop)

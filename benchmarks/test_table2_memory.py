@@ -1,0 +1,65 @@
+"""Table 2: memory requirements (bytes) of Mayfly runtime, ARTEMIS
+runtime, and the generated ARTEMIS monitor.
+
+Paper result (MSP430FR5994, msp430-gcc):
+
+    Mayfly runtime   .text 1152  RAM 2  FRAM 6354
+    ARTEMIS runtime  .text 1512  RAM 2  FRAM 4756
+    ARTEMIS monitor  .text 4644  RAM 0  FRAM 15856
+
+Shape to preserve: the ARTEMIS runtime is slightly larger in code but
+*smaller* in FRAM than Mayfly (property state moved to the monitor);
+the generated monitor is the largest component in both code and FRAM;
+SRAM usage is negligible everywhere.
+"""
+
+from conftest import print_table, run_once
+
+from repro.core.generator import generate_machines
+from repro.memsize.model import table2
+from repro.spec.validator import load_properties
+from repro.workloads.health import BENCHMARK_SPEC, build_health_app, mayfly_config
+
+PAPER = {
+    "Mayfly runtime": (1152, 2, 6354),
+    "ARTEMIS runtime": (1512, 2, 4756),
+    "ARTEMIS monitor": (4644, 0, 15856),
+}
+
+
+def measure():
+    app = build_health_app()
+    machines = generate_machines(load_properties(BENCHMARK_SPEC, app))
+    return table2(app, machines, mayfly_config())
+
+
+def test_table2_memory_requirements(benchmark):
+    reports = run_once(benchmark, measure)
+
+    print_table(
+        "Table 2: memory requirements (bytes) — measured vs paper",
+        ["component", ".text", "RAM", "FRAM",
+         "paper .text", "paper RAM", "paper FRAM"],
+        [
+            (r.component, r.text_bytes, r.ram_bytes, r.fram_bytes,
+             *PAPER[r.component])
+            for r in reports
+        ],
+    )
+
+    by_name = {r.component: r for r in reports}
+    mayfly = by_name["Mayfly runtime"]
+    runtime = by_name["ARTEMIS runtime"]
+    monitor = by_name["ARTEMIS monitor"]
+
+    # Code size ordering: Mayfly < ARTEMIS runtime < monitor.
+    assert mayfly.text_bytes < runtime.text_bytes < monitor.text_bytes
+    # FRAM ordering: ARTEMIS runtime < Mayfly runtime < monitor.
+    assert runtime.fram_bytes < mayfly.fram_bytes < monitor.fram_bytes
+    # SRAM is negligible for all components.
+    assert all(r.ram_bytes <= 2 for r in reports)
+    # Magnitudes within ~3x of the paper's measurements.
+    for r in reports:
+        text, _, fram = PAPER[r.component]
+        assert text / 3 < r.text_bytes < text * 3
+        assert fram / 3 < r.fram_bytes < fram * 3

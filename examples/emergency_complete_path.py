@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""The Figure 5 emergency scenario: dpData + completePath.
+
+The health monitor's ``calcAvg`` task declares its result (``avgTemp``)
+as monitored dependent data with an allowed range of 36-38 °C. When the
+wearer runs a fever, the range check fails and the ``completePath``
+action fires: the remaining tasks of the path (``heartRate``, ``send``)
+execute immediately *without further property checking* to report the
+emergency, and the run ends without executing the other paths.
+
+Run:  python examples/emergency_complete_path.py
+"""
+
+from repro.workloads.health import (
+    FIGURE5_SPEC,
+    build_artemis,
+    build_health_app,
+    make_continuous_device,
+)
+
+
+def run_with_temperature(label, temp_c):
+    app = build_health_app(temp_of_t=lambda t: temp_c)
+    device = make_continuous_device()
+    runtime = build_artemis(device, app=app, spec=FIGURE5_SPEC)
+    result = device.run(runtime)
+
+    executed = [e.detail["task"] for e in device.trace.of_kind("task_end")]
+    emergencies = [e for e in device.trace.of_kind("monitor_action")
+                   if e.detail["action"] == "completePath"]
+    sent = device.nvm.cell("chan.sent").get() or []
+
+    print(f"--- {label} (body temperature {temp_c:.1f} C) ---")
+    print(f"tasks executed : {' -> '.join(executed)}")
+    print(f"emergency fired: {'yes' if emergencies else 'no'}")
+    if sent:
+        print(f"last packet    : avgTemp={sent[-1]['avgTemp']:.2f} "
+              f"heartRate={sent[-1]['heartRate']:.1f}")
+    print(f"run completed  : {result.completed}\n")
+    return executed, bool(emergencies)
+
+
+def main():
+    healthy_tasks, healthy_emergency = run_with_temperature("healthy", 36.7)
+    fever_tasks, fever_emergency = run_with_temperature("fever", 39.4)
+
+    assert not healthy_emergency
+    assert fever_emergency
+    # Healthy: all three paths ran. Fever: the run stopped after path 1,
+    # with heartRate and send rushed through unmonitored.
+    assert "accel" in healthy_tasks and "micSense" in healthy_tasks
+    assert "accel" not in fever_tasks
+    assert fever_tasks[-2:] == ["heartRate", "send"]
+    print("emergency reporting semantics verified.")
+
+
+if __name__ == "__main__":
+    main()

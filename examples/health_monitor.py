@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""The paper's evaluation application, end to end.
+
+Runs the wearable health-monitoring benchmark (Figures 4-6) in three
+settings and prints what the paper's §5 reports:
+
+1. continuous power — overhead comparison against Mayfly (Fig. 14/15);
+2. intermittent power across charging delays — the non-termination
+   divergence (Fig. 12);
+3. the Figure 13 timeline at a 7-minute charging delay, showing the
+   three MITD attempts and the maxAttempt path skip.
+
+Run:  python examples/health_monitor.py
+"""
+
+from repro.workloads.health import (
+    BENCHMARK_SPEC,
+    build_artemis,
+    build_mayfly,
+    make_continuous_device,
+    make_intermittent_device,
+)
+
+CAP_S = 4 * 3600.0
+
+
+def continuous_comparison():
+    print("=" * 70)
+    print("Continuous power (Figures 14/15)")
+    print("=" * 70)
+    adev = make_continuous_device()
+    ares = adev.run(build_artemis(adev))
+    mdev = make_continuous_device()
+    mres = mdev.run(build_mayfly(mdev))
+    for label, res in (("ARTEMIS", ares), ("Mayfly", mres)):
+        print(f"{label:>8}: app={res.app_time_s:6.2f}s  "
+              f"runtime={res.runtime_overhead_s * 1e3:6.2f}ms  "
+              f"monitor={res.monitor_overhead_s * 1e3:6.2f}ms  "
+              f"energy={res.total_energy_j * 1e3:5.1f}mJ")
+    print()
+
+
+def charging_sweep():
+    print("=" * 70)
+    print("Intermittent power sweep (Figure 12)")
+    print("=" * 70)
+    print(f"{'delay':>7} | {'ARTEMIS':>12} | {'Mayfly':>12}")
+    for minutes in (1, 2, 4, 6, 8, 10):
+        adev = make_intermittent_device(minutes * 60.0)
+        ares = adev.run(build_artemis(adev), max_time_s=CAP_S)
+        mdev = make_intermittent_device(minutes * 60.0)
+        mres = mdev.run(build_mayfly(mdev), max_time_s=CAP_S)
+        a = f"{ares.total_time_s:8.0f} s" if ares.completed else "     DNF"
+        m = f"{mres.total_time_s:8.0f} s" if mres.completed else "     DNF"
+        print(f"{minutes:>4}min | {a:>12} | {m:>12}")
+    print()
+
+
+def figure13_timeline():
+    print("=" * 70)
+    print("maxAttempt timeline at a 7-minute charging delay (Figure 13)")
+    print("=" * 70)
+    device = make_intermittent_device(7 * 60.0)
+    result = device.run(build_artemis(device), max_time_s=CAP_S)
+    for event in device.trace:
+        if event.kind in ("monitor_action", "path_restart", "path_skip",
+                          "power_failure", "run_complete"):
+            details = " ".join(f"{k}={v}" for k, v in event.detail.items()
+                               if v is not None)
+            print(f"  t={event.t:9.1f}s  {event.kind:<15} {details}")
+    print(f"\n  -> run {'completed' if result.completed else 'DID NOT FINISH'} "
+          f"after {result.reboots} reboots, "
+          f"{result.total_energy_j * 1e3:.1f} mJ consumed")
+    print()
+
+
+def main():
+    print("Properties under monitoring (the §5.1 benchmark spec):")
+    print(BENCHMARK_SPEC)
+    continuous_comparison()
+    charging_sweep()
+    figure13_timeline()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""The verification side of the toolchain: lint, check, model-check.
+
+Before flashing anything, a specification can be put through three
+progressively deeper analyses:
+
+1. **Static consistency** (`repro.spec.consistency`) — does any
+   property contradict the application structure, the power model, or
+   another property? (the paper's §7 future work)
+2. **Machine lint** (`repro.statemachine.analysis`) — are the generated
+   monitors well-formed: all states reachable, no dead transitions,
+   guards mutually exclusive?
+3. **Bounded model checking** (`repro.statemachine.explore` /
+   `compose`) — explore every event sequence up to a depth: when can
+   each action fire, what is the *shortest* scenario, and which actions
+   can fire *simultaneously* (the cases the arbiter resolves)?
+
+Run:  python examples/toolchain_verification.py
+"""
+
+from repro.core.generator import generate_machines
+from repro.energy.environment import default_capacitor
+from repro.energy.power import MSP430FR5994_POWER
+from repro.spec.consistency import check
+from repro.spec.validator import load_properties
+from repro.statemachine.analysis import lint
+from repro.statemachine.compose import explore_product, joint_alphabet
+from repro.statemachine.explore import alphabet_for, explore
+from repro.workloads.health import BENCHMARK_SPEC, build_health_app
+
+GOOD_SPEC = BENCHMARK_SPEC
+
+BAD_SPEC = """
+// Three deliberate mistakes for the checker to catch.
+send {
+    maxDuration: 1ms onFail: skipTask Path: 2;          // below send's own runtime
+    MITD: 5min dpTask: accel onFail: restartPath Path: 2;  // no maxAttempt escape
+}
+calcAvg {
+    collect: 10 dpTask: heartRate onFail: restartPath;  // heartRate runs AFTER calcAvg
+}
+"""
+
+
+def stage1_consistency(app):
+    print("=" * 72)
+    print("Stage 1: static consistency")
+    print("=" * 72)
+    good = check(load_properties(GOOD_SPEC, app), app,
+                 power=MSP430FR5994_POWER, capacitor=default_capacitor())
+    print(f"benchmark spec: {good}")
+    print()
+    bad = check(load_properties(BAD_SPEC, app), app,
+                power=MSP430FR5994_POWER, capacitor=default_capacitor())
+    print("deliberately broken spec:")
+    print(bad)
+    assert not bad.consistent
+    print()
+
+
+def stage2_lint(app):
+    print("=" * 72)
+    print("Stage 2: generated-machine lint")
+    print("=" * 72)
+    machines = generate_machines(load_properties(GOOD_SPEC, app))
+    for machine in machines:
+        print(" ", lint(machine))
+    print()
+    return machines
+
+
+def stage3_model_check(app, machines):
+    print("=" * 72)
+    print("Stage 3: bounded model checking")
+    print("=" * 72)
+    mitd = next(m for m in machines if m.name.startswith("MITD"))
+    result = explore(mitd, alphabet_for(mitd, deltas=[1.0, 400.0],
+                                        paths=(2,)), depth=5)
+    print(f"{mitd.name}: {result.configurations} configurations at depth 5")
+    for action, witness in sorted(result.witnesses.items()):
+        steps = " ; ".join(f"{l.kind}({l.task})+{l.delta:g}s" for l in witness)
+        print(f"  shortest {action}: {steps}")
+
+    print()
+    tries = next(m for m in machines if m.name.startswith("maxTries_accel"))
+    joint = explore_product(
+        [mitd, tries],
+        joint_alphabet([mitd, tries], deltas=[1.0, 400.0], paths=(2,)),
+        depth=4)
+    concurrent = [set(k) for k in joint if len(k) > 1]
+    print(f"joint exploration of {mitd.name} x {tries.name} (depth 4): "
+          f"{len(joint)} distinct failure sets, "
+          f"{len(concurrent)} concurrent: {concurrent or 'none'}")
+
+
+def main():
+    app = build_health_app()
+    stage1_consistency(app)
+    machines = stage2_lint(app)
+    stage3_model_check(app, machines)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""ARTEMIS — adaptable runtime monitoring for intermittent systems.
+
+A faithful Python reproduction of the EuroSys '24 paper by Yıldız et
+al.: a property specification language, an intermediate state-machine
+language with automatic monitor generation, a power-failure-resilient
+task-based runtime, the substrates they need (non-volatile memory,
+persistent timekeeping, energy harvesting, an intermittent-device
+simulator), and the Mayfly baseline used in the paper's evaluation.
+
+Quickstart::
+
+    from repro import (
+        AppBuilder, load_properties, ArtemisRuntime, Device,
+        EnergyEnvironment, MSP430FR5994_POWER,
+    )
+
+    app = (AppBuilder("demo")
+           .task("sense", body=lambda ctx: ctx.write("x", ctx.sample("adc")))
+           .task("send")
+           .path(1, ["sense", "send"])
+           .sensor("adc", lambda t: 21.0)
+           .build())
+    props = load_properties("sense { maxTries: 5 onFail: skipPath; }", app)
+    device = Device(EnergyEnvironment.continuous())
+    runtime = ArtemisRuntime(app, props, device, MSP430FR5994_POWER)
+    result = device.run(runtime)
+"""
+
+from repro.baselines.chain import ChainRuntime
+from repro.baselines.mayfly import Collection, Expiration, MayflyConfig, MayflyRuntime
+from repro.core.actions import Action, ActionType
+from repro.core.arbiter import arbitrate, first_reported, most_severe
+from repro.core.events import EventKind, MonitorEvent, end_event, start_event
+from repro.core.generator import generate_machine, generate_machines
+from repro.core.monitor import ArtemisMonitor, MonitorGroup
+from repro.core.properties import (
+    Collect,
+    DpData,
+    EnergyAtLeast,
+    MITD,
+    MaxDuration,
+    MaxTries,
+    Period,
+    PropertySet,
+)
+from repro.core.runtime import ArtemisRuntime
+from repro.energy.capacitor import Capacitor
+from repro.energy.environment import EnergyEnvironment, default_capacitor
+from repro.energy.harvester import (
+    ConstantHarvester,
+    PeriodicOutageHarvester,
+    RFHarvester,
+    SolarHarvester,
+    TraceHarvester,
+)
+from repro.energy.power import MSP430FR5994_POWER, PowerModel, TaskCost
+from repro.errors import (
+    PowerFailure,
+    ReproError,
+    SpecError,
+    SpecSyntaxError,
+    SpecValidationError,
+)
+from repro.nvm.memory import NonVolatileMemory
+from repro.sim.device import Device
+from repro.sim.result import RunResult
+from repro.sim.tracer import Tracer
+from repro.spec.parser import parse_spec
+from repro.spec.validator import load_properties, validate
+from repro.statemachine.interpreter import MachineInstance, Verdict
+from repro.statemachine.model import StateMachine
+from repro.taskgraph.app import Application
+from repro.taskgraph.builder import AppBuilder
+from repro.taskgraph.path import Path
+from repro.taskgraph.task import Task
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # Task model
+    "Application", "AppBuilder", "Task", "Path",
+    # Spec language
+    "parse_spec", "validate", "load_properties",
+    "MaxTries", "MaxDuration", "MITD", "Collect", "DpData", "Period",
+    "EnergyAtLeast", "PropertySet",
+    # Intermediate language & generation
+    "StateMachine", "MachineInstance", "Verdict",
+    "generate_machine", "generate_machines",
+    # Core framework
+    "ArtemisRuntime", "ArtemisMonitor", "MonitorGroup", "Action", "ActionType",
+    "MonitorEvent", "EventKind", "start_event", "end_event",
+    "arbitrate", "most_severe", "first_reported",
+    # Substrates
+    "NonVolatileMemory", "Device", "RunResult", "Tracer",
+    "Capacitor", "EnergyEnvironment", "default_capacitor",
+    "ConstantHarvester", "RFHarvester", "PeriodicOutageHarvester",
+    "SolarHarvester", "TraceHarvester",
+    "PowerModel", "TaskCost", "MSP430FR5994_POWER",
+    # Baselines
+    "MayflyRuntime", "MayflyConfig", "Expiration", "Collection",
+    "ChainRuntime",
+    # Errors
+    "ReproError", "SpecError", "SpecSyntaxError", "SpecValidationError",
+    "PowerFailure",
+]

@@ -1,0 +1,15 @@
+"""Baseline systems the paper compares against.
+
+* :mod:`~repro.baselines.mayfly` — Mayfly (SenSys '17): a task-based
+  runtime with data-expiration and collection checks *hardcoded in the
+  runtime loop* (the paper's Figure 2b coupling). No ``maxTries`` /
+  ``maxAttempt``, hence the non-termination behaviour of Figure 12.
+* :mod:`~repro.baselines.chain` — a Chain-style runtime where property
+  checks live *inside the application tasks* (the Figure 2a coupling);
+  used by the coupling/memory ablations.
+"""
+
+from repro.baselines.chain import ChainRuntime
+from repro.baselines.mayfly import MayflyConfig, MayflyRuntime
+
+__all__ = ["MayflyRuntime", "MayflyConfig", "ChainRuntime"]

@@ -1,0 +1,131 @@
+"""Chain-style baseline: property checks inside the application code.
+
+Represents the paper's Figure 2(a) anti-pattern: the developer hand-rolls
+checks (sample counts, elapsed time) inside task bodies. There is no
+monitor and no runtime checking; the check cost is indistinguishable
+from application time — which is exactly the coupling problem P1. Used
+by the coupling ablation to contrast against ARTEMIS' separation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.energy.power import PowerModel
+from repro.errors import RuntimeConfigError
+from repro.nvm.transaction import Transaction
+from repro.taskgraph.app import Application
+from repro.taskgraph.context import TaskContext
+
+#: An inline check runs inside the task, sees the context, and returns
+#: ``None`` (proceed) or one of ``"restart_path"`` / ``"skip_path"`` /
+#: ``"skip_task"`` — control flow the developer wires up by hand.
+InlineCheck = Callable[[TaskContext], Optional[str]]
+
+_CHECK_RESULTS = (None, "restart_path", "skip_path", "skip_task")
+
+
+class ChainRuntime:
+    """Executes paths with developer-written checks entangled in tasks."""
+
+    TRANSITION_S = 0.40e-3  # bare transition; checks are app code
+    CHECK_S = 0.15e-3  # cost of one inline check, charged as *app* time
+
+    def __init__(
+        self,
+        app: Application,
+        checks: Dict[str, InlineCheck],
+        device,
+        power_model: PowerModel,
+    ):
+        for task in checks:
+            if not app.has_task(task):
+                raise RuntimeConfigError(f"inline check for unknown task {task!r}")
+        self.app = app
+        self.checks = checks
+        self.power = power_model
+        self._device = device
+        nvm = device.nvm
+        self._cur_path = nvm.alloc("ch.cur_path", 1, 2)
+        self._cur_idx = nvm.alloc("ch.cur_idx", 0, 2)
+        self._finished = nvm.alloc("ch.finished", False, 1)
+
+    @property
+    def finished(self) -> bool:
+        return self._finished.get()
+
+    @property
+    def current_task_name(self) -> str:
+        path = self.app.path(self._cur_path.get())
+        return path.task_names[self._cur_idx.get()]
+
+    def boot(self, device) -> None:
+        self._device = device
+
+    def begin_run(self, device) -> None:
+        self._device = device
+        self._cur_path.set(1)
+        self._cur_idx.set(0)
+        self._finished.set(False)
+
+    def loop_iteration(self, device) -> None:
+        self._device = device
+        if self.finished:
+            return
+        name = self.current_task_name
+        device.consume(self.TRANSITION_S, self.power.overhead_power_w, "runtime")
+        task = self.app.task(name)
+        cost = self.power.cost_of(name)
+        device.trace.record(device.sim_clock.now(), "task_start", task=name,
+                            path=self._cur_path.get())
+        if cost.fixed_energy_j:
+            device.consume_energy(cost.fixed_energy_j, "app")
+        device.consume(cost.duration_s, cost.power_w, "app")
+        txn = Transaction(device.nvm)
+        ctx = TaskContext(name, device.nvm, txn, self.app.sensors, device.now)
+        outcome: Optional[str] = None
+        check = self.checks.get(name)
+        if check is not None:
+            # The check is part of the task body: app time, app energy.
+            device.consume(self.CHECK_S, self.power.overhead_power_w, "app")
+            outcome = check(ctx)
+            if outcome not in _CHECK_RESULTS:
+                raise RuntimeConfigError(
+                    f"inline check for {name!r} returned {outcome!r}"
+                )
+        if task.body is not None and outcome is None:
+            task.body(ctx)
+        txn.commit()
+        device.trace.record(device.sim_clock.now(), "task_end", task=name,
+                            path=self._cur_path.get())
+        self._route(outcome)
+
+    def _route(self, outcome: Optional[str]) -> None:
+        if outcome == "restart_path":
+            self._device.trace.record(
+                self._device.sim_clock.now(), "path_restart", path=self._cur_path.get()
+            )
+            self._cur_idx.set(0)
+            return
+        if outcome == "skip_path":
+            self._device.trace.record(
+                self._device.sim_clock.now(), "path_skip", path=self._cur_path.get()
+            )
+            self._next_path()
+            return
+        # None and "skip_task" both advance (the task already ran).
+        path = self.app.path(self._cur_path.get())
+        if self._cur_idx.get() + 1 < len(path):
+            self._cur_idx.set(self._cur_idx.get() + 1)
+        else:
+            self._device.trace.record(
+                self._device.sim_clock.now(), "path_complete", path=path.number
+            )
+            self._next_path()
+
+    def _next_path(self) -> None:
+        if self._cur_path.get() < len(self.app.paths):
+            self._cur_path.set(self._cur_path.get() + 1)
+            self._cur_idx.set(0)
+        else:
+            self._finished.set(True)

@@ -1,0 +1,213 @@
+"""Mayfly baseline: coupled runtime property checking.
+
+Mayfly (Hester, Storer, Sorber — SenSys '17) executes task graphs with
+*timely execution* semantics: data flowing between tasks carries an
+expiration; consuming expired data restarts the task graph. It also
+supports required collection counts. Both checks are wired directly
+into the runtime's main loop — the paper's problem P2/P3 — and there is
+no escape hatch equivalent to ARTEMIS' ``maxTries``/``maxAttempt``
+(§5.1.1), which is what makes it livelock when charging delays exceed
+the expiration window (Figure 12).
+
+The implementation shares the device/NVM substrates with the ARTEMIS
+runtime so measured differences come only from the checking design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.energy.power import PowerModel
+from repro.errors import RuntimeConfigError
+from repro.nvm.transaction import Transaction
+from repro.taskgraph.app import Application
+from repro.taskgraph.context import TaskContext
+
+_READY = "TASK_READY"
+
+
+@dataclass(frozen=True)
+class Expiration:
+    """``task`` must start within ``limit_s`` of ``dep_task`` finishing.
+
+    ``path`` scopes the rule to one path — Mayfly's rules are task-graph
+    edges, so a merge-point task like ``send`` carries per-edge rules.
+    """
+
+    task: str
+    dep_task: str
+    limit_s: float
+    path: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Collection:
+    """``task`` needs ``count`` completions of ``dep_task`` first."""
+
+    task: str
+    dep_task: str
+    count: int
+    path: Optional[int] = None
+
+
+@dataclass
+class MayflyConfig:
+    """The property vocabulary Mayfly supports (expiration + collect)."""
+
+    expirations: List[Expiration] = field(default_factory=list)
+    collections: List[Collection] = field(default_factory=list)
+
+    def checks_for(self, task: str) -> int:
+        return sum(1 for e in self.expirations if e.task == task) + sum(
+            1 for c in self.collections if c.task == task
+        )
+
+
+class MayflyRuntime:
+    """Task-graph executor with hardcoded freshness/collection checks.
+
+    Interface-compatible with :class:`~repro.core.ArtemisRuntime` so the
+    same :class:`~repro.sim.Device` drives both.
+    """
+
+    #: Extra transition cost versus the bare ARTEMIS runtime transition:
+    #: Mayfly's checks are folded into its (single) runtime loop.
+    TRANSITION_S = 0.55e-3
+    PER_CHECK_S = 0.10e-3
+
+    def __init__(
+        self,
+        app: Application,
+        config: MayflyConfig,
+        device,
+        power_model: PowerModel,
+    ):
+        for rule in list(config.expirations) + list(config.collections):
+            if not app.has_task(rule.task) or not app.has_task(rule.dep_task):
+                raise RuntimeConfigError(f"Mayfly rule references unknown task: {rule}")
+        self.app = app
+        self.config = config
+        self.power = power_model
+        self._device = device
+        nvm = device.nvm
+        self._cur_path = nvm.alloc("mf.cur_path", 1, 2)
+        self._cur_idx = nvm.alloc("mf.cur_idx", 0, 2)
+        self._finished = nvm.alloc("mf.finished", False, 1)
+        self._end_times = nvm.alloc("mf.end_times", {}, 32)
+        self._counts = nvm.alloc("mf.counts", {}, 32)
+
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self._finished.get()
+
+    @property
+    def current_task_name(self) -> str:
+        path = self.app.path(self._cur_path.get())
+        return path.task_names[self._cur_idx.get()]
+
+    def boot(self, device) -> None:
+        self._device = device
+
+    def begin_run(self, device) -> None:
+        self._device = device
+        self._cur_path.set(1)
+        self._cur_idx.set(0)
+        self._finished.set(False)
+
+    # ------------------------------------------------------------------
+    def loop_iteration(self, device) -> None:
+        """props_satisfied(t, p) → run(t) → commit, as in Figure 2(b)."""
+        self._device = device
+        if self.finished:
+            return
+        task = self.current_task_name
+        n_checks = self.config.checks_for(task)
+        device.consume(
+            self.TRANSITION_S + n_checks * self.PER_CHECK_S,
+            self.power.overhead_power_w,
+            "runtime",
+        )
+        violation = self._props_satisfied(task)
+        if violation is not None:
+            device.trace.record(
+                device.sim_clock.now(), "monitor_action",
+                action="restartPath", source=violation, task=task,
+                path=self._cur_path.get(),
+            )
+            self._restart_path()
+            return
+        self._run_task(task)
+        self._advance()
+
+    # ------------------------------------------------------------------
+    def _props_satisfied(self, task: str) -> Optional[str]:
+        """Returns the violated rule's description, or None if all hold."""
+        now = self._device.now()
+        cur_path = self._cur_path.get()
+        ends: Dict[str, float] = self._end_times.get()
+        for rule in self.config.expirations:
+            if rule.task != task or rule.path not in (None, cur_path):
+                continue
+            end = ends.get(rule.dep_task)
+            if end is not None and now - end > rule.limit_s:
+                return f"expiration({rule.dep_task}->{task})"
+        counts: Dict[str, int] = self._counts.get()
+        for rule in self.config.collections:
+            if rule.task != task or rule.path not in (None, cur_path):
+                continue
+            if counts.get(rule.dep_task, 0) < rule.count:
+                return f"collect({rule.dep_task}->{task})"
+        return None
+
+    def _run_task(self, name: str) -> None:
+        device = self._device
+        task = self.app.task(name)
+        cost = self.power.cost_of(name)
+        device.trace.record(device.sim_clock.now(), "task_start", task=name,
+                            path=self._cur_path.get())
+        if cost.fixed_energy_j:
+            device.consume_energy(cost.fixed_energy_j, "app")
+        device.consume(cost.duration_s, cost.power_w, "app")
+        txn = Transaction(device.nvm)
+        ctx = TaskContext(name, device.nvm, txn, self.app.sensors, device.now)
+        if task.body is not None:
+            task.body(ctx)
+        txn.commit()
+        ends = dict(self._end_times.get())
+        ends[name] = device.now()
+        self._end_times.set(ends)
+        counts = dict(self._counts.get())
+        counts[name] = counts.get(name, 0) + 1
+        self._counts.set(counts)
+        device.trace.record(device.sim_clock.now(), "task_end", task=name,
+                            path=self._cur_path.get())
+
+    def _advance(self) -> None:
+        path = self.app.path(self._cur_path.get())
+        if self._cur_idx.get() + 1 < len(path):
+            self._cur_idx.set(self._cur_idx.get() + 1)
+            return
+        self._device.trace.record(
+            self._device.sim_clock.now(), "path_complete", path=path.number
+        )
+        # Collection counts are per-path progress; consumed on completion.
+        self._reset_counts_for(path.task_names)
+        if path.number < len(self.app.paths):
+            self._cur_path.set(path.number + 1)
+            self._cur_idx.set(0)
+        else:
+            self._finished.set(True)
+
+    def _restart_path(self) -> None:
+        self._device.trace.record(
+            self._device.sim_clock.now(), "path_restart", path=self._cur_path.get()
+        )
+        self._cur_idx.set(0)
+
+    def _reset_counts_for(self, task_names) -> None:
+        counts = dict(self._counts.get())
+        for name in task_names:
+            counts.pop(name, None)
+        self._counts.set(counts)

@@ -1,0 +1,21 @@
+"""Checkpoint-based intermittent computing substrate.
+
+The paper's background (§2) divides intermittent software into
+*task-based* systems (Chain, InK, Alpaca — what ARTEMIS targets) and
+*checkpointing* systems (Mementos, HarvOS, TICS) that snapshot volatile
+state at program points and resume from the last snapshot after a power
+failure. Table 3 compares ARTEMIS against TICS, a checkpointing system
+with time annotations; this package provides that comparison substrate:
+
+* :mod:`~repro.checkpoint.program` — sequential programs as blocks
+  separated by checkpoint markers, with optional TICS-style timed
+  regions whose data expires;
+* :mod:`~repro.checkpoint.runtime` — a Mementos/TICS-flavoured runtime
+  with double-buffered checkpoints, resume-from-snapshot semantics, and
+  expiration checks on reboot.
+"""
+
+from repro.checkpoint.program import Block, CheckpointProgram, TimedRegion
+from repro.checkpoint.runtime import CheckpointRuntime
+
+__all__ = ["Block", "TimedRegion", "CheckpointProgram", "CheckpointRuntime"]

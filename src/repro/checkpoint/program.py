@@ -1,0 +1,119 @@
+"""Sequential program model for checkpoint-based execution.
+
+A :class:`CheckpointProgram` is an ordered list of :class:`Block`\\ s.
+Checkpoints sit *between* blocks: ``checkpoint_after`` marks the blocks
+followed by a snapshot. A power failure rolls execution back to the
+most recent snapshot; everything after it re-executes.
+
+:class:`TimedRegion` adds TICS-style time semantics: the data produced
+inside the region expires ``expiry_s`` seconds after the region began.
+When a reboot resumes into an expired region, the runtime runs the
+programmer-specified response — re-executing from the region's start —
+mirroring TICS's source-annotated expiration handlers (Table 3:
+"Runtime executes programmer-specified code upon expiration").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import RuntimeConfigError
+
+BlockBody = Callable[[Dict], None]
+
+
+@dataclass(frozen=True)
+class Block:
+    """One straight-line region of computation.
+
+    Attributes:
+        name: label (unique within a program).
+        duration_s / power_w: execution cost of one attempt.
+        body: optional function mutating the program's volatile state
+            dict; applied only when the block's cost was fully paid.
+    """
+
+    name: str
+    duration_s: float
+    power_w: float = 0.35e-3
+    body: Optional[BlockBody] = None
+
+
+@dataclass(frozen=True)
+class TimedRegion:
+    """TICS-style expiration over a contiguous block range.
+
+    ``first``/``last`` name the blocks delimiting the region (inclusive).
+    If execution resumes inside the region more than ``expiry_s``
+    seconds after the region was entered, the region restarts from
+    ``first``.
+    """
+
+    first: str
+    last: str
+    expiry_s: float
+
+
+class CheckpointProgram:
+    """Blocks + checkpoint placement + timed regions."""
+
+    def __init__(
+        self,
+        name: str,
+        blocks: Sequence[Block],
+        checkpoint_after: Sequence[str] = (),
+        timed_regions: Sequence[TimedRegion] = (),
+    ):
+        names = [b.name for b in blocks]
+        if len(set(names)) != len(names):
+            raise RuntimeConfigError(f"program {name!r}: duplicate block names")
+        if not blocks:
+            raise RuntimeConfigError(f"program {name!r}: no blocks")
+        self.name = name
+        self.blocks: List[Block] = list(blocks)
+        self._index = {b.name: i for i, b in enumerate(blocks)}
+        for cp in checkpoint_after:
+            if cp not in self._index:
+                raise RuntimeConfigError(
+                    f"program {name!r}: checkpoint after unknown block {cp!r}")
+        self.checkpoint_after = set(checkpoint_after)
+        for region in timed_regions:
+            if region.first not in self._index or region.last not in self._index:
+                raise RuntimeConfigError(
+                    f"program {name!r}: timed region references unknown block")
+            if self._index[region.first] > self._index[region.last]:
+                raise RuntimeConfigError(
+                    f"program {name!r}: timed region {region.first}->"
+                    f"{region.last} is reversed")
+            if region.expiry_s <= 0:
+                raise RuntimeConfigError(
+                    f"program {name!r}: non-positive expiry")
+        self.timed_regions: List[TimedRegion] = list(timed_regions)
+
+    def index_of(self, block_name: str) -> int:
+        return self._index[block_name]
+
+    def regions_containing(self, block_index: int) -> List[TimedRegion]:
+        out = []
+        for region in self.timed_regions:
+            if self._index[region.first] <= block_index <= self._index[region.last]:
+                out.append(region)
+        return out
+
+    def resume_point_after_checkpoint(self, checkpoint_block: Optional[str]) -> int:
+        """Index of the first block to (re-)execute when resuming from
+        the checkpoint taken after ``checkpoint_block`` (None = start)."""
+        if checkpoint_block is None:
+            return 0
+        return self._index[checkpoint_block] + 1
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __repr__(self) -> str:
+        marks = [
+            b.name + ("|CP" if b.name in self.checkpoint_after else "")
+            for b in self.blocks
+        ]
+        return f"CheckpointProgram({self.name!r}: {' -> '.join(marks)})"

@@ -1,0 +1,241 @@
+"""Command-line interface to the ARTEMIS toolchain.
+
+Three subcommands mirror the paper's development flow (Figure 3):
+
+``artemis-repro check``
+    Parse a property specification against an application description,
+    run semantic validation and the static consistency checker.
+
+``artemis-repro compile``
+    Run the full generation pipeline: specification → intermediate
+    state machines (textual form) → Python monitor source and MSP430 C
+    translation unit. Writes one file per artifact.
+
+``artemis-repro simulate``
+    Execute the application under the ARTEMIS runtime on a simulated
+    intermittent device and report the run summary, monitor actions,
+    and an ASCII timeline.
+
+Applications are described in JSON (tasks are cost-model-only here;
+Python task bodies require the library API)::
+
+    {
+      "name": "demo",
+      "tasks": [{"name": "sense"}, {"name": "send"}],
+      "paths": {"1": ["sense", "send"]},
+      "costs": {"sense": {"duration_s": 0.05, "power_w": 0.001},
+                "send":  {"duration_s": 0.5,  "power_w": 0.006}}
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.core.generator import generate_machines
+from repro.core.runtime import ArtemisRuntime
+from repro.energy.environment import EnergyEnvironment, default_capacitor
+from repro.energy.power import MCU_ACTIVE_POWER_W, PowerModel, TaskCost
+from repro.errors import ReproError
+from repro.sim.analysis import action_summary, render_timeline
+from repro.sim.device import Device
+from repro.spec.consistency import check as consistency_check
+from repro.spec.mayfly_frontend import load_mayfly_properties
+from repro.spec.validator import load_properties
+from repro.statemachine.codegen_c import generate_c_bundle, generate_c_header
+from repro.statemachine.codegen_python import generate_python_source
+from repro.statemachine.textual import print_machine
+from repro.taskgraph.app import Application
+from repro.taskgraph.path import Path as TaskPath
+from repro.taskgraph.task import Task
+
+
+def load_app(path: str) -> Application:
+    """Build an :class:`Application` from a JSON description file."""
+    with open(path) as handle:
+        desc = json.load(handle)
+    tasks = [
+        Task(t["name"], monitored_vars=t.get("monitored_vars", ()))
+        for t in desc["tasks"]
+    ]
+    paths = [
+        TaskPath(int(number), names) for number, names in desc["paths"].items()
+    ]
+    return Application(desc.get("name", Path(path).stem), tasks, paths)
+
+
+def load_power(path: str) -> PowerModel:
+    """Per-task costs from the app JSON's ``costs`` table."""
+    with open(path) as handle:
+        desc = json.load(handle)
+    costs = {
+        name: TaskCost(
+            entry["duration_s"],
+            entry.get("power_w", MCU_ACTIVE_POWER_W),
+            entry.get("fixed_energy_j", 0.0),
+        )
+        for name, entry in desc.get("costs", {}).items()
+    }
+    return PowerModel(costs, default_cost=TaskCost(0.05, MCU_ACTIVE_POWER_W))
+
+
+def _read_spec(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+def _load_props(args: argparse.Namespace, app: Application):
+    """Load properties through the selected language frontend."""
+    source = _read_spec(args.spec)
+    if getattr(args, "frontend", "artemis") == "mayfly":
+        return load_mayfly_properties(source, app)
+    return load_properties(source, app)
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Run the ``check`` subcommand; returns the process exit code."""
+    app = load_app(args.app)
+    props = _load_props(args, app)
+    print(f"specification OK: {len(props)} properties on "
+          f"{len(props.tasks())} tasks")
+    power = load_power(args.app) if args.with_power else None
+    capacitor = default_capacitor() if args.with_power else None
+    report = consistency_check(props, app, power=power, capacitor=capacitor)
+    print(report)
+    return 0 if report.consistent else 1
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    """Run the ``compile`` subcommand; returns the process exit code."""
+    app = load_app(args.app)
+    props = _load_props(args, app)
+    machines = generate_machines(props)
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    sm_path = out_dir / "monitors.sm"
+    sm_path.write_text("".join(print_machine(m) + "\n" for m in machines))
+    py_path = out_dir / "monitors.py"
+    py_source = (
+        '"""Generated ARTEMIS monitors. DO NOT EDIT."""\n\n'
+        "from repro.statemachine.interpreter import Verdict\n"
+        "from repro.errors import StateMachineError\n\n\n"
+        + "\n\n".join(generate_python_source(m) for m in machines)
+    )
+    py_path.write_text(py_source)
+    c_path = out_dir / "monitors.c"
+    c_path.write_text(generate_c_bundle(machines))
+    h_path = out_dir / "monitor.h"
+    h_path.write_text(generate_c_header())
+
+    print(f"{len(props)} properties -> {len(machines)} monitors")
+    for path in (sm_path, py_path, c_path, h_path):
+        print(f"  wrote {path}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Run the ``simulate`` subcommand; returns the process exit code."""
+    app = load_app(args.app)
+    props = _load_props(args, app)
+    power = load_power(args.app)
+    if args.charging_delay > 0:
+        env = EnergyEnvironment.for_charging_delay(
+            args.charging_delay, default_capacitor())
+    else:
+        env = EnergyEnvironment.continuous()
+    device = Device(env, clock_error=args.clock_error, seed=args.seed)
+    runtime = ArtemisRuntime(app, props, device, power,
+                             audit_capacity=args.audit)
+    result = device.run(runtime, runs=args.runs, max_time_s=args.max_time)
+
+    print(result.summary())
+    actions = action_summary(device.trace)
+    if actions:
+        print("monitor actions:",
+              ", ".join(f"{k}x{v}" for k, v in sorted(actions.items())))
+    if args.timeline:
+        print()
+        print(render_timeline(device.trace))
+    if runtime.audit is not None:
+        print()
+        print("audit log (persistent ring buffer):")
+        print(runtime.audit.dump())
+    return 0 if result.completed else 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI definition."""
+    parser = argparse.ArgumentParser(
+        prog="artemis-repro",
+        description="ARTEMIS toolchain: check, compile, and simulate "
+                    "property-monitored intermittent applications.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_check = sub.add_parser("check", help="validate a specification")
+    p_check.add_argument("spec", help="property specification file")
+    p_check.add_argument("--app", required=True, help="application JSON")
+    p_check.add_argument("--frontend", choices=["artemis", "mayfly"],
+                         default="artemis",
+                         help="specification language of the input file")
+    p_check.add_argument("--with-power", action="store_true",
+                         help="also run timing/energy consistency checks")
+    p_check.set_defaults(fn=cmd_check)
+
+    p_compile = sub.add_parser("compile", help="generate monitor code")
+    p_compile.add_argument("spec", help="property specification file")
+    p_compile.add_argument("--app", required=True, help="application JSON")
+    p_compile.add_argument("--frontend", choices=["artemis", "mayfly"],
+                           default="artemis",
+                           help="specification language of the input file")
+    p_compile.add_argument("-o", "--out", default="generated",
+                           help="output directory (default: ./generated)")
+    p_compile.set_defaults(fn=cmd_compile)
+
+    p_sim = sub.add_parser("simulate", help="run on the simulated device")
+    p_sim.add_argument("spec", help="property specification file")
+    p_sim.add_argument("--app", required=True, help="application JSON")
+    p_sim.add_argument("--frontend", choices=["artemis", "mayfly"],
+                       default="artemis",
+                       help="specification language of the input file")
+    p_sim.add_argument("--charging-delay", type=float, default=0.0,
+                       help="seconds of charging per brown-out "
+                            "(0 = continuous power)")
+    p_sim.add_argument("--runs", type=int, default=1)
+    p_sim.add_argument("--max-time", type=float, default=4 * 3600.0,
+                       help="simulated-time cap (non-termination cutoff)")
+    p_sim.add_argument("--clock-error", type=float, default=0.0,
+                       help="persistent-timekeeper relative error bound")
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--timeline", action="store_true",
+                       help="print an ASCII path timeline")
+    p_sim.add_argument("--audit", type=int, default=0, metavar="N",
+                       help="keep and print the last N corrective actions "
+                            "from the persistent audit log")
+    p_sim.set_defaults(fn=cmd_simulate)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Timekeeping substrate.
+
+Intermittent systems lose their clock on every power failure; the paper
+(like TICS, Mayfly, and CHRT) assumes *persistent timekeeping* hardware
+that keeps wall time across outages. :class:`SimClock` is the simulation
+time base; :class:`PersistentClock` layers persistence semantics (and an
+optional bounded error, mirroring remanence-based timekeepers) on top.
+"""
+
+from repro.clock.clock import PersistentClock, SimClock
+
+__all__ = ["SimClock", "PersistentClock"]

@@ -1,0 +1,95 @@
+"""Simulation time base and persistent clock model."""
+
+from __future__ import annotations
+
+import random
+from repro.errors import ReproError
+from repro.nvm.memory import NonVolatileMemory
+
+
+class SimClock:
+    """Monotonic simulation clock, in seconds.
+
+    All components in a simulation share one ``SimClock``; nothing in the
+    package reads wall-clock time.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move time forward by ``dt`` seconds and return the new time."""
+        if dt < 0:
+            raise ReproError(f"cannot advance clock by negative dt={dt}")
+        self._now += dt
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimClock(t={self._now:.6f})"
+
+
+class PersistentClock:
+    """Clock readable by intermittent software across power failures.
+
+    On real hardware this is a remanence timekeeper or an external RTC:
+    the device reads a timestamp after reboot that tracks true elapsed
+    time within a bounded error. Here the true time comes from the shared
+    :class:`SimClock`; the persistent aspect is modelled by storing the
+    last reading in NVM and (optionally) perturbing post-reboot readings
+    by a bounded relative error.
+
+    Args:
+        sim_clock: shared simulation time base.
+        nvm: non-volatile store for the last reading.
+        max_rel_error: bound on the relative error of the *outage
+            duration* estimate after a reboot (e.g. ``0.05`` for ±5%).
+            Defaults to 0 — a perfect timekeeper, which is what the paper
+            assumes.
+        seed: RNG seed for error injection (determinism).
+    """
+
+    def __init__(
+        self,
+        sim_clock: SimClock,
+        nvm: NonVolatileMemory,
+        max_rel_error: float = 0.0,
+        seed: int = 0,
+        name: str = "persistent_clock",
+    ):
+        if not 0.0 <= max_rel_error < 1.0:
+            raise ReproError("max_rel_error must be in [0, 1)")
+        self._sim = sim_clock
+        self._cell = nvm.alloc(f"{name}.last_reading", initial=sim_clock.now(), size_bytes=8)
+        self._max_rel_error = max_rel_error
+        self._rng = random.Random(seed)
+        # Accumulated offset from error injection; volatile by design —
+        # each reboot draws a fresh error for the outage it just slept
+        # through, then on-time reads are exact deltas.
+        self._offset = 0.0
+
+    def now(self) -> float:
+        """Current time as seen by the intermittent software."""
+        reading = self._sim.now() + self._offset
+        self._cell.set(reading)
+        return reading
+
+    def on_reboot(self) -> None:
+        """Called by the device after an outage to inject timing error.
+
+        The error is proportional to the outage length (time since the
+        last persisted reading), matching how remanence timekeepers'
+        accuracy degrades with off-time.
+        """
+        if self._max_rel_error == 0.0:
+            return
+        last = self._cell.get()
+        outage = max(0.0, (self._sim.now() + self._offset) - last)
+        err = self._rng.uniform(-self._max_rel_error, self._max_rel_error)
+        self._offset += outage * err
+
+    @property
+    def last_persisted(self) -> float:
+        return self._cell.get()

@@ -1,0 +1,38 @@
+"""The ARTEMIS core: the paper's primary contribution.
+
+This package ties the substrates together into the framework of
+Figure 3:
+
+* :mod:`~repro.core.events` / :mod:`~repro.core.actions` — the
+  runtime ↔ monitor interface (StartTask/EndTask events in, corrective
+  actions out).
+* :mod:`~repro.core.properties` — the semantic property model produced
+  by the specification language.
+* :mod:`~repro.core.generator` — model-to-model transformation from
+  properties to intermediate-language state machines (Figure 7
+  templates).
+* :mod:`~repro.core.monitor` — application-specific monitors: generated
+  machine code + NVM persistence + ImmortalThreads-style atomicity.
+* :mod:`~repro.core.arbiter` — action arbitration when several
+  properties fail on one event.
+* :mod:`~repro.core.runtime` — the ARTEMIS intermittent runtime
+  (Figures 8/9): task execution, property checking, action handling.
+"""
+
+from repro.core.actions import Action, ActionType
+from repro.core.events import EventKind, MonitorEvent
+from repro.core.generator import generate_machine, generate_machines
+from repro.core.monitor import ArtemisMonitor, MonitorGroup
+from repro.core.runtime import ArtemisRuntime
+
+__all__ = [
+    "Action",
+    "ActionType",
+    "EventKind",
+    "MonitorEvent",
+    "generate_machine",
+    "generate_machines",
+    "ArtemisMonitor",
+    "MonitorGroup",
+    "ArtemisRuntime",
+]

@@ -1,0 +1,72 @@
+"""Corrective actions monitors can request from the runtime.
+
+Table 1 of the paper defines five ``onFail`` actions. The runtime may
+receive several at once (multiple properties can fail on one event);
+:mod:`repro.core.arbiter` resolves them using the severity order defined
+here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ReproError
+
+
+class ActionType(enum.Enum):
+    """The action vocabulary of the property language (Table 1)."""
+
+    NONE = "none"
+    RESTART_TASK = "restartTask"
+    SKIP_TASK = "skipTask"
+    RESTART_PATH = "restartPath"
+    SKIP_PATH = "skipPath"
+    COMPLETE_PATH = "completePath"
+
+    @classmethod
+    def from_name(cls, name: str) -> "ActionType":
+        for member in cls:
+            if member.value == name:
+                return member
+        raise ReproError(f"unknown action {name!r}")
+
+
+#: Arbitration severity: a higher value wins when several monitors fail
+#: at once. Path-level actions dominate task-level ones; completePath is
+#: strongest because it commits the system to finishing the current path
+#: (the emergency-reporting case of Figure 5, line 14).
+SEVERITY = {
+    ActionType.NONE: 0,
+    ActionType.RESTART_TASK: 1,
+    ActionType.SKIP_TASK: 2,
+    ActionType.RESTART_PATH: 3,
+    ActionType.SKIP_PATH: 4,
+    ActionType.COMPLETE_PATH: 5,
+}
+
+
+@dataclass(frozen=True)
+class Action:
+    """A concrete corrective action bound to an (optional) path.
+
+    ``path`` is the explicit ``Path: N`` target from the specification;
+    ``None`` means "the path currently executing". ``source`` names the
+    machine that raised it, for tracing.
+    """
+
+    type: ActionType
+    path: Optional[int] = None
+    source: str = ""
+
+    @property
+    def severity(self) -> int:
+        return SEVERITY[self.type]
+
+    def __str__(self) -> str:
+        path = f"(path {self.path})" if self.path is not None else ""
+        return f"{self.type.value}{path}"
+
+
+NO_ACTION = Action(ActionType.NONE)

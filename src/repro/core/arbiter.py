@@ -1,0 +1,48 @@
+"""Action arbitration.
+
+Multiple properties may fail on one event ("such as both maximum
+duration and maximum start attempts for a task" — §3.3); every failing
+monitor reports its action, and *the runtime determines the appropriate
+course of action*. The default policy picks the most severe action
+(severity order in :mod:`repro.core.actions`): a path-level response
+subsumes a task-level one, and ``completePath`` — the emergency path
+completion — beats everything. Ties keep the first-reported action so
+arbitration is deterministic in monitor order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.actions import NO_ACTION, Action
+
+ArbitrationPolicy = Callable[[Sequence[Action]], Action]
+
+
+def most_severe(actions: Sequence[Action]) -> Action:
+    """Default policy: highest severity wins, first report breaks ties."""
+    best = NO_ACTION
+    for action in actions:
+        if action.severity > best.severity:
+            best = action
+    return best
+
+
+def first_reported(actions: Sequence[Action]) -> Action:
+    """Ablation policy: take whatever the first failing monitor said.
+
+    Used by the arbitration-order ablation benchmark to show why naive
+    first-come arbitration misbehaves when a weak action (restartTask)
+    shadows a strong one (skipPath).
+    """
+    for action in actions:
+        if action.severity > 0:
+            return action
+    return NO_ACTION
+
+
+def arbitrate(actions: Sequence[Action], policy: ArbitrationPolicy = most_severe) -> Action:
+    """Resolve a list of reported actions into the one the runtime takes."""
+    if not actions:
+        return NO_ACTION
+    return policy(actions)

@@ -1,0 +1,95 @@
+"""Persistent audit log of monitor decisions.
+
+Deployed intermittent systems cannot be debugged interactively: the
+device is in a field somewhere, dying hundreds of times a day. The
+audit log keeps the last N corrective actions (with timestamps, task,
+path, and the reporting machine) in a fixed-size NVM ring buffer so a
+maintenance read-out can reconstruct *why* the application took the
+path it did — the runtime-adaptation story of the paper made
+observable.
+
+The ring is bounded and its writes are O(1) per action, so the cost is
+a small constant addition to the action path (charged as runtime time
+by the caller).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.actions import Action
+from repro.errors import ReproError
+from repro.nvm.memory import NonVolatileMemory
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One recorded corrective action."""
+
+    seq: int
+    timestamp: float
+    task: str
+    path: int
+    action: str
+    source: str
+
+
+class AuditLog:
+    """Fixed-capacity ring buffer of :class:`AuditEntry` in NVM."""
+
+    def __init__(self, nvm: NonVolatileMemory, capacity: int = 32,
+                 name: str = "audit"):
+        if capacity < 1:
+            raise ReproError("audit capacity must be >= 1")
+        self.capacity = capacity
+        self._entries = nvm.alloc(f"{name}.ring", initial=(),
+                                  size_bytes=capacity * 16)
+        self._seq = nvm.alloc(f"{name}.seq", initial=0, size_bytes=4)
+
+    def record(self, timestamp: float, task: str, path: int,
+               action: Action) -> AuditEntry:
+        """Append one action; the oldest entry falls off when full."""
+        entry = AuditEntry(
+            seq=self._seq.get(),
+            timestamp=timestamp,
+            task=task,
+            path=path,
+            action=action.type.value,
+            source=action.source,
+        )
+        ring = self._entries.get() + (entry,)
+        if len(ring) > self.capacity:
+            ring = ring[-self.capacity:]
+        self._entries.set(ring)
+        self._seq.set(entry.seq + 1)
+        return entry
+
+    # ------------------------------------------------------------------
+    def entries(self) -> List[AuditEntry]:
+        """Oldest-to-newest surviving entries."""
+        return list(self._entries.get())
+
+    def last(self, n: int = 1) -> List[AuditEntry]:
+        return list(self._entries.get()[-n:])
+
+    @property
+    def total_recorded(self) -> int:
+        """Actions ever recorded, including those rotated out."""
+        return self._seq.get()
+
+    @property
+    def dropped(self) -> int:
+        return max(0, self.total_recorded - len(self._entries.get()))
+
+    def clear(self) -> None:
+        self._entries.set(())
+
+    def dump(self) -> str:
+        lines = []
+        for e in self.entries():
+            lines.append(
+                f"#{e.seq:<5} t={e.timestamp:10.2f}s  {e.action:<12} "
+                f"task={e.task} path={e.path} source={e.source}"
+            )
+        return "\n".join(lines) if lines else "(audit log empty)"

@@ -1,0 +1,122 @@
+"""Alternative monitor deployments (§7 "Implementation Alternatives").
+
+The paper discusses two designs it chose not to ship, trading resource
+use against modularity; both are implemented here so the trade-off can
+be measured (see ``benchmarks/test_ablation_deployments.py``):
+
+* :class:`InlinedArtemisRuntime` — compiler-style inlining of the
+  monitoring code into the runtime (the AOP weaving of §6). Eliminates
+  the cross-module call overhead (no ``callMonitor`` marshalling), at
+  the cost of a larger code footprint: the checking code is duplicated
+  at every call site instead of living in one module.
+  Checking time is charged to the *runtime* category — exactly the
+  coupling the paper's problem P2 describes.
+
+* :class:`RemoteMonitorRuntime` — monitors deployed on an external,
+  wirelessly attached device. Maximum modularity (monitors can be
+  updated without reflashing the application), but every event and
+  every verdict crosses a radio, and "wireless communication is way
+  more energy-hungry compared to computation".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.events import MonitorEvent
+from repro.core.actions import Action
+from repro.core.arbiter import arbitrate
+from repro.core.runtime import ArtemisRuntime
+
+
+class InlinedArtemisRuntime(ArtemisRuntime):
+    """ARTEMIS with the monitor woven into the runtime (AOP-style).
+
+    Same observable behaviour as the modular runtime (the same machines
+    run); only the cost attribution and magnitudes change: no per-call
+    marshalling cost, a slightly cheaper per-property check (direct
+    branches instead of an indirect dispatch), and everything charged as
+    runtime time.
+    """
+
+    #: Inlining removes the call/marshalling overhead entirely and
+    #: shaves the per-property dispatch down to a direct branch.
+    INLINE_PER_PROPERTY_FACTOR = 0.7
+
+    def _call_monitor(self, event: MonitorEvent) -> Action:
+        device = self._device
+        device.consume(self.power.runtime_transition_s,
+                       self.power.overhead_power_w, "runtime")
+        actions = self.monitor.call(
+            event,
+            spend=self._spend_inlined,
+            per_machine_cost_s=(self.power.monitor_per_property_s
+                                * self.INLINE_PER_PROPERTY_FACTOR),
+            base_cost_s=0.0,
+        )
+        action = arbitrate(actions, self.policy)
+        self._trace_action(action)
+        return action
+
+    def _spend_inlined(self, seconds: float) -> None:
+        # Checking is indistinguishable from runtime work once inlined.
+        self._device.consume(seconds, self.power.overhead_power_w, "runtime")
+
+    def _spend_monitor(self, seconds: float) -> None:
+        # monitorFinalize after a reboot also runs inlined.
+        self._spend_inlined(seconds)
+
+
+@dataclass(frozen=True)
+class RadioLink:
+    """Cost model of the wireless hop to an external monitor node.
+
+    Defaults approximate a BLE connection event: ~2 ms airtime each way
+    at ~12 mW TX/RX draw.
+    """
+
+    tx_time_s: float = 2e-3
+    rx_time_s: float = 2e-3
+    power_w: float = 12e-3
+
+    @property
+    def round_trip_s(self) -> float:
+        return self.tx_time_s + self.rx_time_s
+
+
+class RemoteMonitorRuntime(ArtemisRuntime):
+    """ARTEMIS with monitors on an external wireless device.
+
+    Each ``callMonitor`` becomes: transmit the event, the remote node
+    evaluates the machines (free for *this* device), receive the
+    verdict. The local device pays radio time and energy instead of
+    compute — usually far more, which is the paper's reservation about
+    this design.
+    """
+
+    def __init__(self, *args, radio: RadioLink = RadioLink(), **kwargs):
+        super().__init__(*args, **kwargs)
+        self.radio = radio
+
+    def _call_monitor(self, event: MonitorEvent) -> Action:
+        device = self._device
+        device.consume(self.power.runtime_transition_s,
+                       self.power.overhead_power_w, "runtime")
+        # The radio round trip replaces the local checking cost; pay it
+        # up front so a brown-out mid-exchange is re-finalised on reboot
+        # like any interrupted monitor call.
+        actions = self.monitor.call(
+            event,
+            spend=self._spend_radio,
+            per_machine_cost_s=0.0,
+            base_cost_s=self.radio.round_trip_s,
+        )
+        action = arbitrate(actions, self.policy)
+        self._trace_action(action)
+        return action
+
+    def _spend_radio(self, seconds: float) -> None:
+        self._device.consume(seconds, self.radio.power_w, "monitor")
+
+    def _spend_monitor(self, seconds: float) -> None:
+        self._spend_radio(seconds)

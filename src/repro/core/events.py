@@ -1,0 +1,89 @@
+"""Observable events the runtime feeds to monitors.
+
+The paper's ``MonitorEvent_t`` (Figure 8) carries the event kind
+(StartTask/EndTask), a timestamp, and the task pointer; EndTask events
+additionally carry the task's dependent data (``depData``) so ``dpData``
+properties can check output ranges. The event is a *persistent* variable
+in the real system; the runtime stores the current instance in NVM so an
+interrupted monitor call can be finalised after reboot.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+
+class EventKind(enum.Enum):
+    """The two observable event kinds of §3.4: task start and task end."""
+    START_TASK = "startTask"
+    END_TASK = "endTask"
+
+
+@dataclass(frozen=True)
+class MonitorEvent:
+    """One observation delivered to monitors.
+
+    Attributes:
+        kind: ``"startTask"`` or ``"endTask"`` (string form so the
+            state-machine layer matches triggers directly; use
+            :attr:`event_kind` for the enum).
+        task: name of the task the event concerns.
+        timestamp: persistent-clock time (seconds) of the event.
+        data: dependent data emitted by the task (EndTask only) — the
+            values of its ``monitored_vars``.
+        path: number of the path executing when the event fired; lets
+            path-scoped properties (``Path: N``) confine their checks to
+            the right path at merge-point tasks.
+    """
+
+    kind: str
+    task: str
+    timestamp: float
+    data: Mapping[str, Any] = field(default_factory=dict)
+    path: int = 0
+
+    def __post_init__(self) -> None:
+        EventKind(self.kind)  # raises ValueError on an unknown kind
+
+    @property
+    def event_kind(self) -> EventKind:
+        return EventKind(self.kind)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serializable form, for persisting the pending event in NVM."""
+        return {
+            "kind": self.kind,
+            "task": self.task,
+            "timestamp": self.timestamp,
+            "data": dict(self.data),
+            "path": self.path,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "MonitorEvent":
+        return cls(
+            kind=payload["kind"],
+            task=payload["task"],
+            timestamp=payload["timestamp"],
+            data=dict(payload.get("data", {})),
+            path=payload.get("path", 0),
+        )
+
+
+def start_event(task: str, timestamp: float, path: int = 0) -> MonitorEvent:
+    """Build a StartTask event."""
+    return MonitorEvent(EventKind.START_TASK.value, task, timestamp, path=path)
+
+
+def end_event(
+    task: str,
+    timestamp: float,
+    data: Optional[Mapping[str, Any]] = None,
+    path: int = 0,
+) -> MonitorEvent:
+    """Build an EndTask event carrying dependent data."""
+    return MonitorEvent(
+        EventKind.END_TASK.value, task, timestamp, dict(data or {}), path=path
+    )

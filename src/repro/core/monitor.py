@@ -1,0 +1,321 @@
+"""Application-specific monitors (the paper's generated component).
+
+An :class:`ArtemisMonitor` bundles one machine instance per property —
+compiled from generated Python source by default, or interpreted for
+differential testing — behind the ``callMonitor`` interface of
+Figure 10. All machine state lives in NVM; event processing runs under
+an :class:`~repro.immortal.ImmortalRoutine` so a power failure mid-call
+is finished by ``monitorFinalize`` after reboot (§4.2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.actions import Action, ActionType
+from repro.core.events import MonitorEvent
+from repro.core.generator import generate_machines
+from repro.core.properties import Property, PropertySet
+from repro.errors import ReproError
+from repro.immortal.continuations import ImmortalRoutine, PersistentList
+from repro.nvm.memory import NonVolatileMemory
+from repro.nvm.store import NVMStore
+from repro.statemachine.codegen_python import compile_machine
+from repro.statemachine.interpreter import MachineInstance
+
+#: A spend callback charges the device `seconds` of monitor CPU time and
+#: may raise PowerFailure. Passing `lambda s: None` runs cost-free.
+SpendFn = Callable[[float], None]
+
+
+def _no_spend(seconds: float) -> None:
+    return None
+
+
+class ArtemisMonitor:
+    """Monitors for one application's property set.
+
+    Args:
+        props: validated property set.
+        nvm: non-volatile memory shared with the runtime.
+        backend: ``"generated"`` (compile generated Python source — the
+            default, mirroring the paper's pipeline) or ``"interpreted"``
+            (reference interpreter).
+        name: NVM namespace for this monitor's state.
+    """
+
+    def __init__(
+        self,
+        props: PropertySet,
+        nvm: NonVolatileMemory,
+        backend: str = "generated",
+        name: str = "monitor",
+    ):
+        if backend not in ("generated", "interpreted"):
+            raise ReproError(f"unknown monitor backend {backend!r}")
+        self.props = props
+        self.name = name
+        self._nvm = nvm
+        self.machines = generate_machines(props)
+        self._props_by_machine: Dict[str, Property] = {
+            prop.machine_name(): prop for prop in props
+        }
+        self.instances = []
+        for machine in self.machines:
+            store = NVMStore(nvm, f"{name}.{machine.name}")
+            if backend == "generated":
+                instance = compile_machine(machine)(store)
+            else:
+                instance = MachineInstance(machine, store)
+            self.instances.append(instance)
+        self._routine = ImmortalRoutine(nvm, f"{name}.call")
+        self._pending_event = nvm.alloc(f"{name}.pending_event", initial=None, size_bytes=32)
+        self._verdicts = PersistentList(nvm, f"{name}.verdicts")
+        # Last completed call: its sequence stamp and the actions it
+        # produced, kept so a MonitorGroup can aggregate across members
+        # after an interruption without losing earlier members' verdicts.
+        self._last_seq = nvm.alloc(f"{name}.last_seq", initial=-1, size_bytes=4)
+        self._last_actions = nvm.alloc(f"{name}.last_actions", initial=(),
+                                       size_bytes=32)
+        # Which machines react to each task, for per-event cost accounting.
+        self._relevant: Dict[str, List[int]] = {}
+        for idx, machine in enumerate(self.machines):
+            # A machine with any wildcard trigger (anyEvent, or a kind
+            # with no task filter) inspects every event.
+            if any(t.trigger.task is None for t in machine.transitions):
+                self._relevant.setdefault("*", []).append(idx)
+                continue
+            for task in machine.referenced_tasks():
+                self._relevant.setdefault(task, []).append(idx)
+
+    # ------------------------------------------------------------------
+    # Interface used by the runtime (Figure 8/10)
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """``resetMonitor``: hard-reset every machine (first boot only)."""
+        for instance in self.instances:
+            instance.reset()
+        self._pending_event.set(None)
+        self._verdicts.clear()
+        self._last_seq.set(-1)
+        self._last_actions.set(())
+
+    def call(
+        self,
+        event: MonitorEvent,
+        spend: SpendFn = _no_spend,
+        per_machine_cost_s: float = 0.0,
+        base_cost_s: float = 0.0,
+        seq: int = -1,
+    ) -> List[Action]:
+        """``callMonitor``: feed one event to every machine.
+
+        ``spend`` is charged ``base_cost_s`` once plus
+        ``per_machine_cost_s`` per machine that actually inspects this
+        event; a :class:`~repro.errors.PowerFailure` raised inside it
+        leaves a resumable continuation behind (:meth:`finalize`).
+        ``seq`` is an optional caller-supplied stamp recorded with the
+        completed call (used by :class:`MonitorGroup`).
+        """
+        self._pending_event.set(event.to_dict())
+        self._verdicts.clear()
+        steps = self._steps(event, spend, per_machine_cost_s, base_cost_s)
+        self._routine.run(steps)
+        return self._collect_actions(seq)
+
+    def finalize(
+        self,
+        spend: SpendFn = _no_spend,
+        per_machine_cost_s: float = 0.0,
+        base_cost_s: float = 0.0,
+        seq: int = -1,
+    ) -> Optional[List[Action]]:
+        """``monitorFinalize``: complete an interrupted ``call``.
+
+        Returns the actions of the completed call, or ``None`` if no
+        call was in progress.
+        """
+        if not self._routine.in_progress:
+            return None
+        payload = self._pending_event.get()
+        if payload is None:
+            raise ReproError("interrupted monitor call has no pending event")
+        event = MonitorEvent.from_dict(payload)
+        self._routine.resume(self._steps(event, spend, per_machine_cost_s, base_cost_s))
+        return self._collect_actions(seq)
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence stamp of the last completed call (-1 if none)."""
+        return self._last_seq.get()
+
+    def last_actions(self) -> List[Action]:
+        """Actions produced by the last completed call (replayable)."""
+        return [
+            Action(ActionType.from_name(action), path, source=machine)
+            for machine, action, path in self._last_actions.get()
+        ]
+
+    # ------------------------------------------------------------------
+    def _steps(
+        self,
+        event: MonitorEvent,
+        spend: SpendFn,
+        per_machine_cost_s: float,
+        base_cost_s: float,
+    ):
+        relevant = set(self._relevant.get(event.task, []))
+        relevant.update(self._relevant.get("*", []))
+
+        def make_step(idx: int):
+            instance = self.instances[idx]
+            charged = per_machine_cost_s if idx in relevant else 0.0
+
+            def step() -> None:
+                spend(charged)
+                for verdict in instance.on_event(event):
+                    self._verdicts.append((verdict.machine, verdict.action, verdict.path))
+
+            return step
+
+        def base_step() -> None:
+            spend(base_cost_s)
+
+        return [base_step] + [make_step(i) for i in range(len(self.instances))]
+
+    def _collect_actions(self, seq: int = -1) -> List[Action]:
+        raw = tuple(self._verdicts.items())
+        actions = [
+            Action(ActionType.from_name(action), path, source=machine)
+            for machine, action, path in raw
+        ]
+        self._last_actions.set(raw)
+        self._last_seq.set(seq)
+        self._verdicts.clear()
+        self._pending_event.set(None)
+        return actions
+
+    # ------------------------------------------------------------------
+    # Runtime integration helpers
+    # ------------------------------------------------------------------
+    @property
+    def in_progress(self) -> bool:
+        """True if a power failure interrupted the last ``call``."""
+        return self._routine.in_progress
+
+    def properties_for_task(self, task: str) -> int:
+        """How many properties inspect this task's events (cost model)."""
+        count = len(self._relevant.get(task, []))
+        count += len(self._relevant.get("*", []))
+        return count
+
+    def reinit_for_path_restart(self, path_task_names: Sequence[str]) -> int:
+        """Re-initialise monitors tied to tasks of a restarting path
+        (§3.3), excluding progress/escalation trackers — see
+        ``Property.REINIT_ON_PATH_RESTART``. Returns how many were reset.
+        """
+        task_set = set(path_task_names)
+        count = 0
+        for machine, instance in zip(self.machines, self.instances):
+            prop = self._props_by_machine[machine.name]
+            if prop.task in task_set and prop.REINIT_ON_PATH_RESTART:
+                instance.reset()
+                count += 1
+        return count
+
+
+class MonitorGroup:
+    """Several independent monitors fed as one (§3.1: the runtime feeds
+    "one or more application-specific monitors").
+
+    Each member keeps its own NVM namespace and its own resumable
+    continuation, so monitors authored and deployed separately (e.g.
+    per concern, or one generated from each frontend language) evolve
+    independently — the modularity the paper's architecture promises.
+    The group presents the same interface as a single
+    :class:`ArtemisMonitor`, so the runtime does not care which it got.
+
+    Power-failure protocol: each group call stamps a persisted sequence
+    number and delivers the event to members in order. A brown-out can
+    strike before, inside, or between member calls; on the next boot
+    :meth:`finalize` uses each member's ``last_seq`` to decide whether
+    to resume it (interrupted), re-deliver the pending event (not yet
+    reached), or merely replay its stored verdicts (already done) — so
+    every member processes every event exactly once and no verdict is
+    lost.
+    """
+
+    def __init__(self, monitors: Sequence[ArtemisMonitor],
+                 nvm: NonVolatileMemory, name: str = "monitor_group"):
+        if not monitors:
+            raise ReproError("MonitorGroup needs at least one monitor")
+        names = [m.name for m in monitors]
+        if len(set(names)) != len(names):
+            raise ReproError("monitors in a group need unique names")
+        self.monitors = list(monitors)
+        self.name = name
+        self._seq = nvm.alloc(f"{name}.seq", initial=0, size_bytes=4)
+        self._pending = nvm.alloc(f"{name}.pending", initial=None,
+                                  size_bytes=32)
+
+    def reset(self) -> None:
+        """Hard-reset every member (``resetMonitor``)."""
+        for monitor in self.monitors:
+            monitor.reset()
+        self._pending.set(None)
+
+    def call(self, event: MonitorEvent, spend: SpendFn = _no_spend,
+             per_machine_cost_s: float = 0.0,
+             base_cost_s: float = 0.0) -> List[Action]:
+        """Deliver one event to every member; aggregate their actions."""
+        seq = self._seq.get() + 1
+        self._seq.set(seq)
+        self._pending.set(event.to_dict())
+        for monitor in self.monitors:
+            monitor.call(event, spend, per_machine_cost_s, base_cost_s,
+                         seq=seq)
+        return self._aggregate(seq)
+
+    def finalize(self, spend: SpendFn = _no_spend,
+                 per_machine_cost_s: float = 0.0,
+                 base_cost_s: float = 0.0) -> Optional[List[Action]]:
+        """Complete an interrupted group call, exactly once per member."""
+        if not self.in_progress:
+            return None
+        seq = self._seq.get()
+        payload = self._pending.get()
+        if payload is None:
+            raise ReproError("interrupted group call has no pending event")
+        event = MonitorEvent.from_dict(payload)
+        for monitor in self.monitors:
+            if monitor.in_progress:
+                monitor.finalize(spend, per_machine_cost_s, base_cost_s,
+                                 seq=seq)
+            elif monitor.last_seq != seq:
+                monitor.call(event, spend, per_machine_cost_s, base_cost_s,
+                             seq=seq)
+            # else: this member already completed the call; replay below.
+        return self._aggregate(seq)
+
+    def _aggregate(self, seq: int) -> List[Action]:
+        actions: List[Action] = []
+        for monitor in self.monitors:
+            if monitor.last_seq == seq:
+                actions.extend(monitor.last_actions())
+        self._pending.set(None)
+        return actions
+
+    @property
+    def in_progress(self) -> bool:
+        """True if a group call was interrupted before completing."""
+        return self._pending.get() is not None
+
+    def properties_for_task(self, task: str) -> int:
+        """Total properties inspecting this task across members."""
+        return sum(monitor.properties_for_task(task)
+                   for monitor in self.monitors)
+
+    def reinit_for_path_restart(self, path_task_names: Sequence[str]) -> int:
+        """Propagate §3.3 re-initialisation to every member."""
+        return sum(monitor.reinit_for_path_restart(path_task_names)
+                   for monitor in self.monitors)

@@ -1,0 +1,232 @@
+"""Semantic model of the property specification language.
+
+Each class corresponds to one property construct of Table 1. The spec
+parser (:mod:`repro.spec`) produces these from source text; the
+generator (:mod:`repro.core.generator`) turns each into one
+intermediate-language state machine. They can also be constructed
+directly — a programmatic alternative to the DSL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.core.actions import ActionType
+from repro.errors import SpecValidationError
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise SpecValidationError(message)
+
+
+@dataclass(frozen=True)
+class PropertyBase:
+    """Common shape: every property guards one task and names a fail
+    action; path-scoped properties may pin an explicit path."""
+
+    task: str
+    on_fail: ActionType
+    path: Optional[int] = None
+
+    #: Whether the runtime re-initialises this property's monitor when
+    #: the path containing its task restarts (§3.3: "monitors linked to
+    #: already initiated tasks within that path must be re-initialized").
+    #: Progress trackers (collect) and escalation counters (MITD/period
+    #: with maxAttempt) must survive restarts, or the escape hatch and
+    #: cross-restart accumulation could never trigger.
+    REINIT_ON_PATH_RESTART = True
+
+    @property
+    def kind(self) -> str:
+        return type(self).KIND  # type: ignore[attr-defined]
+
+    def machine_name(self) -> str:
+        """Deterministic, identifier-safe name for the generated machine."""
+        suffix = f"_p{self.path}" if self.path is not None else ""
+        return f"{self.kind}_{self.task}{suffix}"
+
+
+@dataclass(frozen=True)
+class MaxTries(PropertyBase):
+    """Maximum successive start attempts of a task (non-termination guard).
+
+    Figure 5: ``micSense: { maxTries: 10 onFail: skipPath; }``.
+    """
+
+    KIND = "maxTries"
+    limit: int = 0
+
+    def __post_init__(self) -> None:
+        _require(self.limit >= 1, f"maxTries on {self.task!r}: limit must be >= 1")
+
+
+@dataclass(frozen=True)
+class MaxDuration(PropertyBase):
+    """Maximum wall-time of one task execution.
+
+    Figure 5: ``maxDuration: 100ms onFail: skipTask;``.
+    """
+
+    KIND = "maxDuration"
+    limit_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require(self.limit_s > 0, f"maxDuration on {self.task!r}: limit must be > 0")
+
+
+@dataclass(frozen=True)
+class MITD(PropertyBase):
+    """Maximum Inter-Task Delay: the guarded task must start within
+    ``limit_s`` of the dependency task's completion.
+
+    ``max_attempt``/``max_attempt_action`` implement the paper's
+    non-termination escape hatch: after N consecutive violations the
+    stronger action fires (Figure 5 line 6: restartPath x3, then
+    skipPath).
+    """
+
+    KIND = "MITD"
+    REINIT_ON_PATH_RESTART = False
+    dep_task: str = ""
+    limit_s: float = 0.0
+    max_attempt: Optional[int] = None
+    max_attempt_action: Optional[ActionType] = None
+
+    def __post_init__(self) -> None:
+        _require(bool(self.dep_task), f"MITD on {self.task!r}: dpTask is required")
+        _require(self.limit_s > 0, f"MITD on {self.task!r}: delay must be > 0")
+        if self.max_attempt is not None:
+            _require(self.max_attempt >= 1, f"MITD on {self.task!r}: maxAttempt must be >= 1")
+            _require(
+                self.max_attempt_action is not None,
+                f"MITD on {self.task!r}: maxAttempt needs its own onFail action",
+            )
+
+
+@dataclass(frozen=True)
+class Collect(PropertyBase):
+    """Required number of data items from a dependency task before the
+    guarded task may start (Figure 5 line 13: ``collect: 10
+    dpTask: bodyTemp onFail: restartPath``)."""
+
+    KIND = "collect"
+    REINIT_ON_PATH_RESTART = False
+    dep_task: str = ""
+    count: int = 0
+    #: Figure 7's literal example zeroes the counter when the check
+    #: fails; the benchmark's accumulate-across-path-restarts behaviour
+    #: (§5.1 Path #1) needs it to persist, which is the default.
+    reset_on_fail: bool = False
+
+    def __post_init__(self) -> None:
+        _require(bool(self.dep_task), f"collect on {self.task!r}: dpTask is required")
+        _require(self.count >= 1, f"collect on {self.task!r}: count must be >= 1")
+
+
+@dataclass(frozen=True)
+class DpData(PropertyBase):
+    """Range constraint on a task's dependent output data.
+
+    Figure 5 line 14: ``dpData: avgTemp Range: [36, 38] onFail:
+    completePath`` — an out-of-range average triggers the emergency
+    path completion.
+    """
+
+    KIND = "dpData"
+    var: str = ""
+    low: float = 0.0
+    high: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require(bool(self.var), f"dpData on {self.task!r}: variable name is required")
+        _require(
+            self.low <= self.high,
+            f"dpData on {self.task!r}: empty range [{self.low}, {self.high}]",
+        )
+
+
+@dataclass(frozen=True)
+class Period(PropertyBase):
+    """Desired execution period of a task, with jitter tolerance.
+
+    Violated when the gap between consecutive starts exceeds
+    ``period_s + jitter_s``. Supports the same ``maxAttempt`` escape as
+    MITD (Table 1 pairs maxAttempt with the time-related properties).
+    """
+
+    KIND = "period"
+    REINIT_ON_PATH_RESTART = False
+    period_s: float = 0.0
+    jitter_s: float = 0.0
+    max_attempt: Optional[int] = None
+    max_attempt_action: Optional[ActionType] = None
+
+    def __post_init__(self) -> None:
+        _require(self.period_s > 0, f"period on {self.task!r}: period must be > 0")
+        _require(self.jitter_s >= 0, f"period on {self.task!r}: jitter must be >= 0")
+        if self.max_attempt is not None:
+            _require(self.max_attempt >= 1, f"period on {self.task!r}: maxAttempt must be >= 1")
+            _require(
+                self.max_attempt_action is not None,
+                f"period on {self.task!r}: maxAttempt needs its own onFail action",
+            )
+
+
+@dataclass(frozen=True)
+class EnergyAtLeast(PropertyBase):
+    """Extension property from §4.2.2: before the task starts, the
+    stored energy must be at least ``min_energy_j`` joules, otherwise
+    the fail action (typically ``skipTask``) fires.
+
+    The runtime publishes the capacitor level as dependent data named
+    ``energy`` on every StartTask event when an energy probe is
+    configured.
+    """
+
+    KIND = "energyAtLeast"
+    min_energy_j: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require(
+            self.min_energy_j > 0,
+            f"energyAtLeast on {self.task!r}: threshold must be > 0",
+        )
+
+
+Property = Union[MaxTries, MaxDuration, MITD, Collect, DpData, Period, EnergyAtLeast]
+
+
+@dataclass
+class PropertySet:
+    """All properties of one application, with lookup helpers."""
+
+    properties: List[Property] = field(default_factory=list)
+
+    def add(self, prop: Property) -> None:
+        if prop.machine_name() in {p.machine_name() for p in self.properties}:
+            raise SpecValidationError(
+                f"duplicate property {prop.kind!r} on task {prop.task!r}"
+                + (f" path {prop.path}" if prop.path is not None else "")
+            )
+        self.properties.append(prop)
+
+    def for_task(self, task: str) -> List[Property]:
+        return [p for p in self.properties if p.task == task]
+
+    def of_kind(self, kind: str) -> List[Property]:
+        return [p for p in self.properties if p.kind == kind]
+
+    def tasks(self) -> List[str]:
+        seen: List[str] = []
+        for p in self.properties:
+            if p.task not in seen:
+                seen.append(p.task)
+        return seen
+
+    def __len__(self) -> int:
+        return len(self.properties)
+
+    def __iter__(self):
+        return iter(self.properties)

@@ -1,0 +1,354 @@
+"""The ARTEMIS intermittent runtime (paper §4.1, Figures 8 and 9).
+
+Executes a task-based application path by path, feeding StartTask /
+EndTask events to the application-specific monitor and applying the
+corrective actions it returns. All control state lives in NVM; the
+runtime is restartable from any power failure.
+
+Timestamp consistency (§4.1.3) is honoured exactly:
+
+* the StartTask event is re-stamped on every re-execution attempt, and
+  the duration machines keep the *first* timestamp via their implicit
+  self-transitions;
+* the EndTask timestamp is persisted once in ``taskFinish`` and never
+  re-stamped, so a monitor call interrupted after the task committed
+  still sees the true finish time.
+
+completePath interpretation (Table 1): the remaining tasks of the
+current path execute unmonitored; when the path completes, the run ends
+immediately without executing further paths, and the next application
+run resumes from the first task of the path that would have followed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.actions import Action, ActionType
+from repro.core.arbiter import ArbitrationPolicy, arbitrate, most_severe
+from repro.core.events import end_event, MonitorEvent
+from repro.core.monitor import ArtemisMonitor
+from repro.core.properties import EnergyAtLeast, PropertySet
+from repro.energy.power import PowerModel
+from repro.errors import RuntimeConfigError
+from repro.nvm.transaction import Transaction
+from repro.taskgraph.app import Application
+from repro.taskgraph.context import TaskContext
+
+_READY = "TASK_READY"
+_FINISHED = "TASK_FINISHED"
+
+
+class ArtemisRuntime:
+    """Power-failure-resilient executor with decoupled monitoring.
+
+    Args:
+        app: the task-based application.
+        props: its validated property set.
+        device: simulated device supplying NVM, clock, and energy.
+        power_model: per-task and overhead costs.
+        monitor_backend: ``"generated"`` or ``"interpreted"``.
+        policy: arbitration policy for concurrent property failures.
+        audit_capacity: if positive, keep the last N corrective actions
+            in a persistent ring buffer (``self.audit``) for post-mortem
+            read-out.
+    """
+
+    def __init__(
+        self,
+        app: Application,
+        props: PropertySet,
+        device,
+        power_model: PowerModel,
+        monitor_backend: str = "generated",
+        policy: ArbitrationPolicy = most_severe,
+        audit_capacity: int = 0,
+        monitor=None,
+    ):
+        for prop in props:
+            if not app.has_task(prop.task):
+                raise RuntimeConfigError(
+                    f"property on unknown task {prop.task!r}"
+                )
+        self.app = app
+        self.props = props
+        self.power = power_model
+        self.policy = policy
+        self._device = device
+        nvm = device.nvm
+        # A prebuilt monitor (e.g. a MonitorGroup of independently
+        # deployed monitors) may be supplied; by default one is
+        # generated from the property set.
+        self.monitor = (monitor if monitor is not None
+                        else ArtemisMonitor(props, nvm, backend=monitor_backend))
+        self._energy_probe = any(isinstance(p, EnergyAtLeast) for p in props)
+        if audit_capacity > 0:
+            from repro.core.audit import AuditLog
+
+            self.audit: Optional["AuditLog"] = AuditLog(nvm, audit_capacity)
+        else:
+            self.audit = None
+
+        alloc = nvm.alloc
+        self._initialized = alloc("rt.initialized", False, 1)
+        self._cur_path = alloc("rt.cur_path", 1, 2)
+        self._cur_idx = alloc("rt.cur_idx", 0, 2)
+        self._status = alloc("rt.status", _READY, 1)
+        self._start_checked = alloc("rt.start_checked", False, 1)
+        self._end_ts = alloc("rt.end_ts", 0.0, 8)
+        self._emitted = alloc("rt.emitted", {}, 16)
+        self._suspended = alloc("rt.suspended", False, 1)
+        self._resume_path = alloc("rt.resume_path", 1, 2)
+        self._finished = alloc("rt.finished", False, 1)
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self._finished.get()
+
+    @property
+    def current_task_name(self) -> str:
+        path = self.app.path(self._cur_path.get())
+        return path.task_names[self._cur_idx.get()]
+
+    @property
+    def current_path_number(self) -> int:
+        return self._cur_path.get()
+
+    # ------------------------------------------------------------------
+    # Boot protocol (Figure 8: resetMonitor / monitorFinalize)
+    # ------------------------------------------------------------------
+    def boot(self, device) -> None:
+        """Called by the device on every power-up."""
+        self._device = device
+        if not self._initialized.get():
+            self.monitor.reset()
+            self._initialized.set(True)
+            return
+        if self.monitor.in_progress:
+            # A power failure interrupted callMonitor: progress it to
+            # completion and apply the actions of the finished call.
+            actions = self.monitor.finalize(
+                spend=self._spend_monitor,
+                per_machine_cost_s=self.power.monitor_per_property_s,
+                base_cost_s=self.power.monitor_call_base_s,
+            )
+            action = arbitrate(actions, self.policy)
+            self._trace_action(action)
+            if self._status.get() == _READY:
+                if action.type is ActionType.NONE:
+                    # The start check passed; do not re-send StartTask.
+                    self._start_checked.set(True)
+                else:
+                    self._apply_start_action(action)
+            else:
+                self._advance_after_end(action)
+        elif self._status.get() == _READY:
+            # Died while (re-)executing the task: the next iteration is
+            # a fresh attempt and must announce itself with StartTask.
+            self._start_checked.set(False)
+
+    def begin_run(self, device) -> None:
+        """Start the next application iteration (loop deployments)."""
+        self._device = device
+        start = self._resume_path.get()
+        if start > len(self.app.paths):
+            start = 1
+        self._cur_path.set(start)
+        self._resume_path.set(1)
+        self._cur_idx.set(0)
+        self._status.set(_READY)
+        self._start_checked.set(False)
+        self._suspended.set(False)
+        self._finished.set(False)
+
+    # ------------------------------------------------------------------
+    # Main loop (Figure 8, Lines 18-25)
+    # ------------------------------------------------------------------
+    def loop_iteration(self, device) -> None:
+        """One pass: check properties, run the task, or finalise it."""
+        self._device = device
+        if self.finished:
+            return
+        if self._status.get() == _READY:
+            if not self._start_checked.get() and not self._suspended.get():
+                if not self._check_start():
+                    return  # a property violation redirected control flow
+                self._start_checked.set(True)
+            self._run_current_task()
+        else:
+            self._finish_current_task()
+
+    # ------------------------------------------------------------------
+    # checkTask for StartTask (Figure 9, Lines 4-8)
+    # ------------------------------------------------------------------
+    def _check_start(self) -> bool:
+        """Send StartTask to the monitor; True if the task may run."""
+        task = self.current_task_name
+        data = {}
+        if self._energy_probe:
+            data["energy"] = self._device.stored_energy()
+        event = MonitorEvent(
+            "startTask", task, self._device.now(), data, path=self._cur_path.get()
+        )
+        action = self._call_monitor(event)
+        if action.type is ActionType.NONE:
+            return True
+        self._apply_start_action(action)
+        return False
+
+    def _run_current_task(self) -> None:
+        task = self.app.task(self.current_task_name)
+        cost = self.power.cost_of(task.name)
+        device = self._device
+        device.trace.record(device.sim_clock.now(), "task_start", task=task.name,
+                            path=self._cur_path.get())
+        if cost.fixed_energy_j:
+            device.consume_energy(cost.fixed_energy_j, "app")
+        device.consume(cost.duration_s, cost.power_w, "app")
+        # The attempt survived; execute the body and commit atomically.
+        txn = Transaction(device.nvm)
+        ctx = TaskContext(task.name, device.nvm, txn, self.app.sensors, device.now)
+        if task.body is not None:
+            task.body(ctx)
+        txn.commit()
+        # taskFinish (Figure 9, Lines 20-27): stamp the finish time once.
+        self._emitted.set(dict(ctx.emitted))
+        self._end_ts.set(device.now())
+        self._status.set(_FINISHED)
+        self._start_checked.set(False)
+        device.trace.record(device.sim_clock.now(), "task_end", task=task.name,
+                            path=self._cur_path.get())
+
+    def _finish_current_task(self) -> None:
+        """Send EndTask (with the persisted timestamp) and advance."""
+        task = self.current_task_name
+        if self._suspended.get():
+            self._advance_after_end(Action(ActionType.NONE))
+            return
+        event = end_event(
+            task, self._end_ts.get(), self._emitted.get(), path=self._cur_path.get()
+        )
+        action = self._call_monitor(event)
+        self._advance_after_end(action)
+
+    def _call_monitor(self, event: MonitorEvent) -> Action:
+        device = self._device
+        device.consume(self.power.runtime_transition_s,
+                       self.power.overhead_power_w, "runtime")
+        actions = self.monitor.call(
+            event,
+            spend=self._spend_monitor,
+            per_machine_cost_s=self.power.monitor_per_property_s,
+            base_cost_s=self.power.monitor_call_base_s,
+        )
+        action = arbitrate(actions, self.policy)
+        self._trace_action(action)
+        return action
+
+    def _spend_monitor(self, seconds: float) -> None:
+        self._device.consume(seconds, self.power.overhead_power_w, "monitor")
+
+    def _trace_action(self, action: Action) -> None:
+        if action.type is ActionType.NONE:
+            return
+        self._device.trace.record(
+            self._device.sim_clock.now(), "monitor_action",
+            action=action.type.value, source=action.source,
+            path=action.path, task=self.current_task_name,
+        )
+        if self.audit is not None:
+            self.audit.record(self._device.now(), self.current_task_name,
+                              self._cur_path.get(), action)
+
+    # ------------------------------------------------------------------
+    # Action application (getNextTask, Figure 9 Line 17)
+    # ------------------------------------------------------------------
+    def _apply_start_action(self, action: Action) -> None:
+        kind = action.type
+        if kind is ActionType.RESTART_TASK:
+            # Same task, fresh attempt: the next iteration re-announces.
+            self._start_checked.set(False)
+        elif kind is ActionType.SKIP_TASK:
+            self._trace_skip()
+            self._advance_to_next_task()
+        elif kind is ActionType.RESTART_PATH:
+            self._restart_path(action.path or self._cur_path.get())
+        elif kind is ActionType.SKIP_PATH:
+            self._skip_path(action.path or self._cur_path.get())
+        elif kind is ActionType.COMPLETE_PATH:
+            # Finish the path unmonitored, starting with the current task.
+            self._suspended.set(True)
+            self._start_checked.set(True)
+        else:
+            raise RuntimeConfigError(f"cannot apply action {action}")
+
+    def _advance_after_end(self, action: Action) -> None:
+        kind = action.type
+        if kind is ActionType.RESTART_TASK:
+            self._status.set(_READY)
+            self._start_checked.set(False)
+        elif kind is ActionType.RESTART_PATH:
+            self._restart_path(action.path or self._cur_path.get())
+        elif kind is ActionType.SKIP_PATH:
+            self._skip_path(action.path or self._cur_path.get())
+        elif kind is ActionType.COMPLETE_PATH:
+            self._suspended.set(True)
+            self._advance_to_next_task()
+        else:
+            # NONE and SKIP_TASK both move on (the task already ran).
+            self._advance_to_next_task()
+
+    def _advance_to_next_task(self) -> None:
+        path = self.app.path(self._cur_path.get())
+        if self._cur_idx.get() + 1 < len(path):
+            self._cur_idx.set(self._cur_idx.get() + 1)
+            self._status.set(_READY)
+            self._start_checked.set(False)
+            return
+        self._device.trace.record(
+            self._device.sim_clock.now(), "path_complete", path=path.number
+        )
+        if self._suspended.get():
+            # completePath: end the run; resume after this path next time.
+            self._finish_run(resume_path=path.number + 1)
+        elif path.number < len(self.app.paths):
+            self._enter_path(path.number + 1)
+        else:
+            self._finish_run(resume_path=1)
+
+    def _restart_path(self, number: int) -> None:
+        path = self.app.path(number)
+        self._device.trace.record(
+            self._device.sim_clock.now(), "path_restart", path=number
+        )
+        self.monitor.reinit_for_path_restart(path.task_names)
+        self._enter_path(number)
+
+    def _skip_path(self, number: int) -> None:
+        self._device.trace.record(
+            self._device.sim_clock.now(), "path_skip", path=number
+        )
+        if number < len(self.app.paths):
+            self._enter_path(number + 1)
+        else:
+            self._finish_run(resume_path=1)
+
+    def _enter_path(self, number: int) -> None:
+        self._cur_path.set(number)
+        self._cur_idx.set(0)
+        self._status.set(_READY)
+        self._start_checked.set(False)
+
+    def _finish_run(self, resume_path: int) -> None:
+        self._resume_path.set(resume_path)
+        self._suspended.set(False)
+        self._finished.set(True)
+
+    def _trace_skip(self) -> None:
+        self._device.trace.record(
+            self._device.sim_clock.now(), "task_skip",
+            task=self.current_task_name, path=self._cur_path.get(),
+        )

@@ -1,0 +1,41 @@
+"""Energy-harvesting substrate.
+
+Models the paper's testbed: a Powercast RF transmitter/receiver pair
+charging a capacitor that powers an MSP430FR5994. The pieces:
+
+* :class:`~repro.energy.capacitor.Capacitor` — energy storage with
+  turn-on and brown-out voltage thresholds.
+* :mod:`~repro.energy.harvester` — ambient power sources (constant, RF
+  path-loss, on/off outage patterns, recorded traces, solar-like).
+* :class:`~repro.energy.power.PowerModel` — per-task time and energy
+  costs calibrated to MSP430FR5994-class numbers.
+* :class:`~repro.energy.environment.EnergyEnvironment` — couples a
+  harvester to a capacitor and answers "how long until we can boot
+  again?", the quantity the paper calls *charging time*.
+"""
+
+from repro.energy.capacitor import Capacitor
+from repro.energy.environment import EnergyEnvironment
+from repro.energy.harvester import (
+    ConstantHarvester,
+    Harvester,
+    PeriodicOutageHarvester,
+    RFHarvester,
+    SolarHarvester,
+    TraceHarvester,
+)
+from repro.energy.power import TaskCost, PowerModel, MSP430FR5994_POWER
+
+__all__ = [
+    "Capacitor",
+    "EnergyEnvironment",
+    "Harvester",
+    "ConstantHarvester",
+    "RFHarvester",
+    "PeriodicOutageHarvester",
+    "SolarHarvester",
+    "TraceHarvester",
+    "TaskCost",
+    "PowerModel",
+    "MSP430FR5994_POWER",
+]

@@ -1,0 +1,154 @@
+"""Couples a harvester to a capacitor: the device's energy world.
+
+The central quantity for the paper's evaluation is the *charging time*
+(Figure 12's x-axis): how long the device stays dark after a brown-out
+before the capacitor reaches the boot threshold again.
+:meth:`EnergyEnvironment.for_charging_delay` builds an environment whose
+charging time is exactly a requested value, which is how the benchmark
+harness sweeps 1–10 minutes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.errors import EnergyError, SimulationError
+from repro.energy.capacitor import Capacitor
+from repro.energy.harvester import ConstantHarvester, Harvester
+
+
+class EnergyEnvironment:
+    """Harvester + capacitor, advanced along simulation time.
+
+    Args:
+        harvester: ambient power source. ``None`` means continuous power
+            (the wall-powered setup of Figures 14/15): the capacitor never
+            depletes and charging time is zero.
+        capacitor: energy store; required unless continuously powered.
+    """
+
+    def __init__(
+        self,
+        harvester: Optional[Harvester] = None,
+        capacitor: Optional[Capacitor] = None,
+    ):
+        if harvester is not None and capacitor is None:
+            raise EnergyError("a harvested environment needs a capacitor")
+        self.harvester = harvester
+        self.capacitor = capacitor
+        self.total_harvested_j = 0.0
+        self.total_consumed_j = 0.0
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def continuous(cls) -> "EnergyEnvironment":
+        """Continuously powered setup — energy is never the constraint."""
+        return cls(harvester=None, capacitor=None)
+
+    @classmethod
+    def for_charging_delay(
+        cls,
+        delay_s: float,
+        capacitor: Optional[Capacitor] = None,
+    ) -> "EnergyEnvironment":
+        """Environment whose post-brownout charging time is ``delay_s``.
+
+        Solves for the constant harvest power that refills the capacitor
+        from ``v_off`` to ``v_on`` in exactly ``delay_s`` seconds.
+        """
+        if delay_s <= 0:
+            raise EnergyError("charging delay must be positive")
+        cap = capacitor if capacitor is not None else default_capacitor()
+        power = cap.usable_energy_per_cycle / delay_s
+        return cls(harvester=ConstantHarvester(power), capacitor=cap)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def is_continuous(self) -> bool:
+        return self.harvester is None
+
+    def usable_energy(self) -> float:
+        """Energy available before brown-out; infinite when continuous."""
+        if self.is_continuous:
+            return math.inf
+        return self.capacitor.usable_energy
+
+    # ------------------------------------------------------------------
+    # State evolution
+    # ------------------------------------------------------------------
+    def consume(self, energy_j: float) -> bool:
+        """Draw ``energy_j`` from storage; ``True`` if it fit above cutoff."""
+        if energy_j < 0:
+            raise EnergyError("cannot consume negative energy")
+        self.total_consumed_j += energy_j
+        if self.is_continuous:
+            return True
+        return self.capacitor.discharge(energy_j)
+
+    def harvest(self, t0: float, t1: float) -> float:
+        """Accumulate harvested energy over ``[t0, t1]`` into the capacitor."""
+        if self.is_continuous:
+            return 0.0
+        gained = self.harvester.energy_between(t0, t1)
+        stored = self.capacitor.charge(gained)
+        self.total_harvested_j += stored
+        return stored
+
+    def charging_time_from(self, t: float, max_wait_s: float = 365 * 86400.0) -> float:
+        """Seconds from ``t`` until the capacitor reaches the boot threshold.
+
+        For non-constant harvesters this steps forward in one-second
+        increments (charging delays are minutes-scale, so the error is
+        negligible). Raises :class:`~repro.errors.SimulationError` if the
+        ambient source cannot refill the capacitor within ``max_wait_s``.
+        """
+        if self.is_continuous:
+            return 0.0
+        needed = self.capacitor.energy_to_boot()
+        if needed <= 0:
+            return 0.0
+        if isinstance(self.harvester, ConstantHarvester):
+            if self.harvester.power_w <= 0:
+                raise SimulationError("harvester delivers no power; device will never boot")
+            return needed / self.harvester.power_w
+        elapsed = 0.0
+        step = 1.0
+        acquired = 0.0
+        while acquired < needed:
+            if elapsed >= max_wait_s:
+                raise SimulationError(
+                    f"capacitor not recharged within {max_wait_s} s; ambient source too weak"
+                )
+            acquired += self.harvester.energy_between(t + elapsed, t + elapsed + step)
+            elapsed += step
+        return elapsed
+
+    def recharge_to_boot(self, t: float) -> float:
+        """Advance the capacitor to the boot threshold; return the wait (s)."""
+        if self.is_continuous:
+            return 0.0
+        wait = self.charging_time_from(t)
+        # Credit exactly the boot-threshold energy: integrating the
+        # harvester again would double-count rounding from the search.
+        needed = self.capacitor.energy_to_boot()
+        self.capacitor.charge(needed)
+        self.total_harvested_j += needed
+        return wait
+
+
+def default_capacitor() -> Capacitor:
+    """Reference storage for the benchmark: usable cycle energy ~15 mJ.
+
+    Sized so that the benchmark's most expensive task (``accel``, 12 mJ)
+    completes from a full charge, but the tail of a path (``classify`` +
+    ``send``) does not fit in the remainder — which is exactly the
+    failure pattern §5.2 of the paper describes for its testbed.
+    """
+    # E_usable = C/2 * (v_on^2 - v_off^2) = C/2 * (3.0^2 - 1.8^2) = 2.88 C
+    # C = 5.2 mF  =>  ~15 mJ usable per charge cycle.
+    return Capacitor(capacitance=5.2e-3, v_max=3.3, v_on=3.0, v_off=1.8, v_initial=3.0)

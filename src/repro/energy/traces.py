@@ -1,0 +1,156 @@
+"""Synthetic ambient-energy trace generation.
+
+The paper's testbed uses a fixed RF transmitter; real deployments see
+far messier supply. These generators produce ``(time, power)`` sample
+lists for :class:`~repro.energy.harvester.TraceHarvester`, deterministic
+per seed, covering the regimes the intermittent-computing literature
+evaluates against:
+
+* :func:`rf_mobility_trace` — a receiver moving around an RF source
+  (random-walk distance → path-loss power);
+* :func:`office_light_trace` — indoor photovoltaic: working-hours
+  plateau, lights off at night, stochastic shadowing dips;
+* :func:`markov_onoff_trace` — bursty two-state supply (e.g. passing
+  vehicles over a piezo harvester);
+* :func:`washout_trace` — a long dead period inserted into an otherwise
+  steady supply, for targeted charging-delay experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.errors import EnergyError
+
+Samples = List[Tuple[float, float]]
+
+
+def _check(duration_s: float, step_s: float) -> None:
+    if duration_s <= 0 or step_s <= 0:
+        raise EnergyError("duration and step must be positive")
+    if step_s > duration_s:
+        raise EnergyError("step must not exceed duration")
+
+
+def rf_mobility_trace(
+    duration_s: float,
+    step_s: float = 10.0,
+    tx_power_w: float = 3.0,
+    gain: float = 0.002,
+    efficiency: float = 0.55,
+    min_distance_m: float = 0.5,
+    max_distance_m: float = 4.0,
+    walk_step_m: float = 0.15,
+    seed: int = 0,
+) -> Samples:
+    """Receiver random-walking between ``min`` and ``max`` distance from
+    a Powercast-style transmitter; power follows 1/d^2 path loss."""
+    _check(duration_s, step_s)
+    rng = random.Random(seed)
+    distance = (min_distance_m + max_distance_m) / 2
+    samples: Samples = []
+    t = 0.0
+    while t <= duration_s:
+        distance += rng.uniform(-walk_step_m, walk_step_m)
+        distance = min(max_distance_m, max(min_distance_m, distance))
+        power = tx_power_w * gain / (distance ** 2) * efficiency
+        samples.append((t, power))
+        t += step_s
+    return samples
+
+
+def office_light_trace(
+    duration_s: float,
+    step_s: float = 60.0,
+    peak_power_w: float = 1.5e-3,
+    day_length_s: float = 86400.0,
+    work_start_frac: float = 0.33,
+    work_end_frac: float = 0.75,
+    shadow_prob: float = 0.05,
+    seed: int = 0,
+) -> Samples:
+    """Indoor PV: near-constant power during working hours, zero
+    otherwise, with occasional shadowing dips (someone walks past)."""
+    _check(duration_s, step_s)
+    if not 0 <= work_start_frac < work_end_frac <= 1:
+        raise EnergyError("invalid working-hours fractions")
+    rng = random.Random(seed)
+    samples: Samples = []
+    t = 0.0
+    while t <= duration_s:
+        frac = (t % day_length_s) / day_length_s
+        if work_start_frac <= frac < work_end_frac:
+            power = peak_power_w * rng.uniform(0.85, 1.0)
+            if rng.random() < shadow_prob:
+                power *= rng.uniform(0.05, 0.3)
+        else:
+            power = 0.0
+        samples.append((t, power))
+        t += step_s
+    return samples
+
+
+def markov_onoff_trace(
+    duration_s: float,
+    step_s: float = 5.0,
+    on_power_w: float = 5e-3,
+    p_on_to_off: float = 0.2,
+    p_off_to_on: float = 0.1,
+    seed: int = 0,
+) -> Samples:
+    """Two-state Markov supply: bursty ON periods separated by dead
+    time, the canonical model for vibration/passing-traffic harvesting."""
+    _check(duration_s, step_s)
+    if not (0 < p_on_to_off <= 1 and 0 < p_off_to_on <= 1):
+        raise EnergyError("transition probabilities must be in (0, 1]")
+    rng = random.Random(seed)
+    on = rng.random() < p_off_to_on / (p_off_to_on + p_on_to_off)
+    samples: Samples = []
+    t = 0.0
+    while t <= duration_s:
+        samples.append((t, on_power_w if on else 0.0))
+        if on and rng.random() < p_on_to_off:
+            on = False
+        elif not on and rng.random() < p_off_to_on:
+            on = True
+        t += step_s
+    return samples
+
+
+def washout_trace(
+    duration_s: float,
+    base_power_w: float,
+    dead_start_s: float,
+    dead_length_s: float,
+    step_s: float = 1.0,
+) -> Samples:
+    """Steady supply with one dead window — a controlled outage for
+    targeted timeliness experiments."""
+    _check(duration_s, step_s)
+    if dead_start_s < 0 or dead_length_s < 0:
+        raise EnergyError("dead window must be non-negative")
+    samples: Samples = []
+    t = 0.0
+    while t <= duration_s:
+        in_dead = dead_start_s <= t < dead_start_s + dead_length_s
+        samples.append((t, 0.0 if in_dead else base_power_w))
+        t += step_s
+    return samples
+
+
+def mean_power(samples: Samples) -> float:
+    """Time-weighted mean power of a trace (piecewise-constant hold)."""
+    if len(samples) < 2:
+        return samples[0][1] if samples else 0.0
+    total = 0.0
+    for (t0, p), (t1, _) in zip(samples, samples[1:]):
+        total += p * (t1 - t0)
+    return total / (samples[-1][0] - samples[0][0])
+
+
+def duty_cycle(samples: Samples, threshold_w: float = 0.0) -> float:
+    """Fraction of samples with power above ``threshold_w``."""
+    if not samples:
+        return 0.0
+    return sum(1 for _, p in samples if p > threshold_w) / len(samples)

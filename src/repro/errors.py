@@ -1,0 +1,77 @@
+"""Exception hierarchy shared across the ARTEMIS reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so
+callers can catch library failures without masking programming errors.
+:class:`PowerFailure` is deliberately *not* a :class:`ReproError`: it is a
+control-flow signal raised by the simulated device when the capacitor is
+exhausted, and runtimes are expected to let it propagate to the device
+loop rather than swallow it accidentally with a broad ``except``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class SpecError(ReproError):
+    """Base class for property-specification language errors."""
+
+
+class SpecSyntaxError(SpecError):
+    """Raised when the property specification cannot be parsed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token so
+    tooling can point at the exact location.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class SpecValidationError(SpecError):
+    """Raised when a parsed specification is semantically invalid."""
+
+
+class GenerationError(ReproError):
+    """Raised when monitor generation from a specification fails."""
+
+
+class StateMachineError(ReproError):
+    """Raised for malformed state machines or interpreter misuse."""
+
+
+class NVMError(ReproError):
+    """Raised on non-volatile memory misuse (duplicate cells, overflow)."""
+
+
+class EnergyError(ReproError):
+    """Raised on invalid energy-model configuration."""
+
+
+class RuntimeConfigError(ReproError):
+    """Raised when a runtime is built from an inconsistent application."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulation cannot make progress (e.g. a task whose
+    energy cost exceeds the usable capacitor energy can never complete)."""
+
+
+class PowerFailure(BaseException):
+    """Signal raised by the device when stored energy hits the cutoff.
+
+    Derives from :class:`BaseException` so that application task bodies
+    using ``except Exception`` do not accidentally absorb a brownout: on
+    real hardware, no instruction can intercept the power going away.
+
+    Attributes:
+        at_time: simulation time (seconds) at which the device died.
+    """
+
+    def __init__(self, at_time: float):
+        super().__init__(f"power failure at t={at_time:.6f}s")
+        self.at_time = at_time

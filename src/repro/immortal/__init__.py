@@ -1,0 +1,12 @@
+"""ImmortalThreads-style power-failure-resilient execution.
+
+The paper generates its monitors with the ImmortalThreads library
+(OSDI '22): C macros implementing *local continuations* so a routine
+interrupted by a power failure resumes from its last completed step,
+with all its variables in non-volatile memory. This package provides the
+Python equivalent used by :class:`repro.core.monitor.ArtemisMonitor`.
+"""
+
+from repro.immortal.continuations import ImmortalRoutine
+
+__all__ = ["ImmortalRoutine"]

@@ -1,0 +1,24 @@
+"""Memory accounting (Table 2 of the paper).
+
+Estimates ``.text`` / RAM / FRAM footprints of the Mayfly runtime, the
+ARTEMIS runtime, and the generated monitor using MSP430 struct layouts
+and sizes derived from the generated C code.
+"""
+
+from repro.memsize.model import (
+    MemoryReport,
+    artemis_monitor_memory,
+    artemis_runtime_memory,
+    inlined_memory,
+    mayfly_runtime_memory,
+    table2,
+)
+
+__all__ = [
+    "MemoryReport",
+    "artemis_runtime_memory",
+    "artemis_monitor_memory",
+    "inlined_memory",
+    "mayfly_runtime_memory",
+    "table2",
+]

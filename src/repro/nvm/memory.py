@@ -1,0 +1,180 @@
+"""FRAM-like non-volatile memory with named persistent cells.
+
+Cells are allocated by name, carry an approximate byte size (used by the
+Table 2 memory accountant), and keep their value across simulated power
+failures. A :class:`NonVolatileMemory` instance outlives the device's
+volatile state: the simulator wipes everything *except* this object on
+reboot.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, Iterator, Optional
+
+from repro.errors import NVMError
+
+#: FRAM capacity of the MSP430FR5994 used in the paper (bytes).
+DEFAULT_CAPACITY_BYTES = 256 * 1024
+
+
+class PersistentCell:
+    """A single named value living in non-volatile memory.
+
+    Reads and writes go straight to the backing store — like FRAM, writes
+    are immediately durable (no flush step). Use
+    :class:`~repro.nvm.transaction.Transaction` for staged writes that
+    must commit atomically at task boundaries.
+    """
+
+    __slots__ = ("_nvm", "name", "size_bytes")
+
+    def __init__(self, nvm: "NonVolatileMemory", name: str, size_bytes: int):
+        self._nvm = nvm
+        self.name = name
+        self.size_bytes = size_bytes
+
+    def get(self) -> Any:
+        return self._nvm._data[self.name]
+
+    def set(self, value: Any) -> None:
+        self._nvm._data[self.name] = value
+        self._nvm._write_count += 1
+        counts = self._nvm._cell_writes
+        counts[self.name] = counts.get(self.name, 0) + 1
+
+    # Convenience property-style access.
+    value = property(get, set)
+
+    def __repr__(self) -> str:
+        return f"PersistentCell({self.name!r}={self.get()!r})"
+
+
+class NonVolatileMemory:
+    """Byte-accounted store of named persistent cells.
+
+    Args:
+        capacity_bytes: total FRAM capacity; allocation beyond it raises
+            :class:`~repro.errors.NVMError`, mirroring a link-time overflow
+            on the real MCU.
+    """
+
+    def __init__(self, capacity_bytes: int = DEFAULT_CAPACITY_BYTES):
+        if capacity_bytes <= 0:
+            raise NVMError("NVM capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._data: Dict[str, Any] = {}
+        self._cells: Dict[str, PersistentCell] = {}
+        self._used_bytes = 0
+        self._write_count = 0
+        self._cell_writes: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def alloc(self, name: str, initial: Any = None, size_bytes: int = 8) -> PersistentCell:
+        """Allocate a named cell, or return the existing one after reboot.
+
+        Allocation is idempotent by name: on reboot the runtime re-runs its
+        initialisation code, and re-allocating an existing cell returns the
+        surviving cell *without* resetting its value (that is the whole
+        point of FRAM). Passing a different ``size_bytes`` for an existing
+        name is an error, as it would be with a linker-placed symbol.
+        """
+        if size_bytes <= 0:
+            raise NVMError(f"cell {name!r}: size must be positive")
+        existing = self._cells.get(name)
+        if existing is not None:
+            if existing.size_bytes != size_bytes:
+                raise NVMError(
+                    f"cell {name!r} re-allocated with size {size_bytes} "
+                    f"!= original {existing.size_bytes}"
+                )
+            return existing
+        if self._used_bytes + size_bytes > self.capacity_bytes:
+            raise NVMError(
+                f"NVM overflow allocating {name!r}: "
+                f"{self._used_bytes} + {size_bytes} > {self.capacity_bytes}"
+            )
+        cell = PersistentCell(self, name, size_bytes)
+        self._cells[name] = cell
+        self._data[name] = initial
+        self._used_bytes += size_bytes
+        return cell
+
+    def free(self, name: str) -> None:
+        """Release a cell (used by tests; real FRAM layout is static)."""
+        cell = self._cells.pop(name, None)
+        if cell is None:
+            raise NVMError(f"cell {name!r} not allocated")
+        self._used_bytes -= cell.size_bytes
+        del self._data[name]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def cell(self, name: str) -> PersistentCell:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise NVMError(f"cell {name!r} not allocated") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._cells)
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._used_bytes
+
+    @property
+    def write_count(self) -> int:
+        """Total writes performed (FRAM wear / overhead accounting)."""
+        return self._write_count
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Deep copy of all cell values (for checkpoint-diff tests)."""
+        return copy.deepcopy(self._data)
+
+    def usage_report(self) -> Dict[str, int]:
+        """Per-cell byte usage, sorted descending by size."""
+        sizes = {name: cell.size_bytes for name, cell in self._cells.items()}
+        return dict(sorted(sizes.items(), key=lambda kv: -kv[1]))
+
+    def wear_report(self, top: Optional[int] = None) -> Dict[str, int]:
+        """Per-cell write counts, hottest first.
+
+        FRAM endurance is enormous (~1e15 cycles) but write *energy* is
+        not free and hot cells reveal protocol bugs (e.g. a monitor
+        variable rewritten on every event when it should change rarely).
+        """
+        ordered = dict(sorted(self._cell_writes.items(), key=lambda kv: -kv[1]))
+        if top is not None:
+            ordered = dict(list(ordered.items())[:top])
+        return ordered
+
+    def writes_to(self, name: str) -> int:
+        """Write count of one cell (0 if never written)."""
+        return self._cell_writes.get(name, 0)
+
+
+def namespaced(nvm: NonVolatileMemory, prefix: str):
+    """Return an ``alloc`` function that prefixes all cell names.
+
+    Lets independently generated monitors allocate cells without clashing,
+    the same way the C generator prefixes monitor variables.
+    """
+
+    def alloc(name: str, initial: Any = None, size_bytes: int = 8) -> PersistentCell:
+        return nvm.alloc(f"{prefix}.{name}", initial, size_bytes)
+
+    return alloc

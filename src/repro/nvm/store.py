@@ -1,0 +1,57 @@
+"""Dict-like view over a prefix of non-volatile memory.
+
+Monitor state machines keep their state and variables in a mutable
+mapping; backing that mapping with NVM makes the whole machine persist
+across power failures. Cells are allocated lazily on first write.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.nvm.memory import NonVolatileMemory
+
+
+class NVMStore:
+    """Mutable-mapping adapter: ``store[key]`` ↔ NVM cell ``prefix.key``."""
+
+    def __init__(self, nvm: NonVolatileMemory, prefix: str, cell_bytes: int = 8):
+        self._nvm = nvm
+        self._prefix = prefix
+        self._cell_bytes = cell_bytes
+        # Track which keys belong to this store (NVM itself is shared).
+        self._keys_cell = nvm.alloc(f"{prefix}.__keys__", initial=(), size_bytes=16)
+
+    def _cell_name(self, key: str) -> str:
+        return f"{self._prefix}.{key}"
+
+    def __getitem__(self, key: str) -> Any:
+        if key not in self:
+            raise KeyError(key)
+        return self._nvm.cell(self._cell_name(key)).get()
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        name = self._cell_name(key)
+        if name not in self._nvm:
+            self._nvm.alloc(name, initial=None, size_bytes=self._cell_bytes)
+        if key not in self._keys_cell.get():
+            self._keys_cell.set(self._keys_cell.get() + (key,))
+        self._nvm.cell(name).set(value)
+
+    def __delitem__(self, key: str) -> None:
+        if key not in self:
+            raise KeyError(key)
+        self._nvm.free(self._cell_name(key))
+        self._keys_cell.set(tuple(k for k in self._keys_cell.get() if k != key))
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._keys_cell.get()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._keys_cell.get())
+
+    def __len__(self) -> int:
+        return len(self._keys_cell.get())
+
+    def keys(self):
+        return list(self._keys_cell.get())

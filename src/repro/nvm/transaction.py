@@ -1,0 +1,61 @@
+"""Atomic, all-or-nothing commit of staged writes to NVM.
+
+Task-based intermittent runtimes (Chain, InK, Alpaca, and the ARTEMIS
+runtime in the paper) give each task transactional semantics: the task
+stages its writes while running; only when it finishes are they committed
+to non-volatile memory. A power failure mid-task discards the stage, so
+re-execution is idempotent.
+
+:class:`Transaction` models exactly that. The stage lives in *volatile*
+memory (a plain dict) — it is constructed fresh after every reboot — so a
+power failure between ``stage()`` calls loses nothing durable. ``commit``
+itself is modelled as atomic, which matches the paper's runtime where the
+commit point is a single pointer/status update in FRAM.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import NVMError
+from repro.nvm.memory import NonVolatileMemory
+
+
+class Transaction:
+    """Volatile write stage with atomic commit into an NVM instance."""
+
+    def __init__(self, nvm: NonVolatileMemory):
+        self._nvm = nvm
+        self._stage: Dict[str, Any] = {}
+
+    def stage(self, name: str, value: Any) -> None:
+        """Stage a write to cell ``name``; cell must already be allocated."""
+        if name not in self._nvm:
+            raise NVMError(f"cannot stage write to unallocated cell {name!r}")
+        self._stage[name] = value
+
+    def read(self, name: str) -> Any:
+        """Read through the stage: staged value if present, else NVM."""
+        if name in self._stage:
+            return self._stage[name]
+        return self._nvm.cell(name).get()
+
+    def commit(self) -> int:
+        """Apply every staged write to NVM; returns number of writes."""
+        count = 0
+        for name, value in self._stage.items():
+            self._nvm.cell(name).set(value)
+            count += 1
+        self._stage.clear()
+        return count
+
+    def rollback(self) -> None:
+        """Discard all staged writes (what a power failure does for free)."""
+        self._stage.clear()
+
+    @property
+    def pending(self) -> int:
+        return len(self._stage)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stage

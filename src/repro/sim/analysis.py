@@ -1,0 +1,179 @@
+"""Trace analysis: statistics and timelines from execution traces.
+
+Benchmarks and examples derive their figures from raw traces; this
+module centralises the common derivations — per-task execution
+statistics, attempt counts, inter-task delays (the quantity MITD
+constrains), action summaries, and an ASCII timeline like Figure 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.tracer import TraceEvent, Tracer
+
+
+@dataclass
+class TaskStats:
+    """Execution statistics of one task across a trace."""
+
+    task: str
+    starts: int = 0
+    completions: int = 0
+    skips: int = 0
+    total_busy_s: float = 0.0
+    durations: List[float] = field(default_factory=list)
+
+    @property
+    def attempts_wasted(self) -> int:
+        """Starts that never reached completion (power failures or
+        monitor-forced redirections)."""
+        return self.starts - self.completions
+
+    @property
+    def mean_duration_s(self) -> float:
+        if not self.durations:
+            return 0.0
+        return sum(self.durations) / len(self.durations)
+
+
+def task_statistics(trace: Tracer) -> Dict[str, TaskStats]:
+    """Aggregate per-task start/end/skip counts and durations."""
+    stats: Dict[str, TaskStats] = {}
+    open_start: Dict[str, float] = {}
+    for event in trace:
+        task = event.detail.get("task")
+        if task is None:
+            continue
+        entry = stats.setdefault(task, TaskStats(task))
+        if event.kind == "task_start":
+            entry.starts += 1
+            open_start[task] = event.t
+        elif event.kind == "task_end":
+            entry.completions += 1
+            started = open_start.pop(task, None)
+            if started is not None:
+                duration = event.t - started
+                entry.durations.append(duration)
+                entry.total_busy_s += duration
+        elif event.kind == "task_skip":
+            entry.skips += 1
+    return stats
+
+
+def action_summary(trace: Tracer) -> Dict[str, int]:
+    """How many times each corrective action fired."""
+    summary: Dict[str, int] = {}
+    for event in trace.of_kind("monitor_action"):
+        action = event.detail.get("action", "?")
+        summary[action] = summary.get(action, 0) + 1
+    return summary
+
+
+def inter_task_delays(trace: Tracer, producer: str, consumer: str) -> List[float]:
+    """Delays from each ``producer`` completion to the next ``consumer``
+    start — the quantity an MITD property bounds."""
+    delays: List[float] = []
+    last_end: Optional[float] = None
+    for event in trace:
+        task = event.detail.get("task")
+        if event.kind == "task_end" and task == producer:
+            last_end = event.t
+        elif event.kind == "task_start" and task == consumer and last_end is not None:
+            delays.append(event.t - last_end)
+            last_end = None
+    return delays
+
+
+def reboot_intervals(trace: Tracer) -> List[float]:
+    """Durations between consecutive power failures (on-time windows)."""
+    failure_times = [e.t for e in trace.of_kind("power_failure")]
+    return [b - a for a, b in zip(failure_times, failure_times[1:])]
+
+
+def charge_waits(trace: Tracer) -> List[float]:
+    """Observed charging delays, from boot records."""
+    return [e.detail["charge_wait_s"] for e in trace.of_kind("boot")
+            if "charge_wait_s" in e.detail]
+
+
+@dataclass(frozen=True)
+class PathAttempt:
+    """One contiguous attempt at executing a path."""
+
+    path: int
+    start_t: float
+    end_t: float
+    outcome: str  # "completed" | "restarted" | "skipped" | "open"
+
+
+def path_attempts(trace: Tracer) -> List[PathAttempt]:
+    """Segment the trace into path attempts (the rows of Figure 13)."""
+    attempts: List[PathAttempt] = []
+    current_path: Optional[int] = None
+    start_t = 0.0
+    last_t = 0.0
+
+    def close(outcome: str, t: float) -> None:
+        nonlocal current_path
+        if current_path is not None:
+            attempts.append(PathAttempt(current_path, start_t, t, outcome))
+            current_path = None
+
+    for event in trace:
+        path = event.detail.get("path")
+        last_t = event.t
+        if event.kind == "task_start":
+            if current_path is None or path != current_path:
+                close("restarted", event.t)
+                current_path = path
+                start_t = event.t
+        elif event.kind == "path_restart":
+            if path == current_path:
+                close("restarted", event.t)
+        elif event.kind == "path_skip":
+            if path == current_path:
+                close("skipped", event.t)
+        elif event.kind == "path_complete":
+            if path == current_path:
+                close("completed", event.t)
+    close("open", last_t)
+    return attempts
+
+
+def render_timeline(trace: Tracer, width: int = 72) -> str:
+    """ASCII rendering of path attempts over time (Figure 13 style).
+
+    Each row is one path attempt; the bar spans its share of the total
+    trace duration, annotated with the outcome.
+    """
+    attempts = path_attempts(trace)
+    if not attempts:
+        return "(empty trace)"
+    t_max = max(a.end_t for a in attempts) or 1.0
+    marks = {"completed": "#", "restarted": "~", "skipped": "x", "open": "?"}
+    lines = [f"timeline over {t_max:.1f}s  (#=completed ~=restarted x=skipped)"]
+    for a in attempts:
+        left = int(width * a.start_t / t_max)
+        span = max(1, int(width * (a.end_t - a.start_t) / t_max))
+        bar = " " * left + marks[a.outcome] * span
+        lines.append(
+            f"path {a.path} |{bar:<{width}}| "
+            f"{a.start_t:9.1f}-{a.end_t:9.1f}s {a.outcome}"
+        )
+    return "\n".join(lines)
+
+
+def compare_traces(a: Tracer, b: Tracer) -> List[Tuple[int, TraceEvent, TraceEvent]]:
+    """First divergences between two traces (for differential tests).
+
+    Returns up to 10 index/event pairs where kind or task differ.
+    """
+    diffs = []
+    for i, (ea, eb) in enumerate(zip(a.events, b.events)):
+        if ea.kind != eb.kind or ea.detail.get("task") != eb.detail.get("task"):
+            diffs.append((i, ea, eb))
+            if len(diffs) >= 10:
+                break
+    return diffs

@@ -1,0 +1,77 @@
+"""Aggregate outcome of a simulated run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: Consumption categories the device accounts separately; these map to
+#: the stacked components of Figures 14/15 (application vs runtime vs
+#: monitor overhead).
+CATEGORIES = ("app", "runtime", "monitor")
+
+
+@dataclass
+class RunResult:
+    """What happened during one :meth:`Device.run`.
+
+    Attributes:
+        completed: the application run finished (False = the paper's
+            *non-termination* outcome, e.g. Mayfly at long charging
+            delays in Figure 12).
+        total_time_s: wall time from start to completion/abort,
+            including off-time spent charging.
+        on_time_s: time the device was powered and executing.
+        charge_time_s: time spent dark waiting for the capacitor.
+        busy_time_s: per-category MCU-busy seconds (app/runtime/monitor).
+        energy_j: per-category consumed joules.
+        reboots: number of power-failure reboots.
+        runs_completed: application iterations completed (loop mode).
+    """
+
+    completed: bool = False
+    total_time_s: float = 0.0
+    on_time_s: float = 0.0
+    charge_time_s: float = 0.0
+    busy_time_s: Dict[str, float] = field(
+        default_factory=lambda: {c: 0.0 for c in CATEGORIES}
+    )
+    energy_j: Dict[str, float] = field(
+        default_factory=lambda: {c: 0.0 for c in CATEGORIES}
+    )
+    reboots: int = 0
+    runs_completed: int = 0
+
+    @property
+    def app_time_s(self) -> float:
+        return self.busy_time_s["app"]
+
+    @property
+    def runtime_overhead_s(self) -> float:
+        return self.busy_time_s["runtime"]
+
+    @property
+    def monitor_overhead_s(self) -> float:
+        return self.busy_time_s["monitor"]
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(self.energy_j.values())
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Share of busy time spent outside application code."""
+        busy = sum(self.busy_time_s.values())
+        if busy == 0:
+            return 0.0
+        return (self.runtime_overhead_s + self.monitor_overhead_s) / busy
+
+    def summary(self) -> str:
+        state = "completed" if self.completed else "DID NOT FINISH"
+        return (
+            f"{state}: total={self.total_time_s:.2f}s "
+            f"(on={self.on_time_s:.2f}s charge={self.charge_time_s:.2f}s) "
+            f"app={self.app_time_s:.2f}s rt={self.runtime_overhead_s * 1e3:.2f}ms "
+            f"mon={self.monitor_overhead_s * 1e3:.2f}ms "
+            f"energy={self.total_energy_j * 1e3:.2f}mJ reboots={self.reboots}"
+        )

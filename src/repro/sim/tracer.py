@@ -1,0 +1,75 @@
+"""Execution trace recording.
+
+Every notable occurrence — task starts/ends, power failures, reboots,
+monitor actions — is recorded with its simulation timestamp. Benchmarks
+derive figures directly from traces (e.g. the Figure 13 timeline), and
+tests assert on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record. ``kind`` vocabulary used by the package:
+
+    ``boot``, ``power_failure``, ``charge_wait``, ``task_start``,
+    ``task_end``, ``task_skip``, ``monitor_action``, ``path_restart``,
+    ``path_skip``, ``path_complete``, ``run_complete``, ``gave_up``.
+    """
+
+    t: float
+    kind: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.t:12.3f}] {self.kind:<15} {extras}"
+
+
+class Tracer:
+    """Append-only event log with query helpers."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.events: List[TraceEvent] = []
+
+    def record(self, t: float, kind: str, **detail: Any) -> None:
+        if self.enabled:
+            self.events.append(TraceEvent(t, kind, detail))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def task_events(self, task: str) -> List[TraceEvent]:
+        return [
+            e
+            for e in self.events
+            if e.kind in ("task_start", "task_end", "task_skip")
+            and e.detail.get("task") == task
+        ]
+
+    def last(self, kind: str) -> Optional[TraceEvent]:
+        for event in reversed(self.events):
+            if event.kind == kind:
+                return event
+        return None
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        events = self.events if limit is None else self.events[-limit:]
+        return "\n".join(str(e) for e in events)

@@ -1,0 +1,31 @@
+"""The ARTEMIS property specification language.
+
+A declarative, task-scoped DSL (paper §3.2, Figure 5, Table 1)::
+
+    send: {
+      MITD: 5min dpTask: accel onFail: restartPath maxAttempt: 3
+            onFail: skipPath Path: 2;
+      maxDuration: 100ms onFail: skipTask;
+      collect: 1 dpTask: accel onFail: restartPath Path: 2;
+    }
+
+Pipeline: :func:`parse_spec` (text → AST) then
+:func:`~repro.spec.validator.validate` (AST + application → semantic
+:class:`~repro.core.properties.PropertySet`). :func:`load_properties`
+does both.
+"""
+
+from repro.spec.consistency import check as check_consistency
+from repro.spec.mayfly_frontend import load_mayfly_properties
+from repro.spec.parser import parse_spec
+from repro.spec.printer import print_spec
+from repro.spec.validator import load_properties, validate
+
+__all__ = [
+    "parse_spec",
+    "validate",
+    "load_properties",
+    "print_spec",
+    "check_consistency",
+    "load_mayfly_properties",
+]

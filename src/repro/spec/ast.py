@@ -1,0 +1,65 @@
+"""Abstract syntax of the specification language (pre-validation).
+
+The parser produces this task-block / property / clause structure; the
+validator binds it against an application into the semantic property
+model of :mod:`repro.core.properties`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+#: Value of a property or clause: an int count, a float (seconds, after
+#: duration normalisation), an identifier, or a numeric range.
+Value = Union[int, float, str, Tuple[float, float]]
+
+
+@dataclass(frozen=True)
+class Clause:
+    """One ``key: value`` modifier after a property value, in source
+    order (order matters: an ``onFail`` right after ``maxAttempt`` is the
+    max-attempt action)."""
+
+    key: str
+    value: Value
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class PropertyDecl:
+    """One property statement, e.g. ``MITD: 5min dpTask: accel ...;``."""
+
+    kind: str
+    value: Value
+    clauses: Tuple[Clause, ...] = ()
+    line: int = 0
+
+    def clauses_named(self, key: str) -> List[Clause]:
+        return [c for c in self.clauses if c.key == key]
+
+
+@dataclass(frozen=True)
+class TaskBlock:
+    """``taskName: { ...properties... }``."""
+
+    task: str
+    properties: Tuple[PropertyDecl, ...] = ()
+    line: int = 0
+
+
+@dataclass
+class SpecModel:
+    """A whole specification file."""
+
+    blocks: List[TaskBlock] = field(default_factory=list)
+
+    def block_for(self, task: str) -> Optional[TaskBlock]:
+        for block in self.blocks:
+            if block.task == task:
+                return block
+        return None
+
+    @property
+    def property_count(self) -> int:
+        return sum(len(b.properties) for b in self.blocks)

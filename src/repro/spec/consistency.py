@@ -1,0 +1,327 @@
+"""Static consistency checking of property specifications.
+
+§7 of the paper ("Property Consistency Checking") flags this as future
+work: "the simultaneous use of time-related properties such as
+periodicity, maximum duration, and inter-task delays may lead to
+inconsistent specification... there is no sequence of task executions
+that satisfies all constraints."
+
+:func:`check` analyses a validated property set against the application
+structure (and, optionally, the power model and capacitor) and reports
+issues before anything runs:
+
+=========  ==================================================================
+code       meaning
+=========  ==================================================================
+DEP-ORDER  a dependency property (collect/MITD) whose dpTask never executes
+           before the guarded task — the check can never be satisfied
+           (collect) or never armed (MITD)
+TIME-MIN   an MITD window smaller than the unavoidable execution time
+           between the dependency's completion and the task's start
+DUR-MIN    a maxDuration below the task's own modelled execution time
+PERIOD     a period shorter than one full application cycle, so every
+           occurrence after the first violates
+ENERGY     a task whose single-attempt energy exceeds the capacitor's
+           usable energy per charge cycle, with no maxTries guard — the
+           paper's non-termination hazard (§2.1, property 2)
+LIVELOCK   a restart-flavoured onFail on a property that can never become
+           satisfied, with no maxAttempt/maxTries escape
+ACTION     contradictory actions on one task (completePath together with
+           skipPath/restartPath on the same trigger kind)
+=========  ==================================================================
+
+ERRORs are specifications no execution can satisfy; WARNINGs are
+suspicious but conceivably intended.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.actions import ActionType
+from repro.core.properties import (
+    Collect,
+    DpData,
+    MITD,
+    MaxDuration,
+    MaxTries,
+    Period,
+    PropertySet,
+)
+from repro.energy.capacitor import Capacitor
+from repro.energy.power import PowerModel
+from repro.taskgraph.app import Application
+
+
+class Severity(enum.Enum):
+    """Issue severity: ERRORs are unsatisfiable, WARNINGs suspicious."""
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Issue:
+    severity: Severity
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity.value.upper()}] {self.code}: {self.message}"
+
+
+@dataclass
+class ConsistencyReport:
+    issues: List[Issue]
+
+    @property
+    def errors(self) -> List[Issue]:
+        return [i for i in self.issues if i.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Issue]:
+        return [i for i in self.issues if i.severity is Severity.WARNING]
+
+    @property
+    def consistent(self) -> bool:
+        return not self.errors
+
+    def __str__(self) -> str:
+        if not self.issues:
+            return "specification consistent: no issues"
+        return "\n".join(str(i) for i in self.issues)
+
+
+# ---------------------------------------------------------------------------
+# Structural orderings
+# ---------------------------------------------------------------------------
+
+
+def _positions(app: Application, task: str) -> List[tuple]:
+    """(path_number, index) pairs where a task appears."""
+    out = []
+    for path in app.paths:
+        if task in path:
+            out.append((path.number, path.index_of(task)))
+    return out
+
+
+def _dep_precedes(app: Application, dep: str, task: str,
+                  path: Optional[int]) -> bool:
+    """Does ``dep`` complete before ``task`` starts in execution order?
+
+    Paths run in number order, so ``dep`` precedes ``task`` if it sits
+    earlier on the same path or anywhere on an earlier path. When the
+    property pins a path, the task occurrence on that path is the one
+    that matters.
+    """
+    task_positions = _positions(app, task)
+    if path is not None:
+        task_positions = [(p, i) for p, i in task_positions if p == path]
+    dep_positions = _positions(app, dep)
+    for tp, ti in task_positions:
+        for dp, di in dep_positions:
+            if dp < tp or (dp == tp and di < ti):
+                return True
+    return False
+
+
+def _exec_time_between(app: Application, power: PowerModel, dep: str,
+                       task: str, path_number: Optional[int]) -> Optional[float]:
+    """Minimum execution time from ``dep``'s completion to ``task``'s
+    start when both sit on one path, under continuous power."""
+    for path in app.paths:
+        if path_number is not None and path.number != path_number:
+            continue
+        if dep in path and task in path:
+            di, ti = path.index_of(dep), path.index_of(task)
+            if di < ti:
+                between = path.task_names[di + 1:ti]
+                return sum(power.cost_of(name).duration_s for name in between)
+    return None
+
+
+def _cycle_time(app: Application, power: PowerModel) -> float:
+    """Duration of one application run under continuous power (lower
+    bound: each task once)."""
+    return sum(
+        power.cost_of(name).duration_s
+        for path in app.paths
+        for name in path.task_names
+    )
+
+
+# ---------------------------------------------------------------------------
+# Checks
+# ---------------------------------------------------------------------------
+
+
+def check(
+    props: PropertySet,
+    app: Application,
+    power: Optional[PowerModel] = None,
+    capacitor: Optional[Capacitor] = None,
+) -> ConsistencyReport:
+    """Run every static consistency check that the inputs allow.
+
+    ``power`` enables the timing checks (TIME-MIN/DUR-MIN/PERIOD);
+    ``capacitor`` additionally enables ENERGY.
+    """
+    issues: List[Issue] = []
+    issues.extend(_check_dep_order(props, app))
+    issues.extend(_check_action_conflicts(props))
+    issues.extend(_check_livelock(props, app))
+    if power is not None:
+        issues.extend(_check_time_min(props, app, power))
+        issues.extend(_check_duration_min(props, power))
+        issues.extend(_check_period(props, app, power))
+        if capacitor is not None:
+            issues.extend(_check_energy(props, app, power, capacitor))
+    return ConsistencyReport(issues)
+
+
+def _check_dep_order(props: PropertySet, app: Application) -> List[Issue]:
+    issues = []
+    for prop in props:
+        if isinstance(prop, Collect):
+            if not _dep_precedes(app, prop.dep_task, prop.task, prop.path):
+                issues.append(Issue(
+                    Severity.ERROR, "DEP-ORDER",
+                    f"collect on {prop.task!r} needs {prop.count} items from "
+                    f"{prop.dep_task!r}, but {prop.dep_task!r} never executes "
+                    f"before {prop.task!r} — unsatisfiable"))
+        elif isinstance(prop, MITD):
+            if not _dep_precedes(app, prop.dep_task, prop.task, prop.path):
+                issues.append(Issue(
+                    Severity.WARNING, "DEP-ORDER",
+                    f"MITD on {prop.task!r} depends on {prop.dep_task!r}, "
+                    f"which never completes before {prop.task!r} starts — "
+                    f"the property is never armed and never checked"))
+    return issues
+
+
+def _check_action_conflicts(props: PropertySet) -> List[Issue]:
+    issues = []
+    for task in props.tasks():
+        task_props = props.for_task(task)
+        completers = [p for p in task_props
+                      if p.on_fail is ActionType.COMPLETE_PATH]
+        path_changers = [p for p in task_props if p.on_fail in
+                         (ActionType.SKIP_PATH, ActionType.RESTART_PATH)]
+        if completers and path_changers:
+            issues.append(Issue(
+                Severity.WARNING, "ACTION",
+                f"task {task!r} mixes completePath ({completers[0].kind}) "
+                f"with {path_changers[0].on_fail.value} "
+                f"({path_changers[0].kind}); if both fail on one event the "
+                f"arbiter always picks completePath"))
+    return issues
+
+
+def _check_livelock(props: PropertySet, app: Application) -> List[Issue]:
+    issues = []
+    restart_kinds = (ActionType.RESTART_PATH, ActionType.RESTART_TASK)
+    guarded_tasks = {p.task for p in props if isinstance(p, MaxTries)}
+    for prop in props:
+        if not isinstance(prop, Collect) or prop.on_fail not in restart_kinds:
+            continue
+        # restartTask re-runs only the guarded task: the dependency never
+        # re-executes, so an unsatisfied count can never grow.
+        if prop.on_fail is ActionType.RESTART_TASK and prop.task not in guarded_tasks:
+            issues.append(Issue(
+                Severity.ERROR, "LIVELOCK",
+                f"collect on {prop.task!r} retries with restartTask, which "
+                f"never re-runs {prop.dep_task!r}; without a maxTries guard "
+                f"this cannot terminate"))
+    for prop in props:
+        # dpData restarting its own producer: the restarted task emits
+        # the same (deterministically out-of-range) value forever, and
+        # maxTries cannot bound it — its counter resets on completion.
+        if isinstance(prop, DpData) and prop.on_fail in restart_kinds:
+            issues.append(Issue(
+                Severity.WARNING, "LIVELOCK",
+                f"dpData on {prop.task!r} retries with "
+                f"{prop.on_fail.value}; if the re-computed value stays out "
+                f"of range this never terminates (maxTries resets on task "
+                f"completion and cannot bound it)"))
+    for prop in props:
+        if isinstance(prop, MITD) and prop.max_attempt is None \
+                and prop.on_fail is ActionType.RESTART_PATH:
+            issues.append(Issue(
+                Severity.WARNING, "LIVELOCK",
+                f"MITD on {prop.task!r} restarts its path with no maxAttempt "
+                f"escape; charging delays beyond {prop.limit_s:.0f}s cause "
+                f"non-termination (the paper's Mayfly failure mode)"))
+    return issues
+
+
+def _check_time_min(props: PropertySet, app: Application,
+                    power: PowerModel) -> List[Issue]:
+    issues = []
+    for prop in props:
+        if not isinstance(prop, MITD):
+            continue
+        floor = _exec_time_between(app, power, prop.dep_task, prop.task, prop.path)
+        if floor is not None and floor > prop.limit_s:
+            issues.append(Issue(
+                Severity.ERROR, "TIME-MIN",
+                f"MITD on {prop.task!r} allows {prop.limit_s:.3f}s after "
+                f"{prop.dep_task!r}, but the tasks between them alone take "
+                f"{floor:.3f}s — violated on every execution"))
+    return issues
+
+
+def _check_duration_min(props: PropertySet, power: PowerModel) -> List[Issue]:
+    issues = []
+    for prop in props:
+        if not isinstance(prop, MaxDuration):
+            continue
+        if prop.task not in power:
+            continue
+        duration = power.cost_of(prop.task).duration_s
+        if duration > prop.limit_s:
+            issues.append(Issue(
+                Severity.ERROR, "DUR-MIN",
+                f"maxDuration on {prop.task!r} is {prop.limit_s:.3f}s but the "
+                f"task's own execution takes {duration:.3f}s — violated on "
+                f"every execution"))
+    return issues
+
+
+def _check_period(props: PropertySet, app: Application,
+                  power: PowerModel) -> List[Issue]:
+    issues = []
+    cycle = _cycle_time(app, power)
+    for prop in props:
+        if not isinstance(prop, Period):
+            continue
+        bound = prop.period_s + prop.jitter_s
+        if bound < cycle:
+            issues.append(Issue(
+                Severity.WARNING, "PERIOD",
+                f"period on {prop.task!r} allows {bound:.3f}s between starts, "
+                f"but one application cycle takes at least {cycle:.3f}s even "
+                f"on continuous power — every cycle after the first violates"))
+    return issues
+
+
+def _check_energy(props: PropertySet, app: Application, power: PowerModel,
+                  capacitor: Capacitor) -> List[Issue]:
+    issues = []
+    budget = capacitor.usable_energy_per_cycle
+    guarded = {p.task for p in props if isinstance(p, MaxTries)}
+    for task in app.task_names:
+        if task not in power:
+            continue
+        energy = power.cost_of(task).energy_j
+        if energy > budget:
+            severity = Severity.WARNING if task in guarded else Severity.ERROR
+            guard = ("guarded by maxTries" if task in guarded
+                     else "with NO maxTries guard: guaranteed non-termination")
+            issues.append(Issue(
+                severity, "ENERGY",
+                f"task {task!r} needs {energy * 1e3:.2f} mJ per attempt but "
+                f"one charge cycle stores only {budget * 1e3:.2f} mJ usable — "
+                f"it can never complete ({guard})"))
+    return issues

@@ -1,0 +1,57 @@
+"""Tokenizer for the property specification language."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import SpecSyntaxError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t\r]+)
+  | (?P<newline>\n)
+  | (?P<comment>//[^\n]*|\#[^\n]*)
+  | (?P<duration>\d+(?:\.\d+)?(?:ms|sec|min|hour|h|s)\b)
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>[{}\[\]:;,])
+  | (?P<minus>-)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # duration | number | ident | punct | minus | eof
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return self.text or "<eof>"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize a specification; raises on unknown characters."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    pos = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise SpecSyntaxError(
+                f"unexpected character {source[pos]!r}", line, pos - line_start + 1
+            )
+        kind = m.lastgroup
+        if kind == "newline":
+            line += 1
+            line_start = m.end()
+        elif kind not in ("ws", "comment"):
+            tokens.append(Token(kind, m.group(), line, m.start() - line_start + 1))
+        pos = m.end()
+    tokens.append(Token("eof", "", line, pos - line_start + 1))
+    return tokens

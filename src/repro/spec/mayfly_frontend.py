@@ -1,0 +1,116 @@
+"""A Mayfly-style specification frontend over the ARTEMIS pipeline.
+
+§7 of the paper ("Support for Other Languages"): "By leveraging
+model-to-model transformations, we can map the constructs and semantics
+of diverse specification languages to the common intermediate language."
+
+Mayfly (SenSys '17) expresses timing as *edge annotations* on the task
+graph — data flowing along an edge expires, or a consumer needs a count
+of items. This module parses that edge-annotation style::
+
+    edge accel -> send { expires: 5min; path: 2; }
+    edge bodyTemp -> calcAvg { collect: 10; }
+
+and maps it onto the ARTEMIS property model: ``expires`` becomes an
+:class:`~repro.core.properties.MITD` and ``collect`` a
+:class:`~repro.core.properties.Collect`, both with Mayfly's fixed
+response — restart the task graph (``restartPath``) — since Mayfly has
+no configurable actions. From there the standard ARTEMIS generator and
+monitors apply: a second language, one intermediate language.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.actions import ActionType
+from repro.core.properties import Collect, MITD, PropertySet
+from repro.errors import SpecSyntaxError, SpecValidationError
+from repro.spec.units import DURATION_RE, parse_duration
+from repro.taskgraph.app import Application
+
+_EDGE_RE = re.compile(
+    r"edge\s+(?P<src>[A-Za-z_]\w*)\s*->\s*(?P<dst>[A-Za-z_]\w*)\s*"
+    r"\{(?P<body>[^}]*)\}",
+    re.DOTALL,
+)
+_CLAUSE_RE = re.compile(r"(?P<key>[A-Za-z_]\w*)\s*:\s*(?P<value>[^;]+);")
+
+
+@dataclass(frozen=True)
+class EdgeRule:
+    """One parsed edge annotation."""
+
+    src: str
+    dst: str
+    expires_s: Optional[float] = None
+    collect: Optional[int] = None
+    path: Optional[int] = None
+
+
+def parse_mayfly(source: str) -> List[EdgeRule]:
+    """Parse edge-annotation source into rules."""
+    rules: List[EdgeRule] = []
+    consumed = 0
+    for match in _EDGE_RE.finditer(source):
+        consumed += len(match.group(0))
+        expires = collect = path = None
+        for clause in _CLAUSE_RE.finditer(match.group("body")):
+            key = clause.group("key")
+            value = clause.group("value").strip()
+            if key == "expires":
+                if not DURATION_RE.match(value):
+                    raise SpecSyntaxError(f"expires: invalid duration {value!r}")
+                expires = parse_duration(value)
+            elif key == "collect":
+                if not value.isdigit() or int(value) < 1:
+                    raise SpecSyntaxError(f"collect: invalid count {value!r}")
+                collect = int(value)
+            elif key == "path":
+                if not value.isdigit():
+                    raise SpecSyntaxError(f"path: invalid number {value!r}")
+                path = int(value)
+            else:
+                raise SpecSyntaxError(f"unknown Mayfly edge clause {key!r}")
+        if expires is None and collect is None:
+            raise SpecSyntaxError(
+                f"edge {match.group('src')} -> {match.group('dst')}: "
+                "needs at least one of expires/collect")
+        rules.append(EdgeRule(match.group("src"), match.group("dst"),
+                              expires, collect, path))
+    leftover = _EDGE_RE.sub("", source)
+    leftover = re.sub(r"//[^\n]*", "", leftover).strip()
+    if leftover:
+        raise SpecSyntaxError(
+            f"unrecognised Mayfly specification text: {leftover[:40]!r}")
+    return rules
+
+
+def to_properties(rules: List[EdgeRule], app: Application) -> PropertySet:
+    """Model-to-model mapping: Mayfly edges → ARTEMIS properties."""
+    props = PropertySet()
+    for rule in rules:
+        for name in (rule.src, rule.dst):
+            if not app.has_task(name):
+                raise SpecValidationError(f"edge references unknown task {name!r}")
+        path = rule.path
+        if path is None and len(app.paths_containing(rule.dst)) > 1:
+            raise SpecValidationError(
+                f"edge {rule.src} -> {rule.dst}: consumer is on multiple "
+                "paths; annotate the edge with 'path: N'")
+        if rule.expires_s is not None:
+            props.add(MITD(
+                task=rule.dst, on_fail=ActionType.RESTART_PATH, path=path,
+                dep_task=rule.src, limit_s=rule.expires_s))
+        if rule.collect is not None:
+            props.add(Collect(
+                task=rule.dst, on_fail=ActionType.RESTART_PATH, path=path,
+                dep_task=rule.src, count=rule.collect))
+    return props
+
+
+def load_mayfly_properties(source: str, app: Application) -> PropertySet:
+    """Parse + map in one step (mirrors ``spec.load_properties``)."""
+    return to_properties(parse_mayfly(source), app)

@@ -1,0 +1,125 @@
+"""Recursive-descent parser for the property specification language.
+
+Grammar (terminals in caps)::
+
+    spec     := block*
+    block    := IDENT ':'? '{' property* '}'
+    property := IDENT ':' value clause* ';'
+    clause   := IDENT ':' clause_value
+    value    := NUMBER | DURATION | IDENT
+    clause_value := NUMBER | DURATION | IDENT | range
+    range    := '[' signed ',' signed ']'
+
+The task block's colon is optional — Figure 5 writes both
+``micSense: { ... }`` and ``calcAvg { ... }``. The parser is
+deliberately key-agnostic: unknown property kinds parse fine and are
+rejected by the validator, which keeps the grammar stable when new
+properties are added (the §4.2.2 extension path).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import SpecSyntaxError
+from repro.spec.ast import Clause, PropertyDecl, SpecModel, TaskBlock
+from repro.spec.lexer import Token, tokenize
+from repro.spec.units import parse_duration
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self._tokens = tokenize(source)
+        self._i = 0
+
+    def _peek(self) -> Token:
+        return self._tokens[self._i]
+
+    def _next(self) -> Token:
+        tok = self._tokens[self._i]
+        self._i += 1
+        return tok
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self._next()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            wanted = text if text is not None else kind
+            raise SpecSyntaxError(
+                f"expected {wanted!r}, got {str(tok)!r}", tok.line, tok.column
+            )
+        return tok
+
+    def _accept_punct(self, text: str) -> bool:
+        tok = self._peek()
+        if tok.kind == "punct" and tok.text == text:
+            self._next()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def parse(self) -> SpecModel:
+        model = SpecModel()
+        while self._peek().kind != "eof":
+            model.blocks.append(self._parse_block())
+        return model
+
+    def _parse_block(self) -> TaskBlock:
+        name_tok = self._expect("ident")
+        self._accept_punct(":")  # optional, per Figure 5
+        self._expect("punct", "{")
+        properties: List[PropertyDecl] = []
+        while not self._accept_punct("}"):
+            properties.append(self._parse_property())
+        return TaskBlock(name_tok.text, tuple(properties), name_tok.line)
+
+    def _parse_property(self) -> PropertyDecl:
+        key_tok = self._expect("ident")
+        self._expect("punct", ":")
+        value = self._parse_value()
+        clauses: List[Clause] = []
+        while not self._accept_punct(";"):
+            clauses.append(self._parse_clause())
+        return PropertyDecl(key_tok.text, value, tuple(clauses), key_tok.line)
+
+    def _parse_clause(self) -> Clause:
+        key_tok = self._expect("ident")
+        self._expect("punct", ":")
+        tok = self._peek()
+        if tok.kind == "punct" and tok.text == "[":
+            value = self._parse_range()
+        else:
+            value = self._parse_value()
+        return Clause(key_tok.text, value, key_tok.line)
+
+    def _parse_value(self):
+        tok = self._next()
+        if tok.kind == "duration":
+            return parse_duration(tok.text, tok.line, tok.column)
+        if tok.kind == "number":
+            return float(tok.text) if "." in tok.text else int(tok.text)
+        if tok.kind == "ident":
+            return tok.text
+        raise SpecSyntaxError(
+            f"expected a value, got {str(tok)!r}", tok.line, tok.column
+        )
+
+    def _parse_range(self) -> Tuple[float, float]:
+        self._expect("punct", "[")
+        low = self._parse_signed()
+        self._expect("punct", ",")
+        high = self._parse_signed()
+        self._expect("punct", "]")
+        return (low, high)
+
+    def _parse_signed(self) -> float:
+        sign = 1.0
+        if self._peek().kind == "minus":
+            self._next()
+            sign = -1.0
+        tok = self._expect("number")
+        return sign * float(tok.text)
+
+
+def parse_spec(source: str) -> SpecModel:
+    """Parse specification source text into a :class:`SpecModel`."""
+    return _Parser(source).parse()

@@ -1,0 +1,95 @@
+"""Pretty-printer for property sets: the inverse of the parser.
+
+Emits specification-language text from a semantic
+:class:`~repro.core.properties.PropertySet`, grouped by task exactly as
+Figure 5 formats it. ``load_properties(print_spec(props), app)``
+round-trips — the property test in ``tests/test_spec_printer.py`` pins
+this — which makes programmatically built property sets serialisable
+and enables spec-to-spec tooling (e.g. migrating a Mayfly-frontend spec
+into native syntax).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.properties import (
+    Collect,
+    DpData,
+    EnergyAtLeast,
+    MITD,
+    MaxDuration,
+    MaxTries,
+    Period,
+    Property,
+    PropertySet,
+)
+from repro.errors import SpecError
+from repro.spec.units import format_duration
+
+
+def _num(value: float) -> str:
+    """Render a number without a trailing .0 for integral values."""
+    return str(int(value)) if float(value).is_integer() else str(value)
+
+
+def _suffix(prop: Property) -> str:
+    return f" Path: {prop.path}" if prop.path is not None else ""
+
+
+def _print_property(prop: Property) -> str:
+    if isinstance(prop, MaxTries):
+        return (f"maxTries: {prop.limit} onFail: {prop.on_fail.value}"
+                f"{_suffix(prop)};")
+    if isinstance(prop, MaxDuration):
+        return (f"maxDuration: {format_duration(prop.limit_s)} "
+                f"onFail: {prop.on_fail.value}{_suffix(prop)};")
+    if isinstance(prop, MITD):
+        text = (f"MITD: {format_duration(prop.limit_s)} "
+                f"dpTask: {prop.dep_task} onFail: {prop.on_fail.value}")
+        if prop.max_attempt is not None:
+            text += (f" maxAttempt: {prop.max_attempt} "
+                     f"onFail: {prop.max_attempt_action.value}")
+        return text + _suffix(prop) + ";"
+    if isinstance(prop, Collect):
+        # reset_on_fail is a programmatic-only variant (Figure 7's
+        # literal semantics) with no spec-language syntax; refuse to
+        # print it rather than silently dropping the flag.
+        if prop.reset_on_fail:
+            raise SpecError(
+                f"collect on {prop.task!r} uses reset_on_fail, which the "
+                "specification language cannot express")
+        return (f"collect: {prop.count} dpTask: {prop.dep_task} "
+                f"onFail: {prop.on_fail.value}{_suffix(prop)};")
+    if isinstance(prop, DpData):
+        return (f"dpData: {prop.var} Range: [{_num(prop.low)}, "
+                f"{_num(prop.high)}] onFail: {prop.on_fail.value}"
+                f"{_suffix(prop)};")
+    if isinstance(prop, Period):
+        text = f"period: {format_duration(prop.period_s)}"
+        if prop.jitter_s:
+            text += f" jitter: {format_duration(prop.jitter_s)}"
+        if prop.max_attempt is not None:
+            text += (f" maxAttempt: {prop.max_attempt} "
+                     f"onFail: {prop.max_attempt_action.value}")
+        text += f" onFail: {prop.on_fail.value}"
+        return text + _suffix(prop) + ";"
+    if isinstance(prop, EnergyAtLeast):
+        return (f"energyAtLeast: {prop.min_energy_j} "
+                f"onFail: {prop.on_fail.value}{_suffix(prop)};")
+    raise SpecError(f"cannot print property type {type(prop).__name__}")
+
+
+def print_spec(props: PropertySet) -> str:
+    """Render a property set in the specification language."""
+    by_task: Dict[str, List[Property]] = {}
+    for prop in props:
+        by_task.setdefault(prop.task, []).append(prop)
+    blocks = []
+    for task, task_props in by_task.items():
+        lines = [f"{task}: {{"]
+        for prop in task_props:
+            lines.append(f"    {_print_property(prop)}")
+        lines.append("}")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks) + "\n"

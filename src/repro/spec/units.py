@@ -1,0 +1,49 @@
+"""Duration literals of the specification language.
+
+Figure 5 uses ``5min`` and ``100ms``; the intermediate machines work in
+seconds. Supported units: ``ms``, ``s``/``sec``, ``min``, ``h``/``hour``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import SpecSyntaxError
+
+_UNIT_SECONDS = {
+    "ms": 1e-3,
+    "s": 1.0,
+    "sec": 1.0,
+    "min": 60.0,
+    "h": 3600.0,
+    "hour": 3600.0,
+}
+
+DURATION_RE = re.compile(r"^(\d+(?:\.\d+)?)(ms|sec|s|min|hour|h)$")
+
+
+def parse_duration(text: str, line: int = 0, column: int = 0) -> float:
+    """Convert a duration literal like ``5min`` to seconds."""
+    m = DURATION_RE.match(text)
+    if m is None:
+        raise SpecSyntaxError(f"invalid duration literal {text!r}", line, column)
+    value, unit = m.groups()
+    if unit == "ms":
+        # Divide rather than multiply by 1e-3: n/1000.0 is the exact
+        # binary float the rest of the system produces for n ms, while
+        # n*1e-3 differs in the last ulp and breaks round-tripping.
+        return float(value) / 1000.0
+    return float(value) * _UNIT_SECONDS[unit]
+
+
+def format_duration(seconds: float) -> str:
+    """Render seconds as the most compact spec-language literal."""
+    if seconds >= 3600 and seconds % 3600 == 0:
+        return f"{int(seconds // 3600)}h"
+    if seconds >= 60 and seconds % 60 == 0:
+        return f"{int(seconds // 60)}min"
+    if seconds >= 1:
+        value = seconds if seconds % 1 else int(seconds)
+        return f"{value}s"
+    ms = seconds * 1000
+    return f"{ms if ms % 1 else int(ms)}ms"

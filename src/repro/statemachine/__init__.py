@@ -1,0 +1,75 @@
+"""The ARTEMIS intermediate language: monitors as state machines.
+
+Each property in the specification language compiles to one finite state
+machine (paper §3.3, Figure 7). Machines have typed variables, states,
+and transitions triggered by runtime events (``startTask`` / ``endTask``
+/ ``anyEvent``), guarded by boolean expressions, with bodies made of
+assignments, if-then-else, and ``fail`` statements that signal a property
+violation plus the corrective action for the runtime.
+
+Three consumers of the model live here:
+
+* :mod:`~repro.statemachine.interpreter` — direct execution (reference
+  semantics, used for differential testing).
+* :mod:`~repro.statemachine.codegen_python` — model-to-text generation of
+  Python monitor classes (the executable artifact used by the runtime).
+* :mod:`~repro.statemachine.codegen_c` — model-to-text generation of C
+  monitor code in the paper's ImmortalThreads style (used for fidelity
+  and the Table 2 memory accounting).
+* :mod:`~repro.statemachine.textual` — parser/printer for the textual
+  form of the intermediate language, for developers who need to write
+  machines directly (paper §3.3: "developers can engage directly with
+  the intermediate language").
+"""
+
+from repro.statemachine.model import (
+    ANY_EVENT,
+    END_TASK,
+    START_TASK,
+    Assign,
+    BinOp,
+    Const,
+    EventField,
+    EventPattern,
+    Fail,
+    If,
+    Not,
+    StateMachine,
+    Transition,
+    Var,
+    Variable,
+)
+from repro.statemachine.interpreter import MachineInstance, Verdict
+from repro.statemachine.analysis import lint
+from repro.statemachine.compose import ProductInstance, explore_product
+from repro.statemachine.explore import Letter, alphabet_for, explore
+from repro.statemachine.textual import parse_machine, parse_machines, print_machine
+
+__all__ = [
+    "lint",
+    "ProductInstance",
+    "explore_product",
+    "Letter",
+    "alphabet_for",
+    "explore",
+    "parse_machine",
+    "parse_machines",
+    "print_machine",
+    "StateMachine",
+    "Transition",
+    "Variable",
+    "EventPattern",
+    "START_TASK",
+    "END_TASK",
+    "ANY_EVENT",
+    "Const",
+    "Var",
+    "EventField",
+    "BinOp",
+    "Not",
+    "Assign",
+    "If",
+    "Fail",
+    "MachineInstance",
+    "Verdict",
+]

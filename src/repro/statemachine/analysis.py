@@ -1,0 +1,284 @@
+"""Static analyses over intermediate-language machines.
+
+Quality gates for generated and hand-written monitors:
+
+* :func:`unreachable_states` — states no transition path can reach from
+  the initial state;
+* :func:`dead_transitions` — transitions whose guard is a constant
+  false (never firable);
+* :func:`nondeterministic_pairs` — pairs of transitions from one state
+  whose triggers overlap and whose guards can be simultaneously true
+  (dispatch then silently depends on declaration order — the paper
+  expects "mutually exclusive conditional guards");
+* :func:`variable_usage` — variables written but never read and vice
+  versa;
+* :func:`lint` — all of the above as one report.
+
+Guard overlap is undecidable in general; :func:`nondeterministic_pairs`
+uses randomized valuation sampling, which is sound for reporting *found*
+overlaps (every reported pair has a concrete witness) and effective in
+practice for the arithmetic guards property templates generate.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Set, Tuple
+
+from repro.statemachine.model import (
+    ANY_EVENT,
+    Assign,
+    BinOp,
+    Const,
+    EventField,
+    Expr,
+    Fail,
+    If,
+    Not,
+    StateMachine,
+    Stmt,
+    Transition,
+    Var,
+    _flatten,
+    _var_refs,
+)
+
+
+# ---------------------------------------------------------------------------
+# Reachability
+# ---------------------------------------------------------------------------
+
+
+def unreachable_states(machine: StateMachine) -> List[str]:
+    """States with no transition path from the initial state."""
+    reached: Set[str] = {machine.initial}
+    frontier = [machine.initial]
+    while frontier:
+        state = frontier.pop()
+        for transition in machine.transitions_from(state):
+            if transition.target not in reached:
+                reached.add(transition.target)
+                frontier.append(transition.target)
+    return [s for s in machine.states if s not in reached]
+
+
+# ---------------------------------------------------------------------------
+# Dead transitions
+# ---------------------------------------------------------------------------
+
+
+def _const_value(expr: Optional[Expr]) -> Optional[Any]:
+    """Fold an expression to a constant if it contains no variables or
+    event fields; otherwise None."""
+    if expr is None:
+        return True
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Not):
+        inner = _const_value(expr.operand)
+        return None if inner is None else not inner
+    if isinstance(expr, BinOp):
+        left = _const_value(expr.left)
+        right = _const_value(expr.right)
+        if left is None or right is None:
+            return None
+        from repro.statemachine.interpreter import _apply
+
+        if expr.op == "and":
+            return bool(left) and bool(right)
+        if expr.op == "or":
+            return bool(left) or bool(right)
+        try:
+            return _apply(expr.op, left, right)
+        except Exception:
+            return None
+    return None
+
+
+def dead_transitions(machine: StateMachine) -> List[Transition]:
+    """Transitions whose guard constant-folds to false."""
+    dead = []
+    for transition in machine.transitions:
+        value = _const_value(transition.guard)
+        if value is not None and not value:
+            dead.append(transition)
+    return dead
+
+
+# ---------------------------------------------------------------------------
+# Nondeterminism (overlapping guards)
+# ---------------------------------------------------------------------------
+
+
+def _triggers_overlap(a: Transition, b: Transition) -> bool:
+    ta, tb = a.trigger, b.trigger
+    kinds_overlap = (ta.kind == ANY_EVENT or tb.kind == ANY_EVENT
+                     or ta.kind == tb.kind)
+    tasks_overlap = ta.task is None or tb.task is None or ta.task == tb.task
+    return kinds_overlap and tasks_overlap
+
+
+class _SampledEvent:
+    """Random event valuation for guard sampling."""
+
+    def __init__(self, rng: random.Random, task: str, data_keys: Sequence[str]):
+        self.kind = rng.choice(["startTask", "endTask"])
+        self.task = task
+        self.timestamp = rng.uniform(0.0, 1000.0)
+        self.path = rng.randint(0, 4)
+        self.data = {key: rng.uniform(-100.0, 100.0) for key in data_keys}
+
+
+def _data_keys(machine: StateMachine) -> List[str]:
+    keys: List[str] = []
+
+    def visit(expr: Optional[Expr]) -> None:
+        if isinstance(expr, EventField) and expr.field.startswith("data."):
+            key = expr.field[len("data."):]
+            if key not in keys:
+                keys.append(key)
+        elif isinstance(expr, BinOp):
+            visit(expr.left)
+            visit(expr.right)
+        elif isinstance(expr, Not):
+            visit(expr.operand)
+
+    for transition in machine.transitions:
+        visit(transition.guard)
+        for stmt in _flatten(transition.body):
+            if isinstance(stmt, Assign):
+                visit(stmt.expr)
+            elif isinstance(stmt, If):
+                visit(stmt.cond)
+    return keys
+
+
+def nondeterministic_pairs(
+    machine: StateMachine, samples: int = 400, seed: int = 0
+) -> List[Tuple[Transition, Transition]]:
+    """Transition pairs from one state that can both be enabled.
+
+    Each reported pair comes with a concrete witness valuation found by
+    sampling; an empty result is strong evidence (not proof) of
+    determinism.
+    """
+    from repro.statemachine.interpreter import MachineInstance
+
+    rng = random.Random(seed)
+    data_keys = _data_keys(machine)
+    overlapping: List[Tuple[Transition, Transition]] = []
+    for state in machine.states:
+        transitions = machine.transitions_from(state)
+        for a, b in itertools.combinations(transitions, 2):
+            if not _triggers_overlap(a, b):
+                continue
+            if _found_joint_witness(machine, state, a, b, rng, data_keys, samples):
+                overlapping.append((a, b))
+    return overlapping
+
+
+def _found_joint_witness(machine, state, a, b, rng, data_keys, samples) -> bool:
+    from repro.statemachine.interpreter import MachineInstance
+
+    instance = MachineInstance(machine)
+    task = a.trigger.task or b.trigger.task or "anytask"
+    for _ in range(samples):
+        # Randomise the variable values too.
+        for variable in machine.variables:
+            if variable.type == "bool":
+                instance._set(variable.name, rng.random() < 0.5)
+            else:
+                instance._set(variable.name, rng.uniform(-50.0, 1000.0))
+        event = _SampledEvent(rng, task, data_keys)
+        if not a.trigger.matches(event.kind, event.task):
+            continue
+        if not b.trigger.matches(event.kind, event.task):
+            continue
+        try:
+            a_on = a.guard is None or instance._eval(a.guard, event)
+            b_on = b.guard is None or instance._eval(b.guard, event)
+        except Exception:
+            continue
+        if a_on and b_on:
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Variable usage
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class VariableUsage:
+    written_never_read: List[str] = field(default_factory=list)
+    read_never_written: List[str] = field(default_factory=list)
+
+
+def variable_usage(machine: StateMachine) -> VariableUsage:
+    """Classify variables as write-only or read-only (both are smells)."""
+    written: Set[str] = set()
+    read: Set[str] = set()
+    for transition in machine.transitions:
+        if transition.guard is not None:
+            read.update(_var_refs(transition.guard))
+        for stmt in _flatten(transition.body):
+            if isinstance(stmt, Assign):
+                written.add(stmt.var)
+                read.update(_var_refs(stmt.expr))
+            elif isinstance(stmt, If):
+                read.update(_var_refs(stmt.cond))
+    names = {v.name for v in machine.variables}
+    return VariableUsage(
+        written_never_read=sorted((written - read) & names),
+        read_never_written=sorted((read - written) & names),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Combined lint
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LintReport:
+    machine: str
+    unreachable: List[str]
+    dead: List[Transition]
+    nondeterministic: List[Tuple[Transition, Transition]]
+    usage: VariableUsage
+
+    @property
+    def clean(self) -> bool:
+        return not (self.unreachable or self.dead or self.nondeterministic
+                    or self.usage.written_never_read
+                    or self.usage.read_never_written)
+
+    def __str__(self) -> str:
+        if self.clean:
+            return f"machine {self.machine}: clean"
+        lines = [f"machine {self.machine}:"]
+        for state in self.unreachable:
+            lines.append(f"  unreachable state {state!r}")
+        for transition in self.dead:
+            lines.append(f"  dead transition: {transition}")
+        for a, b in self.nondeterministic:
+            lines.append(f"  overlapping guards:\n    {a}\n    {b}")
+        for name in self.usage.written_never_read:
+            lines.append(f"  variable {name!r} written but never read")
+        for name in self.usage.read_never_written:
+            lines.append(f"  variable {name!r} read but never written")
+        return "\n".join(lines)
+
+
+def lint(machine: StateMachine, samples: int = 400, seed: int = 0) -> LintReport:
+    """Run every analysis on one machine."""
+    return LintReport(
+        machine=machine.name,
+        unreachable=unreachable_states(machine),
+        dead=dead_transitions(machine),
+        nondeterministic=nondeterministic_pairs(machine, samples, seed),
+        usage=variable_usage(machine),
+    )

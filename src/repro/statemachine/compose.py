@@ -1,0 +1,152 @@
+"""Parallel composition of monitor machines.
+
+§2.1 notes that properties "can be extended and combined", and §3.3
+that "multiple properties may fail concurrently for a given event". The
+parallel product makes both analysable: a :class:`ProductInstance` runs
+several machines in lockstep on one event stream, and
+:func:`explore_product` model-checks the *joint* behaviour — in
+particular finding the shortest event sequence on which a given set of
+actions fires simultaneously, the situations the runtime's arbiter must
+resolve.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.errors import StateMachineError
+from repro.statemachine.explore import Letter
+from repro.statemachine.interpreter import MachineInstance, Verdict
+from repro.statemachine.model import StateMachine
+
+
+class ProductInstance:
+    """Several machine instances stepped together on each event.
+
+    Verdicts of all components are concatenated in component order —
+    exactly what :class:`~repro.core.monitor.ArtemisMonitor` hands the
+    arbiter for one event.
+    """
+
+    def __init__(self, machines: Sequence[StateMachine],
+                 stores: Optional[Sequence[Dict[str, Any]]] = None):
+        if not machines:
+            raise StateMachineError("product of zero machines")
+        names = [m.name for m in machines]
+        if len(set(names)) != len(names):
+            raise StateMachineError("product components must have unique names")
+        self.machines = list(machines)
+        if stores is None:
+            stores = [dict() for _ in machines]
+        if len(stores) != len(machines):
+            raise StateMachineError("one store per component required")
+        self.instances = [MachineInstance(m, s)
+                          for m, s in zip(machines, stores)]
+
+    def on_event(self, event: Any) -> List[Verdict]:
+        verdicts: List[Verdict] = []
+        for instance in self.instances:
+            verdicts.extend(instance.on_event(event))
+        return verdicts
+
+    def reset(self) -> None:
+        for instance in self.instances:
+            instance.reset()
+
+    @property
+    def state(self) -> Tuple[str, ...]:
+        return tuple(instance.state for instance in self.instances)
+
+    def snapshot(self) -> Tuple[Dict[str, Any], ...]:
+        return tuple(instance.snapshot() for instance in self.instances)
+
+    def _normalised(self, now: float) -> Tuple:
+        parts = []
+        for machine, instance in zip(self.machines, self.instances):
+            store = instance.snapshot()
+            items = [("state", store["state"])]
+            for variable in machine.variables:
+                value = store[f"var.{variable.name}"]
+                if (variable.type == "time"
+                        and isinstance(value, (int, float)) and value):
+                    value = round(now - value, 9)
+                items.append((variable.name, value))
+            parts.append(tuple(items))
+        return tuple(parts)
+
+
+def joint_alphabet(machines: Sequence[StateMachine], deltas: Sequence[float],
+                   data_values=(), paths: Sequence[int] = (0,)) -> List[Letter]:
+    """Alphabet covering every task any component references."""
+    tasks: List[str] = []
+    for machine in machines:
+        for task in machine.referenced_tasks():
+            if task not in tasks:
+                tasks.append(task)
+    if not tasks:
+        tasks = ["t"]
+    letters = []
+    data_values = dict(data_values)
+    for task in tasks:
+        for kind in ("startTask", "endTask"):
+            for delta in deltas:
+                for path in paths:
+                    if data_values:
+                        for key, values in data_values.items():
+                            for value in values:
+                                letters.append(Letter(kind, task, delta,
+                                                      ((key, value),), path))
+                    else:
+                        letters.append(Letter(kind, task, delta, (), path))
+    return letters
+
+
+def explore_product(
+    machines: Sequence[StateMachine],
+    alphabet: Sequence[Letter],
+    depth: int,
+    max_configurations: int = 500_000,
+) -> Dict[FrozenSet[str], Tuple[Letter, ...]]:
+    """Find, for each *set* of actions that can fire on one event, the
+    shortest witness sequence (BFS order guarantees minimality).
+
+    Returns ``{frozenset(action_names): witness}``; singleton sets are
+    single failures, larger sets are the concurrent-failure scenarios
+    the arbiter exists for.
+    """
+    if depth < 0:
+        raise StateMachineError("depth must be non-negative")
+    product = ProductInstance(machines)
+    seen = {product._normalised(0.0)}
+    witnesses: Dict[FrozenSet[str], Tuple[Letter, ...]] = {}
+    queue = deque([(product.snapshot(), 0.0, ())])
+    configurations = 1
+    while queue:
+        stores, now, sequence = queue.popleft()
+        if len(sequence) >= depth:
+            continue
+        for letter in alphabet:
+            instance = ProductInstance(
+                machines, [dict(s) for s in stores])
+            event = letter.event(now)
+            try:
+                verdicts = instance.on_event(event)
+            except StateMachineError:
+                continue
+            new_sequence = sequence + (letter,)
+            if verdicts:
+                key = frozenset(v.action for v in verdicts)
+                if key not in witnesses:
+                    witnesses[key] = new_sequence
+            config = instance._normalised(event.timestamp)
+            if config not in seen:
+                seen.add(config)
+                configurations += 1
+                if configurations > max_configurations:
+                    raise StateMachineError(
+                        "product exploration exceeded "
+                        f"{max_configurations} configurations")
+                queue.append((instance.snapshot(), event.timestamp,
+                              new_sequence))
+    return witnesses

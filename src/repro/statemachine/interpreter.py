@@ -1,0 +1,203 @@
+"""Reference interpreter for intermediate-language machines.
+
+This is the semantic ground truth: the generated Python monitors are
+differential-tested against it (same machine, same event stream, same
+verdicts). State and variables live in a caller-provided mutable mapping
+so an NVM-backed store makes the instance power-failure persistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, MutableMapping, Optional, Sequence
+
+from repro.errors import StateMachineError
+from repro.statemachine.model import (
+    Assign,
+    BinOp,
+    Const,
+    EventField,
+    Expr,
+    Fail,
+    If,
+    Not,
+    StateMachine,
+    Stmt,
+    Transition,
+    Var,
+)
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """A property violation reported by a machine for one event."""
+
+    machine: str
+    action: str
+    path: Optional[int] = None
+
+
+class MachineInstance:
+    """A running instance of a :class:`StateMachine`.
+
+    Args:
+        machine: the definition to execute.
+        store: mutable mapping holding ``"state"`` and ``"var.<name>"``
+            entries. Pass an NVM-backed mapping for persistence; defaults
+            to a plain dict (volatile).
+    """
+
+    def __init__(
+        self,
+        machine: StateMachine,
+        store: Optional[MutableMapping[str, Any]] = None,
+    ):
+        self.machine = machine
+        self._store: MutableMapping[str, Any] = store if store is not None else {}
+        if "state" not in self._store:
+            self.reset()
+
+    # ------------------------------------------------------------------
+    # Persistent state access
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        return self._store["state"]
+
+    def get(self, var: str) -> Any:
+        key = f"var.{var}"
+        if key not in self._store:
+            raise StateMachineError(f"{self.machine.name}: unknown variable {var!r}")
+        return self._store[key]
+
+    def _set(self, var: str, value: Any) -> None:
+        self._store[f"var.{var}"] = value
+
+    def reset(self) -> None:
+        """(Re-)initialise to the initial state and variable defaults.
+
+        Called on first boot (the paper's ``resetMonitor``) and when the
+        runtime restarts a path whose monitors must be re-initialised.
+        """
+        self._store["state"] = self.machine.initial
+        for v in self.machine.variables:
+            self._store[f"var.{v.name}"] = v.initial_value
+
+    # ------------------------------------------------------------------
+    # Event dispatch
+    # ------------------------------------------------------------------
+    def on_event(self, event: Any) -> List[Verdict]:
+        """Feed one runtime event; returns any failure verdicts.
+
+        ``event`` needs ``kind`` (``"startTask"``/``"endTask"``), ``task``
+        (name), ``timestamp`` (seconds) and ``data`` (mapping) attributes
+        — :class:`repro.core.events.MonitorEvent` provides them.
+
+        Events with no matching transition are accepted silently (the
+        paper's implicit self-transition).
+        """
+        transition = self._match(event)
+        if transition is None:
+            return []
+        verdicts: List[Verdict] = []
+        self._exec_body(transition.body, event, verdicts)
+        self._store["state"] = transition.target
+        return verdicts
+
+    def _match(self, event: Any) -> Optional[Transition]:
+        for transition in self.machine.transitions_from(self.state):
+            if not transition.trigger.matches(event.kind, event.task):
+                continue
+            if transition.guard is None or self._eval(transition.guard, event):
+                return transition
+        return None
+
+    # ------------------------------------------------------------------
+    # Expression / statement evaluation
+    # ------------------------------------------------------------------
+    def _eval(self, expr: Expr, event: Any) -> Any:
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, Var):
+            return self.get(expr.name)
+        if isinstance(expr, EventField):
+            return _event_field(event, expr.field)
+        if isinstance(expr, Not):
+            return not self._eval(expr.operand, event)
+        if isinstance(expr, BinOp):
+            op = expr.op
+            # Short-circuit booleans first.
+            if op == "and":
+                return bool(self._eval(expr.left, event)) and bool(
+                    self._eval(expr.right, event)
+                )
+            if op == "or":
+                return bool(self._eval(expr.left, event)) or bool(
+                    self._eval(expr.right, event)
+                )
+            left = self._eval(expr.left, event)
+            right = self._eval(expr.right, event)
+            return _apply(op, left, right)
+        raise StateMachineError(f"unknown expression node {expr!r}")
+
+    def _exec_body(self, body: Sequence[Stmt], event: Any, verdicts: List[Verdict]) -> None:
+        for stmt in body:
+            if isinstance(stmt, Assign):
+                self._set(stmt.var, self._eval(stmt.expr, event))
+            elif isinstance(stmt, Fail):
+                verdicts.append(Verdict(self.machine.name, stmt.action, stmt.path))
+            elif isinstance(stmt, If):
+                branch = stmt.then if self._eval(stmt.cond, event) else stmt.orelse
+                self._exec_body(branch, event, verdicts)
+            else:
+                raise StateMachineError(f"unknown statement {stmt!r}")
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Copy of the persistent store (state + variables)."""
+        return dict(self._store)
+
+    def __repr__(self) -> str:
+        return f"MachineInstance({self.machine.name!r}, state={self.state!r})"
+
+
+def _event_field(event: Any, field: str) -> Any:
+    if field == "timestamp":
+        return event.timestamp
+    if field == "task":
+        return event.task
+    if field == "path":
+        return getattr(event, "path", 0)
+    if field.startswith("data."):
+        key = field[len("data."):]
+        data = getattr(event, "data", None) or {}
+        if key not in data:
+            raise StateMachineError(f"event carries no dependent data {key!r}")
+        return data[key]
+    raise StateMachineError(f"unknown event field {field!r}")
+
+
+def _apply(op: str, left: Any, right: Any) -> Any:
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise StateMachineError("division by zero in guard/body expression")
+        return left / right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    if op == "==":
+        return left == right
+    if op == "!=":
+        return left != right
+    raise StateMachineError(f"unknown operator {op!r}")

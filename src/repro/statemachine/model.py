@@ -1,0 +1,340 @@
+"""Abstract syntax of the intermediate (state machine) language.
+
+The model is deliberately small — the paper's Figure 7 machines need
+only variables, guarded transitions, assignments, conditionals, and a
+failure signal — but every construct is first-class so the two code
+generators and the interpreter share one definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import StateMachineError
+
+# ---------------------------------------------------------------------------
+# Event patterns (transition triggers)
+# ---------------------------------------------------------------------------
+
+START_TASK = "startTask"
+END_TASK = "endTask"
+ANY_EVENT = "anyEvent"
+
+_TRIGGER_KINDS = (START_TASK, END_TASK, ANY_EVENT)
+
+
+@dataclass(frozen=True)
+class EventPattern:
+    """Trigger of a transition.
+
+    ``kind`` is one of ``startTask``/``endTask``/``anyEvent``; ``task``
+    restricts the trigger to events of one task (``None`` = any task).
+    """
+
+    kind: str
+    task: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _TRIGGER_KINDS:
+            raise StateMachineError(f"unknown trigger kind {self.kind!r}")
+
+    def matches(self, event_kind: str, event_task: str) -> bool:
+        if self.kind != ANY_EVENT and self.kind != event_kind:
+            return False
+        return self.task is None or self.task == event_task
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.task or '*'})"
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Const:
+    value: Union[int, float, bool]
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Var:
+    """Reference to a machine variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class EventField:
+    """Field of the triggering event: ``timestamp``, ``task``, or a
+    dependent-data key accessed as ``data.<key>`` (dpData values)."""
+
+    field: str
+
+    def __str__(self) -> str:
+        return f"event.{self.field}"
+
+
+_BIN_OPS = ("+", "-", "*", "/", "<", "<=", ">", ">=", "==", "!=", "and", "or")
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __post_init__(self) -> None:
+        if self.op not in _BIN_OPS:
+            raise StateMachineError(f"unknown operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Expr"
+
+    def __str__(self) -> str:
+        return f"(not {self.operand})"
+
+
+Expr = Union[Const, Var, EventField, BinOp, Not]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Assign:
+    var: str
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"{self.var} := {self.expr}"
+
+
+@dataclass(frozen=True)
+class Fail:
+    """Signal a property violation with a corrective action.
+
+    ``action`` is an action name the runtime understands (``skipPath``,
+    ``restartPath``, ``skipTask``, ``restartTask``, ``completePath``).
+    ``path`` optionally pins the action to an explicit path number, as
+    the spec language's ``Path: N`` does for merge-point tasks.
+    """
+
+    action: str
+    path: Optional[int] = None
+
+    def __str__(self) -> str:
+        suffix = f", path={self.path}" if self.path is not None else ""
+        return f"fail({self.action}{suffix})"
+
+
+@dataclass(frozen=True)
+class If:
+    cond: Expr
+    then: Tuple["Stmt", ...]
+    orelse: Tuple["Stmt", ...] = ()
+
+    def __str__(self) -> str:
+        s = f"if {self.cond} {{ {'; '.join(map(str, self.then))} }}"
+        if self.orelse:
+            s += f" else {{ {'; '.join(map(str, self.orelse))} }}"
+        return s
+
+
+Stmt = Union[Assign, Fail, If]
+
+
+# ---------------------------------------------------------------------------
+# Machine structure
+# ---------------------------------------------------------------------------
+
+_VAR_TYPES = ("int", "float", "bool", "time")
+
+_TYPE_DEFAULTS = {"int": 0, "float": 0.0, "bool": False, "time": 0.0}
+
+
+@dataclass(frozen=True)
+class Variable:
+    """Typed machine variable; persisted in NVM by the monitor."""
+
+    name: str
+    type: str = "int"
+    initial: Union[int, float, bool, None] = None
+
+    def __post_init__(self) -> None:
+        if self.type not in _VAR_TYPES:
+            raise StateMachineError(f"variable {self.name!r}: unknown type {self.type!r}")
+        if not self.name.isidentifier():
+            raise StateMachineError(f"invalid variable name {self.name!r}")
+
+    @property
+    def initial_value(self) -> Union[int, float, bool]:
+        if self.initial is None:
+            return _TYPE_DEFAULTS[self.type]
+        return self.initial
+
+
+@dataclass(frozen=True)
+class Transition:
+    source: str
+    target: str
+    trigger: EventPattern
+    guard: Optional[Expr] = None
+    body: Tuple[Stmt, ...] = ()
+
+    def __str__(self) -> str:
+        guard = f" [{self.guard}]" if self.guard is not None else ""
+        body = f" / {{ {'; '.join(map(str, self.body))} }}" if self.body else ""
+        return f"{self.source} -> {self.target} on {self.trigger}{guard}{body}"
+
+
+class StateMachine:
+    """A complete monitor definition in the intermediate language."""
+
+    def __init__(
+        self,
+        name: str,
+        states: Sequence[str],
+        initial: str,
+        variables: Sequence[Variable] = (),
+        transitions: Sequence[Transition] = (),
+    ):
+        if not name.isidentifier():
+            raise StateMachineError(f"invalid machine name {name!r}")
+        if len(set(states)) != len(states):
+            raise StateMachineError(f"machine {name!r}: duplicate states")
+        if initial not in states:
+            raise StateMachineError(f"machine {name!r}: initial state {initial!r} not declared")
+        self.name = name
+        self.states: List[str] = list(states)
+        self.initial = initial
+        self.variables: List[Variable] = list(variables)
+        self.transitions: List[Transition] = list(transitions)
+        self._validate()
+        # Index transitions by source state, preserving declaration order
+        # (dispatch picks the first matching transition).
+        self._by_source: Dict[str, List[Transition]] = {s: [] for s in self.states}
+        for t in self.transitions:
+            self._by_source[t.source].append(t)
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        var_names = {v.name for v in self.variables}
+        if len(var_names) != len(self.variables):
+            raise StateMachineError(f"machine {self.name!r}: duplicate variable names")
+        state_set = set(self.states)
+        for t in self.transitions:
+            if t.source not in state_set:
+                raise StateMachineError(
+                    f"machine {self.name!r}: transition from unknown state {t.source!r}"
+                )
+            if t.target not in state_set:
+                raise StateMachineError(
+                    f"machine {self.name!r}: transition to unknown state {t.target!r}"
+                )
+            for expr in self._exprs_of(t):
+                for ref in _var_refs(expr):
+                    if ref not in var_names:
+                        raise StateMachineError(
+                            f"machine {self.name!r}: undefined variable {ref!r} "
+                            f"in transition {t}"
+                        )
+            for stmt in _flatten(t.body):
+                if isinstance(stmt, Assign) and stmt.var not in var_names:
+                    raise StateMachineError(
+                        f"machine {self.name!r}: assignment to undefined "
+                        f"variable {stmt.var!r}"
+                    )
+
+    @staticmethod
+    def _exprs_of(t: Transition) -> List[Expr]:
+        exprs: List[Expr] = []
+        if t.guard is not None:
+            exprs.append(t.guard)
+        for stmt in _flatten(t.body):
+            if isinstance(stmt, Assign):
+                exprs.append(stmt.expr)
+            elif isinstance(stmt, If):
+                exprs.append(stmt.cond)
+        return exprs
+
+    # ------------------------------------------------------------------
+    def transitions_from(self, state: str) -> List[Transition]:
+        try:
+            return self._by_source[state]
+        except KeyError:
+            raise StateMachineError(f"unknown state {state!r}") from None
+
+    def variable(self, name: str) -> Variable:
+        for v in self.variables:
+            if v.name == name:
+                return v
+        raise StateMachineError(f"machine {self.name!r}: no variable {name!r}")
+
+    def referenced_tasks(self) -> List[str]:
+        """Task names this machine's triggers mention (for wiring checks)."""
+        tasks = []
+        for t in self.transitions:
+            if t.trigger.task is not None and t.trigger.task not in tasks:
+                tasks.append(t.trigger.task)
+        return tasks
+
+    def __repr__(self) -> str:
+        return (
+            f"StateMachine({self.name!r}, states={self.states}, "
+            f"{len(self.transitions)} transitions)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Traversal helpers
+# ---------------------------------------------------------------------------
+
+
+def _flatten(stmts: Sequence[Stmt]) -> List[Stmt]:
+    """All statements in a body, including those nested under ``If``."""
+    out: List[Stmt] = []
+    for stmt in stmts:
+        out.append(stmt)
+        if isinstance(stmt, If):
+            out.extend(_flatten(stmt.then))
+            out.extend(_flatten(stmt.orelse))
+    return out
+
+
+def _var_refs(expr: Expr) -> List[str]:
+    """Names of machine variables referenced by an expression."""
+    if isinstance(expr, Var):
+        return [expr.name]
+    if isinstance(expr, BinOp):
+        return _var_refs(expr.left) + _var_refs(expr.right)
+    if isinstance(expr, Not):
+        return _var_refs(expr.operand)
+    return []
+
+
+def walk_statements(machine: StateMachine) -> List[Stmt]:
+    """Every statement in the machine (nested included), for analyses."""
+    out: List[Stmt] = []
+    for t in machine.transitions:
+        out.extend(_flatten(t.body))
+    return out
+
+
+def failure_actions(machine: StateMachine) -> List[Fail]:
+    """All ``fail`` statements a machine can emit."""
+    return [s for s in walk_statements(machine) if isinstance(s, Fail)]

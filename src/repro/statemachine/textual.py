@@ -1,0 +1,443 @@
+"""Textual form of the intermediate language.
+
+The paper's developers mostly reach the intermediate language through
+the generator, but §3.3 allows writing machines directly when the
+property language lacks expressiveness. This module gives that textual
+form — a parser (:func:`parse_machine`, :func:`parse_machines`) and a
+pretty-printer (:func:`print_machine`) that round-trip::
+
+    machine maxTries_accel {
+      var i: int = 0;
+      initial NotStarted;
+      state NotStarted {
+        on startTask(accel) -> Started / { i := 1; }
+      }
+      state Started {
+        on startTask(accel) [i < 10] -> Started / { i := i + 1; }
+        on startTask(accel) [i >= 10] -> NotStarted / { fail(skipPath); i := 0; }
+        on endTask(accel) -> NotStarted / { i := 0; }
+      }
+    }
+
+Triggers are ``startTask(<task>)``, ``endTask(<task>)`` (``*`` for any
+task), or ``anyEvent``. Guards sit in square brackets. Bodies contain
+``x := expr;``, ``if cond { ... } else { ... }``, and
+``fail(<action>[, path=N]);``. Expressions may reference machine
+variables, ``event.timestamp``, ``event.task``, and ``event.data.<key>``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import StateMachineError
+from repro.statemachine.model import (
+    ANY_EVENT,
+    END_TASK,
+    START_TASK,
+    Assign,
+    BinOp,
+    Const,
+    EventField,
+    EventPattern,
+    Expr,
+    Fail,
+    If,
+    Not,
+    StateMachine,
+    Stmt,
+    Transition,
+    Var,
+    Variable,
+)
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*)
+  | (?P<num>\d+\.\d+|\d+)
+  | (?P<assign>:=)
+  | (?P<arrow>->)
+  | (?P<op><=|>=|==|!=|[-+*/<>])
+  | (?P<punct>[{}()\[\];:,.=])
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*|\*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"machine", "var", "initial", "state", "on", "if", "else", "fail",
+             "true", "false", "not", "and", "or", "event", "path"}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "pos")
+
+    def __init__(self, kind: str, text: str, pos: int):
+        self.kind = kind
+        self.text = text
+        self.pos = pos
+
+    def __repr__(self) -> str:
+        return f"_Token({self.kind}, {self.text!r})"
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise StateMachineError(
+                f"intermediate language: unexpected character {source[pos]!r} at offset {pos}"
+            )
+        pos = m.end()
+        kind = m.lastgroup
+        if kind == "ws":
+            continue
+        tokens.append(_Token(kind, m.group(), m.start()))
+    tokens.append(_Token("eof", "", len(source)))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self._tokens = _tokenize(source)
+        self._i = 0
+
+    # -- token helpers --------------------------------------------------
+    def _peek(self) -> _Token:
+        return self._tokens[self._i]
+
+    def _next(self) -> _Token:
+        tok = self._tokens[self._i]
+        self._i += 1
+        return tok
+
+    def _expect(self, text: str) -> _Token:
+        tok = self._next()
+        if tok.text != text:
+            raise StateMachineError(
+                f"intermediate language: expected {text!r}, got {tok.text!r} "
+                f"at offset {tok.pos}"
+            )
+        return tok
+
+    def _expect_ident(self) -> str:
+        tok = self._next()
+        if tok.kind != "ident" or tok.text == "*":
+            raise StateMachineError(
+                f"intermediate language: expected identifier, got {tok.text!r} "
+                f"at offset {tok.pos}"
+            )
+        return tok.text
+
+    def _accept(self, text: str) -> bool:
+        if self._peek().text == text:
+            self._next()
+            return True
+        return False
+
+    # -- grammar ---------------------------------------------------------
+    def parse_machines(self) -> List[StateMachine]:
+        machines = []
+        while self._peek().kind != "eof":
+            machines.append(self.parse_machine())
+        return machines
+
+    def parse_machine(self) -> StateMachine:
+        self._expect("machine")
+        name = self._expect_ident()
+        self._expect("{")
+        variables: List[Variable] = []
+        states: List[str] = []
+        initial: Optional[str] = None
+        transitions: List[Transition] = []
+        while not self._accept("}"):
+            tok = self._peek()
+            if tok.text == "var":
+                variables.append(self._parse_var())
+            elif tok.text == "initial":
+                self._next()
+                initial = self._expect_ident()
+                self._expect(";")
+            elif tok.text == "state":
+                state, trans = self._parse_state()
+                states.append(state)
+                transitions.extend(trans)
+            else:
+                raise StateMachineError(
+                    f"intermediate language: unexpected {tok.text!r} at offset {tok.pos}"
+                )
+        if initial is None:
+            raise StateMachineError(f"machine {name!r}: missing 'initial' declaration")
+        return StateMachine(name, states, initial, variables, transitions)
+
+    def _parse_var(self) -> Variable:
+        self._expect("var")
+        name = self._expect_ident()
+        self._expect(":")
+        vtype = self._expect_ident()
+        initial = None
+        if self._accept("="):
+            initial = self._parse_literal()
+        self._expect(";")
+        return Variable(name, vtype, initial)
+
+    def _parse_literal(self):
+        tok = self._next()
+        if tok.kind == "num":
+            return float(tok.text) if "." in tok.text else int(tok.text)
+        if tok.text == "true":
+            return True
+        if tok.text == "false":
+            return False
+        if tok.text == "-":
+            value = self._parse_literal()
+            return -value
+        raise StateMachineError(
+            f"intermediate language: expected literal, got {tok.text!r} at offset {tok.pos}"
+        )
+
+    def _parse_state(self) -> Tuple[str, List[Transition]]:
+        self._expect("state")
+        name = self._expect_ident()
+        self._expect("{")
+        transitions: List[Transition] = []
+        while not self._accept("}"):
+            transitions.append(self._parse_transition(name))
+        return name, transitions
+
+    def _parse_transition(self, source: str) -> Transition:
+        self._expect("on")
+        trigger = self._parse_trigger()
+        guard: Optional[Expr] = None
+        if self._accept("["):
+            guard = self._parse_expr()
+            self._expect("]")
+        self._expect("->")
+        target = self._expect_ident()
+        body: Tuple[Stmt, ...] = ()
+        if self._accept("/"):
+            self._expect("{")
+            body = tuple(self._parse_stmts())
+        return Transition(source, target, trigger, guard, body)
+
+    def _parse_trigger(self) -> EventPattern:
+        kind = self._expect_ident()
+        if kind == ANY_EVENT:
+            return EventPattern(ANY_EVENT)
+        if kind not in (START_TASK, END_TASK):
+            raise StateMachineError(f"unknown trigger kind {kind!r}")
+        self._expect("(")
+        tok = self._next()
+        task = None if tok.text == "*" else tok.text
+        self._expect(")")
+        return EventPattern(kind, task)
+
+    def _parse_stmts(self) -> List[Stmt]:
+        stmts: List[Stmt] = []
+        while not self._accept("}"):
+            stmts.append(self._parse_stmt())
+        return stmts
+
+    def _parse_stmt(self) -> Stmt:
+        tok = self._peek()
+        if tok.text == "fail":
+            self._next()
+            self._expect("(")
+            action = self._expect_ident()
+            path = None
+            if self._accept(","):
+                self._expect("path")
+                self._expect("=")
+                num = self._next()
+                if num.kind != "num":
+                    raise StateMachineError("fail(): path must be a number")
+                path = int(num.text)
+            self._expect(")")
+            self._expect(";")
+            return Fail(action, path)
+        if tok.text == "if":
+            self._next()
+            cond = self._parse_expr()
+            self._expect("{")
+            then = tuple(self._parse_stmts())
+            orelse: Tuple[Stmt, ...] = ()
+            if self._accept("else"):
+                self._expect("{")
+                orelse = tuple(self._parse_stmts())
+            return If(cond, then, orelse)
+        # assignment
+        var = self._expect_ident()
+        self._expect(":=")
+        expr = self._parse_expr()
+        self._expect(";")
+        return Assign(var, expr)
+
+    # -- expressions (precedence climbing) --------------------------------
+    def _parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._peek().text == "or":
+            self._next()
+            left = BinOp("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self._peek().text == "and":
+            self._next()
+            left = BinOp("and", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self._accept("not"):
+            return Not(self._parse_not())
+        return self._parse_cmp()
+
+    def _parse_cmp(self) -> Expr:
+        left = self._parse_add()
+        if self._peek().text in ("<", "<=", ">", ">=", "==", "!="):
+            op = self._next().text
+            return BinOp(op, left, self._parse_add())
+        return left
+
+    def _parse_add(self) -> Expr:
+        left = self._parse_mul()
+        while self._peek().text in ("+", "-"):
+            op = self._next().text
+            left = BinOp(op, left, self._parse_mul())
+        return left
+
+    def _parse_mul(self) -> Expr:
+        left = self._parse_atom()
+        while self._peek().text in ("*", "/"):
+            op = self._next().text
+            left = BinOp(op, left, self._parse_atom())
+        return left
+
+    def _parse_atom(self) -> Expr:
+        tok = self._next()
+        if tok.text == "(":
+            expr = self._parse_expr()
+            self._expect(")")
+            return expr
+        if tok.kind == "num":
+            return Const(float(tok.text) if "." in tok.text else int(tok.text))
+        if tok.text == "true":
+            return Const(True)
+        if tok.text == "false":
+            return Const(False)
+        if tok.text == "-":
+            inner = self._parse_atom()
+            return BinOp("-", Const(0), inner)
+        if tok.text == "event":
+            self._expect(".")
+            field = self._expect_ident()
+            if field == "data":
+                self._expect(".")
+                field = "data." + self._expect_ident()
+            return EventField(field)
+        if tok.kind == "ident":
+            return Var(tok.text)
+        raise StateMachineError(
+            f"intermediate language: unexpected {tok.text!r} in expression "
+            f"at offset {tok.pos}"
+        )
+
+
+def parse_machine(source: str) -> StateMachine:
+    """Parse exactly one ``machine { ... }`` block."""
+    parser = _Parser(source)
+    machine = parser.parse_machine()
+    if parser._peek().kind != "eof":
+        raise StateMachineError("trailing input after machine definition")
+    return machine
+
+
+def parse_machines(source: str) -> List[StateMachine]:
+    """Parse a file containing any number of machine blocks."""
+    return _Parser(source).parse_machines()
+
+
+# ---------------------------------------------------------------------------
+# Printer
+# ---------------------------------------------------------------------------
+
+
+def _fmt_expr(expr: Expr) -> str:
+    if isinstance(expr, Const):
+        if expr.value is True:
+            return "true"
+        if expr.value is False:
+            return "false"
+        return repr(expr.value)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, EventField):
+        return f"event.{expr.field}"
+    if isinstance(expr, Not):
+        return f"not ({_fmt_expr(expr.operand)})"
+    if isinstance(expr, BinOp):
+        return f"({_fmt_expr(expr.left)} {expr.op} {_fmt_expr(expr.right)})"
+    raise StateMachineError(f"cannot print expression {expr!r}")
+
+
+def _fmt_stmt(stmt: Stmt, indent: str) -> List[str]:
+    if isinstance(stmt, Assign):
+        return [f"{indent}{stmt.var} := {_fmt_expr(stmt.expr)};"]
+    if isinstance(stmt, Fail):
+        path = f", path={stmt.path}" if stmt.path is not None else ""
+        return [f"{indent}fail({stmt.action}{path});"]
+    if isinstance(stmt, If):
+        lines = [f"{indent}if {_fmt_expr(stmt.cond)} {{"]
+        for s in stmt.then:
+            lines.extend(_fmt_stmt(s, indent + "  "))
+        if stmt.orelse:
+            lines.append(f"{indent}}} else {{")
+            for s in stmt.orelse:
+                lines.extend(_fmt_stmt(s, indent + "  "))
+        lines.append(f"{indent}}}")
+        return lines
+    raise StateMachineError(f"cannot print statement {stmt!r}")
+
+
+def print_machine(machine: StateMachine) -> str:
+    """Render a machine in the textual intermediate language."""
+    lines = [f"machine {machine.name} {{"]
+    for v in machine.variables:
+        init = v.initial_value
+        init_txt = "true" if init is True else "false" if init is False else repr(init)
+        lines.append(f"  var {v.name}: {v.type} = {init_txt};")
+    lines.append(f"  initial {machine.initial};")
+    for state in machine.states:
+        lines.append(f"  state {state} {{")
+        for t in machine.transitions_from(state):
+            trigger = (
+                "anyEvent"
+                if t.trigger.kind == ANY_EVENT
+                else f"{t.trigger.kind}({t.trigger.task or '*'})"
+            )
+            guard = f" [{_fmt_expr(t.guard)}]" if t.guard is not None else ""
+            line = f"    on {trigger}{guard} -> {t.target}"
+            if t.body:
+                lines.append(line + " / {")
+                for stmt in t.body:
+                    lines.extend(_fmt_stmt(stmt, "      "))
+                lines.append("    }")
+            else:
+                lines.append(line)
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,26 @@
+"""Task-based application model.
+
+ARTEMIS targets task-based intermittent programs (Chain / InK / Alpaca
+style): the computation is decomposed into *atomic tasks* arranged into
+*paths* (ordered task sequences). The runtime executes paths in order,
+committing each task's outputs to non-volatile memory only when the task
+finishes; a power failure mid-task rolls everything back.
+
+Public surface:
+
+* :class:`~repro.taskgraph.task.Task` / :class:`~repro.taskgraph.task.TaskStatus`
+* :class:`~repro.taskgraph.path.Path`
+* :class:`~repro.taskgraph.app.Application`
+* :class:`~repro.taskgraph.context.TaskContext` — what a task body sees
+  (staged channel I/O, sensors).
+* :class:`~repro.taskgraph.builder.AppBuilder` — fluent construction API
+  mirroring the paper's Figure 4 task/path declarations.
+"""
+
+from repro.taskgraph.app import Application
+from repro.taskgraph.builder import AppBuilder
+from repro.taskgraph.context import TaskContext
+from repro.taskgraph.path import Path
+from repro.taskgraph.task import Task, TaskStatus
+
+__all__ = ["Application", "AppBuilder", "TaskContext", "Path", "Task", "TaskStatus"]

@@ -1,0 +1,79 @@
+"""Application: the complete task graph a runtime executes."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import RuntimeConfigError
+from repro.taskgraph.context import SensorFn
+from repro.taskgraph.path import Path
+from repro.taskgraph.task import Task
+
+
+class Application:
+    """Tasks plus the paths that order them (paper Figures 4 and 6).
+
+    One *run* of an application executes every path once, in path-number
+    order; the looping deployments of the examples simply run it
+    repeatedly.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tasks: Sequence[Task],
+        paths: Sequence[Path],
+        sensors: Optional[Mapping[str, SensorFn]] = None,
+    ):
+        self.name = name
+        self.tasks: Dict[str, Task] = {}
+        for task in tasks:
+            if task.name in self.tasks:
+                raise RuntimeConfigError(f"duplicate task {task.name!r}")
+            self.tasks[task.name] = task
+        if not self.tasks:
+            raise RuntimeConfigError("application has no tasks")
+
+        numbers = [p.number for p in paths]
+        if not numbers:
+            raise RuntimeConfigError("application has no paths")
+        if sorted(numbers) != list(range(1, len(numbers) + 1)):
+            raise RuntimeConfigError(f"path numbers must be 1..N, got {sorted(numbers)}")
+        self.paths: List[Path] = sorted(paths, key=lambda p: p.number)
+
+        for path in self.paths:
+            for task_name in path.task_names:
+                if task_name not in self.tasks:
+                    raise RuntimeConfigError(
+                        f"path {path.number} references unknown task {task_name!r}"
+                    )
+        self.sensors: Dict[str, SensorFn] = dict(sensors or {})
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def task(self, name: str) -> Task:
+        try:
+            return self.tasks[name]
+        except KeyError:
+            raise RuntimeConfigError(f"unknown task {name!r}") from None
+
+    def path(self, number: int) -> Path:
+        if not 1 <= number <= len(self.paths):
+            raise RuntimeConfigError(f"unknown path {number}")
+        return self.paths[number - 1]
+
+    def paths_containing(self, task_name: str) -> List[Path]:
+        """Paths a task appears on; >1 means the task is a merge point
+        and path-scoped properties must name their path explicitly."""
+        return [p for p in self.paths if task_name in p]
+
+    def has_task(self, name: str) -> bool:
+        return name in self.tasks
+
+    @property
+    def task_names(self) -> List[str]:
+        return list(self.tasks)
+
+    def __repr__(self) -> str:
+        return f"Application({self.name!r}, {len(self.tasks)} tasks, {len(self.paths)} paths)"

@@ -1,0 +1,81 @@
+"""Fluent construction API for applications.
+
+Mirrors the declaration style of the paper's Figure 4::
+
+    app = (
+        AppBuilder("health")
+        .task("bodyTemp", body=sense_temp)
+        .task("calcAvg", body=calc_avg, monitored_vars=["avgTemp"])
+        ...
+        .path(1, ["bodyTemp", "calcAvg", "heartRate", "send"])
+        .sensor("adc_temp", lambda t: 36.5)
+        .build()
+    )
+
+The builder may also be used as a decorator factory::
+
+    builder = AppBuilder("health")
+
+    @builder.task_fn()
+    def bodyTemp(ctx):
+        ctx.write("temp", ctx.sample("adc_temp"))
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import RuntimeConfigError
+from repro.taskgraph.app import Application
+from repro.taskgraph.context import SensorFn
+from repro.taskgraph.path import Path
+from repro.taskgraph.task import Task, TaskBody
+
+
+class AppBuilder:
+    """Incrementally assembles an :class:`Application`."""
+
+    def __init__(self, name: str):
+        self._name = name
+        self._tasks: List[Task] = []
+        self._paths: List[Path] = []
+        self._sensors: dict = {}
+        self._built = False
+
+    def task(
+        self,
+        name: str,
+        body: Optional[TaskBody] = None,
+        monitored_vars: Sequence[str] = (),
+    ) -> "AppBuilder":
+        """Declare a task; order of declaration is irrelevant."""
+        self._tasks.append(Task(name, body=body, monitored_vars=monitored_vars))
+        return self
+
+    def task_fn(
+        self, name: Optional[str] = None, monitored_vars: Sequence[str] = ()
+    ) -> Callable[[TaskBody], TaskBody]:
+        """Decorator form of :meth:`task`; task name defaults to the
+        function name."""
+
+        def decorate(fn: TaskBody) -> TaskBody:
+            self.task(name or fn.__name__, body=fn, monitored_vars=monitored_vars)
+            return fn
+
+        return decorate
+
+    def path(self, number: int, task_names: Sequence[str]) -> "AppBuilder":
+        """Declare path ``number`` as the given task sequence."""
+        self._paths.append(Path(number, task_names))
+        return self
+
+    def sensor(self, name: str, fn: SensorFn) -> "AppBuilder":
+        """Register a sensor as a deterministic function of sim time."""
+        self._sensors[name] = fn
+        return self
+
+    def build(self) -> Application:
+        if self._built:
+            raise RuntimeConfigError("builder already consumed")
+        self._built = True
+        return Application(self._name, self._tasks, self._paths, self._sensors)

@@ -1,0 +1,102 @@
+"""Execution context handed to task bodies.
+
+Channels are the task-to-task data mechanism of task-based intermittent
+systems (Chain's channels, InK's task buffers). A task reads committed
+channel values and stages its own writes; the runtime commits the stage
+at the task boundary. Sensors are deterministic functions of simulation
+time registered on the application, so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping
+
+from repro.errors import RuntimeConfigError
+from repro.nvm.memory import NonVolatileMemory
+from repro.nvm.transaction import Transaction
+
+SensorFn = Callable[[float], Any]
+
+#: NVM cell-name prefix for channel data.
+_CHANNEL_PREFIX = "chan."
+
+
+def channel_cell_name(key: str) -> str:
+    """NVM cell name backing channel ``key``."""
+    return _CHANNEL_PREFIX + key
+
+
+class TaskContext:
+    """What a task body can touch while it runs.
+
+    All writes go through a :class:`~repro.nvm.transaction.Transaction`
+    owned by the runtime: nothing becomes durable until the task commits.
+    """
+
+    def __init__(
+        self,
+        task_name: str,
+        nvm: NonVolatileMemory,
+        txn: Transaction,
+        sensors: Mapping[str, SensorFn],
+        now: Callable[[], float],
+    ):
+        self.task_name = task_name
+        self._nvm = nvm
+        self._txn = txn
+        self._sensors = sensors
+        self._now = now
+        #: values of monitored variables emitted this execution (dpData).
+        self.emitted: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Channels
+    # ------------------------------------------------------------------
+    def write(self, key: str, value: Any) -> None:
+        """Stage a channel write, committed when this task finishes."""
+        cell = channel_cell_name(key)
+        if cell not in self._nvm:
+            self._nvm.alloc(cell, initial=None, size_bytes=8)
+        self._txn.stage(cell, value)
+
+    def read(self, key: str, default: Any = None) -> Any:
+        """Read a channel value (sees this task's own staged writes)."""
+        cell = channel_cell_name(key)
+        if cell not in self._nvm:
+            return default
+        value = self._txn.read(cell)
+        return default if value is None else value
+
+    def append(self, key: str, value: Any) -> None:
+        """Stage appending ``value`` to a list-valued channel."""
+        current = list(self.read(key, default=[]))
+        current.append(value)
+        self.write(key, current)
+
+    # ------------------------------------------------------------------
+    # Environment
+    # ------------------------------------------------------------------
+    def sample(self, sensor: str) -> Any:
+        """Read a sensor; sensors are functions of simulation time."""
+        try:
+            fn = self._sensors[sensor]
+        except KeyError:
+            raise RuntimeConfigError(
+                f"task {self.task_name!r} sampled unknown sensor {sensor!r}"
+            ) from None
+        return fn(self._now())
+
+    def now(self) -> float:
+        """Current persistent-clock time in seconds."""
+        return self._now()
+
+    # ------------------------------------------------------------------
+    # Monitoring hooks
+    # ------------------------------------------------------------------
+    def emit(self, var: str, value: Any) -> None:
+        """Expose a value to monitors as dependent data (``dpData``).
+
+        The value rides on this task's EndTask event; a ``dpData``
+        property with a ``Range`` checks it (Figure 5, line 14).
+        """
+        self.emitted[var] = value

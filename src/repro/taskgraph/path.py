@@ -1,0 +1,43 @@
+"""Ordered task sequences (paths) within an application."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import RuntimeConfigError
+
+
+class Path:
+    """An ordered sequence of task names executed as a unit.
+
+    Paths are numbered from 1, matching the property language's
+    ``Path: N`` references (Figure 5 uses ``Path: 2`` and ``Path: 3``).
+    """
+
+    def __init__(self, number: int, task_names: Sequence[str]):
+        if number < 1:
+            raise RuntimeConfigError("path numbers start at 1")
+        if not task_names:
+            raise RuntimeConfigError(f"path {number} has no tasks")
+        if len(set(task_names)) != len(task_names):
+            raise RuntimeConfigError(f"path {number} repeats a task; tasks are unique per path")
+        self.number = number
+        self.task_names: List[str] = list(task_names)
+
+    def index_of(self, task_name: str) -> int:
+        """Position of ``task_name`` in this path (raises if absent)."""
+        try:
+            return self.task_names.index(task_name)
+        except ValueError:
+            raise RuntimeConfigError(
+                f"task {task_name!r} is not on path {self.number}"
+            ) from None
+
+    def __contains__(self, task_name: str) -> bool:
+        return task_name in self.task_names
+
+    def __len__(self) -> int:
+        return len(self.task_names)
+
+    def __repr__(self) -> str:
+        return f"Path({self.number}: {' -> '.join(self.task_names)})"

@@ -1,0 +1,56 @@
+"""Atomic task definition."""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional, Sequence
+
+from repro.errors import RuntimeConfigError
+
+TaskBody = Callable[["TaskContext"], None]  # noqa: F821 - forward ref for docs
+
+
+class TaskStatus(enum.Enum):
+    """Lifecycle of a task within the runtime (paper §4.1.1)."""
+
+    READY = "TASK_READY"
+    RUNNING = "TASK_RUNNING"
+    FINISHED = "TASK_FINISHED"
+    SKIPPED = "TASK_SKIPPED"
+
+
+class Task:
+    """An atomic unit of computation with all-or-nothing semantics.
+
+    Args:
+        name: unique task name (referenced by properties and paths).
+        body: callable executed with a
+            :class:`~repro.taskgraph.context.TaskContext`; its channel
+            writes are staged and committed only on successful completion.
+            ``None`` means a pure cost-model task (benchmarks that only
+            care about time/energy).
+        monitored_vars: names of task outputs whose *values* are shipped
+            to monitors with the EndTask event — the paper's ``dpData``
+            hook (Figure 4 declares ``avgTemp`` on ``calcAvg`` this way).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        body: Optional[TaskBody] = None,
+        monitored_vars: Sequence[str] = (),
+    ):
+        if not name or not name.isidentifier():
+            raise RuntimeConfigError(f"invalid task name {name!r}")
+        self.name = name
+        self.body = body
+        self.monitored_vars = tuple(monitored_vars)
+
+    def __repr__(self) -> str:
+        return f"Task({self.name!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Task) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)

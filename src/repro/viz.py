@@ -1,0 +1,101 @@
+"""Graphviz DOT export: task graphs (Figure 6) and monitors (Figure 7).
+
+Pure text generation — no graphviz dependency; render the output with
+``dot -Tpdf`` wherever graphviz exists. Two entry points:
+
+* :func:`app_to_dot` — the application's paths as a task graph, with
+  per-task property annotations (the paper's Figure 6, which shows
+  "paths, tasks, and properties from Figure 5");
+* :func:`machine_to_dot` — one intermediate-language machine as a state
+  diagram with guard/action edge labels (the paper's Figure 7).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.properties import PropertySet
+from repro.statemachine.model import ANY_EVENT, Fail, StateMachine, Stmt, If
+from repro.statemachine.textual import _fmt_expr
+from repro.taskgraph.app import Application
+
+
+def _esc(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def app_to_dot(app: Application, props: Optional[PropertySet] = None) -> str:
+    """Render the application's paths as a DOT digraph.
+
+    Tasks are nodes (shared tasks appear once); each path contributes a
+    colored edge chain. With ``props``, each guarded task gains a note
+    listing its properties, like Figure 6's callouts.
+    """
+    colors = ["#4c72b0", "#dd8452", "#55a868", "#c44e52", "#8172b3"]
+    lines = [f'digraph "{_esc(app.name)}" {{', "  rankdir=LR;",
+             "  node [shape=box, style=rounded];"]
+    for task in app.task_names:
+        lines.append(f'  "{_esc(task)}";')
+    for path in app.paths:
+        color = colors[(path.number - 1) % len(colors)]
+        for src, dst in zip(path.task_names, path.task_names[1:]):
+            lines.append(
+                f'  "{_esc(src)}" -> "{_esc(dst)}" '
+                f'[color="{color}", label="p{path.number}"];')
+    if props is not None:
+        for task in props.tasks():
+            notes = []
+            for prop in props.for_task(task):
+                suffix = f" (path {prop.path})" if prop.path is not None else ""
+                notes.append(f"{prop.kind}{suffix}")
+            label = _esc("\\n".join(notes))
+            lines.append(
+                f'  "{_esc(task)}__props" [shape=note, fontsize=9, '
+                f'label="{label}"];')
+            lines.append(
+                f'  "{_esc(task)}__props" -> "{_esc(task)}" '
+                f'[style=dashed, arrowhead=none];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _body_label(body: Iterable[Stmt]) -> List[str]:
+    parts: List[str] = []
+    for stmt in body:
+        if isinstance(stmt, Fail):
+            path = f", path={stmt.path}" if stmt.path is not None else ""
+            parts.append(f"fail({stmt.action}{path})")
+        elif isinstance(stmt, If):
+            parts.append("if ...")
+        else:
+            parts.append(str(stmt))
+    return parts
+
+
+def machine_to_dot(machine: StateMachine) -> str:
+    """Render one state machine as a DOT digraph (Figure 7 style)."""
+    lines = [f'digraph "{_esc(machine.name)}" {{', "  rankdir=LR;",
+             '  node [shape=circle];',
+             '  __start [shape=point];',
+             f'  __start -> "{_esc(machine.initial)}";']
+    for state in machine.states:
+        lines.append(f'  "{_esc(state)}";')
+    for transition in machine.transitions:
+        trigger = ("anyEvent" if transition.trigger.kind == ANY_EVENT
+                   else f"{transition.trigger.kind}"
+                        f"({transition.trigger.task or '*'})")
+        label_parts = [trigger]
+        if transition.guard is not None:
+            label_parts.append(f"[{_fmt_expr(transition.guard)}]")
+        body = _body_label(transition.body)
+        if body:
+            label_parts.append("/ " + "; ".join(body))
+        # Failure edges stand out, like the red edges of Figure 7.
+        fails = any(isinstance(s, Fail) for s in transition.body)
+        style = ', color="#c44e52", fontcolor="#c44e52"' if fails else ""
+        label = _esc("\\n".join(label_parts))
+        lines.append(
+            f'  "{_esc(transition.source)}" -> "{_esc(transition.target)}" '
+            f'[label="{label}"{style}];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

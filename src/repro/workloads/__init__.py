@@ -1,0 +1,30 @@
+"""Benchmark workloads.
+
+:mod:`~repro.workloads.health` is the paper's evaluation application —
+the wearable health monitor of Figures 4/5/6 — plus factory helpers that
+build matched ARTEMIS and Mayfly deployments on identical devices.
+"""
+
+from repro.workloads.health import (
+    BENCHMARK_SPEC,
+    FIGURE5_SPEC,
+    build_artemis,
+    build_health_app,
+    build_mayfly,
+    health_power_model,
+    make_continuous_device,
+    make_intermittent_device,
+    mayfly_config,
+)
+
+__all__ = [
+    "BENCHMARK_SPEC",
+    "FIGURE5_SPEC",
+    "build_health_app",
+    "build_artemis",
+    "build_mayfly",
+    "mayfly_config",
+    "health_power_model",
+    "make_continuous_device",
+    "make_intermittent_device",
+]

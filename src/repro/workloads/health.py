@@ -1,0 +1,220 @@
+"""The wearable health-monitoring benchmark (paper §5, Figures 4-6).
+
+Three paths over eight tasks:
+
+* **Path 1** — ``bodyTemp → calcAvg → heartRate → send``: collect ten
+  temperature readings, average, transmit.
+* **Path 2** — ``accel → classify → send``: respiration rate from the
+  accelerometer; ``accel`` is the most power-hungry task.
+* **Path 3** — ``micSense → filter → send``: cough detection from the
+  microphone.
+
+Two specifications are provided: :data:`BENCHMARK_SPEC` is the property
+set the evaluation section actually exercises (§5.1), and
+:data:`FIGURE5_SPEC` is the paper's full Figure 5 listing verbatim
+(including ``maxDuration`` and the ``dpData`` emergency range), used by
+tests and the emergency-path example.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from repro.baselines.mayfly import Collection, Expiration, MayflyConfig, MayflyRuntime
+from repro.core.runtime import ArtemisRuntime
+from repro.energy.environment import EnergyEnvironment, default_capacitor
+from repro.energy.power import MSP430FR5994_POWER, PowerModel
+from repro.sim.device import Device
+from repro.spec.validator import load_properties
+from repro.taskgraph.builder import AppBuilder
+from repro.taskgraph.app import Application
+
+#: Properties used in the evaluation (§5.1): collect on Path 1, maxTries
+#: + MITD/maxAttempt on Path 2, maxTries + collect on Path 3.
+BENCHMARK_SPEC = """
+micSense: {
+    maxTries: 10 onFail: skipPath Path: 3;
+}
+
+send: {
+    MITD: 5min dpTask: accel onFail: restartPath maxAttempt: 3 onFail: skipPath Path: 2;
+    collect: 1 dpTask: micSense onFail: restartPath Path: 3;
+}
+
+calcAvg {
+    collect: 10 dpTask: bodyTemp onFail: restartPath;
+}
+
+accel {
+    maxTries: 10 onFail: skipPath Path: 2;
+}
+"""
+
+#: Figure 5 of the paper, verbatim semantics (the 100 ms maxDuration is
+#: far below ``send``'s simulated duration, so this spec is for language
+#: and generation tests, not for timing-faithful simulation).
+FIGURE5_SPEC = """
+micSense: {
+    maxTries: 10 onFail: skipPath Path: 3;
+}
+
+send: {
+    MITD: 5min dpTask: accel onFail: restartPath maxAttempt: 3 onFail: skipPath Path: 2;
+    maxDuration: 100ms onFail: skipTask Path: 2;
+    collect: 1 dpTask: accel onFail: restartPath Path: 2;
+    collect: 1 dpTask: micSense onFail: restartPath Path: 3;
+}
+
+calcAvg {
+    collect: 10 dpTask: bodyTemp onFail: restartPath;
+    dpData: avgTemp Range: [36, 38] onFail: completePath;
+}
+
+accel {
+    maxTries: 10 onFail: skipPath Path: 2;
+}
+"""
+
+
+def _body_temp(ctx) -> None:
+    reading = ctx.sample("adc_temp")
+    temps = list(ctx.read("temps", []))
+    temps.append(reading)
+    ctx.write("temps", temps[-10:])
+
+
+def _calc_avg(ctx) -> None:
+    temps = ctx.read("temps", [])
+    avg = sum(temps) / len(temps) if temps else 0.0
+    ctx.write("avgTemp", avg)
+    ctx.emit("avgTemp", avg)
+
+
+def _heart_rate(ctx) -> None:
+    ctx.write("heartRate", ctx.sample("ppg"))
+
+
+def _accel(ctx) -> None:
+    ctx.write("accelSample", ctx.sample("accelerometer"))
+
+
+def _classify(ctx) -> None:
+    sample = ctx.read("accelSample", (0.0, 0.0, 0.0))
+    # Breath rate estimate: magnitude of the periodic chest component.
+    ctx.write("breathRate", 12.0 + 4.0 * abs(sample[2]))
+
+
+def _mic_sense(ctx) -> None:
+    ctx.write("micFrame", ctx.sample("microphone"))
+
+
+def _filter(ctx) -> None:
+    frame = ctx.read("micFrame", 0.0)
+    ctx.write("coughScore", max(0.0, frame - 0.2))
+
+
+def _send(ctx) -> None:
+    packet = {
+        "t": ctx.now(),
+        "avgTemp": ctx.read("avgTemp"),
+        "heartRate": ctx.read("heartRate"),
+        "breathRate": ctx.read("breathRate"),
+        "coughScore": ctx.read("coughScore"),
+    }
+    ctx.append("sent", packet)
+
+
+def build_health_app(
+    temp_of_t: Optional[Callable[[float], float]] = None,
+) -> Application:
+    """Construct the benchmark application.
+
+    Args:
+        temp_of_t: body-temperature sensor model; defaults to a healthy
+            36.6 °C with a mild circadian ripple. Pass e.g.
+            ``lambda t: 39.2`` to drive the Figure 5 emergency range.
+    """
+    temp = temp_of_t if temp_of_t is not None else (
+        lambda t: 36.6 + 0.2 * math.sin(t / 600.0)
+    )
+    return (
+        AppBuilder("health_monitor")
+        .task("bodyTemp", body=_body_temp)
+        .task("calcAvg", body=_calc_avg, monitored_vars=["avgTemp"])
+        .task("heartRate", body=_heart_rate)
+        .task("accel", body=_accel)
+        .task("classify", body=_classify)
+        .task("micSense", body=_mic_sense)
+        .task("filter", body=_filter)
+        .task("send", body=_send)
+        .path(1, ["bodyTemp", "calcAvg", "heartRate", "send"])
+        .path(2, ["accel", "classify", "send"])
+        .path(3, ["micSense", "filter", "send"])
+        .sensor("adc_temp", temp)
+        .sensor("ppg", lambda t: 68.0 + 6.0 * math.sin(t / 30.0))
+        .sensor("accelerometer", lambda t: (0.0, 0.1, 0.9 + 0.05 * math.sin(t)))
+        .sensor("microphone", lambda t: 0.1 + 0.05 * math.sin(t / 3.0))
+        .build()
+    )
+
+
+def mayfly_config() -> MayflyConfig:
+    """The Mayfly version of the benchmark (§5.1.1): only the collect
+    and MITD/expiration properties — no maxTries, no maxAttempt."""
+    return MayflyConfig(
+        expirations=[Expiration("send", "accel", 300.0, path=2)],
+        collections=[
+            Collection("calcAvg", "bodyTemp", 10, path=1),
+            Collection("send", "micSense", 1, path=3),
+        ],
+    )
+
+
+def health_power_model() -> PowerModel:
+    """Per-task costs for the benchmark (see repro.energy.power)."""
+    return MSP430FR5994_POWER
+
+
+def make_continuous_device() -> Device:
+    """Wall-powered device (the Figures 14/15 setup)."""
+    return Device(EnergyEnvironment.continuous())
+
+
+def make_intermittent_device(charging_delay_s: float) -> Device:
+    """Harvested device whose post-brownout charging time is exactly
+    ``charging_delay_s`` (the Figures 12/13/16 x-axis)."""
+    env = EnergyEnvironment.for_charging_delay(
+        charging_delay_s, capacitor=default_capacitor()
+    )
+    return Device(env)
+
+
+def build_artemis(
+    device: Device,
+    app: Optional[Application] = None,
+    spec: str = BENCHMARK_SPEC,
+    power: Optional[PowerModel] = None,
+    monitor_backend: str = "generated",
+) -> ArtemisRuntime:
+    """ARTEMIS deployment of the benchmark on ``device``."""
+    app = app if app is not None else build_health_app()
+    props = load_properties(spec, app)
+    return ArtemisRuntime(
+        app, props, device,
+        power_model=power if power is not None else health_power_model(),
+        monitor_backend=monitor_backend,
+    )
+
+
+def build_mayfly(
+    device: Device,
+    app: Optional[Application] = None,
+    power: Optional[PowerModel] = None,
+) -> MayflyRuntime:
+    """Mayfly deployment of the benchmark on ``device``."""
+    app = app if app is not None else build_health_app()
+    return MayflyRuntime(
+        app, mayfly_config(), device,
+        power_model=power if power is not None else health_power_model(),
+    )

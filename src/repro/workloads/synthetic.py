@@ -1,0 +1,128 @@
+"""Parametric synthetic applications for scaling and fuzz studies.
+
+Real workloads (health monitor, trap camera) pin the paper's scenarios;
+synthetic ones explore the space around them: arbitrary task/path
+shapes, cost distributions, and property densities — all deterministic
+per seed, so fuzz findings reproduce.
+
+:func:`synthetic_app` builds the application + a matching power model;
+:func:`synthetic_properties` decorates it with a *guarded* property set
+(every retry loop gets an escape hatch), which keeps generated
+deployments terminating by construction — the invariant the fuzz tests
+lean on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.core.actions import ActionType
+from repro.core.properties import (
+    Collect,
+    MITD,
+    MaxTries,
+    PropertySet,
+)
+from repro.energy.power import PowerModel, TaskCost
+from repro.errors import ReproError
+from repro.taskgraph.app import Application
+from repro.taskgraph.builder import AppBuilder
+
+
+def synthetic_app(
+    n_paths: int = 3,
+    tasks_per_path: Tuple[int, int] = (2, 5),
+    duration_range_s: Tuple[float, float] = (0.05, 1.0),
+    power_range_w: Tuple[float, float] = (0.3e-3, 8e-3),
+    seed: int = 0,
+) -> Tuple[Application, PowerModel]:
+    """Random task-based application plus its power model.
+
+    Each path gets its own tasks (no merge points — merge-point
+    properties need explicit path pinning, which
+    :func:`synthetic_properties` adds separately when it draws one).
+    """
+    if n_paths < 1:
+        raise ReproError("need at least one path")
+    lo, hi = tasks_per_path
+    if not 1 <= lo <= hi:
+        raise ReproError("invalid tasks_per_path range")
+    rng = random.Random(seed)
+    builder = AppBuilder(f"synthetic_{seed}")
+    costs = {}
+    for p in range(1, n_paths + 1):
+        names: List[str] = []
+        for i in range(rng.randint(lo, hi)):
+            name = f"p{p}t{i}"
+            builder.task(name)
+            names.append(name)
+            costs[name] = TaskCost(
+                rng.uniform(*duration_range_s),
+                rng.uniform(*power_range_w),
+            )
+        builder.path(p, names)
+    app = builder.build()
+    return app, PowerModel(costs)
+
+
+def synthetic_properties(
+    app: Application,
+    density: float = 0.4,
+    seed: int = 0,
+    mitd_limit_s: Tuple[float, float] = (10.0, 600.0),
+) -> PropertySet:
+    """Draw a guarded property set over an application.
+
+    ``density`` is the probability that a task receives a property.
+    Drawn kinds: ``maxTries`` (always with skipPath — self-guarded),
+    ``collect`` from the task's predecessor (restartPath, plus a
+    maxTries guard on the first task of the path so the retry loop is
+    bounded), and ``MITD`` from the predecessor (restartPath with a
+    mandatory maxAttempt escape). Every retry loop therefore has an
+    exit, so any deployment of the result terminates under any fault
+    pattern — which is exactly what the fuzz suite asserts.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ReproError("density must be in [0, 1]")
+    rng = random.Random(seed)
+    props = PropertySet()
+    guarded: set = set()
+
+    def ensure_tries_guard(task: str) -> None:
+        if task in guarded:
+            return
+        props.add(MaxTries(task=task, on_fail=ActionType.SKIP_PATH,
+                           limit=rng.randint(3, 12)))
+        guarded.add(task)
+
+    for path in app.paths:
+        names = path.task_names
+        for idx, task in enumerate(names):
+            if rng.random() >= density:
+                continue
+            kind = rng.choice(["maxTries", "collect", "MITD"])
+            if kind == "maxTries":
+                ensure_tries_guard(task)
+            elif kind == "collect" and idx > 0 and task not in guarded:
+                dep = names[idx - 1]
+                try:
+                    props.add(Collect(task=task,
+                                      on_fail=ActionType.RESTART_PATH,
+                                      dep_task=dep,
+                                      count=rng.randint(1, 3)))
+                except Exception:
+                    continue
+                ensure_tries_guard(names[0])
+            elif kind == "MITD" and idx > 0 and task not in guarded:
+                dep = names[idx - 1]
+                try:
+                    props.add(MITD(
+                        task=task, on_fail=ActionType.RESTART_PATH,
+                        dep_task=dep,
+                        limit_s=rng.uniform(*mitd_limit_s),
+                        max_attempt=rng.randint(2, 4),
+                        max_attempt_action=ActionType.SKIP_PATH))
+                except Exception:
+                    continue
+    return props

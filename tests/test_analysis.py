@@ -1,0 +1,136 @@
+"""Tests for the trace-analysis module."""
+
+import pytest
+
+from repro.sim.analysis import (
+    action_summary,
+    charge_waits,
+    compare_traces,
+    inter_task_delays,
+    path_attempts,
+    reboot_intervals,
+    render_timeline,
+    task_statistics,
+)
+from repro.sim.tracer import Tracer
+
+
+def trace_of(*events):
+    tracer = Tracer()
+    for t, kind, detail in events:
+        tracer.record(t, kind, **detail)
+    return tracer
+
+
+class TestTaskStatistics:
+    def test_counts_and_durations(self):
+        trace = trace_of(
+            (0.0, "task_start", {"task": "a"}),
+            (1.0, "task_end", {"task": "a"}),
+            (2.0, "task_start", {"task": "a"}),   # dies: no end
+            (3.0, "task_start", {"task": "a"}),
+            (4.5, "task_end", {"task": "a"}),
+            (5.0, "task_skip", {"task": "b"}),
+        )
+        stats = task_statistics(trace)
+        assert stats["a"].starts == 3
+        assert stats["a"].completions == 2
+        assert stats["a"].attempts_wasted == 1
+        assert stats["a"].durations == [1.0, 1.5]
+        assert stats["a"].mean_duration_s == pytest.approx(1.25)
+        assert stats["b"].skips == 1
+
+    def test_empty_trace(self):
+        assert task_statistics(Tracer()) == {}
+
+
+class TestDerivedSeries:
+    def test_action_summary(self):
+        trace = trace_of(
+            (0.0, "monitor_action", {"action": "restartPath"}),
+            (1.0, "monitor_action", {"action": "restartPath"}),
+            (2.0, "monitor_action", {"action": "skipPath"}),
+        )
+        assert action_summary(trace) == {"restartPath": 2, "skipPath": 1}
+
+    def test_inter_task_delays(self):
+        trace = trace_of(
+            (0.0, "task_end", {"task": "b"}),
+            (2.5, "task_start", {"task": "a"}),
+            (3.0, "task_end", {"task": "b"}),
+            (10.0, "task_start", {"task": "a"}),
+        )
+        assert inter_task_delays(trace, "b", "a") == [2.5, 7.0]
+
+    def test_inter_task_delay_requires_producer_first(self):
+        trace = trace_of((0.0, "task_start", {"task": "a"}),
+                         (1.0, "task_end", {"task": "b"}))
+        assert inter_task_delays(trace, "b", "a") == []
+
+    def test_reboot_intervals(self):
+        trace = trace_of(
+            (1.0, "power_failure", {}),
+            (5.0, "power_failure", {}),
+            (12.0, "power_failure", {}),
+        )
+        assert reboot_intervals(trace) == [4.0, 7.0]
+
+    def test_charge_waits(self):
+        trace = trace_of(
+            (0.0, "boot", {"first": True}),
+            (60.0, "boot", {"charge_wait_s": 60.0}),
+            (180.0, "boot", {"charge_wait_s": 120.0}),
+        )
+        assert charge_waits(trace) == [60.0, 120.0]
+
+
+class TestPathAttempts:
+    def test_segments_with_outcomes(self):
+        trace = trace_of(
+            (0.0, "task_start", {"task": "a", "path": 1}),
+            (1.0, "task_end", {"task": "a", "path": 1}),
+            (1.0, "path_restart", {"path": 1}),
+            (1.0, "task_start", {"task": "a", "path": 1}),
+            (2.0, "task_end", {"task": "a", "path": 1}),
+            (2.0, "path_complete", {"path": 1}),
+            (2.0, "task_start", {"task": "c", "path": 2}),
+            (3.0, "path_skip", {"path": 2}),
+        )
+        attempts = path_attempts(trace)
+        assert [(a.path, a.outcome) for a in attempts] == [
+            (1, "restarted"), (1, "completed"), (2, "skipped")]
+
+    def test_real_fig13_trace_has_three_path2_attempts(self):
+        from repro.workloads.health import build_artemis, make_intermittent_device
+
+        device = make_intermittent_device(420.0)
+        device.run(build_artemis(device), max_time_s=4 * 3600)
+        attempts = [a for a in path_attempts(device.trace) if a.path == 2]
+        assert [a.outcome for a in attempts] == [
+            "restarted", "restarted", "skipped"]
+
+    def test_render_timeline_contains_rows(self):
+        from repro.workloads.health import build_artemis, make_continuous_device
+
+        device = make_continuous_device()
+        device.run(build_artemis(device))
+        art = render_timeline(device.trace)
+        assert "path 1" in art and "path 3" in art
+        assert "completed" in art
+
+    def test_render_empty(self):
+        assert render_timeline(Tracer()) == "(empty trace)"
+
+
+class TestCompareTraces:
+    def test_identical_traces_no_diffs(self):
+        a = trace_of((0.0, "task_start", {"task": "x"}))
+        b = trace_of((0.0, "task_start", {"task": "x"}))
+        assert compare_traces(a, b) == []
+
+    def test_divergence_reported(self):
+        a = trace_of((0.0, "task_start", {"task": "x"}))
+        b = trace_of((0.0, "task_start", {"task": "y"}))
+        diffs = compare_traces(a, b)
+        assert len(diffs) == 1
+        assert diffs[0][0] == 0

@@ -1,0 +1,127 @@
+"""Tests for the audit log and NVM wear accounting."""
+
+import pytest
+
+from repro.core.actions import Action, ActionType
+from repro.core.audit import AuditLog
+from repro.errors import ReproError
+from repro.nvm.memory import NonVolatileMemory
+
+
+class TestAuditLog:
+    def test_records_in_order(self, nvm):
+        log = AuditLog(nvm, capacity=4)
+        log.record(1.0, "a", 1, Action(ActionType.RESTART_PATH, source="m1"))
+        log.record(2.0, "b", 2, Action(ActionType.SKIP_PATH, source="m2"))
+        entries = log.entries()
+        assert [(e.task, e.action) for e in entries] == [
+            ("a", "restartPath"), ("b", "skipPath")]
+        assert entries[0].seq == 0 and entries[1].seq == 1
+
+    def test_ring_rotation(self, nvm):
+        log = AuditLog(nvm, capacity=3)
+        for i in range(5):
+            log.record(float(i), f"t{i}", 1, Action(ActionType.SKIP_TASK))
+        entries = log.entries()
+        assert len(entries) == 3
+        assert [e.task for e in entries] == ["t2", "t3", "t4"]
+        assert log.total_recorded == 5
+        assert log.dropped == 2
+
+    def test_last_n(self, nvm):
+        log = AuditLog(nvm, capacity=5)
+        for i in range(4):
+            log.record(float(i), "t", 1, Action(ActionType.RESTART_TASK))
+        assert [e.seq for e in log.last(2)] == [2, 3]
+
+    def test_survives_reconstruction(self, nvm):
+        AuditLog(nvm, capacity=4).record(
+            1.0, "a", 1, Action(ActionType.SKIP_PATH))
+        revived = AuditLog(nvm, capacity=4)
+        assert revived.total_recorded == 1
+        assert revived.entries()[0].task == "a"
+
+    def test_invalid_capacity_rejected(self, nvm):
+        with pytest.raises(ReproError):
+            AuditLog(nvm, capacity=0)
+
+    def test_clear_and_dump(self, nvm):
+        log = AuditLog(nvm, capacity=4)
+        assert log.dump() == "(audit log empty)"
+        log.record(1.0, "a", 1, Action(ActionType.SKIP_PATH, source="m"))
+        assert "skipPath" in log.dump()
+        log.clear()
+        assert log.entries() == []
+
+
+class TestRuntimeAuditIntegration:
+    def test_runtime_records_actions(self):
+        from repro.workloads.health import (
+            BENCHMARK_SPEC,
+            build_health_app,
+            health_power_model,
+            make_intermittent_device,
+        )
+        from repro.core.runtime import ArtemisRuntime
+        from repro.spec.validator import load_properties
+
+        device = make_intermittent_device(420.0)
+        app = build_health_app()
+        props = load_properties(BENCHMARK_SPEC, app)
+        runtime = ArtemisRuntime(app, props, device, health_power_model(),
+                                 audit_capacity=16)
+        result = device.run(runtime, max_time_s=4 * 3600)
+        assert result.completed
+        actions = [e.action for e in runtime.audit.entries()]
+        # The Figure 13 story, readable from the persistent log.
+        assert actions.count("restartPath") >= 2
+        assert actions.count("skipPath") == 1
+        mitd_entries = [e for e in runtime.audit.entries()
+                        if e.source.startswith("MITD")]
+        assert [e.action for e in mitd_entries] == [
+            "restartPath", "restartPath", "skipPath"]
+
+    def test_audit_disabled_by_default(self, continuous_device):
+        from repro.workloads.health import build_artemis
+
+        runtime = build_artemis(continuous_device)
+        assert runtime.audit is None
+
+
+class TestWearAccounting:
+    def test_per_cell_counts(self):
+        nvm = NonVolatileMemory()
+        hot = nvm.alloc("hot", 0)
+        cold = nvm.alloc("cold", 0)
+        for i in range(10):
+            hot.set(i)
+        cold.set(1)
+        assert nvm.writes_to("hot") == 10
+        assert nvm.writes_to("cold") == 1
+        assert nvm.writes_to("never") == 0
+
+    def test_wear_report_hottest_first(self):
+        nvm = NonVolatileMemory()
+        a, b = nvm.alloc("a", 0), nvm.alloc("b", 0)
+        for i in range(3):
+            b.set(i)
+        a.set(1)
+        report = nvm.wear_report()
+        assert list(report) == ["b", "a"]
+        assert nvm.wear_report(top=1) == {"b": 3}
+
+    def test_benchmark_run_wear_is_bounded(self):
+        """No cell should be written absurdly often in one run — a
+        regression guard against accidental per-event rewrites of cold
+        state."""
+        from repro.workloads.health import build_artemis, make_continuous_device
+
+        device = make_continuous_device()
+        device.run(build_artemis(device))
+        report = device.nvm.wear_report()
+        hottest = next(iter(report.values()))
+        events = device.trace.count("task_start") + device.trace.count("task_end")
+        # The hottest cell is the monitor continuation's program counter,
+        # stepped once per machine per call (~2 calls/event x 5 machines).
+        assert hottest <= 12 * events
+        assert next(iter(report)) == "imm.monitor.call.pc"

@@ -1,0 +1,165 @@
+"""Tests for the Mayfly and Chain-style baselines."""
+
+import pytest
+
+from repro.baselines.chain import ChainRuntime
+from repro.baselines.mayfly import Collection, Expiration, MayflyConfig, MayflyRuntime
+from repro.energy.environment import EnergyEnvironment
+from repro.energy.power import PowerModel, TaskCost
+from repro.errors import RuntimeConfigError
+from repro.sim.device import Device
+from repro.taskgraph.builder import AppBuilder
+
+
+def power():
+    return PowerModel({}, default_cost=TaskCost(0.1, 1e-3))
+
+
+def continuous():
+    return Device(EnergyEnvironment.continuous())
+
+
+def two_path_app():
+    return (
+        AppBuilder("tp")
+        .task("a").task("b").task("c").task("d")
+        .path(1, ["a", "b"])
+        .path(2, ["c", "d"])
+        .build()
+    )
+
+
+class TestMayflyBasic:
+    def test_executes_paths_in_order(self):
+        device = continuous()
+        runtime = MayflyRuntime(two_path_app(), MayflyConfig(), device, power())
+        result = device.run(runtime)
+        assert result.completed
+        ends = [e.detail["task"] for e in device.trace.of_kind("task_end")]
+        assert ends == ["a", "b", "c", "d"]
+
+    def test_unknown_rule_task_rejected(self):
+        config = MayflyConfig(expirations=[Expiration("ghost", "a", 1.0)])
+        with pytest.raises(RuntimeConfigError):
+            MayflyRuntime(two_path_app(), config, continuous(), power())
+
+    def test_collect_restarts_until_satisfied(self):
+        config = MayflyConfig(collections=[Collection("b", "a", 3)])
+        device = continuous()
+        runtime = MayflyRuntime(two_path_app(), config, device, power())
+        result = device.run(runtime)
+        assert result.completed
+        a_runs = [e for e in device.trace.of_kind("task_end")
+                  if e.detail["task"] == "a"]
+        assert len(a_runs) == 3
+        assert device.trace.count("path_restart") == 2
+
+    def test_expiration_fresh_data_passes(self):
+        config = MayflyConfig(expirations=[Expiration("b", "a", 60.0)])
+        device = continuous()
+        runtime = MayflyRuntime(two_path_app(), config, device, power())
+        assert device.run(runtime).completed
+        assert device.trace.count("path_restart") == 0
+
+    def test_rule_scoped_to_path(self):
+        # A rule on task d scoped to path 1 (where d never runs) is inert.
+        config = MayflyConfig(collections=[Collection("d", "a", 99, path=1)])
+        device = continuous()
+        runtime = MayflyRuntime(two_path_app(), config, device, power())
+        assert device.run(runtime).completed
+
+    def test_counts_reset_between_runs(self):
+        config = MayflyConfig(collections=[Collection("b", "a", 2)])
+        device = continuous()
+        runtime = MayflyRuntime(two_path_app(), config, device, power())
+        result = device.run(runtime, runs=2)
+        assert result.runs_completed == 2
+        a_runs = [e for e in device.trace.of_kind("task_end")
+                  if e.detail["task"] == "a"]
+        assert len(a_runs) == 4  # 2 per run; counts did not leak
+
+    def test_checks_for_counts_rules(self):
+        config = MayflyConfig(
+            expirations=[Expiration("b", "a", 1.0)],
+            collections=[Collection("b", "a", 2), Collection("d", "c", 1)],
+        )
+        assert config.checks_for("b") == 2
+        assert config.checks_for("d") == 1
+        assert config.checks_for("a") == 0
+
+
+class TestMayflyLivelock:
+    def test_expired_data_livelocks_without_escape(self):
+        """The Figure 12 pathology in miniature: the producer-consumer
+        pair can never satisfy a 1-second expiration when a brown-out
+        longer than that always hits between them."""
+        from repro.energy.capacitor import Capacitor
+
+        app = (
+            AppBuilder("ll")
+            .task("produce").task("consume")
+            .path(1, ["produce", "consume"])
+            .build()
+        )
+        model = PowerModel({
+            "produce": TaskCost(0.1, 1e-3),
+            "consume": TaskCost(0.1, 10e-3),  # 1 mJ: never fits the rest
+        })
+        cap = Capacitor(0.36e-3, v_initial=3.0)  # ~1.04 mJ usable
+        env = EnergyEnvironment.for_charging_delay(30.0, capacitor=cap)
+        device = Device(env)
+        config = MayflyConfig(expirations=[Expiration("consume", "produce", 1.0)])
+        runtime = MayflyRuntime(app, config, device, model)
+        result = device.run(runtime, max_time_s=3600)
+        assert not result.completed
+        assert device.trace.count("path_restart") >= 10
+
+
+class TestChainRuntime:
+    def test_runs_without_checks(self):
+        device = continuous()
+        runtime = ChainRuntime(two_path_app(), {}, device, power())
+        assert device.run(runtime).completed
+
+    def test_inline_check_restart_path(self):
+        app = two_path_app()
+        state = {"passes": 0}
+
+        def check(ctx):
+            state["passes"] += 1
+            return None if state["passes"] >= 3 else "restart_path"
+
+        device = continuous()
+        runtime = ChainRuntime(app, {"b": check}, device, power())
+        assert device.run(runtime).completed
+        assert device.trace.count("path_restart") == 2
+
+    def test_inline_check_skip_path(self):
+        device = continuous()
+        runtime = ChainRuntime(two_path_app(), {"a": lambda ctx: "skip_path"},
+                               device, power())
+        assert device.run(runtime).completed
+        ends = [e.detail["task"] for e in device.trace.of_kind("task_end")]
+        assert "b" not in ends
+
+    def test_check_cost_charged_as_app_time(self):
+        device = continuous()
+        runtime = ChainRuntime(two_path_app(), {"a": lambda ctx: None},
+                               device, power())
+        device.run(runtime)
+        # 4 tasks x 0.1 s plus one inline check's worth of app time.
+        assert device.result.busy_time_s["app"] == pytest.approx(
+            0.4 + ChainRuntime.CHECK_S)
+        assert device.result.busy_time_s["monitor"] == 0.0
+
+    def test_invalid_check_result_rejected(self):
+        device = continuous()
+        runtime = ChainRuntime(two_path_app(), {"a": lambda ctx: "explode"},
+                               device, power())
+        with pytest.raises(RuntimeConfigError):
+            device.run(runtime)
+
+    def test_unknown_check_task_rejected(self):
+        with pytest.raises(RuntimeConfigError):
+            ChainRuntime(two_path_app(), {"ghost": lambda ctx: None},
+                         continuous(), power())

@@ -1,0 +1,107 @@
+"""Tests for the trap-camera workload (second integration surface)."""
+
+import pytest
+
+from repro.spec.consistency import check
+from repro.spec.validator import load_properties
+from repro.taskgraph.context import channel_cell_name
+from repro.workloads.camera import (
+    CAMERA_SPEC,
+    build_camera_app,
+    build_camera_runtime,
+    camera_capacitor,
+    camera_power_model,
+    make_camera_device,
+)
+
+
+class TestStructure:
+    def test_three_paths_eight_tasks(self):
+        app = build_camera_app()
+        assert len(app.tasks) == 8
+        assert len(app.paths) == 3
+
+    def test_spec_binds(self):
+        app = build_camera_app()
+        props = load_properties(CAMERA_SPEC, app)
+        kinds = sorted(p.kind for p in props)
+        assert kinds == sorted([
+            "period", "energyAtLeast", "maxTries", "collect", "dpData",
+            "MITD", "maxDuration", "energyAtLeast", "maxTries"])
+
+    def test_spec_consistent_with_power_model(self):
+        app = build_camera_app()
+        props = load_properties(CAMERA_SPEC, app)
+        report = check(props, app, power=camera_power_model(),
+                       capacitor=camera_capacitor())
+        assert report.consistent, str(report)
+
+    def test_capture_fits_cycle_but_pipeline_does_not(self):
+        power = camera_power_model()
+        usable = camera_capacitor().usable_energy_per_cycle
+        assert power.cost_of("capture").energy_j < usable
+        pipeline = sum(power.cost_of(t).energy_j
+                       for t in ("capture", "compress", "infer", "uplinkMeta"))
+        assert pipeline > usable
+
+
+class TestContinuousRun:
+    def test_completes_and_uplinks_both_kinds(self):
+        device = make_camera_device()
+        result = device.run(build_camera_runtime(device))
+        assert result.completed
+        uplinked = device.nvm.cell(channel_cell_name("uplinked")).get()
+        assert [p["kind"] for p in uplinked] == ["meta", "image"]
+
+    def test_low_confidence_stays_on_normal_flow(self):
+        device = make_camera_device()
+        result = device.run(build_camera_runtime(device))
+        assert not any(e.detail.get("action") == "completePath"
+                       for e in device.trace.of_kind("monitor_action"))
+
+    def test_high_confidence_triggers_emergency_upload(self):
+        app = build_camera_app(luminance_of_t=lambda t: 1.0)
+        device = make_camera_device()
+        result = device.run(build_camera_runtime(device, app=app))
+        assert result.completed
+        completes = [e for e in device.trace.of_kind("monitor_action")
+                     if e.detail.get("action") == "completePath"]
+        assert len(completes) == 1
+        # Emergency run finishes path 2 unmonitored and ends the run:
+        # the image upload path (3) is deferred to the next run.
+        ends = [e.detail["task"] for e in device.trace.of_kind("task_end")]
+        assert ends[-1] == "uplinkMeta"
+        assert "uplinkImage" not in ends
+
+
+class TestIntermittentRun:
+    def test_completes_under_power_failures(self):
+        # The detection pipeline (~43 mJ) exceeds one charge cycle
+        # (~35 mJ): at least one brown-out per detection is structural.
+        device = make_camera_device(charging_delay_s=60.0)
+        result = device.run(build_camera_runtime(device), max_time_s=7200)
+        assert result.completed
+        assert result.reboots >= 1
+
+    def test_energy_gate_defers_capture(self):
+        """With the capacitor started low, energyAtLeast must hold
+        capture back (restartTask) until the level recovers."""
+        device = make_camera_device(charging_delay_s=10.0)
+        device.env.capacitor.discharge(
+            device.env.capacitor.usable_energy - 0.005)  # ~5 mJ left
+        runtime = build_camera_runtime(device)
+        result = device.run(runtime, max_time_s=7200)
+        assert result.completed
+        deferrals = [e for e in device.trace.of_kind("monitor_action")
+                     if e.detail.get("action") == "restartTask"
+                     and e.detail.get("task") == "capture"]
+        assert deferrals  # the gate fired at least once
+
+    def test_long_outage_skips_stale_uplink_path(self):
+        """A charging delay beyond the 2-minute MITD livelocks the
+        detection pipeline until maxAttempt skips it."""
+        device = make_camera_device(charging_delay_s=180.0)
+        result = device.run(build_camera_runtime(device), max_time_s=4 * 3600)
+        assert result.completed
+        skips = [e.detail["path"] for e in device.trace.of_kind("path_skip")]
+        assert 2 in skips

@@ -1,0 +1,215 @@
+"""Tests for the command-line toolchain."""
+
+import json
+
+import pytest
+
+from repro.cli import load_app, load_power, main
+
+APP_JSON = {
+    "name": "cli_demo",
+    "tasks": [{"name": "sense"}, {"name": "avg", "monitored_vars": ["m"]},
+              {"name": "send"}],
+    "paths": {"1": ["sense", "avg", "send"]},
+    "costs": {
+        "sense": {"duration_s": 0.05, "power_w": 0.001},
+        "avg": {"duration_s": 0.02},
+        "send": {"duration_s": 0.5, "power_w": 0.006},
+    },
+}
+
+SPEC = """
+avg { collect: 2 dpTask: sense onFail: restartPath; }
+send { MITD: 1min dpTask: avg onFail: restartPath maxAttempt: 2 onFail: skipPath; }
+"""
+
+BAD_SPEC = "ghost { maxTries: 1 onFail: skipPath; }"
+
+
+@pytest.fixture
+def files(tmp_path):
+    app = tmp_path / "app.json"
+    app.write_text(json.dumps(APP_JSON))
+    spec = tmp_path / "props.art"
+    spec.write_text(SPEC)
+    return str(app), str(spec), tmp_path
+
+
+class TestLoaders:
+    def test_load_app(self, files):
+        app_path, _, _ = files
+        app = load_app(app_path)
+        assert app.name == "cli_demo"
+        assert app.task_names == ["sense", "avg", "send"]
+        assert app.task("avg").monitored_vars == ("m",)
+
+    def test_load_power(self, files):
+        app_path, _, _ = files
+        power = load_power(app_path)
+        assert power.cost_of("send").power_w == 0.006
+        assert power.cost_of("avg").power_w > 0  # default MCU power
+        assert power.cost_of("unlisted").duration_s == 0.05  # default cost
+
+
+class TestCheck:
+    def test_valid_spec_exits_zero(self, files, capsys):
+        app, spec, _ = files
+        assert main(["check", spec, "--app", app]) == 0
+        out = capsys.readouterr().out
+        assert "specification OK: 2 properties" in out
+
+    def test_with_power_checks(self, files, capsys):
+        app, spec, _ = files
+        assert main(["check", spec, "--app", app, "--with-power"]) == 0
+
+    def test_inconsistent_spec_exits_one(self, files, tmp_path, capsys):
+        app, _, _ = files
+        bad = tmp_path / "bad.art"
+        # maxDuration below send's execution time: DUR-MIN error.
+        bad.write_text("send { maxDuration: 1ms onFail: skipTask; }")
+        assert main(["check", str(bad), "--app", app, "--with-power"]) == 1
+        assert "DUR-MIN" in capsys.readouterr().out
+
+    def test_unknown_task_reports_error(self, files, tmp_path, capsys):
+        app, _, _ = files
+        bad = tmp_path / "bad.art"
+        bad.write_text(BAD_SPEC)
+        assert main(["check", str(bad), "--app", app]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_reports_error(self, files):
+        app, _, _ = files
+        assert main(["check", "/nonexistent.art", "--app", app]) == 1
+
+
+class TestCompile:
+    def test_writes_three_artifacts(self, files, capsys):
+        app, spec, tmp = files
+        out = tmp / "gen"
+        assert main(["compile", spec, "--app", app, "-o", str(out)]) == 0
+        assert (out / "monitors.sm").exists()
+        assert (out / "monitors.py").exists()
+        assert (out / "monitors.c").exists()
+
+    def test_sm_artifact_reparses(self, files):
+        from repro.statemachine.textual import parse_machines
+
+        app, spec, tmp = files
+        out = tmp / "gen"
+        main(["compile", spec, "--app", app, "-o", str(out)])
+        machines = parse_machines((out / "monitors.sm").read_text())
+        assert {m.name for m in machines} == {"collect_avg", "MITD_send"}
+
+    def test_python_artifact_compiles(self, files):
+        app, spec, tmp = files
+        out = tmp / "gen"
+        main(["compile", spec, "--app", app, "-o", str(out)])
+        compile((out / "monitors.py").read_text(), "monitors.py", "exec")
+
+    def test_c_artifact_has_interface(self, files):
+        app, spec, tmp = files
+        out = tmp / "gen"
+        main(["compile", spec, "--app", app, "-o", str(out)])
+        c_src = (out / "monitors.c").read_text()
+        assert "callMonitor" in c_src and "resetMonitor" in c_src
+
+
+class TestSimulate:
+    def test_continuous_run_completes(self, files, capsys):
+        app, spec, _ = files
+        assert main(["simulate", spec, "--app", app]) == 0
+        assert "completed" in capsys.readouterr().out
+
+    def test_intermittent_with_timeline(self, files, capsys):
+        app, spec, _ = files
+        code = main(["simulate", spec, "--app", app,
+                     "--charging-delay", "30", "--timeline"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "timeline over" in out
+
+    def test_monitor_actions_reported(self, files, capsys):
+        app, spec, _ = files
+        main(["simulate", spec, "--app", app])
+        out = capsys.readouterr().out
+        assert "restartPath" in out  # collect: 2 forces one restart
+
+    def test_non_terminating_run_exits_two(self, files, tmp_path, capsys):
+        app, _, _ = files
+        spec = tmp_path / "livelock.art"
+        # send can never collect from a task that never precedes it.
+        spec.write_text(
+            "sense { collect: 5 dpTask: send onFail: restartPath; }")
+        code = main(["simulate", str(spec), "--app", app,
+                     "--max-time", "5"])
+        assert code == 2
+
+
+class TestCompileHeader:
+    def test_header_written_and_consistent(self, files):
+        from repro.statemachine.codegen_c import generate_c_header
+
+        app, spec, tmp = files
+        out = tmp / "gen"
+        main(["compile", spec, "--app", app, "-o", str(out)])
+        header = (out / "monitor.h").read_text()
+        assert header == generate_c_header()
+        # every helper the generated C calls is declared in the header
+        c_src = (out / "monitors.c").read_text()
+        for symbol in ("monitor_task_is", "monitor_report",
+                       "MonitorEvent_t", "MonitorResult_t"):
+            assert symbol in header
+            assert symbol in c_src
+
+    def test_header_actions_cover_action_enum(self, files):
+        from repro.core.actions import ActionType
+        from repro.statemachine.codegen_c import generate_c_header
+
+        header = generate_c_header()
+        for action in ActionType:
+            if action is ActionType.NONE:
+                continue
+            assert f"ACTION_{action.value.upper()}" in header
+
+
+class TestMayflyFrontendFlag:
+    MAYFLY = "edge sense -> avg { collect: 2; }\n"
+
+    def test_check_with_mayfly_frontend(self, files, tmp_path, capsys):
+        app, _, _ = files
+        spec = tmp_path / "edges.mayfly"
+        spec.write_text(self.MAYFLY)
+        assert main(["check", str(spec), "--app", app,
+                     "--frontend", "mayfly"]) == 0
+        assert "1 properties" in capsys.readouterr().out
+
+    def test_simulate_with_mayfly_frontend(self, files, tmp_path, capsys):
+        app, _, _ = files
+        spec = tmp_path / "edges.mayfly"
+        spec.write_text(self.MAYFLY)
+        assert main(["simulate", str(spec), "--app", app,
+                     "--frontend", "mayfly"]) == 0
+        assert "restartPath" in capsys.readouterr().out
+
+    def test_compile_with_mayfly_frontend(self, files, tmp_path):
+        app, _, _ = files
+        spec = tmp_path / "edges.mayfly"
+        spec.write_text(self.MAYFLY)
+        out = tmp_path / "gen_mayfly"
+        assert main(["compile", str(spec), "--app", app,
+                     "--frontend", "mayfly", "-o", str(out)]) == 0
+        assert "collect_avg" in (out / "monitors.sm").read_text()
+
+    def test_artemis_spec_through_mayfly_frontend_fails(self, files, capsys):
+        app, spec, _ = files
+        assert main(["check", spec, "--app", app,
+                     "--frontend", "mayfly"]) == 1
+
+
+class TestAuditFlag:
+    def test_audit_log_printed(self, files, capsys):
+        app, spec, _ = files
+        assert main(["simulate", spec, "--app", app, "--audit", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "audit log" in out
+        assert "restartPath" in out  # collect: 2 fired once

@@ -1,0 +1,84 @@
+"""Unit tests for simulation and persistent clocks."""
+
+import pytest
+
+from repro.clock.clock import PersistentClock, SimClock
+from repro.errors import ReproError
+
+
+class TestSimClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(10.0).now() == 10.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(2.5)
+        assert clock.now() == pytest.approx(4.0)
+
+    def test_advance_returns_new_time(self):
+        assert SimClock().advance(3.0) == 3.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ReproError):
+            SimClock().advance(-1.0)
+
+
+class TestPersistentClock:
+    def test_perfect_clock_tracks_sim_time(self, nvm):
+        sim = SimClock()
+        pclock = PersistentClock(sim, nvm)
+        sim.advance(100.0)
+        assert pclock.now() == pytest.approx(100.0)
+
+    def test_reading_is_persisted(self, nvm):
+        sim = SimClock()
+        pclock = PersistentClock(sim, nvm)
+        sim.advance(42.0)
+        pclock.now()
+        assert pclock.last_persisted == pytest.approx(42.0)
+
+    def test_on_reboot_without_error_is_exact(self, nvm):
+        sim = SimClock()
+        pclock = PersistentClock(sim, nvm)
+        pclock.now()
+        sim.advance(600.0)  # outage
+        pclock.on_reboot()
+        assert pclock.now() == pytest.approx(600.0)
+
+    def test_error_bounded_by_outage_fraction(self, nvm):
+        sim = SimClock()
+        pclock = PersistentClock(sim, nvm, max_rel_error=0.05, seed=7)
+        pclock.now()
+        sim.advance(1000.0)
+        pclock.on_reboot()
+        reading = pclock.now()
+        assert abs(reading - 1000.0) <= 0.05 * 1000.0 + 1e-9
+
+    def test_error_is_deterministic_per_seed(self):
+        readings = []
+        for _ in range(2):
+            from repro.nvm.memory import NonVolatileMemory
+
+            sim = SimClock()
+            pclock = PersistentClock(sim, NonVolatileMemory(), max_rel_error=0.1, seed=3)
+            pclock.now()
+            sim.advance(500.0)
+            pclock.on_reboot()
+            readings.append(pclock.now())
+        assert readings[0] == readings[1]
+
+    def test_invalid_error_bound_rejected(self, nvm):
+        with pytest.raises(ReproError):
+            PersistentClock(SimClock(), nvm, max_rel_error=1.5)
+
+    def test_state_survives_reconstruction(self, nvm):
+        sim = SimClock()
+        pclock = PersistentClock(sim, nvm, name="pc")
+        sim.advance(5.0)
+        pclock.now()
+        rebuilt = PersistentClock(sim, nvm, name="pc")
+        assert rebuilt.last_persisted == pytest.approx(5.0)

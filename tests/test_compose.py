@@ -1,0 +1,113 @@
+"""Tests for parallel composition and joint exploration."""
+
+import pytest
+
+from repro.core.actions import ActionType
+from repro.core.events import end_event, start_event
+from repro.core.generator import generate_machine, generate_machines
+from repro.core.properties import Collect, MaxDuration, MaxTries, PropertySet
+from repro.errors import StateMachineError
+from repro.statemachine.compose import (
+    ProductInstance,
+    explore_product,
+    joint_alphabet,
+)
+
+
+def pair():
+    tries = generate_machine(
+        MaxTries(task="A", on_fail=ActionType.SKIP_PATH, limit=2))
+    collect = generate_machine(
+        Collect(task="A", on_fail=ActionType.RESTART_PATH, dep_task="B",
+                count=1))
+    return [tries, collect]
+
+
+class TestProductInstance:
+    def test_components_step_together(self):
+        product = ProductInstance(pair())
+        verdicts = product.on_event(start_event("A", 0.0))
+        # collect fails (no B yet); maxTries just counts.
+        assert [v.action for v in verdicts] == ["restartPath"]
+        assert product.state == ("Started", "Counting")
+
+    def test_concurrent_failures_concatenated(self):
+        product = ProductInstance(pair())
+        product.on_event(start_event("A", 0.0))
+        product.on_event(start_event("A", 1.0))
+        verdicts = product.on_event(start_event("A", 2.0))
+        assert {v.action for v in verdicts} == {"skipPath", "restartPath"}
+
+    def test_reset_resets_all(self):
+        product = ProductInstance(pair())
+        product.on_event(start_event("A", 0.0))
+        product.reset()
+        assert product.state == ("NotStarted", "Counting")
+        assert product.instances[0].get("i") == 0
+
+    def test_duplicate_names_rejected(self):
+        machine = pair()[0]
+        with pytest.raises(StateMachineError):
+            ProductInstance([machine, machine])
+
+    def test_empty_product_rejected(self):
+        with pytest.raises(StateMachineError):
+            ProductInstance([])
+
+    def test_store_count_mismatch_rejected(self):
+        with pytest.raises(StateMachineError):
+            ProductInstance(pair(), stores=[{}])
+
+
+class TestJointExploration:
+    def test_finds_concurrent_failure_witness(self):
+        machines = pair()
+        alphabet = joint_alphabet(machines, deltas=[1.0])
+        witnesses = explore_product(machines, alphabet, depth=4)
+        joint = frozenset({"skipPath", "restartPath"})
+        assert joint in witnesses
+        # Shortest concurrent failure: three bare starts of A.
+        witness = witnesses[joint]
+        assert len(witness) == 3
+        assert all(l.kind == "startTask" and l.task == "A" for l in witness)
+
+    def test_single_failure_witnesses_also_found(self):
+        machines = pair()
+        witnesses = explore_product(machines, joint_alphabet(machines, [1.0]),
+                                    depth=3)
+        assert frozenset({"restartPath"}) in witnesses
+
+    def test_benchmark_spec_concurrent_failures(self, health_app):
+        """Joint model-checking of the real benchmark's send-task
+        machines: the MITD violation and the path-3 collect violation
+        can never fire on one event (different paths), which the
+        explorer confirms by exhausting depth 6."""
+        from repro.spec.validator import load_properties
+        from repro.workloads.health import BENCHMARK_SPEC
+
+        props = load_properties(BENCHMARK_SPEC, health_app)
+        send_machines = [
+            m for m in generate_machines(props) if "send" in m.name]
+        assert len(send_machines) == 2
+        alphabet = joint_alphabet(send_machines, deltas=[1.0, 400.0],
+                                  paths=(2, 3))
+        witnesses = explore_product(send_machines, alphabet, depth=6)
+        assert frozenset({"restartPath", "skipPath"}) not in witnesses
+        joint_restarts = [k for k in witnesses if len(k) > 1]
+        assert joint_restarts == []
+
+    def test_duration_and_tries_can_fail_together(self):
+        """The §3.3 example: maximum duration and maximum start attempts
+        failing for the same task on one event."""
+        tries = generate_machine(
+            MaxTries(task="A", on_fail=ActionType.SKIP_PATH, limit=1))
+        duration = generate_machine(
+            MaxDuration(task="A", on_fail=ActionType.SKIP_TASK, limit_s=2.0))
+        machines = [tries, duration]
+        alphabet = joint_alphabet(machines, deltas=[1.0, 5.0])
+        witnesses = explore_product(machines, alphabet, depth=3)
+        assert frozenset({"skipPath", "skipTask"}) in witnesses
+
+    def test_depth_validation(self):
+        with pytest.raises(StateMachineError):
+            explore_product(pair(), [], depth=-1)

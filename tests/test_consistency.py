@@ -1,0 +1,182 @@
+"""Tests for the static property-consistency checker."""
+
+import pytest
+
+from repro.core.actions import ActionType
+from repro.core.properties import (
+    Collect,
+    DpData,
+    MITD,
+    MaxDuration,
+    MaxTries,
+    Period,
+    PropertySet,
+)
+from repro.energy.capacitor import Capacitor
+from repro.energy.power import PowerModel, TaskCost
+from repro.spec.consistency import Severity, check
+from repro.spec.validator import load_properties
+from repro.taskgraph.builder import AppBuilder
+
+
+def app_ab():
+    return (
+        AppBuilder("ab")
+        .task("a").task("b").task("c")
+        .path(1, ["a", "b", "c"])
+        .build()
+    )
+
+
+def pset(*props):
+    out = PropertySet()
+    for p in props:
+        out.add(p)
+    return out
+
+
+def power_abc(a=0.1, b=0.2, c=0.3):
+    return PowerModel({"a": TaskCost(a, 1e-3), "b": TaskCost(b, 1e-3),
+                       "c": TaskCost(c, 1e-3)})
+
+
+class TestDepOrder:
+    def test_collect_dep_after_task_is_error(self):
+        props = pset(Collect(task="a", on_fail=ActionType.RESTART_PATH,
+                             dep_task="c", count=1))
+        report = check(props, app_ab())
+        assert not report.consistent
+        assert report.errors[0].code == "DEP-ORDER"
+
+    def test_collect_dep_before_task_ok(self):
+        props = pset(Collect(task="c", on_fail=ActionType.RESTART_PATH,
+                             dep_task="a", count=1))
+        assert check(props, app_ab()).consistent
+
+    def test_collect_dep_on_earlier_path_ok(self):
+        app = (AppBuilder("two").task("a").task("b")
+               .path(1, ["a"]).path(2, ["b"]).build())
+        props = pset(Collect(task="b", on_fail=ActionType.RESTART_PATH,
+                             dep_task="a", count=1))
+        assert check(props, app).consistent
+
+    def test_mitd_never_armed_is_warning(self):
+        props = pset(MITD(task="a", on_fail=ActionType.RESTART_PATH,
+                          dep_task="c", limit_s=5.0))
+        report = check(props, app_ab())
+        assert report.consistent  # warning, not error
+        assert any(i.code == "DEP-ORDER" and i.severity is Severity.WARNING
+                   for i in report.warnings)
+
+
+class TestTimingChecks:
+    def test_mitd_window_below_execution_floor_is_error(self):
+        # b takes 0.2 s between a and c; a 0.05 s MITD can never hold.
+        props = pset(MITD(task="c", on_fail=ActionType.RESTART_PATH,
+                          dep_task="a", limit_s=0.05))
+        report = check(props, app_ab(), power=power_abc())
+        assert any(i.code == "TIME-MIN" for i in report.errors)
+
+    def test_mitd_window_above_floor_ok(self):
+        props = pset(MITD(task="c", on_fail=ActionType.RESTART_PATH,
+                          dep_task="a", limit_s=10.0,
+                          max_attempt=2,
+                          max_attempt_action=ActionType.SKIP_PATH))
+        assert check(props, app_ab(), power=power_abc()).consistent
+
+    def test_maxduration_below_task_time_is_error(self):
+        props = pset(MaxDuration(task="c", on_fail=ActionType.SKIP_TASK,
+                                 limit_s=0.1))
+        report = check(props, app_ab(), power=power_abc(c=0.5))
+        assert any(i.code == "DUR-MIN" for i in report.errors)
+
+    def test_period_shorter_than_cycle_is_warning(self):
+        props = pset(Period(task="a", on_fail=ActionType.RESTART_PATH,
+                            period_s=0.1))
+        report = check(props, app_ab(), power=power_abc())
+        assert any(i.code == "PERIOD" for i in report.warnings)
+
+    def test_timing_checks_skipped_without_power_model(self):
+        props = pset(MaxDuration(task="c", on_fail=ActionType.SKIP_TASK,
+                                 limit_s=1e-9))
+        assert check(props, app_ab()).consistent
+
+
+class TestEnergyCheck:
+    def test_oversized_task_without_guard_is_error(self):
+        cap = Capacitor(1e-4, v_initial=3.0)  # ~0.29 mJ usable
+        props = pset()
+        report = check(props, app_ab(), power=power_abc(c=5.0),
+                       capacitor=cap)  # c: 5 mJ
+        assert any(i.code == "ENERGY" and i.severity is Severity.ERROR
+                   for i in report.errors)
+
+    def test_oversized_task_with_maxtries_is_warning(self):
+        cap = Capacitor(1e-4, v_initial=3.0)
+        props = pset(MaxTries(task="c", on_fail=ActionType.SKIP_PATH, limit=5))
+        report = check(props, app_ab(), power=power_abc(c=5.0), capacitor=cap)
+        energy_issues = [i for i in report.issues if i.code == "ENERGY"]
+        assert energy_issues
+        assert all(i.severity is Severity.WARNING for i in energy_issues)
+
+
+class TestLivelockAndActions:
+    def test_mitd_without_maxattempt_warns(self):
+        props = pset(MITD(task="c", on_fail=ActionType.RESTART_PATH,
+                          dep_task="a", limit_s=10.0))
+        report = check(props, app_ab())
+        assert any(i.code == "LIVELOCK" for i in report.warnings)
+
+    def test_collect_restart_task_without_guard_is_error(self):
+        props = pset(Collect(task="c", on_fail=ActionType.RESTART_TASK,
+                             dep_task="a", count=5))
+        report = check(props, app_ab())
+        assert any(i.code == "LIVELOCK" for i in report.errors)
+
+    def test_collect_restart_task_with_maxtries_ok(self):
+        props = pset(
+            Collect(task="c", on_fail=ActionType.RESTART_TASK,
+                    dep_task="a", count=5),
+            MaxTries(task="c", on_fail=ActionType.SKIP_PATH, limit=6),
+        )
+        report = check(props, app_ab())
+        assert not any(i.code == "LIVELOCK" and i.severity is Severity.ERROR
+                       for i in report.issues)
+
+    def test_conflicting_actions_warn(self):
+        app = (AppBuilder("m")
+               .task("a", monitored_vars=["v"]).task("b")
+               .path(1, ["a", "b"]).build())
+        props = pset(
+            MaxTries(task="a", on_fail=ActionType.SKIP_PATH, limit=3),
+            DpData(task="a", on_fail=ActionType.COMPLETE_PATH, var="v",
+                   low=0.0, high=1.0),
+        )
+        report = check(props, app)
+        assert any(i.code == "ACTION" for i in report.warnings)
+
+
+class TestBenchmarkSpecIsConsistent:
+    def test_health_benchmark_passes_with_expected_warnings(self, health_app):
+        from repro.energy.environment import default_capacitor
+        from repro.energy.power import MSP430FR5994_POWER
+        from repro.workloads.health import BENCHMARK_SPEC
+
+        props = load_properties(BENCHMARK_SPEC, health_app)
+        report = check(props, health_app, power=MSP430FR5994_POWER,
+                       capacitor=default_capacitor())
+        assert report.consistent
+        # The figure-5 maxDuration (100 ms on a 1.5 s send) is the
+        # documented inconsistency the checker must catch:
+        from repro.workloads.health import FIGURE5_SPEC
+
+        fig5 = load_properties(FIGURE5_SPEC, health_app)
+        fig5_report = check(fig5, health_app, power=MSP430FR5994_POWER)
+        assert any(i.code == "DUR-MIN" for i in fig5_report.errors)
+
+    def test_report_renders(self, health_app):
+        from repro.workloads.health import BENCHMARK_SPEC
+
+        props = load_properties(BENCHMARK_SPEC, health_app)
+        text = str(check(props, health_app))
+        assert "consistent" in text or "WARNING" in text

@@ -1,0 +1,118 @@
+"""Tests for the §7 deployment alternatives: inlined and remote
+monitors."""
+
+import pytest
+
+from repro.core.deployments import (
+    InlinedArtemisRuntime,
+    RadioLink,
+    RemoteMonitorRuntime,
+)
+from repro.core.runtime import ArtemisRuntime
+from repro.spec.validator import load_properties
+from repro.workloads.health import (
+    BENCHMARK_SPEC,
+    build_health_app,
+    health_power_model,
+    make_continuous_device,
+    make_intermittent_device,
+)
+
+
+def deploy(cls, device, **kwargs):
+    app = build_health_app()
+    props = load_properties(BENCHMARK_SPEC, app)
+    return cls(app, props, device, health_power_model(), **kwargs)
+
+
+class TestInlinedDeployment:
+    def test_same_task_flow_as_modular(self):
+        dev_a = make_continuous_device()
+        dev_a.run(deploy(ArtemisRuntime, dev_a))
+        dev_b = make_continuous_device()
+        dev_b.run(deploy(InlinedArtemisRuntime, dev_b))
+        flow = lambda d: [e.detail["task"] for e in d.trace.of_kind("task_end")]
+        assert flow(dev_a) == flow(dev_b)
+
+    def test_no_monitor_category_cost(self):
+        device = make_continuous_device()
+        result = device.run(deploy(InlinedArtemisRuntime, device))
+        assert result.monitor_overhead_s == 0.0
+        assert result.runtime_overhead_s > 0.0
+
+    def test_lower_total_overhead_than_modular(self):
+        dev_a = make_continuous_device()
+        modular = dev_a.run(deploy(ArtemisRuntime, dev_a))
+        dev_b = make_continuous_device()
+        inlined = dev_b.run(deploy(InlinedArtemisRuntime, dev_b))
+        assert (inlined.runtime_overhead_s + inlined.monitor_overhead_s
+                < modular.runtime_overhead_s + modular.monitor_overhead_s)
+
+    def test_still_prevents_non_termination(self):
+        device = make_intermittent_device(420.0)
+        result = device.run(deploy(InlinedArtemisRuntime, device),
+                            max_time_s=4 * 3600)
+        assert result.completed
+        assert device.trace.count("path_skip") >= 1
+
+    def test_inlined_memory_larger_code(self):
+        from repro.core.generator import generate_machines
+        from repro.memsize.model import (
+            artemis_monitor_memory,
+            artemis_runtime_memory,
+            inlined_memory,
+        )
+
+        app = build_health_app()
+        machines = generate_machines(load_properties(BENCHMARK_SPEC, app))
+        inlined = inlined_memory(app, machines)
+        modular_text = (artemis_runtime_memory(app).text_bytes
+                        + artemis_monitor_memory(app, machines).text_bytes)
+        # §6: duplication at call sites costs more code than one module.
+        assert inlined.text_bytes > modular_text
+
+
+class TestRemoteDeployment:
+    def test_same_task_flow_as_modular(self):
+        dev_a = make_continuous_device()
+        dev_a.run(deploy(ArtemisRuntime, dev_a))
+        dev_b = make_continuous_device()
+        dev_b.run(deploy(RemoteMonitorRuntime, dev_b))
+        flow = lambda d: [e.detail["task"] for e in d.trace.of_kind("task_end")]
+        assert flow(dev_a) == flow(dev_b)
+
+    def test_radio_energy_dominates_monitoring_cost(self):
+        dev_a = make_continuous_device()
+        modular = dev_a.run(deploy(ArtemisRuntime, dev_a))
+        dev_b = make_continuous_device()
+        remote = dev_b.run(deploy(RemoteMonitorRuntime, dev_b))
+        # "Wireless communication is way more energy-hungry compared to
+        # computation" — monitoring energy must jump by an order.
+        assert remote.energy_j["monitor"] > 10 * modular.energy_j["monitor"]
+
+    def test_custom_radio_link(self):
+        link = RadioLink(tx_time_s=5e-3, rx_time_s=5e-3, power_w=20e-3)
+        assert link.round_trip_s == pytest.approx(10e-3)
+        device = make_continuous_device()
+        result = device.run(deploy(RemoteMonitorRuntime, device, radio=link))
+        assert result.completed
+
+    def test_still_prevents_non_termination(self):
+        device = make_intermittent_device(420.0)
+        result = device.run(deploy(RemoteMonitorRuntime, device),
+                            max_time_s=4 * 3600)
+        assert result.completed
+
+    def test_interrupted_radio_exchange_finalised(self):
+        """A brown-out mid-exchange must behave like any interrupted
+        monitor call: finalised on reboot, no lost verdicts."""
+        from repro.energy.capacitor import Capacitor
+        from repro.energy.environment import EnergyEnvironment
+        from repro.sim.device import Device
+
+        cap = Capacitor(5.2e-3, v_initial=3.0)
+        env = EnergyEnvironment.for_charging_delay(30.0, capacitor=cap)
+        device = Device(env)
+        result = device.run(deploy(RemoteMonitorRuntime, device),
+                            max_time_s=4 * 3600)
+        assert result.completed

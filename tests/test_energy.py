@@ -1,0 +1,268 @@
+"""Unit tests for the energy substrate: capacitor, harvesters,
+environment, and power model."""
+
+import math
+
+import pytest
+
+from repro.energy.capacitor import Capacitor
+from repro.energy.environment import EnergyEnvironment, default_capacitor
+from repro.energy.harvester import (
+    ConstantHarvester,
+    PeriodicOutageHarvester,
+    RFHarvester,
+    SolarHarvester,
+    TraceHarvester,
+)
+from repro.energy.power import MSP430FR5994_POWER, PowerModel, TaskCost
+from repro.errors import EnergyError, SimulationError
+
+
+class TestCapacitor:
+    def make(self, **kw):
+        defaults = dict(capacitance=1e-3, v_max=3.3, v_on=3.0, v_off=1.8)
+        defaults.update(kw)
+        return Capacitor(**defaults)
+
+    def test_energy_formula(self):
+        cap = self.make(v_initial=3.0)
+        assert cap.energy == pytest.approx(0.5 * 1e-3 * 9.0)
+
+    def test_voltage_roundtrip(self):
+        cap = self.make(v_initial=2.5)
+        assert cap.voltage == pytest.approx(2.5)
+
+    def test_usable_energy_above_cutoff(self):
+        cap = self.make(v_initial=3.0)
+        expected = 0.5e-3 * (3.0**2 - 1.8**2)
+        assert cap.usable_energy == pytest.approx(expected)
+
+    def test_usable_energy_per_cycle(self):
+        cap = self.make()
+        assert cap.usable_energy_per_cycle == pytest.approx(0.5e-3 * (9.0 - 3.24))
+
+    def test_discharge_within_budget_succeeds(self):
+        cap = self.make(v_initial=3.0)
+        assert cap.discharge(cap.usable_energy / 2)
+        assert not cap.is_dead
+
+    def test_discharge_past_cutoff_drains_and_fails(self):
+        cap = self.make(v_initial=3.0)
+        assert not cap.discharge(cap.usable_energy + 1.0)
+        assert cap.voltage == pytest.approx(1.8)
+        assert cap.usable_energy == pytest.approx(0.0)
+
+    def test_charge_clamps_at_vmax(self):
+        cap = self.make(v_initial=3.0)
+        stored = cap.charge(1000.0)
+        assert cap.voltage == pytest.approx(3.3)
+        assert stored < 1000.0
+
+    def test_charge_returns_stored_delta(self):
+        cap = self.make(v_initial=1.8)
+        assert cap.charge(1e-4) == pytest.approx(1e-4)
+
+    def test_can_boot_threshold(self):
+        cap = self.make(v_initial=2.9)
+        assert not cap.can_boot
+        cap.charge(cap.energy_to_boot())
+        assert cap.can_boot
+
+    def test_energy_to_boot_zero_when_full(self):
+        assert self.make(v_initial=3.2).energy_to_boot() == 0.0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(EnergyError):
+            self.make().charge(-1.0)
+
+    def test_negative_discharge_rejected(self):
+        with pytest.raises(EnergyError):
+            self.make().discharge(-1.0)
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(EnergyError):
+            Capacitor(1e-3, v_max=3.0, v_on=3.3, v_off=1.8)
+        with pytest.raises(EnergyError):
+            Capacitor(1e-3, v_max=3.3, v_on=1.0, v_off=1.8)
+        with pytest.raises(EnergyError):
+            Capacitor(-1e-3)
+
+
+class TestHarvesters:
+    def test_constant_power(self):
+        h = ConstantHarvester(2e-3)
+        assert h.power_at(0) == 2e-3
+        assert h.power_at(1e6) == 2e-3
+
+    def test_constant_energy_closed_form(self):
+        h = ConstantHarvester(2e-3)
+        assert h.energy_between(10, 20) == pytest.approx(2e-2)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(EnergyError):
+            ConstantHarvester(1.0).energy_between(5, 4)
+
+    def test_rf_power_decreases_with_distance(self):
+        near = RFHarvester(distance_m=0.5)
+        far = RFHarvester(distance_m=2.0)
+        assert near.power_at(0) > far.power_at(0)
+
+    def test_rf_power_scales_with_tx(self):
+        assert RFHarvester(tx_power_w=6.0).power_at(0) == pytest.approx(
+            2 * RFHarvester(tx_power_w=3.0).power_at(0)
+        )
+
+    def test_periodic_outage_phases(self):
+        h = PeriodicOutageHarvester(1e-3, on_s=10, off_s=5)
+        assert h.power_at(3) == 1e-3
+        assert h.power_at(12) == 0.0
+        assert h.power_at(16) == 1e-3  # wrapped into the next cycle
+
+    def test_trace_piecewise_hold(self):
+        h = TraceHarvester([(0, 1e-3), (10, 2e-3), (20, 0.0)])
+        assert h.power_at(5) == 1e-3
+        assert h.power_at(10) == 2e-3
+        assert h.power_at(15) == 2e-3
+        assert h.power_at(25) == 0.0
+
+    def test_trace_before_first_sample_holds_first(self):
+        h = TraceHarvester([(10, 5e-3)])
+        assert h.power_at(0) == 5e-3
+
+    def test_trace_loop_wraps(self):
+        h = TraceHarvester([(0, 1e-3), (10, 2e-3), (20, 1e-3)], loop=True)
+        assert h.power_at(25) == h.power_at(5)
+
+    def test_trace_unsorted_rejected(self):
+        with pytest.raises(EnergyError):
+            TraceHarvester([(10, 1.0), (0, 1.0)])
+
+    def test_trace_empty_rejected(self):
+        with pytest.raises(EnergyError):
+            TraceHarvester([])
+
+    def test_solar_zero_at_night(self):
+        h = SolarHarvester(10e-3, day_length_s=100, daylight_fraction=0.5)
+        assert h.power_at(75) == 0.0
+
+    def test_solar_peak_at_midday(self):
+        h = SolarHarvester(10e-3, day_length_s=100, daylight_fraction=0.5)
+        assert h.power_at(25) == pytest.approx(10e-3)
+
+    def test_generic_energy_integration(self):
+        h = SolarHarvester(1e-3, day_length_s=100, daylight_fraction=1.0)
+        # Integral of a half sine over its full period: 2/pi * peak * T
+        total = h.energy_between(0, 100, step=0.01)
+        assert total == pytest.approx(2 / math.pi * 1e-3 * 100, rel=1e-3)
+
+
+class TestEnvironment:
+    def test_continuous_has_infinite_energy(self):
+        env = EnergyEnvironment.continuous()
+        assert env.usable_energy() == math.inf
+        assert env.consume(1e9)
+        assert env.charging_time_from(0) == 0.0
+
+    def test_harvested_requires_capacitor(self):
+        with pytest.raises(EnergyError):
+            EnergyEnvironment(harvester=ConstantHarvester(1e-3))
+
+    def test_for_charging_delay_exact(self):
+        env = EnergyEnvironment.for_charging_delay(300.0)
+        env.capacitor.discharge(env.capacitor.usable_energy + 1)  # drain
+        assert env.charging_time_from(0.0) == pytest.approx(300.0)
+
+    def test_for_charging_delay_invalid(self):
+        with pytest.raises(EnergyError):
+            EnergyEnvironment.for_charging_delay(0)
+
+    def test_recharge_to_boot_advances_capacitor(self):
+        env = EnergyEnvironment.for_charging_delay(60.0)
+        env.capacitor.discharge(env.capacitor.usable_energy + 1)
+        wait = env.recharge_to_boot(0.0)
+        assert wait == pytest.approx(60.0)
+        assert env.capacitor.can_boot
+
+    def test_consume_tracks_totals(self):
+        env = EnergyEnvironment.for_charging_delay(60.0)
+        env.consume(1e-3)
+        assert env.total_consumed_j == pytest.approx(1e-3)
+
+    def test_harvest_accumulates(self):
+        env = EnergyEnvironment(
+            harvester=ConstantHarvester(1e-3),
+            capacitor=Capacitor(1e-2, v_initial=1.9),
+        )
+        gained = env.harvest(0.0, 10.0)
+        assert gained == pytest.approx(1e-2)
+
+    def test_zero_power_harvester_never_boots(self):
+        env = EnergyEnvironment(
+            harvester=ConstantHarvester(0.0),
+            capacitor=Capacitor(1e-3, v_initial=1.8),
+        )
+        with pytest.raises(SimulationError):
+            env.charging_time_from(0.0)
+
+    def test_non_constant_charging_time_stepwise(self):
+        cap = Capacitor(1e-3, v_initial=1.8)
+        env = EnergyEnvironment(
+            harvester=PeriodicOutageHarvester(1e-2, on_s=1, off_s=1), capacitor=cap
+        )
+        wait = env.charging_time_from(0.0)
+        needed = cap.energy_to_boot()
+        # Average power is 5 mW; allow the 1 s step quantisation.
+        assert wait == pytest.approx(needed / 5e-3, abs=2.0)
+
+    def test_default_capacitor_fits_benchmark(self):
+        cap = default_capacitor()
+        # accel (12 mJ) must fit one charge; accel + send must not.
+        assert cap.usable_energy_per_cycle > 12e-3
+        assert cap.usable_energy_per_cycle < 12e-3 + 7.5e-3
+
+
+class TestPowerModel:
+    def test_task_cost_energy(self):
+        cost = TaskCost(2.0, 3e-3, fixed_energy_j=1e-3)
+        assert cost.energy_j == pytest.approx(7e-3)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(EnergyError):
+            TaskCost(-1.0, 1.0)
+
+    def test_cost_lookup(self):
+        model = PowerModel({"a": TaskCost(1.0, 1e-3)})
+        assert model.cost_of("a").duration_s == 1.0
+
+    def test_unknown_task_rejected_without_default(self):
+        model = PowerModel({})
+        with pytest.raises(EnergyError):
+            model.cost_of("ghost")
+
+    def test_default_cost_fallback(self):
+        model = PowerModel({}, default_cost=TaskCost(0.5, 1e-3))
+        assert model.cost_of("anything").duration_s == 0.5
+        assert "anything" in model
+
+    def test_monitor_call_cost_scales_with_properties(self):
+        model = MSP430FR5994_POWER
+        base = model.monitor_call_cost_s(0)
+        assert model.monitor_call_cost_s(3) == pytest.approx(
+            base + 3 * model.monitor_per_property_s
+        )
+
+    def test_monitor_cost_negative_count_rejected(self):
+        with pytest.raises(EnergyError):
+            MSP430FR5994_POWER.monitor_call_cost_s(-1)
+
+    def test_with_costs_overrides(self):
+        model = MSP430FR5994_POWER.with_costs(accel=TaskCost(9.0, 1e-3))
+        assert model.cost_of("accel").duration_s == 9.0
+        assert MSP430FR5994_POWER.cost_of("accel").duration_s == 2.0
+
+    def test_benchmark_accel_is_most_expensive(self):
+        model = MSP430FR5994_POWER
+        accel = model.cost_of("accel").energy_j
+        for name in model.task_names():
+            if name != "accel":
+                assert model.cost_of(name).energy_j < accel

@@ -1,0 +1,109 @@
+"""Tests for the declarative sweep framework."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sim.experiments import (
+    Sweep,
+    format_rows,
+    metric_action_count,
+    metric_completed,
+    metric_reboots,
+    metric_total_energy_mj,
+    metric_total_time,
+    pivot,
+)
+from repro.workloads.health import build_artemis, build_mayfly, \
+    make_continuous_device, make_intermittent_device
+
+
+def health_build(point):
+    device = (make_continuous_device() if point["delay_s"] is None
+              else make_intermittent_device(point["delay_s"]))
+    if point["system"] == "artemis":
+        return device, build_artemis(device)
+    return device, build_mayfly(device)
+
+
+class TestSweepMechanics:
+    def test_points_are_full_factorial(self):
+        sweep = Sweep(factors={"a": [1, 2], "b": ["x", "y", "z"]},
+                      build=lambda p: (None, None),
+                      metrics={"m": metric_completed})
+        points = sweep.points()
+        assert len(points) == 6
+        assert points[0] == {"a": 1, "b": "x"}
+        assert points[-1] == {"a": 2, "b": "z"}
+
+    def test_empty_factors_rejected(self):
+        with pytest.raises(ReproError):
+            Sweep(factors={}, build=lambda p: (None, None),
+                  metrics={"m": metric_completed})
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(ReproError):
+            Sweep(factors={"a": []}, build=lambda p: (None, None),
+                  metrics={"m": metric_completed})
+
+    def test_no_metrics_rejected(self):
+        with pytest.raises(ReproError):
+            Sweep(factors={"a": [1]}, build=lambda p: (None, None), metrics={})
+
+
+class TestSweepExecution:
+    def test_fig12_style_sweep(self):
+        sweep = Sweep(
+            factors={"delay_s": [120.0, 420.0], "system": ["artemis", "mayfly"]},
+            build=health_build,
+            metrics={
+                "completed": metric_completed,
+                "time_s": metric_total_time,
+                "energy_mj": metric_total_energy_mj,
+                "reboots": metric_reboots,
+                "skips": metric_action_count("skipPath"),
+            },
+            max_time_s=2 * 3600.0,
+        )
+        rows = sweep.run()
+        assert len(rows) == 4
+        table = pivot(rows, index="delay_s", column="system", value="completed")
+        assert table[120.0] == {"artemis": True, "mayfly": True}
+        assert table[420.0] == {"artemis": True, "mayfly": False}
+        artemis_420 = next(r for r in rows
+                           if r["delay_s"] == 420.0 and r["system"] == "artemis")
+        assert artemis_420["skips"] == 1
+
+    def test_rows_contain_factors_and_metrics(self):
+        sweep = Sweep(
+            factors={"delay_s": [None], "system": ["artemis"]},
+            build=health_build,
+            metrics={"completed": metric_completed},
+        )
+        (row,) = sweep.run()
+        assert row["system"] == "artemis"
+        assert row["completed"] is True
+
+
+class TestFormatting:
+    def test_format_rows_renders_fixed_width(self):
+        rows = [{"a": 1, "b": True, "c": 1.23456},
+                {"a": 22, "b": False, "c": 0.5}]
+        text = format_rows(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "yes" in lines[2] and "no" in lines[3]
+        assert "1.235" in lines[2]
+
+    def test_format_empty(self):
+        assert format_rows([]) == "(no rows)"
+
+    def test_format_selected_columns(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_rows(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_pivot_shape(self):
+        rows = [{"x": 1, "sys": "A", "v": 10}, {"x": 1, "sys": "B", "v": 20},
+                {"x": 2, "sys": "A", "v": 30}]
+        table = pivot(rows, "x", "sys", "v")
+        assert table == {1: {"A": 10, "B": 20}, 2: {"A": 30}}

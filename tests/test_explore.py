@@ -1,0 +1,156 @@
+"""Bounded model checking of the generated property templates."""
+
+import pytest
+
+from repro.core.actions import ActionType
+from repro.core.generator import generate_machine
+from repro.core.properties import Collect, DpData, MITD, MaxDuration, MaxTries
+from repro.errors import StateMachineError
+from repro.statemachine.explore import Letter, alphabet_for, explore
+from repro.statemachine.model import StateMachine
+
+
+class TestMaxTriesModelChecked:
+    def machine(self, limit):
+        return generate_machine(
+            MaxTries(task="A", on_fail=ActionType.SKIP_PATH, limit=limit))
+
+    @pytest.mark.parametrize("limit", [1, 2, 3, 5])
+    def test_shortest_failure_needs_limit_plus_one_starts(self, limit):
+        machine = self.machine(limit)
+        alphabet = alphabet_for(machine, deltas=[1.0])
+        result = explore(machine, alphabet, depth=limit + 2)
+        witness = result.shortest_witness("skipPath")
+        assert witness is not None
+        assert len(witness) == limit + 1
+        assert all(w.kind == "startTask" for w in witness)
+
+    def test_no_failure_within_limit(self):
+        machine = self.machine(4)
+        alphabet = alphabet_for(machine, deltas=[1.0])
+        result = explore(machine, alphabet, depth=4)
+        assert not result.can_fail_with("skipPath")
+
+    def test_all_states_reachable(self):
+        machine = self.machine(3)
+        result = explore(machine, alphabet_for(machine, deltas=[1.0]), depth=3)
+        assert result.reachable_states == {"NotStarted", "Started"}
+
+
+class TestMITDModelChecked:
+    def machine(self, max_attempt=None):
+        return generate_machine(MITD(
+            task="A", on_fail=ActionType.RESTART_PATH, dep_task="B",
+            limit_s=5.0, max_attempt=max_attempt,
+            max_attempt_action=ActionType.SKIP_PATH if max_attempt else None))
+
+    def alphabet(self, machine):
+        # Deltas straddling the 5 s window cover both guard branches.
+        return alphabet_for(machine, deltas=[1.0, 10.0])
+
+    def test_violation_requires_dependency_first(self):
+        machine = self.machine()
+        result = explore(machine, self.alphabet(machine), depth=2)
+        witness = result.shortest_witness("restartPath")
+        assert witness is not None
+        assert witness[0].kind == "endTask" and witness[0].task == "B"
+        assert witness[1].kind == "startTask" and witness[1].delta == 10.0
+
+    def test_no_violation_without_dependency(self):
+        machine = self.machine()
+        only_a = [l for l in self.alphabet(machine) if l.task == "A"]
+        result = explore(machine, only_a, depth=4)
+        assert not result.witnesses
+
+    @pytest.mark.parametrize("max_attempt", [2, 3])
+    def test_escalation_depth_is_exactly_max_attempt_violations(
+            self, max_attempt):
+        machine = self.machine(max_attempt)
+        result = explore(machine, self.alphabet(machine),
+                         depth=max_attempt + 2)
+        witness = result.shortest_witness("skipPath")
+        assert witness is not None
+        # Shortest escalation: one dependency completion, then
+        # max_attempt violating start attempts (the explorer is free to
+        # realise later violations with short deltas — once late,
+        # re-starts without a fresh dependency completion stay late).
+        assert len(witness) == max_attempt + 1
+        assert witness[0].kind == "endTask" and witness[0].task == "B"
+        starts = witness[1:]
+        assert all(l.kind == "startTask" and l.task == "A" for l in starts)
+        assert starts[0].delta == 10.0  # the first violation must be late
+
+    def test_restart_action_reachable_before_escalation(self):
+        machine = self.machine(3)
+        result = explore(machine, self.alphabet(machine), depth=3)
+        assert result.can_fail_with("restartPath")
+        assert not result.can_fail_with("skipPath")
+
+
+class TestMaxDurationModelChecked:
+    def test_failure_needs_start_then_late_event(self):
+        machine = generate_machine(MaxDuration(
+            task="A", on_fail=ActionType.SKIP_TASK, limit_s=3.0))
+        alphabet = alphabet_for(machine, deltas=[1.0, 5.0])
+        result = explore(machine, alphabet, depth=3)
+        witness = result.shortest_witness("skipTask")
+        assert witness is not None
+        assert len(witness) == 2
+        assert witness[0].kind == "startTask"
+        assert witness[1].delta == 5.0
+
+
+class TestCollectModelChecked:
+    def test_failure_on_early_start_success_after_enough(self):
+        machine = generate_machine(Collect(
+            task="A", on_fail=ActionType.RESTART_PATH, dep_task="B", count=2))
+        alphabet = alphabet_for(machine, deltas=[1.0])
+        result = explore(machine, alphabet, depth=3)
+        witness = result.shortest_witness("restartPath")
+        assert witness is not None
+        assert len(witness) == 1  # an immediate start violates
+
+
+class TestDpDataModelChecked:
+    def test_only_out_of_range_values_fail(self):
+        machine = generate_machine(DpData(
+            task="A", on_fail=ActionType.COMPLETE_PATH, var="v",
+            low=0.0, high=1.0))
+        alphabet = alphabet_for(machine, deltas=[1.0],
+                                data_values={"v": [0.5, 2.0]})
+        result = explore(machine, alphabet, depth=1)
+        witness = result.shortest_witness("completePath")
+        assert witness is not None
+        assert dict(witness[0].data)["v"] == 2.0
+
+    def test_in_range_only_alphabet_never_fails(self):
+        machine = generate_machine(DpData(
+            task="A", on_fail=ActionType.COMPLETE_PATH, var="v",
+            low=0.0, high=1.0))
+        alphabet = alphabet_for(machine, deltas=[1.0],
+                                data_values={"v": [0.2, 0.9]})
+        result = explore(machine, alphabet, depth=3)
+        assert not result.witnesses
+
+
+class TestExplorerMechanics:
+    def test_negative_depth_rejected(self):
+        machine = generate_machine(MaxTries(
+            task="A", on_fail=ActionType.SKIP_PATH, limit=2))
+        with pytest.raises(StateMachineError):
+            explore(machine, alphabet_for(machine, deltas=[1.0]), depth=-1)
+
+    def test_configuration_budget_enforced(self):
+        machine = generate_machine(MaxTries(
+            task="A", on_fail=ActionType.SKIP_PATH, limit=50))
+        with pytest.raises(StateMachineError):
+            explore(machine, alphabet_for(machine, deltas=[1.0]),
+                    depth=60, max_configurations=10)
+
+    def test_configurations_deduplicated(self):
+        # maxTries(3) over one letter has only ~5 distinct configs.
+        machine = generate_machine(MaxTries(
+            task="A", on_fail=ActionType.SKIP_PATH, limit=3))
+        alphabet = [Letter("startTask", "A", 1.0)]
+        result = explore(machine, alphabet, depth=20)
+        assert result.configurations <= 6

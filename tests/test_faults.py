@@ -1,0 +1,118 @@
+"""Tests for the fault-injection device library."""
+
+import pytest
+
+from repro.core.runtime import ArtemisRuntime
+from repro.energy.power import PowerModel, TaskCost
+from repro.errors import PowerFailure, SimulationError
+from repro.sim.faults import (
+    FailAtCategoryIndices,
+    FailAtIndices,
+    FailDuringTasks,
+    FailRandomly,
+)
+from repro.spec.validator import load_properties
+from repro.taskgraph.builder import AppBuilder
+from repro.taskgraph.context import channel_cell_name
+
+
+def power():
+    return PowerModel({}, default_cost=TaskCost(0.1, 1e-3))
+
+
+def pipeline_app():
+    return (
+        AppBuilder("pipe")
+        .task("a", body=lambda ctx: ctx.append("log", "a"))
+        .task("b", body=lambda ctx: ctx.append("log", "b"))
+        .task("c", body=lambda ctx: ctx.append("log", "c"))
+        .path(1, ["a", "b", "c"])
+        .build()
+    )
+
+
+def make_runtime(device):
+    app = pipeline_app()
+    return ArtemisRuntime(app, load_properties("", app), device, power())
+
+
+class TestFailAtIndices:
+    def test_fails_at_exact_calls(self):
+        device = FailAtIndices({1, 3})
+        with pytest.raises(PowerFailure):
+            device.consume(0.1, 1e-3, "app")
+        device.reboot()
+        device.consume(0.1, 1e-3, "app")
+        with pytest.raises(PowerFailure):
+            device.consume(0.1, 1e-3, "app")
+
+    def test_run_completes_through_failures(self):
+        device = FailAtIndices({2, 5})
+        result = device.run(make_runtime(device), max_time_s=600)
+        assert result.completed
+        assert result.reboots == 2
+        assert device.nvm.cell(channel_cell_name("log")).get() == ["a", "b", "c"]
+
+    def test_injected_failures_marked_in_trace(self):
+        device = FailAtIndices({1})
+        device.run(make_runtime(device), max_time_s=600)
+        failures = device.trace.of_kind("power_failure")
+        assert failures and failures[0].detail.get("injected")
+
+
+class TestFailAtCategoryIndices:
+    def test_category_scoped(self):
+        device = FailAtCategoryIndices({"monitor": {1}})
+        result = device.run(make_runtime(device), max_time_s=600)
+        assert result.completed
+        failure = device.trace.of_kind("power_failure")[0]
+        assert failure.detail["category"] == "monitor"
+
+
+class TestFailRandomly:
+    def test_deterministic_per_seed(self):
+        logs = []
+        for _ in range(2):
+            device = FailRandomly(p=0.05, seed=11)
+            device.run(make_runtime(device), max_time_s=600)
+            logs.append([e.kind for e in device.trace])
+        assert logs[0] == logs[1]
+
+    def test_completes_despite_random_failures(self):
+        device = FailRandomly(p=0.10, seed=3)
+        result = device.run(make_runtime(device), max_time_s=600)
+        assert result.completed
+        assert device.nvm.cell(channel_cell_name("log")).get() == ["a", "b", "c"]
+
+    def test_max_failures_cap(self):
+        device = FailRandomly(p=0.9, seed=1, max_failures=4)
+        result = device.run(make_runtime(device), max_time_s=600)
+        assert result.completed
+        assert result.reboots <= 4
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(SimulationError):
+            FailRandomly(p=1.5)
+
+
+class TestFailDuringTasks:
+    def test_named_task_dies_n_times(self):
+        device = FailDuringTasks({"b": 3})
+        result = device.run(make_runtime(device), max_time_s=600)
+        assert result.completed
+        b_starts = [e for e in device.trace.of_kind("task_start")
+                    if e.detail["task"] == "b"]
+        assert len(b_starts) == 4  # 3 failed attempts + the success
+        assert device.nvm.cell(channel_cell_name("log")).get() == ["a", "b", "c"]
+
+    def test_combines_with_maxtries(self):
+        app = pipeline_app()
+        props = load_properties("b { maxTries: 3 onFail: skipPath; }", app)
+        device = FailDuringTasks({"b": 99})
+        runtime = ArtemisRuntime(app, props, device, power())
+        result = device.run(runtime, max_time_s=600)
+        assert result.completed
+        # b never completes; after 3 attempts the path is skipped.
+        log = device.nvm.cell(channel_cell_name("log")).get()
+        assert log == ["a"]
+        assert device.trace.count("path_skip") == 1

@@ -1,0 +1,330 @@
+"""Tests for the property → state machine generator (Figure 7 templates)."""
+
+import pytest
+
+from repro.core.actions import ActionType
+from repro.core.events import MonitorEvent, end_event, start_event
+from repro.core.generator import generate_machine, generate_machines
+from repro.core.properties import (
+    Collect,
+    DpData,
+    EnergyAtLeast,
+    MITD,
+    MaxDuration,
+    MaxTries,
+    Period,
+)
+from repro.errors import GenerationError
+from repro.statemachine.interpreter import MachineInstance
+
+
+def run(machine, events):
+    """Feed events; return flat list of (action, path) verdicts."""
+    inst = MachineInstance(machine)
+    out = []
+    for event in events:
+        out.extend((v.action, v.path) for v in inst.on_event(event))
+    return out
+
+
+class TestMaxTriesTemplate:
+    def prop(self, limit=10):
+        return MaxTries(task="accel", on_fail=ActionType.SKIP_PATH, limit=limit)
+
+    def test_allows_limit_attempts(self):
+        events = [start_event("accel", float(i)) for i in range(10)]
+        assert run(generate_machine(self.prop(10)), events) == []
+
+    def test_fails_on_attempt_past_limit(self):
+        events = [start_event("accel", float(i)) for i in range(11)]
+        assert run(generate_machine(self.prop(10)), events) == [("skipPath", None)]
+
+    def test_completion_resets_counter(self):
+        machine = generate_machine(self.prop(3))
+        events = (
+            [start_event("accel", 0.0), start_event("accel", 1.0),
+             end_event("accel", 2.0)]
+            + [start_event("accel", float(3 + i)) for i in range(3)]
+        )
+        assert run(machine, events) == []
+
+    def test_figure7_shape(self):
+        machine = generate_machine(self.prop())
+        assert machine.states == ["NotStarted", "Started"]
+        assert machine.initial == "NotStarted"
+        assert [v.name for v in machine.variables] == ["i"]
+
+
+class TestMaxDurationTemplate:
+    def prop(self, limit=3.0):
+        return MaxDuration(task="A", on_fail=ActionType.SKIP_TASK, limit_s=limit)
+
+    def test_in_time_completion_ok(self):
+        events = [start_event("A", 0.0), end_event("A", 2.9)]
+        assert run(generate_machine(self.prop()), events) == []
+
+    def test_late_end_fails(self):
+        events = [start_event("A", 0.0), end_event("A", 3.5)]
+        assert run(generate_machine(self.prop()), events) == [("skipTask", None)]
+
+    def test_any_late_event_fails(self):
+        # An unrelated event past the window reveals the overrun.
+        events = [start_event("A", 0.0), start_event("B", 4.0)]
+        assert run(generate_machine(self.prop()), events) == [("skipTask", None)]
+
+    def test_restart_keeps_original_start(self):
+        """§4.1.3: re-stamped StartTask events are disregarded; the
+        original start time decides the deadline."""
+        machine = generate_machine(self.prop(3.0))
+        inst = MachineInstance(machine)
+        inst.on_event(start_event("A", 0.0))
+        inst.on_event(start_event("A", 1.0))  # restart within window
+        assert inst.get("start") == 0.0
+        verdicts = inst.on_event(end_event("A", 3.5))
+        assert [v.action for v in verdicts] == ["skipTask"]
+
+    def test_within_window_restart_no_failure(self):
+        events = [start_event("A", 0.0), start_event("A", 1.0),
+                  end_event("A", 2.5)]
+        assert run(generate_machine(self.prop()), events) == []
+
+
+class TestCollectTemplate:
+    def prop(self, count=5, reset=False):
+        return Collect(task="A", on_fail=ActionType.RESTART_PATH,
+                       dep_task="B", count=count, reset_on_fail=reset)
+
+    def test_enough_items_pass(self):
+        events = [end_event("B", float(i)) for i in range(5)]
+        events.append(start_event("A", 10.0))
+        assert run(generate_machine(self.prop()), events) == []
+
+    def test_too_few_items_fail(self):
+        events = [end_event("B", 0.0), start_event("A", 1.0)]
+        assert run(generate_machine(self.prop()), events) == [("restartPath", None)]
+
+    def test_accumulates_across_failures_by_default(self):
+        machine = generate_machine(self.prop(count=3))
+        inst = MachineInstance(machine)
+        for i in range(2):
+            inst.on_event(end_event("B", float(i)))
+            inst.on_event(start_event("A", float(i) + 0.5))  # fails, keeps count
+        inst.on_event(end_event("B", 2.0))
+        assert inst.on_event(start_event("A", 3.0)) == []  # 3 collected
+
+    def test_figure7_literal_reset_on_fail(self):
+        machine = generate_machine(self.prop(count=3, reset=True))
+        inst = MachineInstance(machine)
+        inst.on_event(end_event("B", 0.0))
+        inst.on_event(start_event("A", 1.0))  # fails and resets
+        assert inst.get("i") == 0
+
+    def test_success_consumes_count(self):
+        machine = generate_machine(self.prop(count=2))
+        inst = MachineInstance(machine)
+        inst.on_event(end_event("B", 0.0))
+        inst.on_event(end_event("B", 1.0))
+        assert inst.on_event(start_event("A", 2.0)) == []
+        assert inst.get("i") == 0  # consumed; next round collects anew
+
+    def test_single_state_machine(self):
+        machine = generate_machine(self.prop())
+        assert machine.states == ["Counting"]
+
+
+class TestMITDTemplate:
+    def prop(self, max_attempt=None):
+        return MITD(
+            task="A", on_fail=ActionType.RESTART_PATH, dep_task="B",
+            limit_s=2.0, max_attempt=max_attempt,
+            max_attempt_action=ActionType.SKIP_PATH if max_attempt else None,
+        )
+
+    def test_on_time_start_ok(self):
+        events = [end_event("B", 0.0), start_event("A", 1.5)]
+        assert run(generate_machine(self.prop()), events) == []
+
+    def test_late_start_fails(self):
+        events = [end_event("B", 0.0), start_event("A", 3.0)]
+        assert run(generate_machine(self.prop()), events) == [("restartPath", None)]
+
+    def test_dependency_refresh_extends_deadline(self):
+        events = [end_event("B", 0.0), end_event("B", 10.0),
+                  start_event("A", 11.0)]
+        assert run(generate_machine(self.prop()), events) == []
+
+    def test_reexecution_attempt_rechecked(self):
+        """An on-time start followed by a power-failure re-start after a
+        long outage must be caught (the §5.2 scenario)."""
+        events = [end_event("B", 0.0), start_event("A", 1.0),  # on time
+                  start_event("A", 400.0)]  # re-attempt after outage
+        assert run(generate_machine(self.prop()), events) == [("restartPath", None)]
+
+    def test_max_attempt_escalation(self):
+        machine = generate_machine(self.prop(max_attempt=3))
+        events = [end_event("B", 0.0)]
+        # three late attempts, each preceded by a refreshed B completion
+        verdicts = []
+        inst = MachineInstance(machine)
+        for event in events:
+            inst.on_event(event)
+        t = 10.0
+        for _ in range(3):
+            verdicts.extend(inst.on_event(start_event("A", t)))
+            inst.on_event(end_event("B", t + 1.0))
+            t += 10.0
+        assert [v.action for v in verdicts] == [
+            "restartPath", "restartPath", "skipPath"]
+
+    def test_attempt_counter_not_reset_by_on_time_start(self):
+        """Interleaved on-time starts (that never complete) must not
+        clear the violation streak."""
+        machine = generate_machine(self.prop(max_attempt=2))
+        inst = MachineInstance(machine)
+        inst.on_event(end_event("B", 0.0))
+        v1 = inst.on_event(start_event("A", 5.0))  # late: violation 1
+        inst.on_event(end_event("B", 6.0))  # path restarted, B re-ran
+        assert inst.on_event(start_event("A", 7.0)) == []  # on time, dies later
+        v2 = inst.on_event(start_event("A", 20.0))  # late again: escalate
+        assert [v.action for v in v1] == ["restartPath"]
+        assert [v.action for v in v2] == ["skipPath"]
+
+    def test_completion_clears_attempts(self):
+        machine = generate_machine(self.prop(max_attempt=2))
+        inst = MachineInstance(machine)
+        inst.on_event(end_event("B", 0.0))
+        inst.on_event(start_event("A", 5.0))  # violation 1
+        inst.on_event(end_event("B", 6.0))
+        inst.on_event(start_event("A", 7.0))  # on time
+        inst.on_event(end_event("A", 8.0))  # completes: streak cleared
+        inst.on_event(end_event("B", 9.0))
+        verdicts = inst.on_event(start_event("A", 20.0))  # violation again
+        assert [v.action for v in verdicts] == ["restartPath"]  # not skipPath
+
+    def test_start_before_any_b_completion_ignored(self):
+        events = [start_event("A", 0.0)]
+        assert run(generate_machine(self.prop()), events) == []
+
+
+class TestDpDataTemplate:
+    def prop(self):
+        return DpData(task="calcAvg", on_fail=ActionType.COMPLETE_PATH,
+                      var="avgTemp", low=36.0, high=38.0)
+
+    def test_in_range_ok(self):
+        events = [end_event("calcAvg", 0.0, {"avgTemp": 36.8})]
+        assert run(generate_machine(self.prop()), events) == []
+
+    def test_above_range_fails(self):
+        events = [end_event("calcAvg", 0.0, {"avgTemp": 39.2})]
+        assert run(generate_machine(self.prop()), events) == [("completePath", None)]
+
+    def test_below_range_fails(self):
+        events = [end_event("calcAvg", 0.0, {"avgTemp": 35.0})]
+        assert run(generate_machine(self.prop()), events) == [("completePath", None)]
+
+    def test_boundaries_inclusive(self):
+        for value in (36.0, 38.0):
+            events = [end_event("calcAvg", 0.0, {"avgTemp": value})]
+            assert run(generate_machine(self.prop()), events) == []
+
+
+class TestPeriodTemplate:
+    def prop(self, max_attempt=None):
+        return Period(
+            task="A", on_fail=ActionType.RESTART_PATH, period_s=10.0,
+            jitter_s=1.0, max_attempt=max_attempt,
+            max_attempt_action=ActionType.SKIP_PATH if max_attempt else None,
+        )
+
+    def test_on_time_period_ok(self):
+        events = [start_event("A", 0.0), start_event("A", 10.5),
+                  start_event("A", 20.9)]
+        assert run(generate_machine(self.prop()), events) == []
+
+    def test_late_period_fails(self):
+        events = [start_event("A", 0.0), start_event("A", 12.0)]
+        assert run(generate_machine(self.prop()), events) == [("restartPath", None)]
+
+    def test_jitter_tolerance(self):
+        events = [start_event("A", 0.0), start_event("A", 11.0)]
+        assert run(generate_machine(self.prop()), events) == []
+
+    def test_max_attempt_escalation(self):
+        events = [start_event("A", 0.0), start_event("A", 20.0),
+                  start_event("A", 40.0)]
+        assert run(generate_machine(self.prop(max_attempt=2)), events) == [
+            ("restartPath", None), ("skipPath", None)]
+
+    def test_on_time_resets_attempts(self):
+        events = [start_event("A", 0.0), start_event("A", 20.0),  # violation
+                  start_event("A", 30.0),  # on time: reset
+                  start_event("A", 50.0)]  # violation again -> restart
+        assert run(generate_machine(self.prop(max_attempt=2)), events) == [
+            ("restartPath", None), ("restartPath", None)]
+
+
+class TestEnergyTemplate:
+    def test_low_energy_fails(self):
+        prop = EnergyAtLeast(task="A", on_fail=ActionType.SKIP_TASK,
+                             min_energy_j=0.010)
+        machine = generate_machine(prop)
+        events = [MonitorEvent("startTask", "A", 0.0, {"energy": 0.005})]
+        assert run(machine, events) == [("skipTask", None)]
+
+    def test_sufficient_energy_ok(self):
+        prop = EnergyAtLeast(task="A", on_fail=ActionType.SKIP_TASK,
+                             min_energy_j=0.010)
+        machine = generate_machine(prop)
+        events = [MonitorEvent("startTask", "A", 0.0, {"energy": 0.015})]
+        assert run(machine, events) == []
+
+
+class TestPathScoping:
+    def test_scoped_property_ignores_other_paths(self):
+        prop = Collect(task="send", on_fail=ActionType.RESTART_PATH,
+                       dep_task="micSense", count=1, path=3)
+        machine = generate_machine(prop)
+        inst = MachineInstance(machine)
+        # send starting on path 2 with no micSense data: NOT a violation.
+        assert inst.on_event(
+            MonitorEvent("startTask", "send", 0.0, path=2)) == []
+        # send starting on path 3 without data IS one.
+        verdicts = inst.on_event(MonitorEvent("startTask", "send", 1.0, path=3))
+        assert [(v.action, v.path) for v in verdicts] == [("restartPath", 3)]
+
+    def test_scoped_success_consumes_only_on_own_path(self):
+        prop = Collect(task="send", on_fail=ActionType.RESTART_PATH,
+                       dep_task="micSense", count=1, path=3)
+        inst = MachineInstance(generate_machine(prop))
+        inst.on_event(end_event("micSense", 0.0))
+        inst.on_event(MonitorEvent("startTask", "send", 1.0, path=2))
+        assert inst.get("i") == 1  # untouched by the path-2 start
+        assert inst.on_event(MonitorEvent("startTask", "send", 2.0, path=3)) == []
+        assert inst.get("i") == 0
+
+    def test_fail_carries_declared_path(self):
+        prop = MITD(task="send", on_fail=ActionType.RESTART_PATH,
+                    dep_task="accel", limit_s=2.0, path=2)
+        inst = MachineInstance(generate_machine(prop))
+        inst.on_event(end_event("accel", 0.0))
+        verdicts = inst.on_event(MonitorEvent("startTask", "send", 9.0, path=2))
+        assert [(v.action, v.path) for v in verdicts] == [("restartPath", 2)]
+
+
+class TestGeneratorGeneral:
+    def test_generate_machines_one_per_property(self, health_app):
+        from repro.spec.validator import load_properties
+        from repro.workloads.health import FIGURE5_SPEC
+
+        props = load_properties(FIGURE5_SPEC, health_app)
+        machines = generate_machines(props)
+        assert len(machines) == len(props)
+        assert len({m.name for m in machines}) == len(machines)
+
+    def test_unknown_property_type_rejected(self):
+        class Fake:
+            path = None
+
+        with pytest.raises(GenerationError):
+            generate_machine(Fake())

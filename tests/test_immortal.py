@@ -1,0 +1,128 @@
+"""Tests for the ImmortalThreads-style continuation substrate."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.immortal.continuations import ImmortalRoutine, PersistentList
+
+
+class Boom(Exception):
+    """Stand-in for a power failure inside a step."""
+
+
+class TestImmortalRoutine:
+    def test_runs_all_steps(self, nvm):
+        log = []
+        routine = ImmortalRoutine(nvm, "r")
+        routine.run([lambda: log.append(1), lambda: log.append(2)])
+        assert log == [1, 2]
+        assert not routine.in_progress
+
+    def test_interrupted_run_resumes_at_failed_step(self, nvm):
+        log = []
+        routine = ImmortalRoutine(nvm, "r")
+        fail_once = {"armed": True}
+
+        def flaky():
+            if fail_once["armed"]:
+                fail_once["armed"] = False
+                raise Boom()
+            log.append("flaky")
+
+        steps = [lambda: log.append("a"), flaky, lambda: log.append("b")]
+        with pytest.raises(Boom):
+            routine.run(steps)
+        assert routine.in_progress
+        assert routine.next_step == 1
+        assert routine.resume(steps)
+        assert log == ["a", "flaky", "b"]
+        assert not routine.in_progress
+
+    def test_completed_steps_not_rerun_on_resume(self, nvm):
+        counter = {"a": 0}
+        routine = ImmortalRoutine(nvm, "r")
+
+        def step_a():
+            counter["a"] += 1
+
+        def bomb():
+            raise Boom()
+
+        with pytest.raises(Boom):
+            routine.run([step_a, bomb])
+        try:
+            routine.resume([step_a, lambda: None])
+        except Boom:
+            pass
+        assert counter["a"] == 1
+
+    def test_resume_without_interruption_is_noop(self, nvm):
+        routine = ImmortalRoutine(nvm, "r")
+        routine.run([lambda: None])
+        assert routine.resume([lambda: None]) is False
+
+    def test_run_while_in_progress_rejected(self, nvm):
+        routine = ImmortalRoutine(nvm, "r")
+        with pytest.raises(Boom):
+            routine.run([lambda: (_ for _ in ()).throw(Boom())])
+        with pytest.raises(ReproError):
+            routine.run([lambda: None])
+
+    def test_resume_with_wrong_step_count_rejected(self, nvm):
+        routine = ImmortalRoutine(nvm, "r")
+        with pytest.raises(Boom):
+            routine.run([lambda: (_ for _ in ()).throw(Boom()), lambda: None])
+        with pytest.raises(ReproError):
+            routine.resume([lambda: None])
+
+    def test_progress_survives_reconstruction(self, nvm):
+        routine = ImmortalRoutine(nvm, "r")
+        with pytest.raises(Boom):
+            routine.run([lambda: None, lambda: (_ for _ in ()).throw(Boom())])
+        # A "reboot": rebuild the routine object over the same NVM.
+        revived = ImmortalRoutine(nvm, "r")
+        assert revived.in_progress
+        assert revived.next_step == 1
+
+    def test_multiple_interruptions(self, nvm):
+        routine = ImmortalRoutine(nvm, "r")
+        fails = {"n": 2}
+        log = []
+
+        def flaky():
+            if fails["n"]:
+                fails["n"] -= 1
+                raise Boom()
+            log.append("done")
+
+        steps = [lambda: log.append("pre"), flaky]
+        with pytest.raises(Boom):
+            routine.run(steps)
+        with pytest.raises(Boom):
+            routine.resume(steps)
+        routine.resume(steps)
+        assert log == ["pre", "done"]
+
+    def test_empty_step_list(self, nvm):
+        routine = ImmortalRoutine(nvm, "r")
+        routine.run([])
+        assert not routine.in_progress
+
+
+class TestPersistentList:
+    def test_append_and_items(self, nvm):
+        plist = PersistentList(nvm, "v")
+        plist.append(("m", "skipPath", None))
+        plist.append(("n", "restartPath", 2))
+        assert plist.items() == [("m", "skipPath", None), ("n", "restartPath", 2)]
+        assert len(plist) == 2
+
+    def test_clear(self, nvm):
+        plist = PersistentList(nvm, "v")
+        plist.append(1)
+        plist.clear()
+        assert plist.items() == []
+
+    def test_survives_reconstruction(self, nvm):
+        PersistentList(nvm, "v").append("x")
+        assert PersistentList(nvm, "v").items() == ["x"]

@@ -1,0 +1,85 @@
+"""Tests for the Table 2 memory accountant."""
+
+import pytest
+
+from repro.core.generator import generate_machines
+from repro.memsize.model import (
+    artemis_monitor_memory,
+    artemis_runtime_memory,
+    mayfly_runtime_memory,
+    table2,
+)
+from repro.spec.validator import load_properties
+from repro.workloads.health import BENCHMARK_SPEC, build_health_app, mayfly_config
+
+
+@pytest.fixture(scope="module")
+def reports():
+    app = build_health_app()
+    machines = generate_machines(load_properties(BENCHMARK_SPEC, app))
+    return {r.component: r for r in table2(app, machines, mayfly_config())}
+
+
+class TestTable2Shape:
+    """The orderings Table 2 exhibits must hold for the benchmark."""
+
+    def test_artemis_runtime_text_exceeds_mayfly(self, reports):
+        assert (reports["ARTEMIS runtime"].text_bytes
+                > reports["Mayfly runtime"].text_bytes)
+
+    def test_monitor_text_is_largest(self, reports):
+        assert (reports["ARTEMIS monitor"].text_bytes
+                > reports["ARTEMIS runtime"].text_bytes)
+
+    def test_artemis_runtime_fram_below_mayfly(self, reports):
+        # Property state moved out of the runtime (paper: 4756 < 6354).
+        assert (reports["ARTEMIS runtime"].fram_bytes
+                < reports["Mayfly runtime"].fram_bytes)
+
+    def test_monitor_fram_dominates(self, reports):
+        assert (reports["ARTEMIS monitor"].fram_bytes
+                > reports["Mayfly runtime"].fram_bytes)
+
+    def test_ram_is_negligible(self, reports):
+        for report in reports.values():
+            assert report.ram_bytes <= 2
+
+    def test_magnitudes_match_paper_order(self, reports):
+        # Paper: 1152 / 1512 / 4644 .text; 6354 / 4756 / 15856 FRAM.
+        assert 500 < reports["Mayfly runtime"].text_bytes < 3000
+        assert 800 < reports["ARTEMIS runtime"].text_bytes < 3500
+        assert 2500 < reports["ARTEMIS monitor"].text_bytes < 12000
+        assert 3000 < reports["Mayfly runtime"].fram_bytes < 12000
+        assert 3000 < reports["ARTEMIS runtime"].fram_bytes < 10000
+        assert 8000 < reports["ARTEMIS monitor"].fram_bytes < 30000
+
+
+class TestAccountantMechanics:
+    def test_monitor_size_scales_with_properties(self):
+        app = build_health_app()
+        small = generate_machines(load_properties(
+            "accel { maxTries: 10 onFail: skipPath Path: 2; }", app))
+        big = generate_machines(load_properties(BENCHMARK_SPEC, app))
+        assert (artemis_monitor_memory(app, big).text_bytes
+                > artemis_monitor_memory(app, small).text_bytes)
+        assert (artemis_monitor_memory(app, big).fram_bytes
+                > artemis_monitor_memory(app, small).fram_bytes)
+
+    def test_runtime_fram_scales_with_tasks(self):
+        from repro.taskgraph.builder import AppBuilder
+
+        small_app = AppBuilder("s").task("a").path(1, ["a"]).build()
+        assert (artemis_runtime_memory(build_health_app()).fram_bytes
+                > artemis_runtime_memory(small_app).fram_bytes)
+
+    def test_mayfly_fram_scales_with_rules(self):
+        app = build_health_app()
+        from repro.baselines.mayfly import Collection, MayflyConfig
+
+        empty = mayfly_runtime_memory(app, MayflyConfig())
+        loaded = mayfly_runtime_memory(app, mayfly_config())
+        assert loaded.fram_bytes > empty.fram_bytes
+
+    def test_report_row_formatting(self, reports):
+        row = reports["ARTEMIS monitor"].row()
+        assert ".text=" in row and "FRAM=" in row

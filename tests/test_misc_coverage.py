@@ -1,0 +1,170 @@
+"""Small-surface tests closing coverage gaps across modules."""
+
+import pytest
+
+from repro.errors import EnergyError, SpecValidationError
+from repro.sim.tracer import Tracer
+
+
+class TestTracer:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.record(0.0, "task_start", task="a")
+        assert len(tracer) == 0
+
+    def test_dump_renders_and_limits(self):
+        tracer = Tracer()
+        for i in range(5):
+            tracer.record(float(i), "boot")
+        dump = tracer.dump(limit=2)
+        assert dump.count("boot") == 2
+        assert "[" in dump and "]" in dump
+
+    def test_last_returns_most_recent(self):
+        tracer = Tracer()
+        tracer.record(0.0, "task_start", task="a")
+        tracer.record(1.0, "task_start", task="b")
+        assert tracer.last("task_start").detail["task"] == "b"
+        assert tracer.last("never") is None
+
+    def test_task_events_filters_by_task(self):
+        tracer = Tracer()
+        tracer.record(0.0, "task_start", task="a")
+        tracer.record(1.0, "task_skip", task="b")
+        tracer.record(2.0, "task_end", task="a")
+        assert len(tracer.task_events("a")) == 2
+
+    def test_event_str(self):
+        tracer = Tracer()
+        tracer.record(1.5, "task_start", task="x")
+        assert "task_start" in str(tracer.events[0])
+        assert "task=x" in str(tracer.events[0])
+
+
+class TestEnvironmentEdges:
+    def test_harvest_on_continuous_is_zero(self):
+        from repro.energy.environment import EnergyEnvironment
+
+        env = EnergyEnvironment.continuous()
+        assert env.harvest(0.0, 100.0) == 0.0
+
+    def test_negative_consume_rejected(self):
+        from repro.energy.environment import EnergyEnvironment
+
+        with pytest.raises(EnergyError):
+            EnergyEnvironment.continuous().consume(-1.0)
+
+    def test_charging_time_when_already_charged(self):
+        from repro.energy.environment import EnergyEnvironment
+
+        env = EnergyEnvironment.for_charging_delay(60.0)
+        assert env.charging_time_from(0.0) == 0.0
+
+
+class TestValidatorClauseErrors:
+    def make_app(self):
+        from repro.taskgraph.builder import AppBuilder
+
+        return AppBuilder("m").task("a").task("b").path(1, ["a", "b"]).build()
+
+    def test_jitter_must_be_duration(self):
+        from repro.spec.validator import load_properties
+
+        with pytest.raises(SpecValidationError):
+            load_properties("a { period: 10s jitter: soon onFail: restartTask; }",
+                            self.make_app())
+
+    def test_path_must_be_positive_integer(self):
+        from repro.spec.validator import load_properties
+
+        with pytest.raises(SpecValidationError):
+            load_properties("a { maxTries: 2 onFail: skipPath Path: 0; }",
+                            self.make_app())
+
+    def test_maxattempt_must_be_positive(self):
+        from repro.spec.validator import load_properties
+
+        with pytest.raises(SpecValidationError):
+            load_properties(
+                "b { MITD: 5s dpTask: a maxAttempt: 0 onFail: skipPath "
+                "onFail: restartPath; }", self.make_app())
+
+    def test_error_carries_line_number(self):
+        from repro.spec.validator import load_properties
+
+        with pytest.raises(SpecValidationError) as exc:
+            load_properties("a { maxTries: 2 onFail: skipPath; }\n"
+                            "b { teleport: 1 onFail: skipPath; }",
+                            self.make_app())
+        assert "line 2" in str(exc.value)
+
+
+class TestSyntaxErrorPositions:
+    def test_lexer_error_position(self):
+        from repro.errors import SpecSyntaxError
+        from repro.spec.lexer import tokenize
+
+        with pytest.raises(SpecSyntaxError) as exc:
+            tokenize("a {\n  maxTries: @3;\n}")
+        assert exc.value.line == 2
+
+    def test_parser_error_position(self):
+        from repro.errors import SpecSyntaxError
+        from repro.spec.parser import parse_spec
+
+        with pytest.raises(SpecSyntaxError) as exc:
+            parse_spec("a {\n maxTries 3 onFail: skipPath;\n}")
+        assert exc.value.line == 2
+
+
+class TestActionsAndResults:
+    def test_action_str_forms(self):
+        from repro.core.actions import Action, ActionType
+
+        assert str(Action(ActionType.SKIP_PATH)) == "skipPath"
+        assert str(Action(ActionType.RESTART_PATH, path=2)) == "restartPath(path 2)"
+
+    def test_path_and_app_reprs(self, health_app):
+        assert "bodyTemp" in repr(health_app.path(1))
+        assert "health_monitor" in repr(health_app)
+
+    def test_capacitor_repr(self):
+        from repro.energy.capacitor import Capacitor
+
+        assert "mJ" in repr(Capacitor(1e-3, v_initial=3.0))
+
+    def test_task_and_machine_reprs(self):
+        from repro.core.actions import ActionType
+        from repro.core.generator import generate_machine
+        from repro.core.properties import MaxTries
+        from repro.statemachine.interpreter import MachineInstance
+        from repro.taskgraph.task import Task
+
+        assert repr(Task("x")) == "Task('x')"
+        machine = generate_machine(
+            MaxTries(task="x", on_fail=ActionType.SKIP_PATH, limit=2))
+        assert "maxTries_x" in repr(machine)
+        assert "NotStarted" in repr(MachineInstance(machine))
+
+
+class TestCheckpointProgramRepr:
+    def test_checkpoints_marked(self):
+        from repro.checkpoint.program import Block, CheckpointProgram
+
+        program = CheckpointProgram(
+            "p", [Block("a", 1.0), Block("b", 1.0)], checkpoint_after=("a",))
+        assert "a|CP" in repr(program)
+
+
+class TestMemoryReportRow:
+    def test_inlined_report_component_name(self):
+        from repro.core.generator import generate_machines
+        from repro.memsize.model import inlined_memory
+        from repro.spec.validator import load_properties
+        from repro.workloads.health import BENCHMARK_SPEC, build_health_app
+
+        app = build_health_app()
+        machines = generate_machines(load_properties(BENCHMARK_SPEC, app))
+        report = inlined_memory(app, machines)
+        assert report.component == "ARTEMIS inlined"
+        assert "FRAM" in report.row()

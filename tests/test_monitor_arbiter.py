@@ -1,0 +1,236 @@
+"""Tests for ArtemisMonitor (callMonitor/monitorFinalize semantics) and
+action arbitration."""
+
+import pytest
+
+from repro.core.actions import NO_ACTION, Action, ActionType
+from repro.core.arbiter import arbitrate, first_reported, most_severe
+from repro.core.events import MonitorEvent, end_event, start_event
+from repro.core.monitor import ArtemisMonitor
+from repro.core.properties import (
+    Collect,
+    MaxDuration,
+    MaxTries,
+    PropertySet,
+)
+from repro.errors import ReproError
+
+
+class Brownout(Exception):
+    """Simulated power failure inside a spend callback."""
+
+
+def props_for(*props):
+    pset = PropertySet()
+    for prop in props:
+        pset.add(prop)
+    return pset
+
+
+def make_monitor(nvm, backend="generated", *props):
+    if not props:
+        props = (
+            MaxTries(task="A", on_fail=ActionType.SKIP_PATH, limit=2),
+            MaxDuration(task="A", on_fail=ActionType.SKIP_TASK, limit_s=5.0),
+            Collect(task="A", on_fail=ActionType.RESTART_PATH, dep_task="B",
+                    count=1),
+        )
+    return ArtemisMonitor(props_for(*props), nvm, backend=backend)
+
+
+class TestArbitration:
+    def test_empty_is_no_action(self):
+        assert arbitrate([]) is NO_ACTION
+
+    def test_most_severe_wins(self):
+        actions = [
+            Action(ActionType.RESTART_TASK),
+            Action(ActionType.SKIP_PATH),
+            Action(ActionType.SKIP_TASK),
+        ]
+        assert arbitrate(actions).type is ActionType.SKIP_PATH
+
+    def test_complete_path_beats_all(self):
+        actions = [Action(ActionType.SKIP_PATH), Action(ActionType.COMPLETE_PATH)]
+        assert arbitrate(actions).type is ActionType.COMPLETE_PATH
+
+    def test_tie_keeps_first_reported(self):
+        actions = [
+            Action(ActionType.SKIP_PATH, path=2, source="m1"),
+            Action(ActionType.SKIP_PATH, path=3, source="m2"),
+        ]
+        assert arbitrate(actions).source == "m1"
+
+    def test_first_reported_policy(self):
+        actions = [
+            Action(ActionType.RESTART_TASK, source="weak"),
+            Action(ActionType.SKIP_PATH, source="strong"),
+        ]
+        assert arbitrate(actions, first_reported).source == "weak"
+
+    def test_severity_ordering_total(self):
+        order = [
+            ActionType.NONE, ActionType.RESTART_TASK, ActionType.SKIP_TASK,
+            ActionType.RESTART_PATH, ActionType.SKIP_PATH,
+            ActionType.COMPLETE_PATH,
+        ]
+        sevs = [Action(t).severity for t in order]
+        assert sevs == sorted(sevs)
+        assert len(set(sevs)) == len(sevs)
+
+    def test_action_from_name_unknown_rejected(self):
+        with pytest.raises(ReproError):
+            ActionType.from_name("explode")
+
+
+@pytest.mark.parametrize("backend", ["generated", "interpreted"])
+class TestMonitorCall:
+    def test_no_violation_returns_empty(self, nvm, backend):
+        monitor = make_monitor(nvm, backend)
+        monitor.reset()
+        assert monitor.call(end_event("B", 0.0)) == []
+
+    def test_violation_returns_action(self, nvm, backend):
+        monitor = make_monitor(nvm, backend)
+        monitor.reset()
+        actions = monitor.call(start_event("A", 0.0))  # collect unsatisfied
+        assert [a.type for a in actions] == [ActionType.RESTART_PATH]
+        assert actions[0].source == "collect_A"
+
+    def test_multiple_simultaneous_violations(self, nvm, backend):
+        monitor = make_monitor(nvm, backend)
+        monitor.reset()
+        monitor.call(start_event("A", 0.0))  # collect viol 1, tries=1
+        monitor.call(start_event("A", 1.0))  # collect viol, tries=2
+        actions = monitor.call(start_event("A", 10.0))
+        # maxTries exceeded AND collect unsatisfied AND maxDuration window
+        # blown: three monitors report at once.
+        types = {a.type for a in actions}
+        assert ActionType.SKIP_PATH in types
+        assert ActionType.RESTART_PATH in types
+        assert ActionType.SKIP_TASK in types
+        assert arbitrate(actions).type is ActionType.SKIP_PATH
+
+    def test_reset_reinitialises_all(self, nvm, backend):
+        monitor = make_monitor(nvm, backend)
+        monitor.reset()
+        monitor.call(start_event("A", 0.0))
+        monitor.reset()
+        # After reset the attempt count and collect count are both gone.
+        actions = monitor.call(end_event("B", 1.0))
+        assert actions == []
+        assert monitor.call(start_event("A", 2.0)) == []
+
+    def test_properties_for_task_counts(self, nvm, backend):
+        monitor = make_monitor(nvm, backend)
+        assert monitor.properties_for_task("A") == 3
+        # B only triggers the collect machine (as dependency) and the
+        # anyEvent-bearing maxDuration machine.
+        assert monitor.properties_for_task("B") == 2
+
+    def test_spend_charged_per_relevant_machine(self, nvm, backend):
+        monitor = make_monitor(nvm, backend)
+        monitor.reset()
+        charged = []
+        monitor.call(start_event("A", 0.0), spend=charged.append,
+                     per_machine_cost_s=1.0, base_cost_s=10.0)
+        assert charged[0] == 10.0
+        assert sum(1 for c in charged[1:] if c == 1.0) == 3
+        assert len(charged) == 4
+
+    def test_unknown_backend_rejected(self, nvm, backend):
+        with pytest.raises(ReproError):
+            ArtemisMonitor(props_for(), nvm, backend="quantum")
+
+
+class TestMonitorPersistence:
+    def test_interrupted_call_resumes_with_finalize(self, nvm):
+        monitor = make_monitor(nvm)
+        monitor.reset()
+        bomb = {"at": 2, "count": 0}
+
+        def spend(seconds):
+            bomb["count"] += 1
+            if bomb["count"] == bomb["at"]:
+                raise Brownout()
+
+        with pytest.raises(Brownout):
+            monitor.call(start_event("A", 0.0), spend=spend,
+                         per_machine_cost_s=1e-3, base_cost_s=1e-3)
+        assert monitor.in_progress
+        actions = monitor.finalize()
+        assert [a.type for a in actions] == [ActionType.RESTART_PATH]
+        assert not monitor.in_progress
+
+    def test_finalize_without_interruption_returns_none(self, nvm):
+        monitor = make_monitor(nvm)
+        monitor.reset()
+        assert monitor.finalize() is None
+
+    def test_no_double_counting_after_resume(self, nvm):
+        """A machine stepped before the failure must not step again."""
+        tries = MaxTries(task="A", on_fail=ActionType.SKIP_PATH, limit=3)
+        monitor = ArtemisMonitor(props_for(tries), nvm)
+        monitor.reset()
+        calls = {"n": 0}
+
+        def spend(seconds):
+            calls["n"] += 1
+            if calls["n"] == 2:  # after base step, during machine step
+                raise Brownout()
+
+        # The machine step itself failed before executing, so on resume
+        # it runs once; the counter must be exactly 1.
+        with pytest.raises(Brownout):
+            monitor.call(start_event("A", 0.0), spend=spend,
+                         per_machine_cost_s=1e-3, base_cost_s=1e-3)
+        monitor.finalize()
+        assert monitor.instances[0].get("i") == 1
+
+    def test_monitor_state_survives_reconstruction(self, nvm):
+        props = (MaxTries(task="A", on_fail=ActionType.SKIP_PATH, limit=5),)
+        monitor = ArtemisMonitor(props_for(*props), nvm)
+        monitor.reset()
+        monitor.call(start_event("A", 0.0))
+        revived = ArtemisMonitor(props_for(*props), nvm)
+        assert revived.instances[0].get("i") == 1
+        assert not revived.in_progress
+
+    def test_interrupted_state_survives_reconstruction(self, nvm):
+        props = (MaxTries(task="A", on_fail=ActionType.SKIP_PATH, limit=5),)
+        monitor = ArtemisMonitor(props_for(*props), nvm)
+        monitor.reset()
+
+        def bomb(seconds):
+            raise Brownout()
+
+        with pytest.raises(Brownout):
+            monitor.call(start_event("A", 0.0), spend=bomb, base_cost_s=1e-3)
+        revived = ArtemisMonitor(props_for(*props), nvm)
+        assert revived.in_progress
+        actions = revived.finalize()
+        assert actions == []
+        assert revived.instances[0].get("i") == 1
+
+
+class TestPathRestartReinit:
+    def test_reinit_respects_property_flags(self, nvm):
+        tries = MaxTries(task="A", on_fail=ActionType.SKIP_PATH, limit=5)
+        collect = Collect(task="A", on_fail=ActionType.RESTART_PATH,
+                          dep_task="B", count=3)
+        monitor = ArtemisMonitor(props_for(tries, collect), nvm)
+        monitor.reset()
+        monitor.call(start_event("A", 0.0))  # tries=1, collect fails
+        monitor.call(end_event("B", 1.0))  # collect count = 1
+        reset_count = monitor.reinit_for_path_restart(["A"])
+        assert reset_count == 1  # only maxTries reinitialised
+        assert monitor.instances[0].get("i") == 0  # tries cleared
+        assert monitor.instances[1].get("i") == 1  # collect count kept
+
+    def test_reinit_ignores_other_tasks(self, nvm):
+        tries = MaxTries(task="A", on_fail=ActionType.SKIP_PATH, limit=5)
+        monitor = ArtemisMonitor(props_for(tries), nvm)
+        monitor.reset()
+        monitor.call(start_event("A", 0.0))
+        assert monitor.reinit_for_path_restart(["X", "Y"]) == 0
+        assert monitor.instances[0].get("i") == 1

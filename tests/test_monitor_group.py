@@ -1,0 +1,196 @@
+"""Tests for MonitorGroup: several independent monitors fed as one."""
+
+import pytest
+
+from repro.core.actions import ActionType
+from repro.core.events import end_event, start_event
+from repro.core.monitor import ArtemisMonitor, MonitorGroup
+from repro.core.properties import Collect, MaxTries, PropertySet
+from repro.core.runtime import ArtemisRuntime
+from repro.energy.power import PowerModel, TaskCost
+from repro.errors import ReproError
+from repro.spec.validator import load_properties
+from repro.taskgraph.builder import AppBuilder
+
+
+class Brownout(Exception):
+    """Injected failure inside a spend callback."""
+
+
+def pset(*props):
+    out = PropertySet()
+    for p in props:
+        out.add(p)
+    return out
+
+
+def two_member_group(nvm):
+    tries = ArtemisMonitor(
+        pset(MaxTries(task="A", on_fail=ActionType.SKIP_PATH, limit=2)),
+        nvm, name="mon_tries")
+    collect = ArtemisMonitor(
+        pset(Collect(task="A", on_fail=ActionType.RESTART_PATH,
+                     dep_task="B", count=1)),
+        nvm, name="mon_collect")
+    return MonitorGroup([tries, collect], nvm)
+
+
+class TestGroupBasics:
+    def test_aggregates_actions_across_members(self, nvm):
+        group = two_member_group(nvm)
+        group.reset()
+        group.call(start_event("A", 0.0))  # collect violation, tries=1
+        group.call(start_event("A", 1.0))  # collect violation, tries=2
+        actions = group.call(start_event("A", 2.0))
+        assert {a.type for a in actions} == {
+            ActionType.SKIP_PATH, ActionType.RESTART_PATH}
+
+    def test_no_violation_empty(self, nvm):
+        group = two_member_group(nvm)
+        group.reset()
+        assert group.call(end_event("B", 0.0)) == []
+
+    def test_properties_for_task_sums_members(self, nvm):
+        group = two_member_group(nvm)
+        assert group.properties_for_task("A") == 2
+
+    def test_reinit_propagates(self, nvm):
+        group = two_member_group(nvm)
+        group.reset()
+        group.call(start_event("A", 0.0))
+        assert group.reinit_for_path_restart(["A"]) == 1  # maxTries only
+
+    def test_empty_group_rejected(self, nvm):
+        with pytest.raises(ReproError):
+            MonitorGroup([], nvm)
+
+    def test_duplicate_names_rejected(self, nvm):
+        a = ArtemisMonitor(pset(), nvm, name="same")
+        with pytest.raises(ReproError):
+            MonitorGroup([a, a], nvm)
+
+
+class TestGroupInterruption:
+    def test_failure_in_second_member_preserves_first_members_actions(
+            self, nvm):
+        group = two_member_group(nvm)
+        group.reset()
+        # Arm both members for violation on the next start of A.
+        group.call(start_event("A", 0.0))
+        group.call(start_event("A", 1.0))
+        # Kill the second member's call (member 1 = mon_tries, member 2
+        # = mon_collect; each member's call spends base+1 machine = 2
+        # spends → spends 3.. belong to member 2).
+        calls = {"n": 0}
+
+        def spend(seconds):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise Brownout()
+
+        with pytest.raises(Brownout):
+            group.call(start_event("A", 2.0), spend=spend,
+                       per_machine_cost_s=1e-3, base_cost_s=1e-3)
+        assert group.in_progress
+        actions = group.finalize()
+        # BOTH members' verdicts are present despite the interruption.
+        assert {a.type for a in actions} == {
+            ActionType.SKIP_PATH, ActionType.RESTART_PATH}
+        assert not group.in_progress
+
+    def test_failure_before_any_member_redelivers_once(self, nvm):
+        group = two_member_group(nvm)
+        group.reset()
+
+        def bomb(seconds):
+            raise Brownout()
+
+        with pytest.raises(Brownout):
+            group.call(start_event("A", 0.0), spend=bomb, base_cost_s=1e-3)
+        actions = group.finalize()
+        # Exactly one attempt counted by maxTries despite the retry.
+        assert group.monitors[0].instances[0].get("i") == 1
+        assert [a.type for a in actions] == [ActionType.RESTART_PATH]
+
+    def test_group_state_survives_reconstruction(self, nvm):
+        group = two_member_group(nvm)
+        group.reset()
+
+        def bomb(seconds):
+            raise Brownout()
+
+        with pytest.raises(Brownout):
+            group.call(start_event("A", 0.0), spend=bomb, base_cost_s=1e-3)
+        revived = two_member_group(nvm)
+        assert revived.in_progress
+        revived.finalize()
+        assert revived.monitors[0].instances[0].get("i") == 1
+
+
+class TestGroupWithRuntime:
+    def test_runtime_runs_with_group_monitor(self):
+        from repro.energy.environment import EnergyEnvironment
+        from repro.sim.device import Device
+
+        device = Device(EnergyEnvironment.continuous())
+        app = (AppBuilder("m").task("a").task("b")
+               .path(1, ["a", "b"]).build())
+        member1 = ArtemisMonitor(
+            load_properties("a { maxTries: 5 onFail: skipPath; }", app),
+            device.nvm, name="team1")
+        member2 = ArtemisMonitor(
+            load_properties("b { collect: 2 dpTask: a onFail: restartPath; }",
+                            app),
+            device.nvm, name="team2")
+        group = MonitorGroup([member1, member2], device.nvm)
+        runtime = ArtemisRuntime(
+            app, load_properties("", app), device,
+            PowerModel({}, default_cost=TaskCost(0.05, 1e-3)),
+            monitor=group)
+        result = device.run(runtime, max_time_s=600)
+        assert result.completed
+        # collect: 2 forced one path restart through the group.
+        assert device.trace.count("path_restart") == 1
+
+
+class TestGroupEquivalence:
+    """A group of single-property monitors must behave exactly like one
+    monolithic monitor over the same property set, for any event stream."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    _events = st.lists(
+        st.tuples(st.sampled_from(["startTask", "endTask"]),
+                  st.sampled_from(["A", "B"]),
+                  st.floats(0.1, 50.0, allow_nan=False)),
+        max_size=30)
+
+    @given(stream=_events)
+    @settings(max_examples=40, deadline=None)
+    def test_group_of_singletons_equals_monolith(self, stream):
+        from repro.nvm.memory import NonVolatileMemory
+
+        props = [
+            MaxTries(task="A", on_fail=ActionType.SKIP_PATH, limit=3),
+            Collect(task="A", on_fail=ActionType.RESTART_PATH,
+                    dep_task="B", count=2),
+        ]
+        nvm1 = NonVolatileMemory()
+        mono = ArtemisMonitor(pset(*props), nvm1, name="mono")
+        mono.reset()
+        nvm2 = NonVolatileMemory()
+        members = [ArtemisMonitor(pset(p), nvm2, name=f"m{i}")
+                   for i, p in enumerate(props)]
+        group = MonitorGroup(members, nvm2)
+        group.reset()
+
+        t = 0.0
+        for kind, task, dt in stream:
+            t += dt
+            from repro.core.events import MonitorEvent
+
+            event = MonitorEvent(kind, task, t)
+            a = sorted((x.type.value, x.path) for x in mono.call(event))
+            b = sorted((x.type.value, x.path) for x in group.call(event))
+            assert a == b

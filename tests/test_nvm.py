@@ -1,0 +1,221 @@
+"""Unit tests for the non-volatile memory substrate."""
+
+import pytest
+
+from repro.errors import NVMError
+from repro.nvm.memory import NonVolatileMemory, namespaced
+from repro.nvm.store import NVMStore
+from repro.nvm.transaction import Transaction
+
+
+class TestAllocation:
+    def test_alloc_returns_cell_with_initial(self, nvm):
+        cell = nvm.alloc("x", initial=42, size_bytes=4)
+        assert cell.get() == 42
+
+    def test_alloc_default_initial_is_none(self, nvm):
+        assert nvm.alloc("x").get() is None
+
+    def test_realloc_same_name_preserves_value(self, nvm):
+        cell = nvm.alloc("x", initial=1, size_bytes=4)
+        cell.set(99)
+        again = nvm.alloc("x", initial=1, size_bytes=4)
+        assert again.get() == 99
+
+    def test_realloc_is_same_cell_object(self, nvm):
+        assert nvm.alloc("x", 0, 4) is nvm.alloc("x", 0, 4)
+
+    def test_realloc_different_size_rejected(self, nvm):
+        nvm.alloc("x", 0, 4)
+        with pytest.raises(NVMError):
+            nvm.alloc("x", 0, 8)
+
+    def test_zero_size_rejected(self, nvm):
+        with pytest.raises(NVMError):
+            nvm.alloc("x", 0, 0)
+
+    def test_capacity_overflow_rejected(self):
+        small = NonVolatileMemory(capacity_bytes=16)
+        small.alloc("a", 0, 12)
+        with pytest.raises(NVMError):
+            small.alloc("b", 0, 8)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(NVMError):
+            NonVolatileMemory(capacity_bytes=0)
+
+    def test_used_and_free_bytes_track_allocations(self, nvm):
+        nvm.alloc("a", 0, 100)
+        nvm.alloc("b", 0, 28)
+        assert nvm.used_bytes == 128
+        assert nvm.free_bytes == nvm.capacity_bytes - 128
+
+    def test_free_releases_bytes(self, nvm):
+        nvm.alloc("a", 0, 100)
+        nvm.free("a")
+        assert nvm.used_bytes == 0
+        assert "a" not in nvm
+
+    def test_free_unknown_cell_rejected(self, nvm):
+        with pytest.raises(NVMError):
+            nvm.free("ghost")
+
+    def test_cell_lookup_unknown_rejected(self, nvm):
+        with pytest.raises(NVMError):
+            nvm.cell("ghost")
+
+    def test_len_and_iter(self, nvm):
+        nvm.alloc("a")
+        nvm.alloc("b")
+        assert len(nvm) == 2
+        assert sorted(nvm) == ["a", "b"]
+
+
+class TestCellSemantics:
+    def test_set_get_roundtrip(self, nvm):
+        cell = nvm.alloc("x")
+        cell.set({"k": [1, 2]})
+        assert cell.get() == {"k": [1, 2]}
+
+    def test_value_property(self, nvm):
+        cell = nvm.alloc("x")
+        cell.value = 7
+        assert cell.value == 7
+
+    def test_write_count_increments(self, nvm):
+        cell = nvm.alloc("x")
+        before = nvm.write_count
+        cell.set(1)
+        cell.set(2)
+        assert nvm.write_count == before + 2
+
+    def test_snapshot_is_deep_copy(self, nvm):
+        cell = nvm.alloc("x", initial=[1])
+        snap = nvm.snapshot()
+        cell.get().append(2)
+        assert snap["x"] == [1]
+
+    def test_usage_report_sorted_descending(self, nvm):
+        nvm.alloc("small", 0, 2)
+        nvm.alloc("big", 0, 64)
+        report = nvm.usage_report()
+        assert list(report) == ["big", "small"]
+
+
+class TestNamespaced:
+    def test_namespaced_prefixes_names(self, nvm):
+        alloc = namespaced(nvm, "mon1")
+        alloc("state", "Init", 2)
+        assert "mon1.state" in nvm
+
+    def test_two_namespaces_do_not_clash(self, nvm):
+        namespaced(nvm, "a")("x", 1, 4)
+        namespaced(nvm, "b")("x", 2, 4)
+        assert nvm.cell("a.x").get() == 1
+        assert nvm.cell("b.x").get() == 2
+
+
+class TestTransaction:
+    def test_stage_not_visible_until_commit(self, nvm):
+        cell = nvm.alloc("x", initial=0)
+        txn = Transaction(nvm)
+        txn.stage("x", 5)
+        assert cell.get() == 0
+        txn.commit()
+        assert cell.get() == 5
+
+    def test_read_through_sees_staged_value(self, nvm):
+        nvm.alloc("x", initial=0)
+        txn = Transaction(nvm)
+        txn.stage("x", 5)
+        assert txn.read("x") == 5
+
+    def test_read_through_falls_back_to_nvm(self, nvm):
+        nvm.alloc("x", initial=3)
+        txn = Transaction(nvm)
+        assert txn.read("x") == 3
+
+    def test_rollback_discards_stage(self, nvm):
+        cell = nvm.alloc("x", initial=0)
+        txn = Transaction(nvm)
+        txn.stage("x", 5)
+        txn.rollback()
+        txn.commit()
+        assert cell.get() == 0
+
+    def test_stage_unallocated_cell_rejected(self, nvm):
+        txn = Transaction(nvm)
+        with pytest.raises(NVMError):
+            txn.stage("ghost", 1)
+
+    def test_commit_returns_write_count_and_clears(self, nvm):
+        nvm.alloc("x", 0)
+        nvm.alloc("y", 0)
+        txn = Transaction(nvm)
+        txn.stage("x", 1)
+        txn.stage("y", 2)
+        assert txn.pending == 2
+        assert txn.commit() == 2
+        assert txn.pending == 0
+
+    def test_last_staged_value_wins(self, nvm):
+        cell = nvm.alloc("x", 0)
+        txn = Transaction(nvm)
+        txn.stage("x", 1)
+        txn.stage("x", 2)
+        txn.commit()
+        assert cell.get() == 2
+
+    def test_contains(self, nvm):
+        nvm.alloc("x", 0)
+        txn = Transaction(nvm)
+        assert "x" not in txn
+        txn.stage("x", 1)
+        assert "x" in txn
+
+
+class TestNVMStore:
+    def test_set_get_roundtrip(self, nvm):
+        store = NVMStore(nvm, "m1")
+        store["state"] = "Init"
+        assert store["state"] == "Init"
+
+    def test_missing_key_raises_keyerror(self, nvm):
+        store = NVMStore(nvm, "m1")
+        with pytest.raises(KeyError):
+            store["nope"]
+
+    def test_contains_and_len(self, nvm):
+        store = NVMStore(nvm, "m1")
+        assert "state" not in store
+        store["state"] = 1
+        store["var.i"] = 0
+        assert "state" in store
+        assert len(store) == 2
+
+    def test_two_stores_isolated(self, nvm):
+        a = NVMStore(nvm, "a")
+        b = NVMStore(nvm, "b")
+        a["state"] = "A"
+        b["state"] = "B"
+        assert a["state"] == "A"
+        assert b["state"] == "B"
+
+    def test_values_survive_reconstruction(self, nvm):
+        NVMStore(nvm, "m")["state"] = "Started"
+        rebuilt = NVMStore(nvm, "m")
+        assert rebuilt["state"] == "Started"
+
+    def test_delete_key(self, nvm):
+        store = NVMStore(nvm, "m")
+        store["x"] = 1
+        del store["x"]
+        assert "x" not in store
+        with pytest.raises(KeyError):
+            del store["x"]
+
+    def test_iter_lists_keys(self, nvm):
+        store = NVMStore(nvm, "m")
+        store["a"] = 1
+        store["b"] = 2
+        assert sorted(store) == ["a", "b"]

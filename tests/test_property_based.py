@@ -1,0 +1,234 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.actions import ActionType
+from repro.core.events import MonitorEvent
+from repro.core.generator import generate_machine
+from repro.core.properties import Collect, MaxTries, MITD
+from repro.energy.capacitor import Capacitor
+from repro.errors import PowerFailure
+from repro.immortal.continuations import ImmortalRoutine
+from repro.nvm.memory import NonVolatileMemory
+from repro.spec.units import format_duration, parse_duration
+from repro.statemachine.interpreter import MachineInstance
+from repro.statemachine.textual import parse_machine, print_machine
+
+
+class TestNVMInvariants:
+    @given(st.lists(st.tuples(st.sampled_from("abcdefgh"),
+                              st.integers(-1000, 1000)), max_size=60))
+    def test_last_write_wins(self, writes):
+        nvm = NonVolatileMemory()
+        shadow = {}
+        for name, value in writes:
+            nvm.alloc(name, None, 8).set(value)
+            shadow[name] = value
+        for name, value in shadow.items():
+            assert nvm.cell(name).get() == value
+
+    @given(st.lists(st.sampled_from("abcd"), max_size=30))
+    def test_used_bytes_matches_live_cells(self, names):
+        nvm = NonVolatileMemory()
+        live = set()
+        for name in names:
+            if name in live:
+                nvm.free(name)
+                live.remove(name)
+            else:
+                nvm.alloc(name, 0, 10)
+                live.add(name)
+        assert nvm.used_bytes == 10 * len(live)
+
+
+class TestCapacitorInvariants:
+    @given(st.lists(st.tuples(st.booleans(),
+                              st.floats(0, 5e-3, allow_nan=False)),
+                    max_size=50))
+    def test_voltage_always_within_physical_bounds(self, ops):
+        cap = Capacitor(1e-3, v_max=3.3, v_on=3.0, v_off=1.8, v_initial=3.0)
+        for is_charge, amount in ops:
+            if is_charge:
+                cap.charge(amount)
+            else:
+                cap.discharge(amount)
+            assert 1.8 - 1e-9 <= cap.voltage <= 3.3 + 1e-9
+
+    @given(st.floats(0, 1e-2, allow_nan=False))
+    def test_charge_conserves_or_clamps(self, amount):
+        cap = Capacitor(1e-3, v_initial=2.5)
+        before = cap.energy
+        stored = cap.charge(amount)
+        assert stored <= amount + 1e-15
+        assert cap.energy == pytest.approx(before + stored)
+
+
+class TestDurationRoundTrip:
+    @given(st.floats(min_value=0.001, max_value=10_000.0,
+                     allow_nan=False, allow_infinity=False))
+    def test_format_then_parse_preserves_value(self, seconds):
+        text = format_duration(seconds)
+        assert parse_duration(text) == pytest.approx(seconds, rel=1e-9)
+
+
+@st.composite
+def machine_properties(draw):
+    kind = draw(st.sampled_from(["maxTries", "collect", "mitd"]))
+    action = draw(st.sampled_from([ActionType.SKIP_PATH, ActionType.RESTART_PATH,
+                                   ActionType.SKIP_TASK]))
+    if kind == "maxTries":
+        return MaxTries(task="A", on_fail=action,
+                        limit=draw(st.integers(1, 20)))
+    if kind == "collect":
+        return Collect(task="A", on_fail=action, dep_task="B",
+                       count=draw(st.integers(1, 10)))
+    max_attempt = draw(st.one_of(st.none(), st.integers(1, 5)))
+    return MITD(task="A", on_fail=action, dep_task="B",
+                limit_s=draw(st.floats(0.5, 50.0)),
+                max_attempt=max_attempt,
+                max_attempt_action=ActionType.SKIP_PATH if max_attempt else None)
+
+
+class TestTextualRoundTripProperty:
+    @given(machine_properties())
+    @settings(max_examples=80, deadline=None)
+    def test_generated_machines_roundtrip_text(self, prop):
+        machine = generate_machine(prop)
+        printed = print_machine(machine)
+        assert print_machine(parse_machine(printed)) == printed
+
+    @given(machine_properties(),
+           st.lists(st.tuples(st.sampled_from(["startTask", "endTask"]),
+                              st.sampled_from(["A", "B"]),
+                              st.floats(0, 10, allow_nan=False)),
+                    max_size=25))
+    @settings(max_examples=60, deadline=None)
+    def test_reparsed_machine_behaves_identically(self, prop, steps):
+        machine = generate_machine(prop)
+        reparsed = parse_machine(print_machine(machine))
+        a, b = MachineInstance(machine), MachineInstance(reparsed)
+        t = 0.0
+        for kind, task, dt in steps:
+            t += dt
+            event = MonitorEvent(kind, task, t)
+            assert a.on_event(event) == b.on_event(event)
+            assert a.state == b.state
+
+
+class TestMaxTriesInvariant:
+    @given(st.integers(1, 15),
+           st.lists(st.sampled_from(["start", "end"]), max_size=80))
+    @settings(max_examples=80, deadline=None)
+    def test_never_more_than_limit_consecutive_unreported_starts(
+            self, limit, ops):
+        prop = MaxTries(task="A", on_fail=ActionType.SKIP_PATH, limit=limit)
+        inst = MachineInstance(generate_machine(prop))
+        consecutive = 0
+        t = 0.0
+        for op in ops:
+            t += 1.0
+            if op == "start":
+                verdicts = inst.on_event(MonitorEvent("startTask", "A", t))
+                if verdicts:
+                    consecutive = 0
+                else:
+                    consecutive += 1
+                assert consecutive <= limit
+            else:
+                inst.on_event(MonitorEvent("endTask", "A", t))
+                consecutive = 0
+
+
+class TestMITDEscalationInvariant:
+    @given(st.integers(1, 4),
+           st.lists(st.tuples(st.sampled_from(["endB", "startA"]),
+                              st.floats(0.1, 20.0, allow_nan=False)),
+                    max_size=60))
+    @settings(max_examples=80, deadline=None)
+    def test_escalation_only_after_exactly_max_attempt_violations(
+            self, max_attempt, ops):
+        prop = MITD(task="A", on_fail=ActionType.RESTART_PATH, dep_task="B",
+                    limit_s=5.0, max_attempt=max_attempt,
+                    max_attempt_action=ActionType.SKIP_PATH)
+        inst = MachineInstance(generate_machine(prop))
+        t = 0.0
+        streak = 0
+        for op, dt in ops:
+            t += dt
+            if op == "endB":
+                inst.on_event(MonitorEvent("endTask", "B", t))
+            else:
+                verdicts = inst.on_event(MonitorEvent("startTask", "A", t))
+                for v in verdicts:
+                    if v.action == "restartPath":
+                        streak += 1
+                        assert streak <= max_attempt - 1 or max_attempt == 1
+                    elif v.action == "skipPath":
+                        streak += 1
+                        assert streak == max_attempt
+                        streak = 0
+                if not verdicts and inst.get("att") == 0:
+                    # property satisfied via completion elsewhere; keep
+                    # tracking from the machine's own notion
+                    streak = inst.get("att")
+
+
+class TestImmortalRoutineInvariant:
+    @given(st.integers(1, 8), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_each_step_effect_applied_exactly_once(self, n_steps, data):
+        """Random brown-outs between payment and effect never duplicate
+        or drop a step's effect."""
+        nvm = NonVolatileMemory()
+        routine = ImmortalRoutine(nvm, "r")
+        executed = [0] * n_steps
+        fail_plan = data.draw(st.lists(st.booleans(), min_size=n_steps,
+                                       max_size=n_steps))
+        remaining_failures = list(fail_plan)
+
+        def make_step(i):
+            def step():
+                if remaining_failures[i]:
+                    remaining_failures[i] = False
+                    raise PowerFailure(0.0)
+                executed[i] += 1
+            return step
+
+        steps = [make_step(i) for i in range(n_steps)]
+        try:
+            routine.run(steps)
+        except PowerFailure:
+            pass
+        while routine.in_progress:
+            try:
+                routine.resume(steps)
+            except PowerFailure:
+                pass
+        assert executed == [1] * n_steps
+
+
+class TestCollectInvariant:
+    @given(st.integers(1, 8),
+           st.lists(st.sampled_from(["endB", "startA"]), max_size=60))
+    @settings(max_examples=80, deadline=None)
+    def test_start_accepted_iff_enough_collected(self, count, ops):
+        prop = Collect(task="A", on_fail=ActionType.RESTART_PATH,
+                       dep_task="B", count=count)
+        inst = MachineInstance(generate_machine(prop))
+        collected = 0
+        t = 0.0
+        for op in ops:
+            t += 1.0
+            if op == "endB":
+                inst.on_event(MonitorEvent("endTask", "B", t))
+                collected += 1
+            else:
+                verdicts = inst.on_event(MonitorEvent("startTask", "A", t))
+                if collected >= count:
+                    assert verdicts == []
+                    collected = 0  # consumed
+                else:
+                    assert [v.action for v in verdicts] == ["restartPath"]

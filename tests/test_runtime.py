@@ -1,0 +1,222 @@
+"""Tests for the ARTEMIS runtime: continuous execution, action
+application, and the monitor interaction protocol."""
+
+import pytest
+
+from repro.core.actions import ActionType
+from repro.core.properties import PropertySet
+from repro.core.runtime import ArtemisRuntime
+from repro.energy.environment import EnergyEnvironment
+from repro.energy.power import PowerModel, TaskCost
+from repro.errors import RuntimeConfigError
+from repro.sim.device import Device
+from repro.spec.validator import load_properties
+from repro.taskgraph.builder import AppBuilder
+from repro.taskgraph.context import channel_cell_name
+
+
+def simple_power(**overrides):
+    model = PowerModel(dict(overrides), default_cost=TaskCost(0.1, 1e-3))
+    return model
+
+
+def make_runtime(app, spec, device=None, **kwargs):
+    device = device if device is not None else Device(EnergyEnvironment.continuous())
+    props = load_properties(spec, app) if isinstance(spec, str) else spec
+    runtime = ArtemisRuntime(app, props, device, simple_power(), **kwargs)
+    return device, runtime
+
+
+def three_path_app():
+    return (
+        AppBuilder("threepath")
+        .task("a").task("b").task("c").task("d").task("e").task("f")
+        .path(1, ["a", "b"])
+        .path(2, ["c", "d"])
+        .path(3, ["e", "f"])
+        .build()
+    )
+
+
+class TestBasicExecution:
+    def test_executes_all_paths_in_order(self):
+        device, runtime = make_runtime(three_path_app(), PropertySet())
+        result = device.run(runtime)
+        assert result.completed
+        order = [e.detail["task"] for e in device.trace.of_kind("task_end")]
+        assert order == ["a", "b", "c", "d", "e", "f"]
+
+    def test_task_bodies_and_channels(self, two_task_app):
+        device, runtime = make_runtime(two_task_app, PropertySet())
+        device.run(runtime)
+        assert device.nvm.cell(channel_cell_name("sent")).get() == [21.5]
+
+    def test_time_and_energy_accounted(self):
+        device, runtime = make_runtime(three_path_app(), PropertySet())
+        result = device.run(runtime)
+        assert result.app_time_s == pytest.approx(0.6)  # 6 tasks x 0.1s
+        assert result.runtime_overhead_s > 0
+        assert result.monitor_overhead_s >= 0
+
+    def test_property_on_unknown_task_rejected(self):
+        from repro.core.properties import MaxTries
+
+        app = three_path_app()
+        props = PropertySet()
+        props.add(MaxTries(task="ghost", on_fail=ActionType.SKIP_PATH, limit=1))
+        with pytest.raises(RuntimeConfigError):
+            make_runtime(app, props)
+
+    def test_loop_runs_restart_from_path_one(self):
+        device, runtime = make_runtime(three_path_app(), PropertySet())
+        result = device.run(runtime, runs=2)
+        assert result.runs_completed == 2
+        ends = [e.detail["task"] for e in device.trace.of_kind("task_end")]
+        assert ends == ["a", "b", "c", "d", "e", "f"] * 2
+
+
+class TestCollectAction:
+    def test_restart_path_until_collected(self):
+        app = (
+            AppBuilder("collectapp")
+            .task("sense").task("send")
+            .path(1, ["sense", "send"])
+            .build()
+        )
+        spec = "send { collect: 3 dpTask: sense onFail: restartPath; }"
+        device, runtime = make_runtime(app, spec)
+        result = device.run(runtime)
+        assert result.completed
+        assert device.trace.count("path_restart") == 2
+        senses = [e for e in device.trace.of_kind("task_end")
+                  if e.detail["task"] == "sense"]
+        assert len(senses) == 3
+
+
+class TestSkipAndRestartTask:
+    def test_skip_task_moves_on(self):
+        app = (
+            AppBuilder("skipapp").task("a").task("b").path(1, ["a", "b"]).build()
+        )
+        # b requires 1 item from a... use maxDuration-like trick instead:
+        # energyAtLeast with a huge threshold always fails on harvested
+        # devices; on continuous devices energy is infinite, so use
+        # collect with skipTask to exercise the skip path.
+        spec = "b { collect: 5 dpTask: a onFail: skipTask; }"
+        device, runtime = make_runtime(app, spec)
+        result = device.run(runtime)
+        assert result.completed
+        ends = [e.detail["task"] for e in device.trace.of_kind("task_end")]
+        assert ends == ["a"]  # b never ran
+        assert device.trace.count("task_skip") == 1
+
+    def test_restart_task_retries_same_task(self):
+        app = AppBuilder("rt").task("a").task("b").path(1, ["a", "b"]).build()
+        # period violated -> restartTask; second start passes (fresh window).
+        spec = "b { period: 1h onFail: restartTask; }"
+        device, runtime = make_runtime(app, spec)
+        result = device.run(runtime)
+        assert result.completed
+
+
+class TestCompletePath:
+    def fever_app(self):
+        return (
+            AppBuilder("fever")
+            .task("measure", body=lambda ctx: ctx.emit("temp", 39.5),
+                  monitored_vars=["temp"])
+            .task("notify")
+            .task("other1").task("other2")
+            .path(1, ["measure", "notify"])
+            .path(2, ["other1", "other2"])
+            .build()
+        )
+
+    def test_complete_path_runs_rest_unmonitored_then_ends_run(self):
+        app = self.fever_app()
+        spec = ("measure { dpData: temp Range: [36, 38] onFail: completePath; }\n"
+                "notify { collect: 99 dpTask: other1 onFail: restartPath; }")
+        device, runtime = make_runtime(app, spec)
+        result = device.run(runtime)
+        assert result.completed
+        ends = [e.detail["task"] for e in device.trace.of_kind("task_end")]
+        # notify executes despite its (unsatisfiable) collect property —
+        # monitoring is suspended; paths 2 is not executed this run.
+        assert ends == ["measure", "notify"]
+
+    def test_next_run_resumes_at_following_path(self):
+        app = self.fever_app()
+        spec = "measure { dpData: temp Range: [36, 38] onFail: completePath; }"
+        device, runtime = make_runtime(app, spec)
+        result = device.run(runtime, runs=2)
+        assert result.runs_completed == 2
+        ends = [e.detail["task"] for e in device.trace.of_kind("task_end")]
+        # Run 1 ends after path 1 (completePath); run 2 resumes at path 2.
+        assert ends == ["measure", "notify", "other1", "other2"]
+
+
+class TestMaxTriesWithSkipPath:
+    def test_skip_path_jumps_to_next_path(self):
+        app = three_path_app()
+        # c requires data from a task that never produces enough: the
+        # restartPath loop would spin forever; cap it with maxTries.
+        spec = ("c { collect: 99 dpTask: a onFail: restartTask; "
+                "maxTries: 4 onFail: skipPath; }")
+        device, runtime = make_runtime(app, spec)
+        result = device.run(runtime)
+        assert result.completed
+        ends = [e.detail["task"] for e in device.trace.of_kind("task_end")]
+        assert "c" not in ends and "d" not in ends
+        assert ends == ["a", "b", "e", "f"]
+        assert device.trace.count("path_skip") == 1
+
+    def test_explicit_path_action_restarts_named_path(self):
+        app = (
+            AppBuilder("named")
+            .task("a").task("b").task("send")
+            .path(1, ["a", "send"])
+            .path(2, ["b", "send"])
+            .build()
+        )
+        spec = "send { collect: 2 dpTask: b onFail: restartPath Path: 2; }"
+        device, runtime = make_runtime(app, spec)
+        result = device.run(runtime)
+        assert result.completed
+        restarts = device.trace.of_kind("path_restart")
+        assert all(e.detail["path"] == 2 for e in restarts)
+        assert len(restarts) == 1
+
+
+class TestMonitorBackendEquivalence:
+    def test_generated_and_interpreted_traces_match(self, health_app):
+        from repro.workloads.health import BENCHMARK_SPEC, health_power_model
+
+        traces = []
+        for backend in ("generated", "interpreted"):
+            device = Device(EnergyEnvironment.continuous())
+            props = load_properties(BENCHMARK_SPEC, health_app)
+            runtime = ArtemisRuntime(health_app, props, device,
+                                     health_power_model(),
+                                     monitor_backend=backend)
+            device.run(runtime)
+            traces.append([(e.kind, e.detail.get("task")) for e in device.trace])
+        assert traces[0] == traces[1]
+
+
+class TestEnergyProbe:
+    def test_energy_property_skips_task_when_low(self):
+        from repro.energy.capacitor import Capacitor
+
+        app = AppBuilder("en").task("a").task("b").path(1, ["a", "b"]).build()
+        # Capacitor with ~14 mJ usable; b demands 50 mJ stored: impossible,
+        # so b is always skipped, which lets the app complete.
+        cap = Capacitor(5e-3, v_initial=3.0)
+        env = EnergyEnvironment.for_charging_delay(30.0, capacitor=cap)
+        device = Device(env)
+        spec = "b { energyAtLeast: 0.05 onFail: skipTask; }"
+        props = load_properties(spec, app)
+        runtime = ArtemisRuntime(app, props, device, simple_power())
+        result = device.run(runtime, max_time_s=3600)
+        assert result.completed
+        ends = [e.detail["task"] for e in device.trace.of_kind("task_end")]
+        assert ends == ["a"]

@@ -1,0 +1,153 @@
+"""Edge cases of the runtime's control flow."""
+
+import pytest
+
+from repro.core.actions import ActionType
+from repro.core.runtime import ArtemisRuntime
+from repro.energy.environment import EnergyEnvironment
+from repro.energy.power import PowerModel, TaskCost
+from repro.sim.device import Device
+from repro.spec.validator import load_properties
+from repro.taskgraph.builder import AppBuilder
+
+
+def power():
+    return PowerModel({}, default_cost=TaskCost(0.05, 1e-3))
+
+
+def run(app, spec, runs=1):
+    device = Device(EnergyEnvironment.continuous())
+    props = load_properties(spec, app)
+    runtime = ArtemisRuntime(app, props, device, power())
+    result = device.run(runtime, runs=runs, max_time_s=600)
+    return device, runtime, result
+
+
+class TestCompletePathEdges:
+    def test_complete_path_on_last_path_wraps_to_first(self):
+        app = (AppBuilder("m")
+               .task("a").task("b", body=lambda c: c.emit("v", 9.0),
+                     monitored_vars=["v"])
+               .path(1, ["a"])
+               .path(2, ["b"])
+               .build())
+        spec = "b { dpData: v Range: [0, 1] onFail: completePath; }"
+        device, runtime, result = run(app, spec, runs=2)
+        assert result.runs_completed == 2
+        ends = [e.detail["task"] for e in device.trace.of_kind("task_end")]
+        # Run 1: a, b (completePath on last path); run 2 wraps to path 1.
+        assert ends == ["a", "b", "a", "b"]
+
+    def test_complete_path_at_start_check(self):
+        """completePath arriving on a StartTask event runs the current
+        task and the rest of the path unmonitored."""
+        app = (AppBuilder("m")
+               .task("a").task("b").task("c").task("d")
+               .path(1, ["a", "b", "c"])
+               .path(2, ["d"])
+               .build())
+        # energyAtLeast on continuous power never fails; use a
+        # collect-based completePath trigger at b's start instead.
+        spec = ("b { collect: 5 dpTask: a onFail: completePath; }\n"
+                "c { collect: 99 dpTask: a onFail: restartPath; }")
+        device, runtime, result = run(app, spec)
+        assert result.completed
+        ends = [e.detail["task"] for e in device.trace.of_kind("task_end")]
+        # b and c execute unmonitored (c's unsatisfiable collect is
+        # ignored); path 2 is skipped by the completePath run-end.
+        assert ends == ["a", "b", "c"]
+
+    def test_monitoring_resumes_after_complete_path_run(self):
+        app = (AppBuilder("m")
+               .task("a", body=lambda c: c.emit("v", 5.0),
+                     monitored_vars=["v"])
+               .task("b")
+               .path(1, ["a", "b"])
+               .build())
+        spec = "a { dpData: v Range: [0, 1] onFail: completePath; }"
+        device, runtime, result = run(app, spec, runs=2)
+        assert result.runs_completed == 2
+        # completePath fires in both runs: monitoring was re-armed.
+        completes = [e for e in device.trace.of_kind("monitor_action")
+                     if e.detail["action"] == "completePath"]
+        assert len(completes) == 2
+
+
+class TestRestartTaskEdges:
+    def test_dpdata_restart_task_livelocks_and_checker_warns(self):
+        """maxTries counts *starts without completion* (Figure 7: the
+        counter resets on endTask), so it cannot bound a task that
+        completes and is then restarted by a failing dpData check: that
+        combination livelocks. The consistency checker flags it."""
+        app = (AppBuilder("m")
+               .task("a", body=lambda c: c.emit("v", 7.0),
+                     monitored_vars=["v"])
+               .task("b")
+               .path(1, ["a", "b"])
+               .build())
+        spec = ("a { dpData: v Range: [0, 1] onFail: restartTask; "
+                "maxTries: 3 onFail: skipPath; }")
+        device, runtime, result = run(app, spec)
+        assert not result.completed  # genuine non-termination
+        a_ends = [e for e in device.trace.of_kind("task_end")
+                  if e.detail["task"] == "a"]
+        assert len(a_ends) > 10  # kept re-running to no avail
+
+        from repro.spec.consistency import check
+
+        report = check(load_properties(spec, app), app)
+        assert any(i.code == "LIVELOCK" for i in report.warnings)
+
+    def test_period_restart_task_bounded_by_maxtries(self):
+        """In contrast, restartTask issued at a *start* check does feed
+        the maxTries counter (repeated starts, no completion), so the
+        escape works for start-time properties."""
+        app = (AppBuilder("m").task("a").task("b")
+               .path(1, ["a", "b"]).build())
+        spec = ("b { collect: 9 dpTask: a onFail: restartTask; "
+                "maxTries: 4 onFail: skipPath; }")
+        device, runtime, result = run(app, spec)
+        assert result.completed
+        assert device.trace.count("path_skip") == 1
+
+
+class TestSkipPathEdges:
+    def test_skip_last_path_finishes_run(self):
+        app = (AppBuilder("m").task("a").task("b")
+               .path(1, ["a"]).path(2, ["b"]).build())
+        spec = "b { collect: 1 dpTask: a onFail: skipPath; }"
+        # collect satisfied (a ran) -> no skip. Make it unsatisfiable:
+        spec = "b { collect: 5 dpTask: a onFail: skipPath; }"
+        device, runtime, result = run(app, spec)
+        assert result.completed
+        assert device.trace.count("path_skip") == 1
+        ends = [e.detail["task"] for e in device.trace.of_kind("task_end")]
+        assert ends == ["a"]
+
+    def test_skip_middle_path_continues_with_next(self):
+        app = (AppBuilder("m").task("a").task("b").task("c")
+               .path(1, ["a"]).path(2, ["b"]).path(3, ["c"]).build())
+        spec = "b { collect: 5 dpTask: a onFail: skipPath; }"
+        device, runtime, result = run(app, spec)
+        ends = [e.detail["task"] for e in device.trace.of_kind("task_end")]
+        assert ends == ["a", "c"]
+
+
+class TestEventSerialization:
+    def test_monitor_event_roundtrip(self):
+        from repro.core.events import MonitorEvent
+
+        event = MonitorEvent("endTask", "send", 12.5, {"v": 1.0}, path=2)
+        clone = MonitorEvent.from_dict(event.to_dict())
+        assert clone == event
+
+    def test_unknown_kind_rejected(self):
+        from repro.core.events import MonitorEvent
+
+        with pytest.raises(ValueError):
+            MonitorEvent("explode", "t", 0.0)
+
+    def test_event_kind_property(self):
+        from repro.core.events import EventKind, start_event
+
+        assert start_event("t", 0.0).event_kind is EventKind.START_TASK

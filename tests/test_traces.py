@@ -1,0 +1,126 @@
+"""Tests for synthetic energy-trace generation."""
+
+import pytest
+
+from repro.energy.harvester import TraceHarvester
+from repro.energy.traces import (
+    duty_cycle,
+    markov_onoff_trace,
+    mean_power,
+    office_light_trace,
+    rf_mobility_trace,
+    washout_trace,
+)
+from repro.errors import EnergyError
+
+
+class TestRFMobility:
+    def test_deterministic_per_seed(self):
+        assert rf_mobility_trace(100, seed=1) == rf_mobility_trace(100, seed=1)
+        assert rf_mobility_trace(100, seed=1) != rf_mobility_trace(100, seed=2)
+
+    def test_power_within_distance_bounds(self):
+        samples = rf_mobility_trace(1000, tx_power_w=3.0, gain=0.002,
+                                    efficiency=0.55, min_distance_m=0.5,
+                                    max_distance_m=4.0, seed=3)
+        p_max = 3.0 * 0.002 / 0.5**2 * 0.55
+        p_min = 3.0 * 0.002 / 4.0**2 * 0.55
+        for _, power in samples:
+            assert p_min - 1e-12 <= power <= p_max + 1e-12
+
+    def test_sample_spacing(self):
+        samples = rf_mobility_trace(100, step_s=10.0)
+        times = [t for t, _ in samples]
+        assert times == [10.0 * i for i in range(len(times))]
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(EnergyError):
+            rf_mobility_trace(0)
+        with pytest.raises(EnergyError):
+            rf_mobility_trace(10, step_s=20)
+
+
+class TestOfficeLight:
+    def test_zero_outside_working_hours(self):
+        samples = office_light_trace(86400, step_s=3600, day_length_s=86400,
+                                     work_start_frac=0.375, work_end_frac=0.75,
+                                     seed=0)
+        for t, power in samples:
+            frac = (t % 86400) / 86400
+            if not 0.375 <= frac < 0.75:
+                assert power == 0.0
+
+    def test_positive_during_working_hours(self):
+        samples = office_light_trace(86400, step_s=3600, seed=0)
+        assert any(p > 0 for _, p in samples)
+
+    def test_invalid_hours_rejected(self):
+        with pytest.raises(EnergyError):
+            office_light_trace(100, work_start_frac=0.8, work_end_frac=0.2)
+
+
+class TestMarkovOnOff:
+    def test_two_levels_only(self):
+        samples = markov_onoff_trace(1000, on_power_w=5e-3, seed=4)
+        assert {p for _, p in samples} <= {0.0, 5e-3}
+
+    def test_duty_cycle_tracks_stationary_distribution(self):
+        samples = markov_onoff_trace(200000, step_s=5.0, p_on_to_off=0.2,
+                                     p_off_to_on=0.1, seed=5)
+        # Stationary P(on) = p_off_on / (p_off_on + p_on_off) = 1/3.
+        assert duty_cycle(samples) == pytest.approx(1 / 3, abs=0.05)
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(EnergyError):
+            markov_onoff_trace(100, p_on_to_off=0.0)
+
+
+class TestWashout:
+    def test_dead_window_is_zero(self):
+        samples = washout_trace(100, 1e-3, dead_start_s=40, dead_length_s=20)
+        for t, power in samples:
+            if 40 <= t < 60:
+                assert power == 0.0
+            else:
+                assert power == 1e-3
+
+    def test_feeds_trace_harvester(self):
+        samples = washout_trace(100, 2e-3, 50, 10)
+        harvester = TraceHarvester(samples)
+        assert harvester.power_at(10) == 2e-3
+        assert harvester.power_at(55) == 0.0
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(EnergyError):
+            washout_trace(100, 1e-3, -1, 10)
+
+
+class TestStats:
+    def test_mean_power_piecewise(self):
+        samples = [(0, 2.0), (10, 0.0), (20, 0.0)]
+        # 2.0 for 10 s then 0.0 for 10 s -> mean 1.0
+        assert mean_power(samples) == pytest.approx(1.0)
+
+    def test_mean_power_degenerate(self):
+        assert mean_power([]) == 0.0
+        assert mean_power([(0, 3.0)]) == 3.0
+
+    def test_duty_cycle_empty(self):
+        assert duty_cycle([]) == 0.0
+
+
+class TestEndToEndWithDevice:
+    def test_markov_supply_drives_intermittent_run(self):
+        """A bursty supply must still let the benchmark complete."""
+        from repro.energy.capacitor import Capacitor
+        from repro.energy.environment import EnergyEnvironment
+        from repro.sim.device import Device
+        from repro.workloads.health import build_artemis
+
+        samples = markov_onoff_trace(48 * 3600, step_s=5.0, on_power_w=2e-3,
+                                     p_on_to_off=0.05, p_off_to_on=0.05, seed=7)
+        env = EnergyEnvironment(TraceHarvester(samples),
+                                Capacitor(5.2e-3, v_initial=3.0))
+        device = Device(env)
+        result = device.run(build_artemis(device), max_time_s=24 * 3600)
+        assert result.completed

@@ -1,0 +1,76 @@
+"""Tests for the DOT visualization module."""
+
+import re
+
+import pytest
+
+from repro.core.generator import generate_machine, generate_machines
+from repro.core.actions import ActionType
+from repro.core.properties import MITD
+from repro.spec.validator import load_properties
+from repro.viz import app_to_dot, machine_to_dot
+from repro.workloads.health import BENCHMARK_SPEC, build_health_app
+
+
+def balanced_braces(text):
+    return text.count("{") == text.count("}")
+
+
+class TestAppToDot:
+    def test_contains_all_tasks_and_paths(self, health_app):
+        dot = app_to_dot(health_app)
+        for task in health_app.task_names:
+            assert f'"{task}"' in dot
+        for number in (1, 2, 3):
+            assert f'label="p{number}"' in dot
+        assert balanced_braces(dot)
+
+    def test_edges_follow_path_order(self, health_app):
+        dot = app_to_dot(health_app)
+        assert '"bodyTemp" -> "calcAvg"' in dot
+        assert '"accel" -> "classify"' in dot
+        assert '"micSense" -> "filter"' in dot
+
+    def test_property_notes_attached(self, health_app):
+        props = load_properties(BENCHMARK_SPEC, health_app)
+        dot = app_to_dot(health_app, props)
+        assert '"send__props"' in dot
+        assert "MITD (path 2)" in dot
+        assert "maxTries" in dot
+
+    def test_quotes_escaped(self):
+        from repro.taskgraph.builder import AppBuilder
+
+        app = AppBuilder('we"ird').task("a").path(1, ["a"]).build()
+        dot = app_to_dot(app)
+        assert 'we\\"ird' in dot
+
+
+class TestMachineToDot:
+    def test_mitd_machine_rendering(self):
+        machine = generate_machine(MITD(
+            task="send", on_fail=ActionType.RESTART_PATH, dep_task="accel",
+            limit_s=300.0, max_attempt=3,
+            max_attempt_action=ActionType.SKIP_PATH))
+        dot = machine_to_dot(machine)
+        assert '"WaitEndB"' in dot and '"WaitStartA"' in dot
+        assert "__start" in dot
+        assert "fail(restartPath)" in dot
+        assert "fail(skipPath)" in dot
+        # failure edges highlighted
+        assert dot.count("#c44e52") >= 2
+        assert balanced_braces(dot)
+
+    def test_every_benchmark_machine_renders(self, health_app):
+        props = load_properties(BENCHMARK_SPEC, health_app)
+        for machine in generate_machines(props):
+            dot = machine_to_dot(machine)
+            assert balanced_braces(dot)
+            assert machine.initial in dot
+
+    def test_guards_appear_in_labels(self):
+        machine = generate_machine(MITD(
+            task="a", on_fail=ActionType.RESTART_PATH, dep_task="b",
+            limit_s=2.0))
+        dot = machine_to_dot(machine)
+        assert re.search(r"event\.timestamp.*endB", dot)

@@ -1,0 +1,139 @@
+"""Tests for the health-monitoring workload definition itself."""
+
+import pytest
+
+from repro.spec.validator import load_properties
+from repro.taskgraph.context import channel_cell_name
+from repro.workloads.health import (
+    BENCHMARK_SPEC,
+    FIGURE5_SPEC,
+    build_artemis,
+    build_health_app,
+    build_mayfly,
+    health_power_model,
+    make_continuous_device,
+    mayfly_config,
+)
+
+
+class TestAppStructure:
+    def test_eight_tasks_three_paths(self, health_app):
+        assert len(health_app.tasks) == 8
+        assert len(health_app.paths) == 3
+
+    def test_paths_match_figure6(self, health_app):
+        assert health_app.path(1).task_names == [
+            "bodyTemp", "calcAvg", "heartRate", "send"]
+        assert health_app.path(2).task_names == ["accel", "classify", "send"]
+        assert health_app.path(3).task_names == ["micSense", "filter", "send"]
+
+    def test_send_is_merge_point(self, health_app):
+        assert len(health_app.paths_containing("send")) == 3
+
+    def test_calcavg_declares_monitored_var(self, health_app):
+        assert health_app.task("calcAvg").monitored_vars == ("avgTemp",)
+
+    def test_sensors_registered(self, health_app):
+        for sensor in ("adc_temp", "ppg", "accelerometer", "microphone"):
+            assert sensor in health_app.sensors
+
+
+class TestSpecs:
+    def test_benchmark_spec_property_kinds(self, health_app):
+        props = load_properties(BENCHMARK_SPEC, health_app)
+        by_kind = {}
+        for prop in props:
+            by_kind.setdefault(prop.kind, []).append(prop)
+        assert len(by_kind["maxTries"]) == 2
+        assert len(by_kind["MITD"]) == 1
+        assert len(by_kind["collect"]) == 2
+
+    def test_figure5_spec_includes_extras(self, health_app):
+        props = load_properties(FIGURE5_SPEC, health_app)
+        kinds = {p.kind for p in props}
+        assert "maxDuration" in kinds
+        assert "dpData" in kinds
+
+    def test_mayfly_config_mirrors_benchmark(self, health_app):
+        config = mayfly_config()
+        # Mayfly supports only expiration + collect (§5.1.1).
+        assert len(config.expirations) == 1
+        assert config.expirations[0].limit_s == 300.0
+        assert len(config.collections) == 2
+
+
+class TestTaskBehaviour:
+    def test_single_run_sends_all_three_indicators(self):
+        device = make_continuous_device()
+        runtime = build_artemis(device)
+        result = device.run(runtime)
+        assert result.completed
+        sent = device.nvm.cell(channel_cell_name("sent")).get()
+        assert len(sent) == 3
+        packets = {tuple(sorted(k for k, v in p.items() if v is not None))
+                   for p in sent}
+        # Path 1 sends temperature + heart rate; path 2 adds breath rate;
+        # path 3 adds the cough score.
+        assert any("avgTemp" in p for p in packets)
+        assert any("breathRate" in p for p in packets)
+        assert any("coughScore" in p for p in packets)
+
+    def test_calc_avg_over_ten_samples(self):
+        device = make_continuous_device()
+        runtime = build_artemis(device)
+        device.run(runtime)
+        temps = device.nvm.cell(channel_cell_name("temps")).get()
+        assert len(temps) == 10
+        avg = device.nvm.cell(channel_cell_name("avgTemp")).get()
+        assert avg == pytest.approx(sum(temps) / 10)
+        assert 36.0 <= avg <= 38.0
+
+    def test_fever_sensor_triggers_emergency_complete_path(self):
+        app = build_health_app(temp_of_t=lambda t: 39.5)
+        device = make_continuous_device()
+        runtime = build_artemis(device, app=app, spec=FIGURE5_SPEC,
+                                power=health_power_model().with_costs())
+        result = device.run(runtime)
+        assert result.completed
+        complete_actions = [
+            e for e in device.trace.of_kind("monitor_action")
+            if e.detail["action"] == "completePath"]
+        assert len(complete_actions) == 1
+        # The emergency run finishes path 1 (heartRate + send execute
+        # unmonitored) and does not continue to paths 2/3 this run.
+        ends = [e.detail["task"] for e in device.trace.of_kind("task_end")]
+        assert ends[-2:] == ["heartRate", "send"]
+        assert "accel" not in ends
+
+    def test_mayfly_and_artemis_same_data_on_continuous(self):
+        adev = make_continuous_device()
+        adev.run(build_artemis(adev))
+        mdev = make_continuous_device()
+        mdev.run(build_mayfly(mdev))
+        a_sent = adev.nvm.cell(channel_cell_name("sent")).get()
+        m_sent = mdev.nvm.cell(channel_cell_name("sent")).get()
+        assert len(a_sent) == len(m_sent) == 3
+        assert [p["avgTemp"] for p in a_sent] == pytest.approx(
+            [p["avgTemp"] for p in m_sent], abs=0.05)
+
+
+class TestPowerModelCalibration:
+    def test_benchmark_run_is_seconds_scale(self):
+        device = make_continuous_device()
+        result = device.run(build_artemis(device))
+        assert 5.0 < result.total_time_s < 60.0
+
+    def test_accel_fits_one_charge_cycle(self):
+        from repro.energy.environment import default_capacitor
+
+        model = health_power_model()
+        assert model.cost_of("accel").energy_j < default_capacitor().usable_energy_per_cycle
+
+    def test_path2_tail_does_not_fit_after_accel(self):
+        from repro.energy.environment import default_capacitor
+
+        model = health_power_model()
+        path2 = (model.cost_of("accel").energy_j
+                 + model.cost_of("classify").energy_j
+                 + model.cost_of("send").energy_j)
+        assert path2 > default_capacitor().usable_energy_per_cycle
