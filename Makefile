@@ -2,13 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples figures verify all
+.PHONY: install test crashsweep bench examples figures verify all
 
 install:
 	pip install -e .
 
 test:
-	$(PYTHON) -m pytest tests/ -q
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ -x -q
+
+crashsweep:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_crash_sweep.py tests/test_soak_random_faults.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

@@ -9,10 +9,12 @@ by the coupling ablation to contrast against ARTEMIS' separation.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.core.recovery import RecoveryManager
 from repro.energy.power import PowerModel
 from repro.errors import RuntimeConfigError
+from repro.nvm.journal import CommitJournal
 from repro.nvm.transaction import Transaction
 from repro.taskgraph.app import Application
 from repro.taskgraph.context import TaskContext
@@ -49,6 +51,21 @@ class ChainRuntime:
         self._cur_path = nvm.alloc("ch.cur_path", 1, 2)
         self._cur_idx = nvm.alloc("ch.cur_idx", 0, 2)
         self._finished = nvm.alloc("ch.finished", False, 1)
+        self._journal = CommitJournal(nvm)
+        self.recovery = RecoveryManager(nvm, journal=self._journal)
+        self.recovery.guard("ch.")
+        self.recovery.guard("chan.")
+        self.recovery.add_invariant(
+            "ch.cur_path in range",
+            lambda: 1 <= self._cur_path.get() <= len(app.paths),
+            lambda: (self._cur_path.set(1), self._cur_idx.set(0)),
+        )
+        self.recovery.add_invariant(
+            "ch.cur_idx in range",
+            lambda: (0 <= self._cur_idx.get()
+                     < len(app.path(self._cur_path.get()))),
+            lambda: self._cur_idx.set(0),
+        )
 
     @property
     def finished(self) -> bool:
@@ -60,7 +77,9 @@ class ChainRuntime:
         return path.task_names[self._cur_idx.get()]
 
     def boot(self, device) -> None:
+        """Resolve any interrupted commit before the loop resumes."""
         self._device = device
+        self.recovery.on_boot(device)
 
     def begin_run(self, device) -> None:
         self._device = device
@@ -81,7 +100,7 @@ class ChainRuntime:
         if cost.fixed_energy_j:
             device.consume_energy(cost.fixed_energy_j, "app")
         device.consume(cost.duration_s, cost.power_w, "app")
-        txn = Transaction(device.nvm)
+        txn = Transaction(device.nvm, journal=self._journal)
         ctx = TaskContext(name, device.nvm, txn, self.app.sensors, device.now)
         outcome: Optional[str] = None
         check = self.checks.get(name)
@@ -95,37 +114,51 @@ class ChainRuntime:
                 )
         if task.body is not None and outcome is None:
             task.body(ctx)
-        txn.commit()
+        # Route *planning* happens before the commit so the control-state
+        # updates ride in the same journaled transaction as the channel
+        # writes: a crash inside the commit either re-executes the whole
+        # task or replays it to completion, never half of each.
+        updates, events = self._plan_route(outcome)
+        for cell_name, value in updates:
+            txn.stage(cell_name, value)
+        txn.commit(spend=self._spend_commit_step)
         device.trace.record(device.sim_clock.now(), "task_end", task=name,
                             path=self._cur_path.get())
-        self._route(outcome)
+        for kind, detail in events:
+            device.trace.record(device.sim_clock.now(), kind, **detail)
 
-    def _route(self, outcome: Optional[str]) -> None:
+    def _spend_commit_step(self) -> None:
+        """Pay one journal step; each step is a distinct crash point."""
+        self._device.consume(self.power.commit_step_s,
+                             self.power.overhead_power_w, "commit")
+
+    def _plan_route(
+        self, outcome: Optional[str]
+    ) -> Tuple[List[Tuple[str, Any]], List[Tuple[str, Dict[str, Any]]]]:
+        """Control-state updates and trace events for this task's outcome.
+
+        Pure planning — nothing durable changes here; the returned
+        updates are staged into the task's transaction.
+        """
+        path_no = self._cur_path.get()
         if outcome == "restart_path":
-            self._device.trace.record(
-                self._device.sim_clock.now(), "path_restart", path=self._cur_path.get()
-            )
-            self._cur_idx.set(0)
-            return
+            return ([(self._cur_idx.name, 0)],
+                    [("path_restart", {"path": path_no})])
         if outcome == "skip_path":
-            self._device.trace.record(
-                self._device.sim_clock.now(), "path_skip", path=self._cur_path.get()
-            )
-            self._next_path()
-            return
+            updates, events = self._plan_next_path()
+            return updates, [("path_skip", {"path": path_no})] + events
         # None and "skip_task" both advance (the task already ran).
-        path = self.app.path(self._cur_path.get())
+        path = self.app.path(path_no)
         if self._cur_idx.get() + 1 < len(path):
-            self._cur_idx.set(self._cur_idx.get() + 1)
-        else:
-            self._device.trace.record(
-                self._device.sim_clock.now(), "path_complete", path=path.number
-            )
-            self._next_path()
+            return [(self._cur_idx.name, self._cur_idx.get() + 1)], []
+        updates, events = self._plan_next_path()
+        return updates, [("path_complete", {"path": path.number})] + events
 
-    def _next_path(self) -> None:
+    def _plan_next_path(
+        self,
+    ) -> Tuple[List[Tuple[str, Any]], List[Tuple[str, Dict[str, Any]]]]:
+        """Updates that move to the next path or finish the run."""
         if self._cur_path.get() < len(self.app.paths):
-            self._cur_path.set(self._cur_path.get() + 1)
-            self._cur_idx.set(0)
-        else:
-            self._finished.set(True)
+            return ([(self._cur_path.name, self._cur_path.get() + 1),
+                     (self._cur_idx.name, 0)], [])
+        return [(self._finished.name, True)], []

@@ -16,10 +16,12 @@ runtime so measured differences come only from the checking design.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.core.recovery import RecoveryManager
 from repro.energy.power import PowerModel
 from repro.errors import RuntimeConfigError
+from repro.nvm.journal import CommitJournal
 from repro.nvm.transaction import Transaction
 from repro.taskgraph.app import Application
 from repro.taskgraph.context import TaskContext
@@ -96,6 +98,31 @@ class MayflyRuntime:
         self._finished = nvm.alloc("mf.finished", False, 1)
         self._end_times = nvm.alloc("mf.end_times", {}, 32)
         self._counts = nvm.alloc("mf.counts", {}, 32)
+        self._journal = CommitJournal(nvm)
+        self.recovery = RecoveryManager(nvm, journal=self._journal)
+        self.recovery.guard("mf.")
+        self.recovery.guard("chan.")
+        self.recovery.add_invariant(
+            "mf.cur_path in range",
+            lambda: 1 <= self._cur_path.get() <= len(app.paths),
+            lambda: (self._cur_path.set(1), self._cur_idx.set(0)),
+        )
+        self.recovery.add_invariant(
+            "mf.cur_idx in range",
+            lambda: (0 <= self._cur_idx.get()
+                     < len(app.path(self._cur_path.get()))),
+            lambda: self._cur_idx.set(0),
+        )
+        self.recovery.add_invariant(
+            "mf.end_times is a mapping",
+            lambda: isinstance(self._end_times.get(), dict),
+            lambda: self._end_times.set({}),
+        )
+        self.recovery.add_invariant(
+            "mf.counts is a mapping",
+            lambda: isinstance(self._counts.get(), dict),
+            lambda: self._counts.set({}),
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -108,7 +135,9 @@ class MayflyRuntime:
         return path.task_names[self._cur_idx.get()]
 
     def boot(self, device) -> None:
+        """Resolve any interrupted commit before the loop resumes."""
         self._device = device
+        self.recovery.on_boot(device)
 
     def begin_run(self, device) -> None:
         self._device = device
@@ -139,7 +168,6 @@ class MayflyRuntime:
             self._restart_path()
             return
         self._run_task(task)
-        self._advance()
 
     # ------------------------------------------------------------------
     def _props_satisfied(self, task: str) -> Optional[str]:
@@ -170,44 +198,58 @@ class MayflyRuntime:
         if cost.fixed_energy_j:
             device.consume_energy(cost.fixed_energy_j, "app")
         device.consume(cost.duration_s, cost.power_w, "app")
-        txn = Transaction(device.nvm)
+        txn = Transaction(device.nvm, journal=self._journal)
         ctx = TaskContext(name, device.nvm, txn, self.app.sensors, device.now)
         if task.body is not None:
             task.body(ctx)
-        txn.commit()
+        # Bookkeeping (end times, collection counts) and loop advancement
+        # are planned first and staged into the task's transaction, so
+        # the journaled commit is all-or-nothing across data *and*
+        # control state — a crash mid-commit cannot leave a committed
+        # task that would re-execute and double-count.
         ends = dict(self._end_times.get())
         ends[name] = device.now()
-        self._end_times.set(ends)
         counts = dict(self._counts.get())
         counts[name] = counts.get(name, 0) + 1
-        self._counts.set(counts)
+        updates, events = self._plan_advance(counts)
+        txn.stage(self._end_times.name, ends)
+        txn.stage(self._counts.name, counts)
+        for cell_name, value in updates:
+            txn.stage(cell_name, value)
+        txn.commit(spend=self._spend_commit_step)
         device.trace.record(device.sim_clock.now(), "task_end", task=name,
                             path=self._cur_path.get())
+        for kind, detail in events:
+            device.trace.record(device.sim_clock.now(), kind, **detail)
 
-    def _advance(self) -> None:
+    def _spend_commit_step(self) -> None:
+        """Pay one journal step; each step is a distinct crash point."""
+        self._device.consume(self.power.commit_step_s,
+                             self.power.overhead_power_w, "commit")
+
+    def _plan_advance(
+        self, counts: Dict[str, int]
+    ) -> Tuple[List[Tuple[str, Any]], List[Tuple[str, Dict[str, Any]]]]:
+        """Loop-advancement updates after the current task completes.
+
+        Pure planning; mutates ``counts`` in place when a completed path
+        consumes its collection counts (per-path progress).
+        """
         path = self.app.path(self._cur_path.get())
         if self._cur_idx.get() + 1 < len(path):
-            self._cur_idx.set(self._cur_idx.get() + 1)
-            return
-        self._device.trace.record(
-            self._device.sim_clock.now(), "path_complete", path=path.number
-        )
-        # Collection counts are per-path progress; consumed on completion.
-        self._reset_counts_for(path.task_names)
+            return [(self._cur_idx.name, self._cur_idx.get() + 1)], []
+        events: List[Tuple[str, Dict[str, Any]]] = [
+            ("path_complete", {"path": path.number})
+        ]
+        for task_name in path.task_names:
+            counts.pop(task_name, None)
         if path.number < len(self.app.paths):
-            self._cur_path.set(path.number + 1)
-            self._cur_idx.set(0)
-        else:
-            self._finished.set(True)
+            return ([(self._cur_path.name, path.number + 1),
+                     (self._cur_idx.name, 0)], events)
+        return [(self._finished.name, True)], events
 
     def _restart_path(self) -> None:
         self._device.trace.record(
             self._device.sim_clock.now(), "path_restart", path=self._cur_path.get()
         )
         self._cur_idx.set(0)
-
-    def _reset_counts_for(self, task_names) -> None:
-        counts = dict(self._counts.get())
-        for name in task_names:
-            counts.pop(name, None)
-        self._counts.set(counts)

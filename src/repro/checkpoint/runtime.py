@@ -20,9 +20,11 @@ harness drives task-based and checkpoint-based systems.
 
 from __future__ import annotations
 
-from typing import Dict
+import copy
+from typing import Any, Dict
 
 from repro.checkpoint.program import CheckpointProgram
+from repro.core.recovery import RecoveryManager
 from repro.errors import RuntimeConfigError
 
 
@@ -51,6 +53,17 @@ class CheckpointRuntime:
         self._state: Dict = {}
         self._region_entries: Dict[str, float] = {}
         self._restored = False
+        # Checkpoint systems have no redo journal — the double-buffered
+        # slot flip is their commit point — but they share the boot-time
+        # corruption scan and the slot-marker invariant.
+        self.recovery = RecoveryManager(nvm)
+        self.recovery.guard(f"{prefix}.")
+        self.recovery.add_invariant(
+            "ckpt.current slot legal",
+            lambda: (self._current_slot.get() in (-1, 0, 1)
+                     and self._slot_valid(self._current_slot.get())),
+            self._repair_slot,
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -58,7 +71,9 @@ class CheckpointRuntime:
         return self._finished.get()
 
     def boot(self, device) -> None:
+        """Run the recovery scan, then rebuild volatile state."""
         self._device = device
+        self.recovery.on_boot(device)
         self._restore()
 
     def begin_run(self, device) -> None:
@@ -71,6 +86,34 @@ class CheckpointRuntime:
         self._restored = True
 
     # ------------------------------------------------------------------
+    def _slot_valid(self, slot: Any) -> bool:
+        """True if ``slot`` is -1 or names a structurally sound snapshot."""
+        if slot == -1:
+            return True
+        if slot not in (0, 1):
+            return False
+        snapshot = self._slots[slot].get()
+        return (
+            isinstance(snapshot, dict)
+            and isinstance(snapshot.get("state"), dict)
+            and isinstance(snapshot.get("regions"), dict)
+            and isinstance(snapshot.get("pc"), int)
+            and not isinstance(snapshot.get("pc"), bool)
+            and 0 <= snapshot["pc"] <= len(self.program)
+        )
+
+    def _repair_slot(self) -> None:
+        """Fall back to the other buffer if it is sound, else restart.
+
+        Losing at most one checkpoint interval is the strongest
+        guarantee double buffering can give once a snapshot is damaged.
+        """
+        for candidate in (0, 1):
+            if candidate != self._current_slot.get() and self._slot_valid(candidate):
+                self._current_slot.set(candidate)
+                return
+        self._current_slot.set(-1)
+
     def _restore(self) -> None:
         """Rebuild volatile state from the last committed snapshot and
         apply TICS expiration rules."""
@@ -80,9 +123,11 @@ class CheckpointRuntime:
             self._state = {}
             self._region_entries = {}
         else:
+            # Deep-copied both ways so block bodies mutating nested
+            # values can never reach into the persisted snapshot.
             snapshot = self._slots[slot].get()
             self._pc = snapshot["pc"]
-            self._state = dict(snapshot["state"])
+            self._state = copy.deepcopy(snapshot["state"])
             self._region_entries = dict(snapshot["regions"])
             self._apply_expirations()
         self._restored = True
@@ -144,7 +189,7 @@ class CheckpointRuntime:
         target = (self._current_slot.get() + 1) % 2
         self._slots[target].set({
             "pc": self._pc + 1,
-            "state": dict(self._state),
+            "state": copy.deepcopy(self._state),
             "regions": dict(self._region_entries),
         })
         self._current_slot.set(target)

@@ -17,12 +17,15 @@ Figure 3:
   properties fail on one event.
 * :mod:`~repro.core.runtime` — the ARTEMIS intermittent runtime
   (Figures 8/9): task execution, property checking, action handling.
+* :mod:`~repro.core.recovery` — boot-time recovery: commit-journal
+  resolution, NVM checksum verification, and state-invariant repair.
 """
 
 from repro.core.actions import Action, ActionType
 from repro.core.events import EventKind, MonitorEvent
 from repro.core.generator import generate_machine, generate_machines
 from repro.core.monitor import ArtemisMonitor, MonitorGroup
+from repro.core.recovery import RecoveryManager, RecoveryReport
 from repro.core.runtime import ArtemisRuntime
 
 __all__ = [
@@ -35,4 +38,6 @@ __all__ = [
     "ArtemisMonitor",
     "MonitorGroup",
     "ArtemisRuntime",
+    "RecoveryManager",
+    "RecoveryReport",
 ]

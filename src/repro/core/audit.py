@@ -46,17 +46,29 @@ class AuditLog:
         self._entries = nvm.alloc(f"{name}.ring", initial=(),
                                   size_bytes=capacity * 16)
         self._seq = nvm.alloc(f"{name}.seq", initial=0, size_bytes=4)
+        self._cleared = nvm.alloc(f"{name}.cleared", initial=0, size_bytes=4)
 
     def record(self, timestamp: float, task: str, path: int,
                action: Action) -> AuditEntry:
         """Append one action; the oldest entry falls off when full."""
+        return self.record_event(timestamp, action.type.value,
+                                 action.source, task=task, path=path)
+
+    def record_event(self, timestamp: float, action: str, source: str,
+                     task: str = "-", path: int = -1) -> AuditEntry:
+        """Append a free-form event (e.g. a boot-time recovery record).
+
+        Corrective actions go through :meth:`record`; this lower-level
+        entry point lets subsystems without an :class:`Action` object —
+        recovery, diagnostics — share the same persistent ring.
+        """
         entry = AuditEntry(
             seq=self._seq.get(),
             timestamp=timestamp,
             task=task,
             path=path,
-            action=action.type.value,
-            source=action.source,
+            action=action,
+            source=source,
         )
         ring = self._entries.get() + (entry,)
         if len(ring) > self.capacity:
@@ -79,10 +91,23 @@ class AuditLog:
         return self._seq.get()
 
     @property
+    def cleared(self) -> int:
+        """Entries deliberately discarded via :meth:`clear`."""
+        return self._cleared.get()
+
+    @property
     def dropped(self) -> int:
-        return max(0, self.total_recorded - len(self._entries.get()))
+        """Entries lost to ring rotation — *not* counting cleared ones.
+
+        Without the cleared counter every ``clear()`` would inflate this
+        number, making capacity look insufficient when it was not.
+        """
+        return max(0, self.total_recorded - self.cleared
+                   - len(self._entries.get()))
 
     def clear(self) -> None:
+        """Discard live entries, keeping ``dropped`` truthful."""
+        self._cleared.set(self._cleared.get() + len(self._entries.get()))
         self._entries.set(())
 
     def dump(self) -> str:

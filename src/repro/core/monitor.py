@@ -223,6 +223,61 @@ class ArtemisMonitor:
                 count += 1
         return count
 
+    # ------------------------------------------------------------------
+    # Boot-time recovery hooks
+    # ------------------------------------------------------------------
+    def nvm_prefixes(self) -> List[str]:
+        """NVM namespaces holding this monitor's persistent state.
+
+        Covers machine stores and bookkeeping cells (``{name}.``), the
+        resumable call continuation (``imm.{name}.call.``), and the
+        verdict list (``plist.{name}.``); used by the
+        :class:`~repro.core.recovery.RecoveryManager` to scope its
+        checksum scan.
+        """
+        return [f"{self.name}.", f"imm.{self.name}.call.",
+                f"plist.{self.name}."]
+
+    def validate(self) -> List[str]:
+        """Names of machines whose persisted state is not a legal state.
+
+        A bit flip can turn a state name into garbage that still reads
+        as a string; checksum verification catches *silent* corruption,
+        while this catches values that were (re)written legitimately but
+        are semantically impossible.
+        """
+        bad: List[str] = []
+        for machine, instance in zip(self.machines, self.instances):
+            try:
+                ok = instance.state in machine.states
+            except Exception:
+                ok = False
+            if not ok:
+                bad.append(machine.name)
+        return bad
+
+    def reset_machine(self, machine_name: str) -> bool:
+        """Reset one machine to its initial state; True if it exists."""
+        for machine, instance in zip(self.machines, self.instances):
+            if machine.name == machine_name:
+                instance.reset()
+                return True
+        return False
+
+    def repair_cell(self, cell_name: str) -> Optional[str]:
+        """Component-level repair after a cell was reset to its initial.
+
+        If the cell belonged to one machine's store, that machine alone
+        is reset so its remaining cells are mutually consistent; other
+        monitor cells (continuation, verdicts, pending event) need no
+        further action once restored. Returns a description or ``None``.
+        """
+        for machine in self.machines:
+            if cell_name.startswith(f"{self.name}.{machine.name}."):
+                self.reset_machine(machine.name)
+                return f"machine {machine.name} reset"
+        return None
+
 
 class MonitorGroup:
     """Several independent monitors fed as one (§3.1: the runtime feeds
@@ -319,3 +374,37 @@ class MonitorGroup:
         """Propagate §3.3 re-initialisation to every member."""
         return sum(monitor.reinit_for_path_restart(path_task_names)
                    for monitor in self.monitors)
+
+    # ------------------------------------------------------------------
+    # Boot-time recovery hooks (delegated to members)
+    # ------------------------------------------------------------------
+    def nvm_prefixes(self) -> List[str]:
+        """Group bookkeeping namespace plus every member's namespaces."""
+        prefixes = [f"{self.name}."]
+        for monitor in self.monitors:
+            prefixes.extend(monitor.nvm_prefixes())
+        return prefixes
+
+    def validate(self) -> List[str]:
+        """Illegal-state machines across all members."""
+        bad: List[str] = []
+        for monitor in self.monitors:
+            bad.extend(monitor.validate())
+        return bad
+
+    def reset_machine(self, machine_name: str) -> bool:
+        """Reset the named machine in every member that owns one.
+
+        Members may monitor the same property (same machine name);
+        resetting all of them keeps the group's members consistent.
+        """
+        return any([monitor.reset_machine(machine_name)
+                    for monitor in self.monitors])
+
+    def repair_cell(self, cell_name: str) -> Optional[str]:
+        """Delegate cell repair to the member owning the cell."""
+        for monitor in self.monitors:
+            description = monitor.repair_cell(cell_name)
+            if description is not None:
+                return description
+        return None

@@ -29,8 +29,10 @@ from repro.core.arbiter import ArbitrationPolicy, arbitrate, most_severe
 from repro.core.events import end_event, MonitorEvent
 from repro.core.monitor import ArtemisMonitor
 from repro.core.properties import EnergyAtLeast, PropertySet
+from repro.core.recovery import RecoveryManager
 from repro.energy.power import PowerModel
 from repro.errors import RuntimeConfigError
+from repro.nvm.journal import CommitJournal
 from repro.nvm.transaction import Transaction
 from repro.taskgraph.app import Application
 from repro.taskgraph.context import TaskContext
@@ -101,6 +103,21 @@ class ArtemisRuntime:
         self._resume_path = alloc("rt.resume_path", 1, 2)
         self._finished = alloc("rt.finished", False, 1)
 
+        # Crash-consistent commit journal shared by every task commit,
+        # and the boot-time recovery pass that resolves it, verifies
+        # cell checksums, and repairs state invariants.
+        self._journal = CommitJournal(nvm)
+        self.recovery = RecoveryManager(nvm, journal=self._journal,
+                                        monitor=self.monitor,
+                                        audit=self.audit)
+        self.recovery.guard("rt.")
+        self.recovery.guard("chan.")
+        if self.audit is not None:
+            self.recovery.guard("audit.")
+        for prefix in self.monitor.nvm_prefixes():
+            self.recovery.guard(prefix, repair=self.monitor.repair_cell)
+        self._register_invariants()
+
     # ------------------------------------------------------------------
     # Properties
     # ------------------------------------------------------------------
@@ -120,9 +137,59 @@ class ArtemisRuntime:
     # ------------------------------------------------------------------
     # Boot protocol (Figure 8: resetMonitor / monitorFinalize)
     # ------------------------------------------------------------------
+    def _register_invariants(self) -> None:
+        """Semantic invariants on runtime control state (§4.1.3).
+
+        Checksum verification catches silent corruption; these catch
+        control state that is intact but impossible — an index outside
+        the application, an unknown status token, a finish timestamp
+        from the future. Ordering matters: the path index is repaired
+        before the task index is judged against the repaired path.
+        """
+        rec = self.recovery
+        rec.add_invariant(
+            "rt.cur_path in range",
+            lambda: 1 <= self._cur_path.get() <= len(self.app.paths),
+            lambda: self._enter_path(1),
+        )
+        rec.add_invariant(
+            "rt.cur_idx in range",
+            lambda: (0 <= self._cur_idx.get()
+                     < len(self.app.path(self._cur_path.get()))),
+            lambda: self._enter_path(self._cur_path.get()),
+        )
+
+        def _repair_status() -> None:
+            self._status.set(_READY)
+            self._start_checked.set(False)
+
+        rec.add_invariant(
+            "rt.status legal",
+            lambda: self._status.get() in (_READY, _FINISHED),
+            _repair_status,
+        )
+        rec.add_invariant(
+            "rt.end_ts consistent",
+            lambda: 0.0 <= self._end_ts.get() <= self._device.now(),
+            lambda: self._end_ts.set(
+                min(max(self._end_ts.get(), 0.0), self._device.now())
+            ),
+        )
+        rec.add_invariant(
+            "rt.resume_path in range",
+            lambda: 1 <= self._resume_path.get() <= len(self.app.paths) + 1,
+            lambda: self._resume_path.set(1),
+        )
+        rec.add_invariant(
+            "rt.emitted is a mapping",
+            lambda: isinstance(self._emitted.get(), dict),
+            lambda: self._emitted.set({}),
+        )
+
     def boot(self, device) -> None:
         """Called by the device on every power-up."""
         self._device = device
+        self.recovery.on_boot(device)
         if not self._initialized.get():
             self.monitor.reset()
             self._initialized.set(True)
@@ -209,16 +276,20 @@ class ArtemisRuntime:
             device.consume_energy(cost.fixed_energy_j, "app")
         device.consume(cost.duration_s, cost.power_w, "app")
         # The attempt survived; execute the body and commit atomically.
-        txn = Transaction(device.nvm)
+        txn = Transaction(device.nvm, journal=self._journal)
         ctx = TaskContext(task.name, device.nvm, txn, self.app.sensors, device.now)
         if task.body is not None:
             task.body(ctx)
-        txn.commit()
-        # taskFinish (Figure 9, Lines 20-27): stamp the finish time once.
-        self._emitted.set(dict(ctx.emitted))
-        self._end_ts.set(device.now())
-        self._status.set(_FINISHED)
-        self._start_checked.set(False)
+        # taskFinish (Figure 9, Lines 20-27): the finish stamp and status
+        # flip ride in the same journaled commit as the channel writes,
+        # so the journal seal is the single linearization point — a crash
+        # anywhere inside the commit either rolls the whole task back
+        # (it re-executes) or forward (it is done, never run twice).
+        txn.stage(self._emitted.name, dict(ctx.emitted))
+        txn.stage(self._end_ts.name, device.now())
+        txn.stage(self._status.name, _FINISHED)
+        txn.stage(self._start_checked.name, False)
+        txn.commit(spend=self._spend_commit_step)
         device.trace.record(device.sim_clock.now(), "task_end", task=task.name,
                             path=self._cur_path.get())
 
@@ -250,6 +321,11 @@ class ArtemisRuntime:
 
     def _spend_monitor(self, seconds: float) -> None:
         self._device.consume(seconds, self.power.overhead_power_w, "monitor")
+
+    def _spend_commit_step(self) -> None:
+        """Pay for one journal step; each step is a visible crash point."""
+        self._device.consume(self.power.commit_step_s,
+                             self.power.overhead_power_w, "commit")
 
     def _trace_action(self, action: Action) -> None:
         if action.type is ActionType.NONE:

@@ -62,6 +62,12 @@ class PowerModel:
       invocation (event marshalling, continuation bookkeeping).
     * ``monitor_per_property_s`` — added cost per property evaluated for
       the event's task.
+    * ``commit_step_s`` — cost of one step of the journaled two-phase
+      commit (one journal append, the seal, or one apply). FRAM writes
+      at MCU speed are effectively free next to task work, so the
+      default is 0.0; raise it to surface commit steps on the timeline
+      or to stress energy budgets with commit-heavy workloads. Each step
+      remains an individually visible crash point either way.
 
     The baseline Mayfly runtime folds its (cheaper, hardcoded) checks into
     its transition cost and has no separate monitor call.
@@ -75,6 +81,7 @@ class PowerModel:
         monitor_per_property_s: float = 0.18e-3,
         overhead_power_w: float = MCU_ACTIVE_POWER_W,
         default_cost: Optional[TaskCost] = None,
+        commit_step_s: float = 0.0,
     ):
         self._costs: Dict[str, TaskCost] = dict(task_costs)
         self.runtime_transition_s = runtime_transition_s
@@ -82,6 +89,7 @@ class PowerModel:
         self.monitor_per_property_s = monitor_per_property_s
         self.overhead_power_w = overhead_power_w
         self.default_cost = default_cost
+        self.commit_step_s = commit_step_s
 
     def cost_of(self, task_name: str) -> TaskCost:
         cost = self._costs.get(task_name, self.default_cost)
@@ -112,6 +120,7 @@ class PowerModel:
             monitor_per_property_s=self.monitor_per_property_s,
             overhead_power_w=self.overhead_power_w,
             default_cost=self.default_cost,
+            commit_step_s=self.commit_step_s,
         )
 
 

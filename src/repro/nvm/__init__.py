@@ -6,12 +6,25 @@ This package models the two properties intermittent software relies on:
 * **Persistence** — values written to NVM survive power failures
   (:class:`~repro.nvm.memory.NonVolatileMemory`).
 * **Atomic commit** — task-based runtimes stage task writes in volatile
-  memory and commit them all-or-nothing at task end
-  (:class:`~repro.nvm.transaction.Transaction`).
+  memory and commit them all-or-nothing at task end through a
+  crash-consistent redo journal
+  (:class:`~repro.nvm.transaction.Transaction`,
+  :class:`~repro.nvm.journal.CommitJournal`).
+* **Integrity** — per-cell checksums detect silent corruption, and
+  wear limits model cells going read-only
+  (:meth:`~repro.nvm.memory.NonVolatileMemory.corrupt`,
+  :meth:`~repro.nvm.memory.NonVolatileMemory.verify`).
 """
 
+from repro.nvm.journal import CommitJournal
 from repro.nvm.memory import NonVolatileMemory, PersistentCell
 from repro.nvm.store import NVMStore
 from repro.nvm.transaction import Transaction
 
-__all__ = ["NonVolatileMemory", "PersistentCell", "NVMStore", "Transaction"]
+__all__ = [
+    "NonVolatileMemory",
+    "PersistentCell",
+    "NVMStore",
+    "Transaction",
+    "CommitJournal",
+]

@@ -1,0 +1,185 @@
+"""Crash-consistent commit journal (redo log) in non-volatile memory.
+
+The paper's runtime makes task commits atomic with a single FRAM status
+update; Alpaca-style systems get there by *privatising* writes and
+committing them through a journal. :class:`CommitJournal` reproduces
+that mechanism instead of assuming it:
+
+1. ``begin`` marks the journal *pending* and clears it.
+2. ``append`` persists one ``(cell, value)`` redo entry per staged write.
+3. ``seal`` stores a checksum over the entries and flips the status to
+   *committed* — this single flip is the linearization point.
+4. ``apply`` copies each entry into its target cell, tracking progress
+   in the persistent ``applied`` index.
+5. ``clear`` returns the journal to *idle*.
+
+A power failure at any interior step leaves a state :meth:`recover` can
+classify on the next boot: a *pending* journal is discarded (the commit
+never happened — the task re-executes), a *committed* journal is
+re-applied idempotently (the commit happened — roll forward), and a
+committed journal whose checksum no longer matches its entries is
+detected as corruption and discarded rather than replayed.
+
+Several :class:`~repro.nvm.transaction.Transaction` instances may share
+one journal (allocation is idempotent by name); only one commit is ever
+in flight at a time because intermittent runtimes are single-threaded.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Callable, Optional, Tuple
+
+from repro.errors import NVMError
+from repro.nvm.memory import NonVolatileMemory
+
+#: Journal status values. The transition PENDING -> COMMITTED is the
+#: commit's linearization point.
+STATUS_IDLE = "idle"
+STATUS_PENDING = "pending"
+STATUS_COMMITTED = "committed"
+
+#: Recovery outcomes returned by :meth:`CommitJournal.recover`.
+RECOVERED_CLEAN = "clean"
+RECOVERED_ROLLED_BACK = "rolled_back"
+RECOVERED_ROLLED_FORWARD = "rolled_forward"
+RECOVERED_CORRUPT = "corrupt"
+
+
+def entries_checksum(entries: Tuple[Tuple[str, Any], ...]) -> int:
+    """Deterministic checksum of a journal entry tuple."""
+    return zlib.crc32(repr(entries).encode("utf-8", "backslashreplace"))
+
+
+class CommitJournal:
+    """Persistent redo log backing journaled two-phase commits.
+
+    Args:
+        nvm: the non-volatile memory holding the journal cells.
+        name: NVM namespace; all journals with the same name on the same
+            NVM share state (which is the point — the journal layout is
+            static, like a linker-placed log region).
+    """
+
+    def __init__(self, nvm: NonVolatileMemory, name: str = "txnlog"):
+        self._nvm = nvm
+        self.name = name
+        self._status = nvm.alloc(f"{name}.status", STATUS_IDLE, size_bytes=2)
+        self._entries = nvm.alloc(f"{name}.entries", (), size_bytes=96)
+        self._checksum = nvm.alloc(f"{name}.checksum", 0, size_bytes=4)
+        self._applied = nvm.alloc(f"{name}.applied", 0, size_bytes=2)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def status(self) -> str:
+        """Current journal status (idle / pending / committed)."""
+        return self._status.get()
+
+    @property
+    def in_flight(self) -> bool:
+        """True if a commit was interrupted and needs recovery."""
+        return self._status.get() != STATUS_IDLE
+
+    def entries(self) -> Tuple[Tuple[str, Any], ...]:
+        """The persisted redo entries (for tests and diagnostics)."""
+        return tuple(self._entries.get())
+
+    @property
+    def applied(self) -> int:
+        """Index of the next entry to apply during roll-forward."""
+        return self._applied.get()
+
+    # ------------------------------------------------------------------
+    # Commit protocol
+    # ------------------------------------------------------------------
+    def begin(self) -> None:
+        """Open the journal for a new commit (status becomes pending)."""
+        if self.in_flight:
+            raise NVMError(
+                f"journal {self.name!r} already {self.status}; "
+                "recover() it before starting a new commit"
+            )
+        self._entries.set(())
+        self._applied.set(0)
+        self._checksum.set(0)
+        self._status.set(STATUS_PENDING)
+
+    def append(self, cell_name: str, value: Any) -> None:
+        """Persist one redo entry; requires a pending journal."""
+        if self._status.get() != STATUS_PENDING:
+            raise NVMError(
+                f"journal {self.name!r}: append while {self.status!r}"
+            )
+        self._entries.set(self._entries.get() + ((cell_name, value),))
+
+    def seal(self) -> None:
+        """Checksum the entries and flip to committed (the commit point)."""
+        if self._status.get() != STATUS_PENDING:
+            raise NVMError(f"journal {self.name!r}: seal while {self.status!r}")
+        self._checksum.set(entries_checksum(tuple(self._entries.get())))
+        self._status.set(STATUS_COMMITTED)
+
+    def verify(self) -> bool:
+        """True if the sealed entries still match their checksum."""
+        return entries_checksum(tuple(self._entries.get())) == self._checksum.get()
+
+    def apply(self, spend: Optional[Callable[[], None]] = None) -> int:
+        """Roll the committed entries into their cells; returns the count.
+
+        Resumes from the persistent ``applied`` index, so re-applying
+        after an interruption is idempotent. ``spend``, if given, is
+        called before each application step — charging the device makes
+        every step a distinct crash point.
+        """
+        if self._status.get() != STATUS_COMMITTED:
+            raise NVMError(f"journal {self.name!r}: apply while {self.status!r}")
+        entries = self._entries.get()
+        for i in range(self._applied.get(), len(entries)):
+            if spend is not None:
+                spend()
+            cell_name, value = entries[i]
+            self._nvm.cell(cell_name).set(value)
+            self._applied.set(i + 1)
+        return len(entries)
+
+    def clear(self) -> None:
+        """Return the journal to idle (end of a commit or of recovery)."""
+        self._status.set(STATUS_IDLE)
+        self._entries.set(())
+        self._applied.set(0)
+        self._checksum.set(0)
+
+    # ------------------------------------------------------------------
+    # Boot-time recovery
+    # ------------------------------------------------------------------
+    def recover(self) -> str:
+        """Classify and resolve an interrupted commit.
+
+        Returns one of:
+
+        * ``"clean"`` — no commit was in flight.
+        * ``"rolled_back"`` — a pending journal was discarded: the crash
+          hit before the commit point, so the commit never happened.
+        * ``"rolled_forward"`` — a committed journal was re-applied to
+          completion: the commit happened; its effects are now durable.
+        * ``"corrupt"`` — the journal failed its checksum (or its status
+          cell held garbage) and was discarded instead of replayed.
+        """
+        status = self._status.get()
+        if status == STATUS_IDLE:
+            return RECOVERED_CLEAN
+        if status == STATUS_PENDING:
+            self.clear()
+            return RECOVERED_ROLLED_BACK
+        if status == STATUS_COMMITTED:
+            if not self.verify():
+                self.clear()
+                return RECOVERED_CORRUPT
+            self.apply()
+            self.clear()
+            return RECOVERED_ROLLED_FORWARD
+        # The status cell itself holds an unknown value: corruption.
+        self.clear()
+        return RECOVERED_CORRUPT

@@ -5,17 +5,63 @@ Table 2 memory accountant), and keep their value across simulated power
 failures. A :class:`NonVolatileMemory` instance outlives the device's
 volatile state: the simulator wipes everything *except* this object on
 reboot.
+
+Integrity model: every committed write records a per-cell checksum, so
+silent corruption — injected with :meth:`NonVolatileMemory.corrupt`, the
+simulation's bit-flip fault — is detectable by :meth:`verify` without
+being observable through normal reads. Cells can also be given a wear
+limit after which they go read-only, modelling worn-out storage.
 """
 
 from __future__ import annotations
 
 import copy
-from typing import Any, Dict, Iterator, Optional
+import struct
+import zlib
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import NVMError
 
 #: FRAM capacity of the MSP430FR5994 used in the paper (bytes).
 DEFAULT_CAPACITY_BYTES = 256 * 1024
+
+
+def value_checksum(value: Any) -> int:
+    """Deterministic checksum of a cell value (CRC-32 over its repr)."""
+    return zlib.crc32(repr(value).encode("utf-8", "backslashreplace"))
+
+
+def _flip(value: Any, bit: int) -> Any:
+    """Return ``value`` with one bit (conceptually) flipped.
+
+    Type-preserving where possible so the corruption stays *silent*:
+    reads succeed and return plausible garbage; only a checksum can tell.
+    """
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value ^ (1 << bit)
+    if isinstance(value, float):
+        raw = bytearray(struct.pack(">d", value))
+        raw[(bit // 8) % 8] ^= 1 << (bit % 8)
+        return struct.unpack(">d", bytes(raw))[0]
+    if isinstance(value, str):
+        if not value:
+            return "\x00"
+        return chr(ord(value[0]) ^ (1 << (bit % 7))) + value[1:]
+    if value is None:
+        return 1 << bit
+    if isinstance(value, tuple) and value:
+        return (_flip(value[0], bit),) + value[1:]
+    if isinstance(value, list) and value:
+        return [_flip(value[0], bit)] + list(value[1:])
+    if isinstance(value, dict) and value:
+        key = next(iter(value))
+        flipped = dict(value)
+        flipped[key] = _flip(value[key], bit)
+        return flipped
+    # Empty containers and exotic objects: unrecognisable garbage.
+    return f"�{value!r}"
 
 
 class PersistentCell:
@@ -38,9 +84,20 @@ class PersistentCell:
         return self._nvm._data[self.name]
 
     def set(self, value: Any) -> None:
-        self._nvm._data[self.name] = value
-        self._nvm._write_count += 1
-        counts = self._nvm._cell_writes
+        nvm = self._nvm
+        limit = nvm._write_limits.get(self.name)
+        if limit is not None and nvm._cell_writes.get(self.name, 0) >= limit[0]:
+            if limit[1]:  # silent wear: the write is dropped, not flagged
+                nvm._wear_dropped += 1
+                return
+            raise NVMError(
+                f"cell {self.name!r} worn out: read-only after "
+                f"{limit[0]} writes"
+            )
+        nvm._data[self.name] = value
+        nvm._checksums[self.name] = value_checksum(value)
+        nvm._write_count += 1
+        counts = nvm._cell_writes
         counts[self.name] = counts.get(self.name, 0) + 1
 
     # Convenience property-style access.
@@ -68,6 +125,10 @@ class NonVolatileMemory:
         self._used_bytes = 0
         self._write_count = 0
         self._cell_writes: Dict[str, int] = {}
+        self._checksums: Dict[str, int] = {}
+        self._initials: Dict[str, Any] = {}
+        self._write_limits: Dict[str, Tuple[int, bool]] = {}
+        self._wear_dropped = 0
 
     # ------------------------------------------------------------------
     # Allocation
@@ -99,6 +160,8 @@ class NonVolatileMemory:
         cell = PersistentCell(self, name, size_bytes)
         self._cells[name] = cell
         self._data[name] = initial
+        self._checksums[name] = value_checksum(initial)
+        self._initials[name] = copy.deepcopy(initial)
         self._used_bytes += size_bytes
         return cell
 
@@ -109,6 +172,72 @@ class NonVolatileMemory:
             raise NVMError(f"cell {name!r} not allocated")
         self._used_bytes -= cell.size_bytes
         del self._data[name]
+        self._checksums.pop(name, None)
+        self._initials.pop(name, None)
+        self._write_limits.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Integrity: checksums, corruption, wear
+    # ------------------------------------------------------------------
+    def verify(self, name: str) -> bool:
+        """True if cell ``name`` still matches its last recorded checksum."""
+        if name not in self._cells:
+            raise NVMError(f"cell {name!r} not allocated")
+        return value_checksum(self._data[name]) == self._checksums[name]
+
+    def verify_all(self) -> List[str]:
+        """Names of all cells failing checksum verification."""
+        return [name for name in self._cells if not self.verify(name)]
+
+    def corrupt(self, name: str, bit: int = 0) -> Any:
+        """Silently corrupt a cell, as a cosmic-ray bit flip would.
+
+        The stored value changes but the recorded checksum (and the write
+        counters) do not, so normal reads return the garbage while
+        :meth:`verify` detects the damage. Returns the corrupted value.
+        """
+        if name not in self._cells:
+            raise NVMError(f"cell {name!r} not allocated")
+        corrupted = _flip(self._data[name], bit)
+        self._data[name] = corrupted
+        return corrupted
+
+    def restore_initial(self, name: str) -> Any:
+        """Reset a cell to its allocation-time initial value.
+
+        The generic corruption repair: the cell's content cannot be
+        trusted, so it is reset to the value static initialisation would
+        have produced. Returns the restored value.
+        """
+        if name not in self._cells:
+            raise NVMError(f"cell {name!r} not allocated")
+        value = copy.deepcopy(self._initials[name])
+        self._cells[name].set(value)
+        return value
+
+    def set_write_limit(self, name: str, limit: int, silent: bool = False) -> None:
+        """Make a cell wear out: read-only after ``limit`` total writes.
+
+        With ``silent=False`` (default) an over-limit write raises
+        :class:`~repro.errors.NVMError`; with ``silent=True`` it is
+        dropped and counted in :attr:`wear_dropped` — the nastier,
+        harder-to-detect failure mode of real worn storage.
+        """
+        if name not in self._cells:
+            raise NVMError(f"cell {name!r} not allocated")
+        if limit < 0:
+            raise NVMError("write limit must be non-negative")
+        self._write_limits[name] = (limit, silent)
+
+    def is_worn(self, name: str) -> bool:
+        """True if the cell has exhausted its write limit."""
+        limit = self._write_limits.get(name)
+        return limit is not None and self._cell_writes.get(name, 0) >= limit[0]
+
+    @property
+    def wear_dropped(self) -> int:
+        """Writes silently dropped by worn-out cells."""
+        return self._wear_dropped
 
     # ------------------------------------------------------------------
     # Introspection

@@ -1,4 +1,4 @@
-"""Atomic, all-or-nothing commit of staged writes to NVM.
+"""Journaled, all-or-nothing commit of staged writes to NVM.
 
 Task-based intermittent runtimes (Chain, InK, Alpaca, and the ARTEMIS
 runtime in the paper) give each task transactional semantics: the task
@@ -9,24 +9,48 @@ re-execution is idempotent.
 :class:`Transaction` models exactly that. The stage lives in *volatile*
 memory (a plain dict) — it is constructed fresh after every reboot — so a
 power failure between ``stage()`` calls loses nothing durable. ``commit``
-itself is modelled as atomic, which matches the paper's runtime where the
-commit point is a single pointer/status update in FRAM.
+runs a real journaled two-phase protocol through a
+:class:`~repro.nvm.journal.CommitJournal`: every staged write is first
+persisted as a redo entry, a checksummed status flip linearizes the
+commit, and the entries are then applied to their cells. Passing a
+``spend`` callback to :meth:`commit` makes every journal/flip/apply step
+a distinct energy payment — and therefore a distinct crash point visible
+to fault injectors; a crash at any of them is rolled back or forward by
+:meth:`CommitJournal.recover` on the next boot.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Callable, Dict, Optional
 
 from repro.errors import NVMError
+from repro.nvm.journal import CommitJournal
 from repro.nvm.memory import NonVolatileMemory
+
+#: A commit spend callback pays the energy of one commit step; it may
+#: raise :class:`~repro.errors.PowerFailure`, interrupting the commit.
+CommitSpendFn = Callable[[], None]
 
 
 class Transaction:
-    """Volatile write stage with atomic commit into an NVM instance."""
+    """Volatile write stage with journaled atomic commit into NVM.
 
-    def __init__(self, nvm: NonVolatileMemory):
+    Args:
+        nvm: the non-volatile memory to commit into.
+        journal: the commit journal to write through. Defaults to the
+            shared journal named ``"txnlog"`` on ``nvm``, so transactions
+            created anywhere in a runtime agree on the journal layout.
+    """
+
+    def __init__(self, nvm: NonVolatileMemory, journal: Optional[CommitJournal] = None):
         self._nvm = nvm
+        self._journal = journal if journal is not None else CommitJournal(nvm)
         self._stage: Dict[str, Any] = {}
+
+    @property
+    def journal(self) -> CommitJournal:
+        """The journal this transaction commits through."""
+        return self._journal
 
     def stage(self, name: str, value: Any) -> None:
         """Stage a write to cell ``name``; cell must already be allocated."""
@@ -40,12 +64,35 @@ class Transaction:
             return self._stage[name]
         return self._nvm.cell(name).get()
 
-    def commit(self) -> int:
-        """Apply every staged write to NVM; returns number of writes."""
-        count = 0
+    def commit(self, spend: Optional[CommitSpendFn] = None) -> int:
+        """Commit every staged write through the journal; returns the count.
+
+        Protocol (each ``spend`` call is a crash point):
+
+        1. open the journal (*pending*);
+        2. per staged write: pay, persist one redo entry;
+        3. pay, seal — checksum + status flip, the linearization point;
+        4. per entry: pay, apply it to its cell;
+        5. pay, clear the journal (*idle*).
+
+        A commit with zero staged writes is a no-op: nothing to
+        linearize, so no journal activity and no crash points.
+        """
+        if not self._stage:
+            return 0
+        journal = self._journal
+        journal.begin()
         for name, value in self._stage.items():
-            self._nvm.cell(name).set(value)
-            count += 1
+            if spend is not None:
+                spend()
+            journal.append(name, value)
+        if spend is not None:
+            spend()
+        journal.seal()
+        count = journal.apply(spend)
+        if spend is not None:
+            spend()
+        journal.clear()
         self._stage.clear()
         return count
 

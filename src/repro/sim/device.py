@@ -8,10 +8,17 @@ as an exception out of :meth:`Device.consume`, which is how real
 firmware experiences them (execution simply stops).
 
 Failure-atomicity contract: everything a runtime does *between* two
-``consume`` calls is instantaneous and cannot be interrupted. Runtimes
-exploit this by grouping their NVM control-state updates after the
-energy has been paid, which models a commit performed by a single FRAM
-store on the real MCU.
+``consume`` calls is instantaneous and cannot be interrupted. A single
+FRAM store on the real MCU is atomic; anything larger must not be. Task
+commits therefore do **not** hide behind one consume call: the journaled
+two-phase commit (:class:`~repro.nvm.transaction.Transaction`) pays one
+``commit``-category consume per journal append, one for the checksummed
+status flip, and one per apply step — so every interior step of a commit
+is a distinct crash point fault injectors can target, and only the
+status flip itself is atomic. ``commit``-category steps default to zero
+duration (``PowerModel.commit_step_s``); fault injectors intercept the
+call itself, so they can still place a brown-out inside a zero-cost
+commit.
 """
 
 from __future__ import annotations

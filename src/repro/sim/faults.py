@@ -16,7 +16,7 @@ injector's; combine with real environments when both matter).
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, Optional, Set
+from typing import Dict, Iterable, Optional, Sequence, Set, Tuple, Union
 
 from repro.energy.environment import EnergyEnvironment
 from repro.errors import PowerFailure, SimulationError
@@ -85,8 +85,8 @@ class FailRandomly(_InjectingDevice):
 
     def __init__(self, p: float, seed: int = 0, max_failures: Optional[int] = None):
         super().__init__()
-        if not 0.0 <= p < 1.0:
-            raise SimulationError("failure probability must be in [0, 1)")
+        if not 0.0 <= p <= 1.0:
+            raise SimulationError("failure probability must be in [0, 1]")
         self.p = p
         self._rng = random.Random(seed)
         self.max_failures = max_failures
@@ -99,6 +99,71 @@ class FailRandomly(_InjectingDevice):
             self.failures += 1
             return True
         return False
+
+
+class FailDuringCommit(_InjectingDevice):
+    """Dies at the given 1-based *commit-step* indices.
+
+    Every journal write, the checksummed status flip, and every apply
+    step of a journaled two-phase commit pays energy in the ``commit``
+    category; this device counts only those payments, so a test can
+    place a brown-out precisely inside a commit — e.g. between the
+    journal being sealed and its entries being applied — and assert
+    that boot-time recovery rolls the commit back or forward correctly.
+    """
+
+    def __init__(self, indices: Iterable[int]):
+        super().__init__()
+        self.indices: Set[int] = set(indices)
+        self.steps = 0
+
+    def _should_fail(self, duration_s, power_w, category) -> bool:
+        if category != "commit":
+            return False
+        self.steps += 1
+        return self.steps in self.indices
+
+
+class BitFlipDevice(_InjectingDevice):
+    """Silently corrupts NVM cells at given 1-based consume indices.
+
+    ``flips`` maps a consume-call index to the cell name (or names) to
+    corrupt via :meth:`~repro.nvm.memory.NonVolatileMemory.corrupt` just
+    before that call runs: reads keep succeeding with plausible garbage
+    and only per-cell checksums can tell. The injection is recorded as a
+    ``bit_flip`` trace event for test diagnostics — recovery code never
+    looks at the trace. ``crash_at`` optionally adds a brown-out at a
+    consume index so the next boot's recovery pass gets a chance to
+    detect the damage (corruption scheduled for the crashing call lands
+    before the device dies). Cells must already be allocated when their
+    flip fires.
+    """
+
+    def __init__(
+        self,
+        flips: Dict[int, Union[str, Sequence[str]]],
+        crash_at: Optional[int] = None,
+        bit: int = 0,
+    ):
+        super().__init__()
+        self.flips: Dict[int, Tuple[str, ...]] = {
+            idx: (cells,) if isinstance(cells, str) else tuple(cells)
+            for idx, cells in flips.items()
+        }
+        self.crash_at = crash_at
+        self.bit = bit
+        self.calls = 0
+
+    def consume(self, duration_s: float, power_w: float, category: str) -> None:
+        self.calls += 1
+        for cell in self.flips.get(self.calls, ()):
+            self.nvm.corrupt(cell, bit=self.bit)
+            self.trace.record(self.sim_clock.now(), "bit_flip",
+                              cell=cell, injected=True)
+        super().consume(duration_s, power_w, category)
+
+    def _should_fail(self, duration_s, power_w, category) -> bool:
+        return self.crash_at is not None and self.calls == self.crash_at
 
 
 class FailDuringTasks(_InjectingDevice):

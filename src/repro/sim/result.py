@@ -5,10 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
-#: Consumption categories the device accounts separately; these map to
-#: the stacked components of Figures 14/15 (application vs runtime vs
-#: monitor overhead).
-CATEGORIES = ("app", "runtime", "monitor")
+#: Consumption categories the device accounts separately; app/runtime/
+#: monitor map to the stacked components of Figures 14/15 (application
+#: vs runtime vs monitor overhead), and ``commit`` is the journaled
+#: two-phase commit's per-step cost.
+CATEGORIES = ("app", "runtime", "monitor", "commit")
 
 
 @dataclass
@@ -23,10 +24,24 @@ class RunResult:
             including off-time spent charging.
         on_time_s: time the device was powered and executing.
         charge_time_s: time spent dark waiting for the capacitor.
-        busy_time_s: per-category MCU-busy seconds (app/runtime/monitor).
+        busy_time_s: per-category MCU-busy seconds
+            (app/runtime/monitor/commit).
         energy_j: per-category consumed joules.
         reboots: number of power-failure reboots.
         runs_completed: application iterations completed (loop mode).
+        torn_commits: boots that found a *pending* commit journal and
+            rolled it back (the crash hit before the commit point).
+        journal_replays: boots that found a *committed* journal and
+            rolled it forward to completion.
+        corruptions_detected: checksum mismatches found at boot —
+            corrupted cells plus unreplayable corrupt journals.
+        corruptions_repaired: corrupted cells repaired (reset to their
+            initial value and/or their owning component re-initialised).
+        invariant_repairs: runtime-state invariant violations repaired
+            at boot (out-of-range indices, illegal status, bad
+            timestamps).
+        monitor_resets: monitor machines reset by boot-time recovery
+            because their persisted state was not a legal state.
     """
 
     completed: bool = False
@@ -41,6 +56,12 @@ class RunResult:
     )
     reboots: int = 0
     runs_completed: int = 0
+    torn_commits: int = 0
+    journal_replays: int = 0
+    corruptions_detected: int = 0
+    corruptions_repaired: int = 0
+    invariant_repairs: int = 0
+    monitor_resets: int = 0
 
     @property
     def app_time_s(self) -> float:
@@ -55,6 +76,11 @@ class RunResult:
         return self.busy_time_s["monitor"]
 
     @property
+    def commit_overhead_s(self) -> float:
+        """MCU time spent in journaled commit steps."""
+        return self.busy_time_s["commit"]
+
+    @property
     def total_energy_j(self) -> float:
         return sum(self.energy_j.values())
 
@@ -64,14 +90,32 @@ class RunResult:
         busy = sum(self.busy_time_s.values())
         if busy == 0:
             return 0.0
-        return (self.runtime_overhead_s + self.monitor_overhead_s) / busy
+        overhead = (self.runtime_overhead_s + self.monitor_overhead_s
+                    + self.commit_overhead_s)
+        return overhead / busy
+
+    @property
+    def recoveries(self) -> int:
+        """Total boot-time recovery interventions of any kind."""
+        return (self.torn_commits + self.journal_replays
+                + self.corruptions_detected + self.invariant_repairs
+                + self.monitor_resets)
 
     def summary(self) -> str:
         state = "completed" if self.completed else "DID NOT FINISH"
-        return (
+        text = (
             f"{state}: total={self.total_time_s:.2f}s "
             f"(on={self.on_time_s:.2f}s charge={self.charge_time_s:.2f}s) "
             f"app={self.app_time_s:.2f}s rt={self.runtime_overhead_s * 1e3:.2f}ms "
             f"mon={self.monitor_overhead_s * 1e3:.2f}ms "
             f"energy={self.total_energy_j * 1e3:.2f}mJ reboots={self.reboots}"
         )
+        if self.recoveries:
+            text += (
+                f" recov={self.recoveries}"
+                f" (torn={self.torn_commits} replay={self.journal_replays}"
+                f" corrupt={self.corruptions_detected}"
+                f" invariant={self.invariant_repairs}"
+                f" monreset={self.monitor_resets})"
+            )
+        return text

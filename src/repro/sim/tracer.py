@@ -18,7 +18,14 @@ class TraceEvent:
 
     ``boot``, ``power_failure``, ``charge_wait``, ``task_start``,
     ``task_end``, ``task_skip``, ``monitor_action``, ``path_restart``,
-    ``path_skip``, ``path_complete``, ``run_complete``, ``gave_up``.
+    ``path_skip``, ``path_complete``, ``run_complete``, ``gave_up``,
+    ``checkpoint``; fault injection and boot-time recovery add
+    ``bit_flip`` (injected silent corruption), ``torn_commit`` (pending
+    journal rolled back, or a corrupt journal discarded),
+    ``journal_replay`` (committed journal rolled forward),
+    ``corruption_detected`` (per-cell checksum mismatch repaired),
+    ``invariant_repair``, ``monitor_reset``, and ``recovery`` (one
+    summary per boot whose recovery pass had to intervene).
     """
 
     t: float

@@ -163,3 +163,84 @@ class TestChainRuntime:
         with pytest.raises(RuntimeConfigError):
             ChainRuntime(two_path_app(), {"ghost": lambda ctx: None},
                          continuous(), power())
+
+
+class TestBaselineCrashConsistency:
+    """The journaled commit and boot-time recovery protect the baselines
+    too: a brown-out inside any commit step must be rolled back or
+    forward so tasks never double-execute their committed effects."""
+
+    @staticmethod
+    def _logging_app():
+        return (
+            AppBuilder("blog")
+            .task("a", body=lambda ctx: ctx.append("log", "a"))
+            .task("b", body=lambda ctx: ctx.append("log", "b"))
+            .task("c", body=lambda ctx: ctx.append("log", "c"))
+            .path(1, ["a", "b"])
+            .path(2, ["c"])
+            .build()
+        )
+
+    def _sweep(self, make_runtime):
+        from repro.sim.faults import FailDuringCommit
+        from repro.taskgraph.context import channel_cell_name
+
+        # Oracle: failure-free run.
+        device = continuous()
+        result = device.run(make_runtime(device))
+        assert result.completed
+        base_log = device.nvm.cell(channel_cell_name("log")).get()
+
+        # Count the commit steps, then crash at each one in turn.
+        probe = FailDuringCommit(indices=set())
+        assert probe.run(make_runtime(probe), max_time_s=600).completed
+        total_steps = probe.steps
+        assert total_steps >= 3 * 4  # >= 2n+2 points per task commit
+
+        for step in range(1, total_steps + 1):
+            injector = FailDuringCommit({step})
+            result = injector.run(make_runtime(injector), max_time_s=600)
+            log = injector.nvm.cell(channel_cell_name("log")).get()
+            assert result.completed, f"commit step {step} wedged the run"
+            assert result.reboots == 1
+            assert result.torn_commits + result.journal_replays == 1
+            assert log == base_log, (
+                f"commit step {step}: {log} != oracle {base_log}")
+
+    def test_mayfly_commit_interior_crashes_recover(self):
+        self._sweep(lambda device: MayflyRuntime(
+            self._logging_app(), MayflyConfig(), device, power()))
+
+    def test_chain_commit_interior_crashes_recover(self):
+        self._sweep(lambda device: ChainRuntime(
+            self._logging_app(), {}, device, power()))
+
+    def test_mayfly_counts_never_double_increment(self):
+        """The classic torn-commit bug: a crash between the channel
+        commit and the count increment used to re-run the task with the
+        count already bumped. Staged control state makes that window
+        impossible."""
+        from repro.sim.faults import FailDuringCommit
+
+        config = MayflyConfig(collections=[Collection("b", "a", 2)])
+        app = (
+            AppBuilder("cnt")
+            .task("a", body=lambda ctx: ctx.append("log", "a"))
+            .task("b", body=lambda ctx: ctx.append("log", "b"))
+            .path(1, ["a", "b"])
+            .build()
+        )
+        # Crash inside the first task's commit on every possible step.
+        for step in range(1, 13):
+            injector = FailDuringCommit({step})
+            runtime = MayflyRuntime(app, config, injector, power())
+            result = injector.run(runtime, max_time_s=600)
+            if not result.completed:
+                continue  # step index beyond this run's commit steps
+            from repro.taskgraph.context import channel_cell_name
+            log = injector.nvm.cell(channel_cell_name("log")).get()
+            # A double-counted `a` would let `b` run after a single
+            # append; rolled-back commits re-run `a` in full. Either
+            # way the committed log must match the failure-free oracle.
+            assert log == ["a", "a", "b"], f"step {step}: {log}"

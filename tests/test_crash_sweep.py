@@ -29,9 +29,11 @@ class CrashOnceDevice(Device):
         super().__init__(EnergyEnvironment.continuous())
         self.crash_at = crash_at
         self.calls = 0
+        self.call_categories = []
 
     def consume(self, duration_s, power_w, category):
         self.calls += 1
+        self.call_categories.append(category)
         if self.calls == self.crash_at:
             self._alive = False
             self.trace.record(self.sim_clock.now(), "power_failure",
@@ -99,8 +101,16 @@ def run_variant(crash_at):
 def baseline():
     device, result, sent, samples = run_variant(crash_at=10**9)  # never
     assert result.completed
-    assert device.calls < 400
+    assert device.calls < 700
     return device.calls, result, sent, samples
+
+
+@pytest.fixture(scope="module")
+def baseline_commit_points(baseline):
+    """1-based consume indices of every journaled-commit step."""
+    device, _, _, _ = run_variant(crash_at=10**9)
+    return [i + 1 for i, cat in enumerate(device.call_categories)
+            if cat == "commit"]
 
 
 def test_baseline_shape(baseline):
@@ -127,6 +137,51 @@ def test_crash_at_every_point_preserves_outcome(baseline):
     assert not failures, (
         f"{len(failures)}/{total_calls} crash points broke the run; "
         f"first failures: {failures[:5]}")
+
+
+def test_commit_steps_are_visible_crash_points(baseline_commit_points):
+    """The journaled commit pays per-step energy: a commit of n staged
+    writes exposes n appends + 1 seal + n applies + 1 clear as distinct
+    consume() calls, so the sweep above genuinely covers the interior of
+    every commit instead of treating commits as atomic."""
+    # Every task commit stages at least the four runtime control cells,
+    # so each contributes >= 2*4 + 2 = 10 commit points; the run executes
+    # several tasks, so there must be dozens of interior points.
+    assert len(baseline_commit_points) >= 30
+
+
+def test_crash_inside_every_commit_recovers_to_oracle(
+        baseline, baseline_commit_points):
+    """A brown-out at ANY interior step of a journaled commit must be
+    resolved by boot-time recovery — rolled back (the task re-executes)
+    or rolled forward (the journal replays) — with the externally
+    visible result identical to the failure-free oracle."""
+    _, _, base_sent, base_samples = baseline
+    failures = []
+    for crash_at in baseline_commit_points:
+        device, result, sent, samples = run_variant(crash_at)
+        recoveries = result.torn_commits + result.journal_replays
+        ok = (result.completed and result.reboots == 1
+              and sent == base_sent
+              and samples is not None and len(samples) >= len(base_samples)
+              and recoveries == 1)
+        if not ok:
+            failures.append((crash_at, result.completed, result.reboots,
+                             recoveries, sent, samples))
+    assert not failures, (
+        f"{len(failures)}/{len(baseline_commit_points)} commit-interior "
+        f"crash points broke recovery; first failures: {failures[:5]}")
+
+
+def test_torn_commit_observable_in_trace(baseline_commit_points):
+    """Each recovered commit leaves a torn_commit or journal_replay trace
+    record plus a summary recovery record."""
+    device, result, _, _ = run_variant(baseline_commit_points[0])
+    assert result.completed
+    torn = device.trace.count("torn_commit")
+    replayed = device.trace.count("journal_replay")
+    assert torn + replayed == 1
+    assert device.trace.count("recovery") == 1
 
 
 def test_crash_at_every_point_monitor_state_consistent(baseline):

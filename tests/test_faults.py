@@ -6,8 +6,10 @@ from repro.core.runtime import ArtemisRuntime
 from repro.energy.power import PowerModel, TaskCost
 from repro.errors import PowerFailure, SimulationError
 from repro.sim.faults import (
+    BitFlipDevice,
     FailAtCategoryIndices,
     FailAtIndices,
+    FailDuringCommit,
     FailDuringTasks,
     FailRandomly,
 )
@@ -93,6 +95,61 @@ class TestFailRandomly:
     def test_invalid_probability_rejected(self):
         with pytest.raises(SimulationError):
             FailRandomly(p=1.5)
+        with pytest.raises(SimulationError):
+            FailRandomly(p=-0.1)
+
+    def test_boundary_probabilities_accepted(self):
+        """p=1.0 (always fail) and p=0.0 (never fail) are legal."""
+        always = FailRandomly(p=1.0, max_failures=1)
+        with pytest.raises(PowerFailure):
+            always.consume(0.1, 1e-3, "app")
+        never = FailRandomly(p=0.0)
+        result = never.run(make_runtime(never), max_time_s=600)
+        assert result.completed and result.reboots == 0
+
+
+class TestFailDuringCommit:
+    def test_counts_only_commit_steps(self):
+        device = FailDuringCommit({2})
+        device.consume(0.1, 1e-3, "app")     # not counted
+        device.consume(0.0, 1e-3, "commit")  # step 1
+        with pytest.raises(PowerFailure):
+            device.consume(0.0, 1e-3, "commit")  # step 2 dies
+        assert device.steps == 2
+
+    def test_recovery_resolves_the_torn_commit(self):
+        """A crash inside a commit is rolled back or forward at boot and
+        the run still produces the failure-free result."""
+        device = FailDuringCommit({3})
+        result = device.run(make_runtime(device), max_time_s=600)
+        assert result.completed
+        assert result.reboots == 1
+        assert result.torn_commits + result.journal_replays == 1
+        assert device.nvm.cell(channel_cell_name("log")).get() == ["a", "b", "c"]
+
+
+class TestBitFlipDevice:
+    def test_corruption_is_silent_until_verified(self):
+        device = BitFlipDevice({2: "chan.log"})
+        nvm = device.nvm
+        nvm.alloc("chan.log", initial=["x"])
+        device.consume(0.1, 1e-3, "app")
+        assert nvm.verify("chan.log")
+        device.consume(0.1, 1e-3, "app")  # flip fires before this call
+        assert nvm.cell("chan.log").get() != ["x"]  # reads see garbage
+        assert not nvm.verify("chan.log")  # only the checksum can tell
+        assert device.trace.count("bit_flip") == 1
+
+    def test_flip_then_crash_is_detected_and_repaired_at_boot(self):
+        """A channel cell corrupted mid-run is caught by the next boot's
+        checksum scan, repaired, and reported in counters and trace."""
+        device = BitFlipDevice({4: "chan.log"}, crash_at=5)
+        result = device.run(make_runtime(device), max_time_s=600)
+        assert result.completed
+        assert result.corruptions_detected >= 1
+        assert result.corruptions_repaired >= 1
+        assert device.trace.count("corruption_detected") >= 1
+        assert device.trace.count("recovery") >= 1
 
 
 class TestFailDuringTasks:

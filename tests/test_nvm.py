@@ -219,3 +219,158 @@ class TestNVMStore:
         store["a"] = 1
         store["b"] = 2
         assert sorted(store) == ["a", "b"]
+
+
+class TestTransactionEdgeCases:
+    def test_commit_with_zero_pending_writes_is_a_noop(self, nvm):
+        """An empty commit has nothing to linearize: no journal
+        activity, no crash points, count 0."""
+        txn = Transaction(nvm)
+        spends = []
+        assert txn.commit(spend=lambda: spends.append(1)) == 0
+        assert spends == []
+        assert txn.journal.status == "idle"
+
+    def test_staged_value_overrides_nvm_until_rollback(self, nvm):
+        cell = nvm.alloc("x", initial=7)
+        txn = Transaction(nvm)
+        txn.stage("x", 9)
+        assert txn.read("x") == 9
+        txn.rollback()
+        assert txn.read("x") == 7
+        assert cell.get() == 7
+
+    def test_commit_pays_one_spend_per_protocol_step(self, nvm):
+        """n staged writes -> n appends + 1 seal + n applies + 1 clear."""
+        nvm.alloc("x", 0)
+        nvm.alloc("y", 0)
+        txn = Transaction(nvm)
+        txn.stage("x", 1)
+        txn.stage("y", 2)
+        spends = []
+        txn.commit(spend=lambda: spends.append(1))
+        assert len(spends) == 2 * 2 + 2
+
+    def test_interrupted_commit_rolls_back_before_seal(self, nvm):
+        """A crash before the seal leaves a pending journal; recover()
+        discards it and the target cells keep their old values."""
+        cell = nvm.alloc("x", initial=0)
+        txn = Transaction(nvm)
+        txn.stage("x", 42)
+
+        class Boom(Exception):
+            pass
+
+        def die_on_first_step():
+            raise Boom
+
+        with pytest.raises(Boom):
+            txn.commit(spend=die_on_first_step)
+        assert txn.journal.status == "pending"
+        assert txn.journal.recover() == "rolled_back"
+        assert cell.get() == 0
+        assert txn.journal.status == "idle"
+
+    def test_interrupted_commit_rolls_forward_after_seal(self, nvm):
+        """A crash after the seal replays the journal to completion."""
+        cell = nvm.alloc("x", initial=0)
+        txn = Transaction(nvm)
+        txn.stage("x", 42)
+        steps = []
+
+        class Boom(Exception):
+            pass
+
+        def die_on_third_step():
+            steps.append(1)
+            if len(steps) == 3:  # 1 append, 1 seal, die applying
+                raise Boom
+
+        with pytest.raises(Boom):
+            txn.commit(spend=die_on_third_step)
+        assert txn.journal.status == "committed"
+        assert cell.get() == 0  # the apply never happened
+        assert txn.journal.recover() == "rolled_forward"
+        assert cell.get() == 42
+        assert txn.journal.status == "idle"
+
+    def test_journal_refuses_new_commit_while_in_flight(self, nvm):
+        from repro.nvm.journal import CommitJournal
+
+        journal = CommitJournal(nvm)
+        journal.begin()
+        nvm.alloc("x", 0)
+        other = Transaction(nvm, journal=journal)
+        other.stage("x", 1)
+        with pytest.raises(NVMError):
+            other.commit()
+
+    def test_corrupt_committed_journal_is_discarded_not_replayed(self, nvm):
+        from repro.nvm.journal import CommitJournal
+
+        cell = nvm.alloc("x", initial=0)
+        journal = CommitJournal(nvm)
+        journal.begin()
+        journal.append("x", 99)
+        journal.seal()
+        nvm.corrupt("txnlog.entries")
+        assert journal.recover() == "corrupt"
+        assert cell.get() == 0  # garbage entries were not applied
+
+    def test_corrupt_status_cell_classified_as_corrupt(self, nvm):
+        from repro.nvm.journal import CommitJournal
+
+        journal = CommitJournal(nvm)
+        nvm.cell("txnlog.status").set("garbage")
+        assert journal.recover() == "corrupt"
+        assert journal.status == "idle"
+
+
+class TestIntegrity:
+    def test_checksum_tracks_legitimate_writes(self, nvm):
+        cell = nvm.alloc("x", initial=0)
+        cell.set(123)
+        assert nvm.verify("x")
+        assert nvm.verify_all() == []
+
+    def test_corrupt_is_silent_but_detectable(self, nvm):
+        cell = nvm.alloc("x", initial=5)
+        garbage = nvm.corrupt("x")
+        assert cell.get() == garbage  # reads succeed with garbage
+        assert garbage != 5
+        assert not nvm.verify("x")
+        assert nvm.verify_all() == ["x"]
+
+    def test_restore_initial_repairs(self, nvm):
+        cell = nvm.alloc("x", initial=5)
+        cell.set(9)
+        nvm.corrupt("x")
+        assert nvm.restore_initial("x") == 5
+        assert cell.get() == 5
+        assert nvm.verify("x")
+
+    def test_corrupt_preserves_type_for_common_values(self, nvm):
+        for name, value in [("b", True), ("i", 7), ("f", 1.5),
+                            ("s", "Init"), ("t", (1, 2)), ("l", [3])]:
+            nvm.alloc(name, initial=value)
+            corrupted = nvm.corrupt(name)
+            assert type(corrupted) is type(value)
+            assert corrupted != value
+
+    def test_wear_out_raises_after_limit(self, nvm):
+        cell = nvm.alloc("x", initial=0)
+        nvm.set_write_limit("x", 2)
+        cell.set(1)
+        cell.set(2)
+        assert nvm.is_worn("x")
+        with pytest.raises(NVMError):
+            cell.set(3)
+        assert cell.get() == 2  # still readable
+
+    def test_silent_wear_drops_writes(self, nvm):
+        cell = nvm.alloc("x", initial=0)
+        nvm.set_write_limit("x", 1, silent=True)
+        cell.set(1)
+        cell.set(2)  # dropped
+        assert cell.get() == 1
+        assert nvm.wear_dropped == 1
