@@ -2,7 +2,11 @@
 
 PYTHON ?= python
 
-.PHONY: install test crashsweep bench examples figures verify all
+.PHONY: install test crashsweep soak bench examples figures verify all
+
+# Seed matrix for the randomized soak; each seed shifts hypothesis
+# draws into a disjoint slice of the fault space.
+SOAK_SEEDS ?= 0 1 2 3 4
 
 install:
 	pip install -e .
@@ -12,6 +16,13 @@ test:
 
 crashsweep:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_crash_sweep.py tests/test_soak_random_faults.py -q
+
+soak:
+	@for s in $(SOAK_SEEDS); do \
+		echo "== soak seed $$s"; \
+		SOAK_SEED=$$s PYTHONPATH=src $(PYTHON) -m pytest \
+			tests/test_soak_random_faults.py -q || exit 1; \
+	done
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

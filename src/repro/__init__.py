@@ -43,6 +43,8 @@ from repro.core.properties import (
     Period,
     PropertySet,
 )
+from repro.core.degradation import DegradationController
+from repro.core.retry import RetryPolicy, RetrySupervisor
 from repro.core.runtime import ArtemisRuntime
 from repro.energy.capacitor import Capacitor
 from repro.energy.environment import EnergyEnvironment, default_capacitor
@@ -55,6 +57,7 @@ from repro.energy.harvester import (
 )
 from repro.energy.power import MSP430FR5994_POWER, PowerModel, TaskCost
 from repro.errors import (
+    PeripheralError,
     PowerFailure,
     ReproError,
     SpecError,
@@ -62,6 +65,15 @@ from repro.errors import (
     SpecValidationError,
 )
 from repro.nvm.memory import NonVolatileMemory
+from repro.peripherals import (
+    BurstDropout,
+    FaultySensor,
+    OutOfRangeGlitch,
+    PeripheralSet,
+    StuckAtLastValue,
+    TransientTimeout,
+    parse_fault_spec,
+)
 from repro.sim.device import Device
 from repro.sim.result import RunResult
 from repro.sim.tracer import Tracer
@@ -90,6 +102,10 @@ __all__ = [
     "ArtemisRuntime", "ArtemisMonitor", "MonitorGroup", "Action", "ActionType",
     "MonitorEvent", "EventKind", "start_event", "end_event",
     "arbitrate", "most_severe", "first_reported",
+    # Robustness layer
+    "RetryPolicy", "RetrySupervisor", "DegradationController",
+    "PeripheralSet", "FaultySensor", "parse_fault_spec",
+    "TransientTimeout", "StuckAtLastValue", "OutOfRangeGlitch", "BurstDropout",
     # Substrates
     "NonVolatileMemory", "Device", "RunResult", "Tracer",
     "Capacitor", "EnergyEnvironment", "default_capacitor",
@@ -101,5 +117,5 @@ __all__ = [
     "ChainRuntime",
     # Errors
     "ReproError", "SpecError", "SpecSyntaxError", "SpecValidationError",
-    "PowerFailure",
+    "PowerFailure", "PeripheralError",
 ]

@@ -12,12 +12,13 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.recovery import RecoveryManager
+from repro.core.retry import RetryPolicy, RetrySupervisor
 from repro.energy.power import PowerModel
-from repro.errors import RuntimeConfigError
+from repro.errors import PeripheralError, RuntimeConfigError
 from repro.nvm.journal import CommitJournal
 from repro.nvm.transaction import Transaction
 from repro.taskgraph.app import Application
-from repro.taskgraph.context import TaskContext
+from repro.taskgraph.context import TaskContext, channel_cell_name
 
 #: An inline check runs inside the task, sees the context, and returns
 #: ``None`` (proceed) or one of ``"restart_path"`` / ``"skip_path"`` /
@@ -39,6 +40,8 @@ class ChainRuntime:
         checks: Dict[str, InlineCheck],
         device,
         power_model: PowerModel,
+        peripherals=None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         for task in checks:
             if not app.has_task(task):
@@ -47,7 +50,11 @@ class ChainRuntime:
         self.checks = checks
         self.power = power_model
         self._device = device
+        self.peripherals = peripherals
         nvm = device.nvm
+        self._retry = RetrySupervisor(nvm, retry_policy or RetryPolicy(),
+                                      cell_name="ch.retry.attempts")
+        self._retry_cell = nvm.cell(self._retry.cell_name)
         self._cur_path = nvm.alloc("ch.cur_path", 1, 2)
         self._cur_idx = nvm.alloc("ch.cur_idx", 0, 2)
         self._finished = nvm.alloc("ch.finished", False, 1)
@@ -65,6 +72,11 @@ class ChainRuntime:
             lambda: (0 <= self._cur_idx.get()
                      < len(app.path(self._cur_path.get()))),
             lambda: self._cur_idx.set(0),
+        )
+        self.recovery.add_invariant(
+            "ch.retry.attempts is a mapping",
+            lambda: isinstance(self._retry_cell.get(), dict),
+            lambda: self._retry_cell.set({}),
         )
 
     @property
@@ -91,6 +103,9 @@ class ChainRuntime:
         self._device = device
         if self.finished:
             return
+        if self.peripherals is not None:
+            self.peripherals.bind(device, sense_s=self.power.sense_s,
+                                  sense_power_w=self.power.overhead_power_w)
         name = self.current_task_name
         device.consume(self.TRANSITION_S, self.power.overhead_power_w, "runtime")
         task = self.app.task(name)
@@ -101,7 +116,8 @@ class ChainRuntime:
             device.consume_energy(cost.fixed_energy_j, "app")
         device.consume(cost.duration_s, cost.power_w, "app")
         txn = Transaction(device.nvm, journal=self._journal)
-        ctx = TaskContext(name, device.nvm, txn, self.app.sensors, device.now)
+        ctx = TaskContext(name, device.nvm, txn, self.app.sensors, device.now,
+                          peripherals=self.peripherals)
         outcome: Optional[str] = None
         check = self.checks.get(name)
         if check is not None:
@@ -113,7 +129,12 @@ class ChainRuntime:
                     f"inline check for {name!r} returned {outcome!r}"
                 )
         if task.body is not None and outcome is None:
-            task.body(ctx)
+            try:
+                task.body(ctx)
+            except PeripheralError as exc:
+                txn.rollback()
+                self._handle_peripheral_failure(name, exc)
+                return
         # Route *planning* happens before the commit so the control-state
         # updates ride in the same journaled transaction as the channel
         # writes: a crash inside the commit either re-executes the whole
@@ -121,11 +142,59 @@ class ChainRuntime:
         updates, events = self._plan_route(outcome)
         for cell_name, value in updates:
             txn.stage(cell_name, value)
+        if self._retry.attempts(name):
+            txn.stage(self._retry.cell_name, self._retry.cleared(name))
         txn.commit(spend=self._spend_commit_step)
         device.trace.record(device.sim_clock.now(), "task_end", task=name,
                             path=self._cur_path.get())
         for kind, detail in events:
             device.trace.record(device.sim_clock.now(), kind, **detail)
+
+    def _handle_peripheral_failure(self, name: str, exc: PeripheralError) -> None:
+        """Retry a peripheral-failed task; skip it when retries exhaust.
+
+        Like the developer-written checks, the recovery code here is
+        hand-wired into the runtime (problem P1): the only escalation is
+        skipping the task with a marked-degraded channel value.
+        """
+        device = self._device
+        policy = self._retry.policy
+        attempt = self._retry.record_failure(name)
+        if attempt >= policy.max_attempts:
+            self._retry.clear(name)
+            device.result.watchdog_trips += 1
+            device.trace.record(
+                device.sim_clock.now(), "watchdog_trip", task=name,
+                attempts=attempt, sensor=exc.sensor, fault=exc.fault,
+            )
+            self._mark_degraded(name)
+            updates, events = self._plan_route("skip_task")
+            txn = Transaction(device.nvm, journal=self._journal)
+            for cell_name, value in updates:
+                txn.stage(cell_name, value)
+            txn.commit(spend=self._spend_commit_step)
+            device.trace.record(device.sim_clock.now(), "task_skip",
+                                task=name, path=self._cur_path.get(),
+                                source="watchdog")
+            for kind, detail in events:
+                device.trace.record(device.sim_clock.now(), kind, **detail)
+            return
+        device.result.task_retries += 1
+        device.trace.record(
+            device.sim_clock.now(), "task_retry", task=name,
+            attempt=attempt, sensor=exc.sensor, fault=exc.fault,
+        )
+        backoff = policy.backoff_s(name, attempt)
+        if backoff > 0:
+            device.consume(backoff, self.power.overhead_power_w, "runtime")
+        if policy.retry_energy_j:
+            device.consume_energy(policy.retry_energy_j, "runtime")
+
+    def _mark_degraded(self, name: str) -> None:
+        cell_name = channel_cell_name(f"degraded.{name}")
+        if cell_name not in self._device.nvm:
+            self._device.nvm.alloc(cell_name, initial=False, size_bytes=8)
+        self._device.nvm.cell(cell_name).set(True)
 
     def _spend_commit_step(self) -> None:
         """Pay one journal step; each step is a distinct crash point."""

@@ -19,12 +19,13 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.recovery import RecoveryManager
+from repro.core.retry import RetryPolicy, RetrySupervisor
 from repro.energy.power import PowerModel
-from repro.errors import RuntimeConfigError
+from repro.errors import PeripheralError, RuntimeConfigError
 from repro.nvm.journal import CommitJournal
 from repro.nvm.transaction import Transaction
 from repro.taskgraph.app import Application
-from repro.taskgraph.context import TaskContext
+from repro.taskgraph.context import TaskContext, channel_cell_name
 
 _READY = "TASK_READY"
 
@@ -84,6 +85,8 @@ class MayflyRuntime:
         config: MayflyConfig,
         device,
         power_model: PowerModel,
+        peripherals=None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         for rule in list(config.expirations) + list(config.collections):
             if not app.has_task(rule.task) or not app.has_task(rule.dep_task):
@@ -92,7 +95,11 @@ class MayflyRuntime:
         self.config = config
         self.power = power_model
         self._device = device
+        self.peripherals = peripherals
         nvm = device.nvm
+        self._retry = RetrySupervisor(nvm, retry_policy or RetryPolicy(),
+                                      cell_name="mf.retry.attempts")
+        self._retry_cell = nvm.cell(self._retry.cell_name)
         self._cur_path = nvm.alloc("mf.cur_path", 1, 2)
         self._cur_idx = nvm.alloc("mf.cur_idx", 0, 2)
         self._finished = nvm.alloc("mf.finished", False, 1)
@@ -123,6 +130,11 @@ class MayflyRuntime:
             lambda: isinstance(self._counts.get(), dict),
             lambda: self._counts.set({}),
         )
+        self.recovery.add_invariant(
+            "mf.retry.attempts is a mapping",
+            lambda: isinstance(self._retry_cell.get(), dict),
+            lambda: self._retry_cell.set({}),
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -151,6 +163,9 @@ class MayflyRuntime:
         self._device = device
         if self.finished:
             return
+        if self.peripherals is not None:
+            self.peripherals.bind(device, sense_s=self.power.sense_s,
+                                  sense_power_w=self.power.overhead_power_w)
         task = self.current_task_name
         n_checks = self.config.checks_for(task)
         device.consume(
@@ -199,9 +214,15 @@ class MayflyRuntime:
             device.consume_energy(cost.fixed_energy_j, "app")
         device.consume(cost.duration_s, cost.power_w, "app")
         txn = Transaction(device.nvm, journal=self._journal)
-        ctx = TaskContext(name, device.nvm, txn, self.app.sensors, device.now)
+        ctx = TaskContext(name, device.nvm, txn, self.app.sensors, device.now,
+                          peripherals=self.peripherals)
         if task.body is not None:
-            task.body(ctx)
+            try:
+                task.body(ctx)
+            except PeripheralError as exc:
+                txn.rollback()
+                self._handle_peripheral_failure(name, exc)
+                return
         # Bookkeeping (end times, collection counts) and loop advancement
         # are planned first and staged into the task's transaction, so
         # the journaled commit is all-or-nothing across data *and*
@@ -216,11 +237,63 @@ class MayflyRuntime:
         txn.stage(self._counts.name, counts)
         for cell_name, value in updates:
             txn.stage(cell_name, value)
+        if self._retry.attempts(name):
+            txn.stage(self._retry.cell_name, self._retry.cleared(name))
         txn.commit(spend=self._spend_commit_step)
         device.trace.record(device.sim_clock.now(), "task_end", task=name,
                             path=self._cur_path.get())
         for kind, detail in events:
             device.trace.record(device.sim_clock.now(), kind, **detail)
+
+    def _handle_peripheral_failure(self, name: str, exc: PeripheralError) -> None:
+        """Retry a peripheral-failed task; skip it when retries exhaust.
+
+        Mayfly has no ``onFail`` vocabulary (that absence is the paper's
+        P3), so the watchdog's only escalation is skipping the task with
+        a marked-degraded channel value — its completion is *not*
+        counted toward collection rules.
+        """
+        device = self._device
+        policy = self._retry.policy
+        attempt = self._retry.record_failure(name)
+        if attempt >= policy.max_attempts:
+            self._retry.clear(name)
+            device.result.watchdog_trips += 1
+            device.trace.record(
+                device.sim_clock.now(), "watchdog_trip", task=name,
+                attempts=attempt, sensor=exc.sensor, fault=exc.fault,
+            )
+            self._mark_degraded(name)
+            # Skip: advance control state without counting the task.
+            counts = dict(self._counts.get())
+            updates, events = self._plan_advance(counts)
+            txn = Transaction(device.nvm, journal=self._journal)
+            txn.stage(self._counts.name, counts)
+            for cell_name, value in updates:
+                txn.stage(cell_name, value)
+            txn.commit(spend=self._spend_commit_step)
+            device.trace.record(device.sim_clock.now(), "task_skip",
+                                task=name, path=self._cur_path.get(),
+                                source="watchdog")
+            for kind, detail in events:
+                device.trace.record(device.sim_clock.now(), kind, **detail)
+            return
+        device.result.task_retries += 1
+        device.trace.record(
+            device.sim_clock.now(), "task_retry", task=name,
+            attempt=attempt, sensor=exc.sensor, fault=exc.fault,
+        )
+        backoff = policy.backoff_s(name, attempt)
+        if backoff > 0:
+            device.consume(backoff, self.power.overhead_power_w, "runtime")
+        if policy.retry_energy_j:
+            device.consume_energy(policy.retry_energy_j, "runtime")
+
+    def _mark_degraded(self, name: str) -> None:
+        cell_name = channel_cell_name(f"degraded.{name}")
+        if cell_name not in self._device.nvm:
+            self._device.nvm.alloc(cell_name, initial=False, size_bytes=8)
+        self._device.nvm.cell(cell_name).set(True)
 
     def _spend_commit_step(self) -> None:
         """Pay one journal step; each step is a distinct crash point."""

@@ -25,7 +25,8 @@ from typing import Any, Dict
 
 from repro.checkpoint.program import CheckpointProgram
 from repro.core.recovery import RecoveryManager
-from repro.errors import RuntimeConfigError
+from repro.core.retry import RetryPolicy, RetrySupervisor
+from repro.errors import PeripheralError, RuntimeConfigError
 
 
 class CheckpointRuntime:
@@ -36,11 +37,16 @@ class CheckpointRuntime:
     CHECKPOINT_PER_ENTRY_S = 0.1e-3
     OVERHEAD_POWER_W = 0.35e-3
 
-    def __init__(self, program: CheckpointProgram, device):
+    def __init__(self, program: CheckpointProgram, device, peripherals=None,
+                 retry_policy=None):
         self.program = program
         self._device = device
+        self.peripherals = peripherals
         nvm = device.nvm
         prefix = f"ckpt.{program.name}"
+        self._retry = RetrySupervisor(nvm, retry_policy or RetryPolicy(),
+                                      cell_name=f"{prefix}.retry.attempts")
+        self._retry_cell = nvm.cell(self._retry.cell_name)
         # Double-buffered snapshot slots + the current-slot marker.
         self._slots = [
             nvm.alloc(f"{prefix}.slot0", None, 64),
@@ -63,6 +69,11 @@ class CheckpointRuntime:
             lambda: (self._current_slot.get() in (-1, 0, 1)
                      and self._slot_valid(self._current_slot.get())),
             self._repair_slot,
+        )
+        self.recovery.add_invariant(
+            "ckpt.retry.attempts is a mapping",
+            lambda: isinstance(self._retry_cell.get(), dict),
+            lambda: self._retry_cell.set({}),
         )
 
     # ------------------------------------------------------------------
@@ -155,6 +166,8 @@ class CheckpointRuntime:
             return
         if not self._restored:
             raise RuntimeConfigError("loop_iteration before boot()")
+        if self.peripherals is not None:
+            self.peripherals.bind(device, sense_power_w=self.OVERHEAD_POWER_W)
         block = self.program.blocks[self._pc]
 
         # Entering a timed region stamps its entry time (volatile until
@@ -168,7 +181,18 @@ class CheckpointRuntime:
                             task=block.name, path=1)
         device.consume(block.duration_s, block.power_w, "app")
         if block.body is not None:
-            block.body(self._state)
+            # Volatile state is snapshotted so a peripheral fault cannot
+            # leave a half-mutated dict behind; there is no transaction
+            # to roll back in a checkpoint system.
+            snapshot = copy.deepcopy(self._state)
+            try:
+                block.body(self._state)
+            except PeripheralError as exc:
+                self._state = snapshot
+                self._handle_peripheral_failure(block, exc)
+                return
+        if self._retry.attempts(block.name):
+            self._retry.clear(block.name)
         device.trace.record(device.sim_clock.now(), "task_end",
                             task=block.name, path=1)
 
@@ -177,6 +201,42 @@ class CheckpointRuntime:
         self._pc += 1
         if self._pc >= len(self.program):
             self._finished.set(True)
+
+    def _handle_peripheral_failure(self, block, exc: PeripheralError) -> None:
+        """Retry a peripheral-failed block; skip it when retries exhaust.
+
+        The skipped block's result is flagged in volatile state
+        (``degraded.<block>``), persisted by the next checkpoint.
+        """
+        device = self._device
+        policy = self._retry.policy
+        attempt = self._retry.record_failure(block.name)
+        if attempt >= policy.max_attempts:
+            self._retry.clear(block.name)
+            device.result.watchdog_trips += 1
+            device.trace.record(
+                device.sim_clock.now(), "watchdog_trip", task=block.name,
+                attempts=attempt, sensor=exc.sensor, fault=exc.fault,
+            )
+            self._state[f"degraded.{block.name}"] = True
+            device.trace.record(device.sim_clock.now(), "task_skip",
+                                task=block.name, path=1, source="watchdog")
+            if block.name in self.program.checkpoint_after:
+                self._checkpoint()
+            self._pc += 1
+            if self._pc >= len(self.program):
+                self._finished.set(True)
+            return
+        device.result.task_retries += 1
+        device.trace.record(
+            device.sim_clock.now(), "task_retry", task=block.name,
+            attempt=attempt, sensor=exc.sensor, fault=exc.fault,
+        )
+        backoff = policy.backoff_s(block.name, attempt)
+        if backoff > 0:
+            device.consume(backoff, self.OVERHEAD_POWER_W, "runtime")
+        if policy.retry_energy_j:
+            device.consume_energy(policy.retry_energy_j, "runtime")
 
     def _checkpoint(self) -> None:
         device = self._device

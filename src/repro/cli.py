@@ -16,16 +16,23 @@ Three subcommands mirror the paper's development flow (Figure 3):
     intermittent device and report the run summary, monitor actions,
     and an ASCII timeline.
 
-Applications are described in JSON (tasks are cost-model-only here;
-Python task bodies require the library API)::
+Applications are described in JSON (general Python task bodies require
+the library API)::
 
     {
       "name": "demo",
-      "tasks": [{"name": "sense"}, {"name": "send"}],
+      "tasks": [{"name": "sense", "sense": "adc"}, {"name": "send"}],
       "paths": {"1": ["sense", "send"]},
       "costs": {"sense": {"duration_s": 0.05, "power_w": 0.001},
-                "send":  {"duration_s": 0.5,  "power_w": 0.006}}
+                "send":  {"duration_s": 0.5,  "power_w": 0.006}},
+      "sensors": {"adc": 21.5}
     }
+
+``sensors`` maps names to constant readings. A task with a ``"sense"``
+field reads that sensor and commits the value to a channel named after
+the task — the access goes through any ``--sensor-faults`` fault models,
+so retries and watchdog trips are reproducible from the CLI alone;
+tasks without one are cost-model-only.
 """
 
 from __future__ import annotations
@@ -40,7 +47,8 @@ from repro.core.generator import generate_machines
 from repro.core.runtime import ArtemisRuntime
 from repro.energy.environment import EnergyEnvironment, default_capacitor
 from repro.energy.power import MCU_ACTIVE_POWER_W, PowerModel, TaskCost
-from repro.errors import ReproError
+from repro.errors import ReproError, RuntimeConfigError
+from repro.peripherals import PeripheralSet, parse_fault_spec
 from repro.sim.analysis import action_summary, render_timeline
 from repro.sim.device import Device
 from repro.spec.consistency import check as consistency_check
@@ -58,14 +66,32 @@ def load_app(path: str) -> Application:
     """Build an :class:`Application` from a JSON description file."""
     with open(path) as handle:
         desc = json.load(handle)
-    tasks = [
-        Task(t["name"], monitored_vars=t.get("monitored_vars", ()))
-        for t in desc["tasks"]
-    ]
+    declared_sensors = desc.get("sensors", {})
+
+    def _sensing_body(sensor, channel):
+        return lambda ctx: ctx.write(channel, ctx.sample(sensor))
+
+    tasks = []
+    for t in desc["tasks"]:
+        body = None
+        if "sense" in t:
+            if t["sense"] not in declared_sensors:
+                raise RuntimeConfigError(
+                    f"task {t['name']!r} senses unknown sensor "
+                    f"{t['sense']!r} (declare it in the \"sensors\" table)"
+                )
+            body = _sensing_body(t["sense"], t["name"])
+        tasks.append(Task(t["name"], body=body,
+                          monitored_vars=t.get("monitored_vars", ())))
     paths = [
         TaskPath(int(number), names) for number, names in desc["paths"].items()
     ]
-    return Application(desc.get("name", Path(path).stem), tasks, paths)
+    sensors = {
+        name: (lambda t, _v=value: _v)
+        for name, value in desc.get("sensors", {}).items()
+    }
+    return Application(desc.get("name", Path(path).stem), tasks, paths,
+                       sensors=sensors)
 
 
 def load_power(path: str) -> PowerModel:
@@ -143,6 +169,37 @@ def cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_peripherals(app: Application, specs) -> Optional[PeripheralSet]:
+    """PeripheralSet from repeated ``--sensor-faults`` values, or None."""
+    if not specs:
+        return None
+    peripherals = PeripheralSet(app.sensors)
+    for text in specs:
+        sensor, fault = parse_fault_spec(text)
+        if sensor not in peripherals:
+            raise RuntimeConfigError(
+                f"--sensor-faults names unknown sensor {sensor!r} "
+                f"(declare it in the app JSON's \"sensors\" table)"
+            )
+        peripherals.attach(sensor, fault)
+    return peripherals
+
+
+def _parse_degradation(text: Optional[str]):
+    """``LOW:HIGH`` watermark fractions of one capacitor charge cycle."""
+    if text is None:
+        return None
+    try:
+        low_s, high_s = text.split(":", 1)
+        low, high = float(low_s), float(high_s)
+    except ValueError:
+        raise RuntimeConfigError(
+            f"--degradation must be LOW:HIGH fractions, got {text!r}"
+        ) from None
+    usable = default_capacitor().usable_energy_per_cycle
+    return (low * usable, high * usable)
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     """Run the ``simulate`` subcommand; returns the process exit code."""
     app = load_app(args.app)
@@ -155,7 +212,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         env = EnergyEnvironment.continuous()
     device = Device(env, clock_error=args.clock_error, seed=args.seed)
     runtime = ArtemisRuntime(app, props, device, power,
-                             audit_capacity=args.audit)
+                             audit_capacity=args.audit,
+                             peripherals=_build_peripherals(
+                                 app, args.sensor_faults),
+                             degradation=_parse_degradation(args.degradation))
     result = device.run(runtime, runs=args.runs, max_time_s=args.max_time)
 
     print(result.summary())
@@ -222,6 +282,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--audit", type=int, default=0, metavar="N",
                        help="keep and print the last N corrective actions "
                             "from the persistent audit log")
+    p_sim.add_argument("--sensor-faults", action="append", default=[],
+                       metavar="SPEC",
+                       help="inject a sensor fault: "
+                            "SENSOR:KIND[:RATE][:opt=val...], e.g. "
+                            "ppg:dropout:0.1:seed=7 (repeatable; kinds: "
+                            "timeout, stuck, glitch, dropout)")
+    p_sim.add_argument("--degradation", metavar="LOW:HIGH", default=None,
+                       help="shed/restore monitors at these stored-energy "
+                            "watermarks, as fractions of one capacitor "
+                            "charge cycle (e.g. 0.35:0.85)")
     p_sim.set_defaults(fn=cmd_simulate)
     return parser
 

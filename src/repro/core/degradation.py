@@ -1,0 +1,109 @@
+"""Energy-adaptive monitor degradation.
+
+When many properties are monitored at once, every ``callMonitor`` pays
+per-property cost — cost a nearly-empty capacitor cannot afford. The
+:class:`DegradationController` watches the device's stored energy each
+runtime loop iteration and sheds monitors lowest-priority-first when it
+crosses a low watermark, restoring them highest-priority-first once
+energy recovers past a high watermark. The watermark gap is the
+hysteresis band: between the two levels nothing changes, so the
+controller cannot oscillate at a boundary.
+
+Shed state persists in the monitor's NVM, every shed/restore is a trace
+record plus a :class:`~repro.sim.result.RunResult` counter plus an
+audit entry, and non-sheddable monitors (progress trackers — see
+``Property.SUPPORTS_PRIORITY``) are never touched.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from repro.errors import RuntimeConfigError
+
+
+class DegradationController:
+    """Sheds and restores monitors as stored energy moves.
+
+    Args:
+        monitor: an :class:`~repro.core.monitor.ArtemisMonitor` or
+            :class:`~repro.core.monitor.MonitorGroup`.
+        low_j: shed watermark (joules of usable stored energy); below
+            it, one monitor is shed per :meth:`update`.
+        high_j: restore watermark; at or above it, one shed monitor is
+            restored per :meth:`update`. Must exceed ``low_j``.
+        audit: optional :class:`~repro.core.audit.AuditLog` for
+            persistent shed/restore entries.
+    """
+
+    def __init__(self, monitor: Any, low_j: float, high_j: float,
+                 audit: Optional[Any] = None):
+        if low_j < 0:
+            raise RuntimeConfigError("low watermark must be non-negative")
+        if high_j <= low_j:
+            raise RuntimeConfigError(
+                f"high watermark must exceed low (got low={low_j}, high={high_j})"
+            )
+        self.monitor = monitor
+        self.low_j = float(low_j)
+        self.high_j = float(high_j)
+        self._audit = audit
+
+    def update(self, device: Any) -> Optional[str]:
+        """One control step; returns the machine shed/restored, if any.
+
+        Called by the runtime at the top of each loop iteration. On a
+        continuously powered device (infinite stored energy) this is a
+        no-op. At most one machine changes per step, so load changes
+        ramp rather than jump.
+        """
+        soc = device.stored_energy()
+        if math.isinf(soc):
+            return None
+        if soc < self.low_j:
+            return self._shed_one(device, soc)
+        if soc >= self.high_j:
+            return self._restore_one(device, soc)
+        return None
+
+    # ------------------------------------------------------------------
+    def _shed_one(self, device: Any, soc: float) -> Optional[str]:
+        for name in self.monitor.shedding_order():
+            if self.monitor.is_shed(name):
+                continue
+            if not self.monitor.shed(name):
+                continue
+            self._publish(device, "monitor_shed", name, soc)
+            device.result.monitors_shed += 1
+            return name
+        return None
+
+    def _restore_one(self, device: Any, soc: float) -> Optional[str]:
+        shed = self.monitor.shed_machines()
+        if not shed:
+            return None
+        # Highest priority comes back first: the most valuable
+        # monitoring resumes as soon as the budget allows.
+        name = max(shed, key=lambda n: (self.monitor.machine_priority(n), n))
+        if not self.monitor.restore(name):
+            return None
+        self._publish(device, "monitor_restored", name, soc)
+        device.result.monitors_restored += 1
+        return name
+
+    def _publish(self, device: Any, kind: str, machine: str, soc: float) -> None:
+        device.trace.record(
+            device.now(), kind,
+            machine=machine,
+            priority=self.monitor.machine_priority(machine),
+            soc_j=round(soc, 9),
+        )
+        if self._audit is not None:
+            action = "degrade:shed" if kind == "monitor_shed" else "degrade:restore"
+            self._audit.record_event(device.now(), action, machine)
+
+    @property
+    def shed_count(self) -> int:
+        """How many machines are currently shed."""
+        return len(self.monitor.shed_machines())

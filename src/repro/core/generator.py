@@ -396,7 +396,8 @@ def _scope_to_path(machine: StateMachine, prop: Property) -> StateMachine:
             t = Transition(t.source, t.target, t.trigger, guard, t.body)
         transitions.append(t)
     return StateMachine(
-        machine.name, machine.states, machine.initial, machine.variables, transitions
+        machine.name, machine.states, machine.initial, machine.variables, transitions,
+        priority=machine.priority,
     )
 
 
@@ -405,7 +406,11 @@ def generate_machine(prop: Property) -> StateMachine:
     template = _TEMPLATES.get(type(prop))
     if template is None:
         raise GenerationError(f"no template for property type {type(prop).__name__}")
-    return _scope_to_path(template(prop), prop)
+    machine = _scope_to_path(template(prop), prop)
+    # The degradation priority is a property attribute, not part of any
+    # template's logic, so it is stamped on generically here.
+    machine.priority = int(prop.priority)
+    return machine
 
 
 def generate_machines(props: Iterable[Property]) -> List[StateMachine]:

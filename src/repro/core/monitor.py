@@ -69,6 +69,10 @@ class ArtemisMonitor:
                 instance = MachineInstance(machine, store)
             self.instances.append(instance)
         self._routine = ImmortalRoutine(nvm, f"{name}.call")
+        # Machines currently shed by the degradation controller. Persisted
+        # so a reboot in a low-energy spell does not silently re-enable
+        # monitors the controller decided the budget cannot afford.
+        self._shed_cell = nvm.alloc(f"{name}.shed", initial=(), size_bytes=32)
         self._pending_event = nvm.alloc(f"{name}.pending_event", initial=None, size_bytes=32)
         self._verdicts = PersistentList(nvm, f"{name}.verdicts")
         # Last completed call: its sequence stamp and the actions it
@@ -95,6 +99,7 @@ class ArtemisMonitor:
         """``resetMonitor``: hard-reset every machine (first boot only)."""
         for instance in self.instances:
             instance.reset()
+        self._shed_cell.set(())
         self._pending_event.set(None)
         self._verdicts.clear()
         self._last_seq.set(-1)
@@ -166,9 +171,19 @@ class ArtemisMonitor:
     ):
         relevant = set(self._relevant.get(event.task, []))
         relevant.update(self._relevant.get("*", []))
+        shed = self._shed_names()
 
         def make_step(idx: int):
             instance = self.instances[idx]
+            # A shed machine's step stays in the list (the resumable
+            # continuation requires a constant step count) but neither
+            # inspects the event nor costs per-machine time — that zero
+            # is exactly the energy the degradation controller saves.
+            if self.machines[idx].name in shed:
+                def shed_step() -> None:
+                    spend(0.0)
+
+                return shed_step
             charged = per_machine_cost_s if idx in relevant else 0.0
 
             def step() -> None:
@@ -222,6 +237,85 @@ class ArtemisMonitor:
                 instance.reset()
                 count += 1
         return count
+
+    # ------------------------------------------------------------------
+    # Energy-adaptive degradation (shed / restore)
+    # ------------------------------------------------------------------
+    def _shed_names(self) -> set:
+        """Currently shed machine names, defensively filtered to known
+        machines (a corrupted shed cell degrades to 'nothing shed')."""
+        value = self._shed_cell.get()
+        if not isinstance(value, (tuple, list)):
+            return set()
+        known = {m.name for m in self.machines}
+        return {n for n in value if n in known}
+
+    def sheddable(self, machine_name: str) -> bool:
+        """Whether the degradation controller may shed this machine.
+
+        Progress trackers over gapless event streams (collect, MITD)
+        would silently report wrong results after missing events, so
+        their properties opt out via ``SUPPORTS_PRIORITY``.
+        """
+        prop = self._props_by_machine.get(machine_name)
+        return prop is not None and type(prop).SUPPORTS_PRIORITY
+
+    def machine_priority(self, machine_name: str) -> int:
+        """Degradation priority of a machine (0 = shed first)."""
+        for machine in self.machines:
+            if machine.name == machine_name:
+                return machine.priority
+        raise ReproError(f"no machine named {machine_name!r}")
+
+    def shedding_order(self) -> List[str]:
+        """Sheddable machines, lowest priority first (ties: declaration
+        order) — the order the controller sheds them in."""
+        order = sorted(
+            (machine.priority, idx, machine.name)
+            for idx, machine in enumerate(self.machines)
+            if self.sheddable(machine.name)
+        )
+        return [name for _, _, name in order]
+
+    def is_shed(self, machine_name: str) -> bool:
+        """True while the named machine is shed."""
+        return machine_name in self._shed_names()
+
+    def shed_machines(self) -> List[str]:
+        """Currently shed machines, in declaration order."""
+        shed = self._shed_names()
+        return [m.name for m in self.machines if m.name in shed]
+
+    def shed(self, machine_name: str) -> bool:
+        """Disable one machine; True if it was running and sheddable.
+
+        Refused while a call continuation is in progress — the step list
+        must not change shape under a resumable call.
+        """
+        if self._routine.in_progress:
+            return False
+        if not self.sheddable(machine_name) or self.is_shed(machine_name):
+            return False
+        shed = self._shed_names() | {machine_name}
+        self._shed_cell.set(tuple(m.name for m in self.machines if m.name in shed))
+        return True
+
+    def restore(self, machine_name: str) -> bool:
+        """Re-enable a shed machine; True if it was shed.
+
+        The machine restarts from its initial state: it missed events
+        while shed, so resuming its stale timestamps/counters could
+        fire immediate false violations.
+        """
+        if self._routine.in_progress:
+            return False
+        shed = self._shed_names()
+        if machine_name not in shed:
+            return False
+        shed.discard(machine_name)
+        self._shed_cell.set(tuple(m.name for m in self.machines if m.name in shed))
+        self.reset_machine(machine_name)
+        return True
 
     # ------------------------------------------------------------------
     # Boot-time recovery hooks
@@ -374,6 +468,59 @@ class MonitorGroup:
         """Propagate §3.3 re-initialisation to every member."""
         return sum(monitor.reinit_for_path_restart(path_task_names)
                    for monitor in self.monitors)
+
+    # ------------------------------------------------------------------
+    # Energy-adaptive degradation (delegated to members)
+    # ------------------------------------------------------------------
+    def sheddable(self, machine_name: str) -> bool:
+        """True if any member may shed the named machine."""
+        return any(monitor.sheddable(machine_name)
+                   for monitor in self.monitors)
+
+    def machine_priority(self, machine_name: str) -> int:
+        """Priority of the named machine in the first member owning it."""
+        for monitor in self.monitors:
+            if machine_name in monitor._props_by_machine:
+                return monitor.machine_priority(machine_name)
+        raise ReproError(f"no machine named {machine_name!r}")
+
+    def shedding_order(self) -> List[str]:
+        """Sheddable machines across members, lowest priority first."""
+        entries = []
+        seen = set()
+        for member_idx, monitor in enumerate(self.monitors):
+            for order_idx, name in enumerate(monitor.shedding_order()):
+                if name in seen:
+                    continue
+                seen.add(name)
+                entries.append(
+                    (monitor.machine_priority(name), member_idx, order_idx, name)
+                )
+        return [name for _, _, _, name in sorted(entries)]
+
+    def is_shed(self, machine_name: str) -> bool:
+        """True if the named machine is shed in any member."""
+        return any(monitor.is_shed(machine_name)
+                   for monitor in self.monitors)
+
+    def shed_machines(self) -> List[str]:
+        """Shed machines across members (deduplicated)."""
+        names: List[str] = []
+        for monitor in self.monitors:
+            for name in monitor.shed_machines():
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def shed(self, machine_name: str) -> bool:
+        """Shed the named machine in every member owning it."""
+        return any([monitor.shed(machine_name)
+                    for monitor in self.monitors])
+
+    def restore(self, machine_name: str) -> bool:
+        """Restore the named machine in every member that shed it."""
+        return any([monitor.restore(machine_name)
+                    for monitor in self.monitors])
 
     # ------------------------------------------------------------------
     # Boot-time recovery hooks (delegated to members)

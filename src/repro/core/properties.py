@@ -29,6 +29,11 @@ class PropertyBase:
     task: str
     on_fail: ActionType
     path: Optional[int] = None
+    #: Relative importance for energy-adaptive degradation: when stored
+    #: energy crosses the low watermark, the controller sheds monitors
+    #: lowest-priority-first (0 = shed first). Parsed from the spec's
+    #: ``priority:`` modifier.
+    priority: int = 0
 
     #: Whether the runtime re-initialises this property's monitor when
     #: the path containing its task restarts (§3.3: "monitors linked to
@@ -37,6 +42,13 @@ class PropertyBase:
     #: with maxAttempt) must survive restarts, or the escape hatch and
     #: cross-restart accumulation could never trigger.
     REINIT_ON_PATH_RESTART = True
+
+    #: Whether the degradation controller may shed this property's
+    #: monitor (and hence whether ``priority:`` is a legal modifier).
+    #: Progress trackers that accumulate over a gapless event stream
+    #: (collect, MITD) would silently report wrong results if they
+    #: missed events while shed, so they are never sheddable.
+    SUPPORTS_PRIORITY = True
 
     @property
     def kind(self) -> str:
@@ -89,6 +101,7 @@ class MITD(PropertyBase):
 
     KIND = "MITD"
     REINIT_ON_PATH_RESTART = False
+    SUPPORTS_PRIORITY = False
     dep_task: str = ""
     limit_s: float = 0.0
     max_attempt: Optional[int] = None
@@ -113,6 +126,7 @@ class Collect(PropertyBase):
 
     KIND = "collect"
     REINIT_ON_PATH_RESTART = False
+    SUPPORTS_PRIORITY = False
     dep_task: str = ""
     count: int = 0
     #: Figure 7's literal example zeroes the counter when the check

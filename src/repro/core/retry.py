@@ -1,0 +1,136 @@
+"""Per-task retry policy with persistent attempt counters.
+
+Transient peripheral faults are recovered by re-executing the task —
+the same recovery primitive task-based systems already use for power
+failures (Alpaca-style re-execution), so a retried task can never
+half-commit: the volatile transaction is simply discarded and the body
+runs again. :class:`RetryPolicy` bounds how hard the runtime tries
+(attempt budget, exponential backoff with deterministic jitter, an
+optional per-attempt energy surcharge); :class:`RetrySupervisor` keeps
+the attempt counters in NVM so a retry storm that spans reboots is
+still recognised by the livelock watchdog, which escalates to the
+property's ``onFail`` action or a configurable fallback.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import RuntimeConfigError
+from repro.nvm.memory import NonVolatileMemory
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a runtime re-executes tasks that raised ``PeripheralError``.
+
+    Attributes:
+        max_attempts: total body executions before the watchdog trips
+            (1 = no retries, fail straight to escalation).
+        backoff_base_s: sleep before the second attempt; doubles (by
+            ``backoff_factor``) for each further attempt. Charged to
+            the ``runtime`` energy category at the power model's
+            overhead draw.
+        backoff_factor: exponential growth factor of the backoff.
+        jitter_frac: +/- fractional jitter applied to each backoff,
+            derived deterministically from (seed, task, attempt) so
+            simulations stay reproducible.
+        retry_energy_j: fixed extra energy per retry (e.g. a sensor
+            power-cycle), charged to the ``runtime`` category.
+        seed: jitter seed.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 5e-3
+    backoff_factor: float = 2.0
+    jitter_frac: float = 0.1
+    retry_energy_j: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise RuntimeConfigError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0 or self.retry_energy_j < 0:
+            raise RuntimeConfigError("backoff and retry energy must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise RuntimeConfigError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter_frac < 1.0:
+            raise RuntimeConfigError("jitter_frac must be in [0, 1)")
+
+    def backoff_s(self, key: str, attempt: int) -> float:
+        """Backoff before re-attempt number ``attempt + 1``.
+
+        ``attempt`` counts failures so far (1-based). Deterministic: the
+        jitter is a hash of (seed, key, attempt), not a live RNG draw.
+        """
+        if attempt < 1:
+            raise RuntimeConfigError("attempt must be >= 1")
+        if self.backoff_base_s == 0.0:
+            return 0.0
+        raw = self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+        if self.jitter_frac:
+            bucket = zlib.crc32(f"{self.seed}:{key}:{attempt}".encode("utf-8"))
+            unit = (bucket % 10_000) / 10_000.0 * 2.0 - 1.0  # [-1, 1)
+            raw *= 1.0 + self.jitter_frac * unit
+        return max(raw, 0.0)
+
+
+class RetrySupervisor:
+    """NVM-backed attempt counters driving the livelock watchdog.
+
+    Counters are written *immediately* (single-cell durable write, not
+    staged) when a failure is recorded: an attempt that brown-outs
+    during its backoff must still count after reboot, or a dying sensor
+    plus a dying capacitor could retry forever. On success the runtime
+    stages the cleared counter into the task's own commit, so the clear
+    is atomic with the task's effects.
+    """
+
+    def __init__(self, nvm: NonVolatileMemory, policy: RetryPolicy,
+                 cell_name: str = "rt.retry.attempts"):
+        self.policy = policy
+        self._cell = nvm.alloc(cell_name, initial={}, size_bytes=32)
+
+    @property
+    def cell_name(self) -> str:
+        """Name of the NVM cell holding the attempt counters."""
+        return self._cell.name
+
+    def attempts(self, task: str) -> int:
+        """Failed attempts recorded for ``task`` (0 if none)."""
+        return int(self._counts().get(task, 0))
+
+    def record_failure(self, task: str) -> int:
+        """Durably count one failed attempt; returns the new count."""
+        counts = self._counts()
+        counts[task] = int(counts.get(task, 0)) + 1
+        self._cell.set(counts)
+        return counts[task]
+
+    def exhausted(self, task: str) -> bool:
+        """True once ``task`` has used its whole attempt budget."""
+        return self.attempts(task) >= self.policy.max_attempts
+
+    def clear(self, task: str) -> None:
+        """Durably drop the counter (watchdog escalation handled it)."""
+        counts = self._counts()
+        if task in counts:
+            del counts[task]
+            self._cell.set(counts)
+
+    def cleared(self, task: str) -> Dict[str, int]:
+        """Counter mapping without ``task`` — for staging into a commit
+        so a successful retry clears its counter atomically."""
+        counts = self._counts()
+        counts.pop(task, None)
+        return counts
+
+    def _counts(self) -> Dict[str, int]:
+        value = self._cell.get()
+        if not isinstance(value, dict):
+            # Corrupted counter cell: recovery resets it at boot, but a
+            # mid-run read must still behave; treat as empty.
+            return {}
+        return dict(value)

@@ -26,16 +26,18 @@ from typing import Optional
 
 from repro.core.actions import Action, ActionType
 from repro.core.arbiter import ArbitrationPolicy, arbitrate, most_severe
+from repro.core.degradation import DegradationController
 from repro.core.events import end_event, MonitorEvent
 from repro.core.monitor import ArtemisMonitor
 from repro.core.properties import EnergyAtLeast, PropertySet
 from repro.core.recovery import RecoveryManager
+from repro.core.retry import RetryPolicy, RetrySupervisor
 from repro.energy.power import PowerModel
-from repro.errors import RuntimeConfigError
+from repro.errors import PeripheralError, RuntimeConfigError
 from repro.nvm.journal import CommitJournal
 from repro.nvm.transaction import Transaction
 from repro.taskgraph.app import Application
-from repro.taskgraph.context import TaskContext
+from repro.taskgraph.context import TaskContext, channel_cell_name
 
 _READY = "TASK_READY"
 _FINISHED = "TASK_FINISHED"
@@ -54,6 +56,18 @@ class ArtemisRuntime:
         audit_capacity: if positive, keep the last N corrective actions
             in a persistent ring buffer (``self.audit``) for post-mortem
             read-out.
+        peripherals: optional
+            :class:`~repro.peripherals.PeripheralSet`; task bodies'
+            sensor reads then route through its fault models and may
+            raise :class:`~repro.errors.PeripheralError`.
+        retry_policy: how to re-execute tasks on peripheral faults
+            (defaults to :class:`~repro.core.retry.RetryPolicy`()).
+        watchdog_fallback: action applied when the livelock watchdog
+            trips on a task no property guards (the task is also marked
+            degraded on channel ``degraded.<task>``).
+        degradation: energy-adaptive monitor shedding — either an
+            ``(low_j, high_j)`` watermark pair or a prebuilt
+            :class:`~repro.core.degradation.DegradationController`.
     """
 
     def __init__(
@@ -66,6 +80,10 @@ class ArtemisRuntime:
         policy: ArbitrationPolicy = most_severe,
         audit_capacity: int = 0,
         monitor=None,
+        peripherals=None,
+        retry_policy: Optional[RetryPolicy] = None,
+        watchdog_fallback: ActionType = ActionType.SKIP_TASK,
+        degradation=None,
     ):
         for prop in props:
             if not app.has_task(prop.task):
@@ -90,6 +108,21 @@ class ArtemisRuntime:
             self.audit: Optional["AuditLog"] = AuditLog(nvm, audit_capacity)
         else:
             self.audit = None
+
+        self.peripherals = peripherals
+        self.watchdog_fallback = watchdog_fallback
+        self._retry = RetrySupervisor(nvm, retry_policy or RetryPolicy(),
+                                      cell_name="rt.retry.attempts")
+        self._retry_cell = nvm.cell(self._retry.cell_name)
+        if degradation is None:
+            self._degradation: Optional[DegradationController] = None
+        elif isinstance(degradation, DegradationController):
+            self._degradation = degradation
+        else:
+            low_j, high_j = degradation
+            self._degradation = DegradationController(
+                self.monitor, low_j, high_j, audit=self.audit
+            )
 
         alloc = nvm.alloc
         self._initialized = alloc("rt.initialized", False, 1)
@@ -185,6 +218,11 @@ class ArtemisRuntime:
             lambda: isinstance(self._emitted.get(), dict),
             lambda: self._emitted.set({}),
         )
+        rec.add_invariant(
+            "rt.retry.attempts is a mapping",
+            lambda: isinstance(self._retry_cell.get(), dict),
+            lambda: self._retry_cell.set({}),
+        )
 
     def boot(self, device) -> None:
         """Called by the device on every power-up."""
@@ -239,6 +277,11 @@ class ArtemisRuntime:
         self._device = device
         if self.finished:
             return
+        if self.peripherals is not None:
+            self.peripherals.bind(device, sense_s=self.power.sense_s,
+                                  sense_power_w=self.power.overhead_power_w)
+        if self._degradation is not None:
+            self._degradation.update(device)
         if self._status.get() == _READY:
             if not self._start_checked.get() and not self._suspended.get():
                 if not self._check_start():
@@ -277,14 +320,25 @@ class ArtemisRuntime:
         device.consume(cost.duration_s, cost.power_w, "app")
         # The attempt survived; execute the body and commit atomically.
         txn = Transaction(device.nvm, journal=self._journal)
-        ctx = TaskContext(task.name, device.nvm, txn, self.app.sensors, device.now)
+        ctx = TaskContext(task.name, device.nvm, txn, self.app.sensors,
+                          device.now, peripherals=self.peripherals)
         if task.body is not None:
-            task.body(ctx)
+            try:
+                task.body(ctx)
+            except PeripheralError as exc:
+                # Nothing committed: the staged writes are discarded, so
+                # a retried task can never half-commit.
+                txn.rollback()
+                self._handle_peripheral_failure(task.name, exc)
+                return
         # taskFinish (Figure 9, Lines 20-27): the finish stamp and status
         # flip ride in the same journaled commit as the channel writes,
         # so the journal seal is the single linearization point — a crash
         # anywhere inside the commit either rolls the whole task back
         # (it re-executes) or forward (it is done, never run twice).
+        if self._retry.attempts(task.name):
+            # Clear the retry counter atomically with the task's effects.
+            txn.stage(self._retry.cell_name, self._retry.cleared(task.name))
         txn.stage(self._emitted.name, dict(ctx.emitted))
         txn.stage(self._end_ts.name, device.now())
         txn.stage(self._status.name, _FINISHED)
@@ -292,6 +346,67 @@ class ArtemisRuntime:
         txn.commit(spend=self._spend_commit_step)
         device.trace.record(device.sim_clock.now(), "task_end", task=task.name,
                             path=self._cur_path.get())
+
+    def _handle_peripheral_failure(self, task_name: str, exc: PeripheralError) -> None:
+        """Retry/backoff for a transient fault, watchdog past the budget.
+
+        Attempt counters live in NVM (written durably before any backoff
+        is paid), so a retry storm interleaved with brown-outs still
+        reaches the watchdog instead of livelocking across reboots.
+        """
+        device = self._device
+        attempt = self._retry.record_failure(task_name)
+        policy = self._retry.policy
+        if attempt >= policy.max_attempts:
+            self._retry.clear(task_name)
+            device.result.watchdog_trips += 1
+            device.trace.record(
+                device.sim_clock.now(), "watchdog_trip", task=task_name,
+                attempts=attempt, sensor=exc.sensor, fault=exc.fault,
+            )
+            if self.audit is not None:
+                self.audit.record_event(device.now(), "watchdog:livelock",
+                                        exc.sensor, task=task_name,
+                                        path=self._cur_path.get())
+            action = self._watchdog_action(task_name)
+            self._trace_action(action)
+            self._apply_start_action(action)
+            return
+        device.result.task_retries += 1
+        device.trace.record(
+            device.sim_clock.now(), "task_retry", task=task_name,
+            attempt=attempt, sensor=exc.sensor, fault=exc.fault,
+        )
+        # A fresh attempt must re-announce StartTask, so maxTries-style
+        # properties see every retry.
+        self._start_checked.set(False)
+        backoff = policy.backoff_s(task_name, attempt)
+        if backoff > 0.0:
+            device.consume(backoff, self.power.overhead_power_w, "runtime")
+        if policy.retry_energy_j:
+            device.consume_energy(policy.retry_energy_j, "runtime")
+
+    def _watchdog_action(self, task_name: str) -> Action:
+        """Escalation when retries are exhausted: the most severe of the
+        task's own ``onFail`` actions, or the configured fallback (which
+        also marks the task degraded on a channel consumers can check)."""
+        candidates = [
+            Action(p.on_fail, p.path, source=f"watchdog:{p.kind}")
+            for p in self.props.for_task(task_name)
+        ]
+        action = arbitrate(candidates, self.policy)
+        if action.type is ActionType.NONE:
+            self._mark_degraded(task_name)
+            action = Action(self.watchdog_fallback, source="watchdog")
+        return action
+
+    def _mark_degraded(self, task_name: str) -> None:
+        """Durably flag the task's output as degraded (single-cell write)."""
+        cell_name = channel_cell_name(f"degraded.{task_name}")
+        nvm = self._device.nvm
+        if cell_name not in nvm:
+            nvm.alloc(cell_name, initial=False, size_bytes=8)
+        nvm.cell(cell_name).set(True)
 
     def _finish_current_task(self) -> None:
         """Send EndTask (with the persisted timestamp) and advance."""

@@ -68,6 +68,11 @@ class PowerModel:
       default is 0.0; raise it to surface commit steps on the timeline
       or to stress energy budgets with commit-heavy workloads. Each step
       remains an individually visible crash point either way.
+    * ``sense_s`` — cost of one peripheral access through the sensor
+      fault subsystem (bus transaction + conversion wait), charged to
+      the ``sense`` category. Only paid when a runtime is built with a
+      :class:`~repro.peripherals.PeripheralSet`; raw sensor lambdas
+      stay free as before.
 
     The baseline Mayfly runtime folds its (cheaper, hardcoded) checks into
     its transition cost and has no separate monitor call.
@@ -82,6 +87,7 @@ class PowerModel:
         overhead_power_w: float = MCU_ACTIVE_POWER_W,
         default_cost: Optional[TaskCost] = None,
         commit_step_s: float = 0.0,
+        sense_s: float = 0.12e-3,
     ):
         self._costs: Dict[str, TaskCost] = dict(task_costs)
         self.runtime_transition_s = runtime_transition_s
@@ -90,6 +96,7 @@ class PowerModel:
         self.overhead_power_w = overhead_power_w
         self.default_cost = default_cost
         self.commit_step_s = commit_step_s
+        self.sense_s = sense_s
 
     def cost_of(self, task_name: str) -> TaskCost:
         cost = self._costs.get(task_name, self.default_cost)
@@ -121,6 +128,7 @@ class PowerModel:
             overhead_power_w=self.overhead_power_w,
             default_cost=self.default_cost,
             commit_step_s=self.commit_step_s,
+            sense_s=self.sense_s,
         )
 
 

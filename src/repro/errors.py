@@ -56,6 +56,30 @@ class RuntimeConfigError(ReproError):
     """Raised when a runtime is built from an inconsistent application."""
 
 
+class PeripheralError(ReproError):
+    """Raised when a (simulated) peripheral fails to deliver a reading.
+
+    Transient sensor faults — bus timeouts, dropped conversions — are a
+    fact of life on harvested nodes and are *recoverable*: the runtime's
+    retry policy re-executes the task, and only a livelock watchdog
+    escalates further. Task bodies normally let this propagate to the
+    runtime rather than handling it themselves.
+
+    Attributes:
+        sensor: name of the failing sensor.
+        fault: short fault-kind tag (``"timeout"``, ``"dropout"``, ...).
+        at_time: simulation time (seconds) of the failed access.
+    """
+
+    def __init__(self, sensor: str, fault: str = "fault", at_time: float = 0.0):
+        super().__init__(
+            f"peripheral {sensor!r} failed ({fault}) at t={at_time:.6f}s"
+        )
+        self.sensor = sensor
+        self.fault = fault
+        self.at_time = at_time
+
+
 class SimulationError(ReproError):
     """Raised when a simulation cannot make progress (e.g. a task whose
     energy cost exceeds the usable capacitor energy can never complete)."""

@@ -165,6 +165,27 @@ class NonVolatileMemory:
         self._used_bytes += size_bytes
         return cell
 
+    def grow(self, name: str, size_bytes: int) -> PersistentCell:
+        """Grow an existing cell's accounted size to at least ``size_bytes``.
+
+        Channel cells sized by their serialized value (rather than the old
+        flat 8 bytes) can legitimately need more room when a later write
+        stores a bigger tuple/list. Growing re-checks capacity; shrinking
+        is never done (a linker-placed buffer does not give bytes back).
+        """
+        cell = self.cell(name)
+        if size_bytes <= cell.size_bytes:
+            return cell
+        extra = size_bytes - cell.size_bytes
+        if self._used_bytes + extra > self.capacity_bytes:
+            raise NVMError(
+                f"NVM overflow growing {name!r} to {size_bytes}: "
+                f"{self._used_bytes} + {extra} > {self.capacity_bytes}"
+            )
+        cell.size_bytes = size_bytes
+        self._used_bytes += extra
+        return cell
+
     def free(self, name: str) -> None:
         """Release a cell (used by tests; real FRAM layout is static)."""
         cell = self._cells.pop(name, None)

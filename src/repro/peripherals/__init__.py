@@ -1,0 +1,38 @@
+"""Peripheral fault subsystem: flaky sensors for intermittent nodes.
+
+Application sensors in this reproduction were infallible lambdas; real
+harvested deployments lose peripherals transiently at least as often as
+they lose power. This package wraps sensors in seeded, schedulable
+fault models — transient bus timeout, stuck-at-last-value, out-of-range
+glitch, and burst dropout — charges each access to the energy model's
+``sense`` category, and surfaces every fault activation in the trace
+and :class:`~repro.sim.result.RunResult` counters.
+
+Raising faults surface to the runtime as
+:class:`~repro.errors.PeripheralError`, where the retry/backoff layer
+(:mod:`repro.core.retry`) re-executes the task; silent faults corrupt
+values in ways only a property monitor can catch.
+"""
+
+from repro.peripherals.faults import (
+    FAULT_KINDS,
+    BurstDropout,
+    OutOfRangeGlitch,
+    SensorFault,
+    StuckAtLastValue,
+    TransientTimeout,
+    parse_fault_spec,
+)
+from repro.peripherals.sensors import FaultySensor, PeripheralSet
+
+__all__ = [
+    "FAULT_KINDS",
+    "SensorFault",
+    "TransientTimeout",
+    "StuckAtLastValue",
+    "OutOfRangeGlitch",
+    "BurstDropout",
+    "parse_fault_spec",
+    "FaultySensor",
+    "PeripheralSet",
+]

@@ -1,0 +1,255 @@
+"""Seeded, schedulable sensor fault models.
+
+Each model decides *when* it is active — inside deterministic time
+windows and/or stochastically at a per-sample rate — and *what* an
+active fault does to a reading. Raising faults (timeout, dropout)
+abort the access with :class:`~repro.errors.PeripheralError` so the
+runtime's retry policy can re-execute the task; silent faults
+(stuck-at, glitch) return plausible-but-wrong values, the kind of
+damage only a property monitor can catch.
+
+All randomness is seeded per fault instance with a string seed
+(``random.Random(f"{kind}:{seed}")``), so a fault schedule is a pure
+function of its configuration and the order of accesses — reruns of a
+simulation reproduce the exact same fault sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Optional, Sequence, Tuple
+
+from repro.errors import PeripheralError, RuntimeConfigError
+
+#: Fault-kind tags accepted by :func:`parse_fault_spec`.
+FAULT_KINDS = ("timeout", "stuck", "glitch", "dropout")
+
+
+class SensorFault:
+    """Base class for sensor fault models.
+
+    Args:
+        rate: per-sample activation probability in ``[0, 1]``.
+        windows: ``(t_start, t_end)`` pairs (seconds); the fault is
+            always active while the access time falls in a window.
+        seed: seed for the fault's private RNG stream.
+
+    Subclasses set :attr:`KIND` (short tag used in traces and CLI
+    specs) and :attr:`SILENT` (True when the fault corrupts the value
+    instead of raising), and implement :meth:`perturb`.
+    """
+
+    KIND = "fault"
+    SILENT = False
+
+    def __init__(
+        self,
+        rate: float = 0.0,
+        windows: Sequence[Tuple[float, float]] = (),
+        seed: int = 0,
+    ):
+        if not 0.0 <= rate <= 1.0:
+            raise RuntimeConfigError(f"fault rate must be in [0, 1], got {rate}")
+        self.windows = tuple((float(a), float(b)) for a, b in windows)
+        for start, end in self.windows:
+            if end <= start:
+                raise RuntimeConfigError(
+                    f"fault window must have end > start, got ({start}, {end})"
+                )
+        self.rate = float(rate)
+        self.seed = seed
+        self._rng = random.Random(f"{self.KIND}:{seed}")
+
+    def fires(self, t: float) -> bool:
+        """Decide whether the fault is active for an access at time ``t``.
+
+        Consumes one RNG draw per call when a stochastic rate is set, so
+        activation is deterministic given the access sequence.
+        """
+        in_window = any(start <= t < end for start, end in self.windows)
+        stochastic = self.rate > 0.0 and self._rng.random() < self.rate
+        return in_window or stochastic
+
+    def perturb(self, sensor: str, t: float, value: Any, last_good: Any) -> Any:
+        """Apply the fault to a reading; raise or return the bad value."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(rate={self.rate}, "
+            f"windows={self.windows!r}, seed={self.seed!r})"
+        )
+
+
+class TransientTimeout(SensorFault):
+    """The peripheral bus times out: the access fails loudly.
+
+    The classic transient fault — an I2C/SPI transaction that never
+    completes. Raises :class:`~repro.errors.PeripheralError`; a retry a
+    moment later usually succeeds (unless the fault is windowed over
+    the whole run, which models a dead sensor).
+    """
+
+    KIND = "timeout"
+    SILENT = False
+
+    def perturb(self, sensor: str, t: float, value: Any, last_good: Any) -> Any:
+        raise PeripheralError(sensor, self.KIND, t)
+
+
+class StuckAtLastValue(SensorFault):
+    """The sensor silently repeats its last good reading.
+
+    A frozen ADC or a stale FIFO: the access *succeeds* but the value
+    is old. If no good reading has been taken yet the fresh value
+    passes through (there is nothing to be stuck at).
+    """
+
+    KIND = "stuck"
+    SILENT = True
+
+    def perturb(self, sensor: str, t: float, value: Any, last_good: Any) -> Any:
+        return value if last_good is None else last_good
+
+
+class OutOfRangeGlitch(SensorFault):
+    """The reading spikes out of its physical range.
+
+    Models an electrical glitch during conversion. Numeric readings are
+    displaced by ``magnitude`` with a seeded random sign; non-numeric
+    readings are replaced by the magnitude itself (recognisably
+    garbage).
+    """
+
+    KIND = "glitch"
+    SILENT = True
+
+    def __init__(
+        self,
+        rate: float = 0.0,
+        windows: Sequence[Tuple[float, float]] = (),
+        seed: int = 0,
+        magnitude: float = 1e3,
+    ):
+        super().__init__(rate, windows, seed)
+        self.magnitude = float(magnitude)
+
+    def perturb(self, sensor: str, t: float, value: Any, last_good: Any) -> Any:
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            sign = 1.0 if self._rng.random() < 0.5 else -1.0
+            return value + sign * self.magnitude
+        return self.magnitude
+
+
+class BurstDropout(SensorFault):
+    """Consecutive accesses fail in bursts.
+
+    Once triggered (by window or rate), the next ``burst_length - 1``
+    accesses also fail — the bursty loss pattern of a marginal sensor
+    connection, much harder on retry policies than independent
+    per-sample faults.
+    """
+
+    KIND = "dropout"
+    SILENT = False
+
+    def __init__(
+        self,
+        rate: float = 0.0,
+        windows: Sequence[Tuple[float, float]] = (),
+        seed: int = 0,
+        burst_length: int = 3,
+    ):
+        super().__init__(rate, windows, seed)
+        if burst_length < 1:
+            raise RuntimeConfigError(
+                f"burst length must be >= 1, got {burst_length}"
+            )
+        self.burst_length = int(burst_length)
+        self._burst_left = 0
+
+    def fires(self, t: float) -> bool:
+        if self._burst_left > 0:
+            self._burst_left -= 1
+            return True
+        if super().fires(t):
+            self._burst_left = self.burst_length - 1
+            return True
+        return False
+
+    def perturb(self, sensor: str, t: float, value: Any, last_good: Any) -> Any:
+        raise PeripheralError(sensor, self.KIND, t)
+
+
+_FAULT_CLASSES = {
+    TransientTimeout.KIND: TransientTimeout,
+    StuckAtLastValue.KIND: StuckAtLastValue,
+    OutOfRangeGlitch.KIND: OutOfRangeGlitch,
+    BurstDropout.KIND: BurstDropout,
+}
+
+
+def _parse_window(text: str) -> Tuple[float, float]:
+    start, sep, end = text.partition("-")
+    if not sep:
+        raise RuntimeConfigError(
+            f"fault window must be 'start-end' seconds, got {text!r}"
+        )
+    return float(start), float(end)
+
+
+def parse_fault_spec(text: str) -> Tuple[str, SensorFault]:
+    """Parse a CLI fault spec into ``(sensor_name, fault)``.
+
+    Format: ``sensor:kind:rate[:option=value]*`` where ``kind`` is one
+    of ``timeout|stuck|glitch|dropout`` and options are ``seed=N``,
+    ``burst=N`` (dropout), ``magnitude=X`` (glitch), and repeatable
+    ``window=start-end`` (seconds). Example: ``ppg:dropout:0.1:seed=7``.
+    """
+    parts = text.split(":")
+    if len(parts) < 3:
+        raise RuntimeConfigError(
+            f"fault spec must be 'sensor:kind:rate[:opt=val]*', got {text!r}"
+        )
+    sensor, kind, rate_text = parts[0], parts[1], parts[2]
+    cls = _FAULT_CLASSES.get(kind)
+    if cls is None:
+        raise RuntimeConfigError(
+            f"unknown fault kind {kind!r}; expected one of {', '.join(FAULT_KINDS)}"
+        )
+    try:
+        rate = float(rate_text)
+    except ValueError:
+        raise RuntimeConfigError(
+            f"fault rate must be a number, got {rate_text!r}"
+        ) from None
+    kwargs: dict = {"rate": rate}
+    windows = []
+    for option in parts[3:]:
+        key, sep, value = option.partition("=")
+        if not sep:
+            raise RuntimeConfigError(f"fault option must be key=value, got {option!r}")
+        try:
+            if key == "seed":
+                kwargs["seed"] = int(value)
+            elif key == "burst":
+                if cls is not BurstDropout:
+                    raise RuntimeConfigError(
+                        "option 'burst' only applies to dropout faults")
+                kwargs["burst_length"] = int(value)
+            elif key == "magnitude":
+                if cls is not OutOfRangeGlitch:
+                    raise RuntimeConfigError(
+                        "option 'magnitude' only applies to glitch faults")
+                kwargs["magnitude"] = float(value)
+            elif key == "window":
+                windows.append(_parse_window(value))
+            else:
+                raise RuntimeConfigError(f"unknown fault option {key!r}")
+        except ValueError:
+            raise RuntimeConfigError(
+                f"fault option {key!r} has a malformed value {value!r}"
+            ) from None
+    if windows:
+        kwargs["windows"] = tuple(windows)
+    return sensor, cls(**kwargs)

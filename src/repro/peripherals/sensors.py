@@ -1,0 +1,185 @@
+"""Fault-wrapped sensors and the peripheral access layer.
+
+:class:`FaultySensor` wraps one application sensor function with a list
+of :class:`~repro.peripherals.faults.SensorFault` models and tracks the
+last known-good reading (what a stuck-at fault replays).
+
+:class:`PeripheralSet` is what runtimes hold: it owns the node's
+sensors, charges each access to the device's ``sense`` energy category,
+and publishes every fault activation as a ``sensor_fault`` trace record
+plus the :attr:`~repro.sim.result.RunResult.sensor_faults` counter.
+``TaskContext.sense()`` routes here when a runtime was built with a
+peripheral set; without one, sensors stay infallible free lambdas as
+before.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.energy.power import MCU_ACTIVE_POWER_W
+from repro.errors import RuntimeConfigError
+from repro.peripherals.faults import SensorFault
+
+SensorFn = Callable[[float], Any]
+
+
+class FaultySensor:
+    """One sensor function wrapped with fault models.
+
+    Faults are applied in order; the first raising fault aborts the
+    access. The last good (fault-free) reading is kept so stuck-at
+    faults have something to replay.
+    """
+
+    def __init__(self, name: str, fn: SensorFn, faults: Iterable[SensorFault] = ()):
+        self.name = name
+        self._fn = fn
+        self.faults = list(faults)
+
+        self._last_good: Any = None
+
+    @property
+    def last_good(self) -> Any:
+        """Most recent fault-free reading (None before the first one)."""
+        return self._last_good
+
+    def attach(self, fault: SensorFault) -> None:
+        """Add another fault model to this sensor."""
+        self.faults.append(fault)
+
+    def sample(
+        self,
+        t: float,
+        on_fault: Optional[Callable[[str, str, bool], None]] = None,
+    ) -> Any:
+        """Read the sensor at time ``t``, applying active faults.
+
+        ``on_fault(sensor, kind, silent)`` is invoked for every fault
+        activation — including raising ones, *before* they raise — so
+        the caller can account the fault even when the access fails.
+        """
+        value = self._fn(t)
+        faulted = False
+        for fault in self.faults:
+            if not fault.fires(t):
+                continue
+            faulted = True
+            if on_fault is not None:
+                on_fault(self.name, fault.KIND, fault.SILENT)
+            value = fault.perturb(self.name, t, value, self._last_good)
+        if not faulted:
+            self._last_good = value
+        return value
+
+
+class PeripheralSet:
+    """The node's sensors behind an energy-charged, fault-prone bus.
+
+    Args:
+        sensors: mapping of sensor name to reading function ``f(t)``
+            (e.g. ``app.sensors``).
+        sense_s: default MCU-busy seconds charged per access (a bound
+            runtime overrides this from its power model's ``sense_s``).
+        sense_power_w: power drawn during an access.
+
+    The set must be :meth:`bind`-bound to the active device before
+    accesses are charged/traced; unbound access still works (pure fault
+    semantics) for unit tests.
+    """
+
+    def __init__(
+        self,
+        sensors: Mapping[str, SensorFn] = (),
+        sense_s: float = 0.0,
+        sense_power_w: float = MCU_ACTIVE_POWER_W,
+    ):
+        self._sensors: Dict[str, FaultySensor] = {}
+        for name, fn in dict(sensors).items():
+            self._sensors[name] = FaultySensor(name, fn)
+        self._sense_s = float(sense_s)
+        self._sense_power_w = float(sense_power_w)
+        self._device: Any = None
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def add_sensor(
+        self, name: str, fn: SensorFn, faults: Iterable[SensorFault] = ()
+    ) -> FaultySensor:
+        """Register a sensor (replacing any existing one of that name)."""
+        sensor = FaultySensor(name, fn, faults)
+        self._sensors[name] = sensor
+        return sensor
+
+    def attach(self, name: str, fault: SensorFault) -> None:
+        """Attach a fault model to an already-registered sensor."""
+        self.sensor(name).attach(fault)
+
+    def sensor(self, name: str) -> FaultySensor:
+        """The wrapped sensor of that name."""
+        try:
+            return self._sensors[name]
+        except KeyError:
+            raise RuntimeConfigError(f"unknown sensor {name!r}") from None
+
+    def bind(
+        self,
+        device: Any,
+        sense_s: Optional[float] = None,
+        sense_power_w: Optional[float] = None,
+    ) -> None:
+        """Point the set at the active device (re-bound on every boot).
+
+        Non-None cost overrides replace the construction-time defaults,
+        which is how runtimes thread their power model's ``sense_s``
+        through without the workload builder having to know it.
+        """
+        self._device = device
+        if sense_s is not None:
+            self._sense_s = float(sense_s)
+        if sense_power_w is not None:
+            self._sense_power_w = float(sense_power_w)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def sense(self, name: str, t: float) -> Any:
+        """Read sensor ``name`` at time ``t`` through the fault layer.
+
+        Charges the access to the ``sense`` energy category, records a
+        ``sensor_fault`` trace entry and bumps the ``sensor_faults``
+        counter for every fault activation, and lets raising faults
+        propagate as :class:`~repro.errors.PeripheralError`.
+        """
+        sensor = self.sensor(name)
+        device = self._device
+        if device is not None and self._sense_s > 0.0:
+            device.consume(self._sense_s, self._sense_power_w, "sense")
+
+        def on_fault(sensor_name: str, kind: str, silent: bool) -> None:
+            if device is None:
+                return
+            device.result.sensor_faults += 1
+            device.trace.record(
+                device.now(), "sensor_fault",
+                sensor=sensor_name, fault=kind, silent=silent,
+            )
+
+        return sensor.sample(t, on_fault)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._sensors
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._sensors)
+
+    def __len__(self) -> int:
+        return len(self._sensors)
+
+    def names(self) -> Tuple[str, ...]:
+        """Registered sensor names."""
+        return tuple(self._sensors)

@@ -7,9 +7,10 @@ from typing import Dict
 
 #: Consumption categories the device accounts separately; app/runtime/
 #: monitor map to the stacked components of Figures 14/15 (application
-#: vs runtime vs monitor overhead), and ``commit`` is the journaled
-#: two-phase commit's per-step cost.
-CATEGORIES = ("app", "runtime", "monitor", "commit")
+#: vs runtime vs monitor overhead), ``commit`` is the journaled
+#: two-phase commit's per-step cost, and ``sense`` is peripheral access
+#: time charged by the sensor fault subsystem.
+CATEGORIES = ("app", "runtime", "monitor", "commit", "sense")
 
 
 @dataclass
@@ -42,6 +43,19 @@ class RunResult:
             timestamps).
         monitor_resets: monitor machines reset by boot-time recovery
             because their persisted state was not a legal state.
+        sensor_faults: peripheral fault-model activations (both raising
+            faults like timeouts/dropouts and silent ones like
+            stuck-at/glitch perturbations).
+        task_retries: task re-executions triggered by
+            :class:`~repro.errors.PeripheralError` under the retry
+            policy (excludes the watchdog escalation itself).
+        watchdog_trips: livelock-watchdog escalations after a task
+            exhausted its retry budget (attempt counters live in NVM,
+            so storms spanning reboots still trip).
+        monitors_shed: monitor machines disabled by the degradation
+            controller at the low-energy watermark.
+        monitors_restored: previously shed machines re-enabled once
+            stored energy recovered past the high watermark.
     """
 
     completed: bool = False
@@ -62,6 +76,11 @@ class RunResult:
     corruptions_repaired: int = 0
     invariant_repairs: int = 0
     monitor_resets: int = 0
+    sensor_faults: int = 0
+    task_retries: int = 0
+    watchdog_trips: int = 0
+    monitors_shed: int = 0
+    monitors_restored: int = 0
 
     @property
     def app_time_s(self) -> float:
@@ -117,5 +136,14 @@ class RunResult:
                 f" corrupt={self.corruptions_detected}"
                 f" invariant={self.invariant_repairs}"
                 f" monreset={self.monitor_resets})"
+            )
+        robustness = (self.sensor_faults + self.task_retries
+                      + self.watchdog_trips + self.monitors_shed
+                      + self.monitors_restored)
+        if robustness:
+            text += (
+                f" faults={self.sensor_faults} retries={self.task_retries}"
+                f" watchdog={self.watchdog_trips}"
+                f" shed={self.monitors_shed}/{self.monitors_restored}"
             )
         return text

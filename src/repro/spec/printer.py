@@ -34,7 +34,13 @@ def _num(value: float) -> str:
 
 
 def _suffix(prop: Property) -> str:
-    return f" Path: {prop.path}" if prop.path is not None else ""
+    # Priority 0 is the default and stays implicit; a nonzero priority
+    # on a non-sheddable kind still prints (and the validator rejects it
+    # on reload) — surfacing the error beats silently dropping the field.
+    text = f" priority: {prop.priority}" if prop.priority else ""
+    if prop.path is not None:
+        text += f" Path: {prop.path}"
+    return text
 
 
 def _print_property(prop: Property) -> str:

@@ -19,6 +19,7 @@ implies):
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.actions import ActionType
@@ -312,6 +313,27 @@ _BUILDERS: Dict[str, Callable[[PropertyDecl, str, Application], Property]] = {
 }
 
 
+def _take_priority(decl: PropertyDecl, task: str) -> Tuple[PropertyDecl, Optional[int]]:
+    """Strip a ``priority: N`` clause before the kind builder sees it.
+
+    Priority is a cross-cutting modifier (degradation order), so it is
+    handled generically here rather than in every builder. Returns the
+    declaration without the clause plus the parsed value (or None).
+    """
+    for clause in decl.clauses:
+        if clause.key != "priority":
+            continue
+        if not isinstance(clause.value, int) or clause.value < 0:
+            raise _err(
+                f"{decl.kind} on {task!r}: priority must be a non-negative "
+                f"integer, got {clause.value!r}",
+                clause.line,
+            )
+        rest = tuple(c for c in decl.clauses if c is not clause)
+        return dataclasses.replace(decl, clauses=rest), clause.value
+    return decl, None
+
+
 def validate(model: SpecModel, app: Application) -> PropertySet:
     """Bind a parsed specification against an application."""
     props = PropertySet()
@@ -326,7 +348,18 @@ def validate(model: SpecModel, app: Application) -> PropertySet:
                     f"{sorted(_BUILDERS)})",
                     decl.line,
                 )
-            props.add(builder(decl, block.task, app))
+            stripped, priority = _take_priority(decl, block.task)
+            prop = builder(stripped, block.task, app)
+            if priority is not None:
+                if not type(prop).SUPPORTS_PRIORITY:
+                    raise _err(
+                        f"{decl.kind} on {block.task!r}: priority is not "
+                        f"supported ({decl.kind} monitors track progress over "
+                        "a gapless event stream and can never be shed)",
+                        decl.line,
+                    )
+                prop = dataclasses.replace(prop, priority=priority)
+            props.add(prop)
     return props
 
 

@@ -93,6 +93,7 @@ def generate_python_source(machine: StateMachine) -> str:
         "",
         f"    MACHINE_NAME = {machine.name!r}",
         f"    STATES = {tuple(machine.states)!r}",
+        f"    PRIORITY = {machine.priority!r}",
         "",
         "    def __init__(self, store=None):",
         "        self._store = store if store is not None else {}",

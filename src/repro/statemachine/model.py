@@ -212,6 +212,7 @@ class StateMachine:
         initial: str,
         variables: Sequence[Variable] = (),
         transitions: Sequence[Transition] = (),
+        priority: int = 0,
     ):
         if not name.isidentifier():
             raise StateMachineError(f"invalid machine name {name!r}")
@@ -224,6 +225,9 @@ class StateMachine:
         self.initial = initial
         self.variables: List[Variable] = list(variables)
         self.transitions: List[Transition] = list(transitions)
+        #: Degradation priority inherited from the source property
+        #: (0 = shed first when energy runs low).
+        self.priority = int(priority)
         self._validate()
         # Index transitions by source state, preserving declaration order
         # (dispatch picks the first matching transition).

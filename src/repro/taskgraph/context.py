@@ -4,12 +4,15 @@ Channels are the task-to-task data mechanism of task-based intermittent
 systems (Chain's channels, InK's task buffers). A task reads committed
 channel values and stages its own writes; the runtime commits the stage
 at the task boundary. Sensors are deterministic functions of simulation
-time registered on the application, so runs are reproducible.
+time registered on the application, so runs are reproducible — unless
+the runtime installs a :class:`~repro.peripherals.PeripheralSet`, in
+which case reads route through its (still deterministic, seeded) fault
+models and may raise :class:`~repro.errors.PeripheralError`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Mapping
+from typing import Any, Callable, Dict, Mapping, Optional
 
 from repro.errors import RuntimeConfigError
 from repro.nvm.memory import NonVolatileMemory
@@ -20,10 +23,25 @@ SensorFn = Callable[[float], Any]
 #: NVM cell-name prefix for channel data.
 _CHANNEL_PREFIX = "chan."
 
+#: Channel cells are sized by serialized value but never smaller than a
+#: machine word's worth of accounting.
+_MIN_CELL_BYTES = 8
+
 
 def channel_cell_name(key: str) -> str:
     """NVM cell name backing channel ``key``."""
     return _CHANNEL_PREFIX + key
+
+
+def serialized_size_bytes(value: Any) -> int:
+    """Approximate serialized size of a channel value in bytes.
+
+    Sized from the value's ``repr`` (the same canonical form the NVM
+    checksums hash), floored at 8 bytes, so memory accounting and wear
+    tracking stay truthful for tuples/lists instead of pretending every
+    channel is one word.
+    """
+    return max(_MIN_CELL_BYTES, len(repr(value).encode("utf-8", "backslashreplace")))
 
 
 class TaskContext:
@@ -40,12 +58,14 @@ class TaskContext:
         txn: Transaction,
         sensors: Mapping[str, SensorFn],
         now: Callable[[], float],
+        peripherals: Optional[Any] = None,
     ):
         self.task_name = task_name
         self._nvm = nvm
         self._txn = txn
         self._sensors = sensors
         self._now = now
+        self._peripherals = peripherals
         #: values of monitored variables emitted this execution (dpData).
         self.emitted: Dict[str, Any] = {}
 
@@ -55,8 +75,11 @@ class TaskContext:
     def write(self, key: str, value: Any) -> None:
         """Stage a channel write, committed when this task finishes."""
         cell = channel_cell_name(key)
+        size = serialized_size_bytes(value)
         if cell not in self._nvm:
-            self._nvm.alloc(cell, initial=None, size_bytes=8)
+            self._nvm.alloc(cell, initial=None, size_bytes=size)
+        else:
+            self._nvm.grow(cell, size)
         self._txn.stage(cell, value)
 
     def read(self, key: str, default: Any = None) -> Any:
@@ -76,8 +99,17 @@ class TaskContext:
     # ------------------------------------------------------------------
     # Environment
     # ------------------------------------------------------------------
-    def sample(self, sensor: str) -> Any:
-        """Read a sensor; sensors are functions of simulation time."""
+    def sense(self, sensor: str) -> Any:
+        """Read a sensor through the peripheral fault layer.
+
+        With a peripheral set installed the access is charged to the
+        ``sense`` energy category and may raise a typed
+        :class:`~repro.errors.PeripheralError` (the runtime's retry
+        policy handles re-execution). Without one this is a plain,
+        infallible sensor-function call.
+        """
+        if self._peripherals is not None and sensor in self._peripherals:
+            return self._peripherals.sense(sensor, self._now())
         try:
             fn = self._sensors[sensor]
         except KeyError:
@@ -85,6 +117,11 @@ class TaskContext:
                 f"task {self.task_name!r} sampled unknown sensor {sensor!r}"
             ) from None
         return fn(self._now())
+
+    def sample(self, sensor: str) -> Any:
+        """Read a sensor; alias of :meth:`sense` so existing task bodies
+        become fault-susceptible when a peripheral set is installed."""
+        return self.sense(sensor)
 
     def now(self) -> float:
         """Current persistent-clock time in seconds."""

