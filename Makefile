@@ -2,7 +2,10 @@
 
 PYTHON ?= python
 
-.PHONY: install test crashsweep soak bench examples figures verify all
+.PHONY: install test crashsweep soak bench bench-baseline bench-check examples figures verify all
+
+# Parallel workers for benchmark sweeps (see docs/performance.md).
+JOBS ?= 1
 
 # Seed matrix for the randomized soak; each seed shifts hypothesis
 # draws into a disjoint slice of the fault space.
@@ -25,10 +28,16 @@ soak:
 	done
 
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+	REPRO_BENCH_JOBS=$(JOBS) $(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+bench-baseline:
+	PYTHONPATH=src $(PYTHON) benchmarks/regression.py --write
+
+bench-check:
+	PYTHONPATH=src $(PYTHON) benchmarks/regression.py
 
 figures:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s -q
+	REPRO_BENCH_JOBS=$(JOBS) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s -q
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f > /dev/null && echo OK; done

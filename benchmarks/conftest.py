@@ -10,6 +10,7 @@ deterministic) and print the paper-comparable rows to stdout — run with
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, List, Sequence
 
 
@@ -31,3 +32,20 @@ def run_once(benchmark, fn):
     """Run a deterministic simulation exactly once under the benchmark
     fixture and return its value."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def run_grid(sweep) -> List[dict]:
+    """Execute a :class:`repro.sim.Sweep` honouring the harness-wide
+    parallelism and caching knobs.
+
+    * ``REPRO_BENCH_JOBS=N`` shards grid points across N worker
+      processes (rows stay in grid order; tables are identical to a
+      serial run).
+    * ``REPRO_BENCH_CACHE=DIR`` serves unchanged points from a
+      content-addressed result cache; any source edit invalidates it.
+
+    See ``docs/performance.md``.
+    """
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
+    cache = os.environ.get("REPRO_BENCH_CACHE") or None
+    return sweep.run(parallel=jobs, cache=cache)

@@ -1,0 +1,289 @@
+"""Benchmark-regression harness.
+
+Measures the engine's host-side performance (monitor-call throughput,
+per-event dispatch cost, sweep wall time serial vs parallel vs cached),
+writes the numbers to a dated ``BENCH_<date>.json`` baseline, and
+compares a fresh run against the newest committed baseline with a
+tolerance band::
+
+    python benchmarks/regression.py --write     # record a new baseline
+    python benchmarks/regression.py             # compare vs newest baseline
+    python benchmarks/regression.py --tolerance 0.25
+
+Exit status: 0 when every enforced metric is within tolerance of the
+baseline (or when writing), 1 on a regression, 2 when no baseline
+exists. Absolute wall-clock metrics are recorded for trend-reading but
+*informational only* — shared CI machines make them too noisy to gate
+on; the enforced metrics are throughputs and dimensionless ratios.
+
+See ``docs/performance.md`` for how to read the fields.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+if str(REPO_ROOT / "src") not in sys.path:  # runnable without PYTHONPATH
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Metric name -> comparison direction. ``higher`` / ``lower`` metrics
+#: are enforced against the tolerance band; ``info`` metrics are printed
+#: but never fail the run.
+METRIC_DIRECTIONS: Dict[str, str] = {
+    "engine_generated_events_per_s": "higher",
+    "engine_interpreted_events_per_s": "higher",
+    "dispatch_us_per_event": "lower",
+    "cache_speedup": "higher",
+    "cache_hit_rate": "higher",
+    "parallel_speedup": "info",
+    "sweep_serial_s": "info",
+    "sweep_parallel_s": "info",
+    "sweep_cache_warm_s": "info",
+}
+
+
+# ---------------------------------------------------------------------------
+# Measurement
+# ---------------------------------------------------------------------------
+
+
+def _measure_engine(backend: str, n_events: int = 2000,
+                    trials: int = 5) -> float:
+    """Best-of-N monitor-call throughput (events/second) on the health
+    workload's five-property monitor."""
+    from repro.core.events import MonitorEvent
+    from repro.core.monitor import ArtemisMonitor
+    from repro.nvm.memory import NonVolatileMemory
+    from repro.spec.validator import load_properties
+    from repro.workloads.health import BENCHMARK_SPEC, build_health_app
+
+    app = build_health_app()
+    events: List[MonitorEvent] = []
+    t = 0.0
+    while len(events) < n_events:
+        for path in app.paths:
+            for task in path.task_names:
+                events.append(MonitorEvent("startTask", task, t, {},
+                                           path=path.number))
+                t += 0.5
+                data = {"avgTemp": 36.8} if task == "calcAvg" else {}
+                events.append(MonitorEvent("endTask", task, t, data,
+                                           path=path.number))
+                t += 0.5
+    events = events[:n_events]
+    props = load_properties(BENCHMARK_SPEC, app)
+    monitor = ArtemisMonitor(props, NonVolatileMemory(), backend=backend)
+    best: Optional[float] = None
+    for _ in range(trials):
+        monitor.reset()
+        t0 = time.perf_counter()
+        for event in events:
+            monitor.call(event)
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return len(events) / best
+
+
+def _measure_sweep(jobs: int = 4) -> Dict[str, float]:
+    """Wall time of a small health-workload sweep: serial, parallel,
+    and cache-warm, plus the derived speedups and hit rate."""
+    from repro.sim.experiments import Sweep
+    from repro.sim.pool import ResultCache, run_sweep
+    from repro.workloads.health import build_artemis, make_intermittent_device
+
+    def build(point):
+        device = make_intermittent_device(point["delay_s"])
+        return device, build_artemis(device)
+
+    sweep = Sweep(
+        factors={"delay_s": [30.0, 60.0, 90.0, 120.0, 180.0, 240.0]},
+        build=build,
+        metrics={
+            "completed": lambda dev, res: res.completed,
+            "time_s": lambda dev, res: round(res.total_time_s, 6),
+            "reboots": lambda dev, res: res.reboots,
+        },
+        max_time_s=4 * 3600.0,
+    )
+
+    # Best-of-N wall times: the sweep is small, so single runs jitter
+    # too much for a tolerance band over derived ratios.
+    serial_s = None
+    for _ in range(3):
+        t0 = time.perf_counter()
+        serial_rows = sweep.run()
+        elapsed = time.perf_counter() - t0
+        serial_s = elapsed if serial_s is None else min(serial_s, elapsed)
+
+    parallel_s = None
+    for _ in range(2):
+        t0 = time.perf_counter()
+        parallel_rows = sweep.run(parallel=jobs)
+        elapsed = time.perf_counter() - t0
+        parallel_s = elapsed if parallel_s is None else min(parallel_s, elapsed)
+    if parallel_rows != serial_rows:
+        raise AssertionError("parallel sweep produced a different table")
+
+    with tempfile.TemporaryDirectory(prefix="repro_bench_cache_") as tmp:
+        cache = ResultCache(tmp)
+        run_sweep(sweep, jobs=1, cache=cache)  # populate
+        warm_s = None
+        for _ in range(3):
+            cache.hits = cache.misses = 0
+            t0 = time.perf_counter()
+            warm_rows = run_sweep(sweep, jobs=1, cache=cache)
+            elapsed = time.perf_counter() - t0
+            warm_s = elapsed if warm_s is None else min(warm_s, elapsed)
+        hit_rate = cache.hit_rate
+    if warm_rows != serial_rows:
+        raise AssertionError("cached sweep produced a different table")
+
+    return {
+        "sweep_serial_s": serial_s,
+        "sweep_parallel_s": parallel_s,
+        "sweep_cache_warm_s": warm_s,
+        "parallel_speedup": serial_s / parallel_s if parallel_s else 0.0,
+        "cache_speedup": serial_s / warm_s if warm_s else 0.0,
+        "cache_hit_rate": hit_rate,
+    }
+
+
+def collect_metrics() -> Dict[str, float]:
+    """Run the whole measurement suite; returns metric name -> value."""
+    generated = _measure_engine("generated")
+    interpreted = _measure_engine("interpreted")
+    metrics: Dict[str, float] = {
+        "engine_generated_events_per_s": generated,
+        "engine_interpreted_events_per_s": interpreted,
+        "dispatch_us_per_event": 1e6 / generated,
+    }
+    metrics.update(_measure_sweep())
+    return metrics
+
+
+# ---------------------------------------------------------------------------
+# Baselines
+# ---------------------------------------------------------------------------
+
+
+def baseline_path_for_today() -> Path:
+    return BENCH_DIR / f"BENCH_{datetime.date.today().isoformat()}.json"
+
+
+def latest_baseline() -> Optional[Path]:
+    """Newest committed ``BENCH_*.json``, by the date in the name."""
+    candidates = sorted(BENCH_DIR.glob("BENCH_*.json"))
+    return candidates[-1] if candidates else None
+
+
+def write_baseline(metrics: Dict[str, float],
+                   path: Optional[Path] = None) -> Path:
+    path = path or baseline_path_for_today()
+    doc = {
+        "date": datetime.date.today().isoformat(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpus": os.cpu_count(),
+        "metrics": metrics,
+    }
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_baseline(path: Path) -> Dict[str, float]:
+    doc = json.loads(path.read_text())
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        raise ValueError(f"{path} has no 'metrics' table")
+    return metrics
+
+
+# ---------------------------------------------------------------------------
+# Comparison
+# ---------------------------------------------------------------------------
+
+
+def compare(baseline: Dict[str, float], current: Dict[str, float],
+            tolerance: float = 0.15) -> Tuple[bool, List[Tuple[str, str]]]:
+    """Compare current metrics against a baseline.
+
+    Returns ``(ok, report_lines)`` where each report line is
+    ``(status, text)`` with status one of ``ok`` / ``FAIL`` / ``info``.
+    An enforced metric fails when it is worse than the baseline by more
+    than ``tolerance`` (relative); better-than-baseline never fails.
+    """
+    ok = True
+    lines: List[Tuple[str, str]] = []
+    for name, direction in METRIC_DIRECTIONS.items():
+        base = baseline.get(name)
+        cur = current.get(name)
+        if base is None or cur is None:
+            lines.append(("info", f"{name}: no baseline value"))
+            continue
+        if direction == "info" or base == 0:
+            lines.append(("info", f"{name}: {base:.4g} -> {cur:.4g}"))
+            continue
+        change = (cur - base) / base
+        worse = -change if direction == "higher" else change
+        status = "FAIL" if worse > tolerance else "ok"
+        if status == "FAIL":
+            ok = False
+        lines.append((status,
+                      f"{name}: {base:.4g} -> {cur:.4g} "
+                      f"({change:+.1%}, {direction} is better, "
+                      f"tolerance {tolerance:.0%})"))
+    return ok, lines
+
+
+def main(argv: Optional[List[str]] = None,
+         collect: Callable[[], Dict[str, float]] = collect_metrics) -> int:
+    parser = argparse.ArgumentParser(
+        description="measure engine performance and compare against the "
+                    "newest BENCH_<date>.json baseline")
+    parser.add_argument("--write", action="store_true",
+                        help="record a new dated baseline instead of "
+                             "comparing")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="explicit baseline file (default: newest "
+                             "benchmarks/BENCH_*.json)")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed relative slowdown (default 0.15)")
+    args = parser.parse_args(argv)
+
+    metrics = collect()
+    for name in sorted(metrics):
+        print(f"  {name} = {metrics[name]:.4g}")
+
+    if args.write:
+        path = write_baseline(metrics)
+        print(f"baseline written: {path}")
+        return 0
+
+    baseline_file = args.baseline or latest_baseline()
+    if baseline_file is None or not baseline_file.exists():
+        print("no baseline found; record one with --write", file=sys.stderr)
+        return 2
+    baseline = load_baseline(baseline_file)
+    print(f"comparing against {baseline_file.name} "
+          f"(tolerance {args.tolerance:.0%})")
+    ok, lines = compare(baseline, metrics, tolerance=args.tolerance)
+    for status, text in lines:
+        print(f"  [{status}] {text}")
+    print("PASS" if ok else "REGRESSION DETECTED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,8 +6,9 @@ execution time growing with the delay; once the delay exceeds the
 completes by skipping the path after three attempts.
 """
 
-from conftest import print_table, run_once
+from conftest import print_table, run_grid, run_once
 
+from repro.sim.experiments import Sweep
 from repro.workloads.health import (
     build_artemis,
     build_mayfly,
@@ -18,21 +19,38 @@ DELAYS_MIN = list(range(1, 11))
 CAP_S = 4 * 3600.0  # non-termination cutoff: 4 simulated hours
 
 
+def _build(point):
+    device = make_intermittent_device(point["minutes"] * 60.0)
+    builder = build_artemis if point["system"] == "artemis" else build_mayfly
+    return device, builder(device)
+
+
+GRID = Sweep(
+    factors={"minutes": DELAYS_MIN, "system": ["artemis", "mayfly"]},
+    build=_build,
+    metrics={
+        "completed": lambda dev, res: res.completed,
+        "time_s": lambda dev, res: res.total_time_s,
+        "skips": lambda dev, res: dev.trace.count("path_skip"),
+    },
+    max_time_s=CAP_S,
+)
+
+
 def sweep():
+    table = run_grid(GRID)
+    by_point = {(r["minutes"], r["system"]): r for r in table}
     rows = []
     for minutes in DELAYS_MIN:
-        delay = minutes * 60.0
-        adev = make_intermittent_device(delay)
-        ares = adev.run(build_artemis(adev), max_time_s=CAP_S)
-        mdev = make_intermittent_device(delay)
-        mres = mdev.run(build_mayfly(mdev), max_time_s=CAP_S)
+        artemis = by_point[(minutes, "artemis")]
+        mayfly = by_point[(minutes, "mayfly")]
         rows.append({
             "minutes": minutes,
-            "artemis_s": ares.total_time_s if ares.completed else None,
-            "mayfly_s": mres.total_time_s if mres.completed else None,
-            "artemis_completed": ares.completed,
-            "mayfly_completed": mres.completed,
-            "artemis_skips": adev.trace.count("path_skip"),
+            "artemis_s": artemis["time_s"] if artemis["completed"] else None,
+            "mayfly_s": mayfly["time_s"] if mayfly["completed"] else None,
+            "artemis_completed": artemis["completed"],
+            "mayfly_completed": mayfly["completed"],
+            "artemis_skips": artemis["skips"],
         })
     return rows
 

@@ -1,0 +1,103 @@
+"""Parallel experiment engine: sweep wall-clock microbenchmark.
+
+Times the same health-workload sweep three ways — serial, sharded
+across a 4-worker process pool, and replayed from a warm result cache —
+and asserts the engine's contracts: the parallel and cached tables are
+byte-identical to the serial one, and the warm cache beats serial by at
+least 2x (in practice it is orders of magnitude faster, since no
+simulation runs at all).
+
+The parallel speedup itself is printed but not asserted: it depends on
+the host's core count (a single-core CI box shows a slowdown — fork and
+IPC overhead with no parallel hardware to pay for it). See
+``docs/performance.md``.
+"""
+
+import json
+import os
+import time
+
+from conftest import print_table, run_once
+
+from repro.sim.experiments import Sweep
+from repro.sim.pool import ResultCache, run_sweep
+from repro.workloads.health import build_artemis, make_intermittent_device
+
+JOBS = 4
+DELAYS_S = [30.0, 60.0, 90.0, 120.0, 180.0, 240.0, 300.0, 360.0]
+CAP_S = 4 * 3600.0
+
+
+def _build(point):
+    device = make_intermittent_device(point["delay_s"])
+    return device, build_artemis(device)
+
+
+def _sweep() -> Sweep:
+    return Sweep(
+        factors={"delay_s": DELAYS_S},
+        build=_build,
+        metrics={
+            "completed": lambda dev, res: res.completed,
+            "time_s": lambda dev, res: round(res.total_time_s, 6),
+            "energy_mJ": lambda dev, res: round(res.total_energy_j * 1e3, 6),
+            "reboots": lambda dev, res: res.reboots,
+        },
+        max_time_s=CAP_S,
+    )
+
+
+def _measure(tmp_path):
+    sweep = _sweep()
+
+    t0 = time.perf_counter()
+    serial_rows = sweep.run()
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel_rows = sweep.run(parallel=JOBS)
+    parallel_s = time.perf_counter() - t0
+
+    cache = ResultCache(tmp_path / "cache")
+    run_sweep(sweep, jobs=1, cache=cache)  # cold run populates
+    cache.hits = cache.misses = 0
+    t0 = time.perf_counter()
+    cached_rows = run_sweep(sweep, jobs=1, cache=cache)
+    warm_s = time.perf_counter() - t0
+
+    return {
+        "serial_rows": serial_rows,
+        "parallel_rows": parallel_rows,
+        "cached_rows": cached_rows,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "warm_s": warm_s,
+        "hit_rate": cache.hit_rate,
+    }
+
+
+def test_parallel_and_cached_sweeps_match_serial(benchmark, tmp_path):
+    m = run_once(benchmark, lambda: _measure(tmp_path))
+    print_table(
+        f"Sweep engine: {len(DELAYS_S)} points, jobs={JOBS}, "
+        f"host cores={os.cpu_count()}",
+        ["mode", "wall (s)", "speedup vs serial"],
+        [
+            ("serial", f"{m['serial_s']:.3f}", "1.00x"),
+            (f"parallel({JOBS})", f"{m['parallel_s']:.3f}",
+             f"{m['serial_s'] / m['parallel_s']:.2f}x"),
+            ("cache-warm", f"{m['warm_s']:.4f}",
+             f"{m['serial_s'] / m['warm_s']:.2f}x"),
+        ],
+    )
+    print(f"cache hit rate: {m['hit_rate']:.0%}")
+
+    # Contract: identical tables, to the byte.
+    serial_bytes = json.dumps(m["serial_rows"], sort_keys=True)
+    assert json.dumps(m["parallel_rows"], sort_keys=True) == serial_bytes
+    assert json.dumps(m["cached_rows"], sort_keys=True) == serial_bytes
+    assert m["hit_rate"] == 1.0
+    # Contract: a warm cache short-circuits the simulations entirely.
+    assert m["serial_s"] / m["warm_s"] >= 2.0, (
+        f"warm cache only {m['serial_s'] / m['warm_s']:.2f}x faster"
+    )

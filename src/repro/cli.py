@@ -51,6 +51,15 @@ from repro.errors import ReproError, RuntimeConfigError
 from repro.peripherals import PeripheralSet, parse_fault_spec
 from repro.sim.analysis import action_summary, render_timeline
 from repro.sim.device import Device
+from repro.sim.experiments import (
+    Sweep,
+    format_rows,
+    metric_completed,
+    metric_reboots,
+    metric_total_energy_mj,
+    metric_total_time,
+)
+from repro.sim.pool import ResultCache
 from repro.spec.consistency import check as consistency_check
 from repro.spec.mayfly_frontend import load_mayfly_properties
 from repro.spec.validator import load_properties
@@ -233,6 +242,60 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if result.completed else 2
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run the ``sweep`` subcommand; returns the process exit code.
+
+    Executes the application over a charging-delay × seed grid —
+    the Figure 12/14-style experiment — optionally sharded across
+    ``--jobs`` worker processes and served from a result cache.
+    """
+    delays = [float(x) for x in args.delays.split(",") if x.strip()]
+    seeds = [int(x) for x in args.seeds.split(",") if x.strip()]
+    if not delays or not seeds:
+        raise RuntimeConfigError("--delays and --seeds need at least one value")
+    app_path, spec_path = args.app, args.spec
+    frontend = args.frontend
+
+    def build(point):
+        # Everything is rebuilt from the input files per point, so a
+        # worker process shares no mutable state with its siblings.
+        app = load_app(app_path)
+        source = _read_spec(spec_path)
+        if frontend == "mayfly":
+            props = load_mayfly_properties(source, app)
+        else:
+            props = load_properties(source, app)
+        power = load_power(app_path)
+        if point["delay_s"] > 0:
+            env = EnergyEnvironment.for_charging_delay(
+                point["delay_s"], default_capacitor())
+        else:
+            env = EnergyEnvironment.continuous()
+        device = Device(env, seed=point["seed"])
+        runtime = ArtemisRuntime(app, props, device, power)
+        return device, runtime
+
+    sweep = Sweep(
+        factors={"delay_s": delays, "seed": seeds},
+        build=build,
+        metrics={
+            "completed": metric_completed,
+            "time_s": metric_total_time,
+            "energy_mJ": metric_total_energy_mj,
+            "reboots": metric_reboots,
+        },
+        runs=args.runs,
+        max_time_s=args.max_time,
+    )
+    cache = ResultCache(args.cache) if args.cache else None
+    rows = sweep.run(parallel=args.jobs, cache=cache)
+    print(format_rows(rows))
+    if cache is not None:
+        print(f"cache: {cache.hits} hits / {cache.misses} misses "
+              f"({cache.hit_rate:.0%} hit rate) in {cache.root}")
+    return 0 if all(row["completed"] for row in rows) else 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI definition."""
     parser = argparse.ArgumentParser(
@@ -293,6 +356,29 @@ def build_parser() -> argparse.ArgumentParser:
                             "watermarks, as fractions of one capacitor "
                             "charge cycle (e.g. 0.35:0.85)")
     p_sim.set_defaults(fn=cmd_simulate)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a charging-delay x seed experiment grid")
+    p_sweep.add_argument("spec", help="property specification file")
+    p_sweep.add_argument("--app", required=True, help="application JSON")
+    p_sweep.add_argument("--frontend", choices=["artemis", "mayfly"],
+                         default="artemis",
+                         help="specification language of the input file")
+    p_sweep.add_argument("--delays", default="0",
+                         help="comma-separated charging delays in seconds "
+                              "(0 = continuous power)")
+    p_sweep.add_argument("--seeds", default="0",
+                         help="comma-separated device seeds (replications)")
+    p_sweep.add_argument("--runs", type=int, default=1)
+    p_sweep.add_argument("--max-time", type=float, default=4 * 3600.0,
+                         help="simulated-time cap per grid point")
+    p_sweep.add_argument("-j", "--jobs", type=int, default=1,
+                         help="worker processes to shard the grid across")
+    p_sweep.add_argument("--cache", nargs="?", const=".repro_cache",
+                         default=None, metavar="DIR",
+                         help="serve unchanged points from a result cache "
+                              "(default dir: .repro_cache)")
+    p_sweep.set_defaults(fn=cmd_sweep)
     return parser
 
 

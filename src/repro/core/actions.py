@@ -27,10 +27,12 @@ class ActionType(enum.Enum):
 
     @classmethod
     def from_name(cls, name: str) -> "ActionType":
-        for member in cls:
-            if member.value == name:
-                return member
-        raise ReproError(f"unknown action {name!r}")
+        try:
+            # Enum's by-value lookup table; one dict hit instead of a
+            # member scan on every persisted-verdict replay.
+            return cls(name)
+        except ValueError:
+            raise ReproError(f"unknown action {name!r}") from None
 
 
 #: Arbitration severity: a higher value wins when several monitors fail

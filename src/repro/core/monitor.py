@@ -91,6 +91,19 @@ class ArtemisMonitor:
                 continue
             for task in machine.referenced_tasks():
                 self._relevant.setdefault(task, []).append(idx)
+        # Frozen dispatch tables derived from ``_relevant`` once, so the
+        # per-event path is a single dict lookup instead of two lookups
+        # plus a set union. A machine outside the dispatch set for a
+        # task (and without wildcard triggers) can never match any of
+        # its transitions on that task's events, so its step may skip
+        # ``on_event`` entirely — same verdicts, same charged energy.
+        self._wildcard_set = frozenset(self._relevant.get("*", ()))
+        self._dispatch: Dict[str, frozenset] = {
+            task: self._wildcard_set.union(indices)
+            for task, indices in self._relevant.items()
+            if task != "*"
+        }
+        self._machine_names = frozenset(m.name for m in self.machines)
 
     # ------------------------------------------------------------------
     # Interface used by the runtime (Figure 8/10)
@@ -169,34 +182,46 @@ class ArtemisMonitor:
         per_machine_cost_s: float,
         base_cost_s: float,
     ):
-        relevant = set(self._relevant.get(event.task, []))
-        relevant.update(self._relevant.get("*", []))
+        relevant = self._dispatch.get(event.task, self._wildcard_set)
         shed = self._shed_names()
+        verdicts = self._verdicts
 
-        def make_step(idx: int):
-            instance = self.instances[idx]
-            # A shed machine's step stays in the list (the resumable
-            # continuation requires a constant step count) but neither
-            # inspects the event nor costs per-machine time — that zero
-            # is exactly the energy the degradation controller saves.
-            if self.machines[idx].name in shed:
-                def shed_step() -> None:
-                    spend(0.0)
+        # One shared step for every machine that will not inspect this
+        # event. Shed machines keep their slot in the list (the
+        # resumable continuation requires a constant step count) but
+        # neither inspect the event nor cost per-machine time — that
+        # zero is exactly the energy the degradation controller saves.
+        # Machines not subscribed to the event's task are charged the
+        # same zero and, since none of their transitions can match,
+        # skipping their ``on_event`` is observation-equivalent.
+        def idle_step() -> None:
+            spend(0.0)
 
-                return shed_step
-            charged = per_machine_cost_s if idx in relevant else 0.0
-
+        def make_step(instance):
             def step() -> None:
-                spend(charged)
+                spend(per_machine_cost_s)
                 for verdict in instance.on_event(event):
-                    self._verdicts.append((verdict.machine, verdict.action, verdict.path))
+                    verdicts.append((verdict.machine, verdict.action, verdict.path))
 
             return step
 
         def base_step() -> None:
             spend(base_cost_s)
 
-        return [base_step] + [make_step(i) for i in range(len(self.instances))]
+        steps = [base_step]
+        if shed:
+            for idx, machine in enumerate(self.machines):
+                if machine.name in shed or idx not in relevant:
+                    steps.append(idle_step)
+                else:
+                    steps.append(make_step(self.instances[idx]))
+        else:
+            for idx in range(len(self.instances)):
+                if idx in relevant:
+                    steps.append(make_step(self.instances[idx]))
+                else:
+                    steps.append(idle_step)
+        return steps
 
     def _collect_actions(self, seq: int = -1) -> List[Action]:
         raw = tuple(self._verdicts.items())
@@ -220,9 +245,7 @@ class ArtemisMonitor:
 
     def properties_for_task(self, task: str) -> int:
         """How many properties inspect this task's events (cost model)."""
-        count = len(self._relevant.get(task, []))
-        count += len(self._relevant.get("*", []))
-        return count
+        return len(self._dispatch.get(task, self._wildcard_set))
 
     def reinit_for_path_restart(self, path_task_names: Sequence[str]) -> int:
         """Re-initialise monitors tied to tasks of a restarting path
@@ -245,10 +268,9 @@ class ArtemisMonitor:
         """Currently shed machine names, defensively filtered to known
         machines (a corrupted shed cell degrades to 'nothing shed')."""
         value = self._shed_cell.get()
-        if not isinstance(value, (tuple, list)):
+        if not value or not isinstance(value, (tuple, list)):
             return set()
-        known = {m.name for m in self.machines}
-        return {n for n in value if n in known}
+        return {n for n in value if n in self._machine_names}
 
     def sheddable(self, machine_name: str) -> bool:
         """Whether the degradation controller may shed this machine.

@@ -42,6 +42,11 @@ from repro.taskgraph.context import TaskContext, channel_cell_name
 _READY = "TASK_READY"
 _FINISHED = "TASK_FINISHED"
 
+#: Shared payload for StartTask events that carry no probe data. Event
+#: data is never mutated after construction (task emissions ride on
+#: EndTask via a fresh dict), so one empty mapping can serve every event.
+_EMPTY_DATA: dict = {}
+
 
 class ArtemisRuntime:
     """Power-failure-resilient executor with decoupled monitoring.
@@ -93,6 +98,10 @@ class ArtemisRuntime:
         self.app = app
         self.props = props
         self.power = power_model
+        # The application is immutable after construction, so the hot
+        # loop's task lookups can index a flat table instead of going
+        # through the checked ``app.path()`` accessor every time.
+        self._path_tasks = tuple(tuple(p.task_names) for p in app.paths)
         self.policy = policy
         self._device = device
         nvm = device.nvm
@@ -160,7 +169,16 @@ class ArtemisRuntime:
 
     @property
     def current_task_name(self) -> str:
-        path = self.app.path(self._cur_path.get())
+        number = self._cur_path.get()
+        if 1 <= number <= len(self._path_tasks):
+            tasks = self._path_tasks[number - 1]
+            idx = self._cur_idx.get()
+            if 0 <= idx < len(tasks):
+                return tasks[idx]
+        # Out-of-range control state (corruption caught before recovery
+        # repairs it): fall back to the checked accessor for its typed
+        # error instead of a bare IndexError.
+        path = self.app.path(number)
         return path.task_names[self._cur_idx.get()]
 
     @property
@@ -297,9 +315,10 @@ class ArtemisRuntime:
     def _check_start(self) -> bool:
         """Send StartTask to the monitor; True if the task may run."""
         task = self.current_task_name
-        data = {}
         if self._energy_probe:
-            data["energy"] = self._device.stored_energy()
+            data = {"energy": self._device.stored_energy()}
+        else:
+            data = _EMPTY_DATA
         event = MonitorEvent(
             "startTask", task, self._device.now(), data, path=self._cur_path.get()
         )

@@ -43,11 +43,18 @@ class TaskCost:
     def __post_init__(self) -> None:
         if self.duration_s < 0 or self.power_w < 0 or self.fixed_energy_j < 0:
             raise EnergyError("task cost fields must be non-negative")
+        # The instance is frozen, so the derived energy can be computed
+        # once here instead of on every access in the simulator's per-
+        # attempt accounting loop.
+        object.__setattr__(
+            self, "_energy_j",
+            self.duration_s * self.power_w + self.fixed_energy_j,
+        )
 
     @property
     def energy_j(self) -> float:
         """Total energy of one complete attempt."""
-        return self.duration_s * self.power_w + self.fixed_energy_j
+        return self._energy_j
 
 
 class PowerModel:
@@ -97,11 +104,20 @@ class PowerModel:
         self.default_cost = default_cost
         self.commit_step_s = commit_step_s
         self.sense_s = sense_s
+        # Resolution memos for the two per-event lookups. The cost table
+        # and overhead knobs are fixed after construction (``with_costs``
+        # builds a fresh model), so both caches are sound.
+        self._cost_memo: Dict[str, TaskCost] = {}
+        self._call_cost_memo: Dict[int, float] = {}
 
     def cost_of(self, task_name: str) -> TaskCost:
+        cost = self._cost_memo.get(task_name)
+        if cost is not None:
+            return cost
         cost = self._costs.get(task_name, self.default_cost)
         if cost is None:
             raise EnergyError(f"no cost defined for task {task_name!r}")
+        self._cost_memo[task_name] = cost
         return cost
 
     def __contains__(self, task_name: str) -> bool:
@@ -112,9 +128,14 @@ class PowerModel:
 
     def monitor_call_cost_s(self, n_properties: int) -> float:
         """MCU time of one monitor invocation checking ``n_properties``."""
+        cached = self._call_cost_memo.get(n_properties)
+        if cached is not None:
+            return cached
         if n_properties < 0:
             raise EnergyError("property count must be non-negative")
-        return self.monitor_call_base_s + n_properties * self.monitor_per_property_s
+        cost = self.monitor_call_base_s + n_properties * self.monitor_per_property_s
+        self._call_cost_memo[n_properties] = cost
+        return cost
 
     def with_costs(self, **updates: TaskCost) -> "PowerModel":
         """Copy of this model with some task costs replaced."""

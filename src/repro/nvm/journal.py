@@ -31,7 +31,7 @@ import zlib
 from typing import Any, Callable, Optional, Tuple
 
 from repro.errors import NVMError
-from repro.nvm.memory import NonVolatileMemory
+from repro.nvm.memory import NonVolatileMemory, serialized_size_bytes
 
 #: Journal status values. The transition PENDING -> COMMITTED is the
 #: commit's linearization point.
@@ -140,6 +140,17 @@ class CommitJournal:
             if spend is not None:
                 spend()
             cell_name, value = entries[i]
+            # First-write allocation happens here, in the same
+            # failure-atomic step as the value write: a commit that
+            # rolls back must leave no durable trace, not even an empty
+            # cell. (Channel cells used to be allocated eagerly while
+            # the task body ran, so a rolled-back commit still published
+            # an observable None-valued cell.) Growth of an existing
+            # cell stays the writer's job — it is size accounting only
+            # and never publishes a value.
+            if cell_name not in self._nvm:
+                self._nvm.alloc(cell_name, initial=None,
+                                size_bytes=serialized_size_bytes(value))
             self._nvm.cell(cell_name).set(value)
             self._applied.set(i + 1)
         return len(entries)

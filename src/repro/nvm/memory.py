@@ -31,6 +31,17 @@ def value_checksum(value: Any) -> int:
     return zlib.crc32(repr(value).encode("utf-8", "backslashreplace"))
 
 
+def serialized_size_bytes(value: Any, floor: int = 8) -> int:
+    """Approximate serialized size of a cell value in bytes.
+
+    Sized from the value's ``repr`` (the same canonical form the
+    checksums hash), floored at one machine word's worth of accounting,
+    so memory and wear tracking stay truthful for tuples/lists instead
+    of pretending every value is one word.
+    """
+    return max(floor, len(repr(value).encode("utf-8", "backslashreplace")))
+
+
 def _flip(value: Any, bit: int) -> Any:
     """Return ``value`` with one bit (conceptually) flipped.
 

@@ -52,9 +52,15 @@ class Transaction:
         """The journal this transaction commits through."""
         return self._journal
 
-    def stage(self, name: str, value: Any) -> None:
-        """Stage a write to cell ``name``; cell must already be allocated."""
-        if name not in self._nvm:
+    def stage(self, name: str, value: Any, create: bool = False) -> None:
+        """Stage a write to cell ``name``.
+
+        The cell must already be allocated unless ``create`` is given:
+        then a missing cell is allocated by the journal's apply step, in
+        the same failure-atomic step as the value write, so a rolled-back
+        commit leaves no durable trace of the allocation.
+        """
+        if not create and name not in self._nvm:
             raise NVMError(f"cannot stage write to unallocated cell {name!r}")
         self._stage[name] = value
 

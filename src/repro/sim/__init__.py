@@ -16,7 +16,8 @@ from repro.sim.analysis import (
     task_statistics,
 )
 from repro.sim.device import Device
-from repro.sim.experiments import Sweep, format_rows, pivot
+from repro.sim.experiments import Sweep, SweepPointError, format_rows, pivot
+from repro.sim.pool import ParallelSweep, ResultCache, run_sweep
 from repro.sim.result import RunResult
 from repro.sim.tracer import Tracer, TraceEvent
 
@@ -26,6 +27,10 @@ __all__ = [
     "Tracer",
     "TraceEvent",
     "Sweep",
+    "SweepPointError",
+    "ParallelSweep",
+    "ResultCache",
+    "run_sweep",
     "format_rows",
     "pivot",
     "task_statistics",

@@ -36,6 +36,25 @@ BuildFn = Callable[[Dict[str, Any]], Tuple[Device, Any]]
 MetricFn = Callable[[Device, RunResult], Any]
 
 
+class SweepPointError(ReproError):
+    """A grid point's build or run failed.
+
+    Carries the offending point's factor values (``point``) and the
+    stage that failed (``"build"``, ``"run"``, or ``"metric"``), so a
+    failure deep inside a 200-point sweep names the configuration that
+    caused it instead of surfacing as a bare traceback.
+    """
+
+    def __init__(self, stage: str, point: Mapping[str, Any], cause: str):
+        self.stage = stage
+        self.point = dict(point)
+        self.cause = cause
+        factors = ", ".join(f"{k}={v!r}" for k, v in self.point.items())
+        super().__init__(
+            f"sweep point [{factors}] failed during {stage}: {cause}"
+        )
+
+
 @dataclass
 class Sweep:
     """A full-factorial experiment grid.
@@ -70,19 +89,51 @@ class Sweep:
         return [dict(zip(names, combo)) for combo in combos]
 
     def run_point(self, point: Dict[str, Any]) -> Dict[str, Any]:
-        """Execute one grid point; returns factors + metrics as one row."""
-        device, runtime = self.build(dict(point))
-        result = device.run(runtime, runs=self.runs,
-                            max_time_s=self.max_time_s,
-                            max_reboots=self.max_reboots)
+        """Execute one grid point; returns factors + metrics as one row.
+
+        Failures are re-raised as :class:`SweepPointError` carrying the
+        point's factor values, so the offending configuration is named.
+        """
+        try:
+            device, runtime = self.build(dict(point))
+        except Exception as exc:
+            raise SweepPointError("build", point, repr(exc)) from exc
+        try:
+            result = device.run(runtime, runs=self.runs,
+                                max_time_s=self.max_time_s,
+                                max_reboots=self.max_reboots)
+        except Exception as exc:
+            raise SweepPointError("run", point, repr(exc)) from exc
         row = dict(point)
         for name, extract in self.metrics.items():
-            row[name] = extract(device, result)
+            try:
+                row[name] = extract(device, result)
+            except Exception as exc:
+                raise SweepPointError("metric", point,
+                                      f"{name}: {exc!r}") from exc
         return row
 
-    def run(self) -> List[Dict[str, Any]]:
-        """Execute the whole grid."""
-        return [self.run_point(p) for p in self.points()]
+    def run(self, parallel: Optional[int] = None,
+            cache: Any = None) -> List[Dict[str, Any]]:
+        """Execute the whole grid.
+
+        Args:
+            parallel: shard the grid across this many worker processes
+                (``None``/``1`` = in-process serial execution). Rows come
+                back in the same deterministic order as :meth:`points`
+                either way, and each point is built fresh in exactly one
+                process, so the table is identical to a serial run.
+            cache: optional content-addressed result cache — ``True``
+                for the default ``.repro_cache/`` directory, a path, or
+                a :class:`repro.sim.pool.ResultCache`. Cached rows are
+                keyed by the sweep's code fingerprint plus the point's
+                factors; any code or configuration change misses.
+        """
+        if parallel in (None, 0, 1) and cache is None:
+            return [self.run_point(p) for p in self.points()]
+        from repro.sim.pool import run_sweep  # lazy: pool imports Sweep types
+
+        return run_sweep(self, jobs=parallel or 1, cache=cache)
 
 
 def format_rows(rows: Sequence[Mapping[str, Any]],

@@ -1,0 +1,349 @@
+"""Parallel sweep execution with a content-addressed result cache.
+
+The figure-reproduction sweeps are embarrassingly parallel: every grid
+point builds a fresh device + runtime and runs it to completion with no
+shared state. :func:`run_sweep` shards a
+:class:`~repro.sim.experiments.Sweep` grid across a process pool while
+keeping the serial contract intact:
+
+* **Determinism** — each point is executed by exactly one worker via the
+  same ``Sweep.run_point`` code path as a serial run, and rows are
+  reassembled in grid order, so the resulting table is identical to
+  ``sweep.run()`` (simulations are deterministic functions of their
+  point; randomness enters only through explicit ``seed`` factors).
+* **Error attribution** — a failure in a worker comes back as a
+  :class:`~repro.sim.experiments.SweepPointError` naming the offending
+  point's factor values, exactly as it would serially.
+* **Caching** — an optional :class:`ResultCache` keyed by a fingerprint
+  of the sweep's *code* (build/metric bytecode and closures, the
+  package version, and a source-tree stamp) plus the point's factor
+  values. Editing any source file, changing a closure constant, or
+  moving a factor level all change the key, so stale rows can never be
+  replayed; re-running an unchanged sweep is pure cache hits.
+
+Worker handoff uses the ``fork`` start method: the sweep object (whose
+``build``/``metrics`` callables are typically closures and therefore
+unpicklable) is published in a module global before the pool forks, and
+workers receive only picklable point indices. On platforms without
+``fork`` the pool degrades to in-process serial execution — same table,
+no parallelism.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import repro
+from repro.errors import ReproError
+from repro.sim.experiments import Sweep, SweepPointError
+
+#: Default cache directory, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Cache format version; bump to invalidate every existing entry.
+_CACHE_FORMAT = 1
+
+
+# ---------------------------------------------------------------------------
+# Fingerprinting: what makes a cached row reusable
+# ---------------------------------------------------------------------------
+
+
+def _update_callable(h: "hashlib._Hash", fn: Any, depth: int = 0) -> None:
+    """Mix a callable's behaviour into the hash.
+
+    Covers the compiled bytecode, constants, names, defaults, and —
+    recursively — closure cell contents, so two lambdas that differ only
+    in a captured constant fingerprint differently. Objects without code
+    (builtins, callables implementing ``__call__``) fall back to their
+    repr, which at minimum distinguishes their type.
+    """
+    if depth > 4:  # cycle guard for pathological closure graphs
+        h.update(b"<depth>")
+        return
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        call = getattr(fn, "__call__", None)
+        inner = getattr(call, "__func__", None)
+        if inner is not None and getattr(inner, "__code__", None) is not None:
+            _update_callable(h, inner, depth + 1)
+        else:
+            h.update(repr(fn).encode("utf-8", "backslashreplace"))
+        return
+    h.update(code.co_code)
+    h.update(repr(code.co_consts).encode("utf-8", "backslashreplace"))
+    h.update(repr(code.co_names).encode("utf-8", "backslashreplace"))
+    h.update(repr(getattr(fn, "__defaults__", None)).encode(
+        "utf-8", "backslashreplace"))
+    for cell in getattr(fn, "__closure__", None) or ():
+        try:
+            contents = cell.cell_contents
+        except ValueError:  # empty cell
+            h.update(b"<empty>")
+            continue
+        if callable(contents):
+            _update_callable(h, contents, depth + 1)
+        else:
+            h.update(repr(contents).encode("utf-8", "backslashreplace"))
+
+
+def _source_tree_stamp() -> str:
+    """Digest of the package source tree (path, size, mtime per file).
+
+    Any edit under ``repro``'s package directory changes the stamp and
+    therefore every cache key — coarse, but it guarantees a cached row
+    can never outlive the code that produced it.
+    """
+    root = Path(repro.__file__).resolve().parent
+    h = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        rel = path.relative_to(root).as_posix()
+        h.update(f"{rel}:{stat.st_size}:{stat.st_mtime_ns};".encode())
+    return h.hexdigest()
+
+
+def sweep_fingerprint(sweep: Sweep) -> str:
+    """Stable fingerprint of everything that determines a sweep's rows
+    besides the grid point itself: package version, source tree, the
+    build and metric callables, and the run budget."""
+    h = hashlib.sha256()
+    h.update(f"format={_CACHE_FORMAT};".encode())
+    h.update(f"version={getattr(repro, '__version__', '?')};".encode())
+    h.update(_source_tree_stamp().encode())
+    _update_callable(h, sweep.build)
+    for name in sorted(sweep.metrics):
+        h.update(name.encode("utf-8", "backslashreplace"))
+        _update_callable(h, sweep.metrics[name])
+    h.update(json.dumps(
+        {"runs": sweep.runs, "max_time_s": sweep.max_time_s,
+         "max_reboots": sweep.max_reboots},
+        sort_keys=True,
+    ).encode())
+    return h.hexdigest()
+
+
+def _point_token(point: Dict[str, Any]) -> str:
+    """Canonical JSON form of a grid point (sorted keys, stable reprs)."""
+    try:
+        return json.dumps(point, sort_keys=True)
+    except (TypeError, ValueError):
+        # Non-JSON factor levels (objects, tuples): fall back to repr,
+        # which is stable for the value types sweeps actually use.
+        return repr(sorted((k, repr(v)) for k, v in point.items()))
+
+
+# ---------------------------------------------------------------------------
+# Result cache
+# ---------------------------------------------------------------------------
+
+
+class ResultCache:
+    """Content-addressed store of finished sweep rows.
+
+    Layout: ``<root>/<key[:2]>/<key>.json``, one row per file, written
+    atomically (temp file + rename) so a killed sweep never leaves a
+    torn entry. Only rows that survive a JSON round-trip unchanged are
+    cached — anything else silently stays uncached rather than coming
+    back subtly different (e.g. tuples as lists).
+    """
+
+    def __init__(self, root: Union[str, os.PathLike] = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, fingerprint: str, point: Dict[str, Any]) -> str:
+        """Cache key of one grid point under one sweep fingerprint."""
+        h = hashlib.sha256()
+        h.update(fingerprint.encode())
+        h.update(_point_token(point).encode("utf-8", "backslashreplace"))
+        return h.hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached row for ``key``, or ``None`` (counts hit/miss)."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        row = doc.get("row") if isinstance(doc, dict) else None
+        if not isinstance(row, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return row
+
+    def put(self, key: str, row: Dict[str, Any]) -> bool:
+        """Store a row; returns False (and stores nothing) if the row
+        does not round-trip through JSON byte-identically."""
+        try:
+            encoded = json.dumps({"format": _CACHE_FORMAT, "row": row})
+            if json.loads(encoded)["row"] != row:
+                return False
+        except (TypeError, ValueError):
+            return False
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(encoded, encoding="utf-8")
+        os.replace(tmp, path)
+        return True
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return 0
+        for path in self.root.rglob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def _normalize_cache(cache: Any) -> Optional[ResultCache]:
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return ResultCache()
+    if isinstance(cache, ResultCache):
+        return cache
+    if isinstance(cache, (str, os.PathLike)):
+        return ResultCache(cache)
+    raise ReproError(f"cannot use {cache!r} as a result cache")
+
+
+# ---------------------------------------------------------------------------
+# Process-pool execution
+# ---------------------------------------------------------------------------
+
+#: ``(sweep, points)`` published for forked workers; the callables
+#: inside travel by address-space inheritance, not pickling.
+_ACTIVE_SWEEP: Optional[Tuple[Sweep, List[Dict[str, Any]]]] = None
+
+
+def _run_index(idx: int) -> Tuple[Any, ...]:
+    """Worker entry: run one grid point, return a picklable verdict."""
+    sweep, points = _ACTIVE_SWEEP
+    try:
+        return ("ok", idx, sweep.run_point(points[idx]))
+    except SweepPointError as exc:
+        return ("err", idx, exc.stage, exc.point, exc.cause)
+    except BaseException as exc:  # never let a worker die silently
+        return ("err", idx, "run", points[idx], repr(exc))
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _execute_points(sweep: Sweep, points: List[Dict[str, Any]],
+                    pending: Sequence[int], jobs: int) -> List[Tuple[Any, ...]]:
+    """Run the pending point indices, serially or across a fork pool."""
+    global _ACTIVE_SWEEP
+    if jobs <= 1 or len(pending) <= 1 or not _fork_available():
+        return [_run_index_serial(sweep, points, i) for i in pending]
+    _ACTIVE_SWEEP = (sweep, points)
+    try:
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=min(jobs, len(pending))) as pool:
+            return list(pool.imap(_run_index, pending))
+    finally:
+        _ACTIVE_SWEEP = None
+
+
+def _run_index_serial(sweep: Sweep, points: List[Dict[str, Any]],
+                      idx: int) -> Tuple[Any, ...]:
+    try:
+        return ("ok", idx, sweep.run_point(points[idx]))
+    except SweepPointError as exc:
+        return ("err", idx, exc.stage, exc.point, exc.cause)
+
+
+class ParallelSweep:
+    """A :class:`~repro.sim.experiments.Sweep` bound to a worker count
+    and (optionally) a result cache.
+
+    Thin declarative wrapper for harness code that wants to configure
+    parallelism once and call :meth:`run` repeatedly::
+
+        runner = ParallelSweep(sweep, jobs=4, cache=True)
+        table = runner.run()          # identical to sweep.run()
+    """
+
+    def __init__(self, sweep: Sweep, jobs: int = 1, cache: Any = None):
+        if jobs < 1:
+            raise ReproError("jobs must be >= 1")
+        self.sweep = sweep
+        self.jobs = jobs
+        self.cache = _normalize_cache(cache)
+
+    def run(self) -> List[Dict[str, Any]]:
+        return run_sweep(self.sweep, jobs=self.jobs, cache=self.cache)
+
+
+def run_sweep(sweep: Sweep, jobs: int = 1,
+              cache: Any = None) -> List[Dict[str, Any]]:
+    """Execute a sweep grid across ``jobs`` workers, through ``cache``.
+
+    Returns the same row list, in the same order, as ``sweep.run()``.
+    Raises :class:`~repro.sim.experiments.SweepPointError` for the first
+    (grid-order) failing point.
+    """
+    cache = _normalize_cache(cache)
+    points = sweep.points()
+    rows: List[Optional[Dict[str, Any]]] = [None] * len(points)
+    keys: Dict[int, str] = {}
+    pending: List[int] = []
+    if cache is not None:
+        fingerprint = sweep_fingerprint(sweep)
+        for idx, point in enumerate(points):
+            key = cache.key_for(fingerprint, point)
+            keys[idx] = key
+            cached = cache.get(key)
+            if cached is not None:
+                rows[idx] = cached
+            else:
+                pending.append(idx)
+    else:
+        pending = list(range(len(points)))
+
+    if pending:
+        verdicts = _execute_points(sweep, points, pending, jobs)
+        failure: Optional[Tuple[int, str, Dict[str, Any], str]] = None
+        for verdict in verdicts:
+            if verdict[0] == "ok":
+                _, idx, row = verdict
+                rows[idx] = row
+                if cache is not None:
+                    cache.put(keys[idx], row)
+            else:
+                _, idx, stage, point, cause = verdict
+                if failure is None or idx < failure[0]:
+                    failure = (idx, stage, point, cause)
+        if failure is not None:
+            _, stage, point, cause = failure
+            raise SweepPointError(stage, point, cause)
+    return rows  # type: ignore[return-value]

@@ -16,6 +16,7 @@ from typing import Any, Callable, Dict, Mapping, Optional
 
 from repro.errors import RuntimeConfigError
 from repro.nvm.memory import NonVolatileMemory
+from repro.nvm.memory import serialized_size_bytes as _serialized_size_bytes
 from repro.nvm.transaction import Transaction
 
 SensorFn = Callable[[float], Any]
@@ -41,7 +42,7 @@ def serialized_size_bytes(value: Any) -> int:
     tracking stay truthful for tuples/lists instead of pretending every
     channel is one word.
     """
-    return max(_MIN_CELL_BYTES, len(repr(value).encode("utf-8", "backslashreplace")))
+    return _serialized_size_bytes(value, floor=_MIN_CELL_BYTES)
 
 
 class TaskContext:
@@ -73,21 +74,28 @@ class TaskContext:
     # Channels
     # ------------------------------------------------------------------
     def write(self, key: str, value: Any) -> None:
-        """Stage a channel write, committed when this task finishes."""
+        """Stage a channel write, committed when this task finishes.
+
+        A first write to a new channel does *not* allocate the cell
+        here: allocation happens inside the journaled commit, atomically
+        with the value, so a crash (or rollback) mid-task leaves no
+        durable trace of the write. Growing an existing cell for a
+        bigger value stays eager — it is size accounting only.
+        """
         cell = channel_cell_name(key)
-        size = serialized_size_bytes(value)
-        if cell not in self._nvm:
-            self._nvm.alloc(cell, initial=None, size_bytes=size)
-        else:
-            self._nvm.grow(cell, size)
-        self._txn.stage(cell, value)
+        if cell in self._nvm:
+            self._nvm.grow(cell, serialized_size_bytes(value))
+        self._txn.stage(cell, value, create=True)
 
     def read(self, key: str, default: Any = None) -> Any:
         """Read a channel value (sees this task's own staged writes)."""
         cell = channel_cell_name(key)
-        if cell not in self._nvm:
+        if cell in self._txn:
+            value = self._txn.read(cell)
+        elif cell in self._nvm:
+            value = self._nvm.cell(cell).get()
+        else:
             return default
-        value = self._txn.read(cell)
         return default if value is None else value
 
     def append(self, key: str, value: Any) -> None:

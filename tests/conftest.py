@@ -10,6 +10,16 @@ from repro.sim.device import Device
 from repro.taskgraph.builder import AppBuilder
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/*.c from the current C code "
+             "generator instead of comparing against them",
+    )
+
+
 @pytest.fixture
 def nvm() -> NonVolatileMemory:
     return NonVolatileMemory()

@@ -1,0 +1,43 @@
+/* artemis/monitor.h — runtime <-> monitor interface (generated copy). */
+#ifndef ARTEMIS_MONITOR_H
+#define ARTEMIS_MONITOR_H
+
+#include <stdint.h>
+
+typedef enum { StartTask = 0, EndTask = 1 } eventkind_t;
+
+typedef enum {
+    ACTION_NONE = 0,
+    ACTION_RESTARTTASK,
+    ACTION_SKIPTASK,
+    ACTION_RESTARTPATH,
+    ACTION_SKIPPATH,
+    ACTION_COMPLETEPATH,
+} type_action;
+
+/* Observable monitor event (Figure 8), persisted in FRAM by the
+ * runtime so an interrupted callMonitor can be finalised on reboot. */
+typedef struct _MonitorEvent {
+    eventkind_t kind;
+    uint64_t timestamp;   /* persistent-clock ticks */
+    const void *taskAddr; /* current task pointer */
+    uint16_t path;        /* executing path number */
+    const void *depData;  /* dependent data of the finished task */
+} MonitorEvent_t;
+
+typedef struct _MonitorResult {
+    type_action action;
+    uint16_t path;
+} MonitorResult_t;
+
+/* Helpers the generated step functions call. */
+int monitor_task_is(const MonitorEvent_t *e, const char *name);
+double monitor_dep_data(const MonitorEvent_t *e, const char *key);
+void monitor_report(MonitorResult_t *r, type_action action, uint16_t path);
+
+/* Lifecycle (Figure 8): called by the ARTEMIS runtime. */
+MonitorResult_t callMonitor(const MonitorEvent_t *e);
+void resetMonitor(void);
+void monitorFinalize(void);
+
+#endif /* ARTEMIS_MONITOR_H */

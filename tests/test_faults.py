@@ -143,7 +143,10 @@ class TestBitFlipDevice:
     def test_flip_then_crash_is_detected_and_repaired_at_boot(self):
         """A channel cell corrupted mid-run is caught by the next boot's
         checksum scan, repaired, and reported in counters and trace."""
-        device = BitFlipDevice({4: "chan.log"}, crash_at=5)
+        # chan.log first exists after task a's commit applies it (call
+        # 11): allocation now rides inside the journaled apply step, so
+        # the flip must land after the first commit, not inside it.
+        device = BitFlipDevice({12: "chan.log"}, crash_at=13)
         result = device.run(make_runtime(device), max_time_s=600)
         assert result.completed
         assert result.corruptions_detected >= 1

@@ -1,0 +1,218 @@
+"""Tests for the parallel sweep engine and its result cache.
+
+Covers the engine's three contracts: parallel tables are byte-identical
+to serial ones, failures name the offending grid point, and cached rows
+can never outlive the code or configuration that produced them.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sim.experiments import Sweep, SweepPointError
+from repro.sim.pool import (
+    ParallelSweep,
+    ResultCache,
+    run_sweep,
+    sweep_fingerprint,
+)
+from repro.workloads.health import build_artemis, make_intermittent_device
+
+
+def _build(point):
+    device = make_intermittent_device(point["delay_s"])
+    return device, build_artemis(device)
+
+
+def make_sweep(delays=(30.0, 60.0), seeds=(0,), scale=1.0):
+    """A small health-workload sweep; ``scale`` perturbs a metric closure
+    so two sweeps can be made to fingerprint differently."""
+
+    def build(point):
+        device = make_intermittent_device(point["delay_s"] + point["seed"])
+        return device, build_artemis(device)
+
+    return Sweep(
+        factors={"delay_s": list(delays), "seed": list(seeds)},
+        build=build,
+        metrics={
+            "completed": lambda dev, res: res.completed,
+            "time_s": lambda dev, res: round(res.total_time_s * scale, 6),
+            "reboots": lambda dev, res: res.reboots,
+        },
+        max_time_s=4 * 3600.0,
+    )
+
+
+def table_bytes(rows):
+    return json.dumps(rows, sort_keys=True).encode()
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_byte_identical_across_seeds(self):
+        """Sweep.run(parallel=4) returns the very same table as serial
+        execution, for three different replication seeds."""
+        for seed in (0, 1, 2):
+            sweep = make_sweep(delays=(30.0, 60.0, 90.0), seeds=(seed,))
+            serial = sweep.run()
+            parallel = sweep.run(parallel=4)
+            assert table_bytes(parallel) == table_bytes(serial), (
+                f"seed {seed}: parallel table differs"
+            )
+
+    def test_row_order_is_grid_order(self):
+        sweep = make_sweep(delays=(90.0, 30.0, 60.0))
+        rows = sweep.run(parallel=4)
+        assert [r["delay_s"] for r in rows] == [90.0, 30.0, 60.0]
+
+    def test_parallel_one_equals_plain_run(self):
+        sweep = make_sweep()
+        assert sweep.run(parallel=1) == sweep.run()
+
+    def test_parallel_sweep_wrapper(self):
+        sweep = make_sweep()
+        runner = ParallelSweep(sweep, jobs=2)
+        assert runner.run() == sweep.run()
+
+    def test_wrapper_rejects_zero_jobs(self):
+        with pytest.raises(ReproError):
+            ParallelSweep(make_sweep(), jobs=0)
+
+
+class TestErrorAttribution:
+    def test_build_failure_names_the_point(self):
+        def build(point):
+            if point["x"] == 3:
+                raise ValueError("boom at three")
+            return _build({"delay_s": 30.0})
+
+        sweep = Sweep(factors={"x": [1, 2, 3]}, build=build,
+                      metrics={"ok": lambda d, r: r.completed},
+                      max_time_s=60.0)
+        with pytest.raises(SweepPointError) as err:
+            sweep.run()
+        assert err.value.stage == "build"
+        assert err.value.point == {"x": 3}
+        assert "x=3" in str(err.value)
+        assert "boom at three" in str(err.value)
+
+    def test_metric_failure_names_the_metric_and_point(self):
+        sweep = Sweep(
+            factors={"delay_s": [30.0]},
+            build=_build,
+            metrics={"bad": lambda d, r: 1 / 0},
+            max_time_s=60.0,
+        )
+        with pytest.raises(SweepPointError) as err:
+            sweep.run()
+        assert err.value.stage == "metric"
+        assert "bad" in str(err.value)
+        assert "delay_s=30.0" in str(err.value)
+
+    def test_parallel_failure_reports_first_grid_point(self):
+        def build(point):
+            raise RuntimeError(f"dead {point['x']}")
+
+        sweep = Sweep(factors={"x": [5, 6, 7]}, build=build,
+                      metrics={"ok": lambda d, r: True}, max_time_s=60.0)
+        with pytest.raises(SweepPointError) as err:
+            sweep.run(parallel=2)
+        assert err.value.point == {"x": 5}
+
+
+class TestResultCache:
+    def test_cold_then_warm(self, tmp_path):
+        sweep = make_sweep()
+        cache = ResultCache(tmp_path / "cache")
+        first = run_sweep(sweep, cache=cache)
+        assert cache.hits == 0 and cache.misses == len(first)
+        second = run_sweep(sweep, cache=cache)
+        assert second == first
+        assert cache.hits == len(first)
+        assert cache.hit_rate == 0.5  # half the lookups were the cold run
+
+    def test_cache_true_uses_default_dir(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        sweep = make_sweep()
+        rows = sweep.run(cache=True)
+        assert (tmp_path / ".repro_cache").is_dir()
+        assert sweep.run(cache=True) == rows
+
+    def test_non_roundtrippable_rows_are_not_cached(self, tmp_path):
+        sweep = Sweep(
+            factors={"delay_s": [30.0]},
+            build=_build,
+            metrics={"obj": lambda d, r: object()},  # not JSON-able
+            max_time_s=60.0,
+        )
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(sweep, cache=cache)
+        assert not list((tmp_path / "cache").rglob("*.json"))
+
+    def test_rejects_bogus_cache_argument(self):
+        with pytest.raises(ReproError):
+            make_sweep().run(cache=12345)
+
+
+class TestCacheInvalidation:
+    def test_fingerprint_changes_with_metric_closure(self):
+        assert (sweep_fingerprint(make_sweep(scale=1.0))
+                != sweep_fingerprint(make_sweep(scale=2.0)))
+
+    def test_fingerprint_changes_with_run_budget(self):
+        a, b = make_sweep(), make_sweep()
+        b.max_time_s = 123.0
+        assert sweep_fingerprint(a) != sweep_fingerprint(b)
+
+    def test_fingerprint_stable_for_equivalent_sweeps(self):
+        assert (sweep_fingerprint(make_sweep())
+                == sweep_fingerprint(make_sweep()))
+
+    def test_poisoned_entry_is_ignored_after_code_change(self, tmp_path):
+        """A stale (even maliciously wrong) cached row cannot survive a
+        change to the sweep's code: the key includes the code
+        fingerprint, so the changed sweep never reads the old entry."""
+        cache_dir = tmp_path / "cache"
+        sweep_v1 = make_sweep(scale=1.0)
+        cache = ResultCache(cache_dir)
+        truth_v1 = run_sweep(sweep_v1, cache=cache)
+
+        # Poison every v1 entry in place with an absurd row.
+        poisoned = {"completed": False, "time_s": -1.0, "reboots": 999,
+                    "delay_s": 0.0, "seed": 0}
+        poisoned_count = 0
+        for path in cache_dir.rglob("*.json"):
+            path.write_text(json.dumps({"format": 1, "row": poisoned}))
+            poisoned_count += 1
+        assert poisoned_count == len(truth_v1)
+
+        # Same sweep, same fingerprint: the poison IS served — that is
+        # what content-addressing means (the store is trusted).
+        replay = run_sweep(sweep_v1, cache=ResultCache(cache_dir))
+        assert all(row == poisoned for row in replay)
+
+        # Changed code (a different metric closure constant): every key
+        # changes, the poisoned rows are unreachable, and the sweep
+        # recomputes the truth.
+        sweep_v2 = make_sweep(scale=2.0)
+        fresh = run_sweep(sweep_v2, cache=ResultCache(cache_dir))
+        assert all(row != poisoned for row in fresh)
+        assert fresh == sweep_v2.run()
+
+    def test_torn_cache_entry_is_a_miss(self, tmp_path):
+        sweep = make_sweep()
+        cache_dir = tmp_path / "cache"
+        run_sweep(sweep, cache=ResultCache(cache_dir))
+        for path in cache_dir.rglob("*.json"):
+            path.write_text('{"format": 1, "row"')  # truncated JSON
+        cache = ResultCache(cache_dir)
+        rows = run_sweep(sweep, cache=cache)
+        assert rows == sweep.run()
+        assert cache.hits == 0
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(make_sweep(), cache=cache)
+        assert cache.clear() > 0
+        assert not list((tmp_path / "cache").rglob("*.json"))
