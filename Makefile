@@ -2,7 +2,10 @@
 
 PYTHON ?= python
 
-.PHONY: install test crashsweep soak bench bench-baseline bench-check examples figures verify all
+.PHONY: install test crashsweep conformance soak bench bench-baseline bench-check examples figures verify all
+
+# Crash bound for the conformance checker (docs/verification.md).
+BOUND ?= 2
 
 # Parallel workers for benchmark sweeps (see docs/performance.md).
 JOBS ?= 1
@@ -19,6 +22,13 @@ test:
 
 crashsweep:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_crash_sweep.py tests/test_soak_random_faults.py -q
+
+# Bounded model checking of every workload x runtime scenario against
+# its continuous-power oracle, plus the mutation self-test proving the
+# checker catches an injected recovery bug. See docs/verification.md.
+conformance:
+	PYTHONPATH=src $(PYTHON) -m repro.cli verify --bound $(BOUND)
+	PYTHONPATH=src $(PYTHON) -m repro.cli verify --self-test
 
 soak:
 	@for s in $(SOAK_SEEDS); do \

@@ -58,6 +58,11 @@ class ChainRuntime:
         self._cur_path = nvm.alloc("ch.cur_path", 1, 2)
         self._cur_idx = nvm.alloc("ch.cur_idx", 0, 2)
         self._finished = nvm.alloc("ch.finished", False, 1)
+        # Trace events owed for a committed-but-interrupted transaction.
+        # Staged in the same journaled commit as the control updates, so
+        # the record of a route change is exactly as durable as its
+        # effect; replayed (once) at boot if the crash swallowed it.
+        self._pending_trace = nvm.alloc("ch.pending_trace", [], 2)
         self._journal = CommitJournal(nvm)
         self.recovery = RecoveryManager(nvm, journal=self._journal)
         self.recovery.guard("ch.")
@@ -92,6 +97,16 @@ class ChainRuntime:
         """Resolve any interrupted commit before the loop resumes."""
         self._device = device
         self.recovery.on_boot(device)
+        pending = self._pending_trace.get()
+        if pending:
+            # The journal rolled a commit forward across the crash: its
+            # route change took durable effect but the volatile trace
+            # record was lost. Replay it so the observable action
+            # sequence matches the durable state.
+            now = device.sim_clock.now()
+            for kind, detail in pending:
+                device.trace.record(now, kind, replayed=True, **dict(detail))
+            self._pending_trace.set([])
 
     def begin_run(self, device) -> None:
         self._device = device
@@ -144,11 +159,17 @@ class ChainRuntime:
             txn.stage(cell_name, value)
         if self._retry.attempts(name):
             txn.stage(self._retry.cell_name, self._retry.cleared(name))
-        txn.commit(spend=self._spend_commit_step)
-        device.trace.record(device.sim_clock.now(), "task_end", task=name,
-                            path=self._cur_path.get())
-        for kind, detail in events:
+        owed = ([("task_end", {"task": name, "path": self._cur_path.get()})]
+                + [(kind, dict(detail)) for kind, detail in events])
+        txn.stage(self._pending_trace.name, owed)
+        txn.commit(spend=self._spend_commit_step,
+                   on_step=self._label_commit_step)
+        # No crash point between the commit's last payment and here, so
+        # the events are recorded exactly once: either now, or (after a
+        # mid-commit crash that rolled forward) replayed at boot.
+        for kind, detail in owed:
             device.trace.record(device.sim_clock.now(), kind, **detail)
+        self._pending_trace.set([])
 
     def _handle_peripheral_failure(self, name: str, exc: PeripheralError) -> None:
         """Retry a peripheral-failed task; skip it when retries exhaust.
@@ -172,12 +193,16 @@ class ChainRuntime:
             txn = Transaction(device.nvm, journal=self._journal)
             for cell_name, value in updates:
                 txn.stage(cell_name, value)
-            txn.commit(spend=self._spend_commit_step)
-            device.trace.record(device.sim_clock.now(), "task_skip",
-                                task=name, path=self._cur_path.get(),
-                                source="watchdog")
-            for kind, detail in events:
+            owed = ([("task_skip", {"task": name,
+                                    "path": self._cur_path.get(),
+                                    "source": "watchdog"})]
+                    + [(kind, dict(detail)) for kind, detail in events])
+            txn.stage(self._pending_trace.name, owed)
+            txn.commit(spend=self._spend_commit_step,
+                   on_step=self._label_commit_step)
+            for kind, detail in owed:
                 device.trace.record(device.sim_clock.now(), kind, **detail)
+            self._pending_trace.set([])
             return
         device.result.task_retries += 1
         device.trace.record(
@@ -200,6 +225,14 @@ class ChainRuntime:
         """Pay one journal step; each step is a distinct crash point."""
         self._device.consume(self.power.commit_step_s,
                              self.power.overhead_power_w, "commit")
+
+    def _label_commit_step(self, label: str) -> None:
+        """Forward commit-step labels to an attached crash scheduler."""
+        scheduler = getattr(self._device, "scheduler", None)
+        if scheduler is not None:
+            annotate = getattr(scheduler, "annotate", None)
+            if annotate is not None:
+                annotate(label)
 
     def _plan_route(
         self, outcome: Optional[str]

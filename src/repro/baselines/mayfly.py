@@ -239,7 +239,8 @@ class MayflyRuntime:
             txn.stage(cell_name, value)
         if self._retry.attempts(name):
             txn.stage(self._retry.cell_name, self._retry.cleared(name))
-        txn.commit(spend=self._spend_commit_step)
+        txn.commit(spend=self._spend_commit_step,
+                   on_step=self._label_commit_step)
         device.trace.record(device.sim_clock.now(), "task_end", task=name,
                             path=self._cur_path.get())
         for kind, detail in events:
@@ -271,7 +272,8 @@ class MayflyRuntime:
             txn.stage(self._counts.name, counts)
             for cell_name, value in updates:
                 txn.stage(cell_name, value)
-            txn.commit(spend=self._spend_commit_step)
+            txn.commit(spend=self._spend_commit_step,
+                   on_step=self._label_commit_step)
             device.trace.record(device.sim_clock.now(), "task_skip",
                                 task=name, path=self._cur_path.get(),
                                 source="watchdog")
@@ -299,6 +301,14 @@ class MayflyRuntime:
         """Pay one journal step; each step is a distinct crash point."""
         self._device.consume(self.power.commit_step_s,
                              self.power.overhead_power_w, "commit")
+
+    def _label_commit_step(self, label: str) -> None:
+        """Forward commit-step labels to an attached crash scheduler."""
+        scheduler = getattr(self._device, "scheduler", None)
+        if scheduler is not None:
+            annotate = getattr(scheduler, "annotate", None)
+            if annotate is not None:
+                annotate(label)
 
     def _plan_advance(
         self, counts: Dict[str, int]

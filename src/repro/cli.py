@@ -16,6 +16,14 @@ Three subcommands mirror the paper's development flow (Figure 3):
     intermittent device and report the run summary, monitor actions,
     and an ASCII timeline.
 
+``artemis-repro verify``
+    Run the intermittence conformance checker: enumerate crash
+    schedules up to a bound over the built-in workload × runtime
+    scenario matrix and check every intermittent execution against its
+    continuous-power oracle (see ``docs/verification.md``). Exits 3
+    when a counterexample is found; ``--self-test`` instead proves the
+    checker catches a deliberately injected recovery bug.
+
 Applications are described in JSON (general Python task bodies require
 the library API)::
 
@@ -64,6 +72,13 @@ from repro.spec.consistency import check as consistency_check
 from repro.spec.mayfly_frontend import load_mayfly_properties
 from repro.spec.validator import load_properties
 from repro.statemachine.codegen_c import generate_c_bundle, generate_c_header
+from repro.verify import (
+    RUNTIMES,
+    WORKLOADS,
+    CounterexampleShrinker,
+    iter_scenarios,
+    run_self_test,
+)
 from repro.statemachine.codegen_python import generate_python_source
 from repro.statemachine.textual import print_machine
 from repro.taskgraph.app import Application
@@ -296,6 +311,38 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if all(row["completed"] for row in rows) else 2
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Run the ``verify`` subcommand; returns the process exit code.
+
+    Exit codes: 0 = every checked schedule conforms, 1 = usage or
+    scenario error, 3 = at least one counterexample found.
+    """
+    if args.self_test:
+        report, witness = run_self_test(bound=max(args.bound, 1),
+                                        budget=args.budget,
+                                        shrink_runs=args.shrink_runs)
+        print("mutation self-test: injected commit-ordering bug caught")
+        print(report.summary())
+        print(witness.describe())
+        return 0
+
+    workloads = None if args.workload == "all" else (args.workload,)
+    runtimes = None if args.runtime == "all" else (args.runtime,)
+    failed = 0
+    for scenario in iter_scenarios(workloads, runtimes):
+        explorer = scenario.explorer()
+        report = explorer.explore(bound=args.bound, budget=args.budget,
+                                  strategy=args.strategy)
+        print(report.summary())
+        if not report.ok:
+            failed += 1
+            shrinker = CounterexampleShrinker(explorer,
+                                              max_runs=args.shrink_runs)
+            witness = shrinker.shrink(report.counterexamples[0])
+            print(witness.describe())
+    return 3 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI definition."""
     parser = argparse.ArgumentParser(
@@ -379,6 +426,32 @@ def build_parser() -> argparse.ArgumentParser:
                          help="serve unchanged points from a result cache "
                               "(default dir: .repro_cache)")
     p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_verify = sub.add_parser(
+        "verify", help="crash-schedule conformance checking")
+    p_verify.add_argument("--workload", default="all",
+                          choices=("all",) + WORKLOADS,
+                          help="workload to check (default: all)")
+    p_verify.add_argument("--runtime", default="all",
+                          choices=("all",) + RUNTIMES,
+                          help="runtime to check (default: all)")
+    p_verify.add_argument("--bound", type=int, default=2,
+                          help="maximum crashes per schedule (default: 2)")
+    p_verify.add_argument("--budget", type=int, default=400,
+                          help="simulated executions per scenario "
+                               "(default: 400; the report says when the "
+                               "budget truncated the search)")
+    p_verify.add_argument("--strategy", choices=("bfs", "dfs"),
+                          default="bfs",
+                          help="frontier order: bfs exhausts k crashes "
+                               "before k+1 (default), dfs drills deep first")
+    p_verify.add_argument("--shrink-runs", type=int, default=150,
+                          help="execution budget for counterexample "
+                               "minimization (default: 150)")
+    p_verify.add_argument("--self-test", action="store_true",
+                          help="inject a known recovery bug and prove the "
+                               "checker finds and shrinks it")
+    p_verify.set_defaults(fn=cmd_verify)
     return parser
 
 

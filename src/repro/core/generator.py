@@ -130,6 +130,15 @@ def _gen_collect(prop: Collect) -> StateMachine:
     path until enough samples are collected") requires the count to
     accumulate across path restarts, so accumulation is the default and
     ``reset_on_fail=True`` reproduces the figure exactly.
+
+    The collected count is *consumed* when the guarded task completes
+    (``endTask a``), not when its start check passes. A passing start
+    check is re-announced if a power failure interrupts the task before
+    its commit — consuming on the pass would make the re-announced
+    check fail against the already-zeroed counter and restart the path
+    spuriously, an intermittent execution no continuous run exhibits
+    (the conformance checker in :mod:`repro.verify` finds exactly this
+    divergence when consumption is moved back to the start check).
     """
     name = prop.machine_name()
     a, b = prop.task, prop.dep_task
@@ -149,12 +158,15 @@ def _gen_collect(prop: Collect) -> StateMachine:
             Transition(
                 "Counting", "Counting", EventPattern(START_TASK, a),
                 guard=BinOp(">=", Var("i"), Const(prop.count)),
-                body=(Assign("i", Const(0)),),
             ),
             Transition(
                 "Counting", "Counting", EventPattern(START_TASK, a),
                 guard=BinOp("<", Var("i"), Const(prop.count)),
                 body=tuple(fail_body),
+            ),
+            Transition(
+                "Counting", "Counting", EventPattern(END_TASK, a),
+                body=(Assign("i", Const(0)),),
             ),
         ],
     )

@@ -362,7 +362,8 @@ class ArtemisRuntime:
         txn.stage(self._end_ts.name, device.now())
         txn.stage(self._status.name, _FINISHED)
         txn.stage(self._start_checked.name, False)
-        txn.commit(spend=self._spend_commit_step)
+        txn.commit(spend=self._spend_commit_step,
+                   on_step=self._label_commit_step)
         device.trace.record(device.sim_clock.now(), "task_end", task=task.name,
                             path=self._cur_path.get())
 
@@ -460,6 +461,14 @@ class ArtemisRuntime:
         """Pay for one journal step; each step is a visible crash point."""
         self._device.consume(self.power.commit_step_s,
                              self.power.overhead_power_w, "commit")
+
+    def _label_commit_step(self, label: str) -> None:
+        """Forward commit-step labels to an attached crash scheduler."""
+        scheduler = getattr(self._device, "scheduler", None)
+        if scheduler is not None:
+            annotate = getattr(scheduler, "annotate", None)
+            if annotate is not None:
+                annotate(label)
 
     def _trace_action(self, action: Action) -> None:
         if action.type is ActionType.NONE:

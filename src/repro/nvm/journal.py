@@ -61,6 +61,15 @@ class CommitJournal:
             static, like a linker-placed log region).
     """
 
+    #: Test-only fault switch for the conformance checker's mutation
+    #: self-test (:mod:`repro.verify.mutation`): when True, boot-time
+    #: roll-forward recovery silently skips re-applying the *first*
+    #: journal entry — the write is lost even though the commit
+    #: linearized. Crash-free commits are unaffected, so only a checker
+    #: that actually explores crash schedules can observe the breakage.
+    #: Never set this outside tests.
+    TEST_SKIP_RECOVERY_APPLY = False
+
     def __init__(self, nvm: NonVolatileMemory, name: str = "txnlog"):
         self._nvm = nvm
         self.name = name
@@ -125,21 +134,29 @@ class CommitJournal:
         """True if the sealed entries still match their checksum."""
         return entries_checksum(tuple(self._entries.get())) == self._checksum.get()
 
-    def apply(self, spend: Optional[Callable[[], None]] = None) -> int:
+    def apply(
+        self,
+        spend: Optional[Callable[[], None]] = None,
+        on_step: Optional[Callable[[str], None]] = None,
+    ) -> int:
         """Roll the committed entries into their cells; returns the count.
 
         Resumes from the persistent ``applied`` index, so re-applying
         after an interruption is idempotent. ``spend``, if given, is
         called before each application step — charging the device makes
-        every step a distinct crash point.
+        every step a distinct crash point. ``on_step``, if given, is
+        called with ``apply:<cell>`` just before each spend so crash
+        schedulers can label the crash point.
         """
         if self._status.get() != STATUS_COMMITTED:
             raise NVMError(f"journal {self.name!r}: apply while {self.status!r}")
         entries = self._entries.get()
         for i in range(self._applied.get(), len(entries)):
+            cell_name, value = entries[i]
+            if on_step is not None:
+                on_step(f"apply:{cell_name}")
             if spend is not None:
                 spend()
-            cell_name, value = entries[i]
             # First-write allocation happens here, in the same
             # failure-atomic step as the value write: a commit that
             # rolls back must leave no durable trace, not even an empty
@@ -188,6 +205,11 @@ class CommitJournal:
             if not self.verify():
                 self.clear()
                 return RECOVERED_CORRUPT
+            if (CommitJournal.TEST_SKIP_RECOVERY_APPLY
+                    and self._applied.get() == 0 and self._entries.get()):
+                # Injected commit-ordering bug: pretend the first entry
+                # was already applied, dropping its write on the floor.
+                self._applied.set(1)
             self.apply()
             self.clear()
             return RECOVERED_ROLLED_FORWARD

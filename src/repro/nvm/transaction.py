@@ -70,7 +70,11 @@ class Transaction:
             return self._stage[name]
         return self._nvm.cell(name).get()
 
-    def commit(self, spend: Optional[CommitSpendFn] = None) -> int:
+    def commit(
+        self,
+        spend: Optional[CommitSpendFn] = None,
+        on_step: Optional[Callable[[str], None]] = None,
+    ) -> int:
         """Commit every staged write through the journal; returns the count.
 
         Protocol (each ``spend`` call is a crash point):
@@ -81,6 +85,13 @@ class Transaction:
         4. per entry: pay, apply it to its cell;
         5. pay, clear the journal (*idle*).
 
+        ``on_step``, if given, is called with a semantic label
+        (``journal:<cell>``, ``seal``, ``apply:<cell>``, ``clear``)
+        immediately *before* the matching ``spend`` — a crash scheduler
+        intercepting the spend can attribute the crash point to the
+        exact commit step (see :mod:`repro.verify.schedule`). Passing
+        neither callback leaves the protocol unchanged.
+
         A commit with zero staged writes is a no-op: nothing to
         linearize, so no journal activity and no crash points.
         """
@@ -89,13 +100,19 @@ class Transaction:
         journal = self._journal
         journal.begin()
         for name, value in self._stage.items():
+            if on_step is not None:
+                on_step(f"journal:{name}")
             if spend is not None:
                 spend()
             journal.append(name, value)
+        if on_step is not None:
+            on_step("seal")
         if spend is not None:
             spend()
         journal.seal()
-        count = journal.apply(spend)
+        count = journal.apply(spend, on_step=on_step)
+        if on_step is not None:
+            on_step("clear")
         if spend is not None:
             spend()
         journal.clear()

@@ -19,6 +19,13 @@ status flip itself is atomic. ``commit``-category steps default to zero
 duration (``PowerModel.commit_step_s``); fault injectors intercept the
 call itself, so they can still place a brown-out inside a zero-cost
 commit.
+
+Scheduler hook: a :attr:`Device.scheduler` object (default ``None``)
+sees every payment first via ``before_consume`` and may inject a
+brown-out at that exact point — this is how the conformance checker
+(:mod:`repro.verify`) drives exhaustive crash-schedule exploration
+without subclassing. With no scheduler attached the hook is a single
+``None`` check and the device behaves exactly as before.
 """
 
 from __future__ import annotations
@@ -58,6 +65,12 @@ class Device:
         self.trace = tracer if tracer is not None else Tracer()
         self.result = RunResult()
         self._alive = True
+        #: Optional consume scheduler (see :mod:`repro.verify.schedule`).
+        #: When set, every energy payment is first offered to
+        #: ``scheduler.before_consume(duration_s, power_w, category)``;
+        #: a True return injects a brown-out at that exact point.
+        #: ``None`` (the default) leaves every code path untouched.
+        self.scheduler = None
 
     # ------------------------------------------------------------------
     # Interface used by runtimes
@@ -78,6 +91,9 @@ class Device:
         advances to the instant of death, the partial cost is accounted,
         and :class:`~repro.errors.PowerFailure` is raised.
         """
+        if self.scheduler is not None and self.scheduler.before_consume(
+                duration_s, power_w, category):
+            self._scheduled_failure(category)
         if category not in CATEGORIES:
             raise SimulationError(f"unknown consumption category {category!r}")
         if duration_s < 0 or power_w < 0:
@@ -121,6 +137,9 @@ class Device:
 
     def consume_energy(self, energy_j: float, category: str) -> None:
         """Instantaneous draw (e.g. a radio wake burst)."""
+        if self.scheduler is not None and self.scheduler.before_consume(
+                0.0, 0.0, category):
+            self._scheduled_failure(category)
         if category not in CATEGORIES:
             raise SimulationError(f"unknown consumption category {category!r}")
         if energy_j < 0:
@@ -131,6 +150,19 @@ class Device:
             died_at = self.sim_clock.now()
             self.trace.record(died_at, "power_failure", category=category)
             raise PowerFailure(died_at)
+
+    def _scheduled_failure(self, category: str) -> None:
+        """Injected brown-out, placed by the attached scheduler.
+
+        Like the :mod:`repro.sim.faults` devices, the failure lands
+        *before* the payment's work happens, so the scheduler's crash
+        points coincide exactly with the fault injectors'.
+        """
+        self._alive = False
+        died_at = self.sim_clock.now()
+        self.trace.record(died_at, "power_failure", category=category,
+                          injected=True)
+        raise PowerFailure(died_at)
 
     def _account(self, duration_s: float, power_w: float, category: str) -> None:
         self.sim_clock.advance(duration_s)

@@ -28,7 +28,7 @@ from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tupl
 from repro.core.events import MonitorEvent
 from repro.errors import StateMachineError
 from repro.statemachine.interpreter import MachineInstance
-from repro.statemachine.model import StateMachine
+from repro.statemachine.model import StateMachine, failure_actions
 
 
 @dataclass(frozen=True)
@@ -78,11 +78,29 @@ class Exploration:
     reachable_states: FrozenSet[str]
     #: action name -> shortest event sequence producing it.
     witnesses: Dict[str, Tuple[Letter, ...]] = field(default_factory=dict)
+    #: Every action name the machine's ``fail`` statements can emit —
+    #: the vocabulary queries are checked against.
+    actions: FrozenSet[str] = frozenset()
+
+    def _check_known(self, action: str) -> None:
+        if self.actions and action not in self.actions:
+            raise StateMachineError(
+                f"machine {self.machine!r} has no failure action "
+                f"{action!r}; it can emit {sorted(self.actions)}")
 
     def shortest_witness(self, action: str) -> Optional[Tuple[Letter, ...]]:
+        self._check_known(action)
         return self.witnesses.get(action)
 
     def can_fail_with(self, action: str) -> bool:
+        """Whether any explored sequence fires ``action``.
+
+        Raises :class:`~repro.errors.StateMachineError` for an action
+        name the machine cannot emit at all — a ``False`` there would
+        silently conflate "unreachable within the bound" with "no such
+        action" (typically a typo in the query).
+        """
+        self._check_known(action)
         return action in self.witnesses
 
 
@@ -146,4 +164,5 @@ def explore(machine: StateMachine, alphabet: Sequence[Letter],
         configurations=configurations,
         reachable_states=frozenset(reachable),
         witnesses=witnesses,
+        actions=frozenset(f.action for f in failure_actions(machine)),
     )

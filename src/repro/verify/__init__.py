@@ -1,0 +1,68 @@
+"""Intermittence conformance checking (bounded model checking).
+
+Exhaustively enumerates crash schedules up to a bound and checks every
+resulting intermittent execution against a continuous-power oracle —
+the mechanical form of the correctness claim task-based intermittent
+runtimes make ("every intermittent execution is equivalent to some
+continuous execution"). See ``docs/verification.md``.
+
+Entry points:
+
+* :class:`CrashScheduleExplorer` — the search engine;
+* :func:`get_scenario` / :func:`iter_scenarios` — the workload ×
+  runtime matrix;
+* :class:`CounterexampleShrinker` — witness minimization;
+* :func:`run_self_test` — the mutation self-test proving the checker
+  catches a deliberately injected recovery bug;
+* ``repro verify`` — the CLI front-end.
+"""
+
+from repro.verify.explorer import (
+    Counterexample,
+    CrashScheduleExplorer,
+    ScheduleRun,
+    VerifyReport,
+)
+from repro.verify.mutation import broken_commit_ordering, run_self_test
+from repro.verify.oracle import (
+    EquivalencePolicy,
+    Outcome,
+    compare_outcomes,
+    extract_outcome,
+    machine_cross_check,
+    mask_time_fields,
+)
+from repro.verify.schedule import CrashScheduleRunner, Schedule, validate_schedule
+from repro.verify.shrink import CounterexampleShrinker, Witness
+from repro.verify.workloads import (
+    RUNTIMES,
+    WORKLOADS,
+    Scenario,
+    get_scenario,
+    iter_scenarios,
+)
+
+__all__ = [
+    "Counterexample",
+    "CounterexampleShrinker",
+    "CrashScheduleExplorer",
+    "CrashScheduleRunner",
+    "EquivalencePolicy",
+    "Outcome",
+    "RUNTIMES",
+    "Scenario",
+    "Schedule",
+    "ScheduleRun",
+    "VerifyReport",
+    "WORKLOADS",
+    "Witness",
+    "broken_commit_ordering",
+    "compare_outcomes",
+    "extract_outcome",
+    "get_scenario",
+    "iter_scenarios",
+    "machine_cross_check",
+    "mask_time_fields",
+    "run_self_test",
+    "validate_schedule",
+]

@@ -1,0 +1,65 @@
+"""Mutation self-test: prove the checker can actually find bugs.
+
+A conformance checker that has never caught a bug is unfalsifiable. This
+module injects a known commit-ordering bug —
+:attr:`repro.nvm.journal.CommitJournal.TEST_SKIP_RECOVERY_APPLY` makes
+boot-time roll-forward recovery silently skip re-applying the first
+journal entry — and asserts the checker finds it and shrinks it to a
+short witness.
+
+The injected bug is invisible to crash-free execution (commits that are
+never interrupted apply every entry), so plain tests cannot catch it;
+only an execution that crashes *between the journal's seal and its
+first apply step* exposes the lost write. That is exactly the class of
+bug the explorer's per-commit-step crash points exist for.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional, Tuple
+
+from repro.errors import ReproError
+from repro.nvm.journal import CommitJournal
+from repro.verify.explorer import VerifyReport
+from repro.verify.shrink import CounterexampleShrinker, Witness
+from repro.verify.workloads import Scenario, get_scenario
+
+
+@contextmanager
+def broken_commit_ordering():
+    """Enable the injected recovery bug for the duration of the block."""
+    previous = CommitJournal.TEST_SKIP_RECOVERY_APPLY
+    CommitJournal.TEST_SKIP_RECOVERY_APPLY = True
+    try:
+        yield
+    finally:
+        CommitJournal.TEST_SKIP_RECOVERY_APPLY = previous
+
+
+def run_self_test(
+    scenario: Optional[Scenario] = None,
+    bound: int = 1,
+    budget: int = 200,
+    shrink_runs: int = 100,
+) -> Tuple[VerifyReport, Witness]:
+    """Inject the bug, explore, and shrink the counterexample.
+
+    Returns the (failing) report and the minimized witness. Raises
+    :class:`~repro.errors.ReproError` if the checker does *not* catch
+    the injected bug — the self-test's whole point.
+    """
+    scenario = scenario if scenario is not None else get_scenario(
+        "health", "artemis")
+    with broken_commit_ordering():
+        explorer = scenario.explorer()
+        report = explorer.explore(bound=bound, budget=budget)
+        if report.ok:
+            raise ReproError(
+                f"mutation self-test: checker missed the injected "
+                f"commit-ordering bug on {scenario.name} "
+                f"({report.schedules_checked} schedules, "
+                f"truncated={report.truncated})")
+        shrinker = CounterexampleShrinker(explorer, max_runs=shrink_runs)
+        witness = shrinker.shrink(report.counterexamples[0])
+    return report, witness

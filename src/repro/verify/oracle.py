@@ -1,0 +1,260 @@
+"""Continuous-execution oracles and the equivalence judgement.
+
+The correctness claim under test (paper §4.1.3/§4.2; Surbatovich et
+al.'s formal criterion) is that every intermittent execution is
+equivalent to the continuous-power execution of the same program. This
+module pins down what *equivalent* means for the simulator and turns it
+into a mechanical check:
+
+* :func:`extract_outcome` reduces a finished run to an
+  :class:`Outcome` — committed channel state, the corrective-action
+  sequence, completion/integrity/quiescence facts;
+* :class:`EquivalencePolicy` declares how a scenario wants the two
+  outcomes compared (exact channels vs. monotone collector channels,
+  action-sequence mode, time-field masking);
+* :func:`compare_outcomes` returns the list of divergences (empty =
+  conformant);
+* :func:`machine_cross_check` is the single-machine oracle: every
+  corrective action the intermittent run emitted must be provably
+  reachable by bounded exploration
+  (:func:`repro.statemachine.explore.explore`) of the generated
+  machine — an intermittent run must not manufacture verdicts the
+  machine cannot produce under *any* continuous event sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.generator import generate_machines
+from repro.nvm.journal import STATUS_IDLE
+from repro.statemachine.explore import alphabet_for, explore
+from repro.taskgraph.context import channel_cell_name
+
+#: Channel-cell prefix (mirrors repro.taskgraph.context.CHANNEL_PREFIX).
+_CHAN_PREFIX = channel_cell_name("")
+
+#: Trace kinds that constitute the externally visible corrective-action
+#: stream, across all four runtimes.
+ACTION_KINDS = (
+    "monitor_action",
+    "path_restart",
+    "path_skip",
+    "task_skip",
+    "watchdog_trip",
+)
+
+#: Dict keys treated as wall-clock timestamps and masked before channel
+#: comparison: re-execution after a crash legitimately shifts them.
+TIME_KEYS = ("t", "timestamp", "time")
+
+
+def mask_time_fields(value: Any, keys: Sequence[str] = TIME_KEYS) -> Any:
+    """Recursively replace timestamp-named dict fields with a marker."""
+    if isinstance(value, dict):
+        return {
+            k: ("<t>" if k in keys else mask_time_fields(v, keys))
+            for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        out = [mask_time_fields(v, keys) for v in value]
+        return out if isinstance(value, list) else tuple(out)
+    return value
+
+
+def _is_subsequence(needle: Sequence[Any], haystack: Sequence[Any]) -> bool:
+    it = iter(haystack)
+    return all(any(x == y for y in it) for x in needle)
+
+
+@dataclass(frozen=True)
+class EquivalencePolicy:
+    """How a scenario's outcomes are compared against the oracle.
+
+    Attributes:
+        monotone_channels: channel keys (un-prefixed) holding collector
+            lists that may legitimately grow by crash-induced
+            re-collection — the oracle's value must remain a
+            subsequence of the variant's. Everything else is exact.
+        compare_actions: ``"sequence"`` (exact order), ``"multiset"``
+            (same actions, order free), or ``"none"``.
+        normalize: applied to every channel value before comparison;
+            defaults to masking timestamp fields.
+        ignore_channels: channel keys excluded from comparison entirely
+            (e.g. diagnostics the workload publishes best-effort).
+    """
+
+    monotone_channels: Tuple[str, ...] = ()
+    compare_actions: str = "sequence"
+    normalize: Callable[[Any], Any] = mask_time_fields
+    ignore_channels: Tuple[str, ...] = ()
+
+
+@dataclass
+class Outcome:
+    """Everything equivalence is judged on, extracted from one run."""
+
+    completed: bool
+    runs_completed: int
+    channels: Dict[str, Any]
+    actions: Tuple[Tuple[str, Tuple[Tuple[str, Any], ...]], ...]
+    control: Dict[str, Any] = field(default_factory=dict)
+    quiescent: bool = True
+    corrupt_cells: Tuple[str, ...] = ()
+    journal_idle: bool = True
+
+
+def _normalized_actions(trace) -> Tuple:
+    out = []
+    for event in trace:
+        if event.kind not in ACTION_KINDS:
+            continue
+        detail = tuple(sorted(
+            (k, v) for k, v in event.detail.items()
+            if k not in ("attempts", "sensor", "fault", "replayed")
+            and k not in TIME_KEYS
+        ))
+        out.append((event.kind, detail))
+    return tuple(out)
+
+
+def extract_outcome(device, runtime, policy: EquivalencePolicy,
+                    extract_extra=None) -> Outcome:
+    """Reduce a finished run to the facts equivalence is judged on."""
+    nvm = device.nvm
+    channels: Dict[str, Any] = {}
+    for name in nvm:
+        if name.startswith(_CHAN_PREFIX):
+            key = name[len(_CHAN_PREFIX):]
+            if key in policy.ignore_channels:
+                continue
+            channels[key] = policy.normalize(nvm.cell(name).get())
+    monitor = getattr(runtime, "monitor", None)
+    quiescent = True
+    if monitor is not None and getattr(monitor, "in_progress", False):
+        quiescent = False
+    journal_idle = True
+    if "txnlog.status" in nvm:
+        journal_idle = nvm.cell("txnlog.status").get() == STATUS_IDLE
+    control: Dict[str, Any] = {}
+    if extract_extra is not None:
+        control = extract_extra(device, runtime)
+    return Outcome(
+        completed=device.result.completed,
+        runs_completed=device.result.runs_completed,
+        channels=channels,
+        actions=_normalized_actions(device.trace),
+        control=control,
+        quiescent=quiescent,
+        corrupt_cells=tuple(nvm.verify_all()),
+        journal_idle=journal_idle,
+    )
+
+
+def compare_outcomes(oracle: Outcome, variant: Outcome,
+                     policy: EquivalencePolicy) -> List[str]:
+    """Divergences of ``variant`` from the continuous ``oracle``."""
+    problems: List[str] = []
+    if not variant.completed:
+        problems.append("run did not complete (oracle did)")
+    if variant.runs_completed != oracle.runs_completed:
+        problems.append(
+            f"runs_completed {variant.runs_completed} != "
+            f"oracle {oracle.runs_completed}")
+    if variant.corrupt_cells:
+        problems.append(
+            f"cells failed checksum after completion: "
+            f"{list(variant.corrupt_cells)}")
+    if not variant.quiescent:
+        problems.append("monitor left in_progress after completion")
+    if not variant.journal_idle:
+        problems.append("commit journal not idle after completion")
+
+    for key in sorted(set(oracle.channels) | set(variant.channels)):
+        have = variant.channels.get(key, "<missing>")
+        want = oracle.channels.get(key, "<missing>")
+        if key in policy.monotone_channels:
+            ok = (isinstance(have, (list, tuple))
+                  and isinstance(want, (list, tuple))
+                  and len(have) >= len(want)
+                  and _is_subsequence(list(want), list(have)))
+            if not ok:
+                problems.append(
+                    f"collector channel {key!r}: {have!r} lost oracle "
+                    f"elements {want!r}")
+        elif have != want:
+            problems.append(f"channel {key!r}: {have!r} != oracle {want!r}")
+
+    for key in sorted(set(oracle.control) | set(variant.control)):
+        have = variant.control.get(key, "<missing>")
+        want = oracle.control.get(key, "<missing>")
+        if have != want:
+            problems.append(f"state {key!r}: {have!r} != oracle {want!r}")
+
+    if policy.compare_actions == "sequence":
+        if variant.actions != oracle.actions:
+            problems.append(
+                f"action sequence diverged: {_action_diff(oracle.actions, variant.actions)}")
+    elif policy.compare_actions == "multiset":
+        if sorted(variant.actions) != sorted(oracle.actions):
+            problems.append(
+                f"action multiset diverged: {_action_diff(oracle.actions, variant.actions)}")
+    return problems
+
+
+def _action_diff(oracle_actions: Tuple, variant_actions: Tuple) -> str:
+    """First point of divergence, for readable counterexamples."""
+    for i, (a, b) in enumerate(zip(oracle_actions, variant_actions)):
+        if a != b:
+            return f"step {i}: oracle {a!r} vs variant {b!r}"
+    if len(oracle_actions) != len(variant_actions):
+        longer = ("variant" if len(variant_actions) > len(oracle_actions)
+                  else "oracle")
+        extra = (variant_actions[len(oracle_actions):]
+                 if longer == "variant"
+                 else oracle_actions[len(variant_actions):])
+        return f"{longer} has {len(extra)} extra action(s): {extra[:3]!r}"
+    return "reordered"
+
+
+# ---------------------------------------------------------------------------
+# Single-machine cross-check against bounded model checking
+# ---------------------------------------------------------------------------
+
+def machine_cross_check(
+    props,
+    observed_actions: Sequence[str],
+    deltas: Sequence[float] = (1.0,),
+    data_values: Optional[Dict[str, Sequence[float]]] = None,
+    depth: int = 6,
+) -> List[str]:
+    """Check observed corrective actions against the explored machine.
+
+    Only meaningful for property sets compiling to a *single* monitor
+    machine (returns ``[]`` otherwise): the machine is explored
+    exhaustively to ``depth`` and every action name the intermittent
+    run emitted must have a continuous-execution witness — otherwise
+    the runtime manufactured a verdict the property semantics cannot
+    produce, which is exactly the §4.1.3 timestamp-consistency bug
+    class. The converse (an action reachable but unobserved) is not an
+    error; the workload simply never drove the machine there.
+    """
+    machines = generate_machines(props)
+    if len(machines) != 1:
+        return []
+    machine = machines[0]
+    alphabet = alphabet_for(machine, deltas=deltas,
+                            data_values=data_values or {})
+    exploration = explore(machine, alphabet, depth=depth)
+    problems = []
+    for action in sorted(set(observed_actions)):
+        if action not in exploration.actions:
+            problems.append(
+                f"runtime applied action {action!r} that machine "
+                f"{machine.name!r} cannot emit at all")
+        elif not exploration.can_fail_with(action):
+            problems.append(
+                f"runtime applied action {action!r} with no continuous "
+                f"witness within depth {depth} of machine {machine.name!r}")
+    return problems

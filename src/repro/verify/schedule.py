@@ -1,0 +1,150 @@
+"""Crash schedules and the device scheduler that executes them.
+
+A *crash schedule* is a strictly increasing tuple of 1-based energy
+payment indices: ``(12, 40)`` means "inject a brown-out at the 12th
+payment, reboot, then inject another at the 40th payment counted from
+the start of the run". Because every component of the simulation is
+deterministic, a schedule identifies one intermittent execution
+completely — the conformance checker (:mod:`repro.verify.explorer`)
+enumerates schedules instead of executions.
+
+:class:`CrashScheduleRunner` is the object plugged into
+:attr:`~repro.sim.Device.scheduler`. Besides injecting the scheduled
+failures it records, per payment index:
+
+* the NVM :meth:`~repro.nvm.memory.NonVolatileMemory.state_fingerprint`
+  *just before* the payment — the exact durable state a crash at that
+  index would reboot from, which is what makes state-hash pruning
+  possible;
+* the payment's consumption category; and
+* the semantic label of the commit step paying, when the runtime
+  forwarded one via :meth:`annotate` (see
+  :meth:`repro.nvm.transaction.Transaction.commit`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+#: A crash schedule: strictly increasing 1-based payment indices.
+Schedule = Tuple[int, ...]
+
+
+def validate_schedule(schedule: Iterable[int]) -> Schedule:
+    """Normalise and validate a crash schedule."""
+    out = tuple(int(i) for i in schedule)
+    if any(i < 1 for i in out):
+        raise ReproError(f"crash schedule {out} has non-positive indices")
+    if any(b <= a for a, b in zip(out, out[1:])):
+        raise ReproError(f"crash schedule {out} is not strictly increasing")
+    return out
+
+
+class CrashScheduleRunner:
+    """Injects brown-outs at scheduled payment indices and records
+    crash-point metadata for the explorer.
+
+    Args:
+        schedule: payment indices to crash at (may be empty — then the
+            runner only observes).
+        record: capture per-index fingerprints/categories/labels. Turn
+            off for plain replay runs where only the injection matters.
+        time_sensitive: include the (rounded) simulation time in the
+            recorded fingerprint. Costs pruning power — time advances
+            monotonically — but is required for workloads whose
+            behaviour genuinely depends on absolute time.
+    """
+
+    def __init__(self, schedule: Iterable[int] = (), record: bool = True,
+                 time_sensitive: bool = False):
+        self.schedule = validate_schedule(schedule)
+        self._crash_at = frozenset(self.schedule)
+        self.record = record
+        self.time_sensitive = time_sensitive
+        self.calls = 0
+        self.crashes = 0
+        #: fingerprints[k-1] is the durable state a crash at payment k
+        #: would reboot from.
+        self.fingerprints: List[int] = []
+        self.categories: List[str] = []
+        #: payment index -> commit-step label (only labelled steps).
+        self.labels: Dict[int, str] = {}
+        self._pending_label: Optional[str] = None
+        self._device = None
+        self._fp_cache_key: Optional[Tuple[int, int]] = None
+        self._fp_cache_value: int = 0
+
+    # ------------------------------------------------------------------
+    # Device-facing protocol
+    # ------------------------------------------------------------------
+    def bind(self, device) -> "CrashScheduleRunner":
+        """Attach to ``device`` (sets ``device.scheduler``)."""
+        self._device = device
+        device.scheduler = self
+        return self
+
+    def annotate(self, label: str) -> None:
+        """Label the *next* payment (called by commit protocols)."""
+        self._pending_label = label
+
+    def before_consume(self, duration_s: float, power_w: float,
+                       category: str) -> bool:
+        """Count one payment; True tells the device to brown out."""
+        self.calls += 1
+        if self.record:
+            self.fingerprints.append(self._fingerprint())
+            self.categories.append(category)
+            if self._pending_label is not None:
+                self.labels[self.calls] = self._pending_label
+        self._pending_label = None
+        if self.calls in self._crash_at:
+            self.crashes += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Fingerprinting
+    # ------------------------------------------------------------------
+    def _fingerprint(self) -> int:
+        nvm = self._device.nvm
+        key = (len(nvm), nvm.write_count)
+        if key != self._fp_cache_key:
+            self._fp_cache_key = key
+            self._fp_cache_value = nvm.state_fingerprint()
+        fp = self._fp_cache_value
+        if self.time_sensitive:
+            fp = hash((fp, round(self._device.sim_clock.now(), 9)))
+        return fp
+
+    # ------------------------------------------------------------------
+    # Post-run queries used by the explorer
+    # ------------------------------------------------------------------
+    def fingerprint_at(self, index: int) -> int:
+        """Durable-state fingerprint a crash at payment ``index`` sees."""
+        return self.fingerprints[index - 1]
+
+    def label_at(self, index: int) -> Optional[str]:
+        return self.labels.get(index)
+
+    def category_at(self, index: int) -> str:
+        return self.categories[index - 1]
+
+    def representatives(self, start: int, stop: Optional[int] = None) -> List[int]:
+        """One payment index per distinct crash state in [start, stop].
+
+        Scans the recorded fingerprints and keeps the *first* index of
+        every run of equal fingerprints — crashing anywhere else in the
+        run reboots from the identical durable state, so one
+        representative covers the whole class.
+        """
+        stop = self.calls if stop is None else min(stop, self.calls)
+        out: List[int] = []
+        last_fp: Optional[int] = None
+        for index in range(max(start, 1), stop + 1):
+            fp = self.fingerprints[index - 1]
+            if last_fp is None or fp != last_fp:
+                out.append(index)
+                last_fp = fp
+        return out

@@ -1,0 +1,142 @@
+"""Counterexample minimization.
+
+A raw counterexample from the explorer can carry incidental crashes
+(schedules found at depth k may fail because of a single crash) and can
+point at a late payment when a much earlier one in the same commit
+exposes the identical divergence. :class:`CounterexampleShrinker`
+reduces a failing schedule to a short, readable :class:`Witness` in two
+passes:
+
+1. **Subset minimization** — repeatedly drop crash indices (latest
+   first) while the reduced schedule still fails, to a fixpoint. The
+   result is 1-minimal: removing any remaining crash makes the
+   execution conform.
+2. **Index minimization** — slide each remaining crash to the earliest
+   representative payment (between its neighbours) that still fails,
+   so the witness names the first payment of the offending durable
+   state, typically the start of the guilty commit step.
+
+Every candidate costs one simulated execution; ``max_runs`` bounds the
+total and the witness records whether minimization was cut short.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.verify.explorer import Counterexample, CrashScheduleExplorer
+from repro.verify.schedule import Schedule
+
+
+@dataclass
+class Witness:
+    """A minimized failing schedule with a step-by-step account."""
+
+    scenario: str
+    schedule: Schedule
+    problems: List[str]
+    #: Human-readable steps: one per crash, then one per divergence.
+    steps: List[str] = field(default_factory=list)
+    shrink_runs: int = 0
+    exhausted_budget: bool = False
+    #: Trailing trace events of the failing run (context for debugging).
+    trace_excerpt: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = [
+            f"counterexample for {self.scenario} "
+            f"({len(self.schedule)} crash(es), {len(self.steps)} steps"
+            + (", shrink budget exhausted" if self.exhausted_budget else "")
+            + "):"
+        ]
+        lines += [f"  {i + 1}. {step}" for i, step in enumerate(self.steps)]
+        if self.trace_excerpt:
+            lines.append("  trace tail:")
+            lines += [f"    {line}" for line in self.trace_excerpt]
+        return "\n".join(lines)
+
+
+class CounterexampleShrinker:
+    """Minimizes failing schedules for one explorer's scenario.
+
+    Args:
+        explorer: the explorer that produced the counterexample (its
+            oracle and policy define "still fails").
+        max_runs: ceiling on minimization executions.
+    """
+
+    def __init__(self, explorer: CrashScheduleExplorer, max_runs: int = 150):
+        self.explorer = explorer
+        self.max_runs = max_runs
+        self._runs = 0
+
+    def _fails(self, schedule: Schedule) -> Optional[List[str]]:
+        """Problems if ``schedule`` still fails, else None; None too
+        once the run budget is exhausted (conservative: keep current)."""
+        if self._runs >= self.max_runs:
+            return None
+        self._runs += 1
+        problems = self.explorer.check(schedule)
+        return problems if problems else None
+
+    def shrink(self, counterexample: Counterexample) -> Witness:
+        """Minimize ``counterexample`` and render it as a witness."""
+        self._runs = 0
+        schedule: Tuple[int, ...] = tuple(counterexample.schedule)
+        problems = list(counterexample.problems)
+
+        # Pass 1: drop crashes, latest first, to a fixpoint.
+        changed = True
+        while changed and len(schedule) > 1:
+            changed = False
+            for i in reversed(range(len(schedule))):
+                candidate = schedule[:i] + schedule[i + 1:]
+                found = self._fails(candidate)
+                if found is not None:
+                    schedule, problems = candidate, found
+                    changed = True
+                    break
+
+        # Pass 2: slide each crash to the earliest equivalent-state
+        # payment that still fails. Candidates come from the failing
+        # run's own recording, so they are real, distinct crash states.
+        final = self.explorer.execute(schedule)
+        for i in range(len(schedule)):
+            low = schedule[i - 1] + 1 if i else 1
+            for index in final.runner.representatives(low, schedule[i] - 1):
+                candidate = schedule[:i] + (index,) + schedule[i + 1:]
+                found = self._fails(candidate)
+                if found is not None:
+                    schedule, problems = candidate, found
+                    final = self.explorer.execute(schedule)
+                    break
+
+        return self._witness(schedule, problems, final)
+
+    def _witness(self, schedule: Schedule, problems: List[str],
+                 final_run) -> Witness:
+        runner = final_run.runner
+        steps: List[str] = []
+        for pos, index in enumerate(schedule):
+            label = runner.label_at(index)
+            cat = runner.category_at(index) if index <= runner.calls else "?"
+            where = f" during commit step {label!r}" if label else ""
+            steps.append(
+                f"crash at payment #{index} [{cat}]{where}, then reboot "
+                "and boot-time recovery")
+        steps += [f"divergence: {p}" for p in problems]
+        excerpt = [
+            f"t={event.t:.6f} {event.kind} "
+            + " ".join(f"{k}={v!r}" for k, v in sorted(event.detail.items()))
+            for event in list(final_run.device.trace)[-8:]
+        ]
+        return Witness(
+            scenario=self.explorer.name,
+            schedule=schedule,
+            problems=problems,
+            steps=steps,
+            shrink_runs=self._runs,
+            exhausted_budget=self._runs >= self.max_runs,
+            trace_excerpt=excerpt,
+        )

@@ -1,0 +1,392 @@
+"""Verification scenarios: workload × runtime pairs the checker runs.
+
+Each :class:`Scenario` builds a *deterministic* deployment on a
+continuously-powered device — the only power failures in a verification
+run are the ones the crash schedule injects, so a schedule identifies an
+execution exactly and the crash-free run doubles as the continuous
+oracle.
+
+Determinism requires two deliberate deviations from the benchmark
+configs:
+
+* **Frozen sensors.** The stock workloads model sensors as functions of
+  time; re-execution after a crash would then legitimately read
+  different values, and the oracle comparison could not distinguish
+  that from a lost write. Verification scenarios freeze every sensor at
+  its t=0 value (timestamps written *into* channels are masked by the
+  policy instead — see :data:`repro.verify.oracle.TIME_KEYS`).
+* **Scaled specs.** Collection counts are reduced (e.g. ``collect: 10``
+  → ``collect: 2``) so a full application run stays a few hundred
+  energy payments and bounded exploration is exhaustive in seconds.
+
+The matrix covers three workloads (health wearable, trap camera,
+synthetic task graph) on all four runtimes (ARTEMIS, Mayfly, Chain,
+checkpoint). Chain scenarios hand-roll inline checks, checkpoint
+scenarios re-express the pipeline as block programs — both per their
+runtime's programming model; their oracles compare the runtime's own
+durable outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.baselines.chain import ChainRuntime
+from repro.baselines.mayfly import (
+    Collection,
+    Expiration,
+    MayflyConfig,
+    MayflyRuntime,
+)
+from repro.checkpoint.program import Block, CheckpointProgram
+from repro.checkpoint.runtime import CheckpointRuntime
+from repro.core.runtime import ArtemisRuntime
+from repro.energy.environment import EnergyEnvironment
+from repro.errors import ReproError
+from repro.sim.device import Device
+from repro.taskgraph.app import Application
+from repro.verify.explorer import CrashScheduleExplorer
+from repro.verify.oracle import EquivalencePolicy, mask_time_fields
+from repro.workloads.camera import (
+    build_camera_app,
+    build_camera_runtime,
+    camera_power_model,
+)
+from repro.workloads.health import (
+    build_artemis,
+    build_health_app,
+    health_power_model,
+)
+from repro.workloads.synthetic import synthetic_app, synthetic_properties
+
+WORKLOADS = ("health", "camera", "synthetic")
+RUNTIMES = ("artemis", "mayfly", "chain", "checkpoint")
+
+#: Health benchmark spec scaled for exhaustive exploration: collect 2
+#: instead of 10 (one path restart in the oracle run), generous retry
+#: ceilings so a bounded number of injected crashes cannot exhaust them.
+VERIFY_HEALTH_SPEC = """
+micSense: {
+    maxTries: 10 onFail: skipPath Path: 3;
+}
+
+send: {
+    MITD: 5min dpTask: accel onFail: restartPath maxAttempt: 3 onFail: skipPath Path: 2;
+    collect: 1 dpTask: micSense onFail: restartPath Path: 3;
+}
+
+calcAvg {
+    collect: 2 dpTask: bodyTemp onFail: restartPath;
+}
+
+accel {
+    maxTries: 10 onFail: skipPath Path: 2;
+}
+"""
+
+
+@dataclass
+class Scenario:
+    """One verifiable deployment: how to build it and how to judge it."""
+
+    name: str
+    workload: str
+    runtime: str
+    build: Callable[[], Tuple[Device, Any]]
+    policy: EquivalencePolicy = field(default_factory=EquivalencePolicy)
+    extract_extra: Optional[Callable[[Any, Any], Dict[str, Any]]] = None
+    run_kwargs: Dict[str, Any] = field(default_factory=dict)
+    time_sensitive: bool = False
+
+    def explorer(self) -> CrashScheduleExplorer:
+        return CrashScheduleExplorer(
+            build=self.build,
+            policy=self.policy,
+            extract_extra=self.extract_extra,
+            run_kwargs=self.run_kwargs,
+            time_sensitive=self.time_sensitive,
+            name=self.name,
+        )
+
+
+def _device() -> Device:
+    return Device(EnergyEnvironment.continuous())
+
+
+def _freeze_sensors(app: Application) -> Application:
+    """Replace every sensor with its (deterministic) t=0 constant."""
+    for name, fn in list(app.sensors.items()):
+        value = fn(0.0)
+        app.sensors[name] = (lambda v: (lambda t: v))(value)
+    return app
+
+
+# ---------------------------------------------------------------------------
+# Health wearable
+# ---------------------------------------------------------------------------
+
+def _health_app() -> Application:
+    return _freeze_sensors(build_health_app())
+
+
+def _health_artemis() -> Tuple[Device, Any]:
+    device = _device()
+    return device, build_artemis(device, app=_health_app(),
+                                 spec=VERIFY_HEALTH_SPEC)
+
+
+def _health_mayfly_config() -> MayflyConfig:
+    return MayflyConfig(
+        expirations=[Expiration("send", "accel", 300.0, path=2)],
+        collections=[
+            Collection("calcAvg", "bodyTemp", 2, path=1),
+            Collection("send", "micSense", 1, path=3),
+        ],
+    )
+
+
+def _health_mayfly() -> Tuple[Device, Any]:
+    device = _device()
+    return device, MayflyRuntime(_health_app(), _health_mayfly_config(),
+                                 device, health_power_model())
+
+
+def _health_chain() -> Tuple[Device, Any]:
+    def need_two_temps(ctx):
+        # Hand-rolled collect: 2 — the Figure 2(a) anti-pattern.
+        if len(ctx.read("temps", [])) < 2:
+            return "restart_path"
+        return None
+
+    device = _device()
+    return device, ChainRuntime(_health_app(), {"calcAvg": need_two_temps},
+                                device, health_power_model())
+
+
+def _health_checkpoint() -> Tuple[Device, Any]:
+    def sense(state):
+        state.setdefault("temps", []).append(36.6)
+
+    def avg(state):
+        temps = state["temps"]
+        state["avgTemp"] = sum(temps) / len(temps)
+
+    def send(state):
+        state.setdefault("sent", []).append({"avgTemp": state["avgTemp"]})
+
+    program = CheckpointProgram(
+        "health",
+        blocks=[
+            Block("sense1", 0.05, body=sense),
+            Block("sense2", 0.05, body=sense),
+            Block("avg", 0.08, body=avg),
+            Block("send", 0.30, 1.0e-3, body=send),
+        ],
+        # No checkpoint after sense2: a crash inside `avg` re-executes
+        # sense2 from the sense1 snapshot — re-execution idempotence is
+        # exactly what the oracle comparison checks.
+        checkpoint_after=["sense1", "avg", "send"],
+    )
+    device = _device()
+    return device, CheckpointRuntime(program, device)
+
+
+# ---------------------------------------------------------------------------
+# Trap camera
+# ---------------------------------------------------------------------------
+
+def _camera_app() -> Application:
+    return _freeze_sensors(build_camera_app())
+
+
+def _camera_artemis() -> Tuple[Device, Any]:
+    device = _device()
+    return device, build_camera_runtime(device, app=_camera_app())
+
+
+def _camera_mayfly() -> Tuple[Device, Any]:
+    config = MayflyConfig(
+        expirations=[Expiration("uplinkMeta", "infer", 120.0, path=2)],
+        collections=[Collection("infer", "capture", 1, path=2)],
+    )
+    device = _device()
+    return device, MayflyRuntime(_camera_app(), config, device,
+                                 camera_power_model())
+
+
+def _camera_chain() -> Tuple[Device, Any]:
+    def recheck_once(ctx):
+        # Restart the detection path once: exercises a check-driven
+        # restart whose marker write shares a commit with control state.
+        if ctx.read("recheck", 0) < 1:
+            ctx.write("recheck", 1)
+            return "restart_path"
+        return None
+
+    def need_confidence(ctx):
+        if ctx.read("confidence", None) is None:
+            return "restart_path"
+        return None
+
+    device = _device()
+    checks = {"compress": recheck_once, "uplinkMeta": need_confidence}
+    return device, ChainRuntime(_camera_app(), checks, device,
+                                camera_power_model())
+
+
+def _camera_checkpoint() -> Tuple[Device, Any]:
+    def capture(state):
+        state["frame"] = {"luma": 0.4}
+
+    def compress(state):
+        state["jpeg"] = {"kb": 12.0}
+
+    def infer(state):
+        state["confidence"] = 0.3 + 0.6 * state["frame"]["luma"]
+
+    def uplink(state):
+        state.setdefault("uplinked", []).append(
+            {"kind": "meta", "confidence": state["confidence"]})
+
+    program = CheckpointProgram(
+        "camera",
+        blocks=[
+            Block("capture", 1.2, 15.0e-3, body=capture),
+            Block("compress", 2.0, 0.8e-3, body=compress),
+            Block("infer", 3.0, 1.0e-3, body=infer),
+            Block("uplink", 2.5, 8.0e-3, body=uplink),
+        ],
+        checkpoint_after=["capture", "infer", "uplink"],
+    )
+    device = _device()
+    return device, CheckpointRuntime(program, device)
+
+
+# ---------------------------------------------------------------------------
+# Synthetic task graph
+# ---------------------------------------------------------------------------
+
+_SYNTH_SEED = 7
+
+
+def _synthetic() -> Tuple[Application, Any]:
+    return synthetic_app(n_paths=2, tasks_per_path=(2, 3), seed=_SYNTH_SEED)
+
+
+def _synthetic_artemis() -> Tuple[Device, Any]:
+    app, power = _synthetic()
+    props = synthetic_properties(app, density=0.6, seed=_SYNTH_SEED)
+    device = _device()
+    return device, ArtemisRuntime(app, props, device, power)
+
+
+def _synthetic_mayfly() -> Tuple[Device, Any]:
+    app, power = _synthetic()
+    collections: List[Collection] = []
+    for path in app.paths:
+        if len(path.task_names) >= 2:
+            collections.append(Collection(path.task_names[1],
+                                          path.task_names[0], 2,
+                                          path=path.number))
+            break
+    device = _device()
+    return device, MayflyRuntime(app, MayflyConfig(collections=collections),
+                                 device, power)
+
+
+def _synthetic_chain() -> Tuple[Device, Any]:
+    app, power = _synthetic()
+    target = app.paths[0].task_names[-1]
+
+    def restart_once(ctx):
+        if ctx.read("lap", 0) < 1:
+            ctx.write("lap", 1)
+            return "restart_path"
+        return None
+
+    device = _device()
+    return device, ChainRuntime(app, {target: restart_once}, device, power)
+
+
+def _synthetic_checkpoint() -> Tuple[Device, Any]:
+    def step(i):
+        def body(state):
+            state["acc"] = state.get("acc", 0) + i + 1
+        return body
+
+    program = CheckpointProgram(
+        "synthetic",
+        blocks=[Block(f"b{i}", 0.1 + 0.05 * i, body=step(i))
+                for i in range(4)],
+        checkpoint_after=["b0", "b2", "b3"],
+    )
+    device = _device()
+    return device, CheckpointRuntime(program, device)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+def _checkpoint_extract(program_name: str):
+    """Checkpoint outcomes live in the snapshot slots, not channels."""
+    def extract(device, runtime) -> Dict[str, Any]:
+        nvm = device.nvm
+        slot = nvm.cell(f"ckpt.{program_name}.current").get()
+        if slot not in (0, 1):
+            return {"snapshot": None}
+        snapshot = nvm.cell(f"ckpt.{program_name}.slot{slot}").get()
+        return {"pc": snapshot["pc"],
+                "state": mask_time_fields(snapshot["state"])}
+    return extract
+
+
+_BUILDS: Dict[Tuple[str, str], Callable[[], Tuple[Device, Any]]] = {
+    ("health", "artemis"): _health_artemis,
+    ("health", "mayfly"): _health_mayfly,
+    ("health", "chain"): _health_chain,
+    ("health", "checkpoint"): _health_checkpoint,
+    ("camera", "artemis"): _camera_artemis,
+    ("camera", "mayfly"): _camera_mayfly,
+    ("camera", "chain"): _camera_chain,
+    ("camera", "checkpoint"): _camera_checkpoint,
+    ("synthetic", "artemis"): _synthetic_artemis,
+    ("synthetic", "mayfly"): _synthetic_mayfly,
+    ("synthetic", "chain"): _synthetic_chain,
+    ("synthetic", "checkpoint"): _synthetic_checkpoint,
+}
+
+_CHECKPOINT_PROGRAMS = {"health": "health", "camera": "camera",
+                        "synthetic": "synthetic"}
+
+
+def get_scenario(workload: str, runtime: str) -> Scenario:
+    """The scenario for one workload × runtime pair."""
+    key = (workload, runtime)
+    if key not in _BUILDS:
+        raise ReproError(
+            f"unknown scenario {workload!r} × {runtime!r}; workloads: "
+            f"{WORKLOADS}, runtimes: {RUNTIMES}")
+    extract = (_checkpoint_extract(_CHECKPOINT_PROGRAMS[workload])
+               if runtime == "checkpoint" else None)
+    return Scenario(
+        name=f"{workload}-{runtime}",
+        workload=workload,
+        runtime=runtime,
+        build=_BUILDS[key],
+        policy=EquivalencePolicy(),
+        extract_extra=extract,
+    )
+
+
+def iter_scenarios(
+    workloads: Optional[Iterable[str]] = None,
+    runtimes: Optional[Iterable[str]] = None,
+) -> List[Scenario]:
+    """Scenarios for the given selections (defaults: the full matrix)."""
+    out = []
+    for workload in (workloads or WORKLOADS):
+        for runtime in (runtimes or RUNTIMES):
+            out.append(get_scenario(workload, runtime))
+    return out

@@ -303,3 +303,34 @@ class TestRobustnessFlags:
         spec.write_text("send { maxTries: 4 onFail: skipPath priority: 1; }")
         assert main(["check", str(spec), "--app", app]) == 0
         assert "specification OK" in capsys.readouterr().out
+
+
+class TestVerify:
+    def test_single_scenario_passes(self, capsys):
+        assert main(["verify", "--workload", "health",
+                     "--runtime", "checkpoint", "--bound", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS] health-checkpoint" in out
+
+    def test_counterexample_exits_three_with_witness(self, capsys):
+        from repro.verify import broken_commit_ordering
+        with broken_commit_ordering():
+            code = main(["verify", "--workload", "health",
+                         "--runtime", "artemis", "--bound", "1",
+                         "--budget", "120", "--shrink-runs", "60"])
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "[FAIL] health-artemis" in out
+        assert "crash at payment" in out
+        assert "divergence:" in out
+
+    def test_self_test_flag(self, capsys):
+        assert main(["verify", "--self-test", "--bound", "1",
+                     "--budget", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "mutation self-test" in out
+        assert "crash at payment" in out
+
+    def test_unknown_runtime_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "--runtime", "freertos"])

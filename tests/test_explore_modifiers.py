@@ -1,0 +1,151 @@
+"""Exploration of machines with Range / maxAttempt modifiers, plus the
+unknown-action regression for :meth:`Exploration.can_fail_with`.
+
+The modifiers compile to extra variables (attempt counters) and extra
+guards (range comparisons), which stress two parts of the explorer:
+configuration normalization (time-typed variables are compared by
+offset, counters by value) and the per-action witness bookkeeping when
+one machine can emit several different actions.
+"""
+
+import pytest
+
+from repro.core.actions import ActionType
+from repro.core.generator import generate_machine
+from repro.core.properties import DpData, MITD
+from repro.errors import StateMachineError
+from repro.statemachine.explore import (
+    Exploration,
+    Letter,
+    alphabet_for,
+    explore,
+)
+
+
+def mitd_machine(max_attempt=2):
+    return generate_machine(MITD(
+        task="A", on_fail=ActionType.RESTART_PATH, dep_task="B",
+        limit_s=5.0, max_attempt=max_attempt,
+        max_attempt_action=ActionType.SKIP_PATH))
+
+
+def range_machine():
+    return generate_machine(DpData(
+        task="A", on_fail=ActionType.COMPLETE_PATH, var="v",
+        low=0.0, high=1.0))
+
+
+class TestActionVocabulary:
+    def test_actions_collected_from_fail_statements(self):
+        result = explore(mitd_machine(), alphabet_for(
+            mitd_machine(), deltas=[1.0]), depth=1)
+        assert result.actions == {"restartPath", "skipPath"}
+
+    def test_range_machine_has_single_action(self):
+        result = explore(range_machine(), alphabet_for(
+            range_machine(), deltas=[1.0],
+            data_values={"v": [0.5]}), depth=1)
+        assert result.actions == {"completePath"}
+
+
+class TestUnknownActionRegression:
+    @pytest.fixture(scope="class")
+    def shallow(self):
+        machine = mitd_machine()
+        return explore(machine, alphabet_for(machine, deltas=[1.0, 10.0]),
+                       depth=2)
+
+    def test_unknown_action_raises(self, shallow):
+        # Regression: this used to return False, silently conflating a
+        # typo with "unreachable within the bound".
+        with pytest.raises(StateMachineError, match="skipPth"):
+            shallow.can_fail_with("skipPth")
+
+    def test_unknown_action_raises_for_witness_too(self, shallow):
+        with pytest.raises(StateMachineError):
+            shallow.shortest_witness("completePath")
+
+    def test_error_lists_the_vocabulary(self, shallow):
+        with pytest.raises(StateMachineError, match="restartPath"):
+            shallow.can_fail_with("nope")
+
+    def test_known_unreachable_action_is_false_not_error(self, shallow):
+        # Two attempts are needed before escalation; depth 2 cannot
+        # reach it (dependency + two late starts needs 3 events).
+        assert shallow.can_fail_with("skipPath") is False
+        assert shallow.shortest_witness("skipPath") is None
+
+    def test_legacy_explorations_skip_the_check(self):
+        # Hand-built Exploration objects without a vocabulary (older
+        # callers) keep the permissive membership behaviour.
+        legacy = Exploration(machine="m", depth=1, configurations=1,
+                             reachable_states=frozenset({"s"}))
+        assert legacy.can_fail_with("anything") is False
+
+
+class TestMaxAttemptWitnesses:
+    def test_escalation_witness_longer_than_first_failure(self):
+        machine = mitd_machine(max_attempt=2)
+        alphabet = alphabet_for(machine, deltas=[1.0, 10.0])
+        result = explore(machine, alphabet, depth=4)
+        first = result.shortest_witness("restartPath")
+        escalated = result.shortest_witness("skipPath")
+        assert first is not None and escalated is not None
+        assert len(escalated) > len(first)
+        # Every escalation prefix passes through the per-attempt action.
+        assert result.can_fail_with("restartPath")
+
+    @pytest.mark.parametrize("max_attempt", [1, 2, 3])
+    def test_escalation_depth_tracks_max_attempt(self, max_attempt):
+        machine = mitd_machine(max_attempt=max_attempt)
+        alphabet = alphabet_for(machine, deltas=[10.0])
+        result = explore(machine, alphabet, depth=max_attempt + 2)
+        witness = result.shortest_witness("skipPath")
+        assert witness is not None
+        # One dependency end + max_attempt late starts.
+        assert len(witness) == max_attempt + 1
+
+
+class TestRangeWitnesses:
+    def test_witness_carries_offending_value(self):
+        machine = range_machine()
+        alphabet = alphabet_for(machine, deltas=[1.0],
+                                data_values={"v": [0.5, 7.0]})
+        result = explore(machine, alphabet, depth=2)
+        witness = result.shortest_witness("completePath")
+        assert witness is not None
+        assert dict(witness[-1].data)["v"] == 7.0
+
+    def test_in_range_values_cannot_fail(self):
+        machine = range_machine()
+        alphabet = alphabet_for(machine, deltas=[1.0],
+                                data_values={"v": [0.0, 1.0]})
+        result = explore(machine, alphabet, depth=3)
+        assert result.can_fail_with("completePath") is False
+
+
+class TestTimeNormalization:
+    def test_configurations_deduplicate_across_absolute_time(self):
+        # The MITD machine stores the dependency's end *timestamp*. An
+        # endTask always leaves the variable equal to "now", i.e. offset
+        # zero — so no matter how deep the sequence of ends (and how
+        # large the absolute timestamps grow), there are only two
+        # configurations: initial, and just-saw-the-dependency. Keying
+        # on absolute times would make every step a fresh configuration
+        # and blow the search up exponentially.
+        machine = mitd_machine(max_attempt=None)
+        letters = [Letter("endTask", "B", 1.0), Letter("endTask", "B", 7.0)]
+        result = explore(machine, letters, depth=12)
+        assert result.configurations == 2
+
+    def test_distinct_offsets_are_distinct_configurations(self):
+        # Starts at different gaps after the dependency genuinely differ
+        # (one is inside the 5 s window, one outside), and the
+        # normalised key keeps them apart.
+        machine = mitd_machine(max_attempt=None)
+        one_gap = explore(machine, [Letter("endTask", "B", 1.0),
+                                    Letter("startTask", "A", 1.0)], depth=2)
+        two_gaps = explore(machine, [Letter("endTask", "B", 1.0),
+                                     Letter("startTask", "A", 1.0),
+                                     Letter("startTask", "A", 10.0)], depth=2)
+        assert two_gaps.configurations > one_gap.configurations

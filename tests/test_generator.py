@@ -125,7 +125,11 @@ class TestCollectTemplate:
         inst.on_event(end_event("B", 0.0))
         inst.on_event(end_event("B", 1.0))
         assert inst.on_event(start_event("A", 2.0)) == []
-        assert inst.get("i") == 0  # consumed; next round collects anew
+        # The passing start leaves the count banked: a crash mid-task
+        # re-announces StartTask, and the re-attempt must pass again.
+        assert inst.get("i") == 2
+        inst.on_event(end_event("A", 3.0))
+        assert inst.get("i") == 0  # consumed on completion; next round anew
 
     def test_single_state_machine(self):
         machine = generate_machine(self.prop())
@@ -301,6 +305,10 @@ class TestPathScoping:
         inst.on_event(MonitorEvent("startTask", "send", 1.0, path=2))
         assert inst.get("i") == 1  # untouched by the path-2 start
         assert inst.on_event(MonitorEvent("startTask", "send", 2.0, path=3)) == []
+        assert inst.get("i") == 1  # banked until send completes on path 3
+        inst.on_event(MonitorEvent("endTask", "send", 3.0, path=2))
+        assert inst.get("i") == 1  # a path-2 end does not consume it
+        inst.on_event(MonitorEvent("endTask", "send", 4.0, path=3))
         assert inst.get("i") == 0
 
     def test_fail_carries_declared_path(self):

@@ -212,7 +212,7 @@ class TestImmortalRoutineInvariant:
 
 class TestCollectInvariant:
     @given(st.integers(1, 8),
-           st.lists(st.sampled_from(["endB", "startA"]), max_size=60))
+           st.lists(st.sampled_from(["endB", "startA", "endA"]), max_size=60))
     @settings(max_examples=80, deadline=None)
     def test_start_accepted_iff_enough_collected(self, count, ops):
         prop = Collect(task="A", on_fail=ActionType.RESTART_PATH,
@@ -225,10 +225,16 @@ class TestCollectInvariant:
             if op == "endB":
                 inst.on_event(MonitorEvent("endTask", "B", t))
                 collected += 1
-            else:
+            elif op == "startA":
                 verdicts = inst.on_event(MonitorEvent("startTask", "A", t))
                 if collected >= count:
+                    # Accepted, but the count stays banked until A
+                    # completes: a crash-repeated StartTask for the same
+                    # attempt must pass again (crash consistency).
                     assert verdicts == []
-                    collected = 0  # consumed
                 else:
                     assert [v.action for v in verdicts] == ["restartPath"]
+            else:  # endA — completion consumes the banked samples
+                inst.on_event(MonitorEvent("endTask", "A", t))
+                collected = 0
+            assert inst.get("i") == collected

@@ -1,0 +1,183 @@
+"""Unit tests for the conformance checker's engine.
+
+Covers the crash-schedule runner (payment counting, fingerprint
+recording, representative selection), the explorer (oracle caching,
+exhaustive bound-1 search, budget truncation, strategy validation) and
+the shrinker (subset + index minimization, witness rendering). Scenario
+-level conformance lives in test_verify_scenarios.py.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.verify import (
+    CounterexampleShrinker,
+    CrashScheduleExplorer,
+    CrashScheduleRunner,
+    EquivalencePolicy,
+    broken_commit_ordering,
+    get_scenario,
+    mask_time_fields,
+    validate_schedule,
+)
+
+
+class TestValidateSchedule:
+    def test_accepts_increasing(self):
+        assert validate_schedule((3, 7, 9)) == (3, 7, 9)
+
+    def test_accepts_empty(self):
+        assert validate_schedule(()) == ()
+
+    def test_rejects_non_increasing(self):
+        with pytest.raises(ReproError):
+            validate_schedule((5, 5))
+        with pytest.raises(ReproError):
+            validate_schedule((7, 3))
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ReproError):
+            validate_schedule((0, 2))
+
+
+class TestMaskTimeFields:
+    def test_masks_recursively(self):
+        value = {"t": 1.5, "payload": [{"timestamp": 2.0, "v": 3}], "v": 9}
+        masked = mask_time_fields(value)
+        assert masked == {"t": "<t>", "payload": [{"timestamp": "<t>",
+                                                   "v": 3}], "v": 9}
+
+    def test_leaves_scalars_alone(self):
+        assert mask_time_fields(42) == 42
+        assert mask_time_fields("t") == "t"
+
+
+class TestRunnerRecording:
+    @pytest.fixture(scope="class")
+    def oracle(self):
+        return get_scenario("health", "checkpoint").explorer().oracle_run
+
+    def test_counts_every_payment(self, oracle):
+        runner = oracle.runner
+        assert runner.calls > 0
+        assert len(runner.fingerprints) == runner.calls
+        assert len(runner.categories) == runner.calls
+
+    def test_representatives_are_first_of_each_run(self, oracle):
+        runner = oracle.runner
+        reps = runner.representatives(1)
+        assert reps[0] == 1
+        assert reps == sorted(set(reps))
+        # Each representative differs from its predecessor payment.
+        for index in reps[1:]:
+            assert (runner.fingerprint_at(index)
+                    != runner.fingerprint_at(index - 1))
+
+    def test_representatives_window(self, oracle):
+        runner = oracle.runner
+        full = runner.representatives(1)
+        assert runner.representatives(full[-1]) [0] == full[-1]
+        assert runner.representatives(1, 0) == []
+
+    def test_commit_payments_are_labelled(self):
+        # Journaled runtimes (here: ARTEMIS) forward per-step commit
+        # labels, so witnesses can name the guilty journal step.
+        runner = get_scenario("synthetic", "artemis").explorer() \
+            .oracle_run.runner
+        labelled = [i for i in range(1, runner.calls + 1)
+                    if runner.label_at(i)]
+        assert labelled, "commit steps must forward their labels"
+        for index in labelled:
+            assert runner.category_at(index) == "commit"
+
+
+class TestExplorer:
+    @pytest.fixture()
+    def explorer(self):
+        return get_scenario("health", "checkpoint").explorer()
+
+    def test_oracle_cached(self, explorer):
+        assert explorer.oracle_run is explorer.oracle_run
+        assert explorer.oracle.completed
+
+    def test_bound_zero_checks_nothing(self, explorer):
+        report = explorer.explore(bound=0)
+        assert report.ok and report.schedules_checked == 0
+
+    def test_bound_one_is_exhaustive_over_representatives(self, explorer):
+        report = explorer.explore(bound=1, budget=500, stop_on_first=False)
+        assert report.ok
+        assert not report.truncated
+        assert report.schedules_checked == report.depth1_crash_points
+
+    def test_budget_truncates_and_says_so(self, explorer):
+        report = explorer.explore(bound=2, budget=3)
+        assert report.truncated
+        assert report.runs_executed <= 3
+        assert "TRUNCATED" in report.summary()
+
+    def test_unknown_strategy_rejected(self, explorer):
+        with pytest.raises(ReproError):
+            explorer.explore(strategy="random")
+
+    def test_negative_bound_rejected(self, explorer):
+        with pytest.raises(ReproError):
+            explorer.explore(bound=-1)
+
+    def test_check_on_conforming_schedule_is_empty(self, explorer):
+        reps = explorer.oracle_run.runner.representatives(1)
+        assert explorer.check((reps[0],)) == []
+
+    def test_dfs_reaches_the_bound(self, explorer):
+        report = explorer.explore(bound=2, budget=500, strategy="dfs",
+                                  stop_on_first=False)
+        assert report.ok and not report.truncated
+
+
+class TestNonCompletingOracle:
+    def test_oracle_must_complete(self):
+        def build():
+            scenario = get_scenario("health", "checkpoint")
+            device, runtime = scenario.build()
+            return device, runtime
+
+        explorer = CrashScheduleExplorer(
+            build, run_kwargs={"max_time_s": 1e-6}, name="starved")
+        with pytest.raises(ReproError, match="oracle"):
+            explorer.oracle_run
+
+
+class TestShrinker:
+    def test_shrinks_to_single_crash(self):
+        scenario = get_scenario("health", "artemis")
+        with broken_commit_ordering():
+            explorer = scenario.explorer()
+            report = explorer.explore(bound=2, budget=300)
+            assert not report.ok
+            raw = report.counterexamples[0]
+            witness = CounterexampleShrinker(explorer, max_runs=80).shrink(raw)
+            # 1-minimal: a single crash exposes the injected bug.
+            assert len(witness.schedule) == 1
+            assert len(witness.schedule) <= len(raw.schedule)
+            assert witness.problems
+            assert witness.steps
+            assert "crash at payment" in witness.describe()
+            # The minimized schedule still fails under the mutation.
+            assert explorer.check(witness.schedule)
+
+    def test_budget_exhaustion_is_reported(self):
+        scenario = get_scenario("health", "artemis")
+        with broken_commit_ordering():
+            explorer = scenario.explorer()
+            report = explorer.explore(bound=1, budget=200)
+            assert not report.ok
+            shrinker = CounterexampleShrinker(explorer, max_runs=0)
+            witness = shrinker.shrink(report.counterexamples[0])
+            assert witness.exhausted_budget
+
+
+class TestEquivalencePolicy:
+    def test_default_policy_is_exact(self):
+        policy = EquivalencePolicy()
+        assert not policy.monotone_channels
+        assert policy.compare_actions == "sequence"

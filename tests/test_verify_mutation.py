@@ -1,0 +1,75 @@
+"""Mutation self-test: the checker must catch an injected bug.
+
+The acceptance bar for the conformance checker is falsifiability: with
+``CommitJournal.TEST_SKIP_RECOVERY_APPLY`` breaking boot-time
+roll-forward (the first journal entry is silently not re-applied), the
+checker must find a counterexample and shrink it to a short witness.
+With the flag off, the same exploration must pass — the bug is only
+reachable through crash recovery.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.nvm.journal import CommitJournal
+from repro.verify import broken_commit_ordering, get_scenario, run_self_test
+
+
+class TestInjectedBugIsCaught:
+    @pytest.fixture(scope="class")
+    def self_test(self):
+        return run_self_test(bound=1, budget=400, shrink_runs=100)
+
+    def test_counterexample_found(self, self_test):
+        report, _ = self_test
+        assert not report.ok
+        assert report.counterexamples
+
+    def test_witness_is_short(self, self_test):
+        _, witness = self_test
+        # Acceptance bound: a human can read the whole failure story.
+        assert len(witness.steps) <= 6
+        assert len(witness.schedule) == 1
+
+    def test_witness_names_the_commit_step(self, self_test):
+        _, witness = self_test
+        # The crash that exposes a recovery bug sits inside a journaled
+        # commit, and the witness says which step.
+        text = witness.describe()
+        assert "during commit step" in text
+        assert "divergence:" in text
+
+    def test_flag_restored_after_context(self, self_test):
+        assert CommitJournal.TEST_SKIP_RECOVERY_APPLY is False
+
+
+class TestFlagOffConforms:
+    def test_unmutated_scenario_passes_same_bound(self):
+        explorer = get_scenario("health", "artemis").explorer()
+        report = explorer.explore(bound=1, budget=400)
+        assert report.ok, report.summary()
+
+
+class TestSelfTestRaisesWhenBlind:
+    def test_zero_budget_checker_misses_the_bug(self):
+        # A checker that cannot run any schedules must *fail loudly*,
+        # not report success.
+        with pytest.raises(ReproError, match="missed the injected"):
+            run_self_test(bound=0, budget=1)
+
+    def test_flag_restored_after_failure(self):
+        assert CommitJournal.TEST_SKIP_RECOVERY_APPLY is False
+
+
+class TestBrokenCommitOrderingContext:
+    def test_toggles_and_restores(self):
+        assert CommitJournal.TEST_SKIP_RECOVERY_APPLY is False
+        with broken_commit_ordering():
+            assert CommitJournal.TEST_SKIP_RECOVERY_APPLY is True
+        assert CommitJournal.TEST_SKIP_RECOVERY_APPLY is False
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with broken_commit_ordering():
+                raise RuntimeError("boom")
+        assert CommitJournal.TEST_SKIP_RECOVERY_APPLY is False

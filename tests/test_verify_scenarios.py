@@ -1,0 +1,61 @@
+"""Conformance of the workload × runtime matrix (tier-1 gate).
+
+Every scenario in the matrix is explored at a small bound and must
+conform to its continuous-power oracle. Budgets keep the tier-1 cost
+bounded; the CI soak matrix re-runs the same check at deeper bounds and
+bigger budgets through ``artemis-repro verify``.
+"""
+
+import pytest
+
+from repro.verify import RUNTIMES, WORKLOADS, get_scenario, iter_scenarios
+
+#: Tier-1 execution budget per scenario. ARTEMIS baselines pay ~300
+#: energy payments, so this checks a prefix of the depth-1 crash points
+#: there (the report says so); the cheaper runtimes are exhaustive.
+BUDGET = 120
+
+MATRIX = [(s.workload, s.runtime) for s in iter_scenarios()]
+
+
+class TestMatrixShape:
+    def test_matrix_is_full_cross_product(self):
+        assert len(MATRIX) == len(WORKLOADS) * len(RUNTIMES)
+
+    def test_scenario_names(self):
+        scenario = get_scenario("camera", "mayfly")
+        assert scenario.name == "camera-mayfly"
+
+    def test_unknown_scenario_rejected(self):
+        from repro.errors import ReproError
+        with pytest.raises(ReproError):
+            get_scenario("health", "freertos")
+
+
+class TestScenariosConform:
+    @pytest.mark.parametrize("workload,runtime", MATRIX,
+                             ids=[f"{w}-{r}" for w, r in MATRIX])
+    def test_bound1_conforms(self, workload, runtime):
+        explorer = get_scenario(workload, runtime).explorer()
+        report = explorer.explore(bound=1, budget=BUDGET,
+                                  stop_on_first=False)
+        assert report.ok, "\n".join(
+            [report.summary()]
+            + [c.describe() for c in report.counterexamples])
+
+    def test_checkpoint_bound2_exhaustive(self):
+        # The checkpoint scenarios are small enough to exhaust two
+        # crashes outright — every pair of crash points conforms.
+        explorer = get_scenario("health", "checkpoint").explorer()
+        report = explorer.explore(bound=2, budget=500, stop_on_first=False)
+        assert report.ok and not report.truncated
+
+
+class TestOracleDeterminism:
+    def test_same_schedule_same_outcome(self):
+        explorer = get_scenario("synthetic", "chain").explorer()
+        reps = explorer.oracle_run.runner.representatives(1)
+        schedule = (reps[len(reps) // 2],)
+        first = explorer.execute(schedule).outcome
+        second = explorer.execute(schedule).outcome
+        assert first == second
