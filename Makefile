@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test crashsweep conformance soak bench bench-baseline bench-check examples figures verify all
+.PHONY: install test crashsweep conformance soak bench bench-baseline bench-check examples figures fleet verify all
 
 # Crash bound for the conformance checker (docs/verification.md).
 BOUND ?= 2
@@ -36,6 +36,19 @@ soak:
 		SOAK_SEED=$$s PYTHONPATH=src $(PYTHON) -m pytest \
 			tests/test_soak_random_faults.py -q || exit 1; \
 	done
+
+# Fleet size for the staged-rollout target (docs/fleet.md).
+FLEET_DEVICES ?= 24
+
+# Staged OTA rollout of the benign v2 update across a simulated fleet,
+# then the fleet unit tests. Exit 3 from the CLI means the regression
+# gate halted the rollout.
+fleet:
+	PYTHONPATH=src $(PYTHON) -m repro.cli fleet rollout \
+		--devices $(FLEET_DEVICES) --jobs $(JOBS)
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_fleet_bundle.py \
+		tests/test_fleet_transport.py tests/test_fleet_install.py \
+		tests/test_fleet_ota_verify.py tests/test_fleet_rollout.py -q
 
 bench:
 	REPRO_BENCH_JOBS=$(JOBS) $(PYTHON) -m pytest benchmarks/ --benchmark-only -q

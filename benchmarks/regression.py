@@ -47,6 +47,7 @@ METRIC_DIRECTIONS: Dict[str, str] = {
     "dispatch_us_per_event": "lower",
     "cache_speedup": "higher",
     "cache_hit_rate": "higher",
+    "fleet_devices_per_s": "higher",
     "parallel_speedup": "info",
     "sweep_serial_s": "info",
     "sweep_parallel_s": "info",
@@ -160,6 +161,26 @@ def _measure_sweep(jobs: int = 4) -> Dict[str, float]:
     }
 
 
+def _measure_fleet(n_devices: int = 16, jobs: int = 4,
+                   trials: int = 2) -> float:
+    """Best-of-N staged-rollout throughput (fleet devices evaluated per
+    second, paired control included) on the benign v2 update."""
+    from repro.fleet.server import FLEET_SPEC_V2, FleetServer, RolloutPlan
+
+    server = FleetServer()
+    plan = RolloutPlan(waves=(0.25, 1.0), runs=2, loss_rate=0.02, seed=0)
+    best: Optional[float] = None
+    for _ in range(trials):
+        t0 = time.perf_counter()
+        report = server.rollout(FLEET_SPEC_V2, n_devices, plan=plan,
+                                jobs=jobs)
+        elapsed = time.perf_counter() - t0
+        if not report.ok or report.devices_attempted != n_devices:
+            raise AssertionError("benign fleet rollout failed to complete")
+        best = elapsed if best is None else min(best, elapsed)
+    return n_devices / best
+
+
 def collect_metrics() -> Dict[str, float]:
     """Run the whole measurement suite; returns metric name -> value."""
     generated = _measure_engine("generated")
@@ -170,6 +191,7 @@ def collect_metrics() -> Dict[str, float]:
         "dispatch_us_per_event": 1e6 / generated,
     }
     metrics.update(_measure_sweep())
+    metrics["fleet_devices_per_s"] = _measure_fleet()
     return metrics
 
 

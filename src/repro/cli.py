@@ -24,6 +24,14 @@ Three subcommands mirror the paper's development flow (Figure 3):
     when a counterexample is found; ``--self-test`` instead proves the
     checker catches a deliberately injected recovery bug.
 
+``artemis-repro fleet``
+    Drive the fleet OTA subsystem (see ``docs/fleet.md``): ``status``
+    describes the update a rollout would ship (versions, hashes, wire
+    sizes, spec-compatibility diff), ``rollout`` pushes it to N
+    simulated devices in staged waves with halt-on-regression (exits 3
+    when the rollout halts), and ``telemetry`` dumps the per-device
+    reports of a single-wave rollout.
+
 Applications are described in JSON (general Python task bodies require
 the library API)::
 
@@ -56,6 +64,12 @@ from repro.core.runtime import ArtemisRuntime
 from repro.energy.environment import EnergyEnvironment, default_capacitor
 from repro.energy.power import MCU_ACTIVE_POWER_W, PowerModel, TaskCost
 from repro.errors import ReproError, RuntimeConfigError
+from repro.fleet import FleetServer, RolloutPlan, build_bundle, compat_diff
+from repro.fleet.server import (
+    FLEET_SPEC_REGRESSING,
+    FLEET_SPEC_V1,
+    FLEET_SPEC_V2,
+)
 from repro.peripherals import PeripheralSet, parse_fault_spec
 from repro.sim.analysis import action_summary, render_timeline
 from repro.sim.device import Device
@@ -73,6 +87,7 @@ from repro.spec.mayfly_frontend import load_mayfly_properties
 from repro.spec.validator import load_properties
 from repro.statemachine.codegen_c import generate_c_bundle, generate_c_header
 from repro.verify import (
+    EXTRA_SCENARIOS,
     RUNTIMES,
     WORKLOADS,
     CounterexampleShrinker,
@@ -80,6 +95,7 @@ from repro.verify import (
     run_self_test,
 )
 from repro.statemachine.codegen_python import generate_python_source
+from repro.workloads.health import build_health_app
 from repro.statemachine.textual import print_machine
 from repro.taskgraph.app import Application
 from repro.taskgraph.path import Path as TaskPath
@@ -343,6 +359,101 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 3 if failed else 0
 
 
+#: Named update specs a fleet rollout can ship from the CLI. ``v2`` is
+#: the benign benchmark update; ``regressing`` carries an unsatisfiable
+#: range check, so a staged rollout must halt at the canary wave.
+_FLEET_UPDATES = {
+    "v2": FLEET_SPEC_V2,
+    "regressing": FLEET_SPEC_REGRESSING,
+}
+
+
+def _fleet_plan(args: argparse.Namespace) -> RolloutPlan:
+    try:
+        waves = tuple(float(x) for x in args.waves.split(",") if x.strip())
+    except ValueError:
+        raise RuntimeConfigError(
+            f"--waves must be comma-separated fractions, got {args.waves!r}"
+        ) from None
+    return RolloutPlan(
+        waves=waves,
+        runs=args.runs,
+        halt_threshold=args.halt_threshold,
+        loss_rate=args.loss,
+        use_delta=not args.full_bundle,
+        seed=args.seed,
+    )
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Run the ``fleet`` subcommand; returns the process exit code.
+
+    Exit codes: 0 = success, 1 = usage error, 3 = rollout halted by the
+    regression gate.
+    """
+    new_spec = (_read_spec(args.spec_file) if args.spec_file
+                else _FLEET_UPDATES[args.update])
+    server = FleetServer()
+
+    if args.action == "status":
+        app = build_health_app()
+        base = build_bundle(FLEET_SPEC_V1, app, version=1)
+        target = build_bundle(new_spec, app, version=2)
+        diff = compat_diff(base, target)
+        status = {
+            "base": {"version": base.version, "hash": base.content_hash,
+                     "machines": [name for name, _ in base.machines]},
+            "update": {"version": target.version,
+                       "hash": target.content_hash,
+                       "machines": [name for name, _ in target.machines],
+                       "wire_bytes_full": len(target.to_wire()),
+                       "wire_bytes_delta": len(base.delta_to(target).to_wire())},
+            "compat_diff": {"kept": list(diff.kept),
+                            "changed": list(diff.changed),
+                            "added": list(diff.added),
+                            "removed": list(diff.removed)},
+        }
+        if args.json:
+            print(json.dumps(status, indent=2))
+        else:
+            base_i, update_i = status["base"], status["update"]
+            print(f"base v{base_i['version']} ({base_i['hash'][:12]}): "
+                  + ", ".join(base_i["machines"]))
+            print(f"update v{update_i['version']} ({update_i['hash'][:12]}): "
+                  + ", ".join(update_i["machines"]))
+            print(f"wire: {update_i['wire_bytes_full']} B full, "
+                  f"{update_i['wire_bytes_delta']} B delta")
+            print("migration: "
+                  + "; ".join(f"{k}={v}" for k, v
+                              in status["compat_diff"].items()))
+        return 0
+
+    plan = _fleet_plan(args)
+    if args.action == "telemetry":
+        # One wave over the whole fleet: telemetry is about the reports,
+        # not the staging policy.
+        plan = RolloutPlan(
+            waves=(1.0,), runs=plan.runs, halt_threshold=plan.halt_threshold,
+            loss_rate=plan.loss_rate, use_delta=plan.use_delta,
+            seed=plan.seed,
+        )
+    cache = ResultCache(args.cache) if args.cache else None
+    report = server.rollout(new_spec, args.devices, plan=plan,
+                            jobs=args.jobs, cache=cache)
+    if args.action == "telemetry":
+        rows = [t.to_row() for t in report.all_telemetry()]
+        if args.json:
+            print(json.dumps(rows, indent=2))
+        else:
+            print(format_rows(rows))
+        return 0
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.describe())
+    return 3 if report.halted else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI definition."""
     parser = argparse.ArgumentParser(
@@ -430,8 +541,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify = sub.add_parser(
         "verify", help="crash-schedule conformance checking")
     p_verify.add_argument("--workload", default="all",
-                          choices=("all",) + WORKLOADS,
-                          help="workload to check (default: all)")
+                          choices=("all",) + WORKLOADS + tuple(sorted(
+                              {w for w, _ in EXTRA_SCENARIOS})),
+                          help="workload to check (default: all; 'ota' "
+                               "checks the fleet update pipeline)")
     p_verify.add_argument("--runtime", default="all",
                           choices=("all",) + RUNTIMES,
                           help="runtime to check (default: all)")
@@ -452,6 +565,46 @@ def build_parser() -> argparse.ArgumentParser:
                           help="inject a known recovery bug and prove the "
                                "checker finds and shrinks it")
     p_verify.set_defaults(fn=cmd_verify)
+
+    p_fleet = sub.add_parser(
+        "fleet", help="fleet OTA: staged rollouts, status, telemetry")
+    p_fleet.add_argument("action",
+                         choices=("rollout", "status", "telemetry"),
+                         help="rollout = staged waves with "
+                              "halt-on-regression (exit 3 on halt); "
+                              "status = describe the update bundle; "
+                              "telemetry = per-device reports")
+    p_fleet.add_argument("--update", default="v2",
+                         choices=tuple(sorted(_FLEET_UPDATES)),
+                         help="named update spec to ship (default: v2)")
+    p_fleet.add_argument("--spec-file", default=None, metavar="FILE",
+                         help="ship this spec file instead of --update")
+    p_fleet.add_argument("--devices", type=int, default=20,
+                         help="fleet size (default: 20)")
+    p_fleet.add_argument("--waves", default="0.1,0.5,1.0",
+                         help="cumulative wave fractions "
+                              "(default: 0.1,0.5,1.0)")
+    p_fleet.add_argument("--runs", type=int, default=3,
+                         help="application runs each device simulates")
+    p_fleet.add_argument("--halt-threshold", type=float, default=0.5,
+                         help="halt when the paired-control violation "
+                              "delta per run exceeds this (default: 0.5)")
+    p_fleet.add_argument("--loss", type=float, default=0.05,
+                         help="chunk-loss probability of the OTA link "
+                              "(default: 0.05)")
+    p_fleet.add_argument("--full-bundle", action="store_true",
+                         help="ship a full bundle instead of a delta")
+    p_fleet.add_argument("--seed", type=int, default=0,
+                         help="perturbs per-device chunk-loss streams")
+    p_fleet.add_argument("-j", "--jobs", type=int, default=1,
+                         help="worker processes per wave sweep")
+    p_fleet.add_argument("--cache", nargs="?", const=".repro_cache",
+                         default=None, metavar="DIR",
+                         help="serve unchanged devices from a result "
+                              "cache (default dir: .repro_cache)")
+    p_fleet.add_argument("--json", action="store_true",
+                         help="machine-readable output")
+    p_fleet.set_defaults(fn=cmd_fleet)
     return parser
 
 

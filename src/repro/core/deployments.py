@@ -116,7 +116,10 @@ class RemoteMonitorRuntime(ArtemisRuntime):
         return action
 
     def _spend_radio(self, seconds: float) -> None:
-        self._device.consume(seconds, self.radio.power_w, "monitor")
+        # Charged to the shared "radio" category — the same one the fleet
+        # OTA transport uses — so the §7 ablation and the update subsystem
+        # agree on what wireless airtime costs.
+        self._device.consume(seconds, self.radio.power_w, "radio")
 
     def _spend_monitor(self, seconds: float) -> None:
         self._spend_radio(seconds)

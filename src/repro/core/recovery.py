@@ -119,8 +119,23 @@ class RecoveryManager:
         A corrupted cell is always reset to its allocation-time initial
         value first; ``repair``, if given, then re-initialises the
         owning component (and describes what it did).
+
+        Re-registering an already-guarded prefix replaces its repairer
+        (an OTA monitor swap points the old prefixes at the new monitor).
         """
+        for i, (existing, _) in enumerate(self._guards):
+            if existing == prefix:
+                self._guards[i] = (prefix, repair)
+                return
         self._guards.append((prefix, repair))
+
+    def unguard(self, prefix: str) -> None:
+        """Drop a guarded prefix (its cells become unmanaged again)."""
+        self._guards = [(p, r) for p, r in self._guards if p != prefix]
+
+    def set_monitor(self, monitor) -> None:
+        """Point boot-time monitor validation at a replacement monitor."""
+        self._monitor = monitor
 
     def add_invariant(
         self,

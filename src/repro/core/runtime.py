@@ -149,6 +149,10 @@ class ArtemisRuntime:
         # and the boot-time recovery pass that resolves it, verifies
         # cell checksums, and repairs state invariants.
         self._journal = CommitJournal(nvm)
+        # Volatile: a queued monitor hot-swap (fleet OTA). Deliberately
+        # not in NVM — losing it to a crash only delays the swap until
+        # the transfer layer re-requests it after reboot.
+        self._pending_swap = None
         self.recovery = RecoveryManager(nvm, journal=self._journal,
                                         monitor=self.monitor,
                                         audit=self.audit)
@@ -184,6 +188,66 @@ class ArtemisRuntime:
     @property
     def current_path_number(self) -> int:
         return self._cur_path.get()
+
+    @property
+    def journal(self) -> CommitJournal:
+        """The shared commit journal (task commits and OTA activation)."""
+        return self._journal
+
+    # ------------------------------------------------------------------
+    # Monitor hot-swap (fleet OTA)
+    # ------------------------------------------------------------------
+    def request_monitor_swap(self, swap) -> None:
+        """Queue ``swap(runtime)`` to run at the next path boundary.
+
+        §4.1.3's timestamp-consistency rules forbid replacing the
+        monitor mid-path: a machine could hold the first-attempt
+        timestamp of a StartTask whose EndTask the new monitor would
+        never see. At a path boundary no event is in flight, no call is
+        half-finalised, and the next event is a fresh StartTask — the
+        only point where the active monitor set may change.
+        """
+        self._pending_swap = swap
+
+    def at_path_boundary(self) -> bool:
+        """True when no task or monitor call is in flight."""
+        return (self._status.get() == _READY
+                and self._cur_idx.get() == 0
+                and not self._start_checked.get()
+                and not self._suspended.get()
+                and not self.monitor.in_progress)
+
+    def attach_monitor(self, monitor, props: Optional[PropertySet] = None) -> None:
+        """Replace the active monitor set (OTA hot swap).
+
+        Re-points boot-time recovery (guards + validation) and the
+        degradation controller at the replacement. Callers are
+        responsible for invoking this only at a path boundary.
+        """
+        old_prefixes = set(self.monitor.nvm_prefixes())
+        self.monitor = monitor
+        if props is not None:
+            self.props = props
+            self._energy_probe = any(
+                isinstance(p, EnergyAtLeast) for p in props
+            )
+        new_prefixes = set(monitor.nvm_prefixes())
+        for prefix in old_prefixes - new_prefixes:
+            self.recovery.unguard(prefix)
+        for prefix in new_prefixes:
+            self.recovery.guard(prefix, repair=monitor.repair_cell)
+        self.recovery.set_monitor(monitor)
+        if self._degradation is not None:
+            self._degradation.monitor = monitor
+
+    def _maybe_apply_swap(self) -> None:
+        if self._pending_swap is None or not self.at_path_boundary():
+            return
+        # Cleared only after the swap returns: a power failure inside
+        # the swap's journaled activation keeps it queued, so it rolls
+        # forward at the next boundary (swaps must be idempotent).
+        self._pending_swap(self)
+        self._pending_swap = None
 
     # ------------------------------------------------------------------
     # Boot protocol (Figure 8: resetMonitor / monitorFinalize)
@@ -300,6 +364,7 @@ class ArtemisRuntime:
                                   sense_power_w=self.power.overhead_power_w)
         if self._degradation is not None:
             self._degradation.update(device)
+        self._maybe_apply_swap()
         if self._status.get() == _READY:
             if not self._start_checked.get() and not self._suspended.get():
                 if not self._check_start():

@@ -85,6 +85,12 @@ class SimulationError(ReproError):
     energy cost exceeds the usable capacitor energy can never complete)."""
 
 
+class FleetError(ReproError):
+    """Raised by the fleet OTA subsystem: malformed or corrupted monitor
+    bundles, wire-format violations, delta/base mismatches, and update
+    transfers aborted by the link-livelock guard."""
+
+
 class PowerFailure(BaseException):
     """Signal raised by the device when stored energy hits the cutoff.
 

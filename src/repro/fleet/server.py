@@ -1,0 +1,408 @@
+"""Fleet server: staged rollouts with halt-on-regression.
+
+:class:`FleetServer` pushes a new monitor spec to N simulated devices
+with heterogeneous energy traces (wall power, fixed charging delays,
+RF-mobility harvesting), in percentage *waves*: each wave's devices run
+a full simulation — application + OTA download + crash-safe install —
+and report :class:`~repro.fleet.telemetry.DeviceTelemetry`. After each
+wave the server compares per-run violation rates before and after
+activation across the wave's installed devices; a delta above the
+plan's threshold halts the rollout before the next (larger) wave ships
+the regression. Scale runs shard across
+:class:`~repro.sim.pool.ParallelSweep` via the standard
+:class:`~repro.sim.experiments.Sweep` machinery.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.retry import RetryPolicy
+from repro.errors import FleetError
+from repro.fleet.bundle import build_bundle
+from repro.fleet.device import UpdatableRuntime
+from repro.fleet.install import BundleInstaller
+from repro.fleet.telemetry import DeviceTelemetry, FleetSummary, aggregate
+from repro.fleet.transport import ChunkLoss, OtaTransport
+from repro.sim.experiments import Sweep
+from repro.workloads.health import (
+    BENCHMARK_SPEC,
+    build_artemis,
+    build_health_app,
+    health_power_model,
+    make_continuous_device,
+    make_intermittent_device,
+    make_rf_device,
+)
+
+#: The fleet's installed baseline: the benchmark health spec.
+FLEET_SPEC_V1 = BENCHMARK_SPEC
+
+#: A benign update: tighter averaging window (changed machine) plus a
+#: generous new watchdog on bodyTemp (added machine that never fires).
+FLEET_SPEC_V2 = """
+micSense: {
+    maxTries: 10 onFail: skipPath Path: 3;
+}
+
+send: {
+    MITD: 5min dpTask: accel onFail: restartPath maxAttempt: 3 onFail: skipPath Path: 2;
+    collect: 1 dpTask: micSense onFail: restartPath Path: 3;
+}
+
+calcAvg {
+    collect: 8 dpTask: bodyTemp onFail: restartPath;
+}
+
+accel {
+    maxTries: 10 onFail: skipPath Path: 2;
+}
+
+bodyTemp: {
+    maxTries: 50 onFail: skipTask Path: 1;
+}
+"""
+
+#: A deliberately regressing update: the added range check on avgTemp is
+#: physically unsatisfiable (body temperature is never below 1°C), so
+#: every completed averaging window fires a corrective action. The app
+#: still terminates — skipTask on a finished task just moves on — which
+#: is exactly the kind of noisy-but-not-fatal regression staged rollouts
+#: must catch from telemetry.
+FLEET_SPEC_REGRESSING = """
+micSense: {
+    maxTries: 10 onFail: skipPath Path: 3;
+}
+
+send: {
+    MITD: 5min dpTask: accel onFail: restartPath maxAttempt: 3 onFail: skipPath Path: 2;
+    collect: 1 dpTask: micSense onFail: restartPath Path: 3;
+}
+
+calcAvg {
+    collect: 10 dpTask: bodyTemp onFail: restartPath;
+    dpData: avgTemp Range: [0, 1] onFail: skipTask;
+}
+
+accel {
+    maxTries: 10 onFail: skipPath Path: 2;
+}
+"""
+
+
+@dataclass(frozen=True)
+class RolloutPlan:
+    """Knobs of one staged rollout.
+
+    Attributes:
+        waves: cumulative fleet fractions per wave, strictly increasing,
+            ending at 1.0 (``(0.1, 0.5, 1.0)`` = 10% canary, then half,
+            then everyone).
+        runs: application iterations each device simulates.
+        halt_threshold: halt when the mean per-run violation-rate
+            increase across a wave's installed devices exceeds this.
+        chunk_size / loss_rate / retry_max_attempts: OTA link shape.
+        boot_loop_threshold: boots on probation before auto-rollback.
+        use_delta: ship a delta against the installed baseline instead
+            of a full bundle.
+        seed: perturbs every device's chunk-loss stream.
+    """
+
+    waves: Tuple[float, ...] = (0.1, 0.5, 1.0)
+    runs: int = 3
+    halt_threshold: float = 0.5
+    chunk_size: int = 192
+    loss_rate: float = 0.05
+    retry_max_attempts: int = 8
+    boot_loop_threshold: int = 8
+    use_delta: bool = True
+    seed: int = 0
+    max_time_s: float = 8 * 3600.0
+    max_reboots: int = 600
+
+    def __post_init__(self) -> None:
+        if not self.waves:
+            raise FleetError("rollout plan needs at least one wave")
+        previous = 0.0
+        for frac in self.waves:
+            if not previous < frac <= 1.0:
+                raise FleetError(
+                    f"wave fractions must be strictly increasing in (0, 1], "
+                    f"got {self.waves}"
+                )
+            previous = frac
+        if abs(self.waves[-1] - 1.0) > 1e-9:
+            raise FleetError("the final wave must cover the whole fleet (1.0)")
+        if self.runs < 1:
+            raise FleetError("runs must be >= 1")
+
+
+@dataclass
+class WaveReport:
+    """Outcome of one rollout wave.
+
+    ``regression_delta`` is the paired-control signal the halt decision
+    uses: the wave's devices are simulated twice from identical initial
+    state — once receiving the update, once not — and the delta is the
+    mean per-run increase in corrective actions attributable to the
+    update (radio cost included). The self-paired before/after rates in
+    ``summary`` are observational only; they are biased when the
+    download finishes early in the simulation.
+    """
+
+    index: int
+    device_ids: List[int]
+    telemetry: List[DeviceTelemetry]
+    control: List[DeviceTelemetry]
+    summary: FleetSummary
+    regression_delta: float
+    halted: bool
+
+
+@dataclass
+class RolloutReport:
+    """Outcome of a staged rollout (possibly halted early)."""
+
+    n_devices: int
+    new_version: int
+    waves: List[WaveReport] = field(default_factory=list)
+    halted: bool = False
+    halted_wave: Optional[int] = None
+    summary: Optional[FleetSummary] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.halted
+
+    @property
+    def devices_attempted(self) -> int:
+        return sum(len(w.device_ids) for w in self.waves)
+
+    def all_telemetry(self) -> List[DeviceTelemetry]:
+        return [t for wave in self.waves for t in wave.telemetry]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "n_devices": self.n_devices,
+            "new_version": self.new_version,
+            "halted": self.halted,
+            "halted_wave": self.halted_wave,
+            "devices_attempted": self.devices_attempted,
+            "summary": None if self.summary is None else self.summary.to_dict(),
+            "waves": [
+                {
+                    "index": w.index,
+                    "devices": len(w.device_ids),
+                    "regression_delta": w.regression_delta,
+                    "halted": w.halted,
+                    "telemetry": [t.to_row() for t in w.telemetry],
+                }
+                for w in self.waves
+            ],
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"rollout of v{self.new_version} to {self.n_devices} devices: "
+            + ("HALTED at wave "
+               f"{self.halted_wave}" if self.halted else "completed"),
+        ]
+        for wave in self.waves:
+            lines.append(
+                f"  wave {wave.index}: {len(wave.device_ids)} devices, "
+                f"delta {wave.regression_delta:+.2f}"
+                + (" -> HALT" if wave.halted else "")
+            )
+        if self.summary is not None:
+            lines.append("  " + self.summary.describe())
+        return "\n".join(lines)
+
+
+class FleetServer:
+    """Builds, ships and observes monitor updates for a device fleet.
+
+    Args:
+        base_spec: the spec every device is provisioned with.
+        base_version: its fleet version number.
+    """
+
+    def __init__(self, base_spec: str = FLEET_SPEC_V1, base_version: int = 1):
+        self.base_spec = base_spec
+        self.base_version = base_version
+
+    # ------------------------------------------------------------------
+    # Bundle preparation
+    # ------------------------------------------------------------------
+    def encode_update(self, new_spec: str, new_version: int,
+                      use_delta: bool = True) -> bytes:
+        """Wire blob for ``new_spec`` (delta against the baseline)."""
+        app = build_health_app()
+        target = build_bundle(new_spec, app, version=new_version)
+        if use_delta:
+            base = build_bundle(self.base_spec, app, version=self.base_version)
+            return base.delta_to(target).to_wire()
+        return target.to_wire()
+
+    # ------------------------------------------------------------------
+    # Device construction (heterogeneous energy traces)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def make_device(device_id: int):
+        """One of four energy classes, assigned round-robin: wall power,
+        a short and a long fixed charging delay, and an RF-mobility
+        trace seeded per device (no two RF devices brown out alike)."""
+        kind = device_id % 4
+        if kind == 0:
+            return make_continuous_device()
+        if kind == 1:
+            return make_intermittent_device(60.0)
+        if kind == 2:
+            return make_intermittent_device(300.0)
+        return make_rf_device(seed=device_id)
+
+    def build_device(self, device_id: int, wire: Optional[bytes],
+                     new_version: int, plan: RolloutPlan):
+        """Provision one simulated device and offer it the update.
+
+        ``wire=None`` builds the paired control: the identical device
+        (same energy trace, same provisioned baseline) with no update
+        offered."""
+        device = self.make_device(device_id)
+        app = build_health_app()
+        runtime = build_artemis(device, app=app, spec=self.base_spec,
+                                power=health_power_model())
+        installer = BundleInstaller(
+            device.nvm, journal=runtime.journal,
+            boot_loop_threshold=plan.boot_loop_threshold,
+        )
+        installer.install_initial(
+            build_bundle(self.base_spec, app, version=self.base_version)
+        )
+        loss = None
+        if plan.loss_rate > 0.0:
+            loss = ChunkLoss(rate=plan.loss_rate,
+                             seed=device_id * 1_000_003 + plan.seed)
+        transport = OtaTransport(
+            device.nvm, loss=loss,
+            retry_policy=RetryPolicy(max_attempts=plan.retry_max_attempts),
+            chunk_size=plan.chunk_size,
+        )
+        updatable = UpdatableRuntime(runtime, installer, transport)
+        if wire is not None:
+            updatable.push(wire, new_version)
+        # The sweep's metric extractors only see (device, result); hang
+        # the runtime off the device so telemetry can read the outcome.
+        device._fleet_runtime = updatable
+        return device, updatable
+
+    # ------------------------------------------------------------------
+    # Staged rollout
+    # ------------------------------------------------------------------
+    def rollout(
+        self,
+        new_spec: str,
+        n_devices: int,
+        new_version: Optional[int] = None,
+        plan: RolloutPlan = RolloutPlan(),
+        jobs: Optional[int] = None,
+        cache: Any = None,
+    ) -> RolloutReport:
+        """Push ``new_spec`` to ``n_devices`` in waves; halt on regression.
+
+        Each wave runs as one :class:`~repro.sim.experiments.Sweep` over
+        its device ids (sharded across ``jobs`` worker processes when
+        given). Devices in waves after a halt never receive the update.
+        """
+        if n_devices < 1:
+            raise FleetError("rollout needs at least one device")
+        version = (self.base_version + 1 if new_version is None
+                   else int(new_version))
+        wire = self.encode_update(new_spec, version, use_delta=plan.use_delta)
+        report = RolloutReport(n_devices=n_devices, new_version=version)
+        boundaries = [min(n_devices, math.ceil(frac * n_devices))
+                      for frac in plan.waves]
+        start = 0
+        for index, end in enumerate(boundaries):
+            ids = list(range(start, end))
+            start = end
+            if not ids:
+                continue
+            telemetry = self._run_wave(ids, wire, version, plan, jobs, cache)
+            control = self._run_wave(ids, None, version, plan, jobs, cache)
+            summary = aggregate(telemetry)
+            delta = self._paired_delta(telemetry, control, plan)
+            halted = delta > plan.halt_threshold
+            report.waves.append(WaveReport(
+                index=index, device_ids=ids, telemetry=telemetry,
+                control=control, summary=summary,
+                regression_delta=delta, halted=halted,
+            ))
+            if halted:
+                report.halted = True
+                report.halted_wave = index
+                break
+        report.summary = aggregate(report.all_telemetry())
+        return report
+
+    @staticmethod
+    def _paired_delta(telemetry: List[DeviceTelemetry],
+                      control: List[DeviceTelemetry],
+                      plan: RolloutPlan) -> float:
+        """Mean per-run violation increase, paired per device id.
+
+        Treatment and control simulate the *same* device (same id, same
+        energy trace, same provisioned state); their difference is the
+        update's effect — new checking semantics plus the radio's energy
+        cost — not an artifact of when the download happened to finish.
+        """
+        by_id = {t.device_id: t for t in control}
+        deltas = []
+        for t in telemetry:
+            c = by_id.get(t.device_id)
+            if c is None:
+                continue
+            treated = t.violations_before + t.violations_after
+            untreated = c.violations_before + c.violations_after
+            deltas.append((treated - untreated) / max(1, plan.runs))
+        return sum(deltas) / len(deltas) if deltas else 0.0
+
+    def _run_wave(self, ids: List[int], wire: Optional[bytes], version: int,
+                  plan: RolloutPlan, jobs: Optional[int],
+                  cache: Any) -> List[DeviceTelemetry]:
+        def build(point: Dict[str, Any]):
+            return self.build_device(point["device_id"], wire, version, plan)
+
+        def metric(name: str):
+            def extract(device, result):
+                row = getattr(device, "_fleet_telemetry_row", None)
+                if row is None:
+                    row = DeviceTelemetry.from_device(
+                        device._fleet_device_id, device, result,
+                        device._fleet_runtime,
+                    ).to_row()
+                    device._fleet_telemetry_row = row
+                return row[name]
+            return extract
+
+        # One telemetry field per sweep metric keeps rows JSON-able for
+        # the content-addressed result cache; the DeviceTelemetry is
+        # reassembled from the row on this side of the fork.
+        field_names = list(DeviceTelemetry.__dataclass_fields__)
+
+        def build_tagged(point: Dict[str, Any]):
+            device, runtime = build(point)
+            device._fleet_device_id = point["device_id"]
+            return device, runtime
+
+        sweep = Sweep(
+            factors={"device_id": ids},
+            build=build_tagged,
+            metrics={name: metric(name) for name in field_names},
+            runs=plan.runs,
+            max_time_s=plan.max_time_s,
+            max_reboots=plan.max_reboots,
+        )
+        rows = sweep.run(parallel=jobs, cache=cache)
+        return [DeviceTelemetry.from_row(row) for row in rows]

@@ -1,0 +1,197 @@
+"""Per-device telemetry and fleet-level aggregation.
+
+A fleet server cannot read a device's NVM; it sees what the device
+reports. :class:`DeviceTelemetry` is that report, extracted from one
+simulated device's trace and :class:`~repro.sim.result.RunResult`:
+violation counts (split around the update activation, so a regression
+introduced by a new spec is visible as a before/after rate change),
+corrective actions, degradation events, radio spend, and the update
+outcome. :func:`aggregate` folds any number of reports into a
+queryable :class:`FleetSummary` — the object rollout halting decisions
+are made on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional
+
+#: Update outcomes a device can report.
+UPDATE_OUTCOMES = ("installed", "pending", "failed", "none")
+
+
+@dataclass(frozen=True)
+class DeviceTelemetry:
+    """One device's report at the end of a rollout simulation.
+
+    ``violations_before``/``violations_after`` count monitor corrective
+    actions either side of the first ``ota_activate`` trace event (all
+    *before* when no activation happened); ``runs_before``/``runs_after``
+    split completed application runs the same way, so per-run violation
+    rates are comparable even though the install lands mid-simulation.
+    """
+
+    device_id: int
+    completed: bool
+    runs_completed: int
+    reboots: int
+    total_time_s: float
+    total_energy_mj: float
+    radio_energy_mj: float
+    violations_before: int
+    violations_after: int
+    runs_before: int
+    runs_after: int
+    degradation_shed: int
+    degradation_restored: int
+    chunks_lost: int
+    rollbacks: int
+    update_outcome: str
+    active_version: Optional[int]
+
+    @property
+    def installed(self) -> bool:
+        return self.update_outcome == "installed"
+
+    @property
+    def rate_before(self) -> float:
+        """Violations per completed run before the update activated."""
+        return self.violations_before / max(1, self.runs_before)
+
+    @property
+    def rate_after(self) -> float:
+        """Violations per completed run after the update activated."""
+        return self.violations_after / max(1, self.runs_after)
+
+    @classmethod
+    def from_device(cls, device_id: int, device, result,
+                    runtime) -> "DeviceTelemetry":
+        """Extract the report from a finished simulation.
+
+        ``runtime`` is the device's
+        :class:`~repro.fleet.device.UpdatableRuntime` (or anything with
+        ``update_outcome`` / ``installer``).
+        """
+        activate = device.trace.last("ota_activate")
+        activate_t = activate.t if activate is not None else float("inf")
+        before = after = 0
+        for event in device.trace.of_kind("monitor_action"):
+            if event.t < activate_t:
+                before += 1
+            else:
+                after += 1
+        runs_before = runs_after = 0
+        for event in device.trace.of_kind("run_complete"):
+            if event.t < activate_t:
+                runs_before += 1
+            else:
+                runs_after += 1
+        return cls(
+            device_id=device_id,
+            completed=bool(result.completed),
+            runs_completed=int(result.runs_completed),
+            reboots=int(result.reboots),
+            total_time_s=float(result.total_time_s),
+            total_energy_mj=float(result.total_energy_j) * 1e3,
+            radio_energy_mj=float(result.energy_j.get("radio", 0.0)) * 1e3,
+            violations_before=before,
+            violations_after=after,
+            runs_before=runs_before,
+            runs_after=runs_after,
+            degradation_shed=int(result.monitors_shed),
+            degradation_restored=int(result.monitors_restored),
+            chunks_lost=device.trace.count("ota_chunk_lost"),
+            rollbacks=device.trace.count("ota_rollback"),
+            update_outcome=str(runtime.update_outcome),
+            active_version=runtime.installer.active_version,
+        )
+
+    def to_row(self) -> Dict[str, object]:
+        """Flat, JSON-able mapping (what sweeps and the CLI carry)."""
+        return asdict(self)
+
+    @classmethod
+    def from_row(cls, row: Dict[str, object]) -> "DeviceTelemetry":
+        fields = {k: row[k] for k in cls.__dataclass_fields__}
+        return cls(**fields)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class FleetSummary:
+    """Aggregated view over a set of device reports."""
+
+    devices: int
+    completed: int
+    outcomes: Dict[str, int]
+    rollbacks: int
+    mean_rate_before: float
+    mean_rate_after: float
+    regression_delta: float
+    total_violations: int
+    total_reboots: int
+    degradation_shed: int
+    degradation_restored: int
+    chunks_lost: int
+    radio_energy_mj: float
+    total_energy_mj: float
+
+    @property
+    def installed(self) -> int:
+        return self.outcomes.get("installed", 0)
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    def describe(self) -> str:
+        parts = [
+            f"{self.devices} devices ({self.completed} completed)",
+            "outcomes " + "/".join(
+                f"{self.outcomes.get(k, 0)} {k}" for k in UPDATE_OUTCOMES
+            ),
+            (f"violations/run before={self.mean_rate_before:.2f} "
+             f"after={self.mean_rate_after:.2f} "
+             f"delta={self.regression_delta:+.2f}"),
+            f"rollbacks={self.rollbacks} chunks_lost={self.chunks_lost}",
+            f"radio={self.radio_energy_mj:.2f}mJ",
+        ]
+        return "; ".join(parts)
+
+
+def aggregate(reports: Iterable[DeviceTelemetry]) -> FleetSummary:
+    """Fold device reports into one fleet summary.
+
+    The regression signal compares each *installed* device against
+    itself: mean over installed devices of (violations-per-run after
+    activation − before). Devices that never activated contribute to
+    the fleet-wide before-rate but not to the delta, so a stuck radio
+    cannot mask a regressing spec.
+    """
+    rows: List[DeviceTelemetry] = list(reports)
+    outcomes: Dict[str, int] = {}
+    for t in rows:
+        outcomes[t.update_outcome] = outcomes.get(t.update_outcome, 0) + 1
+    installed = [t for t in rows if t.installed]
+    before_rates = [t.rate_before for t in rows]
+    after_rates = [t.rate_after for t in installed]
+    deltas = [t.rate_after - t.rate_before for t in installed]
+
+    def mean(values: List[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    return FleetSummary(
+        devices=len(rows),
+        completed=sum(1 for t in rows if t.completed),
+        outcomes=outcomes,
+        rollbacks=sum(t.rollbacks for t in rows),
+        mean_rate_before=mean(before_rates),
+        mean_rate_after=mean(after_rates),
+        regression_delta=mean(deltas),
+        total_violations=sum(t.violations_before + t.violations_after
+                             for t in rows),
+        total_reboots=sum(t.reboots for t in rows),
+        degradation_shed=sum(t.degradation_shed for t in rows),
+        degradation_restored=sum(t.degradation_restored for t in rows),
+        chunks_lost=sum(t.chunks_lost for t in rows),
+        radio_energy_mj=sum(t.radio_energy_mj for t in rows),
+        total_energy_mj=sum(t.total_energy_mj for t in rows),
+    )

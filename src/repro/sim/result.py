@@ -8,9 +8,12 @@ from typing import Dict
 #: Consumption categories the device accounts separately; app/runtime/
 #: monitor map to the stacked components of Figures 14/15 (application
 #: vs runtime vs monitor overhead), ``commit`` is the journaled
-#: two-phase commit's per-step cost, and ``sense`` is peripheral access
-#: time charged by the sensor fault subsystem.
-CATEGORIES = ("app", "runtime", "monitor", "commit", "sense")
+#: two-phase commit's per-step cost, ``sense`` is peripheral access
+#: time charged by the sensor fault subsystem, and ``radio`` is wireless
+#: airtime — both the §7 remote-monitor round trips and the fleet OTA
+#: transport charge it, so the ablation and the update subsystem agree
+#: on radio cost.
+CATEGORIES = ("app", "runtime", "monitor", "commit", "sense", "radio")
 
 
 @dataclass

@@ -35,6 +35,7 @@ from repro.verify.oracle import (
 from repro.verify.schedule import CrashScheduleRunner, Schedule, validate_schedule
 from repro.verify.shrink import CounterexampleShrinker, Witness
 from repro.verify.workloads import (
+    EXTRA_SCENARIOS,
     RUNTIMES,
     WORKLOADS,
     Scenario,
@@ -47,6 +48,7 @@ __all__ = [
     "CounterexampleShrinker",
     "CrashScheduleExplorer",
     "CrashScheduleRunner",
+    "EXTRA_SCENARIOS",
     "EquivalencePolicy",
     "Outcome",
     "RUNTIMES",

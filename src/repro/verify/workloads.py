@@ -25,6 +25,13 @@ checkpoint). Chain scenarios hand-roll inline checks, checkpoint
 scenarios re-express the pipeline as block programs — both per their
 runtime's programming model; their oracles compare the runtime's own
 durable outputs.
+
+:data:`EXTRA_SCENARIOS` extends the matrix beyond the cross product:
+the ``ota`` scenario wraps ARTEMIS in the fleet update pipeline
+(:mod:`repro.fleet`) and receives + installs a monitor update
+*mid-flight*, so bounded exploration covers crashes inside chunk
+receipt, the journaled A/B activation, and migration roll-forward —
+the update must land atomically under every crash schedule.
 """
 
 from __future__ import annotations
@@ -43,9 +50,15 @@ from repro.checkpoint.program import Block, CheckpointProgram
 from repro.checkpoint.runtime import CheckpointRuntime
 from repro.core.runtime import ArtemisRuntime
 from repro.energy.environment import EnergyEnvironment
+from repro.energy.power import MCU_ACTIVE_POWER_W, PowerModel, TaskCost
 from repro.errors import ReproError
+from repro.fleet.bundle import build_bundle
+from repro.fleet.device import UpdatableRuntime
+from repro.fleet.install import BundleInstaller
+from repro.fleet.transport import OtaTransport
 from repro.sim.device import Device
 from repro.taskgraph.app import Application
+from repro.taskgraph.builder import AppBuilder
 from repro.verify.explorer import CrashScheduleExplorer
 from repro.verify.oracle import EquivalencePolicy, mask_time_fields
 from repro.workloads.camera import (
@@ -62,6 +75,12 @@ from repro.workloads.synthetic import synthetic_app, synthetic_properties
 
 WORKLOADS = ("health", "camera", "synthetic")
 RUNTIMES = ("artemis", "mayfly", "chain", "checkpoint")
+
+#: Scenarios outside the workload × runtime cross product. The ``ota``
+#: workload exists only for ARTEMIS: it verifies the fleet OTA pipeline
+#: (receive → stage → journaled activate → migrate), which the baseline
+#: runtimes do not implement.
+EXTRA_SCENARIOS = (("ota", "artemis"),)
 
 #: Health benchmark spec scaled for exhaustive exploration: collect 2
 #: instead of 10 (one path restart in the oracle run), generous retry
@@ -326,6 +345,92 @@ def _synthetic_checkpoint() -> Tuple[Device, Any]:
 
 
 # ---------------------------------------------------------------------------
+# OTA update mid-flight (fleet pipeline on ARTEMIS)
+# ---------------------------------------------------------------------------
+
+#: Installed spec: one retry guard on the sensing task. Neither version
+#: ever *fires* (no sensor faults, collect threshold always met), so the
+#: corrective-action stream is empty under both monitor sets and the
+#: oracle comparison isolates update atomicity from monitor semantics.
+OTA_SPEC_V1 = """
+sense: {
+    maxTries: 10 onFail: skipPath Path: 1;
+}
+"""
+
+#: The update: the ``sense`` machine changes semantics (retry ceiling),
+#: and a ``collect`` machine is *added* on ``send`` — so activation
+#: exercises both legs of the migration log (reset changed machine,
+#: attach added machine) while staying non-firing.
+OTA_SPEC_V2 = """
+sense: {
+    maxTries: 12 onFail: skipPath Path: 1;
+}
+
+send: {
+    collect: 1 dpTask: sense onFail: restartPath Path: 1;
+}
+"""
+
+#: The v2 bundle is ~650 wire bytes; 3 chunks keeps several radio
+#: payments (= crash points) inside the transfer without bloating the
+#: exploration frontier.
+_OTA_CHUNK_SIZE = 256
+
+
+def _ota_app() -> Application:
+    def sense(ctx):
+        ctx.write("reading", ctx.sample("adc"))
+
+    def send(ctx):
+        ctx.append("sent", {"reading": ctx.read("reading")})
+
+    return (
+        AppBuilder("ota_demo")
+        .task("sense", body=sense)
+        .task("send", body=send)
+        .path(1, ["sense", "send"])
+        .sensor("adc", lambda t: 21.5)
+        .build()
+    )
+
+
+def _ota_artemis() -> Tuple[Device, Any]:
+    device = _device()
+    app = _ota_app()
+    power = PowerModel({
+        "sense": TaskCost(0.05, MCU_ACTIVE_POWER_W),
+        "send": TaskCost(0.30, MCU_ACTIVE_POWER_W, 1.0e-3),
+    })
+    runtime = build_artemis(device, app=app, spec=OTA_SPEC_V1, power=power)
+    installer = BundleInstaller(device.nvm, journal=runtime.journal)
+    installer.install_initial(build_bundle(OTA_SPEC_V1, app, version=1))
+    # Lossless link: ChunkLoss draws from an RNG per delivery attempt,
+    # which would make crash schedules perturb later deliveries and
+    # break replayability. Crashes themselves still interrupt the
+    # transfer; resumption is what is under test, not retry backoff.
+    transport = OtaTransport(device.nvm, chunk_size=_OTA_CHUNK_SIZE)
+    updatable = UpdatableRuntime(runtime, installer, transport)
+    updatable.push(build_bundle(OTA_SPEC_V2, app, version=2).to_wire(), 2)
+    return device, updatable
+
+
+def _ota_extract(device, runtime) -> Dict[str, Any]:
+    """Durable update state every crash schedule must agree on: the v2
+    set fully active, migration drained, probation ended by the post-
+    update run — i.e. never a half-installed device."""
+    installer = runtime.installer
+    return {
+        "active_version": installer.active_version,
+        "monitor_version": runtime.monitor_version,
+        "probation": installer.probation,
+        "migration_pending": installer.migration_pending,
+        "transfer_failed": runtime.transport.failed,
+        "update_outcome": runtime.update_outcome,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -355,6 +460,7 @@ _BUILDS: Dict[Tuple[str, str], Callable[[], Tuple[Device, Any]]] = {
     ("synthetic", "mayfly"): _synthetic_mayfly,
     ("synthetic", "chain"): _synthetic_chain,
     ("synthetic", "checkpoint"): _synthetic_checkpoint,
+    ("ota", "artemis"): _ota_artemis,
 }
 
 _CHECKPOINT_PROGRAMS = {"health": "health", "camera": "camera",
@@ -367,9 +473,18 @@ def get_scenario(workload: str, runtime: str) -> Scenario:
     if key not in _BUILDS:
         raise ReproError(
             f"unknown scenario {workload!r} × {runtime!r}; workloads: "
-            f"{WORKLOADS}, runtimes: {RUNTIMES}")
-    extract = (_checkpoint_extract(_CHECKPOINT_PROGRAMS[workload])
-               if runtime == "checkpoint" else None)
+            f"{WORKLOADS} (+ extras {EXTRA_SCENARIOS}), "
+            f"runtimes: {RUNTIMES}")
+    extract: Optional[Callable[[Any, Any], Dict[str, Any]]] = None
+    run_kwargs: Dict[str, Any] = {}
+    if runtime == "checkpoint":
+        extract = _checkpoint_extract(_CHECKPOINT_PROGRAMS[workload])
+    elif workload == "ota":
+        extract = _ota_extract
+        # Two application runs: the transfer completes during run 1 and
+        # the swap lands at the run-2 path boundary at the latest, so
+        # the crash-free oracle finishes fully installed.
+        run_kwargs = {"runs": 2}
     return Scenario(
         name=f"{workload}-{runtime}",
         workload=workload,
@@ -377,6 +492,7 @@ def get_scenario(workload: str, runtime: str) -> Scenario:
         build=_BUILDS[key],
         policy=EquivalencePolicy(),
         extract_extra=extract,
+        run_kwargs=run_kwargs,
     )
 
 
@@ -384,9 +500,34 @@ def iter_scenarios(
     workloads: Optional[Iterable[str]] = None,
     runtimes: Optional[Iterable[str]] = None,
 ) -> List[Scenario]:
-    """Scenarios for the given selections (defaults: the full matrix)."""
-    out = []
-    for workload in (workloads or WORKLOADS):
-        for runtime in (runtimes or RUNTIMES):
-            out.append(get_scenario(workload, runtime))
+    """Scenarios for the given selections (defaults: the full matrix).
+
+    The default matrix is the workload × runtime cross product plus
+    :data:`EXTRA_SCENARIOS`. Selections are validated by *name* (an
+    unknown workload or runtime raises), but pairs a selection spans
+    that have no build — e.g. ``ota`` on a baseline runtime — are
+    silently skipped; an empty result raises.
+    """
+    ws = tuple(workloads) if workloads is not None else None
+    rs = tuple(runtimes) if runtimes is not None else None
+    known_w = set(WORKLOADS) | {w for w, _ in EXTRA_SCENARIOS}
+    known_r = set(RUNTIMES) | {r for _, r in EXTRA_SCENARIOS}
+    for name in (ws or ()):
+        if name not in known_w:
+            raise ReproError(
+                f"unknown workload {name!r}; known: {sorted(known_w)}")
+    for name in (rs or ()):
+        if name not in known_r:
+            raise ReproError(
+                f"unknown runtime {name!r}; known: {sorted(known_r)}")
+    keys = [(w, r) for w in (ws or WORKLOADS) for r in (rs or RUNTIMES)]
+    for extra in EXTRA_SCENARIOS:
+        if extra in keys:
+            continue
+        if (ws is None or extra[0] in ws) and (rs is None or extra[1] in rs):
+            keys.append(extra)
+    out = [get_scenario(w, r) for w, r in keys if (w, r) in _BUILDS]
+    if not out:
+        raise ReproError(
+            f"no scenarios match workloads={ws} runtimes={rs}")
     return out

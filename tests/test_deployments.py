@@ -87,8 +87,10 @@ class TestRemoteDeployment:
         dev_b = make_continuous_device()
         remote = dev_b.run(deploy(RemoteMonitorRuntime, dev_b))
         # "Wireless communication is way more energy-hungry compared to
-        # computation" — monitoring energy must jump by an order.
-        assert remote.energy_j["monitor"] > 10 * modular.energy_j["monitor"]
+        # computation" — the remote's radio spend must exceed the local
+        # checking cost by an order, and all of its checking cost is radio.
+        assert remote.energy_j["radio"] > 10 * modular.energy_j["monitor"]
+        assert remote.energy_j["monitor"] == 0.0
 
     def test_custom_radio_link(self):
         link = RadioLink(tx_time_s=5e-3, rx_time_s=5e-3, power_w=20e-3)

@@ -1,0 +1,191 @@
+"""OTA transport: chunked delivery, crash resumability, livelock guard.
+
+The transport stages every received chunk in NVM before advancing its
+durable high-water mark, so these tests exercise the resulting
+guarantees directly: a transfer survives a reboot (a *fresh* transport
+object over the same NVM resumes where the old one died), a link that
+keeps eating the same chunk trips the livelock guard and durably fails
+the transfer, and a seeded loss model reproduces the exact same
+delivery pattern run-to-run.
+"""
+
+import pytest
+
+from repro.core.retry import RetryPolicy
+from repro.energy.environment import EnergyEnvironment
+from repro.errors import FleetError
+from repro.fleet.bundle import build_bundle
+from repro.fleet.transport import ChunkLoss, OtaTransport, split_chunks
+from repro.sim.device import Device
+from repro.verify.workloads import OTA_SPEC_V1, OTA_SPEC_V2, _ota_app
+
+CHUNK = 64
+
+
+def _device():
+    return Device(EnergyEnvironment.continuous())
+
+
+def _wire(version=1, spec=OTA_SPEC_V1):
+    return build_bundle(spec, _ota_app(), version=version).to_wire()
+
+
+def _drive(transport, device, max_steps=10_000):
+    """Step until the transfer completes or durably fails."""
+    outcomes = []
+    for _ in range(max_steps):
+        out = transport.step(device)
+        outcomes.append(out)
+        if out in ("complete", "failed", "idle"):
+            break
+    return outcomes
+
+
+class TestChunking:
+    def test_split_chunks_reassembles(self):
+        wire = _wire()
+        parts = split_chunks(wire, CHUNK)
+        assert b"".join(parts) == wire
+        assert all(len(p) == CHUNK for p in parts[:-1])
+        assert 1 <= len(parts[-1]) <= CHUNK
+
+    def test_split_rejects_bad_chunk_size(self):
+        with pytest.raises(FleetError):
+            split_chunks(b"abc", 0)
+
+    def test_lossless_transfer_round_trips(self):
+        device = _device()
+        transport = OtaTransport(device.nvm, chunk_size=CHUNK)
+        wire = _wire()
+        transport.offer(wire, 1)
+        outcomes = _drive(transport, device)
+        assert outcomes[-1] == "complete"
+        assert transport.complete and not transport.failed
+        assert transport.assemble() == wire
+        # One delivery trace per chunk, airtime charged to the radio.
+        assert device.trace.count("ota_chunk") == len(
+            split_chunks(wire, CHUNK))
+        assert device.result.energy_j.get("radio", 0.0) > 0.0
+
+    def test_assemble_before_complete_rejected(self):
+        device = _device()
+        transport = OtaTransport(device.nvm, chunk_size=CHUNK)
+        transport.offer(_wire(), 1)
+        transport.step(device)
+        with pytest.raises(FleetError):
+            transport.assemble()
+
+
+class TestResumability:
+    def test_fresh_transport_resumes_from_nvm(self):
+        """A reboot (new transport object, same NVM) keeps the staged
+        progress: no chunk below the high-water mark is re-sent."""
+        device = _device()
+        wire = _wire()
+        first = OtaTransport(device.nvm, chunk_size=CHUNK)
+        first.offer(wire, 1)
+        for _ in range(3):
+            first.step(device)
+        assert first.received_chunks == 3
+
+        resumed = OtaTransport(device.nvm, chunk_size=CHUNK)
+        assert resumed.received_chunks == 3  # durable mark survived
+        resumed.offer(wire, 1)  # same descriptor -> resume, not restart
+        assert resumed.received_chunks == 3
+        outcomes = _drive(resumed, device)
+        assert outcomes[-1] == "complete"
+        assert resumed.assemble() == wire
+        total_chunks = len(split_chunks(wire, CHUNK))
+        assert device.trace.count("ota_chunk") == total_chunks
+
+    def test_different_offer_restarts_staging(self):
+        device = _device()
+        transport = OtaTransport(device.nvm, chunk_size=CHUNK)
+        transport.offer(_wire(version=1), 1)
+        for _ in range(3):
+            transport.step(device)
+        assert transport.received_chunks == 3
+        transport.offer(_wire(version=2, spec=OTA_SPEC_V2), 2)
+        assert transport.received_chunks == 0
+        assert transport.version == 2
+
+
+class TestLivelockGuard:
+    def test_dead_link_durably_fails(self):
+        """rate=1.0 loses every chunk: after max_attempts losses of
+        chunk 0 the guard trips, the failure is durable, and further
+        steps are no-ops."""
+        device = _device()
+        transport = OtaTransport(
+            device.nvm,
+            loss=ChunkLoss(rate=1.0),
+            retry_policy=RetryPolicy(max_attempts=2),
+            chunk_size=CHUNK,
+        )
+        transport.offer(_wire(), 1)
+        outcomes = _drive(transport, device)
+        assert outcomes[-1] == "failed"
+        assert transport.failed
+        assert transport.received_chunks == 0
+        assert device.trace.count("ota_abort") == 1
+        # The abort is durable and idles the link.
+        assert transport.step(device) == "idle"
+        rebooted = OtaTransport(
+            device.nvm,
+            loss=ChunkLoss(rate=1.0),
+            retry_policy=RetryPolicy(max_attempts=2),
+            chunk_size=CHUNK,
+        )
+        assert rebooted.failed
+
+    def test_reset_clears_failure(self):
+        device = _device()
+        transport = OtaTransport(
+            device.nvm,
+            loss=ChunkLoss(rate=1.0),
+            retry_policy=RetryPolicy(max_attempts=1),
+            chunk_size=CHUNK,
+        )
+        transport.offer(_wire(), 1)
+        _drive(transport, device)
+        assert transport.failed
+        transport.reset()
+        assert not transport.failed and not transport.in_progress
+
+
+class TestLossDeterminism:
+    def test_same_seed_same_delivery_pattern(self):
+        def pattern(seed):
+            device = _device()
+            transport = OtaTransport(
+                device.nvm,
+                loss=ChunkLoss(rate=0.3, seed=seed),
+                chunk_size=CHUNK,
+            )
+            transport.offer(_wire(), 1)
+            return tuple(_drive(transport, device))
+
+        assert pattern(7) == pattern(7)
+        # A lossy run still converges and stages the exact bytes.
+        device = _device()
+        transport = OtaTransport(
+            device.nvm, loss=ChunkLoss(rate=0.3, seed=7), chunk_size=CHUNK)
+        wire = _wire()
+        transport.offer(wire, 1)
+        assert _drive(transport, device)[-1] == "complete"
+        assert transport.assemble() == wire
+
+    def test_different_seeds_diverge(self):
+        def losses(seed):
+            device = _device()
+            transport = OtaTransport(
+                device.nvm,
+                loss=ChunkLoss(rate=0.5, seed=seed),
+                chunk_size=CHUNK,
+            )
+            transport.offer(_wire(), 1)
+            _drive(transport, device)
+            return device.trace.count("ota_chunk_lost")
+
+        results = {losses(s) for s in range(6)}
+        assert len(results) > 1

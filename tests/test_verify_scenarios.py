@@ -8,7 +8,13 @@ bigger budgets through ``artemis-repro verify``.
 
 import pytest
 
-from repro.verify import RUNTIMES, WORKLOADS, get_scenario, iter_scenarios
+from repro.verify import (
+    EXTRA_SCENARIOS,
+    RUNTIMES,
+    WORKLOADS,
+    get_scenario,
+    iter_scenarios,
+)
 
 #: Tier-1 execution budget per scenario. ARTEMIS baselines pay ~300
 #: energy payments, so this checks a prefix of the depth-1 crash points
@@ -19,8 +25,15 @@ MATRIX = [(s.workload, s.runtime) for s in iter_scenarios()]
 
 
 class TestMatrixShape:
-    def test_matrix_is_full_cross_product(self):
-        assert len(MATRIX) == len(WORKLOADS) * len(RUNTIMES)
+    def test_matrix_is_cross_product_plus_extras(self):
+        assert len(MATRIX) == (len(WORKLOADS) * len(RUNTIMES)
+                               + len(EXTRA_SCENARIOS))
+        for extra in EXTRA_SCENARIOS:
+            assert extra in MATRIX
+
+    def test_extra_scenario_selectable_by_name(self):
+        only = iter_scenarios(workloads=("ota",))
+        assert [(s.workload, s.runtime) for s in only] == [("ota", "artemis")]
 
     def test_scenario_names(self):
         scenario = get_scenario("camera", "mayfly")
