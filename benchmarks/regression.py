@@ -48,6 +48,7 @@ METRIC_DIRECTIONS: Dict[str, str] = {
     "cache_speedup": "higher",
     "cache_hit_rate": "higher",
     "fleet_devices_per_s": "higher",
+    "conformance_schedules_per_s": "higher",
     "parallel_speedup": "info",
     "sweep_serial_s": "info",
     "sweep_parallel_s": "info",
@@ -181,6 +182,28 @@ def _measure_fleet(n_devices: int = 16, jobs: int = 4,
     return n_devices / best
 
 
+def _measure_conformance(trials: int = 2) -> float:
+    """Best-of-N crash-schedule throughput (schedules checked per
+    second) of a POR-enabled bound-2 exploration of the fleet OTA
+    scenario. Guards the partial-order reduction: a pruning regression
+    multiplies the schedule count, and a runner slowdown divides the
+    rate — both surface here."""
+    from repro.verify.workloads import get_scenario
+
+    scenario = get_scenario("ota", "artemis")
+    best: Optional[float] = None
+    for _ in range(trials):
+        t0 = time.perf_counter()
+        report = scenario.explorer().explore(bound=2, budget=400,
+                                             stop_on_first=False, por=True)
+        elapsed = time.perf_counter() - t0
+        if not report.ok or report.truncated:
+            raise AssertionError(
+                "conformance benchmark scenario failed or truncated")
+        best = elapsed if best is None else min(best, elapsed)
+    return report.schedules_checked / best
+
+
 def collect_metrics() -> Dict[str, float]:
     """Run the whole measurement suite; returns metric name -> value."""
     generated = _measure_engine("generated")
@@ -192,6 +215,7 @@ def collect_metrics() -> Dict[str, float]:
     }
     metrics.update(_measure_sweep())
     metrics["fleet_devices_per_s"] = _measure_fleet()
+    metrics["conformance_schedules_per_s"] = _measure_conformance()
     return metrics
 
 

@@ -55,9 +55,9 @@ class ChainRuntime:
         self._retry = RetrySupervisor(nvm, retry_policy or RetryPolicy(),
                                       cell_name="ch.retry.attempts")
         self._retry_cell = nvm.cell(self._retry.cell_name)
-        self._cur_path = nvm.alloc("ch.cur_path", 1, 2)
-        self._cur_idx = nvm.alloc("ch.cur_idx", 0, 2)
-        self._finished = nvm.alloc("ch.finished", False, 1)
+        self._cur_path = nvm.alloc("ch.cur_path", 1, 2, progress=True)
+        self._cur_idx = nvm.alloc("ch.cur_idx", 0, 2, progress=True)
+        self._finished = nvm.alloc("ch.finished", False, 1, progress=True)
         # Trace events owed for a committed-but-interrupted transaction.
         # Staged in the same journaled commit as the control updates, so
         # the record of a route change is exactly as durable as its

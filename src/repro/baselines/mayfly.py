@@ -100,11 +100,11 @@ class MayflyRuntime:
         self._retry = RetrySupervisor(nvm, retry_policy or RetryPolicy(),
                                       cell_name="mf.retry.attempts")
         self._retry_cell = nvm.cell(self._retry.cell_name)
-        self._cur_path = nvm.alloc("mf.cur_path", 1, 2)
-        self._cur_idx = nvm.alloc("mf.cur_idx", 0, 2)
-        self._finished = nvm.alloc("mf.finished", False, 1)
+        self._cur_path = nvm.alloc("mf.cur_path", 1, 2, progress=True)
+        self._cur_idx = nvm.alloc("mf.cur_idx", 0, 2, progress=True)
+        self._finished = nvm.alloc("mf.finished", False, 1, progress=True)
         self._end_times = nvm.alloc("mf.end_times", {}, 32)
-        self._counts = nvm.alloc("mf.counts", {}, 32)
+        self._counts = nvm.alloc("mf.counts", {}, 32, progress=True)
         self._journal = CommitJournal(nvm)
         self.recovery = RecoveryManager(nvm, journal=self._journal)
         self.recovery.guard("mf.")

@@ -52,8 +52,10 @@ class CheckpointRuntime:
             nvm.alloc(f"{prefix}.slot0", None, 64),
             nvm.alloc(f"{prefix}.slot1", None, 64),
         ]
-        self._current_slot = nvm.alloc(f"{prefix}.current", -1, 1)
-        self._finished = nvm.alloc(f"{prefix}.finished", False, 1)
+        self._current_slot = nvm.alloc(f"{prefix}.current", -1, 1,
+                                       progress=True)
+        self._finished = nvm.alloc(f"{prefix}.finished", False, 1,
+                                   progress=True)
         # Volatile execution state (lost on power failure).
         self._pc: int = 0
         self._state: Dict = {}

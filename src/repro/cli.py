@@ -20,9 +20,12 @@ Three subcommands mirror the paper's development flow (Figure 3):
     Run the intermittence conformance checker: enumerate crash
     schedules up to a bound over the built-in workload × runtime
     scenario matrix and check every intermittent execution against its
-    continuous-power oracle (see ``docs/verification.md``). Exits 3
-    when a counterexample is found; ``--self-test`` instead proves the
-    checker catches a deliberately injected recovery bug.
+    continuous-power oracle (see ``docs/verification.md``). Partial-
+    order reduction is on by default (``--no-por`` disables);
+    ``--memmodel`` adds the WAR/idempotence single-run oracles. Exits 3
+    when a counterexample is found, 4 when the run budget cut a search
+    short of the bound; ``--self-test`` instead proves the checkers
+    catch deliberately injected recovery and privatization bugs.
 
 ``artemis-repro fleet``
     Drive the fleet OTA subsystem (see ``docs/fleet.md``): ``status``
@@ -92,7 +95,9 @@ from repro.verify import (
     WORKLOADS,
     CounterexampleShrinker,
     iter_scenarios,
+    run_memory_model,
     run_self_test,
+    run_war_self_test,
 )
 from repro.statemachine.codegen_python import generate_python_source
 from repro.workloads.health import build_health_app
@@ -330,8 +335,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 def cmd_verify(args: argparse.Namespace) -> int:
     """Run the ``verify`` subcommand; returns the process exit code.
 
-    Exit codes: 0 = every checked schedule conforms, 1 = usage or
-    scenario error, 3 = at least one counterexample found.
+    Exit codes: 0 = every checked schedule conforms and every search
+    was exhaustive to its bound, 1 = usage or scenario error, 3 = at
+    least one counterexample found, 4 = no counterexample but at least
+    one search was cut short of the bound by the run budget (the result
+    is NOT an exhaustiveness proof — raise ``--budget``).
     """
     if args.self_test:
         report, witness = run_self_test(bound=max(args.bound, 1),
@@ -340,23 +348,49 @@ def cmd_verify(args: argparse.Namespace) -> int:
         print("mutation self-test: injected commit-ordering bug caught")
         print(report.summary())
         print(witness.describe())
+        schedule, mm_report = run_war_self_test()
+        print("mutation self-test: injected write-privatization bug "
+              f"caught from the single run {schedule}")
+        print(mm_report.describe())
         return 0
 
     workloads = None if args.workload == "all" else (args.workload,)
     runtimes = None if args.runtime == "all" else (args.runtime,)
     failed = 0
+    truncated = 0
     for scenario in iter_scenarios(workloads, runtimes):
         explorer = scenario.explorer()
+        # POR is verdict-preserving but keyed on time-masked state, so
+        # time-sensitive scenarios fall back to the unpruned search.
+        por = args.por and not scenario.time_sensitive
         report = explorer.explore(bound=args.bound, budget=args.budget,
-                                  strategy=args.strategy)
+                                  strategy=args.strategy, por=por)
         print(report.summary())
+        if report.truncated:
+            truncated += 1
+            print(f"  WARNING: search cut short of bound {args.bound} by "
+                  f"the run budget ({args.budget}); schedules beyond the "
+                  f"first {report.schedules_checked} are UNCHECKED — "
+                  f"raise --budget for an exhaustive result")
         if not report.ok:
             failed += 1
             shrinker = CounterexampleShrinker(explorer,
                                               max_runs=args.shrink_runs)
             witness = shrinker.shrink(report.counterexamples[0])
             print(witness.describe())
-    return 3 if failed else 0
+            if args.memmodel:
+                mm = run_memory_model(scenario.build,
+                                      schedule=witness.schedule,
+                                      run_kwargs=scenario.run_kwargs)
+                print(mm.describe())
+        elif args.memmodel:
+            mm = run_memory_model(scenario.build, schedule=(),
+                                  run_kwargs=scenario.run_kwargs,
+                                  latent=True)
+            print(f"  {mm.describe()}")
+    if failed:
+        return 3
+    return 4 if truncated else 0
 
 
 #: Named update specs a fleet rollout can ship from the CLI. ``v2`` is
@@ -552,18 +586,31 @@ def build_parser() -> argparse.ArgumentParser:
                           help="maximum crashes per schedule (default: 2)")
     p_verify.add_argument("--budget", type=int, default=400,
                           help="simulated executions per scenario "
-                               "(default: 400; the report says when the "
-                               "budget truncated the search)")
+                               "(default: 400). A search that hits the "
+                               "budget before reaching --bound is reported "
+                               "truncated, warned about, and exits 4 — it "
+                               "is not an exhaustiveness proof")
     p_verify.add_argument("--strategy", choices=("bfs", "dfs"),
                           default="bfs",
                           help="frontier order: bfs exhausts k crashes "
                                "before k+1 (default), dfs drills deep first")
+    p_verify.add_argument("--no-por", dest="por", action="store_false",
+                          help="disable partial-order reduction (POR "
+                               "collapses crash points with identical "
+                               "recovery-projected signatures; on by "
+                               "default, auto-skipped for time-sensitive "
+                               "scenarios)")
+    p_verify.add_argument("--memmodel", action="store_true",
+                          help="also run the WAR/idempotence memory-model "
+                               "oracles: a latent-hazard survey on passing "
+                               "scenarios, a single-run diagnosis on each "
+                               "shrunk counterexample")
     p_verify.add_argument("--shrink-runs", type=int, default=150,
                           help="execution budget for counterexample "
                                "minimization (default: 150)")
     p_verify.add_argument("--self-test", action="store_true",
-                          help="inject a known recovery bug and prove the "
-                               "checker finds and shrinks it")
+                          help="inject known recovery and privatization "
+                               "bugs and prove the checkers find them")
     p_verify.set_defaults(fn=cmd_verify)
 
     p_fleet = sub.add_parser(

@@ -62,7 +62,8 @@ class PersistentClock:
         if not 0.0 <= max_rel_error < 1.0:
             raise ReproError("max_rel_error must be in [0, 1)")
         self._sim = sim_clock
-        self._cell = nvm.alloc(f"{name}.last_reading", initial=sim_clock.now(), size_bytes=8)
+        self._cell = nvm.alloc(f"{name}.last_reading", initial=sim_clock.now(),
+                               size_bytes=8, progress=True)
         self._max_rel_error = max_rel_error
         self._rng = random.Random(seed)
         # Accumulated offset from error injection; volatile by design —

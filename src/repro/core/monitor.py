@@ -62,7 +62,11 @@ class ArtemisMonitor:
         }
         self.instances = []
         for machine in self.machines:
-            store = NVMStore(nvm, f"{name}.{machine.name}")
+            # Machine state is advanced in place; crash-safety comes
+            # from the monitor's own exactly-once protocol (last_seq
+            # dedup + ImmortalRoutine), not from write privatization —
+            # declare the store's cells WAR-exempt progress cells.
+            store = NVMStore(nvm, f"{name}.{machine.name}", progress=True)
             if backend == "generated":
                 instance = compile_machine(machine)(store)
             else:
@@ -72,15 +76,18 @@ class ArtemisMonitor:
         # Machines currently shed by the degradation controller. Persisted
         # so a reboot in a low-energy spell does not silently re-enable
         # monitors the controller decided the budget cannot afford.
-        self._shed_cell = nvm.alloc(f"{name}.shed", initial=(), size_bytes=32)
-        self._pending_event = nvm.alloc(f"{name}.pending_event", initial=None, size_bytes=32)
+        self._shed_cell = nvm.alloc(f"{name}.shed", initial=(), size_bytes=32,
+                                    progress=True)
+        self._pending_event = nvm.alloc(f"{name}.pending_event", initial=None,
+                                        size_bytes=32, progress=True)
         self._verdicts = PersistentList(nvm, f"{name}.verdicts")
         # Last completed call: its sequence stamp and the actions it
         # produced, kept so a MonitorGroup can aggregate across members
         # after an interruption without losing earlier members' verdicts.
-        self._last_seq = nvm.alloc(f"{name}.last_seq", initial=-1, size_bytes=4)
+        self._last_seq = nvm.alloc(f"{name}.last_seq", initial=-1, size_bytes=4,
+                                   progress=True)
         self._last_actions = nvm.alloc(f"{name}.last_actions", initial=(),
-                                       size_bytes=32)
+                                       size_bytes=32, progress=True)
         # Which machines react to each task, for per-event cost accounting.
         self._relevant: Dict[str, List[int]] = {}
         for idx, machine in enumerate(self.machines):
@@ -425,9 +432,10 @@ class MonitorGroup:
             raise ReproError("monitors in a group need unique names")
         self.monitors = list(monitors)
         self.name = name
-        self._seq = nvm.alloc(f"{name}.seq", initial=0, size_bytes=4)
+        self._seq = nvm.alloc(f"{name}.seq", initial=0, size_bytes=4,
+                              progress=True)
         self._pending = nvm.alloc(f"{name}.pending", initial=None,
-                                  size_bytes=32)
+                                  size_bytes=32, progress=True)
 
     def reset(self) -> None:
         """Hard-reset every member (``resetMonitor``)."""

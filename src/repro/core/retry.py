@@ -91,7 +91,10 @@ class RetrySupervisor:
     def __init__(self, nvm: NonVolatileMemory, policy: RetryPolicy,
                  cell_name: str = "rt.retry.attempts"):
         self.policy = policy
-        self._cell = nvm.alloc(cell_name, initial={}, size_bytes=32)
+        # Attempt counters exist to survive the crash and be read back
+        # larger — the textbook progress cell (WAR-exempt).
+        self._cell = nvm.alloc(cell_name, initial={}, size_bytes=32,
+                               progress=True)
 
     @property
     def cell_name(self) -> str:

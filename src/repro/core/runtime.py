@@ -134,16 +134,22 @@ class ArtemisRuntime:
             )
 
         alloc = nvm.alloc
-        self._initialized = alloc("rt.initialized", False, 1)
-        self._cur_path = alloc("rt.cur_path", 1, 2)
-        self._cur_idx = alloc("rt.cur_idx", 0, 2)
-        self._status = alloc("rt.status", _READY, 1)
-        self._start_checked = alloc("rt.start_checked", False, 1)
+        # Scheduler bookkeeping cells are *progress cells*: their whole
+        # job is to be read, advanced in place, and observed differently
+        # after a reboot, so they are declared exempt from the WAR
+        # oracle (see repro.verify.memmodel). rt.end_ts and rt.emitted
+        # carry data, not progress — they stay under full scrutiny.
+        self._initialized = alloc("rt.initialized", False, 1, progress=True)
+        self._cur_path = alloc("rt.cur_path", 1, 2, progress=True)
+        self._cur_idx = alloc("rt.cur_idx", 0, 2, progress=True)
+        self._status = alloc("rt.status", _READY, 1, progress=True)
+        self._start_checked = alloc("rt.start_checked", False, 1,
+                                    progress=True)
         self._end_ts = alloc("rt.end_ts", 0.0, 8)
         self._emitted = alloc("rt.emitted", {}, 16)
-        self._suspended = alloc("rt.suspended", False, 1)
-        self._resume_path = alloc("rt.resume_path", 1, 2)
-        self._finished = alloc("rt.finished", False, 1)
+        self._suspended = alloc("rt.suspended", False, 1, progress=True)
+        self._resume_path = alloc("rt.resume_path", 1, 2, progress=True)
+        self._finished = alloc("rt.finished", False, 1, progress=True)
 
         # Crash-consistent commit journal shared by every task commit,
         # and the boot-time recovery pass that resolves it, verifies

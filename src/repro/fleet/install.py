@@ -71,9 +71,10 @@ class BundleInstaller:
         self._slot_a = nvm.alloc(f"{name}.a", None, 64)
         self._slot_b = nvm.alloc(f"{name}.b", None, 64)
         self._active = nvm.alloc(f"{name}.active", None, 1)
-        self._boot_count = nvm.alloc(f"{name}.boot_count", 0, 2)
-        self._probation = nvm.alloc(f"{name}.probation", False, 1)
-        self._migrate = nvm.alloc(f"{name}.migrate", None, 16)
+        self._boot_count = nvm.alloc(f"{name}.boot_count", 0, 2, progress=True)
+        self._probation = nvm.alloc(f"{name}.probation", False, 1,
+                                    progress=True)
+        self._migrate = nvm.alloc(f"{name}.migrate", None, 16, progress=True)
 
     # ------------------------------------------------------------------
     # Slot access

@@ -87,9 +87,13 @@ class OtaTransport:
         self.chunk_size = chunk_size
         self.name = name
         self._nvm = nvm
-        self._desc = nvm.alloc(f"{name}.desc", None, 16)
-        self._next = nvm.alloc(f"{name}.next", 0, 2)
-        self._failed = nvm.alloc(f"{name}.failed", False, 1)
+        # Transfer identity latch, in-order cursor, one-way abort
+        # switch: all three are crash-progress cells by design (read
+        # back after a reboot to resume, not re-derived), hence exempt
+        # from the WAR oracle.
+        self._desc = nvm.alloc(f"{name}.desc", None, 16, progress=True)
+        self._next = nvm.alloc(f"{name}.next", 0, 2, progress=True)
+        self._failed = nvm.alloc(f"{name}.failed", False, 1, progress=True)
         self._retry = RetrySupervisor(
             nvm, retry_policy or RetryPolicy(max_attempts=8),
             cell_name=f"{name}.retry.attempts",

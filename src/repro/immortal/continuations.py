@@ -36,8 +36,12 @@ class ImmortalRoutine:
     """
 
     def __init__(self, nvm: NonVolatileMemory, name: str):
-        self._pc = nvm.alloc(f"imm.{name}.pc", initial=_IDLE, size_bytes=2)
-        self._total = nvm.alloc(f"imm.{name}.total", initial=0, size_bytes=2)
+        # The persistent PC is the canonical progress cell: it exists to
+        # be read back differently after a crash (WAR-exempt).
+        self._pc = nvm.alloc(f"imm.{name}.pc", initial=_IDLE, size_bytes=2,
+                             progress=True)
+        self._total = nvm.alloc(f"imm.{name}.total", initial=0, size_bytes=2,
+                                progress=True)
         self.name = name
 
     @property
@@ -96,7 +100,11 @@ class PersistentList:
     an interrupted monitor call)."""
 
     def __init__(self, nvm: NonVolatileMemory, name: str, size_bytes: int = 64):
-        self._cell = nvm.alloc(f"plist.{name}", initial=(), size_bytes=size_bytes)
+        # Append is a same-cell read-modify-write; duplicate appends
+        # after re-execution are deduplicated by the consumer's seq
+        # protocol (MonitorGroup.finalize), so the cell is WAR-exempt.
+        self._cell = nvm.alloc(f"plist.{name}", initial=(),
+                               size_bytes=size_bytes, progress=True)
 
     def append(self, item: Any) -> None:
         self._cell.set(self._cell.get() + (item,))

@@ -16,12 +16,15 @@ This package models the two properties intermittent software relies on:
   :meth:`~repro.nvm.memory.NonVolatileMemory.verify`).
 """
 
+from repro.nvm.accesslog import AccessEvent, AccessLog
 from repro.nvm.journal import CommitJournal
 from repro.nvm.memory import NonVolatileMemory, PersistentCell
 from repro.nvm.store import NVMStore
 from repro.nvm.transaction import Transaction
 
 __all__ = [
+    "AccessEvent",
+    "AccessLog",
     "NonVolatileMemory",
     "PersistentCell",
     "NVMStore",

@@ -1,0 +1,199 @@
+"""Per-cell NVM access logging for memory-model verification.
+
+"Towards a Formal Foundation of Intermittent Computing" (Surbatovich et
+al., OOPSLA '20) characterizes the crash-consistency bug class of
+task-based intermittent systems directly in terms of the *memory access
+log*: a write-after-read (WAR) hazard on non-volatile state, or a
+re-executed region whose writes differ from its first attempt, is
+exactly what makes an intermittent execution inequivalent to every
+continuous one. :class:`AccessLog` records the evidence those oracles
+need — per-cell read/write/stage events, journaled-commit markers, and
+reboot boundaries — so :class:`repro.verify.memmodel.MemoryModelChecker`
+can pass verdicts on a *single* intermittent run, with no
+continuous-power twin execution.
+
+The log is an opt-in observer: a :class:`~repro.nvm.memory
+.NonVolatileMemory` carries ``None`` by default and every hook is a
+single ``is not None`` check, so simulation runs that do not verify pay
+one attribute test per access. Attach one with
+:meth:`NonVolatileMemory.attach_access_log`.
+
+Event structure (see :class:`AccessEvent`):
+
+* ``epoch`` counts power cycles: it starts at 0 and increments at every
+  reboot, so events with the same epoch belong to one continuous burst
+  of execution.
+* ``region`` counts failure-atomic execution regions: it increments at
+  every reboot *and* every journal ``clear`` (the end of a committed or
+  recovered transaction), so a region spans exactly the work between
+  two commit points — the unit that re-executes after a crash.
+* ``via`` attributes writes to their mechanism: ``"task"`` for direct
+  program writes, ``"apply"`` for the journal's roll-forward of
+  committed entries, ``"recovery"`` for boot-time recovery actions.
+  The memory-model oracles only charge ``"task"`` writes — journal
+  applies and recovery are the *protocol*, not the program.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+from repro.nvm.memory import value_checksum
+
+#: Cell access operations.
+OP_READ = "read"
+OP_WRITE = "write"
+#: A volatile staged write (transaction intent, not yet durable).
+OP_STAGE = "stage"
+
+#: Commit-protocol and power-cycle markers. ``cell`` holds the journal
+#: name (markers) or the recovery outcome detail.
+OP_BEGIN = "begin"
+OP_SEAL = "seal"
+OP_CLEAR = "clear"
+OP_RECOVER = "recover"
+OP_REBOOT = "reboot"
+
+#: ``via`` values for write attribution.
+VIA_TASK = "task"
+VIA_APPLY = "apply"
+VIA_RECOVERY = "recovery"
+
+
+class AccessEvent:
+    """One logged NVM access or protocol marker."""
+
+    __slots__ = ("op", "cell", "value_sig", "epoch", "region", "via",
+                 "detail")
+
+    def __init__(self, op: str, cell: Optional[str], value_sig: Optional[int],
+                 epoch: int, region: int, via: str,
+                 detail: Optional[str] = None):
+        self.op = op
+        self.cell = cell
+        self.value_sig = value_sig
+        self.epoch = epoch
+        self.region = region
+        self.via = via
+        #: marker payload: journal name for begin/seal/clear, recovery
+        #: outcome for recover.
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        where = f"e{self.epoch}/r{self.region}"
+        if self.op in (OP_READ, OP_WRITE, OP_STAGE):
+            sig = "" if self.value_sig is None else f"={self.value_sig:08x}"
+            via = "" if self.via == VIA_TASK else f" via {self.via}"
+            return f"<{self.op} {self.cell}{sig} {where}{via}>"
+        return f"<{self.op} {self.detail or self.cell or ''} {where}>"
+
+
+class AccessLog:
+    """Ordered record of NVM accesses across power cycles.
+
+    Args:
+        normalize: applied to every written/staged value before its
+            checksum is taken. Verification passes
+            :func:`repro.verify.oracle.mask_time_fields` so legitimate
+            re-execution timestamp drift does not register as a
+            different value; the default identity keeps raw values.
+        reads: record read events (needed by the WAR oracle). Turn off
+            to halve the log for idempotence-only analyses.
+        mask_cells: predicate over cell names; a matching cell's values
+            are never checksummed (``value_sig`` stays ``None``).
+            Verification passes
+            :func:`repro.verify.oracle.is_time_cell` so cells that hold
+            bare timestamps compare equal across re-executions.
+    """
+
+    def __init__(self, normalize: Optional[Callable[[Any], Any]] = None,
+                 reads: bool = True,
+                 mask_cells: Optional[Callable[[str], bool]] = None):
+        self._mask_cells = mask_cells
+        self.events: List[AccessEvent] = []
+        self.epoch = 0
+        self.region = 0
+        self.record_reads = reads
+        self._normalize = normalize
+        #: journal names observed via protocol markers; the checker uses
+        #: them to exempt journal-infrastructure cells.
+        self.journal_names: set = set()
+        self._via: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Hooks called by the NVM layer
+    # ------------------------------------------------------------------
+    def _sig(self, cell: str, value: Any) -> Optional[int]:
+        if self._mask_cells is not None and self._mask_cells(cell):
+            return None
+        if self._normalize is not None:
+            value = self._normalize(value)
+        return value_checksum(value)
+
+    def on_read(self, cell: str) -> None:
+        if self.record_reads:
+            self.events.append(AccessEvent(
+                OP_READ, cell, None, self.epoch, self.region,
+                self._via[-1] if self._via else VIA_TASK))
+
+    def on_write(self, cell: str, value: Any) -> None:
+        self.events.append(AccessEvent(
+            OP_WRITE, cell, self._sig(cell, value), self.epoch, self.region,
+            self._via[-1] if self._via else VIA_TASK))
+
+    def on_stage(self, cell: str, value: Any) -> None:
+        self.events.append(AccessEvent(
+            OP_STAGE, cell, self._sig(cell, value), self.epoch, self.region,
+            self._via[-1] if self._via else VIA_TASK))
+
+    def on_marker(self, op: str, journal: str,
+                  detail: Optional[str] = None) -> None:
+        """Record a commit-protocol marker (begin/seal/clear/recover)."""
+        self.journal_names.add(journal)
+        self.events.append(AccessEvent(
+            op, journal, None, self.epoch, self.region, VIA_TASK,
+            detail=detail))
+        if op == OP_CLEAR:
+            # End of a committed (or recovered) transaction: the next
+            # accesses belong to a new failure-atomic region.
+            self.region += 1
+
+    def mark_reboot(self) -> None:
+        """Record a power-cycle boundary (called by the device)."""
+        self.epoch += 1
+        self.region += 1
+        self.events.append(AccessEvent(
+            OP_REBOOT, None, None, self.epoch, self.region, VIA_TASK))
+
+    # ------------------------------------------------------------------
+    # Write attribution context (journal apply / boot recovery)
+    # ------------------------------------------------------------------
+    def push_via(self, via: str) -> None:
+        self._via.append(via)
+
+    def pop_via(self) -> None:
+        if self._via:
+            self._via.pop()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[AccessEvent]:
+        return iter(self.events)
+
+    @property
+    def epochs(self) -> int:
+        """Number of execution epochs (power cycles + 1)."""
+        return self.epoch + 1
+
+    def journal_prefixes(self) -> Tuple[str, ...]:
+        """Cell-name prefixes of every journal seen in the log."""
+        return tuple(sorted(f"{name}." for name in self.journal_names))
+
+    def describe(self, last: Optional[int] = None) -> str:
+        """Human-readable dump (optionally only the last N events)."""
+        events = self.events if last is None else self.events[-last:]
+        return "\n".join(repr(e) for e in events)

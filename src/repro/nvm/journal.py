@@ -103,6 +103,12 @@ class CommitJournal:
     # ------------------------------------------------------------------
     # Commit protocol
     # ------------------------------------------------------------------
+    def _mark(self, op: str, detail: Optional[str] = None) -> None:
+        """Emit a commit-protocol marker into the attached access log."""
+        log = self._nvm.access_log
+        if log is not None:
+            log.on_marker(op, self.name, detail)
+
     def begin(self) -> None:
         """Open the journal for a new commit (status becomes pending)."""
         if self.in_flight:
@@ -110,6 +116,7 @@ class CommitJournal:
                 f"journal {self.name!r} already {self.status}; "
                 "recover() it before starting a new commit"
             )
+        self._mark("begin")
         self._entries.set(())
         self._applied.set(0)
         self._checksum.set(0)
@@ -129,6 +136,7 @@ class CommitJournal:
             raise NVMError(f"journal {self.name!r}: seal while {self.status!r}")
         self._checksum.set(entries_checksum(tuple(self._entries.get())))
         self._status.set(STATUS_COMMITTED)
+        self._mark("seal")
 
     def verify(self) -> bool:
         """True if the sealed entries still match their checksum."""
@@ -151,25 +159,32 @@ class CommitJournal:
         if self._status.get() != STATUS_COMMITTED:
             raise NVMError(f"journal {self.name!r}: apply while {self.status!r}")
         entries = self._entries.get()
-        for i in range(self._applied.get(), len(entries)):
-            cell_name, value = entries[i]
-            if on_step is not None:
-                on_step(f"apply:{cell_name}")
-            if spend is not None:
-                spend()
-            # First-write allocation happens here, in the same
-            # failure-atomic step as the value write: a commit that
-            # rolls back must leave no durable trace, not even an empty
-            # cell. (Channel cells used to be allocated eagerly while
-            # the task body ran, so a rolled-back commit still published
-            # an observable None-valued cell.) Growth of an existing
-            # cell stays the writer's job — it is size accounting only
-            # and never publishes a value.
-            if cell_name not in self._nvm:
-                self._nvm.alloc(cell_name, initial=None,
-                                size_bytes=serialized_size_bytes(value))
-            self._nvm.cell(cell_name).set(value)
-            self._applied.set(i + 1)
+        log = self._nvm.access_log
+        if log is not None:
+            log.push_via("apply")
+        try:
+            for i in range(self._applied.get(), len(entries)):
+                cell_name, value = entries[i]
+                if on_step is not None:
+                    on_step(f"apply:{cell_name}")
+                if spend is not None:
+                    spend()
+                # First-write allocation happens here, in the same
+                # failure-atomic step as the value write: a commit that
+                # rolls back must leave no durable trace, not even an empty
+                # cell. (Channel cells used to be allocated eagerly while
+                # the task body ran, so a rolled-back commit still published
+                # an observable None-valued cell.) Growth of an existing
+                # cell stays the writer's job — it is size accounting only
+                # and never publishes a value.
+                if cell_name not in self._nvm:
+                    self._nvm.alloc(cell_name, initial=None,
+                                    size_bytes=serialized_size_bytes(value))
+                self._nvm.cell(cell_name).set(value)
+                self._applied.set(i + 1)
+        finally:
+            if log is not None:
+                log.pop_via()
         return len(entries)
 
     def clear(self) -> None:
@@ -178,6 +193,7 @@ class CommitJournal:
         self._entries.set(())
         self._applied.set(0)
         self._checksum.set(0)
+        self._mark("clear")
 
     # ------------------------------------------------------------------
     # Boot-time recovery
@@ -195,6 +211,18 @@ class CommitJournal:
         * ``"corrupt"`` — the journal failed its checksum (or its status
           cell held garbage) and was discarded instead of replayed.
         """
+        log = self._nvm.access_log
+        if log is not None:
+            log.push_via("recovery")
+        try:
+            outcome = self._recover()
+        finally:
+            if log is not None:
+                log.pop_via()
+        self._mark("recover", outcome)
+        return outcome
+
+    def _recover(self) -> str:
         status = self._status.get()
         if status == STATUS_IDLE:
             return RECOVERED_CLEAN

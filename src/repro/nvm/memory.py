@@ -92,7 +92,10 @@ class PersistentCell:
         self.size_bytes = size_bytes
 
     def get(self) -> Any:
-        return self._nvm._data[self.name]
+        nvm = self._nvm
+        if nvm._access_log is not None:
+            nvm._access_log.on_read(self.name)
+        return nvm._data[self.name]
 
     def set(self, value: Any) -> None:
         nvm = self._nvm
@@ -110,6 +113,8 @@ class PersistentCell:
         nvm._write_count += 1
         counts = nvm._cell_writes
         counts[self.name] = counts.get(self.name, 0) + 1
+        if nvm._access_log is not None:
+            nvm._access_log.on_write(self.name, value)
 
     # Convenience property-style access.
     value = property(get, set)
@@ -140,11 +145,16 @@ class NonVolatileMemory:
         self._initials: Dict[str, Any] = {}
         self._write_limits: Dict[str, Tuple[int, bool]] = {}
         self._wear_dropped = 0
+        #: Optional access-log observer (see :mod:`repro.nvm.accesslog`).
+        self._access_log = None
+        #: Cells declared crash-progress points at allocation time.
+        self._progress_cells: set = set()
 
     # ------------------------------------------------------------------
     # Allocation
     # ------------------------------------------------------------------
-    def alloc(self, name: str, initial: Any = None, size_bytes: int = 8) -> PersistentCell:
+    def alloc(self, name: str, initial: Any = None, size_bytes: int = 8,
+              progress: bool = False) -> PersistentCell:
         """Allocate a named cell, or return the existing one after reboot.
 
         Allocation is idempotent by name: on reboot the runtime re-runs its
@@ -152,9 +162,23 @@ class NonVolatileMemory:
         surviving cell *without* resetting its value (that is the whole
         point of FRAM). Passing a different ``size_bytes`` for an existing
         name is an error, as it would be with a linker-placed symbol.
+
+        ``progress=True`` declares the cell a *crash-progress point*: a
+        cell the runtime updates with single atomic writes as its
+        intentional, crash-visible linearization mechanism (task program
+        counters, retry counters, chunk cursors, A/B slot switches).
+        Such cells are read-then-written across reboots *by design* —
+        re-execution observing the post-write value is exactly the
+        resume semantics — so the write-after-read hazard oracle
+        (:mod:`repro.verify.memmodel`) exempts them, the same way
+        DINO/Alpaca-style systems exempt manually-verified idempotent
+        state from privatization. The declaration is sticky across the
+        idempotent re-allocation on reboot.
         """
         if size_bytes <= 0:
             raise NVMError(f"cell {name!r}: size must be positive")
+        if progress:
+            self._progress_cells.add(name)
         existing = self._cells.get(name)
         if existing is not None:
             if existing.size_bytes != size_bytes:
@@ -272,6 +296,48 @@ class NonVolatileMemory:
         return self._wear_dropped
 
     # ------------------------------------------------------------------
+    # Access logging (memory-model verification)
+    # ------------------------------------------------------------------
+    def attach_access_log(self, log) -> None:
+        """Observe every cell read/write with ``log`` (an
+        :class:`~repro.nvm.accesslog.AccessLog`). One observer at a
+        time; pass ``None`` via :meth:`detach_access_log` to stop."""
+        self._access_log = log
+
+    def detach_access_log(self):
+        """Stop access logging; returns the detached log (or ``None``)."""
+        log, self._access_log = self._access_log, None
+        return log
+
+    @property
+    def access_log(self):
+        """The attached access log, or ``None``."""
+        return self._access_log
+
+    @property
+    def progress_cells(self) -> frozenset:
+        """Cells declared ``progress=True`` at allocation."""
+        return frozenset(self._progress_cells)
+
+    def is_progress(self, name: str) -> bool:
+        """True if ``name`` was declared a crash-progress cell."""
+        return name in self._progress_cells
+
+    def raw_get(self, name: str, default: Any = None) -> Any:
+        """Read a cell value without touching the access log.
+
+        For observers (fingerprinting, state projection) that must not
+        pollute the very log they are analysing. Returns ``default``
+        for unallocated cells instead of raising.
+        """
+        return self._data.get(name, default)
+
+    def raw_items(self):
+        """Iterate ``(name, value)`` pairs without touching the access
+        log (observer use; see :meth:`raw_get`)."""
+        return self._data.items()
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def cell(self, name: str) -> PersistentCell:
@@ -353,7 +419,9 @@ def namespaced(nvm: NonVolatileMemory, prefix: str):
     the same way the C generator prefixes monitor variables.
     """
 
-    def alloc(name: str, initial: Any = None, size_bytes: int = 8) -> PersistentCell:
-        return nvm.alloc(f"{prefix}.{name}", initial, size_bytes)
+    def alloc(name: str, initial: Any = None, size_bytes: int = 8,
+              progress: bool = False) -> PersistentCell:
+        return nvm.alloc(f"{prefix}.{name}", initial, size_bytes,
+                         progress=progress)
 
     return alloc

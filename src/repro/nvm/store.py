@@ -15,12 +15,15 @@ from repro.nvm.memory import NonVolatileMemory
 class NVMStore:
     """Mutable-mapping adapter: ``store[key]`` ↔ NVM cell ``prefix.key``."""
 
-    def __init__(self, nvm: NonVolatileMemory, prefix: str, cell_bytes: int = 8):
+    def __init__(self, nvm: NonVolatileMemory, prefix: str, cell_bytes: int = 8,
+                 progress: bool = False):
         self._nvm = nvm
         self._prefix = prefix
         self._cell_bytes = cell_bytes
+        self._progress = progress
         # Track which keys belong to this store (NVM itself is shared).
-        self._keys_cell = nvm.alloc(f"{prefix}.__keys__", initial=(), size_bytes=16)
+        self._keys_cell = nvm.alloc(f"{prefix}.__keys__", initial=(),
+                                    size_bytes=16, progress=progress)
 
     def _cell_name(self, key: str) -> str:
         return f"{self._prefix}.{key}"
@@ -33,7 +36,8 @@ class NVMStore:
     def __setitem__(self, key: str, value: Any) -> None:
         name = self._cell_name(key)
         if name not in self._nvm:
-            self._nvm.alloc(name, initial=None, size_bytes=self._cell_bytes)
+            self._nvm.alloc(name, initial=None, size_bytes=self._cell_bytes,
+                            progress=self._progress)
         if key not in self._keys_cell.get():
             self._keys_cell.set(self._keys_cell.get() + (key,))
         self._nvm.cell(name).set(value)

@@ -42,6 +42,16 @@ class Transaction:
             created anywhere in a runtime agree on the journal layout.
     """
 
+    #: Test-only fault switch for the memory-model checker's mutation
+    #: self-test (:mod:`repro.verify.mutation`): when True, ``stage()``
+    #: also writes the value straight into NVM — an *unprivatized*
+    #: write, exactly the WAR-hazard class Alpaca's privatization
+    #: exists to prevent. A crash-free run is unaffected (the commit
+    #: overwrites the cell with the same value), so only the
+    #: access-log oracles can observe the breakage from a crashing
+    #: run. Never set this outside tests.
+    TEST_WRITE_THROUGH_STAGE = False
+
     def __init__(self, nvm: NonVolatileMemory, journal: Optional[CommitJournal] = None):
         self._nvm = nvm
         self._journal = journal if journal is not None else CommitJournal(nvm)
@@ -63,6 +73,13 @@ class Transaction:
         if not create and name not in self._nvm:
             raise NVMError(f"cannot stage write to unallocated cell {name!r}")
         self._stage[name] = value
+        log = self._nvm.access_log
+        if log is not None:
+            log.on_stage(name, value)
+        if Transaction.TEST_WRITE_THROUGH_STAGE and name in self._nvm:
+            # Injected WAR-hazard bug: the staged write escapes its
+            # privatization and lands durably before the commit point.
+            self._nvm.cell(name).set(value)
 
     def read(self, name: str) -> Any:
         """Read through the stage: staged value if present, else NVM."""

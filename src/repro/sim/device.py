@@ -180,6 +180,8 @@ class Device:
         self.result.charge_time_s += wait
         self.result.reboots += 1
         self.clock.on_reboot()
+        if self.nvm.access_log is not None:
+            self.nvm.access_log.mark_reboot()
         self._alive = True
         self.trace.record(self.sim_clock.now(), "boot", charge_wait_s=round(wait, 3))
 

@@ -12,8 +12,12 @@ Entry points:
 * :func:`get_scenario` / :func:`iter_scenarios` — the workload ×
   runtime matrix;
 * :class:`CounterexampleShrinker` — witness minimization;
-* :func:`run_self_test` — the mutation self-test proving the checker
-  catches a deliberately injected recovery bug;
+* :class:`MemoryModelChecker` / :func:`run_memory_model` — WAR and
+  idempotence oracles over NVM access logs, passing verdicts on single
+  intermittent runs with no continuous-power twin;
+* :func:`run_self_test` / :func:`run_war_self_test` — mutation
+  self-tests proving the checkers catch deliberately injected recovery
+  and privatization bugs;
 * ``repro verify`` — the CLI front-end.
 """
 
@@ -23,16 +27,33 @@ from repro.verify.explorer import (
     ScheduleRun,
     VerifyReport,
 )
-from repro.verify.mutation import broken_commit_ordering, run_self_test
+from repro.verify.memmodel import (
+    Finding,
+    MemoryModelChecker,
+    MemoryModelReport,
+    run_memory_model,
+)
+from repro.verify.mutation import (
+    broken_commit_ordering,
+    broken_write_privatization,
+    run_self_test,
+    run_war_self_test,
+)
 from repro.verify.oracle import (
     EquivalencePolicy,
     Outcome,
     compare_outcomes,
     extract_outcome,
+    is_time_cell,
     machine_cross_check,
     mask_time_fields,
 )
-from repro.verify.schedule import CrashScheduleRunner, Schedule, validate_schedule
+from repro.verify.schedule import (
+    CrashScheduleRunner,
+    FingerprintPolicy,
+    Schedule,
+    validate_schedule,
+)
 from repro.verify.shrink import CounterexampleShrinker, Witness
 from repro.verify.workloads import (
     EXTRA_SCENARIOS,
@@ -50,6 +71,10 @@ __all__ = [
     "CrashScheduleRunner",
     "EXTRA_SCENARIOS",
     "EquivalencePolicy",
+    "Finding",
+    "FingerprintPolicy",
+    "MemoryModelChecker",
+    "MemoryModelReport",
     "Outcome",
     "RUNTIMES",
     "Scenario",
@@ -59,12 +84,16 @@ __all__ = [
     "WORKLOADS",
     "Witness",
     "broken_commit_ordering",
+    "broken_write_privatization",
     "compare_outcomes",
     "extract_outcome",
     "get_scenario",
+    "is_time_cell",
     "iter_scenarios",
     "machine_cross_check",
     "mask_time_fields",
+    "run_memory_model",
     "run_self_test",
+    "run_war_self_test",
     "validate_schedule",
 ]

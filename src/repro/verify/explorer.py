@@ -41,7 +41,12 @@ from repro.verify.oracle import (
     compare_outcomes,
     extract_outcome,
 )
-from repro.verify.schedule import CrashScheduleRunner, Schedule, validate_schedule
+from repro.verify.schedule import (
+    CrashScheduleRunner,
+    FingerprintPolicy,
+    Schedule,
+    validate_schedule,
+)
 
 #: Builds one fresh (device, runtime) pair. Every schedule gets its own
 #: pair — determinism of the build is what makes schedules replayable.
@@ -97,6 +102,11 @@ class VerifyReport:
     counterexamples: List[Counterexample] = field(default_factory=list)
     #: True when the run budget cut the search short of the bound.
     truncated: bool = False
+    #: True when partial-order reduction pruned the search.
+    por: bool = False
+    #: Subtrees skipped because their crash point's signature had
+    #: already been expanded (POR only).
+    pruned_subtrees: int = 0
 
     @property
     def ok(self) -> bool:
@@ -106,9 +116,11 @@ class VerifyReport:
         verdict = "PASS" if self.ok else "FAIL"
         extent = ("exhaustive to bound" if not self.truncated
                   else "TRUNCATED by budget")
+        reduction = (f", POR pruned {self.pruned_subtrees} subtrees"
+                     if self.por else "")
         return (
             f"[{verdict}] {self.scenario}: {self.schedules_checked} schedules "
-            f"(bound {self.bound}, {self.strategy}, {extent}), "
+            f"(bound {self.bound}, {self.strategy}, {extent}{reduction}), "
             f"{self.baseline_payments} payments / "
             f"{self.depth1_crash_points} distinct crash states crash-free, "
             f"{len(self.counterexamples)} counterexample(s)"
@@ -159,12 +171,15 @@ class CrashScheduleExplorer:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def execute(self, schedule: Schedule = ()) -> ScheduleRun:
+    def execute(self, schedule: Schedule = (),
+                fingerprint_policy: Optional[FingerprintPolicy] = None,
+                ) -> ScheduleRun:
         """Run the scenario once under ``schedule`` (fresh device)."""
         schedule = validate_schedule(schedule)
         device, runtime = self.build()
         runner = CrashScheduleRunner(
-            schedule, time_sensitive=self.time_sensitive).bind(device)
+            schedule, time_sensitive=self.time_sensitive,
+            fingerprint_policy=fingerprint_policy).bind(device)
         device.run(runtime, **self.run_kwargs)
         outcome = extract_outcome(device, runtime, self.policy,
                                   extract_extra=self.extract_extra)
@@ -211,6 +226,7 @@ class CrashScheduleExplorer:
         budget: int = 200,
         strategy: str = "bfs",
         stop_on_first: bool = True,
+        por: bool = False,
     ) -> VerifyReport:
         """Check every schedule with up to ``bound`` crashes.
 
@@ -220,30 +236,71 @@ class CrashScheduleExplorer:
         single-crash schedules before any two-crash schedule (best for
         shallow bugs and for meaningful truncation), ``"dfs"`` drills
         each branch to the bound first.
+
+        ``por`` enables partial-order reduction (see
+        :class:`~repro.verify.schedule.FingerprintPolicy` and
+        ``docs/verification.md``): candidate crash points collapse into
+        recovery-projected classes, and a subtree is skipped entirely
+        when its root crash point carries a search signature —
+        projected state plus observable-action prefix — that an
+        already-expanded crash point at the same or shallower depth also
+        carried (identical signature ⇒ identical verdicts for every
+        continuation). Verdict-preserving, typically orders of
+        magnitude fewer runs at bounds ≥ 3. Requires
+        ``time_sensitive=False``.
         """
         if strategy not in ("bfs", "dfs"):
             raise ReproError(f"unknown strategy {strategy!r}")
         if bound < 0:
             raise ReproError("bound must be non-negative")
+        if por and self.time_sensitive:
+            raise ReproError(
+                "partial-order reduction masks time from crash-state "
+                "signatures and is unsound for time_sensitive scenarios")
+        fp_policy = FingerprintPolicy() if por else None
         report = VerifyReport(scenario=self.name, bound=bound,
-                              strategy=strategy, budget=budget)
-        base = self.oracle_run
+                              strategy=strategy, budget=budget, por=por)
+        if por:
+            base = self.execute((), fingerprint_policy=fp_policy)
+            if not base.outcome.completed:
+                raise ReproError(
+                    f"scenario {self.name!r}: the crash-free oracle run did "
+                    "not complete — the scenario is misconfigured, not buggy")
+            if self._oracle_run is None:
+                self._oracle_run = base
+        else:
+            base = self.oracle_run
         report.runs_executed = 1
         report.baseline_payments = base.runner.calls
-        report.depth1_crash_points = len(base.runner.representatives(1))
+        report.depth1_crash_points = len(
+            base.runner.representatives(1, projected=por))
 
+        #: POR sleep set: crash-point signature -> shallowest schedule
+        #: length it was expanded at. A signature re-encountered at the
+        #: same or greater depth roots a subtree whose every verdict is
+        #: already covered.
+        visited = {}
         frontier = deque([base])
         while frontier:
             parent = frontier.popleft() if strategy == "bfs" else frontier.pop()
             if len(parent.schedule) >= bound:
                 continue
             start = parent.schedule[-1] + 1 if parent.schedule else 1
-            for index in parent.runner.representatives(start):
+            for index in parent.runner.representatives(start, projected=por):
+                if por:
+                    signature = parent.runner.signature_at(index)
+                    depth = len(parent.schedule)
+                    seen = visited.get(signature)
+                    if seen is not None and seen <= depth:
+                        report.pruned_subtrees += 1
+                        continue
+                    visited[signature] = depth
                 if report.runs_executed >= budget:
                     report.truncated = True
                     return report
                 child_schedule = parent.schedule + (index,)
-                child = self.execute(child_schedule)
+                child = self.execute(child_schedule,
+                                     fingerprint_policy=fp_policy)
                 report.runs_executed += 1
                 report.schedules_checked += 1
                 problems = compare_outcomes(self.oracle, child.outcome,

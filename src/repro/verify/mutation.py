@@ -21,7 +21,9 @@ from typing import Optional, Tuple
 
 from repro.errors import ReproError
 from repro.nvm.journal import CommitJournal
+from repro.nvm.transaction import Transaction
 from repro.verify.explorer import VerifyReport
+from repro.verify.memmodel import MemoryModelReport, run_memory_model
 from repro.verify.shrink import CounterexampleShrinker, Witness
 from repro.verify.workloads import Scenario, get_scenario
 
@@ -35,6 +37,22 @@ def broken_commit_ordering():
         yield
     finally:
         CommitJournal.TEST_SKIP_RECOVERY_APPLY = previous
+
+
+@contextmanager
+def broken_write_privatization():
+    """Enable the injected WAR-hazard bug for the duration of the block.
+
+    :attr:`repro.nvm.transaction.Transaction.TEST_WRITE_THROUGH_STAGE`
+    makes every staged write also land durably at stage time — the
+    unprivatized write Alpaca-style privatization exists to prevent.
+    """
+    previous = Transaction.TEST_WRITE_THROUGH_STAGE
+    Transaction.TEST_WRITE_THROUGH_STAGE = True
+    try:
+        yield
+    finally:
+        Transaction.TEST_WRITE_THROUGH_STAGE = previous
 
 
 def run_self_test(
@@ -63,3 +81,34 @@ def run_self_test(
         shrinker = CounterexampleShrinker(explorer, max_runs=shrink_runs)
         witness = shrinker.shrink(report.counterexamples[0])
     return report, witness
+
+
+def run_war_self_test(
+    scenario: Optional[Scenario] = None,
+    max_crash_index: int = 40,
+) -> Tuple[Tuple[int, ...], MemoryModelReport]:
+    """Prove the memory-model oracles catch an unprivatized write.
+
+    Injects :func:`broken_write_privatization` and memory-model-checks
+    single-crash runs until one yields a manifest WAR or idempotence
+    finding. No continuous-power twin is ever run — the verdict comes
+    from one intermittent run's own access log, which is the
+    :class:`~repro.verify.memmodel.MemoryModelChecker`'s whole claim.
+
+    Returns the catching schedule and its report; raises
+    :class:`~repro.errors.ReproError` if no crash index up to
+    ``max_crash_index`` exposes the bug.
+    """
+    scenario = scenario if scenario is not None else get_scenario(
+        "ota", "artemis")
+    with broken_write_privatization():
+        for index in range(1, max_crash_index + 1):
+            schedule = (index,)
+            report = run_memory_model(
+                scenario.build, schedule, scenario.run_kwargs)
+            if not report.ok:
+                return schedule, report
+    raise ReproError(
+        f"WAR mutation self-test: memory-model checker missed the "
+        f"injected unprivatized write on {scenario.name} in "
+        f"{max_crash_index} single-crash runs")

@@ -49,6 +49,18 @@ ACTION_KINDS = (
 #: comparison: re-execution after a crash legitimately shifts them.
 TIME_KEYS = ("t", "timestamp", "time")
 
+#: Cells whose *values* are bare timestamps (not dicts with time-named
+#: keys, which :func:`mask_time_fields` already handles). Re-execution
+#: after a reboot legitimately produces different readings for these,
+#: so value-sensitive comparisons (access-log signatures, projected
+#: state fingerprints) mask them wholesale.
+TIME_CELL_SUFFIXES = (".end_ts", ".end_times", ".last_reading")
+
+
+def is_time_cell(name: str) -> bool:
+    """True for cells whose value is wall-clock time by construction."""
+    return name.endswith(TIME_CELL_SUFFIXES)
+
 
 def mask_time_fields(value: Any, keys: Sequence[str] = TIME_KEYS) -> Any:
     """Recursively replace timestamp-named dict fields with a marker."""
@@ -105,18 +117,23 @@ class Outcome:
     journal_idle: bool = True
 
 
+#: Detail keys stripped before action comparison (diagnostics that
+#: legitimately differ between intermittent and continuous runs).
+_ACTION_NOISE_KEYS = ("attempts", "sensor", "fault", "replayed")
+
+
+def normalized_action(event) -> Tuple[str, Tuple]:
+    """One trace event reduced to its comparison-relevant core."""
+    detail = tuple(sorted(
+        (k, v) for k, v in event.detail.items()
+        if k not in _ACTION_NOISE_KEYS and k not in TIME_KEYS
+    ))
+    return (event.kind, detail)
+
+
 def _normalized_actions(trace) -> Tuple:
-    out = []
-    for event in trace:
-        if event.kind not in ACTION_KINDS:
-            continue
-        detail = tuple(sorted(
-            (k, v) for k, v in event.detail.items()
-            if k not in ("attempts", "sensor", "fault", "replayed")
-            and k not in TIME_KEYS
-        ))
-        out.append((event.kind, detail))
-    return tuple(out)
+    return tuple(normalized_action(event) for event in trace
+                 if event.kind in ACTION_KINDS)
 
 
 def extract_outcome(device, runtime, policy: EquivalencePolicy,

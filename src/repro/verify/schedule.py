@@ -24,9 +24,22 @@ failures it records, per payment index:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+import zlib
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ReproError
+from repro.nvm.journal import (
+    STATUS_COMMITTED,
+    STATUS_IDLE,
+    STATUS_PENDING,
+    entries_checksum,
+)
+from repro.verify.oracle import (
+    ACTION_KINDS,
+    is_time_cell,
+    mask_time_fields,
+    normalized_action,
+)
 
 #: A crash schedule: strictly increasing 1-based payment indices.
 Schedule = Tuple[int, ...]
@@ -42,6 +55,100 @@ def validate_schedule(schedule: Iterable[int]) -> Schedule:
     return out
 
 
+def _crc(payload: object, acc: int = 0) -> int:
+    return zlib.crc32(repr(payload).encode("utf-8", "backslashreplace"), acc)
+
+
+class FingerprintPolicy:
+    """Recovery-projected, time-masked crash-state fingerprints.
+
+    The raw per-payment fingerprint hashes the durable state *as is* —
+    including a mid-commit journal full of redo entries, and cells whose
+    values are wall-clock timestamps. Both inflate the number of
+    distinct crash states without changing what a crash actually leads
+    to:
+
+    * **Recovery projection.** A crash never resumes from the raw
+      durable state; it resumes from what boot-time recovery makes of
+      it. Projecting each journal through its own recovery rules — a
+      *pending* journal's entries are dropped, a *committed* journal's
+      entries are overlaid onto their cells, journal bookkeeping cells
+      are normalised to idle — collapses every interior crash point of
+      one commit into the two states that matter (before the seal /
+      after the seal). The projection is exact, not heuristic: it is
+      :meth:`repro.nvm.journal.CommitJournal.recover` evaluated
+      symbolically.
+    * **Time masking.** Cells holding bare timestamps
+      (:func:`repro.verify.oracle.is_time_cell`) and timestamp-named
+      dict fields (:func:`repro.verify.oracle.mask_time_fields`) are
+      masked, matching the equivalence policy's own time-insensitivity:
+      the outcome comparison never looks at them, so crash states
+      differing only there have equal verdicts for every continuation.
+      Only valid for ``time_sensitive=False`` scenarios — the explorer
+      refuses the combination otherwise.
+
+    Two payments with equal projected fingerprints reboot into the same
+    post-recovery durable state, hence (deterministic simulation, time
+    masked) the same future.
+    """
+
+    def __init__(self,
+                 mask_cell: Callable[[str], bool] = is_time_cell,
+                 normalize: Callable[[object], object] = mask_time_fields):
+        self.mask_cell = mask_cell
+        self.normalize = normalize
+
+    # ------------------------------------------------------------------
+    def _journal_bases(self, nvm) -> List[str]:
+        bases = []
+        for name, _ in nvm.raw_items():
+            if name.endswith(".status"):
+                base = name[: -len(".status")]
+                if f"{base}.entries" in nvm and f"{base}.applied" in nvm:
+                    bases.append(base)
+        return sorted(bases)
+
+    def project(self, nvm) -> Dict[str, object]:
+        """The durable state a crash *now* would reboot into.
+
+        Returns cell overrides relative to the raw state: journal cells
+        normalised to their post-recovery (idle) values, plus the
+        roll-forward overlay of any sealed-but-unapplied entries.
+        """
+        overrides: Dict[str, object] = {}
+        for base in self._journal_bases(nvm):
+            status = nvm.raw_get(f"{base}.status")
+            entries = tuple(nvm.raw_get(f"{base}.entries", ()))
+            if status == STATUS_IDLE:
+                continue
+            if status == STATUS_COMMITTED and (
+                    entries_checksum(entries)
+                    == nvm.raw_get(f"{base}.checksum", 0)):
+                # Roll forward: recovery will apply every entry.
+                for cell_name, value in entries:
+                    overrides[cell_name] = value
+            # Pending (roll back), corrupt (discard) and rolled-forward
+            # journals all end recovery in the same idle bookkeeping.
+            overrides[f"{base}.status"] = STATUS_IDLE
+            overrides[f"{base}.entries"] = ()
+            overrides[f"{base}.checksum"] = 0
+            overrides[f"{base}.applied"] = 0
+        return overrides
+
+    def fingerprint(self, nvm) -> int:
+        """CRC-32 of the projected, masked durable state."""
+        overrides = self.project(nvm)
+        acc = 0
+        names = {name for name, _ in nvm.raw_items()}
+        names.update(overrides)
+        for name in sorted(names):
+            if self.mask_cell(name):
+                continue
+            value = overrides[name] if name in overrides else nvm.raw_get(name)
+            acc = _crc((name, self.normalize(value)), acc)
+        return acc
+
+
 class CrashScheduleRunner:
     """Injects brown-outs at scheduled payment indices and records
     crash-point metadata for the explorer.
@@ -55,19 +162,33 @@ class CrashScheduleRunner:
             recorded fingerprint. Costs pruning power — time advances
             monotonically — but is required for workloads whose
             behaviour genuinely depends on absolute time.
+        fingerprint_policy: when given, additionally record
+            *projected* fingerprints (see :class:`FingerprintPolicy`)
+            and per-payment search signatures for the explorer's
+            partial-order reduction.
     """
 
     def __init__(self, schedule: Iterable[int] = (), record: bool = True,
-                 time_sensitive: bool = False):
+                 time_sensitive: bool = False,
+                 fingerprint_policy: Optional[FingerprintPolicy] = None):
         self.schedule = validate_schedule(schedule)
         self._crash_at = frozenset(self.schedule)
         self.record = record
         self.time_sensitive = time_sensitive
+        self.fingerprint_policy = fingerprint_policy
         self.calls = 0
         self.crashes = 0
         #: fingerprints[k-1] is the durable state a crash at payment k
         #: would reboot from.
         self.fingerprints: List[int] = []
+        #: projected[k-1] is the *post-recovery* state a crash at
+        #: payment k would lead to (only with a fingerprint_policy).
+        self.projected: List[int] = []
+        #: action_crcs[k-1] hashes the normalised corrective-action
+        #: prefix emitted before payment k (only with a policy).
+        self.action_crcs: List[int] = []
+        #: runs_done[k-1] is the application-runs count at payment k.
+        self.runs_done: List[int] = []
         self.categories: List[str] = []
         #: payment index -> commit-step label (only labelled steps).
         self.labels: Dict[int, str] = {}
@@ -75,6 +196,10 @@ class CrashScheduleRunner:
         self._device = None
         self._fp_cache_key: Optional[Tuple[int, int]] = None
         self._fp_cache_value: int = 0
+        self._proj_cache_key: Optional[Tuple[int, int]] = None
+        self._proj_cache_value: int = 0
+        self._trace_pos = 0
+        self._action_crc = 0
 
     # ------------------------------------------------------------------
     # Device-facing protocol
@@ -96,6 +221,10 @@ class CrashScheduleRunner:
         if self.record:
             self.fingerprints.append(self._fingerprint())
             self.categories.append(category)
+            if self.fingerprint_policy is not None:
+                self.projected.append(self._projected_fingerprint())
+                self.action_crcs.append(self._advance_action_crc())
+                self.runs_done.append(self._device.result.runs_completed)
             if self._pending_label is not None:
                 self.labels[self.calls] = self._pending_label
         self._pending_label = None
@@ -118,6 +247,30 @@ class CrashScheduleRunner:
             fp = hash((fp, round(self._device.sim_clock.now(), 9)))
         return fp
 
+    def _projected_fingerprint(self) -> int:
+        nvm = self._device.nvm
+        key = (len(nvm), nvm.write_count)
+        if key != self._proj_cache_key:
+            self._proj_cache_key = key
+            self._proj_cache_value = self.fingerprint_policy.fingerprint(nvm)
+        return self._proj_cache_value
+
+    def _advance_action_crc(self) -> int:
+        """Running CRC of the normalised corrective-action prefix.
+
+        Mirrors :func:`repro.verify.oracle._normalized_actions` event by
+        event, but incrementally — each payment only hashes the trace
+        events recorded since the previous payment.
+        """
+        events = self._device.trace.events
+        crc = self._action_crc
+        for event in events[self._trace_pos:]:
+            if event.kind in ACTION_KINDS:
+                crc = _crc(normalized_action(event), crc)
+        self._trace_pos = len(events)
+        self._action_crc = crc
+        return crc
+
     # ------------------------------------------------------------------
     # Post-run queries used by the explorer
     # ------------------------------------------------------------------
@@ -131,19 +284,49 @@ class CrashScheduleRunner:
     def category_at(self, index: int) -> str:
         return self.categories[index - 1]
 
-    def representatives(self, start: int, stop: Optional[int] = None) -> List[int]:
+    def signature_at(self, index: int) -> Tuple[int, int, int]:
+        """Search signature of the crash point at payment ``index``.
+
+        ``(projected fingerprint, action-prefix CRC, runs completed)``:
+        two crash points with equal signatures have (a) identical
+        post-recovery durable state, hence identical futures, and (b)
+        identical observable pasts — so crashing at either, with any
+        continuation, yields the same verdict. The explorer's
+        partial-order reduction prunes whole subtrees on this equality.
+        Requires a ``fingerprint_policy``.
+        """
+        if self.fingerprint_policy is None:
+            raise ReproError("signature_at needs a fingerprint_policy")
+        return (self.projected[index - 1], self.action_crcs[index - 1],
+                self.runs_done[index - 1])
+
+    def representatives(self, start: int, stop: Optional[int] = None,
+                        projected: bool = False) -> List[int]:
         """One payment index per distinct crash state in [start, stop].
 
         Scans the recorded fingerprints and keeps the *first* index of
         every run of equal fingerprints — crashing anywhere else in the
         run reboots from the identical durable state, so one
-        representative covers the whole class.
+        representative covers the whole class. With ``projected=True``
+        the scan uses the recovery-projected fingerprints instead
+        (requires a ``fingerprint_policy``): interior crash points of a
+        journaled commit then collapse into their post-recovery
+        classes.
         """
+        if projected and self.fingerprint_policy is None:
+            raise ReproError("projected representatives need a "
+                             "fingerprint_policy")
         stop = self.calls if stop is None else min(stop, self.calls)
         out: List[int] = []
-        last_fp: Optional[int] = None
+        last_fp: Optional[Tuple] = None
         for index in range(max(start, 1), stop + 1):
-            fp = self.fingerprints[index - 1]
+            if projected:
+                # Full signature, not just the state: an action emitted
+                # between two durably-identical payments still makes
+                # their crashes observably different.
+                fp: Tuple = self.signature_at(index)
+            else:
+                fp = (self.fingerprints[index - 1],)
             if last_fp is None or fp != last_fp:
                 out.append(index)
                 last_fp = fp

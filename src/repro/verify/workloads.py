@@ -77,10 +77,13 @@ WORKLOADS = ("health", "camera", "synthetic")
 RUNTIMES = ("artemis", "mayfly", "chain", "checkpoint")
 
 #: Scenarios outside the workload × runtime cross product. The ``ota``
-#: workload exists only for ARTEMIS: it verifies the fleet OTA pipeline
+#: workloads exist only for ARTEMIS: they verify the fleet OTA pipeline
 #: (receive → stage → journaled activate → migrate), which the baseline
-#: runtimes do not implement.
-EXTRA_SCENARIOS = (("ota", "artemis"),)
+#: runtimes do not implement. ``ota`` ships a full bundle; ``ota-delta``
+#: ships a delta against the installed version, covering the end-to-end
+#: server-side encode → transport → on-device reconstruct → install →
+#: swap path (bundle → transport → install → swap).
+EXTRA_SCENARIOS = (("ota", "artemis"), ("ota-delta", "artemis"))
 
 #: Health benchmark spec scaled for exhaustive exploration: collect 2
 #: instead of 10 (one path restart in the oracle run), generous retry
@@ -415,6 +418,29 @@ def _ota_artemis() -> Tuple[Device, Any]:
     return device, updatable
 
 
+def _ota_delta_artemis() -> Tuple[Device, Any]:
+    """The full fleet path: server delta-encodes v2 against the installed
+    v1 bundle, the wire crosses the (chunked) transport, and the device
+    reconstructs, stages, journal-activates and migrates — so bounded
+    exploration covers crashes inside every stage of bundle → transport
+    → install → swap, including the hash-guarded delta reconstruction."""
+    device = _device()
+    app = _ota_app()
+    power = PowerModel({
+        "sense": TaskCost(0.05, MCU_ACTIVE_POWER_W),
+        "send": TaskCost(0.30, MCU_ACTIVE_POWER_W, 1.0e-3),
+    })
+    runtime = build_artemis(device, app=app, spec=OTA_SPEC_V1, power=power)
+    installer = BundleInstaller(device.nvm, journal=runtime.journal)
+    v1 = build_bundle(OTA_SPEC_V1, app, version=1)
+    installer.install_initial(v1)
+    transport = OtaTransport(device.nvm, chunk_size=_OTA_CHUNK_SIZE)
+    updatable = UpdatableRuntime(runtime, installer, transport)
+    delta = v1.delta_to(build_bundle(OTA_SPEC_V2, app, version=2))
+    updatable.push(delta.to_wire(), 2)
+    return device, updatable
+
+
 def _ota_extract(device, runtime) -> Dict[str, Any]:
     """Durable update state every crash schedule must agree on: the v2
     set fully active, migration drained, probation ended by the post-
@@ -461,6 +487,7 @@ _BUILDS: Dict[Tuple[str, str], Callable[[], Tuple[Device, Any]]] = {
     ("synthetic", "chain"): _synthetic_chain,
     ("synthetic", "checkpoint"): _synthetic_checkpoint,
     ("ota", "artemis"): _ota_artemis,
+    ("ota-delta", "artemis"): _ota_delta_artemis,
 }
 
 _CHECKPOINT_PROGRAMS = {"health": "health", "camera": "camera",
@@ -479,12 +506,15 @@ def get_scenario(workload: str, runtime: str) -> Scenario:
     run_kwargs: Dict[str, Any] = {}
     if runtime == "checkpoint":
         extract = _checkpoint_extract(_CHECKPOINT_PROGRAMS[workload])
-    elif workload == "ota":
+    elif workload in ("ota", "ota-delta"):
         extract = _ota_extract
-        # Two application runs: the transfer completes during run 1 and
-        # the swap lands at the run-2 path boundary at the latest, so
-        # the crash-free oracle finishes fully installed.
-        run_kwargs = {"runs": 2}
+        # Enough application runs that the crash-free oracle finishes
+        # fully installed: the transfer delivers one chunk per loop
+        # iteration, and the queued swap lands at the next path
+        # boundary. The delta wire (~1.5 KB: full spec + changed
+        # machines + guard hashes) spans 6 chunks vs. the full bundle's
+        # 3, so it needs one more run to drain.
+        run_kwargs = {"runs": 2 if workload == "ota" else 3}
     return Scenario(
         name=f"{workload}-{runtime}",
         workload=workload,

@@ -1,0 +1,177 @@
+"""Unit tests for the NVM access logger.
+
+The logger is the evidence stream the memory-model oracles run on
+(tests/test_memmodel.py): per-cell read/write/stage events with epoch
+(reboot) and region (commit) boundaries, the ``via`` context separating
+program accesses from journal roll-forward and boot recovery, and
+value signatures with time-cell masking.
+"""
+
+from repro.nvm.accesslog import (
+    OP_CLEAR,
+    OP_READ,
+    OP_RECOVER,
+    OP_STAGE,
+    OP_WRITE,
+    VIA_APPLY,
+    VIA_RECOVERY,
+    VIA_TASK,
+    AccessLog,
+)
+from repro.nvm.journal import CommitJournal
+from repro.nvm.memory import NonVolatileMemory, namespaced, value_checksum
+from repro.nvm.transaction import Transaction
+from repro.verify.oracle import is_time_cell, mask_time_fields
+
+
+def _logged(nvm=None):
+    nvm = nvm or NonVolatileMemory()
+    log = AccessLog()
+    nvm.attach_access_log(log)
+    return nvm, log
+
+
+class TestCellEvents:
+    def test_read_write_recorded_with_context(self):
+        nvm, log = _logged()
+        cell = nvm.alloc("x", 1)
+        cell.get()
+        cell.set(2)
+        ops = [(e.op, e.cell) for e in log.events]
+        assert (OP_READ, "x") in ops
+        assert (OP_WRITE, "x") in ops
+        for event in log.events:
+            assert event.epoch == 0
+            assert event.via == VIA_TASK
+
+    def test_write_records_value_signature(self):
+        nvm, log = _logged()
+        nvm.alloc("x", 0).set({"v": 7})
+        write = [e for e in log.events if e.op == OP_WRITE][-1]
+        assert write.value_sig == value_checksum({"v": 7})
+
+    def test_detached_log_records_nothing(self):
+        nvm, log = _logged()
+        nvm.detach_access_log()
+        nvm.alloc("x", 1).set(2)
+        assert log.events == []
+
+    def test_raw_accessors_do_not_log(self):
+        nvm, log = _logged()
+        nvm.alloc("x", 1)
+        before = len(log.events)
+        nvm.raw_get("x")
+        dict(nvm.raw_items())
+        nvm.state_fingerprint()
+        assert len(log.events) == before
+
+
+class TestBoundaries:
+    def test_reboot_advances_epoch_and_region(self):
+        nvm, log = _logged()
+        cell = nvm.alloc("x", 1)
+        cell.set(2)
+        log.mark_reboot()
+        cell.set(3)
+        first, second = [e for e in log.events if e.op == OP_WRITE]
+        assert (first.epoch, second.epoch) == (0, 1)
+        assert second.region > first.region
+        assert log.epochs == 2
+
+    def test_commit_clear_starts_new_region(self):
+        nvm, log = _logged()
+        journal = CommitJournal(nvm)
+        nvm.alloc("x", 1).get()
+        pre = log.events[-1].region
+        journal.begin()
+        journal.append("x", 2)
+        journal.seal()
+        journal.apply()
+        journal.clear()
+        nvm.cell("x").get()
+        assert log.events[-1].region == pre + 1
+
+    def test_journal_names_collected(self):
+        nvm, log = _logged()
+        journal = CommitJournal(nvm, name="mylog")
+        journal.begin()
+        journal.seal()
+        journal.apply()
+        journal.clear()
+        assert log.journal_prefixes() == ("mylog.",)
+
+
+class TestViaContext:
+    def test_apply_writes_are_via_apply(self):
+        nvm, log = _logged()
+        nvm.alloc("x", 1)
+        journal = CommitJournal(nvm)
+        journal.begin()
+        journal.append("x", 2)
+        journal.seal()
+        journal.apply()
+        journal.clear()
+        applied = [e for e in log.events
+                   if e.op == OP_WRITE and e.cell == "x"]
+        assert applied and all(e.via == VIA_APPLY for e in applied)
+
+    def test_recovery_events_are_via_recovery_with_outcome(self):
+        nvm, log = _logged()
+        nvm.alloc("x", 1)
+        journal = CommitJournal(nvm)
+        journal.begin()
+        journal.append("x", 2)
+        # Crash before seal: recovery must roll back.
+        outcome = journal.recover()
+        assert outcome == "rolled_back"
+        recovery = [e for e in log.events if e.via == VIA_RECOVERY]
+        assert recovery
+        marker = [e for e in log.events if e.op == OP_RECOVER][-1]
+        assert marker.detail == "rolled_back"
+
+
+class TestStagingAndMasking:
+    def test_stage_events_recorded(self):
+        nvm, log = _logged()
+        nvm.alloc("x", 1)
+        txn = Transaction(nvm)
+        txn.stage("x", 5)
+        staged = [e for e in log.events if e.op == OP_STAGE]
+        assert [(e.cell, e.value_sig) for e in staged] == \
+            [("x", value_checksum(5))]
+
+    def test_mask_cells_suppresses_value_signature(self):
+        nvm = NonVolatileMemory()
+        log = AccessLog(mask_cells=is_time_cell)
+        nvm.attach_access_log(log)
+        nvm.alloc("rt.end_ts", 0.0).set(12.5)
+        nvm.alloc("plain", 0).set(12.5)
+        sigs = {e.cell: e.value_sig for e in log.events if e.op == OP_WRITE}
+        assert sigs["rt.end_ts"] is None
+        assert sigs["plain"] is not None
+
+    def test_normalize_applied_before_signature(self):
+        nvm = NonVolatileMemory()
+        log = AccessLog(normalize=mask_time_fields)
+        nvm.attach_access_log(log)
+        cell = nvm.alloc("c", None)
+        cell.set({"t": 1.0, "v": 9})
+        cell.set({"t": 2.0, "v": 9})
+        sigs = [e.value_sig for e in log.events if e.op == OP_WRITE]
+        assert sigs[0] == sigs[1], "timestamp drift must not change sigs"
+
+
+class TestProgressCells:
+    def test_progress_flag_is_sticky_and_namespaced(self):
+        nvm = NonVolatileMemory()
+        nvm.alloc("cursor", 0, progress=True)
+        nvm.alloc("plain", 0)
+        ns_alloc = namespaced(nvm, "sub")
+        ns_alloc("pc", 0, progress=True)
+        assert nvm.is_progress("cursor")
+        assert not nvm.is_progress("plain")
+        assert "sub.pc" in nvm.progress_cells
+        # Re-alloc without the flag must not clear it (crash replay
+        # re-runs alloc on every boot).
+        nvm.alloc("cursor", 0)
+        assert nvm.is_progress("cursor")

@@ -1,0 +1,214 @@
+"""Tests for the WAR/idempotence memory-model oracles.
+
+Unit tests drive :class:`MemoryModelChecker` over hand-built access
+logs so every oracle rule is pinned individually; integration tests
+prove the property the checker exists for — a verdict from a *single*
+intermittent run, with no continuous-power twin — including the
+mutation self-test (an injected write-privatization bug must be caught)
+and the interleaved-commit regression found by the ota-delta scenario.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.nvm.accesslog import AccessLog
+from repro.nvm.transaction import Transaction
+from repro.verify import (
+    MemoryModelChecker,
+    broken_write_privatization,
+    get_scenario,
+    run_memory_model,
+    run_war_self_test,
+)
+
+
+def _log(events):
+    """Build an AccessLog from (method, *args) tuples."""
+    log = AccessLog()
+    for name, *args in events:
+        getattr(log, name)(*args)
+    return log
+
+
+def _crash_then_recover(log, outcome="rolled_back"):
+    log.mark_reboot()
+    log.on_marker("recover", "txnlog", outcome)
+
+
+class TestWarOracle:
+    def _war_log(self, outcome="rolled_back"):
+        log = _log([
+            ("on_read", "acc"),
+            ("on_write", "acc", 7),
+        ])
+        _crash_then_recover(log, outcome)
+        log.on_stage("acc", 7)
+        return log
+
+    def test_read_then_write_then_crash_is_manifest(self):
+        report = MemoryModelChecker().check(self._war_log())
+        assert not report.ok
+        (finding,) = report.manifest_findings
+        assert (finding.kind, finding.cell) == ("war", "acc")
+
+    def test_rolled_forward_recovery_suppresses_manifest(self):
+        # The commit linearized: the region does not re-execute, so the
+        # hazard cannot manifest.
+        report = MemoryModelChecker().check(
+            self._war_log(outcome="rolled_forward"))
+        assert report.ok
+
+    def test_write_first_is_not_war(self):
+        log = _log([
+            ("on_write", "acc", 7),
+            ("on_read", "acc"),
+        ])
+        _crash_then_recover(log)
+        assert MemoryModelChecker().check(log).ok
+
+    def test_progress_cells_exempt(self):
+        checker = MemoryModelChecker(progress_cells=("acc",))
+        assert checker.check(self._war_log()).ok
+
+    def test_journal_cells_exempt(self):
+        log = _log([
+            ("on_read", "txnlog.status"),
+            ("on_write", "txnlog.status", "pending"),
+            ("on_marker", "begin", "txnlog"),
+        ])
+        _crash_then_recover(log)
+        assert MemoryModelChecker().check(log).ok
+
+    def test_uninterrupted_region_is_latent_only(self):
+        log = _log([
+            ("on_read", "acc"),
+            ("on_write", "acc", 7),
+        ])
+        assert MemoryModelChecker().check(log).findings == []
+        latent = MemoryModelChecker(latent=True).check(log)
+        assert latent.ok, "latent findings never fail the verdict"
+        (finding,) = latent.latent_findings
+        assert (finding.kind, finding.cell) == ("war", "acc")
+
+
+class TestIdempotenceOracle:
+    def test_diverging_reexecution_is_flagged(self):
+        log = _log([
+            ("on_stage", "chan.a", 1),
+        ])
+        _crash_then_recover(log)
+        log.on_stage("chan.a", 2)  # same cell, different value
+        report = MemoryModelChecker().check(log)
+        (finding,) = report.manifest_findings
+        assert finding.kind == "idempotence"
+
+    def test_identical_reexecution_passes(self):
+        log = _log([("on_stage", "chan.a", 1), ("on_stage", "chan.b", 2)])
+        _crash_then_recover(log)
+        log.on_stage("chan.a", 1)
+        log.on_stage("chan.b", 2)
+        assert MemoryModelChecker().check(log).ok
+
+    def test_shorter_committed_reexecution_is_flagged(self):
+        log = _log([("on_stage", "chan.a", 1), ("on_stage", "chan.b", 2)])
+        _crash_then_recover(log)
+        log.on_stage("chan.a", 1)
+        log.on_marker("clear", "txnlog")  # committed with fewer stages
+        report = MemoryModelChecker().check(log)
+        (finding,) = report.manifest_findings
+        assert (finding.kind, finding.cell) == ("idempotence", "chan.b")
+
+    def test_interrupted_reexecution_is_inconclusive(self):
+        log = _log([("on_stage", "chan.a", 1), ("on_stage", "chan.b", 2)])
+        _crash_then_recover(log)
+        log.on_stage("chan.a", 1)
+        _crash_then_recover(log)
+        log.on_stage("chan.a", 1)
+        log.on_stage("chan.b", 2)
+        report = MemoryModelChecker().check(log)
+        assert report.ok
+        assert report.inconclusive
+
+    def test_interleaved_unrelated_commit_is_skipped(self):
+        # Regression (found by the ota-delta scenario at bound 4): a
+        # commit queued before the crash — the OTA activation staging
+        # slots.* — linearizes at the boot path boundary *ahead of* the
+        # interrupted task's re-execution. The oracle must match the
+        # re-execution by staged-cell overlap, not take the first
+        # staging region blindly.
+        log = _log([("on_stage", "chan.a", 1)])
+        _crash_then_recover(log)
+        log.on_stage("slots.active", 9)
+        log.on_marker("clear", "slots_txn")
+        log.on_stage("chan.a", 1)
+        assert MemoryModelChecker().check(log).ok
+
+    def test_disjoint_reexecution_footprint_is_flagged(self):
+        # No staging region overlaps the attempt: the fallback compares
+        # against the first one, so a re-execution that writes entirely
+        # different cells still fails.
+        log = _log([("on_stage", "chan.a", 1)])
+        _crash_then_recover(log)
+        log.on_stage("chan.z", 5)
+        report = MemoryModelChecker().check(log)
+        (finding,) = report.manifest_findings
+        assert finding.kind == "idempotence"
+
+    def test_nothing_staged_is_vacuously_idempotent(self):
+        log = _log([("on_write", "cursor", 3)])
+        _crash_then_recover(log)
+        report = MemoryModelChecker().check(log)
+        assert report.ok and not report.inconclusive
+
+
+class TestSingleRunVerdicts:
+    def test_clean_scenario_passes_from_one_crashing_run(self):
+        scen = get_scenario("synthetic", "artemis")
+        report = run_memory_model(scen.build, schedule=(5,),
+                                  run_kwargs=scen.run_kwargs)
+        assert report.ok, report.describe()
+        assert report.crashes == 1
+        assert report.checked_regions > 0
+
+    def test_latent_survey_on_crash_free_run(self):
+        scen = get_scenario("ota", "artemis")
+        report = run_memory_model(scen.build, schedule=(),
+                                  run_kwargs=scen.run_kwargs, latent=True)
+        assert report.ok, report.describe()
+        assert report.crashes == 0
+
+
+class TestWarMutationSelfTest:
+    def test_injected_privatization_bug_caught_without_twin(self):
+        schedule, report = run_war_self_test()
+        assert len(schedule) == 1, "a single crash must suffice"
+        assert not report.ok
+        kinds = {f.kind for f in report.manifest_findings}
+        assert "war" in kinds
+        cells = {f.cell for f in report.manifest_findings}
+        assert any(not c.startswith("txnlog.") for c in cells)
+
+    def test_flag_restored(self):
+        assert Transaction.TEST_WRITE_THROUGH_STAGE is False
+
+    def test_mutation_invisible_crash_free(self):
+        scen = get_scenario("ota", "artemis")
+        with broken_write_privatization():
+            report = run_memory_model(scen.build, schedule=(),
+                                      run_kwargs=scen.run_kwargs)
+        assert report.ok, "write-through is unobservable without a crash"
+
+    def test_self_test_raises_when_blind(self):
+        with pytest.raises(ReproError):
+            run_war_self_test(max_crash_index=0)
+
+
+class TestOtaDeltaRegression:
+    def test_crash_inside_send_commit_with_queued_swap(self):
+        # The exact schedule that exposed the mis-attribution: payment
+        # 49 interrupts the send-task commit while an OTA activation is
+        # queued; the activation linearizes first on reboot.
+        scen = get_scenario("ota-delta", "artemis")
+        report = run_memory_model(scen.build, schedule=(49,),
+                                  run_kwargs=scen.run_kwargs)
+        assert report.ok, report.describe()

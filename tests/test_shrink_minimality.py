@@ -1,0 +1,109 @@
+"""Property-based 1-minimality of the counterexample shrinker.
+
+The shrinker's contract is that its output is 1-minimal: deleting any
+single crash from the shrunk schedule makes the execution conform
+again. A pure stub explorer with a randomized monotone failure model
+lets hypothesis probe that contract across hundreds of failure shapes
+at zero simulation cost; one integration case then re-checks it
+against a real scenario under the injected recovery bug.
+"""
+
+from types import SimpleNamespace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.verify import CounterexampleShrinker, broken_commit_ordering, get_scenario
+from repro.verify.explorer import Counterexample
+
+_MAX_PAYMENT = 30
+
+
+class _StubRunner:
+    calls = _MAX_PAYMENT
+
+    def representatives(self, start, stop=None, projected=False):
+        end = self.calls if stop is None else min(stop, self.calls)
+        return list(range(start, end + 1))
+
+    def label_at(self, index):
+        return None
+
+    def category_at(self, index):
+        return "runtime"
+
+
+class _SubsetFailureExplorer:
+    """Fails exactly when the schedule contains every culprit index —
+    the monotone failure model a crash-induced bug follows (extra
+    crashes cannot mask missing ones in this model)."""
+
+    name = "stub"
+
+    def __init__(self, culprits):
+        self.culprits = frozenset(culprits)
+        self.checks = 0
+
+    def check(self, schedule):
+        self.checks += 1
+        return ["bug"] if self.culprits <= set(schedule) else []
+
+    def execute(self, schedule):
+        return SimpleNamespace(schedule=schedule, runner=_StubRunner(),
+                               device=SimpleNamespace(trace=[]))
+
+
+@st.composite
+def _failure_cases(draw):
+    indices = st.integers(min_value=1, max_value=_MAX_PAYMENT)
+    culprits = draw(st.sets(indices, min_size=1, max_size=3))
+    padding = draw(st.sets(indices, max_size=4))
+    schedule = tuple(sorted(culprits | padding))
+    return sorted(culprits), schedule
+
+
+class TestStubMinimality:
+    @settings(max_examples=200, deadline=None)
+    @given(_failure_cases())
+    def test_every_single_deletion_conforms(self, case):
+        culprits, schedule = case
+        explorer = _SubsetFailureExplorer(culprits)
+        witness = CounterexampleShrinker(explorer, max_runs=500).shrink(
+            Counterexample(schedule=schedule, problems=["bug"]))
+        assert not witness.exhausted_budget
+        # Still a failure...
+        assert explorer.check(witness.schedule)
+        # ...and 1-minimal: every single-element deletion conforms.
+        for i in range(len(witness.schedule)):
+            reduced = witness.schedule[:i] + witness.schedule[i + 1:]
+            assert not explorer.check(reduced), (
+                f"dropping crash {i} of {witness.schedule} still fails — "
+                "not 1-minimal")
+
+    @settings(max_examples=50, deadline=None)
+    @given(_failure_cases())
+    def test_index_minimization_respects_monotone_model(self, case):
+        culprits, schedule = case
+        explorer = _SubsetFailureExplorer(culprits)
+        witness = CounterexampleShrinker(explorer, max_runs=500).shrink(
+            Counterexample(schedule=schedule, problems=["bug"]))
+        # Under the subset model the unique 1-minimal failing schedule
+        # is the culprit set itself.
+        assert list(witness.schedule) == culprits
+
+
+class TestRealScenarioMinimality:
+    def test_shrunk_witness_is_1_minimal_under_injected_bug(self):
+        scen = get_scenario("ota", "artemis")
+        with broken_commit_ordering():
+            explorer = scen.explorer()
+            report = explorer.explore(bound=2, budget=400, por=True)
+            assert not report.ok
+            witness = CounterexampleShrinker(explorer, max_runs=120).shrink(
+                report.counterexamples[0])
+            assert explorer.check(witness.schedule), "witness must fail"
+            for i in range(len(witness.schedule)):
+                reduced = (witness.schedule[:i]
+                           + witness.schedule[i + 1:])
+                if reduced:
+                    assert not explorer.check(reduced)
