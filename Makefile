@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test crashsweep conformance soak bench bench-baseline bench-check examples figures fleet verify all
+.PHONY: install test crashsweep conformance predict soak bench bench-baseline bench-check examples figures fleet verify all
 
 # Crash bound for the conformance checker (docs/verification.md).
 BOUND ?= 2
@@ -29,6 +29,15 @@ crashsweep:
 conformance:
 	PYTHONPATH=src $(PYTHON) -m repro.cli verify --bound $(BOUND)
 	PYTHONPATH=src $(PYTHON) -m repro.cli verify --self-test
+
+# Predictor-soundness gate: the static energy analyzer's per-event
+# bound must dominate the real monitor's observed spend, the Fig. 12
+# cross-check must hold, and the anticipatory-shedding acceptance
+# scenario must pass. Mirrors the blocking CI job; see
+# docs/robustness.md (predictive degradation).
+predict:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_predictive_soundness.py \
+		tests/test_analysis_energy.py tests/test_predictive_degradation.py -q
 
 soak:
 	@for s in $(SOAK_SEEDS); do \

@@ -49,6 +49,7 @@ METRIC_DIRECTIONS: Dict[str, str] = {
     "cache_hit_rate": "higher",
     "fleet_devices_per_s": "higher",
     "conformance_schedules_per_s": "higher",
+    "predict_monitors_per_s": "higher",
     "parallel_speedup": "info",
     "sweep_serial_s": "info",
     "sweep_parallel_s": "info",
@@ -204,6 +205,34 @@ def _measure_conformance(trials: int = 2) -> float:
     return report.schedules_checked / best
 
 
+def _measure_predict(trials: int = 5, repeats: int = 20) -> float:
+    """Best-of-N static-analysis throughput (monitors bounded per
+    second): full ``analyze()`` passes — machine generation, dispatch
+    tables, path-sensitive worst-case transition scans, per-path
+    budgets, and the non-termination predicate — over the health
+    benchmark's property set."""
+    from repro.analysis import analyze
+    from repro.spec.validator import load_properties
+    from repro.workloads.health import (
+        BENCHMARK_SPEC,
+        build_health_app,
+        health_power_model,
+    )
+
+    app = build_health_app()
+    props = load_properties(BENCHMARK_SPEC, app)
+    power = health_power_model()
+    n_monitors = len(analyze(app, props, power).monitors)
+    best: Optional[float] = None
+    for _ in range(trials):
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            analyze(app, props, power)
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return repeats * n_monitors / best
+
+
 def collect_metrics() -> Dict[str, float]:
     """Run the whole measurement suite; returns metric name -> value."""
     generated = _measure_engine("generated")
@@ -216,6 +245,7 @@ def collect_metrics() -> Dict[str, float]:
     metrics.update(_measure_sweep())
     metrics["fleet_devices_per_s"] = _measure_fleet()
     metrics["conformance_schedules_per_s"] = _measure_conformance()
+    metrics["predict_monitors_per_s"] = _measure_predict()
     return metrics
 
 

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Predictive degradation: static energy bounds + anticipatory shedding.
+
+Builds a deployment in the Fig. 12 danger zone — the monitoring
+overhead pushes the task's re-executed unit past one capacitor cycle —
+and shows three things:
+
+1. the static analyzer (`repro.analysis.energy`) proving, without
+   running anything, that the fully-monitored path cannot terminate
+   but the degraded one can;
+2. the reactive watermark controller livelocking on that deployment
+   (the capacitor is full at every loop top, so the low watermark
+   never trips — by the time energy is low, the brownout already
+   happened);
+3. the predictive controller shedding the statically-unaffordable
+   monitor set at the path boundary, ahead of the brownout, and
+   shedding nothing when energy is ample.
+
+Run:  python examples/predictive_shedding.py
+"""
+
+from repro import (
+    AppBuilder,
+    ArtemisRuntime,
+    Device,
+    EnergyEnvironment,
+    PowerModel,
+    TaskCost,
+)
+from repro.analysis import HarvestForecaster, analyze
+from repro.core.actions import ActionType
+from repro.core.degradation import PredictiveDegradationController
+from repro.core.properties import MaxDuration, MaxTries, Period
+from repro.energy.environment import default_capacitor
+
+# ----------------------------------------------------------------------
+# 1. A deployment where monitoring itself is the termination risk: one
+#    12 mJ task watched by three monitors whose combined per-event cost
+#    pushes each attempt past the capacitor's ~15 mJ usable cycle.
+# ----------------------------------------------------------------------
+
+app = (
+    AppBuilder("fieldnode")
+    .task("work", body=lambda ctx: ctx.write("out", 1))
+    .path(1, ["work"])
+    .build()
+)
+
+power = PowerModel(
+    {"work": TaskCost(1.2, 0.010)},  # 12 mJ body
+    monitor_call_base_s=0.05,
+    monitor_per_property_s=4.0,  # deliberately heavy checking
+)
+
+props = [
+    MaxTries(limit=10**6, task="work", on_fail=ActionType.RESTART_PATH),
+    MaxDuration(limit_s=10.0**9, task="work",
+                on_fail=ActionType.RESTART_PATH),
+    Period(period_s=10.0**9, task="work", on_fail=ActionType.RESTART_PATH),
+]
+
+# ----------------------------------------------------------------------
+# 2. Static analysis: per-monitor worst-case bounds, per-path budgets,
+#    and the closed-form non-termination predicate.
+# ----------------------------------------------------------------------
+
+report = analyze(app, props, power)
+print("== static worst-case energy/latency report ==")
+print(report.describe())
+
+cycle_j = default_capacitor().usable_energy_per_cycle
+full_j = report.path_energy_j(1)
+shed_all = frozenset(m.machine for m in report.monitors if m.sheddable)
+degraded_j = report.path_energy_j(1, shed_all)
+print(f"usable energy per capacitor cycle : {1e3 * cycle_j:.2f} mJ")
+print(f"path budget, all monitors live    : {1e3 * full_j:.2f} mJ"
+      f"  -> statically NON-TERMINATING")
+print(f"path budget, sheddable set gone   : {1e3 * degraded_j:.2f} mJ"
+      f"  -> fits one cycle")
+print()
+
+# ----------------------------------------------------------------------
+# 3. Reactive vs predictive on a weak harvester (10-minute recharges).
+# ----------------------------------------------------------------------
+
+LOW_J, HIGH_J = 0.35 * cycle_j, 0.85 * cycle_j
+
+
+def run(degradation, delay_s):
+    env = EnergyEnvironment.for_charging_delay(delay_s, default_capacitor())
+    device = Device(env)
+
+    def build(monitor, audit):
+        if degradation == "reactive":
+            return None
+        return PredictiveDegradationController(
+            monitor, LOW_J, HIGH_J, report,
+            forecaster=HarvestForecaster(trace=env.harvester), audit=audit)
+
+    runtime = ArtemisRuntime(
+        app, props, device, power,
+        degradation=(LOW_J, HIGH_J) if degradation == "reactive" else build)
+    result = device.run(runtime, max_time_s=4 * 3600.0)
+    return result
+
+
+print("== reactive watermarks, 600 s charging delay ==")
+reactive = run("reactive", 600.0)
+print(f"completed={reactive.completed}  reboots={reactive.reboots}  "
+      f"sheds={reactive.monitors_shed}   <- livelock, watermarks never trip")
+print()
+
+print("== predictive controller, same scenario ==")
+predictive = run("predictive", 600.0)
+print(f"completed={predictive.completed}  reboots={predictive.reboots}  "
+      f"sheds={predictive.monitors_shed} "
+      f"(predictive={predictive.predictive_sheds})"
+      f"   <- shed at the boundary, before any brownout")
+print()
+
+print("== predictive controller, ample energy (1 s delay) ==")
+ample = run("predictive", 1.0)
+print(f"completed={ample.completed}  sheds={ample.monitors_shed}"
+      f"   <- forecast covers the full set, nothing shed")
+
+assert not reactive.completed and reactive.monitors_shed == 0
+assert predictive.completed and predictive.predictive_sheds == 3
+assert ample.completed and ample.monitors_shed == 0

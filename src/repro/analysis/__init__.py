@@ -1,0 +1,32 @@
+"""Static predictive analyses over compiled monitors.
+
+* :mod:`repro.analysis.energy` — worst-case energy/latency bounds per
+  dispatched event, per-path budgets, and the closed-form
+  non-termination predicate (plus cost-per-coverage auto-priorities);
+* :mod:`repro.analysis.forecast` — windowed-EWMA / trace-replay harvest
+  forecasting for the anticipatory degradation controller.
+"""
+
+from repro.analysis.energy import (
+    EnergyReport,
+    LivelockRisk,
+    MonitorBound,
+    PathBudget,
+    TaskBound,
+    analyze,
+    derive_priorities,
+    with_derived_priorities,
+)
+from repro.analysis.forecast import HarvestForecaster
+
+__all__ = [
+    "EnergyReport",
+    "LivelockRisk",
+    "MonitorBound",
+    "PathBudget",
+    "TaskBound",
+    "analyze",
+    "derive_priorities",
+    "with_derived_priorities",
+    "HarvestForecaster",
+]

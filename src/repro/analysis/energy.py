@@ -1,0 +1,620 @@
+"""Static worst-case energy/latency analysis of compiled monitors.
+
+ETAP-style predictive analysis for the monitored intermittent system:
+walk each compiled :class:`~repro.statemachine.model.StateMachine` plus
+the :class:`~repro.energy.power.TaskCost`/`PowerModel` tables and derive
+
+* **per-monitor bounds** — worst-case energy and latency charged per
+  dispatched event, from the same per-task subscription tables the
+  dispatch fast path executes (:func:`repro.core.monitor.
+  subscription_tables`), refined path-sensitively over guarded
+  transitions (:func:`repro.statemachine.analysis.
+  worst_case_event_cost`);
+* **per-path budgets** — the bounds composed with the task graph: what
+  one traversal of each path costs in joules and on-seconds, with the
+  full monitor set live;
+* **a closed-form non-termination predicate** parameterized by charging
+  delay, cross-checked against the Figure 12 sweep (see
+  ``tests/test_analysis_energy.py`` and ``EXPERIMENTS.md``).
+
+Soundness of the per-event bound: the simulator charges exactly
+``monitor_call_base_s + |subscribers(task)| * monitor_per_property_s``
+seconds at ``overhead_power_w`` per dispatched event (see
+``ArtemisRuntime._call_monitor`` and ``ArtemisMonitor._steps``); the
+analyzer computes the same quantity from the same frozen tables with
+every machine live, so shedding can only make the observed cost lower —
+the static bound never under-estimates (property-tested in
+``tests/test_predictive_soundness.py``).
+
+Non-termination has two statically detectable causes, and the per-path
+threshold is the minimum over both:
+
+* **energy infeasibility** — a task's gross re-executed unit (start
+  and end runtime transitions + both monitor calls + fixed energy +
+  duration x power + commit steps; a crash anywhere before the journal
+  seals re-runs the whole task) exceeds one capacitor cycle's usable
+  energy net of harvesting during the unit. With the Figure 12
+  environment harvesting ``E_cycle / delay`` watts, the unit fits iff
+  ``gross - h * T_unit <= E_cycle``, giving the critical delay
+  ``E_cycle * T_unit / (gross - E_cycle)`` (infinite when the gross
+  unit already fits a cycle).
+* **timing livelock** — a machine fails a lateness-guarded start
+  (``timestamp - ref > C``) with ``restartPath``/``restartTask`` and has
+  no escaping failure action (``skipPath``/``skipTask``/
+  ``completePath``) anywhere: once a charging gap exceeds the window,
+  every retry re-violates and the path never completes. The predicate
+  is conservative toward non-termination: the threshold subtracts the
+  whole path's on-time (an upper bound on how much of the window
+  execution itself consumes), so a delay exactly equal to the window —
+  the paper's Mayfly-at-5-minutes DNF — is predicted non-terminating.
+
+The monitor table also yields **auto-derived degradation priorities**:
+rank sheddable machines by worst-case cost per covered task
+(:func:`derive_priorities`), most expensive first, and substitute them
+for hand-written ``priority`` modifiers when the spec carries none
+(:func:`with_derived_priorities`) — the derived numbers flow through
+``generate_machines`` into both code generators exactly like authored
+ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.core.generator import generate_machines
+from repro.core.monitor import subscription_tables
+from repro.core.properties import Property, PropertySet
+from repro.energy.capacitor import Capacitor
+from repro.energy.power import PowerModel
+from repro.errors import ReproError
+from repro.statemachine.analysis import worst_case_event_cost
+from repro.statemachine.model import (
+    START_TASK,
+    BinOp,
+    Const,
+    EventField,
+    Expr,
+    Fail,
+    Not,
+    StateMachine,
+    Var,
+    failure_actions,
+    _flatten,
+)
+from repro.taskgraph.app import Application
+
+#: Failure actions that break a restart loop (the machine can always
+#: make the runtime move past the violating task/path).
+ESCAPE_ACTIONS = frozenset({"skipPath", "skipTask", "completePath"})
+
+#: Failure actions that re-run the violating work — candidates for a
+#: timing livelock when no escape exists.
+RESTART_ACTIONS = frozenset({"restartPath", "restartTask"})
+
+#: Worst-case journal steps of one task commit (stage retry-clear +
+#: emitted + end_ts + status + start_checked, seal, apply each, clear).
+#: Only charged when ``PowerModel.commit_step_s`` is non-zero.
+COMMIT_STEPS_PER_TASK = 12
+
+
+# ---------------------------------------------------------------------------
+# Report structures
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MonitorBound:
+    """Worst-case per-event and per-run cost of one compiled monitor.
+
+    ``wc_event_s``/``wc_event_j`` are the seconds/joules the engine
+    charges this machine per inspected event (the sound bound the
+    soundness suite checks); ``wc_transitions``/``wc_ops`` are the
+    path-sensitive structural detail (transitions scanned, expression/
+    statement operations) behind the latency figure.
+    """
+
+    machine: str
+    kind: str
+    task: str
+    path: Optional[int]
+    priority: int
+    sheddable: bool
+    wildcard: bool
+    subscribed_tasks: Tuple[str, ...]
+    events_per_run: int
+    wc_event_s: float
+    wc_event_j: float
+    wc_transitions: int
+    wc_ops: int
+    coverage: int
+
+    @property
+    def run_time_s(self) -> float:
+        """Worst-case monitor seconds attributable per application run."""
+        return self.events_per_run * self.wc_event_s
+
+    @property
+    def run_energy_j(self) -> float:
+        """Worst-case monitor joules attributable per application run."""
+        return self.events_per_run * self.wc_event_j
+
+    @property
+    def cost_per_coverage_j(self) -> float:
+        """Per-run energy divided by distinct tasks covered — the
+        auto-derived degradation ranking key (most expensive per unit of
+        coverage sheds first)."""
+        return self.run_energy_j / max(1, self.coverage)
+
+
+@dataclass(frozen=True)
+class TaskBound:
+    """One task occurrence on one path, with its overheads composed in."""
+
+    task: str
+    subscribers: int
+    event_s: float  #: monitor-call latency per dispatched event
+    event_j: float  #: monitor-call energy per dispatched event
+    attempt_s: float  #: on-time of the re-executed unit (start check + body)
+    attempt_j: float  #: gross energy of one attempt (start check + body)
+    total_s: float  #: full on-time incl. EndTask check and commit steps
+    total_j: float  #: full energy incl. EndTask check and commit steps
+    nonterm_delay_s: Optional[float]  #: energy-infeasibility threshold
+
+
+@dataclass(frozen=True)
+class LivelockRisk:
+    """A lateness-guarded restart failure with no escaping action."""
+
+    machine: str
+    task: Optional[str]
+    window_s: float
+    action: str
+    paths: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class PathBudget:
+    """Worst-case budget of one path traversal with all monitors live."""
+
+    number: int
+    tasks: Tuple[TaskBound, ...]
+    energy_j: float
+    on_time_s: float
+    monitor_energy_j: float
+    energy_threshold_s: Optional[float]
+    livelock_threshold_s: Optional[float]
+    livelocks: Tuple[LivelockRisk, ...]
+
+    @property
+    def threshold_s(self) -> Optional[float]:
+        """Smallest charging delay predicted non-terminating for this
+        path (``None`` = terminates at any delay)."""
+        candidates = [t for t in (self.energy_threshold_s,
+                                  self.livelock_threshold_s)
+                      if t is not None]
+        return min(candidates) if candidates else None
+
+    def nonterminating_at(self, delay_s: float) -> bool:
+        """Closed-form predicate: is this path statically non-
+        terminating at the given charging delay? Conservative at the
+        boundary (a delay exactly at the threshold is flagged)."""
+        threshold = self.threshold_s
+        return threshold is not None and delay_s >= threshold
+
+
+# ---------------------------------------------------------------------------
+# Timing-livelock detection
+# ---------------------------------------------------------------------------
+
+
+def _lateness_windows(expr: Optional[Expr]) -> List[float]:
+    """Constants ``C`` of lateness comparisons ``(timestamp - ref) > C``
+    (or ``>=``) anywhere inside a guard."""
+    if expr is None:
+        return []
+    if isinstance(expr, Not):
+        return _lateness_windows(expr.operand)
+    if not isinstance(expr, BinOp):
+        return []
+    if expr.op in (">", ">="):
+        gap, bound = expr.left, expr.right
+        if (isinstance(gap, BinOp) and gap.op == "-"
+                and isinstance(gap.left, EventField)
+                and gap.left.field == "timestamp"
+                and isinstance(gap.right, Var)
+                and isinstance(bound, Const)
+                and isinstance(bound.value, (int, float))):
+            return [float(bound.value)]
+        return []
+    return _lateness_windows(expr.left) + _lateness_windows(expr.right)
+
+
+def livelock_risks(machine: StateMachine, app: Application,
+                   guarded_task: Optional[str] = None) -> List[LivelockRisk]:
+    """Timing livelocks one machine can drive the runtime into.
+
+    A risk needs (1) a StartTask-triggered transition whose guard
+    contains a lateness window, (2) a ``restartPath``/``restartTask``
+    failure in that transition's body, and (3) **no** escaping failure
+    action anywhere in the machine — with an escape (e.g. the MITD
+    ``maxAttempt`` escalation of §5.2) restarts are bounded and the
+    machine cannot loop the path forever.
+    """
+    if any(f.action in ESCAPE_ACTIONS for f in failure_actions(machine)):
+        return []
+    risks: List[LivelockRisk] = []
+    for transition in machine.transitions:
+        if transition.trigger.kind != START_TASK:
+            continue
+        windows = _lateness_windows(transition.guard)
+        if not windows:
+            continue
+        restarts = [s for s in _flatten(transition.body)
+                    if isinstance(s, Fail) and s.action in RESTART_ACTIONS]
+        if not restarts:
+            continue
+        task = transition.trigger.task or guarded_task
+        paths: set = set()
+        for fail in restarts:
+            if fail.path is not None:
+                paths.add(fail.path)
+            elif task is not None:
+                paths.update(p.number for p in app.paths_containing(task))
+            else:
+                paths.update(p.number for p in app.paths)
+        risks.append(LivelockRisk(
+            machine=machine.name,
+            task=task,
+            window_s=min(windows),
+            action=restarts[0].action,
+            paths=tuple(sorted(paths)),
+        ))
+    return risks
+
+
+# ---------------------------------------------------------------------------
+# The report
+# ---------------------------------------------------------------------------
+
+
+class EnergyReport:
+    """Composed result of :func:`analyze` with live-set queries.
+
+    Beyond the static tables, :meth:`path_energy_j` recomputes a path's
+    worst-case energy for a reduced live-monitor set — what the
+    :class:`~repro.core.degradation.PredictiveDegradationController`
+    evaluates at each path boundary to decide how much monitoring the
+    forecast budget affords.
+    """
+
+    def __init__(self, app: Application, power: PowerModel,
+                 capacitor: Capacitor, monitors: List[MonitorBound],
+                 paths: List[PathBudget],
+                 subscriptions: Dict[str, Optional[FrozenSet[str]]],
+                 commit_steps_per_task: int = COMMIT_STEPS_PER_TASK):
+        self.app = app
+        self.power = power
+        self.capacitor = capacitor
+        self.cycle_j = capacitor.usable_energy_per_cycle
+        self.monitors = monitors
+        self.paths = paths
+        #: machine name -> subscribed task set (``None`` = wildcard).
+        self.subscriptions = subscriptions
+        self.commit_steps_per_task = commit_steps_per_task
+        self._by_machine = {m.machine: m for m in monitors}
+        self._by_number = {p.number: p for p in paths}
+
+    # -- lookups ----------------------------------------------------------
+    def monitor(self, machine: str) -> MonitorBound:
+        try:
+            return self._by_machine[machine]
+        except KeyError:
+            raise ReproError(f"no monitor bound for machine {machine!r}") \
+                from None
+
+    def path(self, number: int) -> PathBudget:
+        try:
+            return self._by_number[number]
+        except KeyError:
+            raise ReproError(f"no path budget for path {number}") from None
+
+    # -- the sound per-event bound ---------------------------------------
+    def subscribers(self, task: str,
+                    shed: FrozenSet[str] = frozenset()) -> int:
+        """How many live machines inspect the task's events."""
+        count = 0
+        for name, tasks in self.subscriptions.items():
+            if name in shed:
+                continue
+            if tasks is None or task in tasks:
+                count += 1
+        return count
+
+    def event_time_bound_s(self, task: str,
+                           shed: FrozenSet[str] = frozenset()) -> float:
+        """Worst-case monitor seconds one dispatched event of ``task``
+        costs — exactly the quantity the engine spends."""
+        return (self.power.monitor_call_base_s
+                + self.subscribers(task, shed)
+                * self.power.monitor_per_property_s)
+
+    def event_energy_bound_j(self, task: str,
+                             shed: FrozenSet[str] = frozenset()) -> float:
+        """Worst-case monitor joules one dispatched event of ``task``
+        costs (never under-estimates the simulated spend)."""
+        return self.event_time_bound_s(task, shed) * self.power.overhead_power_w
+
+    # -- live-set path budgets -------------------------------------------
+    def path_energy_j(self, number: int,
+                      shed: FrozenSet[str] = frozenset()) -> float:
+        """Worst-case energy of one traversal of path ``number`` with
+        the given machines shed (empty set = the static budget)."""
+        budget = self.path(number)
+        if not shed:
+            return budget.energy_j
+        total = 0.0
+        power = self.power
+        commit_s = self.commit_steps_per_task * power.commit_step_s
+        for row in budget.tasks:
+            cost = power.cost_of(row.task)
+            event_s = self.event_time_bound_s(row.task, shed)
+            overhead_s = 2 * (power.runtime_transition_s + event_s) + commit_s
+            total += (overhead_s * power.overhead_power_w
+                      + cost.fixed_energy_j
+                      + cost.duration_s * cost.power_w)
+        return total
+
+    # -- the predicate ----------------------------------------------------
+    def threshold_s(self) -> Optional[float]:
+        """Smallest predicted non-termination delay across all paths."""
+        candidates = [p.threshold_s for p in self.paths
+                      if p.threshold_s is not None]
+        return min(candidates) if candidates else None
+
+    def nonterminating_paths(self, delay_s: float) -> List[int]:
+        """Paths statically non-terminating at the given charging delay."""
+        return [p.number for p in self.paths if p.nonterminating_at(delay_s)]
+
+    # -- presentation -----------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "cycle_j": self.cycle_j,
+            "monitors": [dataclasses.asdict(m) | {
+                "run_time_s": m.run_time_s,
+                "run_energy_j": m.run_energy_j,
+                "cost_per_coverage_j": m.cost_per_coverage_j,
+            } for m in self.monitors],
+            "paths": [dataclasses.asdict(p) | {
+                "threshold_s": p.threshold_s,
+            } for p in self.paths],
+            "threshold_s": self.threshold_s(),
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"usable energy per charge cycle: {self.cycle_j * 1e3:.3f} mJ",
+            "",
+            "per-monitor worst-case bounds (per dispatched event):",
+            "  machine                        prio shed  ev_us  ev_uJ"
+            "  trans  ops  run_mJ  cost/cov_uJ",
+        ]
+        for m in sorted(self.monitors, key=lambda b: b.machine):
+            lines.append(
+                f"  {m.machine:<30} {m.priority:>4} {'yes' if m.sheddable else ' no':>4}"
+                f" {m.wc_event_s * 1e6:>6.1f} {m.wc_event_j * 1e6:>6.2f}"
+                f" {m.wc_transitions:>6} {m.wc_ops:>4}"
+                f" {m.run_energy_j * 1e3:>7.4f}"
+                f" {m.cost_per_coverage_j * 1e6:>12.2f}"
+            )
+        lines.append("")
+        lines.append("per-path budgets and non-termination thresholds:")
+        for p in self.paths:
+            threshold = p.threshold_s
+            verdict = ("terminates at any charging delay" if threshold is None
+                       else f"non-terminating for delay >= {threshold:.1f}s")
+            lines.append(
+                f"  path {p.number}: energy {p.energy_j * 1e3:.3f} mJ "
+                f"(monitors {p.monitor_energy_j * 1e3:.3f} mJ), "
+                f"on-time {p.on_time_s:.3f}s — {verdict}"
+            )
+            for risk in p.livelocks:
+                lines.append(
+                    f"    livelock: {risk.machine} {risk.action} with no "
+                    f"escape, window {risk.window_s:.0f}s"
+                )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# The analyzer
+# ---------------------------------------------------------------------------
+
+
+def analyze(app: Application, props: Iterable[Property], power: PowerModel,
+            capacitor: Optional[Capacitor] = None,
+            commit_steps_per_task: int = COMMIT_STEPS_PER_TASK
+            ) -> EnergyReport:
+    """Statically bound the monitored application's energy and latency.
+
+    Args:
+        app: the task graph the monitors observe.
+        props: validated properties (a :class:`PropertySet` or any
+            iterable of properties).
+        power: the per-task cost tables the simulator charges.
+        capacitor: energy storage (defaults to the paper's 5.2 mF bank).
+        commit_steps_per_task: worst-case journal steps per task commit.
+    """
+    if capacitor is None:
+        from repro.energy.environment import default_capacitor
+
+        capacitor = default_capacitor()
+    prop_list = list(props)
+    machines = generate_machines(prop_list)
+    prop_by_machine = {p.machine_name(): p for p in prop_list}
+    wildcard_set, dispatch = subscription_tables(machines)
+
+    def subscribers(task: str) -> int:
+        return len(dispatch.get(task, wildcard_set))
+
+    all_tasks = list(app.task_names)
+    cycle_j = capacitor.usable_energy_per_cycle
+    p_ov = power.overhead_power_w
+    commit_s = commit_steps_per_task * power.commit_step_s
+
+    # -- per-monitor bounds ----------------------------------------------
+    subscriptions: Dict[str, Optional[FrozenSet[str]]] = {}
+    monitors: List[MonitorBound] = []
+    for idx, machine in enumerate(machines):
+        prop = prop_by_machine[machine.name]
+        wildcard = idx in wildcard_set
+        subscribed = (None if wildcard
+                      else frozenset(machine.referenced_tasks()))
+        subscriptions[machine.name] = subscribed
+
+        def inspects(task: str) -> bool:
+            return subscribed is None or task in subscribed
+
+        events = sum(2 for path in app.paths for task in path.task_names
+                     if inspects(task))
+        coverage = (len(all_tasks) if subscribed is None
+                    else len(subscribed & set(all_tasks)) or 1)
+        wc_transitions = wc_ops = 0
+        for path in app.paths:
+            for task in path.task_names:
+                if not inspects(task):
+                    continue
+                for kind in ("startTask", "endTask"):
+                    scanned, ops = worst_case_event_cost(
+                        machine, kind, task, path=path.number)
+                    wc_transitions = max(wc_transitions, scanned)
+                    wc_ops = max(wc_ops, ops)
+        monitors.append(MonitorBound(
+            machine=machine.name,
+            kind=prop.kind,
+            task=prop.task,
+            path=prop.path,
+            priority=machine.priority,
+            sheddable=type(prop).SUPPORTS_PRIORITY,
+            wildcard=wildcard,
+            subscribed_tasks=(("*",) if subscribed is None
+                              else tuple(sorted(subscribed))),
+            events_per_run=events,
+            wc_event_s=power.monitor_per_property_s,
+            wc_event_j=power.monitor_per_property_s * p_ov,
+            wc_transitions=wc_transitions,
+            wc_ops=wc_ops,
+            coverage=coverage,
+        ))
+
+    # -- timing-livelock risks -------------------------------------------
+    risks: List[LivelockRisk] = []
+    for machine in machines:
+        prop = prop_by_machine[machine.name]
+        risks.extend(livelock_risks(machine, app, guarded_task=prop.task))
+
+    # -- per-path budgets -------------------------------------------------
+    paths: List[PathBudget] = []
+    for path in app.paths:
+        rows: List[TaskBound] = []
+        for task in path.task_names:
+            cost = power.cost_of(task)
+            event_s = (power.monitor_call_base_s
+                       + subscribers(task) * power.monitor_per_property_s)
+            start_ovh_s = power.runtime_transition_s + event_s
+            attempt_s = start_ovh_s + cost.duration_s
+            attempt_j = (start_ovh_s * p_ov + cost.fixed_energy_j
+                         + cost.duration_s * cost.power_w)
+            total_s = attempt_s + power.runtime_transition_s + event_s + commit_s
+            total_j = attempt_j + (power.runtime_transition_s + event_s
+                                   + commit_s) * p_ov
+            # The re-executed unit runs through the end-side monitor
+            # call and the commit: a crash anywhere before the journal
+            # seals re-runs the whole task, so the energy leg must fit
+            # the *total*, not just the start-side attempt.
+            if total_j <= cycle_j:
+                nonterm = None
+            elif total_s <= 0.0:
+                nonterm = 0.0
+            else:
+                nonterm = cycle_j * total_s / (total_j - cycle_j)
+            rows.append(TaskBound(
+                task=task,
+                subscribers=subscribers(task),
+                event_s=event_s,
+                event_j=event_s * p_ov,
+                attempt_s=attempt_s,
+                attempt_j=attempt_j,
+                total_s=total_s,
+                total_j=total_j,
+                nonterm_delay_s=nonterm,
+            ))
+        on_time_s = sum(r.total_s for r in rows)
+        energy_thresholds = [r.nonterm_delay_s for r in rows
+                             if r.nonterm_delay_s is not None]
+        path_risks = tuple(r for r in risks if path.number in r.paths)
+        livelock_thresholds = [max(0.0, r.window_s - on_time_s)
+                               for r in path_risks]
+        paths.append(PathBudget(
+            number=path.number,
+            tasks=tuple(rows),
+            energy_j=sum(r.total_j for r in rows),
+            on_time_s=on_time_s,
+            monitor_energy_j=sum(2 * r.event_j for r in rows),
+            energy_threshold_s=(min(energy_thresholds)
+                                if energy_thresholds else None),
+            livelock_threshold_s=(min(livelock_thresholds)
+                                  if livelock_thresholds else None),
+            livelocks=path_risks,
+        ))
+
+    return EnergyReport(app, power, capacitor, monitors, paths,
+                        subscriptions,
+                        commit_steps_per_task=commit_steps_per_task)
+
+
+# ---------------------------------------------------------------------------
+# Auto-derived degradation priorities
+# ---------------------------------------------------------------------------
+
+
+def derive_priorities(report: EnergyReport) -> Dict[str, int]:
+    """Cost-per-coverage priority ranking over sheddable monitors.
+
+    Priority 0 (shed first) goes to the machine whose worst-case per-run
+    energy buys the least coverage; ties break on machine name so the
+    ranking is deterministic. Non-sheddable machines get no entry.
+    """
+    sheddable = [m for m in report.monitors if m.sheddable]
+    ranked = sorted(sheddable,
+                    key=lambda m: (-m.cost_per_coverage_j, m.machine))
+    return {m.machine: rank for rank, m in enumerate(ranked)}
+
+
+def with_derived_priorities(props: PropertySet, app: Application,
+                            power: PowerModel,
+                            capacitor: Optional[Capacitor] = None,
+                            force: bool = False) -> PropertySet:
+    """Substitute analyzer-derived priorities for absent hand-written
+    ones.
+
+    When any sheddable property carries a non-zero authored ``priority``
+    the spec author has made a call and the set is returned unchanged
+    (pass ``force=True`` to overrule); otherwise every sheddable
+    property gets its cost-per-coverage rank. The result flows through
+    ``generate_machines`` into the Python ``PRIORITY`` attribute and the
+    C ``#define`` exactly like authored modifiers.
+    """
+    if not force and any(p.priority for p in props
+                         if type(p).SUPPORTS_PRIORITY):
+        return props
+    report = analyze(app, props, power, capacitor=capacitor)
+    ranks = derive_priorities(report)
+    derived = PropertySet()
+    for prop in props:
+        rank = ranks.get(prop.machine_name())
+        if rank is not None and rank != prop.priority:
+            prop = dataclasses.replace(prop, priority=rank)
+        derived.add(prop)
+    return derived

@@ -1,0 +1,118 @@
+"""Harvest forecasting for anticipatory degradation.
+
+The :class:`~repro.core.degradation.PredictiveDegradationController`
+needs an answer to one question at each path boundary: *how much energy
+will arrive over the next path traversal?* Two estimators, composed in
+one object:
+
+* **windowed EWMA** — observed ``(t, power)`` samples inside a trailing
+  window, folded oldest-to-newest with exponential weighting. Always
+  available once ``min_samples`` observations have landed; tracks
+  regime changes (a washout, an office light switching off) with a lag
+  set by ``alpha``.
+* **trace-replay lookahead** — when the deployment knows its harvest
+  profile (a recorded :mod:`repro.energy.traces` trace driving a
+  :class:`~repro.energy.harvester.TraceHarvester`), integrate the trace
+  itself over the lookahead horizon. Exact for piecewise-constant
+  replay, including upcoming outages EWMA cannot see.
+
+The forecaster is deliberately *not* given the simulator's harvester
+object by default — a deployed device only sees its own charging
+current. ``from_trace`` is the opt-in for profile-informed deployments
+(the AURORA-style telemetry-fed loop); plain ``HarvestForecaster()``
+models the blind device.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, Optional, Tuple
+
+from repro.energy.harvester import Harvester, TraceHarvester
+from repro.errors import ReproError
+
+
+class HarvestForecaster:
+    """Windowed-EWMA harvest estimator with optional trace lookahead.
+
+    Args:
+        window_s: trailing window; samples older than this (relative to
+            the newest) are dropped.
+        alpha: EWMA smoothing factor in (0, 1]; higher tracks faster.
+        trace: optional known harvest profile for replay lookahead.
+        min_samples: observations required before the EWMA is trusted
+            (:attr:`ready`); below this the controller falls back to
+            reactive hysteresis.
+    """
+
+    def __init__(self, window_s: float = 60.0, alpha: float = 0.3,
+                 trace: Optional[Harvester] = None, min_samples: int = 2):
+        if window_s <= 0:
+            raise ReproError("forecast window must be > 0")
+        if not 0.0 < alpha <= 1.0:
+            raise ReproError("EWMA alpha must be in (0, 1]")
+        if min_samples < 1:
+            raise ReproError("min_samples must be >= 1")
+        self.window_s = window_s
+        self.alpha = alpha
+        self.trace = trace
+        self.min_samples = min_samples
+        self._samples: Deque[Tuple[float, float]] = deque()
+
+    @classmethod
+    def from_trace(cls, samples: Iterable[Tuple[float, float]],
+                   loop: bool = True, **kwargs) -> "HarvestForecaster":
+        """Forecaster with replay lookahead over a recorded trace
+        (``repro.energy.traces`` sample lists)."""
+        return cls(trace=TraceHarvester(list(samples), loop=loop), **kwargs)
+
+    # -- observation ------------------------------------------------------
+    def observe(self, t: float, power_w: float) -> None:
+        """Record one harvest-power sample (monotone non-decreasing
+        times; out-of-order samples are dropped)."""
+        if self._samples and t < self._samples[-1][0]:
+            return
+        self._samples.append((t, power_w))
+        horizon = t - self.window_s
+        while self._samples and self._samples[0][0] < horizon:
+            self._samples.popleft()
+
+    @property
+    def sample_count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def ready(self) -> bool:
+        """Enough observations to forecast? (Trace-backed forecasters
+        are always ready — the profile itself is the estimate.)"""
+        return (self.trace is not None
+                or len(self._samples) >= self.min_samples)
+
+    # -- estimation -------------------------------------------------------
+    @property
+    def estimate_w(self) -> float:
+        """Current EWMA of observed harvest power (0 with no samples)."""
+        if not self._samples:
+            return 0.0
+        value = self._samples[0][1]
+        for _, power in list(self._samples)[1:]:
+            value = self.alpha * power + (1.0 - self.alpha) * value
+        return value
+
+    def forecast_power_w(self, t: float, horizon_s: float) -> float:
+        """Mean harvest power expected over ``[t, t + horizon]``."""
+        if horizon_s <= 0:
+            return self.estimate_w
+        return self.forecast_energy_j(t, horizon_s) / horizon_s
+
+    def forecast_energy_j(self, t: float, horizon_s: float) -> float:
+        """Energy expected to arrive over ``[t, t + horizon]`` joules.
+
+        Trace lookahead when a profile is known, EWMA persistence
+        otherwise.
+        """
+        if horizon_s <= 0:
+            return 0.0
+        if self.trace is not None:
+            return self.trace.energy_between(t, t + horizon_s)
+        return self.estimate_w * horizon_s

@@ -14,7 +14,16 @@ Three subcommands mirror the paper's development flow (Figure 3):
 ``artemis-repro simulate``
     Execute the application under the ARTEMIS runtime on a simulated
     intermittent device and report the run summary, monitor actions,
-    and an ASCII timeline.
+    and an ASCII timeline. ``--predictive-degradation`` swaps the
+    reactive shedding controller for the forecast-driven anticipatory
+    one (see ``docs/robustness.md``).
+
+``artemis-repro analyze energy``
+    Static worst-case energy/latency analysis of the compiled monitors
+    (no simulation): per-monitor bounds per dispatched event, per-path
+    energy budgets, and the predicted non-termination charging-delay
+    threshold per path. Exits 3 when a path is statically
+    non-terminating under the given power model.
 
 ``artemis-repro verify``
     Run the intermittence conformance checker: enumerate crash
@@ -189,6 +198,19 @@ def cmd_compile(args: argparse.Namespace) -> int:
     """Run the ``compile`` subcommand; returns the process exit code."""
     app = load_app(args.app)
     props = _load_props(args, app)
+    if args.auto_priorities:
+        from repro.analysis import with_derived_priorities
+
+        ranked = with_derived_priorities(props, app, load_power(args.app))
+        if ranked is props:
+            print("auto-priorities: spec has hand-written priorities; "
+                  "keeping them")
+        else:
+            for prop in ranked:
+                if type(prop).SUPPORTS_PRIORITY:
+                    print(f"auto-priority {prop.priority}: "
+                          f"{prop.machine_name()}")
+        props = ranked
     machines = generate_machines(props)
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -245,6 +267,69 @@ def _parse_degradation(text: Optional[str]):
     return (low * usable, high * usable)
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Run the ``analyze`` subcommand; returns the process exit code.
+
+    Exit codes: 0 = every path statically terminates, 1 = usage error,
+    3 = at least one path is statically non-terminating under the given
+    power model — at ``--charging-delay`` when one is given, at *some*
+    finite charging delay otherwise.
+    """
+    from repro.analysis import analyze, derive_priorities
+
+    app = load_app(args.app)
+    props = _load_props(args, app)
+    power = load_power(args.app)
+    report = analyze(app, props, power)
+    delay = args.charging_delay
+    flagged = (report.nonterminating_paths(delay) if delay is not None
+               else [p.number for p in report.paths
+                     if p.threshold_s is not None])
+    if args.json:
+        payload = report.to_dict()
+        payload["auto_priorities"] = derive_priorities(report)
+        if delay is not None:
+            payload["charging_delay_s"] = delay
+            payload["nonterminating_paths"] = flagged
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.describe())
+        ranks = derive_priorities(report)
+        if ranks:
+            print()
+            print("auto-derived degradation priorities (0 sheds first):")
+            for name, rank in sorted(ranks.items(), key=lambda kv: kv[1]):
+                print(f"  {rank}: {name}")
+        if delay is not None:
+            print()
+            verdict = (f"non-terminating paths: {flagged}" if flagged
+                       else "all paths terminate")
+            print(f"at charging delay {delay:g}s: {verdict}")
+    return 3 if flagged else 0
+
+
+def _predictive_factory(app, props, power, watermarks, env):
+    """Degradation factory wiring the predictive controller to the
+    runtime's own monitor/audit (the callable form ArtemisRuntime
+    accepts)."""
+    from repro.analysis import HarvestForecaster, analyze
+    from repro.core.degradation import PredictiveDegradationController
+
+    report = analyze(app, props, power)
+    low_j, high_j = watermarks
+
+    def build(monitor, audit):
+        # The CLI simulation knows its own harvester, so the forecaster
+        # gets exact trace lookahead; a blind deployment would pass
+        # trace=None and rely on the windowed EWMA.
+        forecaster = HarvestForecaster(trace=env.harvester)
+        return PredictiveDegradationController(
+            monitor, low_j, high_j, report,
+            forecaster=forecaster, audit=audit)
+
+    return build
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     """Run the ``simulate`` subcommand; returns the process exit code."""
     app = load_app(args.app)
@@ -256,11 +341,18 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     else:
         env = EnergyEnvironment.continuous()
     device = Device(env, clock_error=args.clock_error, seed=args.seed)
+    degradation = _parse_degradation(args.degradation)
+    if args.predictive_degradation:
+        if degradation is None:
+            # Default watermarks for the reactive fallback leg.
+            degradation = _parse_degradation("0.35:0.85")
+        degradation = _predictive_factory(app, props, power, degradation,
+                                          env)
     runtime = ArtemisRuntime(app, props, device, power,
                              audit_capacity=args.audit,
                              peripherals=_build_peripherals(
                                  app, args.sensor_faults),
-                             degradation=_parse_degradation(args.degradation))
+                             degradation=degradation)
     result = device.run(runtime, runs=args.runs, max_time_s=args.max_time)
 
     print(result.summary())
@@ -515,6 +607,11 @@ def build_parser() -> argparse.ArgumentParser:
                            help="specification language of the input file")
     p_compile.add_argument("-o", "--out", default="generated",
                            help="output directory (default: ./generated)")
+    p_compile.add_argument("--auto-priorities", action="store_true",
+                           help="derive degradation priorities from the "
+                                "static cost-per-coverage ranking when the "
+                                "spec carries no hand-written priority "
+                                "modifiers")
     p_compile.set_defaults(fn=cmd_compile)
 
     p_sim = sub.add_parser("simulate", help="run on the simulated device")
@@ -547,7 +644,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shed/restore monitors at these stored-energy "
                             "watermarks, as fractions of one capacitor "
                             "charge cycle (e.g. 0.35:0.85)")
+    p_sim.add_argument("--predictive-degradation", action="store_true",
+                       help="anticipatory shedding: consult the static "
+                            "energy analysis and a harvest forecast at "
+                            "each path boundary and shed the "
+                            "unaffordable monitor set before the "
+                            "brownout (falls back to the --degradation "
+                            "watermarks reactively; default watermarks "
+                            "0.35:0.85 when none are given)")
     p_sim.set_defaults(fn=cmd_simulate)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="static worst-case energy/latency analysis")
+    p_analyze.add_argument("what", choices=("energy",),
+                           help="analysis to run (currently: energy)")
+    p_analyze.add_argument("spec", help="property specification file")
+    p_analyze.add_argument("--app", required=True, help="application JSON")
+    p_analyze.add_argument("--frontend", choices=["artemis", "mayfly"],
+                           default="artemis",
+                           help="specification language of the input file")
+    p_analyze.add_argument("--charging-delay", type=float, default=None,
+                           help="evaluate the non-termination predicate at "
+                                "this charging delay (seconds); without it, "
+                                "exit 3 when any path is non-terminating at "
+                                "some finite delay")
+    p_analyze.add_argument("--json", action="store_true",
+                           help="machine-readable output")
+    p_analyze.set_defaults(fn=cmd_analyze)
 
     p_sweep = sub.add_parser(
         "sweep", help="run a charging-delay x seed experiment grid")

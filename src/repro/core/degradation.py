@@ -13,12 +13,21 @@ Shed state persists in the monitor's NVM, every shed/restore is a trace
 record plus a :class:`~repro.sim.result.RunResult` counter plus an
 audit entry, and non-sheddable monitors (progress trackers — see
 ``Property.SUPPORTS_PRIORITY``) are never touched.
+
+:class:`PredictiveDegradationController` goes one step further: instead
+of waiting for state-of-charge to collapse, it consults a static
+:class:`~repro.analysis.energy.EnergyReport` and a
+:class:`~repro.analysis.forecast.HarvestForecaster` at each **path
+boundary** and sheds the predicted-unaffordable monitor set *before*
+the brownout — restoring once the forecast budget recovers. When no
+forecast is available (cold start, unbound runtime) it falls back to
+the reactive hysteresis above.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Optional
+from typing import Any, FrozenSet, Optional
 
 from repro.errors import RuntimeConfigError
 
@@ -80,30 +89,180 @@ class DegradationController:
         return None
 
     def _restore_one(self, device: Any, soc: float) -> Optional[str]:
-        shed = self.monitor.shed_machines()
-        if not shed:
+        name = self._next_restore()
+        if name is None:
             return None
-        # Highest priority comes back first: the most valuable
-        # monitoring resumes as soon as the budget allows.
-        name = max(shed, key=lambda n: (self.monitor.machine_priority(n), n))
         if not self.monitor.restore(name):
             return None
         self._publish(device, "monitor_restored", name, soc)
         device.result.monitors_restored += 1
         return name
 
-    def _publish(self, device: Any, kind: str, machine: str, soc: float) -> None:
+    def _next_restore(self) -> Optional[str]:
+        """The shed machine that comes back first: highest priority (the
+        most valuable monitoring resumes as soon as the budget allows),
+        name-ordered on ties so decisions are deterministic across runs
+        and hash seeds."""
+        shed = self.monitor.shed_machines()
+        if not shed:
+            return None
+        return min(shed,
+                   key=lambda n: (-self.monitor.machine_priority(n), n))
+
+    def _publish(self, device: Any, kind: str, machine: str, soc: float,
+                 **extra: Any) -> None:
         device.trace.record(
             device.now(), kind,
             machine=machine,
             priority=self.monitor.machine_priority(machine),
             soc_j=round(soc, 9),
+            **extra,
         )
         if self._audit is not None:
             action = "degrade:shed" if kind == "monitor_shed" else "degrade:restore"
-            self._audit.record_event(device.now(), action, machine)
+            # The SoC at decision time rides in the spare task column —
+            # record_event's schema is fixed by the NVM audit ring.
+            self._audit.record_event(device.now(), action, machine,
+                                     task=f"soc:{round(soc, 9)}")
 
     @property
     def shed_count(self) -> int:
         """How many machines are currently shed."""
         return len(self.monitor.shed_machines())
+
+
+class PredictiveDegradationController(DegradationController):
+    """Forecast-driven anticipatory shedding at path boundaries.
+
+    At each path boundary (the only points where the monitor set may
+    change without torn monitor state — the same rule OTA swaps follow)
+    the controller asks: *can the energy on hand plus the forecast
+    harvest over the next traversal cover the static worst-case budget
+    of the upcoming path?* If not, it sheds lowest-priority monitors
+    until the reduced budget fits (or nothing sheddable remains) —
+    *before* the brownout, not after. Once the available budget covers
+    the full monitor set again with margin, monitors are restored
+    highest-priority-first.
+
+    Mid-path, or whenever the forecaster is not :attr:`~repro.analysis.
+    forecast.HarvestForecaster.ready`, the reactive hysteresis of the
+    base class runs unchanged — predictive never removes the safety
+    net, it only acts earlier.
+
+    Args:
+        monitor: the monitor (as for :class:`DegradationController`).
+        low_j / high_j: reactive-fallback watermarks.
+        report: :class:`~repro.analysis.energy.EnergyReport` for the
+            deployed app + property set (the worst-case path budgets).
+        forecaster: optional :class:`~repro.analysis.forecast.
+            HarvestForecaster`; fed automatically from the device's
+            harvester each step. ``None`` = pure reactive behaviour.
+        audit: optional audit log.
+        shed_margin: shed while available < margin x path budget.
+        restore_margin: restore once available >= margin x budget with
+            the monitor back. Must exceed ``shed_margin`` — the gap is
+            the predictive hysteresis band.
+    """
+
+    def __init__(self, monitor: Any, low_j: float, high_j: float,
+                 report: Any, forecaster: Optional[Any] = None,
+                 audit: Optional[Any] = None,
+                 shed_margin: float = 1.2, restore_margin: float = 2.0):
+        super().__init__(monitor, low_j, high_j, audit=audit)
+        if restore_margin <= shed_margin:
+            raise RuntimeConfigError(
+                f"restore margin must exceed shed margin "
+                f"(got shed={shed_margin}, restore={restore_margin})"
+            )
+        if shed_margin < 1.0:
+            raise RuntimeConfigError("shed margin must be >= 1.0")
+        self.report = report
+        self.forecaster = forecaster
+        self.shed_margin = float(shed_margin)
+        self.restore_margin = float(restore_margin)
+        self._runtime: Optional[Any] = None
+
+    def bind(self, runtime: Any) -> None:
+        """Called by the runtime after construction (duck-typed hook):
+        gives the controller the path-boundary and current-path view it
+        predicts over."""
+        self._runtime = runtime
+
+    # ------------------------------------------------------------------
+    def update(self, device: Any) -> Optional[str]:
+        soc = device.stored_energy()
+        if math.isinf(soc):
+            return None
+        self._observe(device)
+        runtime = self._runtime
+        if (runtime is None or self.forecaster is None
+                or not self.forecaster.ready):
+            return super().update(device)
+        if not runtime.at_path_boundary():
+            # Mid-path the monitor set must not change; the reactive
+            # fallback also only acts at SoC collapse, which cannot
+            # happen mid-path without a reboot landing us at a boundary.
+            return None
+        path = runtime.current_path_number
+        budget = self.report.path(path)
+        horizon = budget.on_time_s
+        forecast_j = self.forecaster.forecast_energy_j(device.now(), horizon)
+        avail = soc + forecast_j
+        changed = self._shed_unaffordable(device, soc, avail, path)
+        if changed is None:
+            changed = self._restore_affordable(device, soc, avail, path)
+        return changed
+
+    # ------------------------------------------------------------------
+    def _observe(self, device: Any) -> None:
+        if self.forecaster is None:
+            return
+        harvester = getattr(getattr(device, "env", None), "harvester", None)
+        if harvester is not None:
+            self.forecaster.observe(device.now(),
+                                    harvester.power_at(device.now()))
+
+    def _live_shed_set(self) -> FrozenSet[str]:
+        return frozenset(self.monitor.shed_machines())
+
+    def _shed_unaffordable(self, device: Any, soc: float, avail: float,
+                           path: int) -> Optional[str]:
+        """Shed until the reduced path budget fits the forecast energy.
+
+        Unlike the reactive controller this may shed several machines in
+        one step: the whole unaffordable set must go before the path
+        starts, or the brownout lands mid-path anyway.
+        """
+        first: Optional[str] = None
+        shed = set(self._live_shed_set())
+        while avail < self.shed_margin * self.report.path_energy_j(
+                path, frozenset(shed)):
+            target = next(
+                (n for n in self.monitor.shedding_order()
+                 if n not in shed), None)
+            if target is None or not self.monitor.shed(target):
+                break
+            shed.add(target)
+            self._publish(device, "monitor_shed", target, soc,
+                          predictive=True, path=path)
+            device.result.monitors_shed += 1
+            if hasattr(device.result, "predictive_sheds"):
+                device.result.predictive_sheds += 1
+            if first is None:
+                first = target
+        return first
+
+    def _restore_affordable(self, device: Any, soc: float, avail: float,
+                            path: int) -> Optional[str]:
+        name = self._next_restore()
+        if name is None:
+            return None
+        with_back = self._live_shed_set() - {name}
+        need = self.restore_margin * self.report.path_energy_j(
+            path, with_back)
+        if avail < need or not self.monitor.restore(name):
+            return None
+        self._publish(device, "monitor_restored", name, soc,
+                      predictive=True, path=path)
+        device.result.monitors_restored += 1
+        return name

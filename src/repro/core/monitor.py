@@ -32,6 +32,34 @@ def _no_spend(seconds: float) -> None:
     return None
 
 
+def subscription_tables(machines) -> tuple:
+    """``(wildcard_set, dispatch)`` for a machine list — the per-task
+    subscription tables of the dispatch fast path.
+
+    ``wildcard_set`` holds indices of machines with any task-less
+    trigger (they inspect every event); ``dispatch`` maps each task name
+    to the frozen set of machine indices inspecting its events. This is
+    the exact construction :class:`ArtemisMonitor` dispatches (and
+    charges per-machine cost) from, factored out so the static analyzer
+    in :mod:`repro.analysis.energy` bounds the same cost model the
+    simulator executes.
+    """
+    relevant: Dict[str, List[int]] = {}
+    for idx, machine in enumerate(machines):
+        if any(t.trigger.task is None for t in machine.transitions):
+            relevant.setdefault("*", []).append(idx)
+            continue
+        for task in machine.referenced_tasks():
+            relevant.setdefault(task, []).append(idx)
+    wildcard_set = frozenset(relevant.get("*", ()))
+    dispatch = {
+        task: wildcard_set.union(indices)
+        for task, indices in relevant.items()
+        if task != "*"
+    }
+    return wildcard_set, dispatch
+
+
 class ArtemisMonitor:
     """Monitors for one application's property set.
 
@@ -88,28 +116,13 @@ class ArtemisMonitor:
                                    progress=True)
         self._last_actions = nvm.alloc(f"{name}.last_actions", initial=(),
                                        size_bytes=32, progress=True)
-        # Which machines react to each task, for per-event cost accounting.
-        self._relevant: Dict[str, List[int]] = {}
-        for idx, machine in enumerate(self.machines):
-            # A machine with any wildcard trigger (anyEvent, or a kind
-            # with no task filter) inspects every event.
-            if any(t.trigger.task is None for t in machine.transitions):
-                self._relevant.setdefault("*", []).append(idx)
-                continue
-            for task in machine.referenced_tasks():
-                self._relevant.setdefault(task, []).append(idx)
-        # Frozen dispatch tables derived from ``_relevant`` once, so the
-        # per-event path is a single dict lookup instead of two lookups
-        # plus a set union. A machine outside the dispatch set for a
-        # task (and without wildcard triggers) can never match any of
-        # its transitions on that task's events, so its step may skip
-        # ``on_event`` entirely — same verdicts, same charged energy.
-        self._wildcard_set = frozenset(self._relevant.get("*", ()))
-        self._dispatch: Dict[str, frozenset] = {
-            task: self._wildcard_set.union(indices)
-            for task, indices in self._relevant.items()
-            if task != "*"
-        }
+        # Frozen per-task subscription tables (shared with the static
+        # analyzer — see :func:`subscription_tables`): a machine with
+        # any wildcard trigger inspects every event; one outside the
+        # dispatch set for a task can never match any of its transitions
+        # on that task's events, so its step may skip ``on_event``
+        # entirely — same verdicts, same charged energy.
+        self._wildcard_set, self._dispatch = subscription_tables(self.machines)
         self._machine_names = frozenset(m.name for m in self.machines)
 
     # ------------------------------------------------------------------
@@ -297,14 +310,16 @@ class ArtemisMonitor:
         raise ReproError(f"no machine named {machine_name!r}")
 
     def shedding_order(self) -> List[str]:
-        """Sheddable machines, lowest priority first (ties: declaration
-        order) — the order the controller sheds them in."""
+        """Sheddable machines, lowest priority first (ties: machine
+        name) — the order the controller sheds them in. Name tie-breaks
+        keep decisions deterministic across runs, declaration orders,
+        and hash seeds."""
         order = sorted(
-            (machine.priority, idx, machine.name)
-            for idx, machine in enumerate(self.machines)
+            (machine.priority, machine.name)
+            for machine in self.machines
             if self.sheddable(machine.name)
         )
-        return [name for _, _, name in order]
+        return [name for _, name in order]
 
     def is_shed(self, machine_name: str) -> bool:
         """True while the named machine is shed."""
@@ -515,18 +530,17 @@ class MonitorGroup:
         raise ReproError(f"no machine named {machine_name!r}")
 
     def shedding_order(self) -> List[str]:
-        """Sheddable machines across members, lowest priority first."""
+        """Sheddable machines across members, lowest priority first
+        (ties: machine name, deterministic across member order)."""
         entries = []
         seen = set()
-        for member_idx, monitor in enumerate(self.monitors):
-            for order_idx, name in enumerate(monitor.shedding_order()):
+        for monitor in self.monitors:
+            for name in monitor.shedding_order():
                 if name in seen:
                     continue
                 seen.add(name)
-                entries.append(
-                    (monitor.machine_priority(name), member_idx, order_idx, name)
-                )
-        return [name for _, _, _, name in sorted(entries)]
+                entries.append((monitor.machine_priority(name), name))
+        return [name for _, name in sorted(entries)]
 
     def is_shed(self, machine_name: str) -> bool:
         """True if the named machine is shed in any member."""

@@ -70,9 +70,13 @@ class ArtemisRuntime:
         watchdog_fallback: action applied when the livelock watchdog
             trips on a task no property guards (the task is also marked
             degraded on channel ``degraded.<task>``).
-        degradation: energy-adaptive monitor shedding — either an
-            ``(low_j, high_j)`` watermark pair or a prebuilt
-            :class:`~repro.core.degradation.DegradationController`.
+        degradation: energy-adaptive monitor shedding — an
+            ``(low_j, high_j)`` watermark pair, a prebuilt
+            :class:`~repro.core.degradation.DegradationController`, or
+            a factory ``f(monitor, audit) -> controller`` (the form the
+            CLI uses to wire predictive controllers to the runtime's
+            own monitor). Controllers exposing a ``bind(runtime)`` hook
+            are bound after construction.
     """
 
     def __init__(
@@ -127,11 +131,21 @@ class ArtemisRuntime:
             self._degradation: Optional[DegradationController] = None
         elif isinstance(degradation, DegradationController):
             self._degradation = degradation
+        elif callable(degradation):
+            # Factory form: f(monitor, audit) -> controller. Lets
+            # callers build controllers that need the runtime's own
+            # monitor/audit objects (e.g. PredictiveDegradation-
+            # Controller wired by the CLI).
+            self._degradation = degradation(self.monitor, self.audit)
         else:
             low_j, high_j = degradation
             self._degradation = DegradationController(
                 self.monitor, low_j, high_j, audit=self.audit
             )
+        # Predictive controllers need the path-boundary view; any
+        # controller exposing a bind() hook gets this runtime.
+        if self._degradation is not None and hasattr(self._degradation, "bind"):
+            self._degradation.bind(self)
 
         alloc = nvm.alloc
         # Scheduler bookkeeping cells are *progress cells*: their whole

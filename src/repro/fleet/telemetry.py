@@ -48,6 +48,13 @@ class DeviceTelemetry:
     rollbacks: int
     update_outcome: str
     active_version: Optional[int]
+    #: Anticipatory (forecast-driven) sheds, a subset of
+    #: ``degradation_shed``; 0 for reactive-only devices.
+    predictive_sheds: int = 0
+    #: Mean seconds between a predictive shed and the next power
+    #: failure — the lead time the forecast bought. 0 when the device
+    #: never shed predictively or never browned out afterwards.
+    shed_lead_s: float = 0.0
 
     @property
     def installed(self) -> bool:
@@ -104,6 +111,8 @@ class DeviceTelemetry:
             rollbacks=device.trace.count("ota_rollback"),
             update_outcome=str(runtime.update_outcome),
             active_version=runtime.installer.active_version,
+            predictive_sheds=int(getattr(result, "predictive_sheds", 0)),
+            shed_lead_s=shed_lead_time_s(device.trace),
         )
 
     def to_row(self) -> Dict[str, object]:
@@ -112,8 +121,30 @@ class DeviceTelemetry:
 
     @classmethod
     def from_row(cls, row: Dict[str, object]) -> "DeviceTelemetry":
-        fields = {k: row[k] for k in cls.__dataclass_fields__}
+        # Tolerate rows emitted before the predictive-degradation
+        # fields existed (older sweep caches, archived fleet reports).
+        fields = {k: row[k] for k in cls.__dataclass_fields__ if k in row}
         return cls(**fields)  # type: ignore[arg-type]
+
+
+def shed_lead_time_s(trace) -> float:
+    """Mean lead time (seconds) between each predictive shed and the
+    next power failure in the trace.
+
+    This is the fleet-visible measure of what anticipation bought: how
+    far ahead of the brownout the controller acted. Sheds with no
+    subsequent power failure (the forecast prevented the brownout
+    entirely, or the run ended first) contribute nothing.
+    """
+    failures = [e.t for e in trace.of_kind("power_failure")]
+    leads = []
+    for event in trace.of_kind("monitor_shed"):
+        if not event.detail.get("predictive"):
+            continue
+        upcoming = [t for t in failures if t >= event.t]
+        if upcoming:
+            leads.append(upcoming[0] - event.t)
+    return sum(leads) / len(leads) if leads else 0.0
 
 
 @dataclass(frozen=True)
@@ -131,6 +162,8 @@ class FleetSummary:
     total_reboots: int
     degradation_shed: int
     degradation_restored: int
+    predictive_sheds: int
+    mean_shed_lead_s: float
     chunks_lost: int
     radio_energy_mj: float
     total_energy_mj: float
@@ -191,6 +224,9 @@ def aggregate(reports: Iterable[DeviceTelemetry]) -> FleetSummary:
         total_reboots=sum(t.reboots for t in rows),
         degradation_shed=sum(t.degradation_shed for t in rows),
         degradation_restored=sum(t.degradation_restored for t in rows),
+        predictive_sheds=sum(t.predictive_sheds for t in rows),
+        mean_shed_lead_s=mean([t.shed_lead_s for t in rows
+                               if t.predictive_sheds]),
         chunks_lost=sum(t.chunks_lost for t in rows),
         radio_energy_mj=sum(t.radio_energy_mj for t in rows),
         total_energy_mj=sum(t.total_energy_mj for t in rows),

@@ -59,6 +59,9 @@ class RunResult:
             controller at the low-energy watermark.
         monitors_restored: previously shed machines re-enabled once
             stored energy recovered past the high watermark.
+        predictive_sheds: the subset of ``monitors_shed`` decided by a
+            forecast at a path boundary (anticipatory, ahead of the
+            brownout) rather than by the reactive SoC watermark.
     """
 
     completed: bool = False
@@ -84,6 +87,7 @@ class RunResult:
     watchdog_trips: int = 0
     monitors_shed: int = 0
     monitors_restored: int = 0
+    predictive_sheds: int = 0
 
     @property
     def app_time_s(self) -> float:

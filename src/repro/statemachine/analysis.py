@@ -12,7 +12,11 @@ Quality gates for generated and hand-written monitors:
   expects "mutually exclusive conditional guards");
 * :func:`variable_usage` — variables written but never read and vice
   versa;
-* :func:`lint` — all of the above as one report.
+* :func:`lint` — all of the above as one report;
+* :func:`worst_case_event_cost` — path-sensitive worst case of how many
+  transitions one dispatched event scans and how many expression/
+  statement operations it can execute (feeds the static energy/latency
+  analyzer in :mod:`repro.analysis.energy`).
 
 Guard overlap is undecidable in general; :func:`nondeterministic_pairs`
 uses randomized valuation sampling, which is sound for reporting *found*
@@ -204,6 +208,118 @@ def _found_joint_witness(machine, state, a, b, rng, data_keys, samples) -> bool:
         if a_on and b_on:
             return True
     return False
+
+
+# ---------------------------------------------------------------------------
+# Worst-case per-event cost (transitions scanned / operations executed)
+# ---------------------------------------------------------------------------
+
+
+def expr_ops(expr: Optional[Expr]) -> int:
+    """Operation count of one expression (leaves and operators each
+    count 1) — the unit of the per-event latency detail."""
+    if expr is None:
+        return 0
+    if isinstance(expr, (Const, Var, EventField)):
+        return 1
+    if isinstance(expr, Not):
+        return 1 + expr_ops(expr.operand)
+    if isinstance(expr, BinOp):
+        return 1 + expr_ops(expr.left) + expr_ops(expr.right)
+    return 1
+
+
+def stmt_ops(stmts: Sequence[Any]) -> int:
+    """Worst-case operation count of a statement body (``If`` takes the
+    costlier branch)."""
+    total = 0
+    for stmt in stmts:
+        if isinstance(stmt, Assign):
+            total += 1 + expr_ops(stmt.expr)
+        elif isinstance(stmt, If):
+            total += 1 + expr_ops(stmt.cond) + max(
+                stmt_ops(stmt.then), stmt_ops(stmt.orelse)
+            )
+        else:  # Fail and any future leaf statement
+            total += 1
+    return total
+
+
+def _fold_event(expr: Optional[Expr], path: Optional[int]) -> Optional[Any]:
+    """Three-valued constant fold of a guard given a concrete event
+    path: ``event.path`` becomes ``path`` (when known), ``and``/``or``
+    short-circuit, everything data/variable-dependent stays unknown
+    (``None``). Used to exclude transitions a path-scoped guard makes
+    unreachable for events on other paths."""
+    if expr is None:
+        return True
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, EventField):
+        if expr.field == "path" and path is not None:
+            return path
+        return None
+    if isinstance(expr, Not):
+        inner = _fold_event(expr.operand, path)
+        return None if inner is None else not inner
+    if isinstance(expr, BinOp):
+        left = _fold_event(expr.left, path)
+        right = _fold_event(expr.right, path)
+        if expr.op == "and":
+            if left is False or right is False:
+                return False
+            if left is None or right is None:
+                return None
+            return bool(left) and bool(right)
+        if expr.op == "or":
+            if left is True or right is True:
+                return True
+            if left is None or right is None:
+                return None
+            return bool(left) or bool(right)
+        if left is None or right is None:
+            return None
+        from repro.statemachine.interpreter import _apply
+
+        try:
+            return _apply(expr.op, left, right)
+        except Exception:
+            return None
+    return None
+
+
+def worst_case_event_cost(
+    machine: StateMachine,
+    kind: str,
+    task: str,
+    path: Optional[int] = None,
+) -> Tuple[int, int]:
+    """``(transitions_scanned, operations)`` worst case for dispatching
+    one ``(kind, task)`` event to this machine.
+
+    Path-sensitive: with ``path`` given, transitions whose guard
+    constant-folds to false for events on that path (the generator's
+    ``event.path == N`` scoping conjuncts) are excluded. The dispatcher
+    evaluates candidate guards in declaration order and runs the first
+    matching body, so the operation bound is the sum of all candidate
+    guard costs plus the costliest candidate body — maximised over
+    source states, since the resident state is unknown statically.
+    """
+    worst = (0, 0)
+    for state in machine.states:
+        scanned = 0
+        guard_ops = 0
+        body_worst = 0
+        for transition in machine.transitions_from(state):
+            if not transition.trigger.matches(kind, task):
+                continue
+            if _fold_event(transition.guard, path) is False:
+                continue
+            scanned += 1
+            guard_ops += expr_ops(transition.guard)
+            body_worst = max(body_worst, stmt_ops(transition.body))
+        worst = max(worst, (scanned, guard_ops + body_worst))
+    return worst
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,324 @@
+"""Static energy/latency analyzer: per-monitor bounds, per-path
+budgets, the closed-form non-termination predicate (cross-checked
+against the Figure 12 sweep semantics), auto-derived priorities, and
+the ``analyze energy`` CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    analyze,
+    derive_priorities,
+    with_derived_priorities,
+)
+from repro.analysis.energy import livelock_risks
+from repro.cli import main
+from repro.core.generator import generate_machines
+from repro.energy.environment import default_capacitor
+from repro.energy.power import PowerModel, TaskCost
+from repro.errors import ReproError
+from repro.spec.validator import load_properties
+from repro.statemachine.codegen_c import generate_c_bundle
+from repro.statemachine.codegen_python import generate_python_source
+from repro.taskgraph.builder import AppBuilder
+from repro.workloads.health import (
+    BENCHMARK_SPEC,
+    build_artemis,
+    build_health_app,
+    health_power_model,
+    make_intermittent_device,
+)
+
+#: BENCHMARK_SPEC's MITD stripped of its ``maxAttempt`` escape — the
+#: Mayfly-equivalent shape whose Figure 12 column DNFs at delays of
+#: five minutes and beyond.
+MAYFLY_SHAPE_SPEC = """
+accel { maxTries: 10 onFail: skipPath Path: 2; }
+send { MITD: 5min dpTask: accel onFail: restartPath Path: 2; }
+"""
+
+
+def _report(spec=BENCHMARK_SPEC):
+    app = build_health_app()
+    return analyze(app, load_properties(spec, app), health_power_model())
+
+
+class TestMonitorBounds:
+    def test_every_machine_gets_a_bound(self):
+        report = _report()
+        app = build_health_app()
+        props = load_properties(BENCHMARK_SPEC, app)
+        assert {m.machine for m in report.monitors} == {
+            p.machine_name() for p in props
+        }
+
+    def test_event_bound_matches_subscription_tables(self):
+        """The per-event bound is base + |subscribers| x per-property —
+        the exact quantity the dispatch fast path charges."""
+        report = _report()
+        power = health_power_model()
+        # MITD_send_p2 subscribes send and accel; maxTries_accel_p2
+        # subscribes accel: two machines inspect accel events.
+        assert report.subscribers("accel") == 2
+        expected = (power.monitor_call_base_s
+                    + 2 * power.monitor_per_property_s)
+        assert report.event_time_bound_s("accel") == pytest.approx(expected)
+        assert report.event_energy_bound_j("accel") == pytest.approx(
+            expected * power.overhead_power_w)
+
+    def test_shedding_lowers_the_event_bound(self):
+        report = _report()
+        full = report.event_energy_bound_j("accel")
+        reduced = report.event_energy_bound_j(
+            "accel", shed=frozenset({"maxTries_accel_p2"}))
+        assert reduced < full
+
+    def test_path_scoping_is_path_sensitive(self):
+        """A path-2-scoped machine scans fewer transitions for events
+        on other paths (the generated ``event.path == 2`` conjunct
+        folds false)."""
+        report = _report()
+        bound = report.monitor("maxTries_accel_p2")
+        assert bound.path == 2
+        assert bound.wc_transitions >= 1
+        assert bound.wc_ops >= 1
+
+    def test_run_energy_counts_both_event_kinds(self):
+        report = _report()
+        bound = report.monitor("maxTries_accel_p2")
+        # accel appears once, on path 2: one StartTask + one EndTask.
+        assert bound.events_per_run == 2
+        assert bound.run_energy_j == pytest.approx(2 * bound.wc_event_j)
+
+    def test_unknown_machine_and_path_raise(self):
+        report = _report()
+        with pytest.raises(ReproError):
+            report.monitor("nope")
+        with pytest.raises(ReproError):
+            report.path(99)
+
+
+class TestPathBudgets:
+    def test_budget_composes_all_tasks_on_the_path(self):
+        report = _report()
+        budget = report.path(2)
+        assert [row.task for row in budget.tasks] == [
+            "accel", "classify", "send"]
+        assert budget.energy_j == pytest.approx(
+            sum(row.total_j for row in budget.tasks))
+        assert budget.on_time_s == pytest.approx(
+            sum(row.total_s for row in budget.tasks))
+
+    def test_live_set_budget_shrinks_when_shedding(self):
+        report = _report()
+        full = report.path_energy_j(2)
+        assert full == pytest.approx(report.path(2).energy_j)
+        reduced = report.path_energy_j(
+            2, shed=frozenset({"maxTries_accel_p2"}))
+        assert reduced < full
+
+    def test_monitor_energy_is_separated_out(self):
+        report = _report()
+        budget = report.path(1)
+        assert 0 < budget.monitor_energy_j < budget.energy_j
+
+
+class TestNonTerminationPredicate:
+    """Cross-check against the pinned Figure 12 sweep semantics
+    (benchmarks/test_fig12_nontermination.py): ARTEMIS completes every
+    charging delay on the 1-10 minute axis; the Mayfly-shape MITD
+    (no maxAttempt escape) completes 1-4 minutes and DNFs at 5+."""
+
+    FIG12_DELAYS_S = [60 * m for m in range(1, 11)]
+
+    def test_artemis_benchmark_terminates_at_every_fig12_delay(self):
+        report = _report(BENCHMARK_SPEC)
+        assert report.threshold_s() is None
+        for delay in self.FIG12_DELAYS_S:
+            assert report.nonterminating_paths(delay) == []
+
+    def test_mayfly_shape_threshold_matches_fig12_ordering(self):
+        report = _report(MAYFLY_SHAPE_SPEC)
+        threshold = report.threshold_s()
+        # The MITD window is 300s; execution on-time eats a few seconds
+        # of it, so the critical delay sits just under five minutes —
+        # between the last completing (4min) and first DNF (5min)
+        # Figure 12 grid points.
+        assert threshold is not None
+        assert 240 < threshold <= 300
+        for delay in self.FIG12_DELAYS_S:
+            flagged = report.nonterminating_paths(delay)
+            if delay >= 300:
+                assert flagged == [2], f"delay {delay}"
+            else:
+                assert flagged == [], f"delay {delay}"
+
+    def test_predicate_agrees_with_simulation_on_both_sides(self):
+        """No-escape MITD simulated at the grid points either side of
+        the static threshold: the predicate must not call a
+        sim-non-terminating delay terminating."""
+        report = _report(MAYFLY_SHAPE_SPEC)
+        for delay, expect_complete in ((240.0, True), (300.0, False)):
+            device = make_intermittent_device(delay)
+            runtime = build_artemis(device, spec=MAYFLY_SHAPE_SPEC)
+            result = device.run(runtime, runs=1, max_time_s=4 * 3600.0)
+            assert result.completed is expect_complete, f"delay {delay}"
+            predicted_nonterm = bool(report.nonterminating_paths(delay))
+            if not result.completed:
+                assert predicted_nonterm, (
+                    f"simulation DNFs at {delay}s but the predicate "
+                    f"calls it terminating")
+
+    def test_energy_leg_flags_tasks_fatter_than_a_cycle(self):
+        app = AppBuilder("fat").task("work").path(1, ["work"]).build()
+        cycle = default_capacitor().usable_energy_per_cycle
+        # One attempt costs ~2x the usable cycle energy: below the
+        # critical delay harvesting tops it up fast enough, above it
+        # the attempt can never finish.
+        power = PowerModel({"work": TaskCost(1.0, 2.0 * cycle)})
+        report = analyze(app, [], power)
+        budget = report.path(1)
+        assert budget.energy_threshold_s is not None
+        assert budget.nonterminating_at(budget.energy_threshold_s)
+        assert not budget.nonterminating_at(
+            budget.energy_threshold_s * 0.99)
+
+    def test_livelock_detection_requires_no_escape(self):
+        app = build_health_app()
+        shape = load_properties(MAYFLY_SHAPE_SPEC, app)
+        benchmark = load_properties(BENCHMARK_SPEC, app)
+        shape_machine = next(
+            m for m in generate_machines(shape) if "MITD" in m.name)
+        escaped_machine = next(
+            m for m in generate_machines(benchmark) if "MITD" in m.name)
+        assert livelock_risks(shape_machine, app)
+        # maxAttempt escalates to skipPath: bounded restarts, no risk.
+        assert livelock_risks(escaped_machine, app) == []
+
+
+class TestDerivedPriorities:
+    def test_ranking_is_cost_per_coverage_descending(self):
+        report = _report()
+        ranks = derive_priorities(report)
+        sheddable = [m for m in report.monitors if m.sheddable]
+        assert set(ranks) == {m.machine for m in sheddable}
+        ordered = sorted(ranks, key=ranks.get)
+        costs = [report.monitor(n).cost_per_coverage_j for n in ordered]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_substitution_skips_authored_priorities(self):
+        app = build_health_app()
+        spec = """
+        accel { maxTries: 10 onFail: skipPath priority: 3 Path: 2; }
+        micSense { maxTries: 10 onFail: skipPath Path: 3; }
+        """
+        props = load_properties(spec, app)
+        assert with_derived_priorities(
+            props, app, health_power_model()) is props
+
+    def test_substitution_applies_and_flows_to_both_codegens(self):
+        app = build_health_app()
+        props = load_properties(BENCHMARK_SPEC, app)
+        assert all(p.priority == 0 for p in props)
+        derived = with_derived_priorities(props, app, health_power_model())
+        ranked = {p.machine_name(): p.priority for p in derived
+                  if type(p).SUPPORTS_PRIORITY}
+        assert sorted(ranked.values()) == list(range(len(ranked)))
+        machines = generate_machines(derived)
+        nonzero = [m for m in machines if m.priority > 0]
+        assert nonzero
+        sample = nonzero[0]
+        assert f"PRIORITY = {sample.priority}" in \
+            generate_python_source(sample)
+        assert f"{sample.name}_PRIORITY {sample.priority}" in \
+            generate_c_bundle(machines)
+
+    def test_force_overrules_authored_priorities(self):
+        app = build_health_app()
+        spec = """
+        accel { maxTries: 10 onFail: skipPath priority: 3 Path: 2; }
+        micSense { maxTries: 10 onFail: skipPath Path: 3; }
+        """
+        props = load_properties(spec, app)
+        derived = with_derived_priorities(props, app, health_power_model(),
+                                          force=True)
+        assert derived is not props
+
+
+class TestAnalyzeCli:
+    APP_JSON = {
+        "name": "health",
+        "tasks": [{"name": n} for n in
+                  ["bodyTemp", "calcAvg", "heartRate", "send", "accel",
+                   "classify", "micSense", "filter"]],
+        "paths": {"1": ["bodyTemp", "calcAvg", "heartRate", "send"],
+                  "2": ["accel", "classify", "send"],
+                  "3": ["micSense", "filter", "send"]},
+        "costs": {"bodyTemp": {"duration_s": 0.2, "power_w": 0.0018},
+                  "send": {"duration_s": 1.0, "power_w": 0.006},
+                  "accel": {"duration_s": 1.2, "power_w": 0.0035}},
+    }
+
+    @pytest.fixture
+    def paths(self, tmp_path):
+        app = tmp_path / "app.json"
+        app.write_text(json.dumps(self.APP_JSON))
+        good = tmp_path / "good.spec"
+        good.write_text(BENCHMARK_SPEC)
+        bad = tmp_path / "bad.spec"
+        bad.write_text(MAYFLY_SHAPE_SPEC)
+        return app, good, bad
+
+    def test_terminating_spec_exits_zero(self, paths, capsys):
+        app, good, _ = paths
+        code = main(["analyze", "energy", str(good), "--app", str(app)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "per-monitor worst-case bounds" in out
+        assert "terminates at any charging delay" in out
+
+    def test_livelocking_spec_exits_three(self, paths, capsys):
+        app, _, bad = paths
+        code = main(["analyze", "energy", str(bad), "--app", str(app)])
+        out = capsys.readouterr().out
+        assert code == 3
+        assert "non-terminating for delay >=" in out
+        assert "livelock" in out
+
+    def test_delay_below_threshold_exits_zero(self, paths, capsys):
+        app, _, bad = paths
+        code = main(["analyze", "energy", str(bad), "--app", str(app),
+                     "--charging-delay", "240"])
+        assert code == 0
+        assert "all paths terminate" in capsys.readouterr().out
+
+    def test_delay_beyond_threshold_exits_three(self, paths, capsys):
+        app, _, bad = paths
+        code = main(["analyze", "energy", str(bad), "--app", str(app),
+                     "--charging-delay", "300"])
+        assert code == 3
+        assert "non-terminating paths: [2]" in capsys.readouterr().out
+
+    def test_json_output_carries_thresholds_and_priorities(self, paths,
+                                                           capsys):
+        app, _, bad = paths
+        code = main(["analyze", "energy", str(bad), "--app", str(app),
+                     "--charging-delay", "600", "--json"])
+        assert code == 3
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["nonterminating_paths"] == [2]
+        assert payload["threshold_s"] is not None
+        assert "auto_priorities" in payload
+        assert {m["machine"] for m in payload["monitors"]} == {
+            "MITD_send_p2", "maxTries_accel_p2"}
+
+    def test_compile_auto_priorities_flag(self, paths, tmp_path, capsys):
+        app, good, _ = paths
+        out_dir = tmp_path / "gen"
+        code = main(["compile", str(good), "--app", str(app),
+                     "-o", str(out_dir), "--auto-priorities"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "auto-priority" in out
+        assert "PRIORITY = 1" in (out_dir / "monitors.py").read_text()

@@ -5,6 +5,7 @@ import math
 
 import pytest
 
+from repro.core.audit import AuditLog
 from repro.core.degradation import DegradationController
 from repro.core.events import start_event
 from repro.core.monitor import ArtemisMonitor
@@ -172,6 +173,66 @@ class TestControllerHysteresis:
             assert controller.update(device) is None
         assert device.result.monitors_shed == 1
         assert device.result.monitors_restored == 0
+
+    def test_soc_exactly_at_watermarks_does_not_oscillate(self):
+        """The shed test is strict (``soc < low``) and the restore test
+        inclusive (``soc >= high``): landing exactly on either watermark
+        — even alternating between the two — never flaps."""
+        controller, monitor = self._controller(low=1.0, high=2.0)
+        device = FakeSoCDevice(1.0)  # exactly at low: no shed
+        assert controller.update(device) is None
+        assert monitor.shed_machines() == []
+        device.soc = 0.5
+        controller.update(device)  # one legitimate shed
+        changes = []
+        for soc in [1.0, 2.0, 1.0, 2.0, 1.0]:
+            device.soc = soc
+            changes.append(controller.update(device))
+        # Exactly one restore (first touch of high); every later visit
+        # to either boundary value is a no-op.
+        assert [c is not None for c in changes] == \
+            [False, True, False, False, False]
+        assert device.result.monitors_shed == 1
+        assert device.result.monitors_restored == 1
+
+    def test_equal_priorities_break_ties_by_machine_name(self):
+        spec = """
+        a: {
+            maxTries: 5 onFail: skipPath priority: 1;
+        }
+        b: {
+            maxTries: 5 onFail: skipPath priority: 1;
+        }
+        """
+        app = _app()
+        monitor = ArtemisMonitor(load_properties(spec, app),
+                                 NonVolatileMemory())
+        order = monitor.shedding_order()
+        assert order == sorted(order)  # same priority: name order sheds
+        controller = DegradationController(monitor, 1.0, 2.0)
+        device = FakeSoCDevice(0.5)
+        assert controller.update(device) == order[0]
+        assert controller.update(device) == order[1]
+        device.soc = 3.0
+        # Restores are name-ordered too on equal priority: deterministic
+        # across runs and hash seeds.
+        assert controller.update(device) == order[0]
+        assert controller.update(device) == order[1]
+
+    def test_audit_entries_carry_soc(self):
+        monitor = _monitor()
+        audit = AuditLog(NonVolatileMemory())
+        controller = DegradationController(monitor, 1.0, 2.0, audit=audit)
+        device = FakeSoCDevice(0.25)
+        machine = controller.update(device)
+        device.soc = 3.0
+        controller.update(device)
+        entries = audit.entries()
+        assert [e.action for e in entries] == \
+            ["degrade:shed", "degrade:restore"]
+        assert entries[0].source == machine
+        assert entries[0].task == "soc:0.25"
+        assert entries[1].task == "soc:3.0"
 
     def test_continuous_power_is_a_noop(self):
         controller, monitor = self._controller()

@@ -1,0 +1,296 @@
+"""Anticipatory (forecast-driven) degradation: the HarvestForecaster,
+the PredictiveDegradationController, and the acceptance scenario the
+issue pins — a Fig. 12-style harvest washout where the predictive
+controller completes paths the reactive controller livelocks on, with
+zero shed events when energy is ample."""
+
+import math
+
+import pytest
+
+from repro.analysis import HarvestForecaster, analyze
+from repro.core.actions import ActionType
+from repro.core.degradation import (
+    DegradationController,
+    PredictiveDegradationController,
+)
+from repro.core.properties import MaxDuration, MaxTries, Period
+from repro.core.runtime import ArtemisRuntime
+from repro.energy.environment import EnergyEnvironment, default_capacitor
+from repro.energy.harvester import TraceHarvester
+from repro.energy.power import PowerModel, TaskCost
+from repro.energy.traces import washout_trace
+from repro.errors import ReproError, RuntimeConfigError
+from repro.fleet.telemetry import shed_lead_time_s
+from repro.sim.device import Device
+from repro.sim.tracer import Tracer
+from repro.taskgraph.builder import AppBuilder
+
+CYCLE_J = default_capacitor().usable_energy_per_cycle
+
+
+# ---------------------------------------------------------------------------
+# HarvestForecaster
+# ---------------------------------------------------------------------------
+
+
+class TestHarvestForecaster:
+    def test_knob_validation(self):
+        with pytest.raises(ReproError):
+            HarvestForecaster(window_s=0.0)
+        with pytest.raises(ReproError):
+            HarvestForecaster(alpha=0.0)
+        with pytest.raises(ReproError):
+            HarvestForecaster(alpha=1.5)
+        with pytest.raises(ReproError):
+            HarvestForecaster(min_samples=0)
+
+    def test_not_ready_until_min_samples(self):
+        forecaster = HarvestForecaster(min_samples=3)
+        assert not forecaster.ready
+        for i in range(3):
+            forecaster.observe(float(i), 0.001)
+        assert forecaster.ready
+
+    def test_constant_power_estimates_itself(self):
+        forecaster = HarvestForecaster()
+        for i in range(10):
+            forecaster.observe(float(i), 0.002)
+        assert forecaster.estimate_w == pytest.approx(0.002)
+        assert forecaster.forecast_energy_j(10.0, 5.0) == \
+            pytest.approx(0.002 * 5.0)
+        assert forecaster.forecast_power_w(10.0, 5.0) == \
+            pytest.approx(0.002)
+
+    def test_ewma_tracks_a_regime_change(self):
+        forecaster = HarvestForecaster(alpha=0.5)
+        for i in range(5):
+            forecaster.observe(float(i), 0.010)
+        for i in range(5, 10):
+            forecaster.observe(float(i), 0.001)
+        # Recent samples dominate: the estimate has left the old regime.
+        assert forecaster.estimate_w < 0.002
+
+    def test_window_prunes_old_samples(self):
+        forecaster = HarvestForecaster(window_s=5.0)
+        forecaster.observe(0.0, 1.0)
+        forecaster.observe(100.0, 0.001)
+        assert forecaster.sample_count == 1
+        assert forecaster.estimate_w == pytest.approx(0.001)
+
+    def test_out_of_order_samples_are_dropped(self):
+        forecaster = HarvestForecaster()
+        forecaster.observe(10.0, 0.001)
+        forecaster.observe(5.0, 9.0)
+        assert forecaster.sample_count == 1
+
+    def test_trace_lookahead_is_exact(self):
+        """With a known profile the forecast integrates the trace
+        itself — including an upcoming outage EWMA cannot see."""
+        forecaster = HarvestForecaster.from_trace(
+            [(0.0, 0.010), (50.0, 0.0)], loop=False)
+        assert forecaster.ready  # profile-backed, no samples needed
+        # 40..60s spans the washout edge: 10s at 10mW, then nothing
+        # (to the harvester's trapezoid-integration resolution).
+        assert forecaster.forecast_energy_j(40.0, 20.0) == \
+            pytest.approx(0.010 * 10.0, rel=0.01)
+
+    def test_washout_trace_composes(self):
+        samples = washout_trace(duration_s=600.0, base_power_w=0.010,
+                                dead_start_s=100.0, dead_length_s=200.0)
+        forecaster = HarvestForecaster.from_trace(samples, loop=True)
+        # The dead window is visible to the lookahead...
+        assert forecaster.forecast_energy_j(150.0, 100.0) == \
+            pytest.approx(0.0, abs=1e-3)
+        # ...and the live window integrates the base power.
+        assert forecaster.forecast_energy_j(400.0, 100.0) == \
+            pytest.approx(1.0, rel=0.05)
+
+    def test_zero_horizon_is_zero_energy(self):
+        forecaster = HarvestForecaster()
+        forecaster.observe(0.0, 0.5)
+        forecaster.observe(1.0, 0.5)
+        assert forecaster.forecast_energy_j(1.0, 0.0) == 0.0
+        assert forecaster.forecast_power_w(1.0, 0.0) == \
+            pytest.approx(forecaster.estimate_w)
+
+
+# ---------------------------------------------------------------------------
+# Acceptance scenario: reactive livelocks, predictive completes
+# ---------------------------------------------------------------------------
+#
+# One path, one 12 mJ task, and three sheddable monitors whose combined
+# per-event cost pushes the task's re-executed unit past one capacitor
+# cycle (~15 mJ): with all monitors live every attempt browns out
+# mid-body, and because the capacitor is always *full* at each loop top
+# the reactive watermarks never trip — the device livelocks. The
+# predictive controller sees the same arithmetic statically and sheds
+# the unaffordable set at the path boundary, after which the body fits.
+
+FAT_POWER = PowerModel(
+    {"work": TaskCost(1.2, 0.010)},  # 12 mJ body
+    monitor_call_base_s=0.05,
+    monitor_per_property_s=4.0,  # ~1.4 mJ per live machine per event
+)
+
+
+def _fat_app():
+    return AppBuilder("fat").task("work").path(1, ["work"]).build()
+
+
+def _fat_props():
+    # Limits are unreachable: the monitors are pure overhead, which is
+    # exactly the Fig. 12 "monitoring tips the app into
+    # non-termination" regime.
+    return [
+        MaxTries(limit=10**6, task="work", on_fail=ActionType.RESTART_PATH),
+        MaxDuration(limit_s=10.0**9, task="work",
+                    on_fail=ActionType.RESTART_PATH),
+        Period(period_s=10.0**9, task="work",
+               on_fail=ActionType.RESTART_PATH),
+    ]
+
+
+def _watermarks():
+    return (0.35 * CYCLE_J, 0.85 * CYCLE_J)
+
+
+def _predictive(env, shed_margin=1.2, restore_margin=2.0):
+    report = analyze(_fat_app(), _fat_props(), FAT_POWER)
+    low_j, high_j = _watermarks()
+
+    def build(monitor, audit):
+        forecaster = HarvestForecaster(trace=env.harvester)
+        return PredictiveDegradationController(
+            monitor, low_j, high_j, report, forecaster=forecaster,
+            audit=audit, shed_margin=shed_margin,
+            restore_margin=restore_margin)
+
+    return build
+
+
+def _run(degradation, env, runs=1, max_time_s=4 * 3600.0):
+    device = Device(env)
+    runtime = ArtemisRuntime(_fat_app(), _fat_props(), device, FAT_POWER,
+                             degradation=degradation)
+    result = device.run(runtime, runs=runs, max_time_s=max_time_s)
+    return device, result
+
+
+class TestAnticipatorySheddingAcceptance:
+    def test_static_analysis_confirms_the_scenario_shape(self):
+        report = analyze(_fat_app(), _fat_props(), FAT_POWER)
+        budget = report.path(1)
+        # With everything live the task unit exceeds one cycle...
+        assert budget.energy_threshold_s is not None
+        # ...and with the sheddable set gone it fits again.
+        shed = frozenset(m.machine for m in report.monitors if m.sheddable)
+        assert report.path_energy_j(1, shed) < CYCLE_J
+
+    def test_reactive_controller_livelocks(self):
+        _, result = _run(_watermarks(),
+                         EnergyEnvironment.for_charging_delay(
+                             600.0, default_capacitor()))
+        assert not result.completed
+        assert result.monitors_shed == 0
+        assert result.reboots > 3
+
+    def test_predictive_controller_completes_the_same_scenario(self):
+        env = EnergyEnvironment.for_charging_delay(
+            600.0, default_capacitor())
+        device, result = _run(_predictive(env), env)
+        assert result.completed
+        assert result.monitors_shed == 3
+        assert result.predictive_sheds == 3
+        sheds = device.trace.of_kind("monitor_shed")
+        assert all(e.detail.get("predictive") for e in sheds)
+        assert all(e.detail.get("soc_j") is not None for e in sheds)
+
+    def test_zero_sheds_when_energy_is_ample(self):
+        # A one-second charging delay means harvest outpaces every
+        # draw; the forecast budget covers the full monitor set and
+        # nothing is shed.
+        env = EnergyEnvironment.for_charging_delay(
+            1.0, default_capacitor())
+        _, result = _run(_predictive(env), env)
+        assert result.completed
+        assert result.monitors_shed == 0
+        assert result.predictive_sheds == 0
+
+    def test_continuous_power_is_a_noop(self):
+        env = EnergyEnvironment.continuous()
+        _, result = _run(_predictive(env), env)
+        assert result.completed
+        assert result.monitors_shed == 0
+
+    def test_restores_on_forecast_recovery(self):
+        """Washout then recovery: monitors shed during the washout come
+        back once the forecast budget covers them again."""
+        # 0.05 mW washout: over the ~25 s path horizon the forecast adds
+        # ~1.3 mJ, far short of the 24.5 mJ shed threshold, so all three
+        # sheddable monitors go at the first boundary. At 60 s the trace
+        # recovers to 20 mW and the forecast budget covers restores.
+        samples = [(0.0, 0.00005), (60.0, 0.020)]
+        env = EnergyEnvironment(
+            harvester=TraceHarvester(samples, loop=False),
+            capacitor=default_capacitor())
+        device, result = _run(_predictive(env), env, runs=6,
+                              max_time_s=3600.0)
+        assert result.completed
+        assert result.predictive_sheds >= 3
+        assert result.monitors_restored >= 1
+        restores = device.trace.of_kind("monitor_restored")
+        assert restores and all(e.detail.get("predictive")
+                                for e in restores)
+
+    def test_reactive_fallback_when_forecaster_not_ready(self):
+        """A blind (EWMA) forecaster below min_samples leaves the
+        reactive hysteresis in charge — behaviour matches the plain
+        controller."""
+        report = analyze(_fat_app(), _fat_props(), FAT_POWER)
+        low_j, high_j = _watermarks()
+
+        def build(monitor, audit):
+            return PredictiveDegradationController(
+                monitor, low_j, high_j, report,
+                forecaster=HarvestForecaster(min_samples=10**6),
+                audit=audit)
+
+        env = EnergyEnvironment.for_charging_delay(
+            600.0, default_capacitor())
+        _, result = _run(build, env, max_time_s=2 * 3600.0)
+        # Same livelock as the reactive run: the fallback is faithful.
+        assert not result.completed
+        assert result.monitors_shed == 0
+
+    def test_margin_validation(self):
+        report = analyze(_fat_app(), _fat_props(), FAT_POWER)
+        with pytest.raises(RuntimeConfigError):
+            PredictiveDegradationController(
+                object(), 1.0, 2.0, report,
+                shed_margin=1.5, restore_margin=1.5)
+        with pytest.raises(RuntimeConfigError):
+            PredictiveDegradationController(
+                object(), 1.0, 2.0, report,
+                shed_margin=0.5, restore_margin=2.0)
+
+
+class TestShedLeadTelemetry:
+    def test_lead_time_measures_shed_to_next_failure(self):
+        trace = Tracer()
+        trace.record(10.0, "monitor_shed", machine="a", predictive=True)
+        trace.record(25.0, "power_failure", category="app")
+        trace.record(100.0, "monitor_shed", machine="b", predictive=True)
+        trace.record(160.0, "power_failure", category="app")
+        assert shed_lead_time_s(trace) == pytest.approx((15.0 + 60.0) / 2)
+
+    def test_reactive_sheds_do_not_count(self):
+        trace = Tracer()
+        trace.record(10.0, "monitor_shed", machine="a")
+        trace.record(25.0, "power_failure", category="app")
+        assert shed_lead_time_s(trace) == 0.0
+
+    def test_shed_with_no_subsequent_failure_contributes_nothing(self):
+        trace = Tracer()
+        trace.record(10.0, "monitor_shed", machine="a", predictive=True)
+        assert shed_lead_time_s(trace) == 0.0

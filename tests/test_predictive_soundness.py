@@ -1,0 +1,155 @@
+"""Predictor soundness: the static per-event energy/latency bound of
+:mod:`repro.analysis.energy` must never under-estimate what the monitor
+actually spends.
+
+The harness reuses the randomized property strategy and seeded event
+streams of ``tests/test_differential_monitors.py``: hypothesis draws a
+property set, the real :class:`~repro.core.monitor.ArtemisMonitor` is
+driven with an instrumented spend callback (the exact cost model the
+simulated device is charged through), and every dispatched event's
+observed seconds/joules are compared against the analyzer's bound for
+that task. A whole-simulation leg repeats the check end-to-end on the
+health benchmark: total observed monitor energy stays within the
+composed per-run bound."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyze
+from repro.core.monitor import ArtemisMonitor
+from repro.energy.power import PowerModel, TaskCost
+from repro.nvm.memory import NonVolatileMemory
+from repro.sim.device import Device
+from repro.energy.environment import EnergyEnvironment
+from repro.spec.validator import load_properties
+from repro.taskgraph.builder import AppBuilder
+from repro.workloads.health import (
+    build_artemis,
+    build_health_app,
+    health_power_model,
+)
+
+from tests.test_differential_monitors import (
+    TASKS,
+    any_property,
+    make_stream,
+)
+
+#: Power model with distinctive monitor-cost knobs, so an unsound bound
+#: cannot hide behind near-zero defaults.
+POWER = PowerModel(
+    {t: TaskCost(0.1, 0.002) for t in TASKS},
+    monitor_call_base_s=0.7e-3,
+    monitor_per_property_s=0.4e-3,
+)
+
+
+def _app():
+    builder = AppBuilder("abc")
+    for t in TASKS:
+        builder.task(t)
+    # Event streams carry path numbers 0-3; the app itself needs every
+    # task reachable so the analyzer counts full coverage.
+    return builder.path(1, list(TASKS)).build()
+
+
+def _dedup(props):
+    seen = set()
+    unique = []
+    for prop in props:
+        name = prop.machine_name()
+        if name not in seen:
+            seen.add(name)
+            unique.append(prop)
+    return unique
+
+
+class TestPerEventBoundIsSound:
+    @given(props=st.lists(any_property(), min_size=1, max_size=6),
+           seed=st.integers(min_value=0, max_value=2**32 - 1),
+           length=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=120, deadline=None)
+    def test_observed_event_cost_never_exceeds_the_bound(
+            self, props, seed, length):
+        props = _dedup(props)
+        app = _app()
+        report = analyze(app, props, POWER)
+        monitor = ArtemisMonitor(props, NonVolatileMemory())
+        for event in make_stream(seed, length):
+            spent = []
+            monitor.call(event, spend=spent.append,
+                         per_machine_cost_s=POWER.monitor_per_property_s,
+                         base_cost_s=POWER.monitor_call_base_s)
+            observed_s = sum(spent)
+            bound_s = report.event_time_bound_s(event.task)
+            assert observed_s <= bound_s + 1e-12, (
+                f"event {event}: observed {observed_s}s exceeds the "
+                f"static bound {bound_s}s")
+            assert observed_s * POWER.overhead_power_w <= \
+                report.event_energy_bound_j(event.task) + 1e-12
+
+    @given(props=st.lists(any_property(), min_size=2, max_size=6),
+           seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_bound_stays_sound_under_shedding(self, props, seed):
+        """Shedding only removes spends; both the full-set bound and
+        the reduced-live-set bound must still dominate."""
+        props = _dedup(props)
+        app = _app()
+        report = analyze(app, props, POWER)
+        monitor = ArtemisMonitor(props, NonVolatileMemory())
+        order = monitor.shedding_order()
+        if order:
+            monitor.shed(order[0])
+        shed = frozenset(monitor.shed_machines())
+        for event in make_stream(seed, 25):
+            spent = []
+            monitor.call(event, spend=spent.append,
+                         per_machine_cost_s=POWER.monitor_per_property_s,
+                         base_cost_s=POWER.monitor_call_base_s)
+            observed_s = sum(spent)
+            assert observed_s <= report.event_time_bound_s(event.task) + 1e-12
+            assert observed_s <= \
+                report.event_time_bound_s(event.task, shed) + 1e-12
+
+
+#: Violation-free under continuous power: no monitor fires, so event
+#: counts are exactly two per task execution and the per-run composed
+#: bound applies directly.
+QUIET_SPEC = """
+accel { maxTries: 10 onFail: skipPath Path: 2; }
+micSense { maxTries: 10 onFail: skipPath Path: 3; }
+send { MITD: 5min dpTask: accel onFail: restartPath maxAttempt: 3 onFail: skipPath Path: 2; }
+"""
+
+
+class TestSimulatedEnergyWithinComposedBound:
+    def _run(self, runs):
+        device = Device(EnergyEnvironment.continuous())
+        runtime = build_artemis(device, spec=QUIET_SPEC)
+        result = device.run(runtime, runs=runs)
+        assert result.completed
+        return result
+
+    def test_whole_run_monitor_energy_within_bound(self):
+        app = build_health_app()
+        power = health_power_model()
+        report = analyze(app, load_properties(QUIET_SPEC, app), power)
+        runs = 3
+        result = self._run(runs)
+        per_run_bound = sum(p.monitor_energy_j for p in report.paths)
+        assert result.energy_j["monitor"] <= runs * per_run_bound + 1e-12
+
+    def test_per_monitor_run_bounds_compose_to_the_path_bound(self):
+        """The per-path monitor budget equals the sum over its events
+        of the per-event bound — the decomposition the degradation
+        controller subtracts shed machines from."""
+        app = build_health_app()
+        power = health_power_model()
+        report = analyze(app, load_properties(QUIET_SPEC, app), power)
+        for budget in report.paths:
+            recomposed = sum(
+                2 * report.event_energy_bound_j(row.task)
+                for row in budget.tasks)
+            assert budget.monitor_energy_j == pytest.approx(recomposed)
