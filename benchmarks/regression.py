@@ -48,6 +48,7 @@ METRIC_DIRECTIONS: Dict[str, str] = {
     "cache_speedup": "higher",
     "cache_hit_rate": "higher",
     "fleet_devices_per_s": "higher",
+    "batched_devices_per_s": "higher",
     "conformance_schedules_per_s": "higher",
     "predict_monitors_per_s": "higher",
     "parallel_speedup": "info",
@@ -183,6 +184,30 @@ def _measure_fleet(n_devices: int = 16, jobs: int = 4,
     return n_devices / best
 
 
+def _measure_batched_fleet(n_devices: int = 2000, trials: int = 2) -> float:
+    """Best-of-N lockstep staged-rollout throughput (devices per second,
+    paired control included) through the struct-of-arrays batch core:
+    ``per_cohort`` seeding, compact per-cohort rollup (``expand_limit=0``).
+    Guards the vectorized path end to end — cohort partitioning, the
+    instrumented representative runs, the kernel replay across the
+    device axis, and the weighted telemetry aggregation."""
+    from repro.fleet.server import FLEET_SPEC_V2, FleetServer, RolloutPlan
+
+    server = FleetServer()
+    plan = RolloutPlan(waves=(0.25, 1.0), runs=2, loss_rate=0.02, seed=0,
+                       lockstep=True, seed_mode="per_cohort",
+                       expand_limit=0)
+    best: Optional[float] = None
+    for _ in range(trials):
+        t0 = time.perf_counter()
+        report = server.rollout(FLEET_SPEC_V2, n_devices, plan=plan)
+        elapsed = time.perf_counter() - t0
+        if not report.ok or report.devices_attempted != n_devices:
+            raise AssertionError("batched fleet rollout failed to complete")
+        best = elapsed if best is None else min(best, elapsed)
+    return n_devices / best
+
+
 def _measure_conformance(trials: int = 2) -> float:
     """Best-of-N crash-schedule throughput (schedules checked per
     second) of a POR-enabled bound-2 exploration of the fleet OTA
@@ -244,6 +269,7 @@ def collect_metrics() -> Dict[str, float]:
     }
     metrics.update(_measure_sweep())
     metrics["fleet_devices_per_s"] = _measure_fleet()
+    metrics["batched_devices_per_s"] = _measure_batched_fleet()
     metrics["conformance_schedules_per_s"] = _measure_conformance()
     metrics["predict_monitors_per_s"] = _measure_predict()
     return metrics

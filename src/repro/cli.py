@@ -508,6 +508,9 @@ def _fleet_plan(args: argparse.Namespace) -> RolloutPlan:
         loss_rate=args.loss,
         use_delta=not args.full_bundle,
         seed=args.seed,
+        lockstep=getattr(args, "lockstep", False),
+        seed_mode=getattr(args, "seed_mode", "per_device"),
+        expand_limit=getattr(args, "expand_limit", 100_000),
     )
 
 
@@ -561,7 +564,8 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         plan = RolloutPlan(
             waves=(1.0,), runs=plan.runs, halt_threshold=plan.halt_threshold,
             loss_rate=plan.loss_rate, use_delta=plan.use_delta,
-            seed=plan.seed,
+            seed=plan.seed, lockstep=plan.lockstep, seed_mode=plan.seed_mode,
+            expand_limit=plan.expand_limit,
         )
     cache = ResultCache(args.cache) if args.cache else None
     report = server.rollout(new_spec, args.devices, plan=plan,
@@ -768,6 +772,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="perturbs per-device chunk-loss streams")
     p_fleet.add_argument("-j", "--jobs", type=int, default=1,
                          help="worker processes per wave sweep")
+    p_fleet.add_argument("--lockstep", action="store_true",
+                         help="run waves through the batched "
+                              "struct-of-arrays core (repro.sim.batch)")
+    p_fleet.add_argument("--seed-mode", dest="seed_mode",
+                         choices=("per_device", "per_cohort"),
+                         default="per_device",
+                         help="per_cohort seeds RF/loss streams by energy "
+                              "class (homogeneous cohorts, what --lockstep "
+                              "amortizes over)")
+    p_fleet.add_argument("--expand-limit", dest="expand_limit", type=int,
+                         default=100_000,
+                         help="largest lockstep wave expanded to per-device "
+                              "telemetry; bigger waves use the compact "
+                              "per-cohort rollup (default: 100000)")
     p_fleet.add_argument("--cache", nargs="?", const=".repro_cache",
                          default=None, metavar="DIR",
                          help="serve unchanged devices from a result "

@@ -108,6 +108,19 @@ class RolloutPlan:
         use_delta: ship a delta against the installed baseline instead
             of a full bundle.
         seed: perturbs every device's chunk-loss stream.
+        lockstep: run waves through the batched struct-of-arrays core
+            (:class:`repro.sim.batch.BatchFleetCore`) instead of
+            simulating every device individually.
+        seed_mode: ``"per_device"`` seeds each device's RF-mobility
+            trace and chunk-loss stream from its id (every device
+            unique — the scalar default); ``"per_cohort"`` seeds them
+            from the device's energy class, collapsing the fleet into
+            four byte-identical cohorts — the homogeneous-fleet shape
+            the lockstep core amortizes over.
+        expand_limit: largest wave the lockstep path expands into
+            per-device :class:`~repro.fleet.telemetry.DeviceTelemetry`
+            (byte-identical to scalar); larger waves keep the compact
+            per-cohort rollup (numerically equivalent, weighted sums).
     """
 
     waves: Tuple[float, ...] = (0.1, 0.5, 1.0)
@@ -121,8 +134,17 @@ class RolloutPlan:
     seed: int = 0
     max_time_s: float = 8 * 3600.0
     max_reboots: int = 600
+    lockstep: bool = False
+    seed_mode: str = "per_device"
+    expand_limit: int = 100_000
 
     def __post_init__(self) -> None:
+        if self.seed_mode not in ("per_device", "per_cohort"):
+            raise FleetError(
+                f"seed_mode must be 'per_device' or 'per_cohort', "
+                f"got {self.seed_mode!r}")
+        if self.expand_limit < 0:
+            raise FleetError("expand_limit must be >= 0")
         if not self.waves:
             raise FleetError("rollout plan needs at least one wave")
         previous = 0.0
@@ -249,10 +271,14 @@ class FleetServer:
     # Device construction (heterogeneous energy traces)
     # ------------------------------------------------------------------
     @staticmethod
-    def make_device(device_id: int):
+    def make_device(device_id: int, seed_mode: str = "per_device"):
         """One of four energy classes, assigned round-robin: wall power,
         a short and a long fixed charging delay, and an RF-mobility
-        trace seeded per device (no two RF devices brown out alike)."""
+        trace. Under ``per_device`` seeding the RF trace is seeded per
+        device (no two RF devices brown out alike); under
+        ``per_cohort`` it is seeded by energy class, so every RF device
+        is byte-identical — the lockstep core's homogeneous-fleet
+        assumption."""
         kind = device_id % 4
         if kind == 0:
             return make_continuous_device()
@@ -260,7 +286,8 @@ class FleetServer:
             return make_intermittent_device(60.0)
         if kind == 2:
             return make_intermittent_device(300.0)
-        return make_rf_device(seed=device_id)
+        return make_rf_device(
+            seed=kind if seed_mode == "per_cohort" else device_id)
 
     def build_device(self, device_id: int, wire: Optional[bytes],
                      new_version: int, plan: RolloutPlan):
@@ -269,7 +296,8 @@ class FleetServer:
         ``wire=None`` builds the paired control: the identical device
         (same energy trace, same provisioned baseline) with no update
         offered."""
-        device = self.make_device(device_id)
+        seed_mode = getattr(plan, "seed_mode", "per_device")
+        device = self.make_device(device_id, seed_mode)
         app = build_health_app()
         runtime = build_artemis(device, app=app, spec=self.base_spec,
                                 power=health_power_model())
@@ -282,8 +310,10 @@ class FleetServer:
         )
         loss = None
         if plan.loss_rate > 0.0:
+            loss_base = (device_id % 4 if seed_mode == "per_cohort"
+                         else device_id)
             loss = ChunkLoss(rate=plan.loss_rate,
-                             seed=device_id * 1_000_003 + plan.seed)
+                             seed=loss_base * 1_000_003 + plan.seed)
         transport = OtaTransport(
             device.nvm, loss=loss,
             retry_policy=RetryPolicy(max_attempts=plan.retry_max_attempts),
@@ -324,15 +354,25 @@ class FleetServer:
         boundaries = [min(n_devices, math.ceil(frac * n_devices))
                       for frac in plan.waves]
         start = 0
+        compact_rows: List[Tuple[Dict[str, Any], int]] = []
+        any_compact = False
         for index, end in enumerate(boundaries):
             ids = list(range(start, end))
             start = end
             if not ids:
                 continue
-            telemetry = self._run_wave(ids, wire, version, plan, jobs, cache)
-            control = self._run_wave(ids, None, version, plan, jobs, cache)
-            summary = aggregate(telemetry)
-            delta = self._paired_delta(telemetry, control, plan)
+            if plan.lockstep:
+                telemetry, control, summary, delta, rows = \
+                    self._run_wave_lockstep(ids, wire, version, plan, cache)
+                compact_rows.extend(rows)
+                any_compact = any_compact or not telemetry
+            else:
+                telemetry = self._run_wave(ids, wire, version, plan, jobs,
+                                           cache)
+                control = self._run_wave(ids, None, version, plan, jobs,
+                                         cache)
+                summary = aggregate(telemetry)
+                delta = self._paired_delta(telemetry, control, plan)
             halted = delta > plan.halt_threshold
             report.waves.append(WaveReport(
                 index=index, device_ids=ids, telemetry=telemetry,
@@ -343,8 +383,59 @@ class FleetServer:
                 report.halted = True
                 report.halted_wave = index
                 break
-        report.summary = aggregate(report.all_telemetry())
+        if any_compact:
+            from repro.sim.batch import weighted_summary
+            report.summary = weighted_summary(compact_rows)
+        else:
+            report.summary = aggregate(report.all_telemetry())
         return report
+
+    def _run_wave_lockstep(self, ids: List[int], wire: bytes, version: int,
+                           plan: RolloutPlan, cache: Any):
+        """One wave (treatment + paired control) through the batched
+        struct-of-arrays core.
+
+        Waves up to ``plan.expand_limit`` devices come back as expanded
+        per-device telemetry fed through the exact scalar ``aggregate``
+        / ``_paired_delta`` — byte-identical to the scalar path; larger
+        waves stay compact (one row per cohort, weighted rollup).
+        """
+        from repro.sim.batch import BatchFleetCore
+
+        treated = BatchFleetCore(self, wire, version, plan).run(
+            ids, cache=cache)
+        control = BatchFleetCore(self, None, version, plan).run(
+            ids, cache=cache)
+        rows = [(dict(row), count) for row, count in treated.rows()]
+        if len(ids) <= plan.expand_limit:
+            telemetry = treated.expand()
+            control_t = control.expand()
+            return (telemetry, control_t, aggregate(telemetry),
+                    self._paired_delta(telemetry, control_t, plan), rows)
+        summary = treated.weighted_summary()
+        delta = self._paired_delta_batched(treated, control, plan)
+        return [], [], summary, delta, rows
+
+    @staticmethod
+    def _paired_delta_batched(treated, control, plan: RolloutPlan) -> float:
+        """Cohort-weighted paired delta: every device in a cohort is
+        byte-identical to its representative, so one representative
+        pair stands in for the whole cohort with weight = lane count.
+        Degenerates to exactly ``_paired_delta`` for singleton cohorts.
+        """
+        control_rows = {c.key: c.row for c in control.cohorts}
+        num = 0.0
+        den = 0
+        for c in treated.cohorts:
+            crow = control_rows.get(c.key)
+            if crow is None:
+                continue
+            t_v = c.row["violations_before"] + c.row["violations_after"]
+            c_v = crow["violations_before"] + crow["violations_after"]
+            count = len(c.device_ids)
+            num += count * (t_v - c_v) / max(1, plan.runs)
+            den += count
+        return num / den if den else 0.0
 
     @staticmethod
     def _paired_delta(telemetry: List[DeviceTelemetry],

@@ -26,8 +26,32 @@ from repro.errors import NVMError
 DEFAULT_CAPACITY_BYTES = 256 * 1024
 
 
+#: Bounded memo for checksums of small immutable scalars. Monitors,
+#: journals and the persistent clock rewrite the same handful of
+#: states and counters millions of times per fleet simulation, and the
+#: repr+CRC pair showed up as the top cost in the fleet benchmark.
+#: Keys carry the concrete type so ``True``/``1`` and ``1``/``1.0``
+#: never alias; ``±0.0`` (equal, different reprs) stays unmemoized.
+_CHECKSUM_MEMO: dict = {}
+_CHECKSUM_MEMO_MAX = 4096
+
+
 def value_checksum(value: Any) -> int:
     """Deterministic checksum of a cell value (CRC-32 over its repr)."""
+    t = type(value)
+    if (t is int or t is bool
+            or (t is float and value != 0.0)
+            or (t is str and len(value) <= 64)):
+        key = (t, value)
+        memo = _CHECKSUM_MEMO
+        checksum = memo.get(key)
+        if checksum is None:
+            checksum = zlib.crc32(
+                repr(value).encode("utf-8", "backslashreplace"))
+            if len(memo) >= _CHECKSUM_MEMO_MAX:
+                memo.clear()
+            memo[key] = checksum
+        return checksum
     return zlib.crc32(repr(value).encode("utf-8", "backslashreplace"))
 
 

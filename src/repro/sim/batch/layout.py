@@ -1,0 +1,238 @@
+"""Struct-of-arrays layouts for the batched fleet core.
+
+Two containers live here:
+
+* :class:`BatchArrays` — a typed column store over a *lane* axis (one
+  lane per device). Columns are numpy arrays when numpy is importable
+  and plain Python lists otherwise; either way the public interface is
+  identical, so the batched core and its tests never branch on the
+  backend. The :meth:`BatchArrays.layout_token` string names the exact
+  column layout **and** element dtypes — the sweep result cache mixes it
+  into its fingerprint (see :func:`repro.sim.pool.sweep_fingerprint`),
+  so a cached row produced under one layout can never be replayed under
+  another.
+
+* :class:`SoAImage` — a columnar snapshot of a
+  :class:`~repro.nvm.memory.NonVolatileMemory`: cell names, values,
+  sizes, checksums, initials and progress flags as parallel tuples.
+  ``restore()`` rebuilds a live NVM holding byte-identical durable
+  state (checksums are carried over verbatim, *not* recomputed, so a
+  silently corrupted cell stays detectably corrupt after the round
+  trip). The batched core uses it to share one final NVM image across a
+  cohort's lanes, and the journal property tests use it to prove that
+  commit/recovery behaves identically on imaged state.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.nvm.memory import NonVolatileMemory
+
+try:  # pragma: no cover - exercised through both backends in tests
+    import numpy as _np
+
+    HAVE_NUMPY = True
+except Exception:  # pragma: no cover - numpy is baked into the image
+    _np = None
+    HAVE_NUMPY = False
+
+#: Logical column dtypes understood by both backends.
+DTYPES = ("int64", "float64", "bool")
+
+_PY_DEFAULTS = {"int64": 0, "float64": 0.0, "bool": False}
+
+
+def resolve_backend(backend: str = "auto") -> str:
+    """Normalise a backend request to ``"numpy"`` or ``"python"``."""
+    if backend == "auto":
+        return "numpy" if HAVE_NUMPY else "python"
+    if backend == "numpy" and not HAVE_NUMPY:
+        raise ReproError("numpy backend requested but numpy is unavailable")
+    if backend not in ("numpy", "python"):
+        raise ReproError(f"unknown batch backend {backend!r}")
+    return backend
+
+
+class BatchArrays:
+    """Typed per-field arrays over a device (lane) axis.
+
+    Args:
+        n_lanes: number of devices in the batch.
+        backend: ``"numpy"``, ``"python"``, or ``"auto"`` (numpy when
+            available).
+    """
+
+    def __init__(self, n_lanes: int, backend: str = "auto"):
+        if n_lanes < 1:
+            raise ReproError("a batch needs at least one lane")
+        self.n_lanes = n_lanes
+        self.backend = resolve_backend(backend)
+        self._columns: Dict[str, Any] = {}
+        self._dtypes: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def add_column(self, name: str, dtype: str = "float64",
+                   fill: Optional[Any] = None) -> None:
+        """Allocate one named column, filled with ``fill`` (or the
+        dtype's zero value)."""
+        if dtype not in DTYPES:
+            raise ReproError(f"column {name!r}: unknown dtype {dtype!r}")
+        if name in self._columns:
+            raise ReproError(f"column {name!r} already exists")
+        value = _PY_DEFAULTS[dtype] if fill is None else fill
+        if self.backend == "numpy":
+            self._columns[name] = _np.full(self.n_lanes, value,
+                                           dtype=_np.dtype(dtype))
+        else:
+            self._columns[name] = [value] * self.n_lanes
+        self._dtypes[name] = dtype
+
+    def has_column(self, name: str) -> bool:
+        return name in self._columns
+
+    def column(self, name: str) -> Any:
+        """The raw backing column (numpy array or list)."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise ReproError(f"no column {name!r}") from None
+
+    def columns(self) -> List[str]:
+        return list(self._columns)
+
+    def dtype_of(self, name: str) -> str:
+        return self._dtypes[name]
+
+    # ------------------------------------------------------------------
+    def get(self, name: str, lane: int) -> Any:
+        value = self.column(name)[lane]
+        dtype = self._dtypes[name]
+        # Return native Python scalars so callers never see numpy types
+        # leak into telemetry or NVM cells.
+        if dtype == "bool":
+            return bool(value)
+        if dtype == "int64":
+            return int(value)
+        return float(value)
+
+    def set(self, name: str, lane: int, value: Any) -> None:
+        self.column(name)[lane] = value
+
+    def fill(self, name: str, value: Any,
+             lanes: Optional[List[int]] = None) -> None:
+        """Assign ``value`` to every lane (or just ``lanes``)."""
+        col = self.column(name)
+        if lanes is None:
+            if self.backend == "numpy":
+                col[:] = value
+            else:
+                for i in range(self.n_lanes):
+                    col[i] = value
+        elif self.backend == "numpy":
+            col[_np.asarray(lanes, dtype=_np.intp)] = value
+        else:
+            for i in lanes:
+                col[i] = value
+
+    def tolist(self, name: str) -> List[Any]:
+        col = self.column(name)
+        if self.backend == "numpy":
+            return col.tolist()
+        return list(col)
+
+    # ------------------------------------------------------------------
+    def layout_token(self) -> str:
+        """Stable string naming backend + column layout + dtypes.
+
+        Two batches whose tokens differ must never share cached sweep
+        rows: the token is mixed into the sweep fingerprint.
+        """
+        cols = ",".join(f"{n}:{self._dtypes[n]}" for n in sorted(self._columns))
+        return f"soa/v1;backend={self.backend};lanes={self.n_lanes};{cols}"
+
+    def __repr__(self) -> str:
+        return (f"BatchArrays(lanes={self.n_lanes}, backend={self.backend}, "
+                f"columns={len(self._columns)})")
+
+
+# ---------------------------------------------------------------------------
+# Columnar NVM snapshot
+# ---------------------------------------------------------------------------
+
+
+class SoAImage:
+    """Columnar image of a non-volatile memory's durable state.
+
+    Parallel tuples (sorted by cell name) of names, values, accounted
+    sizes, recorded checksums, allocation-time initials, progress flags
+    and write limits — the exact durable state Surbatovich-style
+    intermittence semantics says must be preserved bit-for-bit across
+    the batched/scalar boundary.
+    """
+
+    def __init__(self, names: Tuple[str, ...], values: Tuple[Any, ...],
+                 sizes: Tuple[int, ...], checksums: Tuple[int, ...],
+                 initials: Tuple[Any, ...], progress: Tuple[bool, ...],
+                 write_limits: Dict[str, Tuple[int, bool]],
+                 capacity_bytes: int):
+        self.names = names
+        self.values = values
+        self.sizes = sizes
+        self.checksums = checksums
+        self.initials = initials
+        self.progress = progress
+        self.write_limits = dict(write_limits)
+        self.capacity_bytes = capacity_bytes
+
+    @classmethod
+    def from_nvm(cls, nvm: NonVolatileMemory) -> "SoAImage":
+        names = tuple(sorted(nvm._cells))
+        return cls(
+            names=names,
+            values=tuple(copy.deepcopy(nvm._data[n]) for n in names),
+            sizes=tuple(nvm._cells[n].size_bytes for n in names),
+            checksums=tuple(nvm._checksums[n] for n in names),
+            initials=tuple(copy.deepcopy(nvm._initials[n]) for n in names),
+            progress=tuple(n in nvm._progress_cells for n in names),
+            write_limits=dict(nvm._write_limits),
+            capacity_bytes=nvm.capacity_bytes,
+        )
+
+    def restore(self) -> NonVolatileMemory:
+        """Rebuild a live NVM holding this image's durable state.
+
+        Values, recorded checksums, initials, sizes, progress flags and
+        wear limits all come back verbatim; write counters start from
+        zero (they are observability metadata, not durable state — the
+        journal recovery path never reads them).
+        """
+        nvm = NonVolatileMemory(capacity_bytes=self.capacity_bytes)
+        for i, name in enumerate(self.names):
+            nvm.alloc(name, initial=copy.deepcopy(self.initials[i]),
+                      size_bytes=self.sizes[i], progress=self.progress[i])
+            nvm._data[name] = copy.deepcopy(self.values[i])
+            nvm._checksums[name] = self.checksums[i]
+        for name, limit in self.write_limits.items():
+            if name in nvm._cells:
+                nvm._write_limits[name] = limit
+        return nvm
+
+    def fingerprint(self) -> int:
+        """Same CRC as ``NonVolatileMemory.state_fingerprint`` over the
+        imaged cells (names sorted at capture time)."""
+        import zlib
+
+        acc = 0
+        for name, value in zip(self.names, self.values):
+            acc = zlib.crc32(
+                repr((name, value)).encode("utf-8", "backslashreplace"), acc)
+        return acc
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def __repr__(self) -> str:
+        return f"SoAImage({len(self.names)} cells)"

@@ -1,0 +1,658 @@
+"""Differential proof that the batched core is byte-equivalent to the
+scalar core.
+
+Four layers, mirroring how ``repro.sim.batch`` is built:
+
+* **FSM kernel vs interpreter** — hypothesis draws random property
+  sets (the same generators as ``test_differential_monitors.py``),
+  desynchronizes the batch's lanes with per-lane warmup prefixes, and
+  drives a shared seeded event stream through every lane and a
+  per-lane reference :class:`MachineInstance` side by side. Verdicts,
+  states and variables must agree after every event, on both the numpy
+  and the pure-Python backends.
+* **SoA NVM image vs journal recovery** — a property test that
+  interrupted :class:`CommitJournal` commits recover identically on a
+  memory that round-tripped through :class:`SoAImage`, with
+  ``attach_access_log`` signatures as the oracle.
+* **Fleet path** — whole staged rollouts through
+  ``RolloutPlan(lockstep=True)`` must produce byte-identical reports
+  (``to_dict()`` covers every DeviceTelemetry row, FleetSummary, and
+  wave delta), and per-device traces/final NVM images out of
+  :class:`BatchFleetCore` must equal a scalar ``Device.run`` of the
+  same device — including lanes perturbed with crash schedules
+  (divergence) and lanes whose perturbation was fully absorbed
+  (rejoin).
+* **Conformance self-check** — the crash-schedule explorer at bound 2
+  on a (workload, runtime) scenario executed through the batched
+  driver (``run_with_boundaries`` + one-lane kernel replay) reaches
+  the same verdict over the same number of schedules as the scalar
+  explorer.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.generator import generate_machines
+from repro.core.monitor import tap_machine_ops
+from repro.errors import StateMachineError
+from repro.fleet.server import (
+    FLEET_SPEC_REGRESSING,
+    FLEET_SPEC_V2,
+    FleetServer,
+    RolloutPlan,
+)
+from repro.fleet.telemetry import DeviceTelemetry, aggregate
+from repro.nvm.accesslog import AccessLog
+from repro.nvm.journal import CommitJournal
+from repro.nvm.memory import NonVolatileMemory
+from repro.sim.batch import (
+    HAVE_NUMPY,
+    BatchFleetCore,
+    BatchMachineSet,
+    SoAImage,
+    run_with_boundaries,
+    weighted_summary,
+)
+from repro.statemachine.interpreter import MachineInstance
+from repro.statemachine.model import (
+    BinOp,
+    Const,
+    EventPattern,
+    StateMachine,
+    Transition,
+    Var,
+    Variable,
+)
+from repro.verify.schedule import CrashScheduleRunner
+from repro.verify.workloads import get_scenario
+from tests.test_differential_monitors import any_property, make_stream
+
+BACKENDS = ["numpy", "python"] if HAVE_NUMPY else ["python"]
+
+_seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _unique_machines(props):
+    machines = generate_machines(props)
+    names = [m.name for m in machines]
+    return machines if len(set(names)) == len(names) else None
+
+
+def _verdict_keys(verdicts):
+    return [(v.machine, v.action, v.path) for v in verdicts]
+
+
+# ---------------------------------------------------------------------------
+# FSM kernel vs reference interpreter
+# ---------------------------------------------------------------------------
+
+
+class TestKernelVsInterpreter:
+    N_LANES = 4
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @given(props=st.lists(any_property(), min_size=1, max_size=4),
+           seed=_seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_lanes_track_reference_instances(self, backend, props, seed):
+        """Desynchronized lanes + shared event stream: every lane must
+        evolve exactly like a reference interpreter seeded with the
+        same store."""
+        machines = _unique_machines(props)
+        if machines is None:
+            return
+        batch = BatchMachineSet(machines, n_lanes=self.N_LANES,
+                                backend=backend)
+        warmup = make_stream(seed, self.N_LANES - 1)
+        refs = {m.name: [MachineInstance(m) for _ in range(self.N_LANES)]
+                for m in machines}
+        # Lane i replays the first i warmup events scalar-side, then its
+        # store is loaded into the batch — lanes start in genuinely
+        # different states.
+        for m in machines:
+            for lane in range(self.N_LANES):
+                for event in warmup[:lane]:
+                    refs[m.name][lane].on_event(event)
+                batch.load_lane(m.name, lane, refs[m.name][lane].snapshot())
+        for i, event in enumerate(make_stream(seed + 1, 12)):
+            for m in machines:
+                out = batch.step_machine(m.name, event)
+                for lane in range(self.N_LANES):
+                    want = refs[m.name][lane].on_event(event)
+                    got = out.get(lane, [])
+                    assert _verdict_keys(got) == _verdict_keys(want), (
+                        f"{m.name} lane {lane} verdicts diverge at "
+                        f"event {i}")
+                    assert (batch.lane_store(m.name, lane)
+                            == refs[m.name][lane].snapshot()), (
+                        f"{m.name} lane {lane} store diverges at event {i}")
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @given(props=st.lists(any_property(), min_size=1, max_size=3),
+           seed=_seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_dispatch_step_matches_monitor_order(self, backend, props, seed):
+        """``step`` consults the shared subscription tables: for each
+        event it must step exactly the subscribed machines, in
+        declaration order."""
+        machines = _unique_machines(props)
+        if machines is None:
+            return
+        batch = BatchMachineSet(machines, n_lanes=2, backend=backend)
+        refs = [MachineInstance(m) for m in machines]
+        for event in make_stream(seed, 10):
+            relevant = batch.dispatch.get(event.task, batch.wildcard_set)
+            want = []
+            for idx, inst in enumerate(refs):
+                if idx in relevant:
+                    want.extend(inst.on_event(event))
+            out = batch.step(event)
+            for lane in (0, 1):
+                assert _verdict_keys(out.get(lane, [])) == \
+                    _verdict_keys(want)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @given(props=st.lists(any_property(), min_size=1, max_size=3),
+           seed=_seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_reset_parity(self, backend, props, seed):
+        machines = _unique_machines(props)
+        if machines is None:
+            return
+        batch = BatchMachineSet(machines, n_lanes=3, backend=backend)
+        refs = {m.name: MachineInstance(m) for m in machines}
+        for event in make_stream(seed, 8):
+            for m in machines:
+                batch.step_machine(m.name, event)
+                refs[m.name].on_event(event)
+        for m in machines:
+            batch.reset_machine(m.name)
+            refs[m.name].reset()
+            for lane in range(3):
+                assert (batch.lane_store(m.name, lane)
+                        == refs[m.name].snapshot())
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_division_by_zero_parity(self, backend):
+        """A zero divisor on an active lane raises the interpreter's
+        exact error; an *inactive* lane's zero divisor must not."""
+        machine = StateMachine(
+            name="div", states=("s", "t"), initial="s",
+            variables=(Variable("d", "int", 0),),
+            transitions=(
+                Transition("s", "t", EventPattern("anyEvent", None),
+                           guard=BinOp("<", BinOp("/", Const(4), Var("d")),
+                                       Const(10)),
+                           body=()),
+            ),
+        )
+        from repro.core.events import MonitorEvent
+        event = MonitorEvent("startTask", "x", 1.0, {})
+        ref = MachineInstance(machine)
+        with pytest.raises(StateMachineError) as scalar_err:
+            ref.on_event(event)
+
+        batch = BatchMachineSet([machine], n_lanes=1, backend=backend)
+        with pytest.raises(StateMachineError) as batch_err:
+            batch.step_machine("div", event)
+        assert str(batch_err.value) == str(scalar_err.value)
+
+        # Lane with nonzero divisor: no raise, same transition.
+        ok = BatchMachineSet([machine], n_lanes=1, backend=backend)
+        ok.load_lane("div", 0, {"state": "s", "var.d": 2})
+        ok.step_machine("div", event)
+        want = MachineInstance(machine, {"state": "s", "var.d": 2})
+        want.on_event(event)
+        assert ok.lane_store("div", 0) == want.snapshot()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @given(props=st.lists(any_property(), min_size=1, max_size=3),
+           seed=_seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_amortized_emission_rollup(self, backend, props, seed):
+        """The per-batch ``emitted`` counters must equal the per-lane
+        verdict counts, whether or not verdicts are materialized."""
+        machines = _unique_machines(props)
+        if machines is None:
+            return
+        collecting = BatchMachineSet(machines, n_lanes=3, backend=backend)
+        silent = BatchMachineSet(machines, n_lanes=3, backend=backend)
+        counted = {}
+        for event in make_stream(seed, 10):
+            for m in machines:
+                out = collecting.step_machine(m.name, event)
+                silent.step_machine(m.name, event, collect=False)
+                for verdicts in out.values():
+                    for v in verdicts:
+                        key = (v.machine, v.action, v.path)
+                        counted[key] = counted.get(key, 0) + 1
+        assert collecting.emitted == counted
+        assert silent.emitted == counted
+
+
+# ---------------------------------------------------------------------------
+# SoA NVM image × journal commit/recovery
+# ---------------------------------------------------------------------------
+
+_cell_values = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=8),
+    st.tuples(st.integers(min_value=0, max_value=9),
+              st.integers(min_value=0, max_value=9)),
+)
+
+
+class TestSoAJournalRoundTrip:
+    @given(cells=st.dictionaries(
+        st.sampled_from(["a", "b", "c", "d"]), _cell_values,
+        min_size=1, max_size=4),
+        staged=st.dictionaries(
+            st.sampled_from(["a", "b", "c", "d"]), _cell_values,
+            min_size=1, max_size=4),
+        phase=st.sampled_from(["pending", "committed", "partially_applied",
+                               "corrupt"]),
+        seed=_seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_recovery_identical_through_image(self, cells, staged, phase,
+                                              seed):
+        """Interrupt a journal commit, snapshot the NVM as a SoAImage,
+        restore it, and recover both memories side by side: same
+        recovery outcome, same access-log signatures, same final
+        durable state."""
+        def build():
+            nvm = NonVolatileMemory()
+            for name, value in cells.items():
+                nvm.alloc(name, initial=value, size_bytes=16)
+            journal = CommitJournal(nvm)
+            journal.begin()
+            for name, value in staged.items():
+                if name not in cells:
+                    nvm.alloc(name, initial=None, size_bytes=16)
+                journal.append(name, value)
+            if phase != "pending":
+                journal.seal()
+            if phase == "partially_applied":
+                # Roll one entry forward by hand: the applied index is
+                # durable, so recovery must resume after it.
+                first_cell, first_value = journal.entries()[0]
+                nvm.cell(first_cell).set(first_value)
+                journal._applied.set(1)
+            if phase == "corrupt":
+                tampered = journal.entries() + (("a", "tampered"),)
+                journal._entries.set(tampered)
+            return nvm, journal
+
+        scalar_nvm, _ = build()
+        imaged_src, _ = build()
+        image = SoAImage.from_nvm(imaged_src)
+        restored = image.restore()
+        assert restored.state_fingerprint() == scalar_nvm.state_fingerprint()
+
+        logs = []
+        outcomes = []
+        for nvm in (scalar_nvm, restored):
+            log = AccessLog()
+            nvm.attach_access_log(log)
+            journal = CommitJournal(nvm)
+            outcomes.append(journal.recover())
+            nvm.detach_access_log()
+            logs.append(log)
+        assert outcomes[0] == outcomes[1]
+        assert logs[0].describe() == logs[1].describe()
+        assert (scalar_nvm.state_fingerprint()
+                == restored.state_fingerprint())
+        assert dict(scalar_nvm.raw_items()) == dict(restored.raw_items())
+
+    @given(cells=st.dictionaries(st.sampled_from(["x", "y", "z"]),
+                                 _cell_values, min_size=1, max_size=3))
+    @settings(max_examples=40, deadline=None)
+    def test_image_preserves_corruption(self, cells):
+        """A silently corrupted cell must stay *detectably* corrupt
+        through the image round trip (checksums are carried, not
+        recomputed)."""
+        nvm = NonVolatileMemory()
+        for name, value in cells.items():
+            nvm.alloc(name, initial=value, size_bytes=16)
+        victim = sorted(cells)[0]
+        nvm.corrupt(victim)
+        restored = SoAImage.from_nvm(nvm).restore()
+        assert nvm.verify(victim) == restored.verify(victim)
+        assert not restored.verify(victim) or nvm.verify(victim)
+        assert dict(nvm.raw_items()) == dict(restored.raw_items())
+
+
+# ---------------------------------------------------------------------------
+# Fleet path: scalar vs lockstep rollouts
+# ---------------------------------------------------------------------------
+
+
+def _plan(**kw):
+    base = dict(waves=(0.5, 1.0), runs=2, max_time_s=4 * 3600.0,
+                max_reboots=200)
+    base.update(kw)
+    return RolloutPlan(**base)
+
+
+@pytest.fixture(scope="module")
+def server():
+    return FleetServer()
+
+
+class TestFleetDifferential:
+    def test_per_device_rollout_byte_identical(self, server):
+        plan = _plan()
+        scalar = server.rollout(FLEET_SPEC_V2, 8, plan=plan)
+        lock = server.rollout(FLEET_SPEC_V2, 8,
+                              plan=replace(plan, lockstep=True))
+        assert scalar.to_dict() == lock.to_dict()
+
+    def test_per_cohort_rollout_byte_identical(self, server):
+        plan = _plan(seed_mode="per_cohort")
+        scalar = server.rollout(FLEET_SPEC_V2, 16, plan=plan)
+        lock = server.rollout(FLEET_SPEC_V2, 16,
+                              plan=replace(plan, lockstep=True))
+        assert scalar.to_dict() == lock.to_dict()
+
+    def test_regression_halt_identical(self, server):
+        plan = _plan(seed_mode="per_cohort")
+        scalar = server.rollout(FLEET_SPEC_REGRESSING, 12, plan=plan)
+        lock = server.rollout(FLEET_SPEC_REGRESSING, 12,
+                              plan=replace(plan, lockstep=True))
+        assert scalar.halted and lock.halted
+        assert scalar.to_dict() == lock.to_dict()
+
+    def test_traces_and_final_nvm_byte_identical(self, server):
+        plan = _plan(seed_mode="per_cohort")
+        wire = server.encode_update(FLEET_SPEC_V2, 2,
+                                    use_delta=plan.use_delta)
+        ids = list(range(8))
+        batch = BatchFleetCore(server, wire, 2, plan).run(ids)
+        for device_id in ids:
+            device, runtime = server.build_device(device_id, wire, 2, plan)
+            device.run(runtime, runs=plan.runs, max_time_s=plan.max_time_s,
+                       max_reboots=plan.max_reboots)
+            assert batch.trace_events_for(device_id) == device.trace.events
+            image = batch.nvm_image_for(device_id)
+            assert image.fingerprint() == device.nvm.state_fingerprint()
+            assert (dict(image.restore().raw_items())
+                    == dict(device.nvm.raw_items()))
+
+    def test_weighted_summary_matches_exact_aggregate(self, server):
+        """The amortized rollup equals the expanded aggregate up to
+        float-summation order (exact here: cohort rows are identical,
+        so weighted and repeated addition agree)."""
+        plan = _plan(seed_mode="per_cohort")
+        wire = server.encode_update(FLEET_SPEC_V2, 2,
+                                    use_delta=plan.use_delta)
+        batch = BatchFleetCore(server, wire, 2, plan).run(list(range(12)))
+        exact = batch.summary()
+        rolled = batch.weighted_summary()
+        assert rolled.devices == exact.devices
+        assert rolled.outcomes == exact.outcomes
+        assert rolled.total_violations == exact.total_violations
+        assert rolled.total_reboots == exact.total_reboots
+        assert rolled.mean_rate_before == pytest.approx(
+            exact.mean_rate_before, rel=1e-12)
+        assert rolled.total_energy_mj == pytest.approx(
+            exact.total_energy_mj, rel=1e-12)
+
+    def test_soa_telemetry_columns_match_rows(self, server):
+        plan = _plan(seed_mode="per_cohort")
+        wire = server.encode_update(FLEET_SPEC_V2, 2,
+                                    use_delta=plan.use_delta)
+        ids = list(range(8))
+        batch = BatchFleetCore(server, wire, 2, plan).run(ids)
+        reports = batch.expand()
+        for lane, report in enumerate(reports):
+            assert batch.arrays.get("completed", lane) == report.completed
+            assert batch.arrays.get("reboots", lane) == report.reboots
+            assert batch.arrays.get("total_time_s", lane) == pytest.approx(
+                report.total_time_s)
+            assert (batch.arrays.get("violations_after", lane)
+                    == report.violations_after)
+
+
+class TestDivergenceAndRejoin:
+    def test_perturbed_lane_matches_scalar_run(self, server):
+        """A lane with an injected crash schedule must produce the
+        exact telemetry/trace/NVM of a scalar run under the same
+        schedule — the divergence path is the scalar path."""
+        plan = _plan(seed_mode="per_cohort")
+        wire = server.encode_update(FLEET_SPEC_V2, 2,
+                                    use_delta=plan.use_delta)
+        ids = list(range(8))
+        schedule = (5,)
+        batch = BatchFleetCore(server, wire, 2, plan).run(
+            ids, perturb={1: schedule})
+
+        device, runtime = server.build_device(1, wire, 2, plan)
+        CrashScheduleRunner(schedule, record=False).bind(device)
+        result = device.run(runtime, runs=plan.runs,
+                            max_time_s=plan.max_time_s,
+                            max_reboots=plan.max_reboots)
+        want = DeviceTelemetry.from_device(1, device, result, runtime)
+
+        lane = batch.lanes[1]
+        assert DeviceTelemetry.from_row(dict(lane.row, device_id=1)) == want
+        assert lane.trace_events == device.trace.events
+        assert (lane.nvm_image.fingerprint()
+                == device.nvm.state_fingerprint())
+        # The injected crash costs time the representative never spent,
+        # and the persistent clock pins time into the NVM fingerprint —
+        # so this lane cannot have rejoined.
+        assert lane.rejoined is False
+        # Unperturbed cohort-mates are untouched by the divergence.
+        expanded = batch.expand()
+        assert expanded[1] == want
+        scalar5 = server.build_device(5, wire, 2, plan)
+        r5 = scalar5[0].run(scalar5[1], runs=plan.runs,
+                            max_time_s=plan.max_time_s,
+                            max_reboots=plan.max_reboots)
+        assert expanded[5] == DeviceTelemetry.from_device(
+            5, scalar5[0], r5, scalar5[1])
+
+    def test_absorbed_perturbation_rejoins_at_first_boundary(self, server):
+        """A perturbation the device fully absorbs (an attached
+        scheduler that never fires) re-converges with the ledger at the
+        first run boundary; the composed suffix must be byte-identical
+        to running the lane scalar to completion."""
+        plan = _plan(seed_mode="per_cohort")
+        wire = server.encode_update(FLEET_SPEC_V2, 2,
+                                    use_delta=plan.use_delta)
+        ids = list(range(8))
+        batch = BatchFleetCore(server, wire, 2, plan).run(
+            ids, perturb={2: ()})
+        lane = batch.lanes[2]
+        assert lane.rejoined is True
+        assert lane.rejoin_boundary == 1
+
+        device, runtime = server.build_device(2, wire, 2, plan)
+        CrashScheduleRunner((), record=False).bind(device)
+        result = device.run(runtime, runs=plan.runs,
+                            max_time_s=plan.max_time_s,
+                            max_reboots=plan.max_reboots)
+        want = DeviceTelemetry.from_device(2, device, result, runtime)
+        assert DeviceTelemetry.from_row(dict(lane.row, device_id=2)) == want
+        assert lane.trace_events == device.trace.events
+        assert (lane.nvm_image.fingerprint()
+                == device.nvm.state_fingerprint())
+
+    def test_summary_with_divergent_lanes_matches_scalar(self, server):
+        plan = _plan(seed_mode="per_cohort")
+        wire = server.encode_update(FLEET_SPEC_V2, 2,
+                                    use_delta=plan.use_delta)
+        ids = list(range(8))
+        batch = BatchFleetCore(server, wire, 2, plan).run(
+            ids, perturb={1: (5,), 2: ()})
+        reports = []
+        for device_id in ids:
+            device, runtime = server.build_device(device_id, wire, 2, plan)
+            if device_id == 1:
+                CrashScheduleRunner((5,), record=False).bind(device)
+            elif device_id == 2:
+                CrashScheduleRunner((), record=False).bind(device)
+            result = device.run(runtime, runs=plan.runs,
+                                max_time_s=plan.max_time_s,
+                                max_reboots=plan.max_reboots)
+            reports.append(DeviceTelemetry.from_device(
+                device_id, device, result, runtime))
+        assert batch.summary() == aggregate(reports)
+        assert batch.expand() == reports
+
+
+# ---------------------------------------------------------------------------
+# Conformance self-check at bound 2 through the batched driver
+# ---------------------------------------------------------------------------
+
+
+class TestConformanceBatched:
+    def test_bound2_same_verdict_and_schedule_count(self):
+        scenario = get_scenario("health", "artemis")
+        scalar = scenario.explorer().explore(bound=2, budget=60,
+                                             stop_on_first=False)
+
+        replayed = {"machines": 0, "fallbacks": 0}
+
+        def batched_build():
+            device, runtime = scenario.build()
+            scalar_run = device.run
+
+            def run(rt, runs=1, max_time_s=None, max_reboots=None):
+                with tap_machine_ops() as ops:
+                    result = run_with_boundaries(
+                        device, rt, runs=runs, max_time_s=max_time_s,
+                        max_reboots=max_reboots)
+                monitor = BatchFleetCore._leaf_monitor(rt)
+                if monitor is not None and monitor.machines:
+                    fsm = BatchMachineSet(monitor.machines, n_lanes=1)
+                    for op, name, ev in ops:
+                        if name not in fsm._by_name:
+                            continue
+                        if op == "reset":
+                            fsm.reset_machine(name)
+                        else:
+                            fsm.step_machine(name, ev, collect=False)
+                    for machine, inst in zip(monitor.machines,
+                                             monitor.instances):
+                        replayed["machines"] += 1
+                        want = {"state": inst.state}
+                        for var in machine.variables:
+                            want[f"var.{var.name}"] = inst.get(var.name)
+                        if fsm.lane_store(machine.name, 0) != want:
+                            replayed["fallbacks"] += 1
+                            fsm.load_lane(machine.name, 0, want)
+                return result
+
+            assert scalar_run is not None
+            device.run = run
+            return device, runtime
+
+        from repro.verify.explorer import CrashScheduleExplorer
+        batched = CrashScheduleExplorer(
+            build=batched_build,
+            policy=scenario.policy,
+            extract_extra=scenario.extract_extra,
+            run_kwargs=scenario.run_kwargs,
+            time_sensitive=scenario.time_sensitive,
+            name=scenario.name + "-batched",
+        ).explore(bound=2, budget=60, stop_on_first=False)
+
+        assert batched.ok == scalar.ok
+        assert batched.schedules_checked == scalar.schedules_checked
+        assert batched.runs_executed == scalar.runs_executed
+        assert (len(batched.counterexamples)
+                == len(scalar.counterexamples))
+        assert replayed["machines"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Batch-aware result-cache keys
+# ---------------------------------------------------------------------------
+
+
+class TestBatchCacheKeys:
+    @staticmethod
+    def _sweep(layout):
+        from repro.sim.experiments import Sweep
+        return Sweep(
+            factors={"device_id": [0]},
+            build=lambda p: (None, None),
+            metrics={"completed": lambda device, result: 0},
+            batch_layout=layout,
+        )
+
+    def test_layout_changes_sweep_fingerprint(self):
+        from repro.sim.pool import sweep_fingerprint
+        scalar = sweep_fingerprint(self._sweep(None))
+        soa_a = sweep_fingerprint(self._sweep("soa/v1;backend=numpy;x"))
+        soa_b = sweep_fingerprint(self._sweep("soa/v1;backend=python;x"))
+        assert len({scalar, soa_a, soa_b}) == 3
+        assert soa_a == sweep_fingerprint(
+            self._sweep("soa/v1;backend=numpy;x"))
+
+    def test_layout_change_invalidates_cached_rows(self, tmp_path):
+        """A row produced under one SoA layout must never be served for
+        another layout (or for the scalar path): dtype/backend changes
+        change how rows were materialized."""
+        from repro.sim.pool import ResultCache, sweep_fingerprint
+        cache = ResultCache(tmp_path / "repro_cache")
+        point = {"device_id": 7}
+        row = {"device_id": 7, "completed": 1}
+        fp_numpy = sweep_fingerprint(self._sweep("soa/v1;backend=numpy;x"))
+        cache.put(cache.key_for(fp_numpy, point), row)
+        assert cache.get(cache.key_for(fp_numpy, point)) == row
+        for other in (None, "soa/v1;backend=python;x",
+                      "soa/v2;backend=numpy;x"):
+            fp = sweep_fingerprint(self._sweep(other))
+            assert cache.get(cache.key_for(fp, point)) is None, other
+
+    def test_batch_core_cache_roundtrip(self, server, tmp_path):
+        """A warm cache replays cohort representatives byte-identically;
+        perturbed cohorts always bypass it."""
+        plan = _plan(seed_mode="per_cohort")
+        wire = server.encode_update(FLEET_SPEC_V2, 2,
+                                    use_delta=plan.use_delta)
+        ids = list(range(8))
+        cache_dir = tmp_path / "repro_cache"
+        cold = BatchFleetCore(server, wire, 2, plan).run(
+            ids, cache=cache_dir)
+        warm = BatchFleetCore(server, wire, 2, plan).run(
+            ids, cache=cache_dir)
+        assert not any(c.from_cache for c in cold.cohorts)
+        assert all(c.from_cache for c in warm.cohorts)
+        assert warm.rows() == cold.rows()
+        assert warm.expand() == cold.expand()
+        # A perturbed cohort can't be served from (or poison) the cache.
+        perturbed = BatchFleetCore(server, wire, 2, plan).run(
+            ids, cache=cache_dir, perturb={1: (5,)})
+        victim_key = BatchFleetCore(server, wire, 2, plan).cohort_key(1)
+        for cohort in perturbed.cohorts:
+            assert cohort.from_cache == (cohort.key != victim_key)
+        assert perturbed.expand()[0] == cold.expand()[0]
+
+
+# ---------------------------------------------------------------------------
+# Compact rollup helper
+# ---------------------------------------------------------------------------
+
+
+def test_weighted_summary_counts_scale_linearly():
+    row = {name: 0 for name in DeviceTelemetry.__dataclass_fields__}
+    row.update(device_id=0, completed=True, runs_completed=2, reboots=3,
+               total_time_s=10.0, total_energy_mj=5.0, radio_energy_mj=1.0,
+               violations_before=2, violations_after=4, runs_before=1,
+               runs_after=1, degradation_shed=1, degradation_restored=1,
+               chunks_lost=2, rollbacks=0, update_outcome="installed",
+               active_version=2, predictive_sheds=0, shed_lead_s=0.0)
+    single = weighted_summary([(row, 1)])
+    many = weighted_summary([(row, 50)])
+    assert many.devices == 50
+    assert many.total_violations == 50 * single.total_violations
+    assert many.total_reboots == 50 * single.total_reboots
+    assert many.mean_rate_before == pytest.approx(single.mean_rate_before)
+    assert many.regression_delta == pytest.approx(single.regression_delta)
