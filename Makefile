@@ -57,7 +57,9 @@ fleet:
 		--devices $(FLEET_DEVICES) --jobs $(JOBS)
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_fleet_bundle.py \
 		tests/test_fleet_transport.py tests/test_fleet_install.py \
-		tests/test_fleet_ota_verify.py tests/test_fleet_rollout.py -q
+		tests/test_fleet_ota_verify.py tests/test_fleet_rollout.py \
+		tests/test_fleet_control.py tests/test_fleet_digest.py \
+		tests/test_fleet_soak.py -q
 
 bench:
 	REPRO_BENCH_JOBS=$(JOBS) $(PYTHON) -m pytest benchmarks/ --benchmark-only -q

@@ -24,6 +24,7 @@ from __future__ import annotations
 import argparse
 import datetime
 import json
+import multiprocessing
 import os
 import platform
 import sys
@@ -49,10 +50,17 @@ METRIC_DIRECTIONS: Dict[str, str] = {
     "cache_hit_rate": "higher",
     "fleet_devices_per_s": "higher",
     "batched_devices_per_s": "higher",
+    "streamed_devices_per_s": "higher",
     "conformance_schedules_per_s": "higher",
     "predict_monitors_per_s": "higher",
-    "parallel_speedup": "info",
+    # Legacy fork-per-call pool wall time over persistent-pool wall time
+    # on the same sweep: what keeping workers alive buys. Dimensionless,
+    # so it gates even on a single-core box (where parallel-vs-serial is
+    # a fork-overhead *slowdown* and stays informational below).
+    "parallel_speedup": "higher",
+    "parallel_vs_serial": "info",
     "sweep_serial_s": "info",
+    "sweep_fork_s": "info",
     "sweep_parallel_s": "info",
     "sweep_cache_warm_s": "info",
 }
@@ -100,45 +108,92 @@ def _measure_engine(backend: str, n_events: int = 2000,
     return len(events) / best
 
 
-def _measure_sweep(jobs: int = 4) -> Dict[str, float]:
-    """Wall time of a small health-workload sweep: serial, parallel,
-    and cache-warm, plus the derived speedups and hit rate."""
-    from repro.sim.experiments import Sweep
-    from repro.sim.pool import ResultCache, run_sweep
+# Module-level (picklable) sweep pieces: the persistent worker pool
+# ships the task to long-lived workers, so the build and metric
+# callables must be importable, not closures.
+def _bench_build(point):
     from repro.workloads.health import build_artemis, make_intermittent_device
 
-    def build(point):
-        device = make_intermittent_device(point["delay_s"])
-        return device, build_artemis(device)
+    device = make_intermittent_device(point["delay_s"])
+    return device, build_artemis(device)
 
-    sweep = Sweep(
+
+def _bench_metric_completed(dev, res):
+    return res.completed
+
+
+def _bench_metric_time_s(dev, res):
+    return round(res.total_time_s, 6)
+
+
+def _bench_metric_reboots(dev, res):
+    return res.reboots
+
+
+def _bench_sweep():
+    from repro.sim.experiments import Sweep
+
+    return Sweep(
         factors={"delay_s": [30.0, 60.0, 90.0, 120.0, 180.0, 240.0]},
-        build=build,
+        build=_bench_build,
         metrics={
-            "completed": lambda dev, res: res.completed,
-            "time_s": lambda dev, res: round(res.total_time_s, 6),
-            "reboots": lambda dev, res: res.reboots,
+            "completed": _bench_metric_completed,
+            "time_s": _bench_metric_time_s,
+            "reboots": _bench_metric_reboots,
         },
         max_time_s=4 * 3600.0,
     )
 
+
+def _measure_sweep(jobs: int = 4) -> Dict[str, float]:
+    """Wall time of a small health-workload sweep: serial, legacy
+    fork-per-call pool, persistent pool, and cache-warm, plus the
+    derived ratios and hit rate.
+
+    ``parallel_speedup`` is fork-pool time over persistent-pool time at
+    the same job count — the fork/import tax the persistent pool
+    amortizes away. ``parallel_vs_serial`` (persistent vs in-process
+    serial) is informational: on a single-core host it hovers near or
+    below 1.0 because there is no parallel hardware to pay for the IPC.
+    """
+    from repro.sim.pool import ResultCache, run_sweep, shutdown_pools
+
+    sweep = _bench_sweep()
+
     # Best-of-N wall times: the sweep is small, so single runs jitter
     # too much for a tolerance band over derived ratios.
-    serial_s = None
-    for _ in range(3):
-        t0 = time.perf_counter()
-        serial_rows = sweep.run()
-        elapsed = time.perf_counter() - t0
-        serial_s = elapsed if serial_s is None else min(serial_s, elapsed)
+    def best_of(n, fn):
+        best = None
+        rows = None
+        for _ in range(n):
+            t0 = time.perf_counter()
+            rows = fn()
+            elapsed = time.perf_counter() - t0
+            best = elapsed if best is None else min(best, elapsed)
+        return best, rows
 
-    parallel_s = None
-    for _ in range(2):
-        t0 = time.perf_counter()
-        parallel_rows = sweep.run(parallel=jobs)
-        elapsed = time.perf_counter() - t0
-        parallel_s = elapsed if parallel_s is None else min(parallel_s, elapsed)
-    if parallel_rows != serial_rows:
-        raise AssertionError("parallel sweep produced a different table")
+    serial_s, serial_rows = best_of(
+        3, lambda: run_sweep(sweep, jobs=1, strategy="serial"))
+
+    metrics: Dict[str, float] = {"sweep_serial_s": serial_s}
+    if "fork" in multiprocessing.get_all_start_methods():
+        fork_s, fork_rows = best_of(
+            2, lambda: run_sweep(sweep, jobs=jobs, strategy="fork"))
+        # Three runs so the steady state (workers already forked)
+        # dominates the minimum — persistence is the thing measured.
+        persistent_s, persistent_rows = best_of(
+            3, lambda: run_sweep(sweep, jobs=jobs, strategy="persistent"))
+        shutdown_pools()
+        if fork_rows != serial_rows or persistent_rows != serial_rows:
+            raise AssertionError("parallel sweep produced a different table")
+        metrics.update({
+            "sweep_fork_s": fork_s,
+            "sweep_parallel_s": persistent_s,
+            "parallel_speedup": fork_s / persistent_s if persistent_s
+            else 0.0,
+            "parallel_vs_serial": serial_s / persistent_s if persistent_s
+            else 0.0,
+        })
 
     with tempfile.TemporaryDirectory(prefix="repro_bench_cache_") as tmp:
         cache = ResultCache(tmp)
@@ -154,18 +209,16 @@ def _measure_sweep(jobs: int = 4) -> Dict[str, float]:
     if warm_rows != serial_rows:
         raise AssertionError("cached sweep produced a different table")
 
-    return {
-        "sweep_serial_s": serial_s,
-        "sweep_parallel_s": parallel_s,
+    metrics.update({
         "sweep_cache_warm_s": warm_s,
-        "parallel_speedup": serial_s / parallel_s if parallel_s else 0.0,
         "cache_speedup": serial_s / warm_s if warm_s else 0.0,
         "cache_hit_rate": hit_rate,
-    }
+    })
+    return metrics
 
 
 def _measure_fleet(n_devices: int = 16, jobs: int = 4,
-                   trials: int = 2) -> float:
+                   trials: int = 3) -> float:
     """Best-of-N staged-rollout throughput (fleet devices evaluated per
     second, paired control included) on the benign v2 update."""
     from repro.fleet.server import FLEET_SPEC_V2, FleetServer, RolloutPlan
@@ -205,6 +258,33 @@ def _measure_batched_fleet(n_devices: int = 2000, trials: int = 2) -> float:
         if not report.ok or report.devices_attempted != n_devices:
             raise AssertionError("batched fleet rollout failed to complete")
         best = elapsed if best is None else min(best, elapsed)
+    return n_devices / best
+
+
+def _measure_streamed(n_devices: int = 32, jobs: int = 4,
+                      trials: int = 3) -> float:
+    """Best-of-N throughput (devices per second, paired control
+    included) of the control plane's streamed rollout: per-device wave
+    tasks on the persistent pool, telemetry flowing through the bounded
+    ingestion queue into the sharded registry, waves gated live. Guards
+    the whole async path — a queue stall, pool regression, or registry
+    slowdown all surface here."""
+    from repro.fleet.control import ControlPlane
+    from repro.fleet.server import FLEET_SPEC_V2, FleetServer, RolloutPlan
+    from repro.sim.pool import shutdown_pools
+
+    server = FleetServer()
+    plan = RolloutPlan(waves=(0.25, 1.0), runs=2, loss_rate=0.02, seed=0)
+    best: Optional[float] = None
+    for _ in range(trials):
+        plane = ControlPlane(server, plan=plan, jobs=jobs)
+        t0 = time.perf_counter()
+        report = plane.run_rollout(FLEET_SPEC_V2, n_devices)
+        elapsed = time.perf_counter() - t0
+        if not report.ok or report.devices_attempted != n_devices:
+            raise AssertionError("streamed fleet rollout failed to complete")
+        best = elapsed if best is None else min(best, elapsed)
+    shutdown_pools()
     return n_devices / best
 
 
@@ -270,6 +350,7 @@ def collect_metrics() -> Dict[str, float]:
     metrics.update(_measure_sweep())
     metrics["fleet_devices_per_s"] = _measure_fleet()
     metrics["batched_devices_per_s"] = _measure_batched_fleet()
+    metrics["streamed_devices_per_s"] = _measure_streamed()
     metrics["conformance_schedules_per_s"] = _measure_conformance()
     metrics["predict_monitors_per_s"] = _measure_predict()
     return metrics

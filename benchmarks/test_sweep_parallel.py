@@ -1,36 +1,61 @@
 """Parallel experiment engine: sweep wall-clock microbenchmark.
 
-Times the same health-workload sweep three ways — serial, sharded
-across a 4-worker process pool, and replayed from a warm result cache —
-and asserts the engine's contracts: the parallel and cached tables are
-byte-identical to the serial one, and the warm cache beats serial by at
-least 2x (in practice it is orders of magnitude faster, since no
-simulation runs at all).
+Times the same health-workload sweep four ways — serial, the legacy
+fork-per-call pool, the persistent worker pool, and replayed from a
+warm result cache — and asserts the engine's contracts: every table is
+byte-identical to the serial one, the warm cache beats serial by at
+least 2x, and the persistent pool beats the legacy fork pool by at
+least 1.5x at 4 jobs (``parallel_speedup`` in the bench baseline).
 
-The parallel speedup itself is printed but not asserted: it depends on
-the host's core count (a single-core CI box shows a slowdown — fork and
-IPC overhead with no parallel hardware to pay for it). See
+That last pin is deliberately a ratio of two pool strategies, not
+pool-vs-serial: it measures the fork/import tax the persistent workers
+amortize away, so it holds even on a single-core CI box where
+parallel-vs-serial is a slowdown (no parallel hardware to pay for the
+IPC). The pool-vs-serial number is printed but not asserted. See
 ``docs/performance.md``.
 """
 
 import json
+import multiprocessing
 import os
 import time
 
+import pytest
 from conftest import print_table, run_once
 
 from repro.sim.experiments import Sweep
-from repro.sim.pool import ResultCache, run_sweep
+from repro.sim.pool import ResultCache, run_sweep, shutdown_pools
 from repro.workloads.health import build_artemis, make_intermittent_device
 
 JOBS = 4
 DELAYS_S = [30.0, 60.0, 90.0, 120.0, 180.0, 240.0, 300.0, 360.0]
 CAP_S = 4 * 3600.0
+MIN_POOL_SPEEDUP = 1.5
+
+fork_available = "fork" in multiprocessing.get_all_start_methods()
 
 
+# Module-level (picklable) so the persistent pool can ship the sweep to
+# its long-lived workers.
 def _build(point):
     device = make_intermittent_device(point["delay_s"])
     return device, build_artemis(device)
+
+
+def _metric_completed(dev, res):
+    return res.completed
+
+
+def _metric_time_s(dev, res):
+    return round(res.total_time_s, 6)
+
+
+def _metric_energy_mj(dev, res):
+    return round(res.total_energy_j * 1e3, 6)
+
+
+def _metric_reboots(dev, res):
+    return res.reboots
 
 
 def _sweep() -> Sweep:
@@ -38,25 +63,42 @@ def _sweep() -> Sweep:
         factors={"delay_s": DELAYS_S},
         build=_build,
         metrics={
-            "completed": lambda dev, res: res.completed,
-            "time_s": lambda dev, res: round(res.total_time_s, 6),
-            "energy_mJ": lambda dev, res: round(res.total_energy_j * 1e3, 6),
-            "reboots": lambda dev, res: res.reboots,
+            "completed": _metric_completed,
+            "time_s": _metric_time_s,
+            "energy_mJ": _metric_energy_mj,
+            "reboots": _metric_reboots,
         },
         max_time_s=CAP_S,
     )
 
 
+def _best_of(n, fn):
+    best = None
+    rows = None
+    for _ in range(n):
+        t0 = time.perf_counter()
+        rows = fn()
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return best, rows
+
+
 def _measure(tmp_path):
     sweep = _sweep()
 
-    t0 = time.perf_counter()
-    serial_rows = sweep.run()
-    serial_s = time.perf_counter() - t0
+    serial_s, serial_rows = _best_of(
+        2, lambda: run_sweep(sweep, jobs=1, strategy="serial"))
 
-    t0 = time.perf_counter()
-    parallel_rows = sweep.run(parallel=JOBS)
-    parallel_s = time.perf_counter() - t0
+    fork_s = persistent_s = None
+    fork_rows = persistent_rows = serial_rows
+    if fork_available:
+        fork_s, fork_rows = _best_of(
+            2, lambda: run_sweep(sweep, jobs=JOBS, strategy="fork"))
+        # Three runs so the steady state (workers already forked)
+        # dominates the minimum — persistence is the thing measured.
+        persistent_s, persistent_rows = _best_of(
+            3, lambda: run_sweep(sweep, jobs=JOBS, strategy="persistent"))
+        shutdown_pools()
 
     cache = ResultCache(tmp_path / "cache")
     run_sweep(sweep, jobs=1, cache=cache)  # cold run populates
@@ -67,10 +109,12 @@ def _measure(tmp_path):
 
     return {
         "serial_rows": serial_rows,
-        "parallel_rows": parallel_rows,
+        "fork_rows": fork_rows,
+        "persistent_rows": persistent_rows,
         "cached_rows": cached_rows,
         "serial_s": serial_s,
-        "parallel_s": parallel_s,
+        "fork_s": fork_s,
+        "persistent_s": persistent_s,
         "warm_s": warm_s,
         "hit_rate": cache.hit_rate,
     }
@@ -78,26 +122,46 @@ def _measure(tmp_path):
 
 def test_parallel_and_cached_sweeps_match_serial(benchmark, tmp_path):
     m = run_once(benchmark, lambda: _measure(tmp_path))
+    rows = [("serial", f"{m['serial_s']:.3f}", "1.00x")]
+    if fork_available:
+        rows.append((f"fork-pool({JOBS})", f"{m['fork_s']:.3f}",
+                     f"{m['serial_s'] / m['fork_s']:.2f}x"))
+        rows.append((f"persistent({JOBS})", f"{m['persistent_s']:.3f}",
+                     f"{m['serial_s'] / m['persistent_s']:.2f}x"))
+    rows.append(("cache-warm", f"{m['warm_s']:.4f}",
+                 f"{m['serial_s'] / m['warm_s']:.2f}x"))
     print_table(
         f"Sweep engine: {len(DELAYS_S)} points, jobs={JOBS}, "
         f"host cores={os.cpu_count()}",
         ["mode", "wall (s)", "speedup vs serial"],
-        [
-            ("serial", f"{m['serial_s']:.3f}", "1.00x"),
-            (f"parallel({JOBS})", f"{m['parallel_s']:.3f}",
-             f"{m['serial_s'] / m['parallel_s']:.2f}x"),
-            ("cache-warm", f"{m['warm_s']:.4f}",
-             f"{m['serial_s'] / m['warm_s']:.2f}x"),
-        ],
+        rows,
     )
     print(f"cache hit rate: {m['hit_rate']:.0%}")
 
     # Contract: identical tables, to the byte.
     serial_bytes = json.dumps(m["serial_rows"], sort_keys=True)
-    assert json.dumps(m["parallel_rows"], sort_keys=True) == serial_bytes
+    assert json.dumps(m["fork_rows"], sort_keys=True) == serial_bytes
+    assert json.dumps(m["persistent_rows"], sort_keys=True) == serial_bytes
     assert json.dumps(m["cached_rows"], sort_keys=True) == serial_bytes
     assert m["hit_rate"] == 1.0
     # Contract: a warm cache short-circuits the simulations entirely.
     assert m["serial_s"] / m["warm_s"] >= 2.0, (
         f"warm cache only {m['serial_s'] / m['warm_s']:.2f}x faster"
+    )
+
+
+@pytest.mark.skipif(not fork_available,
+                    reason="pool strategies need the fork start method")
+def test_persistent_pool_beats_fork_pool(tmp_path):
+    """The ``parallel_speedup`` regression pin: keeping workers alive
+    must beat re-forking a pool per call by at least 1.5x on the
+    4-shard sweep (measured ~1.8x; the fork path pays jobs forks plus
+    interpreter warm-up on every call)."""
+    m = _measure(tmp_path)
+    speedup = m["fork_s"] / m["persistent_s"]
+    print(f"persistent-over-fork speedup: {speedup:.2f}x "
+          f"(fork {m['fork_s']:.3f}s, persistent {m['persistent_s']:.3f}s)")
+    assert speedup > MIN_POOL_SPEEDUP, (
+        f"persistent pool only {speedup:.2f}x faster than the legacy "
+        f"fork-per-call pool (floor {MIN_POOL_SPEEDUP}x)"
     )

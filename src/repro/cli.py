@@ -41,8 +41,11 @@ Three subcommands mirror the paper's development flow (Figure 3):
     describes the update a rollout would ship (versions, hashes, wire
     sizes, spec-compatibility diff), ``rollout`` pushes it to N
     simulated devices in staged waves with halt-on-regression (exits 3
-    when the rollout halts), and ``telemetry`` dumps the per-device
-    reports of a single-wave rollout.
+    when the rollout halts), ``telemetry`` dumps the per-device
+    reports of a single-wave rollout, and ``serve`` runs the always-on
+    control plane (staged rollout, then ``--cycles`` monitoring passes
+    with windowed percentile rollups); ``--stream`` emits live NDJSON
+    control-plane events for any of the rollout-driving actions.
 
 Applications are described in JSON (general Python task bodies require
 the library API)::
@@ -77,6 +80,7 @@ from repro.energy.environment import EnergyEnvironment, default_capacitor
 from repro.energy.power import MCU_ACTIVE_POWER_W, PowerModel, TaskCost
 from repro.errors import ReproError, RuntimeConfigError
 from repro.fleet import FleetServer, RolloutPlan, build_bundle, compat_diff
+from repro.fleet.control import ControlConfig, ControlPlane
 from repro.fleet.server import (
     FLEET_SPEC_REGRESSING,
     FLEET_SPEC_V1,
@@ -558,6 +562,30 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         return 0
 
     plan = _fleet_plan(args)
+    on_event = None
+    if getattr(args, "stream", False):
+        def on_event(event: dict) -> None:
+            # NDJSON event stream: one JSON object per line, flushed so
+            # a piped consumer sees telemetry live, not at exit.
+            print(json.dumps(event, default=str), flush=True)
+    config = ControlConfig(
+        queue_capacity=getattr(args, "queue_capacity", 256),
+        policy=getattr(args, "policy", "block"),
+    )
+
+    if args.action == "serve":
+        cache = ResultCache(args.cache) if args.cache else None
+        plane = ControlPlane(server, plan=plan, jobs=args.jobs, cache=cache,
+                             config=config, on_event=on_event)
+        serve_report = plane.serve(args.devices, new_spec=new_spec,
+                                   cycles=getattr(args, "cycles", 1))
+        if args.json:
+            print(json.dumps(serve_report.to_dict(), indent=2))
+        elif not getattr(args, "stream", False):
+            print(serve_report.describe())
+        rollout = serve_report.rollout
+        return 3 if rollout is not None and rollout.halted else 0
+
     if args.action == "telemetry":
         # One wave over the whole fleet: telemetry is about the reports,
         # not the staging policy.
@@ -569,7 +597,8 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         )
     cache = ResultCache(args.cache) if args.cache else None
     report = server.rollout(new_spec, args.devices, plan=plan,
-                            jobs=args.jobs, cache=cache)
+                            jobs=args.jobs, cache=cache, config=config,
+                            on_event=on_event)
     if args.action == "telemetry":
         rows = [t.to_row() for t in report.all_telemetry()]
         if args.json:
@@ -743,11 +772,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet = sub.add_parser(
         "fleet", help="fleet OTA: staged rollouts, status, telemetry")
     p_fleet.add_argument("action",
-                         choices=("rollout", "status", "telemetry"),
+                         choices=("rollout", "status", "telemetry", "serve"),
                          help="rollout = staged waves with "
                               "halt-on-regression (exit 3 on halt); "
                               "status = describe the update bundle; "
-                              "telemetry = per-device reports")
+                              "telemetry = per-device reports; "
+                              "serve = always-on control plane (rollout "
+                              "then --cycles monitoring passes)")
     p_fleet.add_argument("--update", default="v2",
                          choices=tuple(sorted(_FLEET_UPDATES)),
                          help="named update spec to ship (default: v2)")
@@ -792,6 +823,23 @@ def build_parser() -> argparse.ArgumentParser:
                               "cache (default dir: .repro_cache)")
     p_fleet.add_argument("--json", action="store_true",
                          help="machine-readable output")
+    p_fleet.add_argument("--stream", action="store_true",
+                         help="emit control-plane events as NDJSON "
+                              "(wave_start, telemetry, wave_decision, "
+                              "cycle) while the rollout/serve runs")
+    p_fleet.add_argument("--cycles", type=int, default=1,
+                         help="monitoring passes after the rollout in "
+                              "serve mode (default: 1)")
+    p_fleet.add_argument("--policy", choices=("block", "shed_oldest"),
+                         default="block",
+                         help="ingestion backpressure policy: block = "
+                              "lossless (producers wait), shed_oldest = "
+                              "bounded latency (oldest report dropped "
+                              "and counted)")
+    p_fleet.add_argument("--queue-capacity", dest="queue_capacity",
+                         type=int, default=256,
+                         help="bounded telemetry queue depth "
+                              "(default: 256)")
     p_fleet.set_defaults(fn=cmd_fleet)
     return parser
 

@@ -16,6 +16,10 @@ the device. This package exercises that claim end-to-end:
   telemetry aggregated into fleet summaries, and a ``FleetServer``
   pushing staged rollouts (waves, halt-on-regression) to N simulated
   devices.
+* :mod:`repro.fleet.control` / :mod:`repro.fleet.digest` — the always-on
+  asyncio control plane (sharded registries, bounded-backpressure
+  telemetry ingestion, telemetry-gated waves on a persistent worker
+  pool) and its streaming percentile sketches / windowed rollups.
 """
 
 from repro.fleet.bundle import (
@@ -27,7 +31,18 @@ from repro.fleet.bundle import (
     compat_diff,
     decode_wire,
 )
+from repro.fleet.control import (
+    ChaosWaveTask,
+    ControlConfig,
+    ControlPlane,
+    ServeReport,
+    ShardedRegistry,
+    TelemetryGate,
+    TelemetryQueue,
+    WaveTask,
+)
 from repro.fleet.device import UpdatableRuntime
+from repro.fleet.digest import P2Quantile, QuantileDigest, WindowedRollup
 from repro.fleet.install import BundleInstaller
 from repro.fleet.server import FleetServer, RolloutPlan, RolloutReport
 from repro.fleet.telemetry import DeviceTelemetry, FleetSummary, aggregate
@@ -36,16 +51,27 @@ from repro.fleet.transport import ChunkLoss, OtaTransport
 __all__ = [
     "BundleDelta",
     "BundleInstaller",
+    "ChaosWaveTask",
     "ChunkLoss",
     "CompatDiff",
+    "ControlConfig",
+    "ControlPlane",
     "DeviceTelemetry",
     "FleetServer",
     "FleetSummary",
     "MonitorBundle",
     "OtaTransport",
+    "P2Quantile",
+    "QuantileDigest",
     "RolloutPlan",
     "RolloutReport",
+    "ServeReport",
+    "ShardedRegistry",
+    "TelemetryGate",
+    "TelemetryQueue",
     "UpdatableRuntime",
+    "WaveTask",
+    "WindowedRollup",
     "aggregate",
     "apply_delta",
     "build_bundle",

@@ -8,14 +8,18 @@ and report :class:`~repro.fleet.telemetry.DeviceTelemetry`. After each
 wave the server compares per-run violation rates before and after
 activation across the wave's installed devices; a delta above the
 plan's threshold halts the rollout before the next (larger) wave ships
-the regression. Scale runs shard across
-:class:`~repro.sim.pool.ParallelSweep` via the standard
-:class:`~repro.sim.experiments.Sweep` machinery.
+the regression.
+
+Execution lives in the control plane (:mod:`repro.fleet.control`):
+:meth:`FleetServer.rollout` is a thin synchronous driver over
+:class:`~repro.fleet.control.ControlPlane`, which streams each wave's
+telemetry through a bounded ingestion queue and decides promote/halt
+from the live stream — byte-identical, under the default lossless
+backpressure policy, to the historical batch implementation.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -26,7 +30,6 @@ from repro.fleet.device import UpdatableRuntime
 from repro.fleet.install import BundleInstaller
 from repro.fleet.telemetry import DeviceTelemetry, FleetSummary, aggregate
 from repro.fleet.transport import ChunkLoss, OtaTransport
-from repro.sim.experiments import Sweep
 from repro.workloads.health import (
     BENCHMARK_SPEC,
     build_artemis,
@@ -338,57 +341,26 @@ class FleetServer:
         plan: RolloutPlan = RolloutPlan(),
         jobs: Optional[int] = None,
         cache: Any = None,
+        config: Any = None,
+        on_event: Any = None,
     ) -> RolloutReport:
         """Push ``new_spec`` to ``n_devices`` in waves; halt on regression.
 
-        Each wave runs as one :class:`~repro.sim.experiments.Sweep` over
-        its device ids (sharded across ``jobs`` worker processes when
-        given). Devices in waves after a halt never receive the update.
+        Thin synchronous driver over
+        :class:`~repro.fleet.control.ControlPlane`: each wave executes
+        on the persistent worker pool (``jobs`` workers) with telemetry
+        streamed through the plane's bounded ingestion queue; the gate
+        decision at stream end reproduces the batch semantics exactly.
+        Devices in waves after a halt never receive the update.
+        ``config`` (a :class:`~repro.fleet.control.ControlConfig`) and
+        ``on_event`` pass through to the plane.
         """
-        if n_devices < 1:
-            raise FleetError("rollout needs at least one device")
-        version = (self.base_version + 1 if new_version is None
-                   else int(new_version))
-        wire = self.encode_update(new_spec, version, use_delta=plan.use_delta)
-        report = RolloutReport(n_devices=n_devices, new_version=version)
-        boundaries = [min(n_devices, math.ceil(frac * n_devices))
-                      for frac in plan.waves]
-        start = 0
-        compact_rows: List[Tuple[Dict[str, Any], int]] = []
-        any_compact = False
-        for index, end in enumerate(boundaries):
-            ids = list(range(start, end))
-            start = end
-            if not ids:
-                continue
-            if plan.lockstep:
-                telemetry, control, summary, delta, rows = \
-                    self._run_wave_lockstep(ids, wire, version, plan, cache)
-                compact_rows.extend(rows)
-                any_compact = any_compact or not telemetry
-            else:
-                telemetry = self._run_wave(ids, wire, version, plan, jobs,
-                                           cache)
-                control = self._run_wave(ids, None, version, plan, jobs,
-                                         cache)
-                summary = aggregate(telemetry)
-                delta = self._paired_delta(telemetry, control, plan)
-            halted = delta > plan.halt_threshold
-            report.waves.append(WaveReport(
-                index=index, device_ids=ids, telemetry=telemetry,
-                control=control, summary=summary,
-                regression_delta=delta, halted=halted,
-            ))
-            if halted:
-                report.halted = True
-                report.halted_wave = index
-                break
-        if any_compact:
-            from repro.sim.batch import weighted_summary
-            report.summary = weighted_summary(compact_rows)
-        else:
-            report.summary = aggregate(report.all_telemetry())
-        return report
+        from repro.fleet.control import ControlPlane
+
+        plane = ControlPlane(self, plan=plan, jobs=jobs, cache=cache,
+                             config=config, on_event=on_event)
+        return plane.run_rollout(new_spec, n_devices,
+                                 new_version=new_version)
 
     def _run_wave_lockstep(self, ids: List[int], wire: bytes, version: int,
                            plan: RolloutPlan, cache: Any):
@@ -459,41 +431,3 @@ class FleetServer:
             deltas.append((treated - untreated) / max(1, plan.runs))
         return sum(deltas) / len(deltas) if deltas else 0.0
 
-    def _run_wave(self, ids: List[int], wire: Optional[bytes], version: int,
-                  plan: RolloutPlan, jobs: Optional[int],
-                  cache: Any) -> List[DeviceTelemetry]:
-        def build(point: Dict[str, Any]):
-            return self.build_device(point["device_id"], wire, version, plan)
-
-        def metric(name: str):
-            def extract(device, result):
-                row = getattr(device, "_fleet_telemetry_row", None)
-                if row is None:
-                    row = DeviceTelemetry.from_device(
-                        device._fleet_device_id, device, result,
-                        device._fleet_runtime,
-                    ).to_row()
-                    device._fleet_telemetry_row = row
-                return row[name]
-            return extract
-
-        # One telemetry field per sweep metric keeps rows JSON-able for
-        # the content-addressed result cache; the DeviceTelemetry is
-        # reassembled from the row on this side of the fork.
-        field_names = list(DeviceTelemetry.__dataclass_fields__)
-
-        def build_tagged(point: Dict[str, Any]):
-            device, runtime = build(point)
-            device._fleet_device_id = point["device_id"]
-            return device, runtime
-
-        sweep = Sweep(
-            factors={"device_id": ids},
-            build=build_tagged,
-            metrics={name: metric(name) for name in field_names},
-            runs=plan.runs,
-            max_time_s=plan.max_time_s,
-            max_reboots=plan.max_reboots,
-        )
-        rows = sweep.run(parallel=jobs, cache=cache)
-        return [DeviceTelemetry.from_row(row) for row in rows]

@@ -167,6 +167,11 @@ class FleetSummary:
     chunks_lost: int
     radio_energy_mj: float
     total_energy_mj: float
+    #: Telemetry reports shed by a bounded ingestion queue before they
+    #: reached aggregation (``shed_oldest`` backpressure policy); 0 for
+    #: batch rollouts and for the lossless ``block`` policy. A nonzero
+    #: value warns that rates/deltas were computed from a sample.
+    telemetry_dropped: int = 0
 
     @property
     def installed(self) -> int:
@@ -187,6 +192,8 @@ class FleetSummary:
             f"rollbacks={self.rollbacks} chunks_lost={self.chunks_lost}",
             f"radio={self.radio_energy_mj:.2f}mJ",
         ]
+        if self.telemetry_dropped:
+            parts.append(f"telemetry_dropped={self.telemetry_dropped}")
         return "; ".join(parts)
 
 

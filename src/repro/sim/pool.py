@@ -1,10 +1,10 @@
-"""Parallel sweep execution with a content-addressed result cache.
+"""Parallel sweep execution: persistent worker pool + result cache.
 
 The figure-reproduction sweeps are embarrassingly parallel: every grid
 point builds a fresh device + runtime and runs it to completion with no
 shared state. :func:`run_sweep` shards a
-:class:`~repro.sim.experiments.Sweep` grid across a process pool while
-keeping the serial contract intact:
+:class:`~repro.sim.experiments.Sweep` grid across worker processes
+while keeping the serial contract intact:
 
 * **Determinism** — each point is executed by exactly one worker via the
   same ``Sweep.run_point`` code path as a serial run, and rows are
@@ -21,22 +21,54 @@ keeping the serial contract intact:
   moving a factor level all change the key, so stale rows can never be
   replayed; re-running an unchanged sweep is pure cache hits.
 
-Worker handoff uses the ``fork`` start method: the sweep object (whose
-``build``/``metrics`` callables are typically closures and therefore
-unpicklable) is published in a module global before the pool forks, and
-workers receive only picklable point indices. On platforms without
-``fork`` the pool degrades to in-process serial execution — same table,
-no parallelism.
+Two execution backends share that contract:
+
+* :class:`PersistentPool` — the default for *portable* (picklable)
+  work. Workers are forked **once** and kept alive across calls; they
+  self-schedule chunks of work from a shared task queue (chunked
+  work-stealing: an idle worker pulls the next chunk, so a slow chunk
+  never stalls the rest), return fixed-layout numeric rows through a
+  shared-memory table (:class:`SharedRowTable`) instead of pickling
+  them through a pipe, and are detected + re-forked if they die
+  mid-chunk (the dead worker's claimed chunks are re-queued; chunks
+  that keep killing workers fail after ``max_chunk_retries``). This is
+  the execution backend of the fleet control plane
+  (:mod:`repro.fleet.control`) and fixes the fork-per-call overhead
+  that made small sharded sweeps *slower* than serial runs.
+* **Legacy fork-per-call pool** — the fallback for sweeps whose
+  ``build``/``metrics`` callables are closures (unpicklable): the sweep
+  object is published in a module global before a throwaway pool forks,
+  and workers receive only point indices. Each call pays the full fork
+  + teardown cost; kept for compatibility and as the benchmark
+  reference the persistent pool is measured against
+  (``parallel_speedup`` in ``benchmarks/regression.py``).
+
+On platforms without ``fork`` both degrade to in-process serial
+execution — same table, no parallelism.
 """
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import json
 import multiprocessing
 import os
+import pickle
+import struct
+import threading
+import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import repro
 from repro.errors import ReproError
@@ -239,7 +271,429 @@ def _normalize_cache(cache: Any) -> Optional[ResultCache]:
 
 
 # ---------------------------------------------------------------------------
-# Process-pool execution
+# Shared-memory result tables
+# ---------------------------------------------------------------------------
+
+
+class SharedRowTable:
+    """Fixed-layout float64 result table in POSIX shared memory.
+
+    One row of ``n_fields`` doubles per work item. Workers write rows
+    in place (``struct.pack_into`` at their item's slot); the parent
+    reads them back without any pickling or pipe traffic. Falls back to
+    ``None`` (queue transport) when :mod:`multiprocessing.shared_memory`
+    is unavailable.
+    """
+
+    def __init__(self, n_rows: int, n_fields: int):
+        from multiprocessing import shared_memory
+
+        self.n_rows = n_rows
+        self.n_fields = n_fields
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(1, n_rows * n_fields * 8))
+        self.name = self._shm.name
+
+    @staticmethod
+    def create(n_rows: int, n_fields: int) -> Optional["SharedRowTable"]:
+        if n_rows <= 0 or n_fields <= 0:
+            return None
+        try:
+            return SharedRowTable(n_rows, n_fields)
+        except Exception:
+            return None
+
+    def read_row(self, slot: int) -> Tuple[float, ...]:
+        return struct.unpack_from(f"{self.n_fields}d", self._shm.buf,
+                                  slot * self.n_fields * 8)
+
+    def destroy(self) -> None:
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except Exception:
+            pass
+
+    @staticmethod
+    def write_remote(name: str, n_fields: int, slot: int,
+                     values: Sequence[float]) -> None:
+        """Worker-side write into the parent's table (attach by name)."""
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            struct.pack_into(f"{n_fields}d", shm.buf, slot * n_fields * 8,
+                             *values)
+        finally:
+            shm.close()
+            # Attaching registered the segment with this process's
+            # resource tracker; the parent owns the unlink, so drop the
+            # registration to avoid spurious leak warnings at exit.
+            try:
+                from multiprocessing import resource_tracker
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:
+                pass
+
+
+# ---------------------------------------------------------------------------
+# Persistent worker pool (chunked work-stealing)
+# ---------------------------------------------------------------------------
+
+
+class PoolError(ReproError):
+    """The persistent pool could not complete a run."""
+
+
+class PoolItemError:
+    """Per-item failure returned in place of a result under
+    :meth:`PersistentPool.run`'s ``return_errors`` mode.
+
+    Carries the worker-side verdict so the caller can decide to retry
+    the item (the control plane re-runs it inline) or raise.
+    """
+
+    __slots__ = ("tag", "payload")
+
+    def __init__(self, tag: str, payload: Any):
+        self.tag = tag
+        self.payload = payload
+
+    def to_exception(self, item: Any) -> Exception:
+        if self.tag == "errsweep":
+            stage, point, cause = self.payload
+            return SweepPointError(stage, point, cause)
+        return PoolError(f"task failed for item {item!r}: {self.payload}")
+
+    def __repr__(self) -> str:
+        return f"PoolItemError({self.tag!r}, {self.payload!r})"
+
+
+def _pool_worker(task_q, result_q) -> None:
+    """Worker loop: pull chunks from the shared queue until ``stop``.
+
+    Each chunk message carries its own pickled context (small — a task
+    descriptor, not the work), so a worker forked at pool creation can
+    execute work that was defined afterwards. Per-item failures come
+    back as verdicts; only a hard crash (signal, ``os._exit``) kills
+    the worker, and the parent detects that and re-queues the chunk.
+    """
+    ctx_cache: Dict[bytes, Any] = {}
+    pid = os.getpid()
+    while True:
+        msg = task_q.get()
+        if msg[0] == "stop":
+            return
+        _, chunk_id, ctx_digest, ctx_bytes, pairs, shm_name, n_fields = msg
+        result_q.put(("claim", chunk_id, pid))
+        try:
+            task = ctx_cache.get(ctx_digest)
+            if task is None:
+                task = pickle.loads(ctx_bytes)
+                ctx_cache[ctx_digest] = task
+        except BaseException as exc:
+            result_q.put(("chunkerr", chunk_id, pid, repr(exc)))
+            continue
+        out: List[Tuple[Any, ...]] = []
+        for slot, item in pairs:
+            try:
+                value = task(item)
+            except SweepPointError as exc:
+                out.append(("errsweep", slot,
+                            (exc.stage, exc.point, exc.cause)))
+                continue
+            except BaseException as exc:
+                out.append(("err", slot, repr(exc)))
+                continue
+            written = False
+            if shm_name is not None:
+                encode = getattr(task, "encode_row", None)
+                if encode is not None:
+                    try:
+                        SharedRowTable.write_remote(shm_name, n_fields, slot,
+                                                    encode(value))
+                        written = True
+                    except Exception:
+                        written = False
+            out.append(("okshm", slot, None) if written
+                       else ("ok", slot, value))
+        result_q.put(("done", chunk_id, pid, out))
+
+
+class PersistentPool:
+    """Long-lived fork pool with chunked work-stealing.
+
+    Workers are forked once (lazily, on first :meth:`run`) and reused
+    across calls — the fix for the fork-per-call overhead that made
+    sharded sweeps slower than serial runs on small grids. Work arrives
+    as (picklable) *task contexts* applied to picklable items:
+
+    >>> pool = PersistentPool(jobs=4)
+    >>> rows = pool.run(some_module_level_callable, [0, 1, 2, 3])
+
+    Scheduling is self-balancing: the items are split into
+    ``~4 x jobs`` chunks pushed onto one shared queue, and each idle
+    worker steals the next chunk, so a slow chunk delays only the
+    worker that claimed it. Results return through a shared-memory
+    row table when the task provides ``encode_row``/``decode_row``
+    (fixed float64 layout, no pickling), otherwise through the result
+    queue. A worker that dies mid-chunk is detected by liveness
+    polling; its claimed chunks are re-queued and a replacement is
+    forked (``restarts`` counts these). A chunk that keeps killing
+    workers fails the run after ``max_chunk_retries`` attempts instead
+    of looping forever.
+    """
+
+    def __init__(self, jobs: int, restart: bool = True,
+                 max_chunk_retries: int = 3):
+        if jobs < 1:
+            raise PoolError("jobs must be >= 1")
+        self.jobs = jobs
+        self.restart = restart
+        self.max_chunk_retries = max_chunk_retries
+        self.forks = 0
+        self.restarts = 0
+        self.chunks_dispatched = 0
+        self._ctx = multiprocessing.get_context("fork")
+        self._task_q = None
+        self._result_q = None
+        self._workers: List[Any] = []
+        self._chunk_seq = 0
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def _ensure_workers(self) -> None:
+        if self._closed:
+            raise PoolError("pool is closed")
+        if self._task_q is None:
+            self._task_q = self._ctx.Queue()
+            # Results travel over a SimpleQueue on purpose: its put()
+            # is a synchronous, lock-protected pipe write, so a worker
+            # that hard-crashes right after reporting cannot lose the
+            # message in a feeder-thread buffer the way mp.Queue does —
+            # the claim/done protocol the death detector relies on
+            # would otherwise be unreliable.
+            self._result_q = self._ctx.SimpleQueue()
+        self._workers = [w for w in self._workers if w.is_alive()]
+        while len(self._workers) < self.jobs:
+            self._spawn()
+
+    def _spawn(self) -> None:
+        worker = self._ctx.Process(
+            target=_pool_worker, args=(self._task_q, self._result_q),
+            daemon=True)
+        worker.start()
+        self._workers.append(worker)
+        self.forks += 1
+
+    @property
+    def alive_workers(self) -> int:
+        return sum(1 for w in self._workers if w.is_alive())
+
+    def close(self) -> None:
+        """Stop the workers and drop the queues (idempotent)."""
+        with self._lock:
+            if self._task_q is not None:
+                for _ in self._workers:
+                    try:
+                        self._task_q.put(("stop",))
+                    except Exception:
+                        pass
+            deadline = time.monotonic() + 2.0
+            for worker in self._workers:
+                worker.join(timeout=max(0.0, deadline - time.monotonic()))
+                if worker.is_alive():
+                    worker.terminate()
+            if self._task_q is not None:
+                self._task_q.close()
+                self._task_q.cancel_join_thread()
+            if self._result_q is not None:
+                self._result_q.close()
+            self._workers = []
+            self._task_q = self._result_q = None
+            self._closed = True
+
+    # -- execution ---------------------------------------------------------
+    def run(self, task: Callable[[Any], Any], items: Sequence[Any],
+            chunk_size: Optional[int] = None,
+            timeout: Optional[float] = None,
+            on_result: Optional[Callable[[int, Any], None]] = None,
+            return_errors: bool = False) -> List[Any]:
+        """Apply ``task`` to every item; results in item order.
+
+        ``task`` must be picklable (a module-level callable or a
+        picklable instance with ``__call__``). Per-item exceptions
+        re-raise in the parent after the run drains (first item order
+        wins); :class:`~repro.sim.experiments.SweepPointError` survives
+        with its attribution intact. ``on_result(index, value)`` fires
+        in the parent as each result lands (arrival order), which is
+        what the control plane's streaming ingestion hooks into. With
+        ``return_errors=True`` failed items come back as
+        :class:`PoolItemError` placeholders instead of aborting the run
+        (``on_result`` never fires for them).
+        """
+        items = list(items)
+        if not items:
+            return []
+        with self._lock:
+            return self._run_locked(task, items, chunk_size, timeout,
+                                    on_result, return_errors)
+
+    def _run_locked(self, task, items, chunk_size, timeout, on_result,
+                    return_errors=False):
+        self._ensure_workers()
+        ctx_bytes = pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
+        ctx_digest = hashlib.sha256(ctx_bytes).digest()
+        n_fields = int(getattr(task, "shm_row_size", 0) or 0)
+        table = (SharedRowTable.create(len(items), n_fields)
+                 if n_fields > 0 else None)
+        if chunk_size is None:
+            chunk_size = max(1, -(-len(items) // (self.jobs * 4)))
+        chunks: Dict[int, List[Tuple[int, Any]]] = {}
+        for start in range(0, len(items), chunk_size):
+            self._chunk_seq += 1
+            chunks[self._chunk_seq] = [
+                (slot, items[slot])
+                for slot in range(start, min(start + chunk_size, len(items)))
+            ]
+        try:
+            return self._collect(task, items, chunks, ctx_digest, ctx_bytes,
+                                 table, n_fields, timeout, on_result,
+                                 return_errors)
+        finally:
+            if table is not None:
+                table.destroy()
+
+    def _post(self, chunk_id, pairs, ctx_digest, ctx_bytes, table, n_fields):
+        self._task_q.put(("chunk", chunk_id, ctx_digest, ctx_bytes, pairs,
+                          table.name if table is not None else None, n_fields))
+        self.chunks_dispatched += 1
+
+    def _collect(self, task, items, chunks, ctx_digest, ctx_bytes, table,
+                 n_fields, timeout, on_result, return_errors=False):
+        results: List[Any] = [None] * len(items)
+        done_slots = [False] * len(items)
+        errors: Dict[int, Tuple[str, Any]] = {}
+        outstanding = dict(chunks)
+        claimed: Dict[int, int] = {}
+        attempts: Dict[int, int] = {c: 1 for c in chunks}
+        shm_slots: List[int] = []
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for chunk_id, pairs in chunks.items():
+            self._post(chunk_id, pairs, ctx_digest, ctx_bytes, table,
+                       n_fields)
+        while outstanding:
+            if deadline is not None and time.monotonic() > deadline:
+                raise PoolError(
+                    f"pool run timed out with {len(outstanding)} chunks "
+                    f"outstanding")
+            if not self._result_q._reader.poll(0.05):
+                self._reap_dead(outstanding, claimed, attempts, ctx_digest,
+                                ctx_bytes, table, n_fields)
+                continue
+            msg = self._result_q.get()
+            kind = msg[0]
+            if kind == "claim":
+                _, chunk_id, pid = msg
+                claimed[chunk_id] = pid
+            elif kind == "chunkerr":
+                _, chunk_id, pid, cause = msg
+                raise PoolError(f"worker {pid} could not load the task "
+                                f"context: {cause}")
+            elif kind == "done":
+                _, chunk_id, pid, out = msg
+                if chunk_id not in outstanding:
+                    continue  # duplicate after a conservative re-queue
+                del outstanding[chunk_id]
+                claimed.pop(chunk_id, None)
+                for verdict in out:
+                    tag, slot, payload = verdict
+                    if done_slots[slot]:
+                        continue
+                    done_slots[slot] = True
+                    if tag == "ok":
+                        results[slot] = payload
+                    elif tag == "okshm":
+                        shm_slots.append(slot)
+                    else:
+                        errors[slot] = (tag, payload)
+                    if on_result is not None and tag in ("ok", "okshm"):
+                        value = results[slot]
+                        if tag == "okshm":
+                            value = task.decode_row(table.read_row(slot))
+                            results[slot] = value
+                        on_result(slot, value)
+        for slot in shm_slots:
+            if results[slot] is None:
+                results[slot] = task.decode_row(table.read_row(slot))
+        if errors:
+            if return_errors:
+                for slot, (tag, payload) in errors.items():
+                    results[slot] = PoolItemError(tag, payload)
+            else:
+                slot = min(errors)
+                tag, payload = errors[slot]
+                if tag == "errsweep":
+                    stage, point, cause = payload
+                    raise SweepPointError(stage, point, cause)
+                raise PoolError(f"task failed for item {items[slot]!r}: "
+                                f"{payload}")
+        return results
+
+    def _reap_dead(self, outstanding, claimed, attempts, ctx_digest,
+                   ctx_bytes, table, n_fields) -> None:
+        """Re-queue chunks claimed by dead workers; fork replacements."""
+        dead = [w for w in self._workers if not w.is_alive()]
+        if not dead:
+            return
+        dead_pids = {w.pid for w in dead}
+        self._workers = [w for w in self._workers if w.is_alive()]
+        if not self.restart and not self._workers:
+            raise PoolError("all pool workers died and restart is disabled")
+        lost = [cid for cid, pid in claimed.items()
+                if pid in dead_pids and cid in outstanding]
+        for chunk_id in lost:
+            attempts[chunk_id] += 1
+            if attempts[chunk_id] > self.max_chunk_retries:
+                raise PoolError(
+                    f"chunk {chunk_id} crashed its worker "
+                    f"{self.max_chunk_retries} times; giving up")
+            claimed.pop(chunk_id, None)
+            self._post(chunk_id, outstanding[chunk_id], ctx_digest,
+                       ctx_bytes, table, n_fields)
+        if self.restart:
+            while len(self._workers) < self.jobs:
+                self._spawn()
+                self.restarts += 1
+
+
+#: Shared persistent pools, one per worker count; reused across sweeps,
+#: fleet waves, and benchmark trials so the fork cost is paid once.
+_POOLS: Dict[int, PersistentPool] = {}
+
+
+def get_pool(jobs: int) -> PersistentPool:
+    """The shared :class:`PersistentPool` for ``jobs`` workers."""
+    pool = _POOLS.get(jobs)
+    if pool is None or pool._closed:
+        pool = PersistentPool(jobs)
+        _POOLS[jobs] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Close every shared pool (atexit hook; also handy in tests)."""
+    for pool in list(_POOLS.values()):
+        pool.close()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)
+
+
+# ---------------------------------------------------------------------------
+# Sweep execution strategies
 # ---------------------------------------------------------------------------
 
 #: ``(sweep, points)`` published for forked workers; the callables
@@ -262,12 +716,35 @@ def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
-def _execute_points(sweep: Sweep, points: List[Dict[str, Any]],
-                    pending: Sequence[int], jobs: int) -> List[Tuple[Any, ...]]:
-    """Run the pending point indices, serially or across a fork pool."""
+class _SweepTask:
+    """Picklable task context running one sweep's grid points by index.
+
+    Only sweeps whose ``build``/``metrics`` are themselves picklable
+    (module-level callables, no closures) can travel this way; the
+    pickle probe in :func:`_execute_points` decides per sweep.
+    """
+
+    def __init__(self, sweep: Sweep):
+        self.sweep = sweep
+        self._points: Optional[List[Dict[str, Any]]] = None
+
+    def __call__(self, idx: int) -> Dict[str, Any]:
+        if self._points is None:
+            self._points = self.sweep.points()
+        return self.sweep.run_point(self._points[idx])
+
+    def __getstate__(self):
+        return {"sweep": self.sweep}
+
+    def __setstate__(self, state):
+        self.sweep = state["sweep"]
+        self._points = None
+
+
+def _execute_fork(sweep: Sweep, points: List[Dict[str, Any]],
+                  pending: Sequence[int], jobs: int) -> List[Tuple[Any, ...]]:
+    """Legacy strategy: fork a throwaway pool for this one call."""
     global _ACTIVE_SWEEP
-    if jobs <= 1 or len(pending) <= 1 or not _fork_available():
-        return [_run_index_serial(sweep, points, i) for i in pending]
     _ACTIVE_SWEEP = (sweep, points)
     try:
         ctx = multiprocessing.get_context("fork")
@@ -275,6 +752,46 @@ def _execute_points(sweep: Sweep, points: List[Dict[str, Any]],
             return list(pool.imap(_run_index, pending))
     finally:
         _ACTIVE_SWEEP = None
+
+
+def _execute_points(sweep: Sweep, points: List[Dict[str, Any]],
+                    pending: Sequence[int], jobs: int,
+                    strategy: str = "auto") -> List[Tuple[Any, ...]]:
+    """Run the pending point indices under the selected strategy.
+
+    ``auto`` prefers the persistent pool when the sweep is portable
+    (picklable), falling back to the legacy fork-per-call pool, then to
+    serial execution when ``fork`` is unavailable.
+    """
+    if strategy not in ("auto", "persistent", "fork", "serial"):
+        raise ReproError(f"unknown pool strategy {strategy!r}")
+    if (strategy == "serial" or jobs <= 1 or len(pending) <= 1
+            or not _fork_available()):
+        if strategy == "persistent" and not _fork_available():
+            raise PoolError("persistent pool needs the fork start method")
+        return [_run_index_serial(sweep, points, i) for i in pending]
+    if strategy in ("auto", "persistent"):
+        task = _SweepTask(sweep)
+        try:
+            pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
+            portable = True
+        except Exception:
+            portable = False
+        if portable:
+            pool = get_pool(jobs)
+            verdicts: List[Tuple[Any, ...]] = []
+            try:
+                rows = pool.run(task, list(pending))
+            except SweepPointError as exc:
+                return [("err", -1, exc.stage, exc.point, exc.cause)]
+            for idx, row in zip(pending, rows):
+                verdicts.append(("ok", idx, row))
+            return verdicts
+        if strategy == "persistent":
+            raise PoolError(
+                "sweep is not portable (closures in build/metrics); the "
+                "persistent pool needs picklable callables")
+    return _execute_fork(sweep, points, pending, jobs)
 
 
 def _run_index_serial(sweep: Sweep, points: List[Dict[str, Any]],
@@ -296,24 +813,29 @@ class ParallelSweep:
         table = runner.run()          # identical to sweep.run()
     """
 
-    def __init__(self, sweep: Sweep, jobs: int = 1, cache: Any = None):
+    def __init__(self, sweep: Sweep, jobs: int = 1, cache: Any = None,
+                 strategy: str = "auto"):
         if jobs < 1:
             raise ReproError("jobs must be >= 1")
         self.sweep = sweep
         self.jobs = jobs
         self.cache = _normalize_cache(cache)
+        self.strategy = strategy
 
     def run(self) -> List[Dict[str, Any]]:
-        return run_sweep(self.sweep, jobs=self.jobs, cache=self.cache)
+        return run_sweep(self.sweep, jobs=self.jobs, cache=self.cache,
+                         strategy=self.strategy)
 
 
-def run_sweep(sweep: Sweep, jobs: int = 1,
-              cache: Any = None) -> List[Dict[str, Any]]:
+def run_sweep(sweep: Sweep, jobs: int = 1, cache: Any = None,
+              strategy: str = "auto") -> List[Dict[str, Any]]:
     """Execute a sweep grid across ``jobs`` workers, through ``cache``.
 
     Returns the same row list, in the same order, as ``sweep.run()``.
     Raises :class:`~repro.sim.experiments.SweepPointError` for the first
-    (grid-order) failing point.
+    (grid-order) failing point. ``strategy`` picks the execution
+    backend: ``auto`` (persistent pool for portable sweeps, else the
+    legacy fork pool), ``persistent``, ``fork``, or ``serial``.
     """
     cache = _normalize_cache(cache)
     points = sweep.points()
@@ -334,7 +856,7 @@ def run_sweep(sweep: Sweep, jobs: int = 1,
         pending = list(range(len(points)))
 
     if pending:
-        verdicts = _execute_points(sweep, points, pending, jobs)
+        verdicts = _execute_points(sweep, points, pending, jobs, strategy)
         failure: Optional[Tuple[int, str, Dict[str, Any], str]] = None
         for verdict in verdicts:
             if verdict[0] == "ok":

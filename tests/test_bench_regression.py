@@ -30,8 +30,11 @@ GOOD = {
     "dispatch_us_per_event": 20.0,
     "cache_speedup": 25.0,
     "cache_hit_rate": 1.0,
+    "streamed_devices_per_s": 20.0,
     "parallel_speedup": 2.0,
+    "parallel_vs_serial": 0.9,
     "sweep_serial_s": 1.0,
+    "sweep_fork_s": 1.2,
     "sweep_parallel_s": 0.5,
     "sweep_cache_warm_s": 0.04,
 }
@@ -70,11 +73,21 @@ class TestCompare:
 
     def test_informational_metrics_cannot_fail(self, regression):
         current = dict(GOOD)
-        current["parallel_speedup"] = 0.01   # terrible, but info-only
+        current["parallel_vs_serial"] = 0.01   # terrible, but info-only
         current["sweep_serial_s"] = 100.0
         ok, lines = regression.compare(GOOD, current, tolerance=0.15)
         assert ok
-        assert any(status == "info" and "parallel_speedup" in text
+        assert any(status == "info" and "parallel_vs_serial" in text
+                   for status, text in lines)
+
+    def test_parallel_speedup_is_enforced(self, regression):
+        """The persistent-over-fork pool ratio is a gated metric: it is
+        core-count independent, so losing it means the pool regressed."""
+        current = dict(GOOD)
+        current["parallel_speedup"] = 1.0  # fork tax came back
+        ok, lines = regression.compare(GOOD, current, tolerance=0.15)
+        assert not ok
+        assert any(status == "FAIL" and "parallel_speedup" in text
                    for status, text in lines)
 
 

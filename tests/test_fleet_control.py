@@ -1,0 +1,337 @@
+"""Control-plane tests: bounded-queue backpressure semantics, the
+shared-memory telemetry row codec, streamed-vs-inline rollout
+equivalence, and the always-on serve loop
+(:mod:`repro.fleet.control`)."""
+
+import asyncio
+import math
+
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet.control import (
+    _FIELD_KINDS,
+    ControlConfig,
+    ControlPlane,
+    ShardedRegistry,
+    TelemetryEvent,
+    TelemetryQueue,
+    WaveTask,
+)
+from repro.fleet.server import (
+    FLEET_SPEC_REGRESSING,
+    FLEET_SPEC_V2,
+    FleetServer,
+    RolloutPlan,
+)
+from repro.fleet.telemetry import DeviceTelemetry
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def event(i: int) -> TelemetryEvent:
+    return TelemetryEvent(i, "treatment", {"device_id": i})
+
+
+class TestTelemetryQueueBackpressure:
+    def test_validation(self):
+        with pytest.raises(FleetError):
+            TelemetryQueue(0)
+        with pytest.raises(FleetError):
+            TelemetryQueue(4, policy="drop_newest")
+        with pytest.raises(FleetError):
+            ControlConfig(policy="nope")
+        with pytest.raises(FleetError):
+            ControlConfig(queue_capacity=0)
+
+    def test_shed_oldest_drop_counter_exact(self):
+        async def scenario():
+            q = TelemetryQueue(3, policy="shed_oldest")
+            for i in range(10):
+                await q.put(event(i))
+            # Capacity 3, 10 puts, no consumer: exactly 7 shed, and the
+            # survivors are the newest three in order.
+            assert q.dropped == 7
+            assert len(q) == 3
+            assert q.high_watermark == 3
+            survivors = [(await q.get()).device_id for _ in range(3)]
+            assert survivors == [7, 8, 9]
+            assert q.total_in == 10 and q.total_out == 3
+
+        run(scenario())
+
+    def test_shed_never_drops_end_of_stream_sentinels(self):
+        async def scenario():
+            q = TelemetryQueue(2, policy="shed_oldest")
+            await q.put(event(0))
+            await q.put(None)  # producer ended
+            await q.put(event(1))  # sheds event 0, not the sentinel
+            await q.put(event(2))  # sheds event 1
+            assert q.dropped == 2
+            assert await q.get() is None
+            assert (await q.get()).device_id == 2
+
+        run(scenario())
+
+    def test_block_policy_never_drops_and_producer_resumes(self):
+        async def scenario():
+            q = TelemetryQueue(2, policy="block")
+            await q.put(event(0))
+            await q.put(event(1))
+            assert q.full()
+
+            done = asyncio.Event()
+
+            async def producer():
+                await q.put(event(2))  # must wait: queue at capacity
+                done.set()
+
+            task = asyncio.ensure_future(producer())
+            await asyncio.sleep(0.01)
+            assert not done.is_set()  # producer is actually blocked
+            assert q.blocked_puts == 1
+            # Drain one slot; the blocked producer must resume.
+            assert (await q.get()).device_id == 0
+            await asyncio.wait_for(done.wait(), timeout=2.0)
+            await task
+            assert q.dropped == 0
+            got = [(await q.get()).device_id for _ in range(2)]
+            assert got == [1, 2]
+
+        run(scenario())
+
+    @pytest.mark.parametrize("policy", ["block", "shed_oldest"])
+    def test_full_queue_never_deadlocks_under_load(self, policy):
+        """Many producers against a tiny queue with a slow consumer:
+        everything terminates (guarded by wait_for), counters add up."""
+
+        async def scenario():
+            q = TelemetryQueue(2, policy=policy)
+            n_producers, per_producer = 8, 25
+
+            async def producer(base):
+                for i in range(per_producer):
+                    await q.put(event(base + i))
+
+            async def consumer():
+                received = 0
+                expected = n_producers * per_producer
+                while received + q.dropped < expected:
+                    if policy == "shed_oldest" and len(q) == 0 \
+                            and q.total_in == expected:
+                        break
+                    await q.get()
+                    received += 1
+                return received
+
+            producers = [asyncio.ensure_future(producer(k * 1000))
+                         for k in range(n_producers)]
+            consume = asyncio.ensure_future(consumer())
+            await asyncio.wait_for(asyncio.gather(*producers), timeout=10.0)
+            # Producers done; drain whatever is left.
+            received = await asyncio.wait_for(consume, timeout=10.0)
+            total = n_producers * per_producer
+            assert q.total_in == total
+            assert received + q.dropped + len(q) == total
+            if policy == "block":
+                assert q.dropped == 0
+
+        run(scenario())
+
+
+class TestShardedRegistry:
+    def test_sharding_and_rollup_merge(self):
+        reg = ShardedRegistry(n_shards=4, window_s=100.0)
+        for i in range(12):
+            reg.record(DeviceTelemetry.from_row({
+                "device_id": i, "completed": True, "runs_completed": 3,
+                "reboots": 0, "total_time_s": 50.0 * i,
+                "total_energy_mj": 1.0, "radio_energy_mj": 0.1,
+                "violations_before": i, "violations_after": 0,
+                "runs_before": 3, "runs_after": 0,
+                "degradation_shed": 0, "degradation_restored": 0,
+                "chunks_lost": 0, "rollbacks": 0,
+                "update_outcome": "installed", "active_version": 2,
+            }))
+        assert reg.devices == 12
+        assert reg.shard_sizes() == [3, 3, 3, 3]
+        assert reg.shard_of(7) == 3
+        assert reg.get(7).active_version == 2
+        assert reg.version_counts() == {2: 12}
+        merged = reg.merged_rollup()
+        assert merged.count == 12
+        # 12 samples at t = 0..550 over 100 s windows -> 6 windows.
+        assert len(merged.windows()) == 6
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(FleetError):
+            ShardedRegistry(n_shards=0)
+
+
+class TestWaveTaskCodec:
+    def test_every_telemetry_field_has_a_codec(self):
+        """Adding a DeviceTelemetry field without deciding how it rides
+        the shared-memory row must fail this test, not corrupt rows."""
+        assert set(_FIELD_KINDS) == \
+            set(DeviceTelemetry.__dataclass_fields__)
+
+    @pytest.mark.parametrize("outcome,version", [
+        ("installed", 2), ("pending", None), ("failed", None), ("none", 1),
+    ])
+    def test_row_round_trips_bit_exactly(self, outcome, version):
+        row = {
+            "device_id": 12345, "completed": True, "runs_completed": 3,
+            "reboots": 17, "total_time_s": 12345.6789,
+            "total_energy_mj": 0.123456, "radio_energy_mj": 3.25,
+            "violations_before": 7, "violations_after": 0,
+            "runs_before": 2, "runs_after": 1,
+            "degradation_shed": 1, "degradation_restored": 1,
+            "chunks_lost": 4, "rollbacks": 0,
+            "update_outcome": outcome, "active_version": version,
+            "predictive_sheds": 2, "shed_lead_s": 0.015625,
+        }
+        encoded = WaveTask.encode_row(row)
+        assert len(encoded) == WaveTask.shm_row_size
+        assert all(isinstance(v, float) for v in encoded)
+        decoded = WaveTask.decode_row(tuple(encoded))
+        assert decoded == row
+        # Types too, not just ==: bool must stay bool, None stay None.
+        assert isinstance(decoded["completed"], bool)
+        assert isinstance(decoded["reboots"], int)
+        if version is None:
+            assert decoded["active_version"] is None
+
+    def test_fingerprint_distinguishes_arm_and_plan(self):
+        plan = RolloutPlan(runs=2)
+        t1 = WaveTask("spec", 1, b"wire", 2, plan)
+        t2 = WaveTask("spec", 1, None, 2, plan)
+        t3 = WaveTask("spec", 1, b"wire", 2, RolloutPlan(runs=3))
+        fps = {t1.fingerprint(), t2.fingerprint(), t3.fingerprint()}
+        assert len(fps) == 3
+        assert t1.fingerprint() == WaveTask("spec", 1, b"wire", 2,
+                                            plan).fingerprint()
+
+
+@pytest.fixture(scope="module")
+def small_plan():
+    return RolloutPlan(runs=2)
+
+
+class TestStreamedRollout:
+    def test_streamed_equals_inline_byte_for_byte(self, small_plan):
+        server = FleetServer()
+        streamed = server.rollout(FLEET_SPEC_V2, 16, plan=small_plan,
+                                  jobs=4)
+        inline = server.rollout(FLEET_SPEC_V2, 16, plan=small_plan, jobs=1)
+        assert streamed.to_dict() == inline.to_dict()
+        assert streamed.ok
+
+    def test_regressing_update_halts_and_ledger_records_it(self, small_plan):
+        server = FleetServer()
+        plane = ControlPlane(server, plan=small_plan, jobs=1)
+        report = plane.run_rollout(FLEET_SPEC_REGRESSING, 12)
+        assert report.halted and report.halted_wave == 0
+        assert plane.ledger[0].decision == "halt"
+        assert plane.ledger[0].devices == len(report.waves[0].device_ids)
+        assert plane.ledger[0].rollback_devices == sum(
+            1 for t in report.waves[0].telemetry if t.installed)
+
+    def test_ledger_and_registry_follow_a_clean_rollout(self, small_plan):
+        server = FleetServer()
+        events = []
+        plane = ControlPlane(server, plan=small_plan, jobs=1,
+                             on_event=events.append)
+        report = plane.run_rollout(FLEET_SPEC_V2, 10)
+        assert report.ok
+        assert [e.decision for e in plane.ledger] == \
+            ["promote", "promote", "complete"]
+        assert sum(e.devices for e in plane.ledger) == 10
+        # Every treatment report was folded into the sharded registry.
+        assert plane.registry.devices == 10
+        assert plane.registry.events == 10
+        kinds = [e["event"] for e in events]
+        assert kinds.count("wave_start") == 3
+        assert kinds.count("wave_decision") == 3
+        # One telemetry event per treatment device (paired-control runs
+        # are internal evidence, not fleet-visible reports).
+        assert kinds.count("telemetry") == 10
+        # Windowed rollups accumulated evidence for the gate decisions.
+        assert plane.ledger[-1].windows
+        assert plane.ledger[-1].queue["dropped"] == 0
+
+    def test_shed_policy_surfaces_drop_counts_in_summary(self, small_plan):
+        server = FleetServer()
+        plane = ControlPlane(
+            server, plan=small_plan, jobs=1,
+            config=ControlConfig(queue_capacity=1, policy="shed_oldest"))
+        report = plane.run_rollout(FLEET_SPEC_V2, 8)
+        dropped = sum(w.summary.telemetry_dropped for w in report.waves)
+        ledger_dropped = sum(e.queue.get("dropped", 0)
+                             for e in plane.ledger)
+        assert dropped == ledger_dropped
+        # Whatever was shed is missing from aggregation, honestly.
+        received = sum(w.summary.devices for w in report.waves)
+        attempted = sum(len(w.device_ids) for w in report.waves)
+        treatment_dropped = sum(
+            len(w.device_ids) - len(w.telemetry) for w in report.waves)
+        assert received == attempted - treatment_dropped
+
+    def test_result_cache_round_trip(self, small_plan, tmp_path):
+        server = FleetServer()
+        first = server.rollout(FLEET_SPEC_V2, 8, plan=small_plan, jobs=1,
+                               cache=str(tmp_path / "cache"))
+        second = server.rollout(FLEET_SPEC_V2, 8, plan=small_plan, jobs=1,
+                                cache=str(tmp_path / "cache"))
+        assert first.to_dict() == second.to_dict()
+
+    def test_lockstep_plan_still_runs_through_the_plane(self):
+        plan = RolloutPlan(runs=2, lockstep=True, seed_mode="per_cohort")
+        server = FleetServer()
+        report = server.rollout(FLEET_SPEC_V2, 8, plan=plan)
+        assert report.ok
+        assert report.summary is not None
+
+
+class TestServeLoop:
+    def test_serve_rolls_out_then_monitors(self, small_plan):
+        server = FleetServer()
+        plane = ControlPlane(server, plan=small_plan, jobs=1)
+        report = plane.serve(6, new_spec=FLEET_SPEC_V2, cycles=2)
+        assert report.rollout is not None and report.rollout.ok
+        assert len(report.cycles) == 2
+        for cycle in report.cycles:
+            assert cycle["summary"]["devices"] == 6
+            assert cycle["queue"]["dropped"] == 0
+            assert cycle["windows"]
+            assert sum(cycle["shards"]) == 6
+        # Monitoring keeps folding into the same registry.
+        assert plane.registry.events == 6 + 6 + 6  # rollout + 2 cycles
+
+    def test_monitor_only_serve(self, small_plan):
+        server = FleetServer()
+        plane = ControlPlane(server, plan=small_plan, jobs=1)
+        report = plane.serve(4, cycles=1)
+        assert report.rollout is None
+        assert len(report.cycles) == 1
+        # No update was offered: every device reports "none".
+        assert report.cycles[0]["summary"]["outcomes"] == {"none": 4}
+        assert report.describe()
+
+    def test_serve_validates_cycles(self, small_plan):
+        plane = ControlPlane(FleetServer(), plan=small_plan)
+        with pytest.raises(FleetError):
+            plane.serve(2, cycles=0)
+
+    def test_run_sync_inside_running_loop(self, small_plan):
+        """Plane entry points work from async contexts (helper-thread
+        fallback instead of a nested-loop crash)."""
+        server = FleetServer()
+        plane = ControlPlane(server, plan=small_plan, jobs=1)
+
+        async def driver():
+            return plane.serve(2, cycles=1)
+
+        report = asyncio.run(driver())
+        assert len(report.cycles) == 1
