@@ -53,6 +53,7 @@ METRIC_DIRECTIONS: Dict[str, str] = {
     "streamed_devices_per_s": "higher",
     "conformance_schedules_per_s": "higher",
     "predict_monitors_per_s": "higher",
+    "tl_monitors_per_s": "higher",
     # Legacy fork-per-call pool wall time over persistent-pool wall time
     # on the same sweep: what keeping workers alive buys. Dimensionless,
     # so it gates even on a single-core box (where parallel-vs-serial is
@@ -338,6 +339,56 @@ def _measure_predict(trials: int = 5, repeats: int = 20) -> float:
     return repeats * n_monitors / best
 
 
+def _measure_tl(trials: int = 5, n_props: int = 200) -> float:
+    """Best-of-N temporal-frontend throughput (emitted monitors per
+    second): parse and validate an ``n_props``-property past-time MTL
+    spec, then compile it through the shared-subformula planner. The
+    spec's properties recur over a small pool of stateful subformulas,
+    so the whole frontend is on the path — lexer, formula parser,
+    rewriter, hash-consing, and sub-monitor emission."""
+    from repro.core.generator import build_monitor_plan
+    from repro.spec.validator import load_properties
+    from repro.taskgraph.builder import AppBuilder
+
+    tasks = ("A", "B", "C")
+    windows = ("0, 5s", "0, 30s", "0, 2min")
+    lines: Dict[str, list] = {t: [] for t in tasks}
+    for i in range(n_props):
+        anchor, dep = tasks[i % 3], tasks[(i + 1) % 3]
+        variant = i % 4
+        if variant == 0:
+            f = f"started({anchor}) -> once ended({dep})"
+        elif variant == 1:
+            f = f"once[{windows[i % 3]}] ended({dep})"
+        elif variant == 2:
+            f = f"not ended({anchor}) since ended({dep})"
+        else:
+            f = (f"once ended({dep}) and "
+                 f"(not ended({anchor}) since ended({dep}))")
+        lines[anchor].append(
+            f"    temporal: {f} at: {'start' if i % 2 else 'end'} "
+            f"label: p{i} onFail: skipPath Path: 1;")
+    source = "\n\n".join(
+        f"{task}: {{\n" + "\n".join(props) + "\n}"
+        for task, props in lines.items()) + "\n"
+    builder = AppBuilder("tl-bench")
+    for t in tasks:
+        builder.task(t)
+    app = builder.path(1, list(tasks)).build()
+
+    best: Optional[float] = None
+    plan = None
+    for _ in range(trials):
+        t0 = time.perf_counter()
+        props = load_properties(source, app)
+        plan = build_monitor_plan(props)
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    if plan.shared_monitors >= plan.naive_monitors:
+        raise AssertionError("subformula sharing produced no savings")
+    return plan.shared_monitors / best
+
+
 def collect_metrics() -> Dict[str, float]:
     """Run the whole measurement suite; returns metric name -> value."""
     generated = _measure_engine("generated")
@@ -353,6 +404,7 @@ def collect_metrics() -> Dict[str, float]:
     metrics["streamed_devices_per_s"] = _measure_streamed()
     metrics["conformance_schedules_per_s"] = _measure_conformance()
     metrics["predict_monitors_per_s"] = _measure_predict()
+    metrics["tl_monitors_per_s"] = _measure_tl()
     return metrics
 
 

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Temporal properties with shared-subformula compilation.
+
+Twenty past-time MTL properties guard a three-task sensing pipeline.
+The formulas overlap heavily — "sense has ended at least once",
+"nothing was sent since the last calibration", freshness windows — so
+the shared-subformula planner collapses the repeated stateful
+subformulas (`once`, `since`, bounded `once[0,b]`) into sub-monitors
+emitted once and read by every owning property. The demo prints the
+shared vs naive machine counts, then runs the full deployment on
+harvested power to show the compiled DAG live through crashes.
+
+Run:  python examples/temporal_spec.py
+Docs: docs/spec.md
+"""
+
+from repro import (
+    AppBuilder,
+    ArtemisMonitor,
+    Device,
+    EnergyEnvironment,
+    PowerModel,
+    TaskCost,
+    load_properties,
+)
+from repro.core.generator import build_monitor_plan
+from repro.nvm.memory import NonVolatileMemory
+from repro.workloads.health import build_artemis
+
+# ----------------------------------------------------------------------
+# 1. A sense -> process -> send pipeline.
+# ----------------------------------------------------------------------
+
+
+def sense(ctx):
+    reading = ctx.sample("adc")
+    ctx.write("reading", reading)
+    ctx.emit("reading", reading)  # rides on the EndTask event (data(...))
+
+
+def process(ctx):
+    ctx.write("scaled", ctx.read("reading") * 2.0)
+
+
+def send(ctx):
+    ctx.append("uplink", {"scaled": ctx.read("scaled")})
+
+
+app = (
+    AppBuilder("temporal-demo")
+    .task("sense", body=sense, monitored_vars=("reading",))
+    .task("process", body=process)
+    .task("send", body=send)
+    .path(1, ["sense", "process", "send"])
+    .sensor("adc", lambda t: 21.5)
+    .build()
+)
+
+# ----------------------------------------------------------------------
+# 2. Twenty overlapping temporal properties. Each line is an ordinary
+#    spec property; the planner finds the shared structure on its own.
+# ----------------------------------------------------------------------
+
+SPEC = """
+process: {
+    temporal: once ended(sense) label: p01 onFail: restartPath Path: 1;
+    temporal: started(process) -> once ended(sense) label: p02 onFail: restartPath Path: 1;
+    temporal: once[0, 5min] ended(sense) label: p03 onFail: restartPath Path: 1;
+    temporal: not ended(send) since ended(sense) label: p04 onFail: skipPath Path: 1;
+    temporal: once ended(sense) and not started(send) label: p05 onFail: skipPath Path: 1;
+    temporal: once data(reading) > -50 label: p06 onFail: skipPath Path: 1;
+}
+
+send: {
+    temporal: once ended(sense) label: p07 onFail: restartPath Path: 1;
+    temporal: once ended(process) label: p08 onFail: restartPath Path: 1;
+    temporal: once[0, 5min] ended(sense) label: p09 onFail: skipPath Path: 1;
+    temporal: once[0, 5min] ended(process) label: p10 onFail: skipPath Path: 1;
+    temporal: not ended(send) since ended(sense) label: p11 onFail: skipPath Path: 1;
+    temporal: not ended(send) since ended(process) label: p12 onFail: skipPath Path: 1;
+    temporal: started(send) -> once ended(process) label: p13 onFail: restartPath Path: 1;
+    temporal: once ended(sense) and once ended(process) label: p14 onFail: restartPath Path: 1;
+    temporal: once ended(sense) at: end label: p15 onFail: skipPath Path: 1;
+    temporal: once data(reading) > -50 label: p16 onFail: skipPath Path: 1;
+    temporal: once data(reading) > -50 or once ended(process) label: p17 onFail: skipPath Path: 1;
+}
+
+sense: {
+    temporal: not (not ended(send) since ended(sense)) or once ended(process) label: p18 onFail: skipPath Path: 1;
+    temporal: historically not data(reading) > 1000 label: p19 onFail: skipPath Path: 1;
+    temporal: started(sense) -> historically not data(reading) > 1000 label: p20 onFail: skipPath Path: 1;
+}
+"""
+
+props = load_properties(SPEC, app)
+
+# ----------------------------------------------------------------------
+# 3. Shared vs naive compilation.
+# ----------------------------------------------------------------------
+
+shared = build_monitor_plan(props)
+naive = build_monitor_plan(props, share_subformulas=False)
+
+print(f"properties:            {len(props)}")
+print(f"naive monitors:        {shared.naive_monitors}  "
+      "(one private sub-tree per property)")
+print(f"shared monitors:       {shared.shared_monitors}  "
+      f"({len(shared.sub_owners)} sub-monitors shared across properties)")
+print(f"sharing ratio:         "
+      f"{shared.shared_monitors / shared.naive_monitors:.2f}")
+print(f"opt-out plan emits:    {naive.shared_monitors} machines "
+      "(--no-share-subformulas)")
+print()
+print("most-shared subformulas:")
+for sub, owners in sorted(shared.sub_owners.items(),
+                          key=lambda kv: -len(kv[1]))[:4]:
+    print(f"  {sub:<28} read by {len(owners)} properties")
+
+# Sanity: sharing must never change semantics, only the machine count.
+assert shared.shared_monitors < shared.naive_monitors
+assert naive.shared_monitors == naive.naive_monitors
+
+# ----------------------------------------------------------------------
+# 4. The same spec live on harvested power: the compiled DAG persists
+#    its sub-monitor state in NVM and survives power failures like any
+#    other monitor.
+# ----------------------------------------------------------------------
+
+monitor = ArtemisMonitor(props, NonVolatileMemory())
+device = Device(EnergyEnvironment.for_charging_delay(30.0))
+# One full run costs more than a charge cycle holds (~15 mJ), so the
+# device browns out mid-pipeline and resumes from NVM.
+power = PowerModel({
+    "sense": TaskCost(0.05, 1e-3),
+    "process": TaskCost(1.00, 9e-3),
+    "send": TaskCost(1.10, 9e-3, 1.0e-3),
+})
+runtime = build_artemis(device, app=app, spec=SPEC, power=power)
+result = device.run(runtime, runs=3)
+
+print()
+print(f"harvested-power run:   {result.runs_completed} runs, "
+      f"{result.reboots} reboots")
+shared_cells = sum(
+    1 for name in device.nvm if ".tl_" in name and name.endswith("state"))
+print(f"sub-monitor NVM cells: {shared_cells} persisted machine states")
+print("ok: 20 properties monitored through "
+      f"{shared.shared_monitors} machines")

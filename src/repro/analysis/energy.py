@@ -63,7 +63,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
-from repro.core.generator import generate_machines
+from repro.core.generator import build_monitor_plan
 from repro.core.monitor import subscription_tables
 from repro.core.properties import Property, PropertySet
 from repro.energy.capacitor import Capacitor
@@ -293,7 +293,8 @@ class EnergyReport:
                  capacitor: Capacitor, monitors: List[MonitorBound],
                  paths: List[PathBudget],
                  subscriptions: Dict[str, Optional[FrozenSet[str]]],
-                 commit_steps_per_task: int = COMMIT_STEPS_PER_TASK):
+                 commit_steps_per_task: int = COMMIT_STEPS_PER_TASK,
+                 sub_owners: Optional[Dict[str, List[str]]] = None):
         self.app = app
         self.power = power
         self.capacitor = capacitor
@@ -303,6 +304,9 @@ class EnergyReport:
         #: machine name -> subscribed task set (``None`` = wildcard).
         self.subscriptions = subscriptions
         self.commit_steps_per_task = commit_steps_per_task
+        #: shared temporal sub-monitor -> owning root machines (empty
+        #: when the property set has no temporal properties).
+        self.sub_owners: Dict[str, List[str]] = dict(sub_owners or {})
         self._by_machine = {m.machine: m for m in monitors}
         self._by_number = {p.number: p for p in paths}
 
@@ -451,8 +455,8 @@ def analyze(app: Application, props: Iterable[Property], power: PowerModel,
 
         capacitor = default_capacitor()
     prop_list = list(props)
-    machines = generate_machines(prop_list)
-    prop_by_machine = {p.machine_name(): p for p in prop_list}
+    plan = build_monitor_plan(prop_list)
+    machines = plan.machines
     wildcard_set, dispatch = subscription_tables(machines)
 
     def subscribers(task: str) -> int:
@@ -467,7 +471,7 @@ def analyze(app: Application, props: Iterable[Property], power: PowerModel,
     subscriptions: Dict[str, Optional[FrozenSet[str]]] = {}
     monitors: List[MonitorBound] = []
     for idx, machine in enumerate(machines):
-        prop = prop_by_machine[machine.name]
+        prop = plan.prop_for(machine.name)
         wildcard = idx in wildcard_set
         subscribed = (None if wildcard
                       else frozenset(machine.referenced_tasks()))
@@ -490,13 +494,27 @@ def analyze(app: Application, props: Iterable[Property], power: PowerModel,
                         machine, kind, task, path=path.number)
                     wc_transitions = max(wc_transitions, scanned)
                     wc_ops = max(wc_ops, ops)
+        if prop is None:
+            # Shared temporal sub-monitor: serves every owner in
+            # plan.sub_owners and is never shed on its own — shedding
+            # is decided at the owning root properties.
+            owners = plan.sub_owners.get(machine.name, [])
+            owner_props = [plan.prop_for(o) for o in owners]
+            kind = "tl-sub"
+            task = min(p.task for p in owner_props if p is not None) \
+                if any(owner_props) else ""
+            path = None
+            sheddable = False
+        else:
+            kind, task, path = prop.kind, prop.task, prop.path
+            sheddable = type(prop).SUPPORTS_PRIORITY
         monitors.append(MonitorBound(
             machine=machine.name,
-            kind=prop.kind,
-            task=prop.task,
-            path=prop.path,
+            kind=kind,
+            task=task,
+            path=path,
             priority=machine.priority,
-            sheddable=type(prop).SUPPORTS_PRIORITY,
+            sheddable=sheddable,
             wildcard=wildcard,
             subscribed_tasks=(("*",) if subscribed is None
                               else tuple(sorted(subscribed))),
@@ -511,8 +529,9 @@ def analyze(app: Application, props: Iterable[Property], power: PowerModel,
     # -- timing-livelock risks -------------------------------------------
     risks: List[LivelockRisk] = []
     for machine in machines:
-        prop = prop_by_machine[machine.name]
-        risks.extend(livelock_risks(machine, app, guarded_task=prop.task))
+        prop = plan.prop_for(machine.name)
+        risks.extend(livelock_risks(
+            machine, app, guarded_task=prop.task if prop else None))
 
     # -- per-path budgets -------------------------------------------------
     paths: List[PathBudget] = []
@@ -571,7 +590,8 @@ def analyze(app: Application, props: Iterable[Property], power: PowerModel,
 
     return EnergyReport(app, power, capacitor, monitors, paths,
                         subscriptions,
-                        commit_steps_per_task=commit_steps_per_task)
+                        commit_steps_per_task=commit_steps_per_task,
+                        sub_owners=plan.sub_owners)
 
 
 # ---------------------------------------------------------------------------
@@ -585,10 +605,38 @@ def derive_priorities(report: EnergyReport) -> Dict[str, int]:
     Priority 0 (shed first) goes to the machine whose worst-case per-run
     energy buys the least coverage; ties break on machine name so the
     ranking is deterministic. Non-sheddable machines get no entry.
+
+    Shared temporal sub-monitors (``report.sub_owners``) are priced
+    exactly once: each sub's per-run energy is attributed to its
+    *cheapest* sheddable owning root (ties on machine name). Charging
+    every owner would double-count the single shared machine and
+    systematically over-rank heavily shared properties; charging the
+    cheapest owner keeps the total attributed energy equal to the total
+    machine energy while still making *some* owner pay for keeping the
+    sub alive.
     """
+    by_name = {m.machine: m for m in report.monitors}
+    extra: Dict[str, float] = {}
+    for sub, owners in sorted(report.sub_owners.items()):
+        sub_bound = by_name.get(sub)
+        if sub_bound is None:
+            continue
+        candidates = sorted(
+            (by_name[o] for o in owners
+             if o in by_name and by_name[o].sheddable),
+            key=lambda m: (m.run_energy_j, m.machine))
+        if candidates:
+            owner = candidates[0]
+            extra[owner.machine] = (extra.get(owner.machine, 0.0)
+                                    + sub_bound.run_energy_j)
+
+    def priced_cost(m: MonitorBound) -> float:
+        return (m.run_energy_j + extra.get(m.machine, 0.0)) \
+            / max(1, m.coverage)
+
     sheddable = [m for m in report.monitors if m.sheddable]
     ranked = sorted(sheddable,
-                    key=lambda m: (-m.cost_per_coverage_j, m.machine))
+                    key=lambda m: (-priced_cost(m), m.machine))
     return {m.machine: rank for rank, m in enumerate(ranked)}
 
 

@@ -74,11 +74,11 @@ import sys
 from pathlib import Path
 from typing import Optional
 
-from repro.core.generator import generate_machines
+from repro.core.generator import build_monitor_plan
 from repro.core.runtime import ArtemisRuntime
 from repro.energy.environment import EnergyEnvironment, default_capacitor
 from repro.energy.power import MCU_ACTIVE_POWER_W, PowerModel, TaskCost
-from repro.errors import ReproError, RuntimeConfigError
+from repro.errors import ReproError, RuntimeConfigError, SpecError
 from repro.fleet import FleetServer, RolloutPlan, build_bundle, compat_diff
 from repro.fleet.control import ControlConfig, ControlPlane
 from repro.fleet.server import (
@@ -185,10 +185,43 @@ def _load_props(args: argparse.Namespace, app: Application):
 # ---------------------------------------------------------------------------
 
 
+def spec_diagnostic(source: str, path: str, exc: SpecError) -> str:
+    """Render a sourced compiler-style diagnostic for a spec error.
+
+    When the exception carries a position (``line``/``column``, both
+    1-based), the offending source line is echoed with a caret span of
+    ``width`` columns underneath; a ``hint`` attribute becomes a
+    trailing ``= hint:`` note. Errors without a position degrade to the
+    bare message.
+    """
+    lines = [f"error: {exc}"]
+    line = getattr(exc, "line", None)
+    column = getattr(exc, "column", None)
+    if line is not None and column is not None:
+        source_lines = source.splitlines()
+        if 1 <= line <= len(source_lines):
+            text = source_lines[line - 1]
+            width = max(1, int(getattr(exc, "width", None) or 1))
+            gutter = len(str(line))
+            lines.append(f"{'':>{gutter}}--> {path}:{line}:{column}")
+            lines.append(f"{'':>{gutter}} |")
+            lines.append(f"{line} | {text}")
+            lines.append(f"{'':>{gutter}} | {'':>{column - 1}}{'^' * width}")
+    hint = getattr(exc, "hint", None)
+    if hint:
+        lines.append(f"  = hint: {hint}")
+    return "\n".join(lines)
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     """Run the ``check`` subcommand; returns the process exit code."""
     app = load_app(args.app)
-    props = _load_props(args, app)
+    try:
+        props = _load_props(args, app)
+    except SpecError as exc:
+        print(spec_diagnostic(_read_spec(args.spec), args.spec, exc),
+              file=sys.stderr)
+        return 1
     print(f"specification OK: {len(props)} properties on "
           f"{len(props.tasks())} tasks")
     power = load_power(args.app) if args.with_power else None
@@ -215,7 +248,8 @@ def cmd_compile(args: argparse.Namespace) -> int:
                     print(f"auto-priority {prop.priority}: "
                           f"{prop.machine_name()}")
         props = ranked
-    machines = generate_machines(props)
+    plan = build_monitor_plan(props, share_subformulas=args.share_subformulas)
+    machines = plan.machines
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
 
@@ -234,7 +268,12 @@ def cmd_compile(args: argparse.Namespace) -> int:
     h_path = out_dir / "monitor.h"
     h_path.write_text(generate_c_header())
 
-    print(f"{len(props)} properties -> {len(machines)} monitors")
+    if plan.naive_monitors != plan.shared_monitors:
+        ratio = plan.shared_monitors / plan.naive_monitors
+        print(f"{len(props)} properties -> {plan.shared_monitors} monitors "
+              f"(naive {plan.naive_monitors}, sharing ratio {ratio:.2f})")
+    else:
+        print(f"{len(props)} properties -> {len(machines)} monitors")
     for path in (sm_path, py_path, c_path, h_path):
         print(f"  wrote {path}")
     return 0
@@ -640,6 +679,16 @@ def build_parser() -> argparse.ArgumentParser:
                            help="specification language of the input file")
     p_compile.add_argument("-o", "--out", default="generated",
                            help="output directory (default: ./generated)")
+    p_compile.add_argument("--share-subformulas", dest="share_subformulas",
+                           action="store_true", default=True,
+                           help="hash-cons structurally equal temporal "
+                                "subformulas into shared sub-monitors "
+                                "(default)")
+    p_compile.add_argument("--no-share-subformulas", dest="share_subformulas",
+                           action="store_false",
+                           help="compile every temporal property to its own "
+                                "private sub-monitors (measures the sharing "
+                                "win)")
     p_compile.add_argument("--auto-priorities", action="store_true",
                            help="derive degradation priorities from the "
                                 "static cost-per-coverage ranking when the "

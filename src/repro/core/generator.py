@@ -14,7 +14,8 @@ with the capacitor level).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.core.properties import (
     Collect,
@@ -26,8 +27,10 @@ from repro.core.properties import (
     Period,
     Property,
     PropertySet,
+    Temporal,
 )
 from repro.errors import GenerationError
+from repro.tl.compile import compile_temporal
 from repro.statemachine.model import (
     ANY_EVENT,
     END_TASK,
@@ -415,6 +418,12 @@ def _scope_to_path(machine: StateMachine, prop: Property) -> StateMachine:
 
 def generate_machine(prop: Property) -> StateMachine:
     """Transform one property into its state machine."""
+    if isinstance(prop, Temporal):
+        raise GenerationError(
+            "temporal properties compile in batches (sub-monitors are "
+            "shared across properties) — use build_monitor_plan or "
+            "generate_machines"
+        )
     template = _TEMPLATES.get(type(prop))
     if template is None:
         raise GenerationError(f"no template for property type {type(prop).__name__}")
@@ -425,6 +434,63 @@ def generate_machine(prop: Property) -> StateMachine:
     return machine
 
 
+@dataclass
+class MonitorPlan:
+    """Machines for a whole property set, plus the wiring metadata the
+    monitor, the energy analysis, and the ``compile`` CLI need.
+
+    ``machines`` is in execution order: shared temporal sub-monitors
+    first (dependency order — a machine precedes everything that reads
+    it through ``extern``), then one machine per property in
+    declaration order. ``prop_for_machine`` covers exactly the property
+    machines; sub-monitors appear only in ``sub_owners``, which maps
+    each to the property machines it serves.
+    """
+
+    machines: List[StateMachine] = field(default_factory=list)
+    prop_for_machine: Dict[str, Property] = field(default_factory=dict)
+    sub_owners: Dict[str, List[str]] = field(default_factory=dict)
+    #: Machines a per-property (no sharing) compilation would emit.
+    naive_monitors: int = 0
+
+    @property
+    def shared_monitors(self) -> int:
+        return len(self.machines)
+
+    def prop_for(self, machine_name: str) -> Optional[Property]:
+        return self.prop_for_machine.get(machine_name)
+
+
+def build_monitor_plan(
+    props: Iterable[Property], share_subformulas: bool = True
+) -> MonitorPlan:
+    """Generate all machines for a property set.
+
+    Temporal properties are compiled together so structurally equal
+    subformulas share one sub-monitor (disable with
+    ``share_subformulas=False`` to measure the sharing win); the six
+    fixed kinds keep their one-property-one-machine templates.
+    """
+    prop_list = list(props)
+    temporals = [p for p in prop_list if isinstance(p, Temporal)]
+    plan = MonitorPlan()
+    roots: Dict[str, StateMachine] = {}
+    if temporals:
+        comp = compile_temporal(temporals, share=share_subformulas)
+        plan.machines.extend(comp.sub_machines)
+        plan.sub_owners = comp.sub_owners
+        plan.naive_monitors += comp.dag.naive_stateful
+        roots = {m.name: m for m in comp.root_machines}
+    for prop in prop_list:
+        machine = roots[prop.machine_name()] if isinstance(prop, Temporal) \
+            else generate_machine(prop)
+        plan.machines.append(machine)
+        plan.prop_for_machine[machine.name] = prop
+        plan.naive_monitors += 1
+    return plan
+
+
 def generate_machines(props: Iterable[Property]) -> List[StateMachine]:
-    """Transform a property set (one machine per property, §3.3)."""
-    return [generate_machine(p) for p in props]
+    """Transform a property set (one machine per property, §3.3 — plus
+    shared sub-monitors when temporal properties are present)."""
+    return build_monitor_plan(props).machines

@@ -15,7 +15,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.actions import Action, ActionType
 from repro.core.events import MonitorEvent
-from repro.core.generator import generate_machines
+from repro.core.generator import build_monitor_plan
 from repro.core.properties import Property, PropertySet
 from repro.errors import ReproError
 from repro.immortal.continuations import ImmortalRoutine, PersistentList
@@ -117,11 +117,20 @@ class ArtemisMonitor:
         self.props = props
         self.name = name
         self._nvm = nvm
-        self.machines = generate_machines(props)
-        self._props_by_machine: Dict[str, Property] = {
-            prop.machine_name(): prop for prop in props
-        }
+        self.plan = build_monitor_plan(props)
+        self.machines = self.plan.machines
+        self._props_by_machine: Dict[str, Property] = self.plan.prop_for_machine
         self.instances = []
+        # Temporal property machines read their shared sub-monitors'
+        # variables through extern(...) expressions; resolve them against
+        # this monitor's own instance registry. Machines are stepped in
+        # plan order (sub-monitors before readers), so a read always sees
+        # the peer's state as of the current event.
+        instances_by_name: Dict[str, object] = {}
+
+        def extern(machine_name: str, var_name: str):
+            return instances_by_name[machine_name].get(var_name)
+
         for machine in self.machines:
             # Machine state is advanced in place; crash-safety comes
             # from the monitor's own exactly-once protocol (last_seq
@@ -129,9 +138,10 @@ class ArtemisMonitor:
             # declare the store's cells WAR-exempt progress cells.
             store = NVMStore(nvm, f"{name}.{machine.name}", progress=True)
             if backend == "generated":
-                instance = compile_machine(machine)(store)
+                instance = compile_machine(machine)(store, extern)
             else:
-                instance = MachineInstance(machine, store)
+                instance = MachineInstance(machine, store, extern)
+            instances_by_name[machine.name] = instance
             self.instances.append(instance)
         self._routine = ImmortalRoutine(nvm, f"{name}.call")
         # Machines currently shed by the degradation controller. Persisted
@@ -313,7 +323,12 @@ class ArtemisMonitor:
         task_set = set(path_task_names)
         count = 0
         for machine, instance in zip(self.machines, self.instances):
-            prop = self._props_by_machine[machine.name]
+            # Shared temporal sub-monitors have no property of their own
+            # and are never re-initialised: their history (e.g. "once
+            # ended(sample)") spans path restarts by design.
+            prop = self._props_by_machine.get(machine.name)
+            if prop is None:
+                continue
             if prop.task in task_set and prop.REINIT_ON_PATH_RESTART:
                 instance.reset()
                 if _MACHINE_TAPS:

@@ -209,7 +209,68 @@ class EnergyAtLeast(PropertyBase):
         )
 
 
-Property = Union[MaxTries, MaxDuration, MITD, Collect, DpData, Period, EnergyAtLeast]
+@dataclass(frozen=True)
+class Temporal(PropertyBase):
+    """Past-time MTL property over task events and collected data.
+
+    ``temporal: started(send) -> once[0, 5min] ended(sample)
+    onFail: skipTask;`` — the formula (a :mod:`repro.tl.ast` tree) is
+    checked whenever the ``at`` trigger fires on the guarded task
+    (``start``/``end`` of the task, or ``always`` = every event), and
+    the fail action fires when it does not hold.
+
+    Unlike the six fixed kinds, many temporal properties compile
+    *together*: structurally equal subformulas share sub-monitor
+    machines (see :mod:`repro.tl.rewrite`). Sub-monitor state survives
+    path restarts and sub-monitors are never shed; the root check is
+    sheddable like any comparison property.
+    """
+
+    KIND = "temporal"
+    REINIT_ON_PATH_RESTART = False
+    #: The formula, a :data:`repro.tl.ast.Formula` tree (typed loosely
+    #: to keep this module import-light; the tl package imports the
+    #: spec package, which imports this module).
+    formula: object = None
+    #: When to check: at the guarded task's ``start``/``end``, or on
+    #: ``always`` (every event the monitor sees).
+    at: str = "start"
+    #: Optional stable name for the generated machine (defaults to a
+    #: content hash of the formula, so equal properties collide in
+    #: :meth:`PropertySet.add` and distinct ones never do).
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        _require(self.formula is not None,
+                 f"temporal on {self.task!r}: formula is required")
+        _require(self.at in ("start", "end", "always"),
+                 f"temporal on {self.task!r}: at must be start, end or "
+                 f"always, got {self.at!r}")
+        _require(self.label is None or self.label.isidentifier(),
+                 f"temporal on {self.task!r}: label {self.label!r} is not "
+                 f"an identifier")
+
+    def machine_name(self) -> str:
+        # Imported lazily: repro.tl pulls in the spec package, which
+        # imports this module at load time.
+        import hashlib
+
+        from repro.tl.ast import formula_key
+
+        suffix = f"_p{self.path}" if self.path is not None else ""
+        if self.label is not None:
+            tag = self.label
+        else:
+            action = getattr(self.on_fail, "value", str(self.on_fail))
+            canonical = f"{formula_key(self.formula)}|at={self.at}|on={action}"
+            tag = hashlib.md5(canonical.encode()).hexdigest()[:8]
+        return f"temporal_{self.task}{suffix}_{tag}"
+
+
+Property = Union[
+    MaxTries, MaxDuration, MITD, Collect, DpData, Period, EnergyAtLeast,
+    Temporal,
+]
 
 
 @dataclass

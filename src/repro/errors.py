@@ -22,18 +22,35 @@ class SpecError(ReproError):
 class SpecSyntaxError(SpecError):
     """Raised when the property specification cannot be parsed.
 
-    Carries the 1-based ``line`` and ``column`` of the offending token so
-    tooling can point at the exact location.
+    Carries the 1-based ``line`` and ``column`` of the offending token
+    (plus the token ``width`` for caret underlining) so tooling can
+    point at the exact span; ``hint`` optionally suggests a fix (the
+    ``check`` CLI prints both).
     """
 
-    def __init__(self, message: str, line: int = 0, column: int = 0):
+    def __init__(self, message: str, line: int = 0, column: int = 0,
+                 hint: str = "", width: int = 1):
         super().__init__(f"{message} (line {line}, column {column})")
         self.line = line
         self.column = column
+        self.hint = hint
+        self.width = max(1, width)
 
 
 class SpecValidationError(SpecError):
-    """Raised when a parsed specification is semantically invalid."""
+    """Raised when a parsed specification is semantically invalid.
+
+    ``line``/``column``/``width`` locate the offending construct when
+    known (0 = unknown); ``hint`` optionally suggests a fix.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0,
+                 hint: str = "", width: int = 1):
+        super().__init__(message)
+        self.line = line
+        self.column = column
+        self.hint = hint
+        self.width = max(1, width)
 
 
 class GenerationError(ReproError):

@@ -39,7 +39,10 @@ from repro.statemachine.model import (
     BinOp,
     Const,
     EventField,
+    EventIs,
+    ExternRef,
     Fail,
+    HasData,
     If,
     Not,
     StateMachine,
@@ -292,6 +295,17 @@ class BatchMachineSet:
             return self.arrays.column(f"{machine_name}.var.{expr.name}")
         if isinstance(expr, EventField):
             return _event_field(event, expr.field)
+        if isinstance(expr, EventIs):
+            return expr.kind == event.kind and (
+                expr.task is None or expr.task == event.task)
+        if isinstance(expr, HasData):
+            return expr.key in (getattr(event, "data", None) or {})
+        if isinstance(expr, ExternRef):
+            # Peer machine columns live in the same SoA table; the tap
+            # replay and the dispatch loop both step machines in the
+            # monitor's dependency order, so the column already reflects
+            # this event for upstream machines.
+            return self.arrays.column(f"{expr.machine}.var.{expr.var}")
         if isinstance(expr, Not):
             return ~self._truthy(
                 self._eval_numpy(expr.operand, event, machine_name, mask))
@@ -301,6 +315,12 @@ class BatchMachineSet:
                 left = self._truthy(
                     self._eval_numpy(expr.left, event, machine_name, mask))
                 rmask = mask & (left if op == "and" else ~left)
+                if not rmask.any():
+                    # The left side already decides every consumed lane:
+                    # skip the right side entirely, so guarded reads like
+                    # ``hasData(k) and data.k < v`` never touch missing
+                    # event data (the scalar interpreter's behaviour).
+                    return left
                 right = self._truthy(
                     self._eval_numpy(expr.right, event, machine_name, rmask))
                 return left & right if op == "and" else left | right
@@ -402,6 +422,13 @@ class BatchMachineSet:
         if isinstance(expr, EventField):
             value = _event_field(event, expr.field)
             return value[lane] if isinstance(value, (list, tuple)) else value
+        if isinstance(expr, EventIs):
+            return expr.kind == event.kind and (
+                expr.task is None or expr.task == event.task)
+        if isinstance(expr, HasData):
+            return expr.key in (getattr(event, "data", None) or {})
+        if isinstance(expr, ExternRef):
+            return self.arrays.get(f"{expr.machine}.var.{expr.var}", lane)
         if isinstance(expr, Not):
             return not self._eval_lane(expr.operand, event, machine_name, lane)
         if isinstance(expr, BinOp):

@@ -10,9 +10,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple, Union
 
+from repro.tl.ast import Formula
+
 #: Value of a property or clause: an int count, a float (seconds, after
-#: duration normalisation), an identifier, or a numeric range.
-Value = Union[int, float, str, Tuple[float, float]]
+#: duration normalisation), an identifier, a numeric range, or — for
+#: ``temporal`` properties — a past-time MTL formula tree.
+Value = Union[int, float, str, Tuple[float, float], Formula]
 
 
 @dataclass(frozen=True)

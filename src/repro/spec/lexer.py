@@ -16,7 +16,9 @@ _TOKEN_RE = re.compile(
   | (?P<duration>\d+(?:\.\d+)?(?:ms|sec|min|hour|h|s)\b)
   | (?P<number>\d+\.\d+|\d+)
   | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
-  | (?P<punct>[{}\[\]:;,])
+  | (?P<arrow>->)
+  | (?P<cmp><=|>=|==|!=|<|>)
+  | (?P<punct>[{}()\[\]:;,])
   | (?P<minus>-)
     """,
     re.VERBOSE,
@@ -25,7 +27,7 @@ _TOKEN_RE = re.compile(
 
 @dataclass(frozen=True)
 class Token:
-    kind: str  # duration | number | ident | punct | minus | eof
+    kind: str  # duration | number | ident | arrow | cmp | punct | minus | eof
     text: str
     line: int
     column: int

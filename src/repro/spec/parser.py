@@ -75,7 +75,10 @@ class _Parser:
     def _parse_property(self) -> PropertyDecl:
         key_tok = self._expect("ident")
         self._expect("punct", ":")
-        value = self._parse_value()
+        if key_tok.text == "temporal":
+            value = self._parse_formula()
+        else:
+            value = self._parse_value()
         clauses: List[Clause] = []
         while not self._accept_punct(";"):
             clauses.append(self._parse_clause())
@@ -90,6 +93,14 @@ class _Parser:
         else:
             value = self._parse_value()
         return Clause(key_tok.text, value, key_tok.line)
+
+    def _parse_formula(self):
+        # Imported lazily: the tl package's own modules import the spec
+        # lexer, so a top-level import here would be circular.
+        from repro.tl.parse import parse_formula
+
+        formula, self._i = parse_formula(self._tokens, self._i)
+        return formula
 
     def _parse_value(self):
         tok = self._next()

@@ -23,6 +23,7 @@ from repro.core.properties import (
     Period,
     Property,
     PropertySet,
+    Temporal,
 )
 from repro.errors import SpecError
 from repro.spec.units import format_duration
@@ -83,6 +84,18 @@ def _print_property(prop: Property) -> str:
     if isinstance(prop, EnergyAtLeast):
         return (f"energyAtLeast: {prop.min_energy_j} "
                 f"onFail: {prop.on_fail.value}{_suffix(prop)};")
+    if isinstance(prop, Temporal):
+        # Imported lazily: repro.tl.parse imports the spec lexer, which
+        # pulls this module in through the package __init__.
+        from repro.tl.parse import format_formula
+
+        text = f"temporal: {format_formula(prop.formula)}"
+        if prop.at != "start":
+            text += f" at: {prop.at}"
+        if prop.label is not None:
+            text += f" label: {prop.label}"
+        text += f" onFail: {prop.on_fail.value}"
+        return text + _suffix(prop) + ";"
     raise SpecError(f"cannot print property type {type(prop).__name__}")
 
 

@@ -33,16 +33,25 @@ from repro.core.properties import (
     Period,
     Property,
     PropertySet,
+    Temporal,
 )
 from repro.errors import SpecValidationError
 from repro.spec.ast import Clause, PropertyDecl, SpecModel
 from repro.spec.parser import parse_spec
 from repro.taskgraph.app import Application
+from repro.tl.ast import (
+    DataCmp,
+    Ended,
+    Historically,
+    Once,
+    Started,
+    walk_formula,
+)
 
 _ACTION_NAMES = {a.value for a in ActionType if a is not ActionType.NONE}
 
 #: Actions whose effect is scoped to a path (need Path on merge tasks).
-_PATH_SCOPED_KINDS = ("MITD", "collect", "period", "maxTries")
+_PATH_SCOPED_KINDS = ("MITD", "collect", "period", "maxTries", "temporal")
 
 
 def _err(message: str, line: int) -> SpecValidationError:
@@ -302,6 +311,81 @@ def _build_energy(decl: PropertyDecl, task: str, app: Application) -> Property:
     return EnergyAtLeast(task=task, on_fail=action, path=path, min_energy_j=float(decl.value))
 
 
+def _data_keys(app: Application) -> set:
+    """Keys that can appear as dependent data on events: every task's
+    monitored variables, plus the runtime's energy probe."""
+    keys = {"energy"}
+    for name in app.task_names:
+        keys.update(app.task(name).monitored_vars)
+    return keys
+
+
+def _check_formula(formula, task: str, app: Application) -> None:
+    """Semantic checks on a temporal formula, each with a sourced
+    diagnostic (the parse-time checks live in :mod:`repro.tl.parse`)."""
+    for node in walk_formula(formula):
+        if isinstance(node, (Once, Historically)) and node.hi is not None \
+                and node.lo:
+            op = "once" if isinstance(node, Once) else "historically"
+            raise SpecValidationError(
+                f"line {node.line}: temporal on {task!r}: {op}[a,b] with "
+                f"a > 0 is not monitorable with constant state",
+                node.line, node.column, width=len(op),
+                hint="a nonzero lower bound needs every event timestamp "
+                     "in the window; use a zero lower bound "
+                     f"({op}[0,{node.hi:g}s]) which needs only the most "
+                     "recent witness")
+        if isinstance(node, (Started, Ended)) and not app.has_task(node.task):
+            atom = "started" if isinstance(node, Started) else "ended"
+            raise SpecValidationError(
+                f"line {node.line}: temporal on {task!r}: {atom}(...) "
+                f"names unknown task {node.task!r}",
+                node.line, node.column, width=len(atom),
+                hint=f"known tasks: {', '.join(app.task_names)}")
+        if isinstance(node, DataCmp) and node.key not in _data_keys(app):
+            known = sorted(_data_keys(app))
+            raise SpecValidationError(
+                f"line {node.line}: temporal on {task!r}: data(...) names "
+                f"unknown key {node.key!r}",
+                node.line, node.column, width=len("data"),
+                hint="data keys are variables declared as monitored on a "
+                     "task (plus the runtime's 'energy' probe); known: "
+                     f"{', '.join(known) or '(none)'}")
+
+
+def _build_temporal(decl: PropertyDecl, task: str, app: Application) -> Property:
+    reader = _ClauseReader(decl, task)
+    at = "start"
+    at_clause = reader.take("at")
+    if at_clause is not None:
+        if at_clause.value not in ("start", "end", "always"):
+            raise _err(
+                f"temporal on {task!r}: at must be start, end or always, "
+                f"got {at_clause.value!r}",
+                at_clause.line,
+            )
+        at = at_clause.value
+    label = None
+    label_clause = reader.take("label")
+    if label_clause is not None:
+        if not isinstance(label_clause.value, str) \
+                or not label_clause.value.isidentifier():
+            raise _err(
+                f"temporal on {task!r}: label must be an identifier, got "
+                f"{label_clause.value!r}",
+                label_clause.line,
+            )
+        label = label_clause.value
+    action = reader.require_action()
+    path = _resolve_path(reader, decl, task, app)
+    reader.finish()
+    _check_formula(decl.value, task, app)
+    return Temporal(
+        task=task, on_fail=action, path=path,
+        formula=decl.value, at=at, label=label,
+    )
+
+
 _BUILDERS: Dict[str, Callable[[PropertyDecl, str, Application], Property]] = {
     "maxTries": _build_max_tries,
     "maxDuration": _build_max_duration,
@@ -310,6 +394,7 @@ _BUILDERS: Dict[str, Callable[[PropertyDecl, str, Application], Property]] = {
     "dpData": _build_dp_data,
     "period": _build_period,
     "energyAtLeast": _build_energy,
+    "temporal": _build_temporal,
 }
 
 

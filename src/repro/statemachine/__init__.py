@@ -30,8 +30,11 @@ from repro.statemachine.model import (
     BinOp,
     Const,
     EventField,
+    EventIs,
     EventPattern,
+    ExternRef,
     Fail,
+    HasData,
     If,
     Not,
     StateMachine,
@@ -41,13 +44,18 @@ from repro.statemachine.model import (
 )
 from repro.statemachine.interpreter import MachineInstance, Verdict
 from repro.statemachine.analysis import lint
-from repro.statemachine.compose import ProductInstance, explore_product
+from repro.statemachine.compose import (
+    ProductInstance,
+    dependency_order,
+    explore_product,
+)
 from repro.statemachine.explore import Letter, alphabet_for, explore
 from repro.statemachine.textual import parse_machine, parse_machines, print_machine
 
 __all__ = [
     "lint",
     "ProductInstance",
+    "dependency_order",
     "explore_product",
     "Letter",
     "alphabet_for",
@@ -65,6 +73,9 @@ __all__ = [
     "Const",
     "Var",
     "EventField",
+    "EventIs",
+    "HasData",
+    "ExternRef",
     "BinOp",
     "Not",
     "Assign",

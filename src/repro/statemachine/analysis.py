@@ -37,8 +37,11 @@ from repro.statemachine.model import (
     BinOp,
     Const,
     EventField,
+    EventIs,
     Expr,
+    ExternRef,
     Fail,
+    HasData,
     If,
     Not,
     StateMachine,
@@ -143,6 +146,9 @@ def _data_keys(machine: StateMachine) -> List[str]:
             key = expr.field[len("data."):]
             if key not in keys:
                 keys.append(key)
+        elif isinstance(expr, HasData):
+            if expr.key not in keys:
+                keys.append(expr.key)
         elif isinstance(expr, BinOp):
             visit(expr.left)
             visit(expr.right)
@@ -220,7 +226,7 @@ def expr_ops(expr: Optional[Expr]) -> int:
     count 1) — the unit of the per-event latency detail."""
     if expr is None:
         return 0
-    if isinstance(expr, (Const, Var, EventField)):
+    if isinstance(expr, (Const, Var, EventField, EventIs, HasData, ExternRef)):
         return 1
     if isinstance(expr, Not):
         return 1 + expr_ops(expr.operand)
@@ -245,12 +251,15 @@ def stmt_ops(stmts: Sequence[Any]) -> int:
     return total
 
 
-def _fold_event(expr: Optional[Expr], path: Optional[int]) -> Optional[Any]:
-    """Three-valued constant fold of a guard given a concrete event
-    path: ``event.path`` becomes ``path`` (when known), ``and``/``or``
+def _fold_event(expr: Optional[Expr], path: Optional[int],
+                kind: Optional[str] = None,
+                task: Optional[str] = None) -> Optional[Any]:
+    """Three-valued constant fold of a guard given a concrete event:
+    ``event.path`` becomes ``path`` (when known), ``eventIs`` patterns
+    fold against ``kind``/``task`` (when known), ``and``/``or``
     short-circuit, everything data/variable-dependent stays unknown
-    (``None``). Used to exclude transitions a path-scoped guard makes
-    unreachable for events on other paths."""
+    (``None``). Used to exclude transitions a path-scoped or event-atom
+    guard makes unreachable for the event being costed."""
     if expr is None:
         return True
     if isinstance(expr, Const):
@@ -259,12 +268,20 @@ def _fold_event(expr: Optional[Expr], path: Optional[int]) -> Optional[Any]:
         if expr.field == "path" and path is not None:
             return path
         return None
+    if isinstance(expr, EventIs):
+        if kind is None:
+            return None
+        if expr.kind != kind:
+            return False
+        if expr.task is None:
+            return True
+        return None if task is None else expr.task == task
     if isinstance(expr, Not):
-        inner = _fold_event(expr.operand, path)
+        inner = _fold_event(expr.operand, path, kind, task)
         return None if inner is None else not inner
     if isinstance(expr, BinOp):
-        left = _fold_event(expr.left, path)
-        right = _fold_event(expr.right, path)
+        left = _fold_event(expr.left, path, kind, task)
+        right = _fold_event(expr.right, path, kind, task)
         if expr.op == "and":
             if left is False or right is False:
                 return False
@@ -313,7 +330,7 @@ def worst_case_event_cost(
         for transition in machine.transitions_from(state):
             if not transition.trigger.matches(kind, task):
                 continue
-            if _fold_event(transition.guard, path) is False:
+            if _fold_event(transition.guard, path, kind, task) is False:
                 continue
             scanned += 1
             guard_ops += expr_ops(transition.guard)

@@ -21,9 +21,12 @@ from repro.statemachine.model import (
     BinOp,
     Const,
     EventField,
+    EventIs,
     EventPattern,
     Expr,
+    ExternRef,
     Fail,
+    HasData,
     If,
     Not,
     StateMachine,
@@ -48,6 +51,15 @@ def _gen_expr(expr: Expr) -> str:
             key = expr.field[len("data."):]
             return f"self._data(event, {key!r})"
         raise GenerationError(f"unknown event field {expr.field!r}")
+    if isinstance(expr, EventIs):
+        cond = f"event.kind == {expr.kind!r}"
+        if expr.task is not None:
+            cond += f" and event.task == {expr.task!r}"
+        return f"({cond})"
+    if isinstance(expr, HasData):
+        return f"({expr.key!r} in (getattr(event, 'data', None) or {{}}))"
+    if isinstance(expr, ExternRef):
+        return f"self._extern({expr.machine!r}, {expr.var!r})"
     if isinstance(expr, Not):
         return f"(not {_gen_expr(expr.operand)})"
     if isinstance(expr, BinOp):
@@ -95,8 +107,9 @@ def generate_python_source(machine: StateMachine) -> str:
         f"    STATES = {tuple(machine.states)!r}",
         f"    PRIORITY = {machine.priority!r}",
         "",
-        "    def __init__(self, store=None):",
+        "    def __init__(self, store=None, extern=None):",
         "        self._store = store if store is not None else {}",
+        "        self._extern_resolver = extern",
         "        if 'state' not in self._store:",
         "            self.reset()",
         "",
@@ -114,6 +127,13 @@ def generate_python_source(machine: StateMachine) -> str:
             "",
             "    def get(self, name):",
             "        return self._store['var.' + name]",
+            "",
+            "    def _extern(self, machine, var):",
+            "        if self._extern_resolver is None:",
+            "            raise StateMachineError(",
+            "                'extern read %s.%s without a resolver'",
+            "                % (machine, var))",
+            "        return self._extern_resolver(machine, var)",
             "",
             "    @staticmethod",
             "    def _data(event, key):",
@@ -168,6 +188,8 @@ def compile_machine(machine: StateMachine) -> Type:
     return namespace[class_name(machine)]
 
 
-def instantiate(machine: StateMachine, store: Optional[MutableMapping[str, Any]] = None):
+def instantiate(machine: StateMachine,
+                store: Optional[MutableMapping[str, Any]] = None,
+                extern: Optional[Any] = None):
     """Convenience: compile and construct a monitor in one call."""
-    return compile_machine(machine)(store)
+    return compile_machine(machine)(store, extern)

@@ -18,7 +18,54 @@ from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 from repro.errors import StateMachineError
 from repro.statemachine.explore import Letter
 from repro.statemachine.interpreter import MachineInstance, Verdict
-from repro.statemachine.model import StateMachine
+from repro.statemachine.model import StateMachine, extern_refs
+
+
+def dependency_order(machines: Sequence[StateMachine]) -> List[StateMachine]:
+    """Sort machines so every ``extern(...)`` read points backwards.
+
+    The shared-subformula compiler wires property machines to their
+    sub-monitors through cross-machine variable reads; stepping in list
+    order is only correct if each referenced machine updates *before*
+    its readers on every event. This returns a stable topological order
+    (machines keep their relative position wherever dependencies allow)
+    and raises on unknown references or dependency cycles.
+    """
+    by_name = {m.name: i for i, m in enumerate(machines)}
+    if len(by_name) != len(machines):
+        raise StateMachineError("dependency_order: duplicate machine names")
+    deps: Dict[int, List[int]] = {}
+    for i, machine in enumerate(machines):
+        wanted = []
+        for ref in extern_refs(machine):
+            if ref.machine not in by_name:
+                raise StateMachineError(
+                    f"machine {machine.name!r} reads "
+                    f"{ref.machine}.{ref.var} but no machine "
+                    f"{ref.machine!r} is in the set")
+            j = by_name[ref.machine]
+            if j != i and j not in wanted:
+                wanted.append(j)
+        deps[i] = wanted
+    ordered: List[StateMachine] = []
+    visiting: Dict[int, bool] = {}  # idx -> fully emitted?
+
+    def visit(i: int, chain: tuple) -> None:
+        if visiting.get(i):
+            return
+        if i in visiting:
+            names = " -> ".join(machines[j].name for j in chain + (i,))
+            raise StateMachineError(
+                f"cyclic extern dependency between machines: {names}")
+        visiting[i] = False
+        for j in deps[i]:
+            visit(j, chain + (i,))
+        visiting[i] = True
+        ordered.append(machines[i])
+
+    for i in range(len(machines)):
+        visit(i, ())
+    return ordered
 
 
 class ProductInstance:
@@ -26,7 +73,8 @@ class ProductInstance:
 
     Verdicts of all components are concatenated in component order —
     exactly what :class:`~repro.core.monitor.ArtemisMonitor` hands the
-    arbiter for one event.
+    arbiter for one event. Components may read each other's variables
+    through ``extern(...)`` expressions; the resolver spans the product.
     """
 
     def __init__(self, machines: Sequence[StateMachine],
@@ -41,8 +89,21 @@ class ProductInstance:
             stores = [dict() for _ in machines]
         if len(stores) != len(machines):
             raise StateMachineError("one store per component required")
-        self.instances = [MachineInstance(m, s)
+        by_name: Dict[str, MachineInstance] = {}
+
+        def extern(machine_name: str, var_name: str) -> Any:
+            try:
+                instance = by_name[machine_name]
+            except KeyError:
+                raise StateMachineError(
+                    f"extern read from unknown machine {machine_name!r}"
+                ) from None
+            return instance.get(var_name)
+
+        self.instances = [MachineInstance(m, s, extern=extern)
                           for m, s in zip(machines, stores)]
+        by_name.update({m.name: inst
+                        for m, inst in zip(machines, self.instances)})
 
     def on_event(self, event: Any) -> List[Verdict]:
         verdicts: List[Verdict] = []

@@ -17,8 +17,11 @@ from repro.statemachine.model import (
     BinOp,
     Const,
     EventField,
+    EventIs,
     Expr,
+    ExternRef,
     Fail,
+    HasData,
     If,
     Not,
     StateMachine,
@@ -45,15 +48,20 @@ class MachineInstance:
         store: mutable mapping holding ``"state"`` and ``"var.<name>"``
             entries. Pass an NVM-backed mapping for persistence; defaults
             to a plain dict (volatile).
+        extern: resolver ``(machine_name, var_name) -> value`` for
+            cross-machine ``extern(...)`` reads; required only when the
+            machine references sub-monitors.
     """
 
     def __init__(
         self,
         machine: StateMachine,
         store: Optional[MutableMapping[str, Any]] = None,
+        extern: Optional[Any] = None,
     ):
         self.machine = machine
         self._store: MutableMapping[str, Any] = store if store is not None else {}
+        self._extern = extern
         if "state" not in self._store:
             self.reset()
 
@@ -122,6 +130,17 @@ class MachineInstance:
             return self.get(expr.name)
         if isinstance(expr, EventField):
             return _event_field(event, expr.field)
+        if isinstance(expr, EventIs):
+            return expr.kind == event.kind and (
+                expr.task is None or expr.task == event.task)
+        if isinstance(expr, HasData):
+            return expr.key in (getattr(event, "data", None) or {})
+        if isinstance(expr, ExternRef):
+            if self._extern is None:
+                raise StateMachineError(
+                    f"{self.machine.name}: extern read "
+                    f"{expr.machine}.{expr.var} without a resolver")
+            return self._extern(expr.machine, expr.var)
         if isinstance(expr, Not):
             return not self._eval(expr.operand, event)
         if isinstance(expr, BinOp):

@@ -107,7 +107,59 @@ class Not:
         return f"(not {self.operand})"
 
 
-Expr = Union[Const, Var, EventField, BinOp, Not]
+@dataclass(frozen=True)
+class EventIs:
+    """Does the triggering event match a (kind, task) pattern?
+
+    The temporal-logic compiler uses this to evaluate event atoms
+    (``started(t)`` / ``ended(t)``) inside guards of wildcard-triggered
+    machines, where the trigger pattern alone cannot discriminate.
+    ``task`` of ``None`` matches any task.
+    """
+
+    kind: str
+    task: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in (START_TASK, END_TASK):
+            raise StateMachineError(f"eventIs: unknown event kind {self.kind!r}")
+
+    def __str__(self) -> str:
+        return f"eventIs({self.kind}, {self.task or '*'})"
+
+
+@dataclass(frozen=True)
+class HasData:
+    """Does the triggering event carry dependent data under ``key``?
+
+    Unlike ``EventField("data.<key>")`` — which raises when the key is
+    absent — this is a total predicate, letting data atoms evaluate to
+    false on events that carry no such value.
+    """
+
+    key: str
+
+    def __str__(self) -> str:
+        return f"hasData({self.key})"
+
+
+@dataclass(frozen=True)
+class ExternRef:
+    """Read a variable of *another* machine in the same monitor set.
+
+    The shared-subformula compiler wires property machines to their
+    sub-monitors through these references; ``compose.dependency_order``
+    guarantees the referenced machine is stepped first on each event.
+    """
+
+    machine: str
+    var: str
+
+    def __str__(self) -> str:
+        return f"extern({self.machine}.{self.var})"
+
+
+Expr = Union[Const, Var, EventField, BinOp, Not, EventIs, HasData, ExternRef]
 
 
 # ---------------------------------------------------------------------------
@@ -342,3 +394,31 @@ def walk_statements(machine: StateMachine) -> List[Stmt]:
 def failure_actions(machine: StateMachine) -> List[Fail]:
     """All ``fail`` statements a machine can emit."""
     return [s for s in walk_statements(machine) if isinstance(s, Fail)]
+
+
+def _subexprs(expr: Expr) -> List[Expr]:
+    """The expression and all of its descendants."""
+    out = [expr]
+    if isinstance(expr, BinOp):
+        out.extend(_subexprs(expr.left))
+        out.extend(_subexprs(expr.right))
+    elif isinstance(expr, Not):
+        out.extend(_subexprs(expr.operand))
+    return out
+
+
+def machine_exprs(machine: StateMachine) -> List[Expr]:
+    """Every top-level expression in the machine (guards, assignment
+    right-hand sides, ``if`` conditions)."""
+    out: List[Expr] = []
+    for t in machine.transitions:
+        out.extend(StateMachine._exprs_of(t))
+    return out
+
+
+def extern_refs(machine: StateMachine) -> List[ExternRef]:
+    """All cross-machine reads a machine performs, in occurrence order."""
+    refs: List[ExternRef] = []
+    for expr in machine_exprs(machine):
+        refs.extend(e for e in _subexprs(expr) if isinstance(e, ExternRef))
+    return refs

@@ -40,9 +40,12 @@ from repro.statemachine.model import (
     BinOp,
     Const,
     EventField,
+    EventIs,
     EventPattern,
     Expr,
+    ExternRef,
     Fail,
+    HasData,
     If,
     Not,
     StateMachine,
@@ -349,6 +352,26 @@ class _Parser:
                 self._expect(".")
                 field = "data." + self._expect_ident()
             return EventField(field)
+        if tok.text == "eventIs" and self._peek().text == "(":
+            self._expect("(")
+            kind = self._expect_ident()
+            self._expect(",")
+            task_tok = self._next()
+            task = None if task_tok.text == "*" else task_tok.text
+            self._expect(")")
+            return EventIs(kind, task)
+        if tok.text == "hasData" and self._peek().text == "(":
+            self._expect("(")
+            key = self._expect_ident()
+            self._expect(")")
+            return HasData(key)
+        if tok.text == "extern" and self._peek().text == "(":
+            self._expect("(")
+            machine = self._expect_ident()
+            self._expect(".")
+            var = self._expect_ident()
+            self._expect(")")
+            return ExternRef(machine, var)
         if tok.kind == "ident":
             return Var(tok.text)
         raise StateMachineError(
@@ -387,6 +410,12 @@ def _fmt_expr(expr: Expr) -> str:
         return expr.name
     if isinstance(expr, EventField):
         return f"event.{expr.field}"
+    if isinstance(expr, EventIs):
+        return f"eventIs({expr.kind}, {expr.task or '*'})"
+    if isinstance(expr, HasData):
+        return f"hasData({expr.key})"
+    if isinstance(expr, ExternRef):
+        return f"extern({expr.machine}.{expr.var})"
     if isinstance(expr, Not):
         return f"not ({_fmt_expr(expr.operand)})"
     if isinstance(expr, BinOp):

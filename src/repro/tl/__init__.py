@@ -1,0 +1,75 @@
+"""Past-time MTL frontend: temporal properties over task events.
+
+``repro.tl`` extends the specification language beyond the paper's six
+fixed property kinds with a ``temporal`` property form — past-time
+metric temporal logic over task events (``started(t)`` / ``ended(t)``)
+and collected-data predicates (``data(key) > c``), in the style of
+Reelay's discrete-time past-MTL monitors (see PAPERS.md).
+
+The pipeline:
+
+* :mod:`~repro.tl.ast` — the surface formula AST (boolean connectives,
+  ``once`` / ``historically`` / ``since``, bounded ``once[0,b]`` /
+  ``historically[0,b]``);
+* :mod:`~repro.tl.parse` — a recursive-descent formula parser over the
+  spec lexer's token stream, with sourced diagnostics for future-time
+  operators and ill-timed bounds;
+* :mod:`~repro.tl.rewrite` — normalization (implication/historically
+  elimination, double negation, constant folding, commutative operand
+  ordering) plus hash-consing of structurally equal subformulas into a
+  shared-subformula DAG (the multi-property monitoring trick);
+* :mod:`~repro.tl.compile` — DAG nodes with temporal state become
+  sub-monitor state machines in the existing intermediate language;
+  each property becomes a one-state root machine whose guard reads the
+  sub-monitors through ``extern(...)`` expressions, wired in
+  :func:`repro.statemachine.compose.dependency_order`;
+* :mod:`~repro.tl.reference` — a naive full-history reference monitor
+  the compiled DAG is differential-tested against.
+"""
+
+from repro.tl.ast import (
+    AndF,
+    DataCmp,
+    Ended,
+    Formula,
+    Historically,
+    Implies,
+    Lit,
+    NotF,
+    Once,
+    OrF,
+    Since,
+    Started,
+    formula_key,
+    walk_formula,
+)
+from repro.tl.compile import TLCompilation, compile_temporal
+from repro.tl.parse import format_formula, parse_formula, parse_formula_text
+from repro.tl.reference import ReferenceMonitor
+from repro.tl.rewrite import Dag, build_dag, normalize
+
+__all__ = [
+    "AndF",
+    "DataCmp",
+    "Ended",
+    "Formula",
+    "Historically",
+    "Implies",
+    "Lit",
+    "NotF",
+    "Once",
+    "OrF",
+    "Since",
+    "Started",
+    "formula_key",
+    "walk_formula",
+    "parse_formula",
+    "parse_formula_text",
+    "format_formula",
+    "normalize",
+    "build_dag",
+    "Dag",
+    "compile_temporal",
+    "TLCompilation",
+    "ReferenceMonitor",
+]

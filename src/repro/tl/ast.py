@@ -1,0 +1,203 @@
+"""Surface AST of the past-time MTL formula language.
+
+Nodes are frozen dataclasses so formulas are hashable and structurally
+comparable — the rewriter's hash-consing and the parser↔printer
+round-trip tests both lean on that. Source positions ride along in
+``compare=False`` fields: two formulas differing only in where they
+were written are equal (and hash equal), but diagnostics can still
+point at the offending token.
+
+Time bounds are stored in seconds (floats), already converted from the
+spec language's duration literals (``5s``, ``100ms``, ``2min``). Only a
+zero lower bound is monitorable with constant state (see
+:mod:`repro.tl.compile`); the validator enforces that, the AST itself
+represents whatever was written.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+#: Comparison operators a data atom supports.
+CMP_OPS = ("<", "<=", ">", ">=", "==", "!=")
+
+
+def _pos_field() -> int:
+    return field(default=0, compare=False)  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class Lit:
+    """Boolean literal ``true`` / ``false``."""
+
+    value: bool
+    line: int = _pos_field()
+    column: int = _pos_field()
+
+
+@dataclass(frozen=True)
+class Started:
+    """Event atom: the current event is ``startTask(task)``."""
+
+    task: str
+    line: int = _pos_field()
+    column: int = _pos_field()
+
+
+@dataclass(frozen=True)
+class Ended:
+    """Event atom: the current event is ``endTask(task)``."""
+
+    task: str
+    line: int = _pos_field()
+    column: int = _pos_field()
+
+
+@dataclass(frozen=True)
+class DataCmp:
+    """Data atom ``data(key) <op> value``.
+
+    False on events that carry no ``key`` in their dependent data — a
+    total predicate, unlike the raw ``event.data.<key>`` field access.
+    """
+
+    key: str
+    op: str
+    value: float
+    line: int = _pos_field()
+    column: int = _pos_field()
+
+
+@dataclass(frozen=True)
+class NotF:
+    operand: "Formula"
+    line: int = _pos_field()
+    column: int = _pos_field()
+
+
+@dataclass(frozen=True)
+class AndF:
+    left: "Formula"
+    right: "Formula"
+    line: int = _pos_field()
+    column: int = _pos_field()
+
+
+@dataclass(frozen=True)
+class OrF:
+    left: "Formula"
+    right: "Formula"
+    line: int = _pos_field()
+    column: int = _pos_field()
+
+
+@dataclass(frozen=True)
+class Implies:
+    left: "Formula"
+    right: "Formula"
+    line: int = _pos_field()
+    column: int = _pos_field()
+
+
+@dataclass(frozen=True)
+class Once:
+    """``once p`` (unbounded) or ``once[lo,hi] p`` (bounded).
+
+    ``lo``/``hi`` are seconds; both ``None`` for the unbounded form.
+    """
+
+    operand: "Formula"
+    lo: Optional[float] = None
+    hi: Optional[float] = None
+    line: int = _pos_field()
+    column: int = _pos_field()
+
+    @property
+    def bounded(self) -> bool:
+        return self.hi is not None
+
+
+@dataclass(frozen=True)
+class Historically:
+    """``historically p`` / ``historically[lo,hi] p`` — the dual of
+    ``once``: p held at every past instant (in the window)."""
+
+    operand: "Formula"
+    lo: Optional[float] = None
+    hi: Optional[float] = None
+    line: int = _pos_field()
+    column: int = _pos_field()
+
+    @property
+    def bounded(self) -> bool:
+        return self.hi is not None
+
+
+@dataclass(frozen=True)
+class Since:
+    """``p since q``: q held at some past instant and p has held ever
+    since (strictly after it, inclusively at the current instant)."""
+
+    left: "Formula"
+    right: "Formula"
+    line: int = _pos_field()
+    column: int = _pos_field()
+
+
+Formula = Union[Lit, Started, Ended, DataCmp, NotF, AndF, OrF, Implies,
+                Once, Historically, Since]
+
+
+def _bound_key(lo: Optional[float], hi: Optional[float]) -> str:
+    if hi is None:
+        return ""
+    return f"[{lo:g},{hi:g}]"
+
+
+def formula_key(f: Formula) -> str:
+    """Canonical structural key of a formula — equal formulas (positions
+    aside) get equal keys. The rewriter hash-conses on this, and the
+    compiler derives content-addressed sub-monitor names from it."""
+    if isinstance(f, Lit):
+        return "T" if f.value else "F"
+    if isinstance(f, Started):
+        return f"started({f.task})"
+    if isinstance(f, Ended):
+        return f"ended({f.task})"
+    if isinstance(f, DataCmp):
+        return f"data({f.key}){f.op}{f.value:g}"
+    if isinstance(f, NotF):
+        return f"!({formula_key(f.operand)})"
+    if isinstance(f, AndF):
+        return f"&({formula_key(f.left)},{formula_key(f.right)})"
+    if isinstance(f, OrF):
+        return f"|({formula_key(f.left)},{formula_key(f.right)})"
+    if isinstance(f, Implies):
+        return f">({formula_key(f.left)},{formula_key(f.right)})"
+    if isinstance(f, Once):
+        return f"O{_bound_key(f.lo, f.hi)}({formula_key(f.operand)})"
+    if isinstance(f, Historically):
+        return f"H{_bound_key(f.lo, f.hi)}({formula_key(f.operand)})"
+    if isinstance(f, Since):
+        return f"S({formula_key(f.left)},{formula_key(f.right)})"
+    raise TypeError(f"not a formula node: {f!r}")
+
+
+def children(f: Formula) -> List[Formula]:
+    """Immediate subformulas, left to right."""
+    if isinstance(f, (Lit, Started, Ended, DataCmp)):
+        return []
+    if isinstance(f, (NotF, Once, Historically)):
+        return [f.operand]
+    if isinstance(f, (AndF, OrF, Implies, Since)):
+        return [f.left, f.right]
+    raise TypeError(f"not a formula node: {f!r}")
+
+
+def walk_formula(f: Formula) -> List[Formula]:
+    """The formula and all of its descendants, pre-order."""
+    out = [f]
+    for child in children(f):
+        out.extend(walk_formula(child))
+    return out

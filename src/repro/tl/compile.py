@@ -1,0 +1,311 @@
+"""Shared-subformula DAG → intermediate-language state machines.
+
+Only the *stateful* DAG nodes (``once``, ``once[0,b]``, ``since``)
+become machines of their own; every purely boolean subformula folds
+into the value expressions of its consumers. A 200-property spec over
+a handful of temporal idioms therefore compiles to a few dozen
+sub-monitors plus one single-state root machine per property.
+
+Each stateful node gets a *value expression* readable at any event:
+
+========================  =================================================
+node                      value expression
+========================  =================================================
+``started(t)``            ``eventIs(startTask, t)``
+``ended(t)``              ``eventIs(endTask, t)``
+``data(k) op c``          ``hasData(k) and event.data.k op c``
+``once p``                ``extern(M.seen)``
+``once[0,b] p``           ``extern(M.seen) and ts - extern(M.last) <= b``
+``p since q``             ``extern(M.val)``
+========================  =================================================
+
+where ``M`` is the node's sub-monitor, updated *before* any reader on
+each event because machines are emitted in dependency order (children
+first) and every execution backend — interpreter, generated Python,
+generated C, lockstep batch — steps machines in list order.
+
+A nonzero lower bound (``once[a,b]``, a > 0) is rejected upstream by
+the validator: answering it exactly requires remembering every event
+timestamp in the window (unbounded state), while ``a = 0`` needs only
+the most recent witness — the one-scalar trick that keeps sub-monitor
+NVM footprints constant.
+
+Sub-monitor triggers are the *enumerated* event patterns that can make
+the operand true (a ``once started(a) or ended(b)`` machine subscribes
+to exactly two patterns); negation, data atoms, and nested temporal
+operands force a wildcard subscription.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.statemachine.model import (
+    ANY_EVENT,
+    END_TASK,
+    START_TASK,
+    Assign,
+    BinOp,
+    Const,
+    EventField,
+    EventIs,
+    EventPattern,
+    Expr,
+    ExternRef,
+    Fail,
+    HasData,
+    Not,
+    StateMachine,
+    Transition,
+    Var,
+    Variable,
+)
+from repro.tl.ast import (
+    AndF,
+    DataCmp,
+    Ended,
+    Lit,
+    NotF,
+    Once,
+    OrF,
+    Since,
+    Started,
+)
+from repro.tl.rewrite import Dag, DagNode, build_dag
+
+_TS = EventField("timestamp")
+
+#: Trigger pattern sets: ``None`` is the wildcard ("any event can flip
+#: the value"), otherwise a finite set of (kind, task) pairs.
+Patterns = Optional[FrozenSet[Tuple[str, str]]]
+
+
+def _sub_name(node: DagNode) -> str:
+    digest = hashlib.md5(node.key.encode()).hexdigest()[:8]
+    if isinstance(node.formula, Since):
+        op = "since"
+    elif node.formula.bounded:  # type: ignore[union-attr]
+        op = "onceb"
+    else:
+        op = "once"
+    return f"tl_{op}_{digest}"
+
+
+def val_expr(node: DagNode, names: Dict[str, str]) -> Expr:
+    """Expression evaluating the node's truth at the current event."""
+    f = node.formula
+    if isinstance(f, Lit):
+        return Const(f.value)
+    if isinstance(f, Started):
+        return EventIs(START_TASK, f.task)
+    if isinstance(f, Ended):
+        return EventIs(END_TASK, f.task)
+    if isinstance(f, DataCmp):
+        return BinOp(
+            "and",
+            HasData(f.key),
+            BinOp(f.op, EventField(f"data.{f.key}"), Const(f.value)),
+        )
+    if isinstance(f, NotF):
+        return Not(val_expr(node.children[0], names))
+    if isinstance(f, AndF):
+        return BinOp("and", val_expr(node.children[0], names),
+                     val_expr(node.children[1], names))
+    if isinstance(f, OrF):
+        return BinOp("or", val_expr(node.children[0], names),
+                     val_expr(node.children[1], names))
+    if isinstance(f, Once):
+        machine = names[node.key]
+        seen = ExternRef(machine, "seen")
+        if not f.bounded:
+            return seen
+        age = BinOp("-", _TS, ExternRef(machine, "last"))
+        return BinOp("and", seen, BinOp("<=", age, Const(float(f.hi))))
+    if isinstance(f, Since):
+        return ExternRef(names[node.key], "val")
+    raise TypeError(f"not a core formula node: {f!r}")
+
+
+def trigger_patterns(node: DagNode) -> Patterns:
+    """Over-approximate the events at which the node's value can be
+    true (for enumerable atoms, the exact set)."""
+    f = node.formula
+    if isinstance(f, Lit):
+        return None if f.value else frozenset()
+    if isinstance(f, Started):
+        return frozenset({(START_TASK, f.task)})
+    if isinstance(f, Ended):
+        return frozenset({(END_TASK, f.task)})
+    if isinstance(f, AndF):
+        left = trigger_patterns(node.children[0])
+        right = trigger_patterns(node.children[1])
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return left & right
+    if isinstance(f, OrF):
+        left = trigger_patterns(node.children[0])
+        right = trigger_patterns(node.children[1])
+        if left is None or right is None:
+            return None
+        return left | right
+    # DataCmp / NotF / Once / Since: value can flip on any event.
+    return None
+
+
+def _sub_triggers(node: DagNode) -> List[EventPattern]:
+    operand = node.children[0] if not isinstance(node.formula, Since) else None
+    patterns = trigger_patterns(operand) if operand is not None else None
+    if patterns is None:
+        return [EventPattern(ANY_EVENT)]
+    return [EventPattern(kind, task) for kind, task in sorted(patterns)]
+
+
+def _gen_once(node: DagNode, names: Dict[str, str]) -> StateMachine:
+    """``once p`` — latch a witness; bounded form also records when."""
+    f = node.formula
+    assert isinstance(f, Once)
+    variables = [Variable("seen", "bool", False)]
+    body: Tuple = (Assign("seen", Const(True)),)
+    if f.bounded:
+        variables.append(Variable("last", "time", 0.0))
+        body = body + (Assign("last", _TS),)
+    operand = node.children[0]
+    transitions = [
+        Transition("S", "S", trigger, guard=val_expr(operand, names),
+                   body=body)
+        for trigger in _sub_triggers(node)
+    ]
+    return StateMachine(names[node.key], ["S"], "S",
+                        variables=variables, transitions=transitions)
+
+
+def _gen_since(node: DagNode, names: Dict[str, str]) -> StateMachine:
+    """``p since q`` — the recurrence val = q or (p and val)."""
+    p, q = node.children
+    update = BinOp("or", val_expr(q, names),
+                   BinOp("and", val_expr(p, names), Var("val")))
+    return StateMachine(
+        names[node.key], ["S"], "S",
+        variables=[Variable("val", "bool", False)],
+        transitions=[
+            Transition("S", "S", EventPattern(ANY_EVENT),
+                       body=(Assign("val", update),)),
+        ],
+    )
+
+
+@dataclass
+class TLCompilation:
+    """Result of compiling a batch of temporal properties together.
+
+    ``machines`` is the full dependency-ordered list: shared
+    sub-monitors first (children before readers), then one root machine
+    per property in declaration order. ``sub_owners`` maps each
+    sub-monitor to the root machines that read it (directly or through
+    other sub-monitors).
+    """
+
+    machines: List[StateMachine]
+    sub_machines: List[StateMachine]
+    root_machines: List[StateMachine]
+    sub_owners: Dict[str, List[str]]
+    dag: Dag
+
+    @property
+    def naive_monitors(self) -> int:
+        """Machines per-property compilation would emit (one per
+        stateful occurrence plus one root each)."""
+        return self.dag.naive_stateful + len(self.root_machines)
+
+    @property
+    def shared_monitors(self) -> int:
+        return len(self.machines)
+
+    @property
+    def sharing_ratio(self) -> float:
+        if self.naive_monitors == 0:
+            return 1.0
+        return self.shared_monitors / self.naive_monitors
+
+
+def _action_name(on_fail) -> str:
+    return getattr(on_fail, "value", None) or str(on_fail)
+
+
+def _gen_root(prop, root: DagNode, names: Dict[str, str]) -> StateMachine:
+    if prop.at == "start":
+        trigger = EventPattern(START_TASK, prop.task)
+    elif prop.at == "end":
+        trigger = EventPattern(END_TASK, prop.task)
+    else:  # "always"
+        trigger = EventPattern(ANY_EVENT)
+    guard: Expr = Not(val_expr(root, names))
+    if prop.path is not None:
+        guard = BinOp(
+            "and",
+            BinOp("==", EventField("path"), Const(prop.path)),
+            guard,
+        )
+    return StateMachine(
+        prop.machine_name(),
+        states=["Watching"],
+        initial="Watching",
+        transitions=[
+            Transition("Watching", "Watching", trigger, guard=guard,
+                       body=(Fail(_action_name(prop.on_fail), prop.path),)),
+        ],
+        priority=int(getattr(prop, "priority", 0)),
+    )
+
+
+def compile_temporal(props: Sequence, share: bool = True) -> TLCompilation:
+    """Compile temporal properties into one dependency-ordered machine
+    list with (by default) sub-monitors shared across properties.
+
+    ``props`` are :class:`repro.core.properties.Temporal` instances
+    (duck-typed here to keep this package free of core imports).
+    """
+    props = list(props)
+    dag = build_dag([p.formula for p in props], share=share)
+
+    names: Dict[str, str] = {}
+    sub_machines: List[StateMachine] = []
+    for node in dag.nodes:  # dependency order: children first
+        if not node.stateful:
+            continue
+        names[node.key] = _sub_name(node)
+        if isinstance(node.formula, Since):
+            sub_machines.append(_gen_since(node, names))
+        else:
+            sub_machines.append(_gen_once(node, names))
+
+    root_machines = [
+        _gen_root(prop, root, names)
+        for prop, root in zip(props, dag.roots)
+    ]
+
+    sub_owners: Dict[str, List[str]] = {}
+    for prop, root in zip(props, dag.roots):
+        seen: set = set()
+        stack = [root]
+        while stack:
+            n = stack.pop()
+            if n.key in seen:
+                continue
+            seen.add(n.key)
+            stack.extend(n.children)
+            if n.stateful:
+                sub_owners.setdefault(names[n.key], []).append(
+                    prop.machine_name())
+
+    return TLCompilation(
+        machines=sub_machines + root_machines,
+        sub_machines=sub_machines,
+        root_machines=root_machines,
+        sub_owners=sub_owners,
+        dag=dag,
+    )

@@ -1,0 +1,335 @@
+"""Recursive-descent parser and printer for past-time MTL formulas.
+
+Operates directly on the spec lexer's token stream so the ``temporal``
+property form embeds in the specification grammar without a second
+tokenizer. Precedence, loosest binding first::
+
+    implies   p -> q            (right-associative)
+    since     p since q         (left-associative)
+    or        p or q
+    and       p and q
+    unary     not p | once p | once[0,5s] p | historically p
+    primary   started(t) | ended(t) | data(k) >= 3 | true | false | (p)
+
+Future-time operators (``eventually``, ``always``, ``until``, ``next``,
+``globally``, ``finally``) are reserved words: using one raises a
+sourced :class:`~repro.errors.SpecSyntaxError` whose hint names the
+monitorable past-time dual. ``format_formula`` is the exact inverse of
+the parser (minimal parenthesization), property-tested in
+``tests/test_tl_parser.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import SpecSyntaxError
+from repro.spec.lexer import Token, tokenize
+from repro.spec.units import format_duration, parse_duration
+from repro.tl.ast import (
+    CMP_OPS,
+    AndF,
+    DataCmp,
+    Ended,
+    Formula,
+    Historically,
+    Implies,
+    Lit,
+    NotF,
+    Once,
+    OrF,
+    Since,
+    Started,
+)
+
+#: Future-time operators we reject with a pointer at the past-time dual.
+FUTURE_OPERATORS = {
+    "eventually": "once",
+    "finally": "once",
+    "always": "historically",
+    "globally": "historically",
+    "until": "since",
+    "next": "a past-time formula over the previous event",
+}
+
+_UNARY_OPS = ("not", "once", "historically")
+
+
+class _FormulaParser:
+    """Cursor over a shared token list; never consumes past the formula."""
+
+    def __init__(self, tokens: List[Token], pos: int):
+        self.tokens = tokens
+        self.pos = pos
+
+    # -- token helpers ----------------------------------------------------
+    def _peek(self, ahead: int = 0) -> Token:
+        i = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def _next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def _expect_punct(self, text: str) -> Token:
+        tok = self._next()
+        if tok.kind != "punct" or tok.text != text:
+            raise SpecSyntaxError(
+                f"expected {text!r} in temporal formula, got {tok!s}",
+                tok.line, tok.column, width=len(tok.text) or 1)
+        return tok
+
+    # -- grammar ----------------------------------------------------------
+    def parse(self) -> Formula:
+        return self._implies()
+
+    def _implies(self) -> Formula:
+        left = self._since()
+        tok = self._peek()
+        if tok.kind == "arrow":
+            self._next()
+            right = self._implies()  # right-associative
+            return Implies(left, right, line=tok.line, column=tok.column)
+        return left
+
+    def _since(self) -> Formula:
+        left = self._or()
+        while self._peek().text in ("since", "until"):
+            tok = self._next()
+            if tok.text == "until":
+                # Infix position: _unary's reserved-word check never
+                # sees it, so the dual-pointing rejection lives here.
+                raise SpecSyntaxError(
+                    "future-time operator 'until' is not monitorable "
+                    "online", tok.line, tok.column, width=len(tok.text),
+                    hint="runtime monitors see only the past; use the "
+                         "past-time dual (since)")
+            if self._peek().text == "[":
+                bracket = self._peek()
+                raise SpecSyntaxError(
+                    "'since' does not take a time bound",
+                    bracket.line, bracket.column,
+                    hint="bound the query instead: p since q with a "
+                         "window is expressible as (p since q) and "
+                         "once[0,b] q")
+            right = self._or()
+            left = Since(left, right, line=tok.line, column=tok.column)
+        return left
+
+    def _or(self) -> Formula:
+        left = self._and()
+        while self._peek().text == "or":
+            tok = self._next()
+            left = OrF(left, self._and(), line=tok.line, column=tok.column)
+        return left
+
+    def _and(self) -> Formula:
+        left = self._unary()
+        while self._peek().text == "and":
+            tok = self._next()
+            left = AndF(left, self._unary(), line=tok.line, column=tok.column)
+        return left
+
+    def _unary(self) -> Formula:
+        tok = self._peek()
+        if tok.kind == "ident" and tok.text in FUTURE_OPERATORS:
+            dual = FUTURE_OPERATORS[tok.text]
+            raise SpecSyntaxError(
+                f"future-time operator {tok.text!r} is not monitorable "
+                "online", tok.line, tok.column, width=len(tok.text),
+                hint=f"runtime monitors see only the past; use the "
+                     f"past-time dual ({dual})")
+        if tok.text == "not":
+            self._next()
+            return NotF(self._unary(), line=tok.line, column=tok.column)
+        if tok.text in ("once", "historically"):
+            self._next()
+            lo, hi = self._bound()
+            node = Once if tok.text == "once" else Historically
+            return node(self._unary(), lo, hi,
+                        line=tok.line, column=tok.column)
+        return self._primary()
+
+    def _bound(self) -> Tuple[Optional[float], Optional[float]]:
+        if self._peek().text != "[":
+            return None, None
+        open_tok = self._next()
+        lo = self._bound_value()
+        self._expect_punct(",")
+        hi = self._bound_value()
+        self._expect_punct("]")
+        if hi < lo:
+            raise SpecSyntaxError(
+                f"empty time interval [{lo:g}s, {hi:g}s]",
+                open_tok.line, open_tok.column,
+                hint="the interval's lower bound must not exceed its "
+                     "upper bound")
+        return lo, hi
+
+    def _bound_value(self) -> float:
+        tok = self._next()
+        if tok.kind == "minus":
+            num = self._next()
+            raise SpecSyntaxError(
+                f"negative time bound -{num.text}", tok.line, tok.column,
+                hint="past-time windows reach backwards already; bounds "
+                     "must be non-negative")
+        if tok.kind == "duration":
+            return parse_duration(tok.text, tok.line, tok.column)
+        if tok.kind == "number":
+            return float(tok.text)
+        raise SpecSyntaxError(
+            f"expected a duration in time bound, got {tok!s}",
+            tok.line, tok.column, width=len(tok.text) or 1)
+
+    def _primary(self) -> Formula:
+        tok = self._next()
+        if tok.kind == "punct" and tok.text == "(":
+            inner = self.parse()
+            self._expect_punct(")")
+            return inner
+        if tok.text == "true":
+            return Lit(True, line=tok.line, column=tok.column)
+        if tok.text == "false":
+            return Lit(False, line=tok.line, column=tok.column)
+        if tok.text in ("started", "ended"):
+            self._expect_punct("(")
+            task = self._next()
+            if task.kind != "ident":
+                raise SpecSyntaxError(
+                    f"expected a task name, got {task!s}",
+                    task.line, task.column, width=len(task.text) or 1)
+            self._expect_punct(")")
+            node = Started if tok.text == "started" else Ended
+            return node(task.text, line=tok.line, column=tok.column)
+        if tok.text == "data":
+            self._expect_punct("(")
+            key = self._next()
+            if key.kind != "ident":
+                raise SpecSyntaxError(
+                    f"expected a data key, got {key!s}",
+                    key.line, key.column, width=len(key.text) or 1)
+            self._expect_punct(")")
+            op = self._next()
+            if op.kind != "cmp" or op.text not in CMP_OPS:
+                raise SpecSyntaxError(
+                    f"expected a comparison after data({key.text}), "
+                    f"got {op!s}", op.line, op.column,
+                    width=len(op.text) or 1)
+            sign = 1.0
+            num = self._next()
+            if num.kind == "minus":
+                sign = -1.0
+                num = self._next()
+            if num.kind == "number":
+                value = sign * float(num.text)
+            elif num.kind == "duration":
+                value = sign * parse_duration(num.text, num.line, num.column)
+            else:
+                raise SpecSyntaxError(
+                    f"expected a number, got {num!s}",
+                    num.line, num.column, width=len(num.text) or 1)
+            return DataCmp(key.text, op.text, value,
+                           line=tok.line, column=tok.column)
+        raise SpecSyntaxError(
+            f"expected a temporal formula, got {tok!s}",
+            tok.line, tok.column, width=len(tok.text) or 1)
+
+
+def parse_formula(tokens: List[Token], pos: int) -> Tuple[Formula, int]:
+    """Parse one formula starting at ``tokens[pos]``; returns the
+    formula and the index of the first unconsumed token."""
+    parser = _FormulaParser(tokens, pos)
+    formula = parser.parse()
+    return formula, parser.pos
+
+
+def parse_formula_text(source: str) -> Formula:
+    """Parse a standalone formula string (tests and the library API)."""
+    tokens = tokenize(source)
+    formula, pos = parse_formula(tokens, 0)
+    trailing = tokens[pos]
+    if trailing.kind != "eof":
+        raise SpecSyntaxError(
+            f"trailing input after formula: {trailing!s}",
+            trailing.line, trailing.column, width=len(trailing.text) or 1)
+    return formula
+
+
+# ---------------------------------------------------------------------------
+# Printer (exact inverse of the parser)
+# ---------------------------------------------------------------------------
+
+_LEVEL_IMPLIES, _LEVEL_SINCE, _LEVEL_OR, _LEVEL_AND, _LEVEL_UNARY, \
+    _LEVEL_ATOM = range(1, 7)
+
+
+def _level(f: Formula) -> int:
+    if isinstance(f, Implies):
+        return _LEVEL_IMPLIES
+    if isinstance(f, Since):
+        return _LEVEL_SINCE
+    if isinstance(f, OrF):
+        return _LEVEL_OR
+    if isinstance(f, AndF):
+        return _LEVEL_AND
+    if isinstance(f, (NotF, Once, Historically)):
+        return _LEVEL_UNARY
+    return _LEVEL_ATOM
+
+
+def _bound_text(lo: Optional[float], hi: Optional[float]) -> str:
+    if hi is None:
+        return ""
+    fmt = lambda s: "0" if s == 0 else format_duration(s)  # noqa: E731
+    return f"[{fmt(lo)}, {fmt(hi)}]"
+
+
+def _num_text(value: float) -> str:
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _fmt(f: Formula, need: int) -> str:
+    text = _fmt_node(f)
+    if _level(f) < need:
+        return f"({text})"
+    return text
+
+
+def _fmt_node(f: Formula) -> str:
+    if isinstance(f, Lit):
+        return "true" if f.value else "false"
+    if isinstance(f, Started):
+        return f"started({f.task})"
+    if isinstance(f, Ended):
+        return f"ended({f.task})"
+    if isinstance(f, DataCmp):
+        return f"data({f.key}) {f.op} {_num_text(f.value)}"
+    if isinstance(f, NotF):
+        return f"not {_fmt(f.operand, _LEVEL_UNARY)}"
+    if isinstance(f, Once):
+        return f"once{_bound_text(f.lo, f.hi)} {_fmt(f.operand, _LEVEL_UNARY)}"
+    if isinstance(f, Historically):
+        return (f"historically{_bound_text(f.lo, f.hi)} "
+                f"{_fmt(f.operand, _LEVEL_UNARY)}")
+    if isinstance(f, AndF):
+        return f"{_fmt(f.left, _LEVEL_AND)} and {_fmt(f.right, _LEVEL_AND + 1)}"
+    if isinstance(f, OrF):
+        return f"{_fmt(f.left, _LEVEL_OR)} or {_fmt(f.right, _LEVEL_OR + 1)}"
+    if isinstance(f, Since):
+        return (f"{_fmt(f.left, _LEVEL_SINCE)} since "
+                f"{_fmt(f.right, _LEVEL_SINCE + 1)}")
+    if isinstance(f, Implies):
+        return (f"{_fmt(f.left, _LEVEL_IMPLIES + 1)} -> "
+                f"{_fmt(f.right, _LEVEL_IMPLIES)}")
+    raise TypeError(f"not a formula node: {f!r}")
+
+
+def format_formula(f: Formula) -> str:
+    """Render a formula in the surface syntax with minimal parentheses;
+    ``parse_formula_text(format_formula(f)) == f`` for every formula."""
+    return _fmt(f, _LEVEL_IMPLIES)

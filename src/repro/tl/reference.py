@@ -1,0 +1,116 @@
+"""Naive reference semantics for past-time MTL formulas.
+
+Keeps the *entire* event history and evaluates the surface formula
+(no normalization, no sharing, no constant-state tricks) directly from
+the textbook definitions each time a new event arrives. Hopeless on a
+harvested node — which is the point: it is the independent ground truth
+the shared-subformula compiler is differential-tested against in
+``tests/test_tl_differential.py``. It also supports constructs the
+compiler rejects (``once[a,b]`` with a > 0), so tests can demonstrate
+*why* those need unbounded state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.tl.ast import (
+    AndF,
+    DataCmp,
+    Ended,
+    Formula,
+    Historically,
+    Implies,
+    Lit,
+    NotF,
+    Once,
+    OrF,
+    Since,
+    Started,
+)
+
+_CMP = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+class ReferenceMonitor:
+    """Full-history evaluator of one formula over a growing trace."""
+
+    def __init__(self, formula: Formula):
+        self.formula = formula
+        self.events: List = []
+        self._cache: Dict[Tuple[Formula, int], bool] = {}
+
+    def update(self, event) -> bool:
+        """Append ``event`` (any object with ``kind``, ``task``,
+        ``timestamp`` and optional ``data``) and return whether the
+        formula holds at it."""
+        self.events.append(event)
+        return self._eval(self.formula, len(self.events) - 1)
+
+    @property
+    def value(self) -> bool:
+        """Truth at the most recent event (False on the empty trace)."""
+        if not self.events:
+            return False
+        return self._eval(self.formula, len(self.events) - 1)
+
+    # ------------------------------------------------------------------
+    def _eval(self, f: Formula, i: int) -> bool:
+        key = (f, i)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        value = self._eval_uncached(f, i)
+        self._cache[key] = value
+        return value
+
+    def _eval_uncached(self, f: Formula, i: int) -> bool:
+        event = self.events[i]
+        if isinstance(f, Lit):
+            return f.value
+        if isinstance(f, Started):
+            return event.kind == "startTask" and event.task == f.task
+        if isinstance(f, Ended):
+            return event.kind == "endTask" and event.task == f.task
+        if isinstance(f, DataCmp):
+            data = getattr(event, "data", None) or {}
+            if f.key not in data:
+                return False
+            return _CMP[f.op](data[f.key], f.value)
+        if isinstance(f, NotF):
+            return not self._eval(f.operand, i)
+        if isinstance(f, AndF):
+            return self._eval(f.left, i) and self._eval(f.right, i)
+        if isinstance(f, OrF):
+            return self._eval(f.left, i) or self._eval(f.right, i)
+        if isinstance(f, Implies):
+            return (not self._eval(f.left, i)) or self._eval(f.right, i)
+        if isinstance(f, Once):
+            return any(self._in_window(f, i, j) and self._eval(f.operand, j)
+                       for j in range(i + 1))
+        if isinstance(f, Historically):
+            return all(self._eval(f.operand, j)
+                       for j in range(i + 1) if self._in_window(f, i, j))
+        if isinstance(f, Since):
+            # exists j <= i: q at j, and p at every k with j < k <= i
+            for j in range(i, -1, -1):
+                if self._eval(f.right, j):
+                    return all(self._eval(f.left, k)
+                               for k in range(j + 1, i + 1))
+                if not self._eval(f.left, j):
+                    return False
+            return False
+        raise TypeError(f"not a formula node: {f!r}")
+
+    def _in_window(self, f, i: int, j: int) -> bool:
+        if f.hi is None:
+            return True
+        age = self.events[i].timestamp - self.events[j].timestamp
+        return f.lo <= age <= f.hi

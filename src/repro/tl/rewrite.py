@@ -1,0 +1,213 @@
+"""Normalization and shared-subformula DAG construction.
+
+``normalize`` rewrites a surface formula into a small core language:
+``->`` becomes ``or``/``not``, ``historically`` becomes the dual
+``not once not``, double negations cancel, constants fold, and the
+operands of the commutative connectives are ordered by canonical key so
+``a and b`` and ``b and a`` normalize identically. The core language
+after normalization is: literals, event/data atoms, ``not``, ``and``,
+``or``, ``once`` (bounded or not) and ``since``.
+
+``build_dag`` then hash-conses the normalized formulas of *many*
+properties into one DAG keyed on :func:`repro.tl.ast.formula_key`:
+structurally equal subformulas become a single node regardless of which
+property mentions them. Only ``once``/``since`` nodes carry runtime
+state, so the DAG's unique stateful nodes are exactly the sub-monitors
+the compiler must emit — the naive-versus-shared counts reported here
+are the sharing win the ``compile`` CLI prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.tl.ast import (
+    AndF,
+    DataCmp,
+    Ended,
+    Formula,
+    Historically,
+    Implies,
+    Lit,
+    NotF,
+    Once,
+    OrF,
+    Since,
+    Started,
+    children,
+    formula_key,
+    walk_formula,
+)
+
+# ---------------------------------------------------------------------------
+# Normalization
+# ---------------------------------------------------------------------------
+
+
+def _not(p: Formula, line: int = 0, column: int = 0) -> Formula:
+    if isinstance(p, Lit):
+        return Lit(not p.value, line=line, column=column)
+    if isinstance(p, NotF):
+        return p.operand
+    return NotF(p, line=line, column=column)
+
+
+def _ordered(left: Formula, right: Formula) -> Tuple[Formula, Formula]:
+    if formula_key(right) < formula_key(left):
+        return right, left
+    return left, right
+
+
+def _and(left: Formula, right: Formula, line: int = 0,
+         column: int = 0) -> Formula:
+    if isinstance(left, Lit):
+        return right if left.value else left
+    if isinstance(right, Lit):
+        return left if right.value else right
+    if formula_key(left) == formula_key(right):
+        return left
+    left, right = _ordered(left, right)
+    return AndF(left, right, line=line, column=column)
+
+
+def _or(left: Formula, right: Formula, line: int = 0,
+        column: int = 0) -> Formula:
+    if isinstance(left, Lit):
+        return left if left.value else right
+    if isinstance(right, Lit):
+        return right if right.value else left
+    if formula_key(left) == formula_key(right):
+        return left
+    left, right = _ordered(left, right)
+    return OrF(left, right, line=line, column=column)
+
+
+def _once(operand: Formula, lo, hi, line: int = 0,
+          column: int = 0) -> Formula:
+    # once true / once false are the literal itself (the current instant
+    # is always inside a [0,b] window, and the unbounded window includes
+    # now); once of an already-monotone once folds to the wider query.
+    if isinstance(operand, Lit):
+        return operand
+    if hi is None and isinstance(operand, Once) and operand.hi is None:
+        return operand
+    return Once(operand, lo, hi, line=line, column=column)
+
+
+def _since(left: Formula, right: Formula, line: int = 0,
+           column: int = 0) -> Formula:
+    # val_i = q_i or (p_i and val_{i-1}) — fold the constant operands.
+    if isinstance(right, Lit):
+        return right
+    if isinstance(left, Lit):
+        return _once(right, None, None, line, column) if left.value else right
+    return Since(left, right, line=line, column=column)
+
+
+def normalize(f: Formula) -> Formula:
+    """Rewrite ``f`` into the core language (idempotent)."""
+    if isinstance(f, (Lit, Started, Ended, DataCmp)):
+        return f
+    if isinstance(f, NotF):
+        return _not(normalize(f.operand), f.line, f.column)
+    if isinstance(f, AndF):
+        return _and(normalize(f.left), normalize(f.right), f.line, f.column)
+    if isinstance(f, OrF):
+        return _or(normalize(f.left), normalize(f.right), f.line, f.column)
+    if isinstance(f, Implies):
+        return _or(_not(normalize(f.left), f.line, f.column),
+                   normalize(f.right), f.line, f.column)
+    if isinstance(f, Once):
+        return _once(normalize(f.operand), f.lo, f.hi, f.line, f.column)
+    if isinstance(f, Historically):
+        # historically[I] p  ==  not once[I] not p
+        inner = _not(normalize(f.operand), f.line, f.column)
+        return _not(_once(inner, f.lo, f.hi, f.line, f.column),
+                    f.line, f.column)
+    if isinstance(f, Since):
+        return _since(normalize(f.left), normalize(f.right),
+                      f.line, f.column)
+    raise TypeError(f"not a formula node: {f!r}")
+
+
+def is_stateful(f: Formula) -> bool:
+    """True when the (normalized) node needs runtime state of its own —
+    exactly the nodes the compiler emits sub-monitor machines for."""
+    return isinstance(f, (Once, Since))
+
+
+# ---------------------------------------------------------------------------
+# Shared-subformula DAG
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DagNode:
+    """One unique (normalized) subformula in the DAG."""
+
+    key: str
+    formula: Formula
+    children: Tuple["DagNode", ...]
+    index: int
+
+    @property
+    def stateful(self) -> bool:
+        return is_stateful(self.formula)
+
+
+@dataclass
+class Dag:
+    """Hash-consed subformula DAG over one or more root formulas.
+
+    ``nodes`` is in dependency order (children strictly before parents),
+    so walking it front to back visits every subformula after the
+    subformulas it reads — the same order the compiler emits machines
+    in. ``naive_stateful`` counts stateful *occurrences* across all root
+    trees (what per-property compilation would emit); the stateful nodes
+    actually present in ``nodes`` are what sharing reduced that to.
+    """
+
+    nodes: List[DagNode] = field(default_factory=list)
+    roots: List[DagNode] = field(default_factory=list)
+    node_for_key: Dict[str, DagNode] = field(default_factory=dict)
+    naive_stateful: int = 0
+
+    @property
+    def stateful_nodes(self) -> List[DagNode]:
+        return [n for n in self.nodes if n.stateful]
+
+    @property
+    def shared_stateful(self) -> int:
+        return len(self.stateful_nodes)
+
+
+def build_dag(roots: Sequence[Formula], share: bool = True) -> Dag:
+    """Normalize ``roots`` and hash-cons them into a :class:`Dag`.
+
+    With ``share=False`` every root gets a private key namespace, so
+    nothing is shared *across* properties (duplicate subformulas within
+    one property still collapse) — the baseline the sharing ratio is
+    measured against.
+    """
+    dag = Dag()
+
+    def intern(f: Formula, salt: str) -> DagNode:
+        key = salt + formula_key(f)
+        hit = dag.node_for_key.get(key)
+        if hit is not None:
+            return hit
+        kids = tuple(intern(c, salt) for c in children(f))
+        node = DagNode(key=key, formula=f, children=kids,
+                       index=len(dag.nodes))
+        dag.nodes.append(node)
+        dag.node_for_key[key] = node
+        return node
+
+    for i, root in enumerate(roots):
+        normalized = normalize(root)
+        dag.naive_stateful += sum(
+            1 for sub in walk_formula(normalized) if is_stateful(sub))
+        salt = "" if share else f"{i}#"
+        dag.roots.append(intern(normalized, salt))
+    return dag

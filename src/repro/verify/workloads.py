@@ -82,8 +82,12 @@ RUNTIMES = ("artemis", "mayfly", "chain", "checkpoint")
 #: runtimes do not implement. ``ota`` ships a full bundle; ``ota-delta``
 #: ships a delta against the installed version, covering the end-to-end
 #: server-side encode → transport → on-device reconstruct → install →
-#: swap path (bundle → transport → install → swap).
-EXTRA_SCENARIOS = (("ota", "artemis"), ("ota-delta", "artemis"))
+#: swap path (bundle → transport → install → swap). ``temporal`` runs
+#: past-time temporal-logic properties (shared sub-monitors, a firing
+#: root) through bounded crash exploration and additionally compares
+#: the sub-monitors' durable state against the continuous oracle.
+EXTRA_SCENARIOS = (("ota", "artemis"), ("ota-delta", "artemis"),
+                   ("temporal", "artemis"))
 
 #: Health benchmark spec scaled for exhaustive exploration: collect 2
 #: instead of 10 (one path restart in the oracle run), generous retry
@@ -457,6 +461,86 @@ def _ota_extract(device, runtime) -> Dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# Temporal-logic properties under crashes (ARTEMIS only)
+# ---------------------------------------------------------------------------
+
+#: Past-time temporal properties over a three-task pipeline. The three
+#: ``once ended(sense)`` occurrences hash-cons into ONE shared
+#: sub-monitor with three owning roots, and the ``since`` property adds
+#: a wildcard-dispatch sub-monitor — the sharing and dependency-order
+#: machinery the crash search must keep crash-consistent. Every formula
+#: is time-insensitive (no bounded operators): a crash legitimately
+#: shifts timestamps, which must not change any verdict. The labelled
+#: ``fires`` property is deliberately false at every ``send`` end
+#: (``not ended(send)`` evaluated on the end event), so each run emits
+#: exactly one skipPath — the oracle comparison covers a *firing*
+#: temporal root, not just vacuous ones.
+VERIFY_TEMPORAL_SPEC = """
+send: {
+    temporal: started(send) -> once ended(sense) onFail: restartPath Path: 1;
+    temporal: once ended(sense) at: end onFail: skipPath Path: 1;
+    temporal: not ended(send) since ended(sense) at: start onFail: skipPath Path: 1;
+    temporal: not ended(send) at: end label: fires onFail: skipPath Path: 1;
+}
+
+process: {
+    temporal: once ended(sense) at: start label: saw_sense onFail: restartPath Path: 1;
+}
+"""
+
+
+def _temporal_app() -> Application:
+    def sense(ctx):
+        ctx.write("reading", ctx.sample("adc"))
+
+    def process(ctx):
+        ctx.write("scaled", ctx.read("reading") * 2.0)
+
+    def send(ctx):
+        ctx.append("sent", {"scaled": ctx.read("scaled")})
+
+    return (
+        AppBuilder("temporal_demo")
+        .task("sense", body=sense, monitored_vars=("reading",))
+        .task("process", body=process)
+        .task("send", body=send)
+        .path(1, ["sense", "process", "send"])
+        .sensor("adc", lambda t: 21.5)
+        .build()
+    )
+
+
+def _temporal_artemis() -> Tuple[Device, Any]:
+    device = _device()
+    app = _temporal_app()
+    power = PowerModel({
+        "sense": TaskCost(0.05, MCU_ACTIVE_POWER_W),
+        "process": TaskCost(0.10, MCU_ACTIVE_POWER_W),
+        "send": TaskCost(0.30, MCU_ACTIVE_POWER_W, 1.0e-3),
+    })
+    return device, build_artemis(device, app=app,
+                                 spec=VERIFY_TEMPORAL_SPEC, power=power)
+
+
+def _temporal_extract(device, runtime) -> Dict[str, Any]:
+    """Durable temporal-monitor state every crash schedule must agree
+    on: shared sub-monitor variables (the ``once``/``since`` facts) and
+    the root machines' states. Timestamp-valued variables (a bounded
+    once's ``last`` witness) are excluded — re-execution legitimately
+    shifts them."""
+    out: Dict[str, Any] = {}
+    for name in device.nvm:
+        if not name.startswith("monitor."):
+            continue
+        if ".tl_" not in name and ".temporal_" not in name:
+            continue
+        if name.endswith("var.last"):
+            continue
+        out[name] = device.nvm.cell(name).get()
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -488,6 +572,7 @@ _BUILDS: Dict[Tuple[str, str], Callable[[], Tuple[Device, Any]]] = {
     ("synthetic", "checkpoint"): _synthetic_checkpoint,
     ("ota", "artemis"): _ota_artemis,
     ("ota-delta", "artemis"): _ota_delta_artemis,
+    ("temporal", "artemis"): _temporal_artemis,
 }
 
 _CHECKPOINT_PROGRAMS = {"health": "health", "camera": "camera",
@@ -506,6 +591,11 @@ def get_scenario(workload: str, runtime: str) -> Scenario:
     run_kwargs: Dict[str, Any] = {}
     if runtime == "checkpoint":
         extract = _checkpoint_extract(_CHECKPOINT_PROGRAMS[workload])
+    elif workload == "temporal":
+        extract = _temporal_extract
+        # Two runs: the shared once/since facts survive the run
+        # boundary, so the second run checks warm-state verdicts too.
+        run_kwargs = {"runs": 2}
     elif workload in ("ota", "ota-delta"):
         extract = _ota_extract
         # Enough application runs that the crash-free oracle finishes

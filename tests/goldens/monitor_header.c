@@ -33,6 +33,7 @@ typedef struct _MonitorResult {
 /* Helpers the generated step functions call. */
 int monitor_task_is(const MonitorEvent_t *e, const char *name);
 double monitor_dep_data(const MonitorEvent_t *e, const char *key);
+int monitor_event_has_data(const MonitorEvent_t *e, const char *key);
 void monitor_report(MonitorResult_t *r, type_action action, uint16_t path);
 
 /* Lifecycle (Figure 8): called by the ARTEMIS runtime. */

@@ -35,6 +35,13 @@ from tests.test_differential_monitors import (
     any_property,
     make_stream,
 )
+from tests.test_tl_differential import (
+    TASKS as TL_TASKS,
+    _crowd_app,
+    _dedup as _tl_dedup,
+    make_stream as tl_stream,
+    temporal_property,
+)
 
 #: Power model with distinctive monitor-cost knobs, so an unsound bound
 #: cannot hide behind near-zero defaults.
@@ -112,6 +119,44 @@ class TestPerEventBoundIsSound:
             assert observed_s <= report.event_time_bound_s(event.task) + 1e-12
             assert observed_s <= \
                 report.event_time_bound_s(event.task, shed) + 1e-12
+
+
+class TestBoundIsSoundUnderSharing:
+    """Temporal properties compile through the shared-subformula plan:
+    sub-monitors are real per-event spends at runtime, so the static
+    bound must keep dominating after the plan collapses duplicates.
+    The properties are drawn from the temporal strategy whose formulas
+    overlap heavily, maximizing sharing pressure on the analyzer."""
+
+    TL_POWER = PowerModel(
+        {t: TaskCost(0.1, 0.002) for t in TL_TASKS},
+        monitor_call_base_s=0.7e-3,
+        monitor_per_property_s=0.4e-3,
+    )
+
+    @given(props=st.lists(temporal_property(), min_size=2, max_size=8),
+           seed=st.integers(min_value=0, max_value=2**32 - 1),
+           length=st.integers(min_value=1, max_value=30))
+    @settings(max_examples=80, deadline=None)
+    def test_observed_cost_with_shared_subs_never_exceeds_bound(
+            self, props, seed, length):
+        props = _tl_dedup(props)
+        app = _crowd_app()
+        report = analyze(app, props, self.TL_POWER)
+        monitor = ArtemisMonitor(props, NonVolatileMemory())
+        for event in tl_stream(seed, length):
+            spent = []
+            monitor.call(
+                event, spend=spent.append,
+                per_machine_cost_s=self.TL_POWER.monitor_per_property_s,
+                base_cost_s=self.TL_POWER.monitor_call_base_s)
+            observed_s = sum(spent)
+            bound_s = report.event_time_bound_s(event.task)
+            assert observed_s <= bound_s + 1e-12, (
+                f"event {event}: observed {observed_s}s exceeds the "
+                f"static bound {bound_s}s under subformula sharing")
+            assert observed_s * self.TL_POWER.overhead_power_w <= \
+                report.event_energy_bound_j(event.task) + 1e-12
 
 
 #: Violation-free under continuous power: no monitor fires, so event

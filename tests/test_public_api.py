@@ -106,5 +106,5 @@ class TestNamingConventions:
 
         kinds = {cls.KIND for cls in (
             props.MaxTries, props.MaxDuration, props.MITD, props.Collect,
-            props.DpData, props.Period, props.EnergyAtLeast)}
+            props.DpData, props.Period, props.EnergyAtLeast, props.Temporal)}
         assert kinds == set(_BUILDERS)

@@ -1,0 +1,397 @@
+"""Differential testing of the temporal-logic compilation pipeline.
+
+The compiled shared-subformula DAG must agree with the naive reference
+semantics everywhere:
+
+* **DAG vs reference monitor** — hypothesis draws random compilable
+  formulas, ``build_monitor_plan`` compiles them (shared sub-monitors,
+  extern wiring, dependency order), and a seeded event stream drives
+  the machine pipeline next to :class:`~repro.tl.ReferenceMonitor`
+  (a full-history evaluator of the *surface* semantics, so the
+  normalizer is under test too). At every trigger point the root must
+  fire exactly when the reference says the formula is false.
+* **Sharing is unobservable** — the ``share_subformulas=False`` plan
+  (one private sub-monitor set per property) fires identically.
+* **Backend byte-identity** — interpreted, generated-Python, and the
+  lockstep batch kernel agree on verdicts, states, and every variable
+  after every event (C is pinned by the golden files).
+* **Scale** — a 200-property spec compiles to measurably fewer
+  machines than properties and reports the ratio through the CLI.
+* **Shared pricing** — ``derive_priorities`` attributes each shared
+  sub-monitor's cost exactly once, to its cheapest owning root.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyze, derive_priorities
+from repro.core.actions import ActionType
+from repro.core.events import MonitorEvent
+from repro.core.generator import build_monitor_plan
+from repro.core.properties import Temporal
+from repro.energy.power import PowerModel, TaskCost
+from repro.sim.batch import HAVE_NUMPY, BatchMachineSet
+from repro.statemachine.codegen_python import compile_machine
+from repro.statemachine.interpreter import MachineInstance
+from repro.taskgraph.builder import AppBuilder
+from repro.tl import (
+    AndF,
+    DataCmp,
+    Ended,
+    Historically,
+    Implies,
+    Lit,
+    NotF,
+    Once,
+    OrF,
+    ReferenceMonitor,
+    Since,
+    Started,
+)
+
+TASKS = ("A", "B", "C")
+KEYS = ("temp", "energy")
+
+_atom = st.one_of(
+    st.builds(Lit, value=st.booleans()),
+    st.builds(Started, task=st.sampled_from(TASKS)),
+    st.builds(Ended, task=st.sampled_from(TASKS)),
+    st.builds(DataCmp, key=st.sampled_from(KEYS),
+              op=st.sampled_from(("<", "<=", ">", ">=", "==", "!=")),
+              value=st.integers(min_value=-3, max_value=3).map(float)),
+)
+
+#: Upper window bounds comparable to the stream's ~4s event spacing,
+#: so bounded-once verdicts flip both ways.
+_window = st.sampled_from([2.0, 5.0, 12.0, 40.0])
+
+
+def compilable_formulas():
+    """Random formulas the validator would accept (zero lower bounds)."""
+    return st.recursive(
+        _atom,
+        lambda child: st.one_of(
+            st.builds(NotF, operand=child),
+            st.builds(Once, operand=child),
+            st.builds(Once, operand=child, lo=st.just(0.0), hi=_window),
+            st.builds(Historically, operand=child),
+            st.builds(Historically, operand=child,
+                      lo=st.just(0.0), hi=_window),
+            st.builds(AndF, left=child, right=child),
+            st.builds(OrF, left=child, right=child),
+            st.builds(Implies, left=child, right=child),
+            st.builds(Since, left=child, right=child),
+        ),
+        max_leaves=10,
+    )
+
+
+@st.composite
+def temporal_property(draw):
+    """A compilable Temporal property with random trigger/scope."""
+    return Temporal(
+        task=draw(st.sampled_from(TASKS)),
+        on_fail=draw(st.sampled_from(list(ActionType))),
+        path=draw(st.one_of(st.none(),
+                            st.integers(min_value=0, max_value=2))),
+        formula=draw(compilable_formulas()),
+        at=draw(st.sampled_from(("start", "end", "always"))),
+    )
+
+
+def _dedup(props):
+    seen, unique = set(), []
+    for prop in props:
+        name = prop.machine_name()
+        if name not in seen:
+            seen.add(name)
+            unique.append(prop)
+    return unique
+
+
+def make_stream(seed, length):
+    """Seeded random events; ``temp`` is sometimes absent so the
+    ``hasData`` leg of data predicates is exercised."""
+    rng = random.Random(seed)
+    t, events = 0.0, []
+    for _ in range(length):
+        t += rng.uniform(0.5, 4.0)
+        data = {"energy": float(rng.randrange(-3, 4))}
+        if rng.random() < 0.7:
+            data["temp"] = float(rng.randrange(-3, 4))
+        events.append(MonitorEvent(
+            rng.choice(["startTask", "endTask"]), rng.choice(TASKS),
+            t, data, path=rng.randrange(3)))
+    return events
+
+
+def _instances(plan, factory):
+    """Instantiate every machine with extern wired to its peers."""
+    by_name = {}
+
+    def extern(machine_name, var_name):
+        return by_name[machine_name].get(var_name)
+
+    out = []
+    for machine in plan.machines:
+        inst = factory(machine, extern)
+        by_name[machine.name] = inst
+        out.append((machine, inst))
+    return out
+
+
+def _triggered(prop, event):
+    if prop.path is not None and event.path != prop.path:
+        return False
+    if prop.at == "always":
+        return True
+    kind = "startTask" if prop.at == "start" else "endTask"
+    return event.kind == kind and event.task == prop.task
+
+
+def run_compiled(props, events, share=True, factory=None):
+    """Fire decisions per property per event through the machine
+    pipeline (machines stepped in plan order, as the monitor does)."""
+    if factory is None:
+        factory = lambda m, ext: MachineInstance(m, extern=ext)  # noqa: E731
+    plan = build_monitor_plan(props, share_subformulas=share)
+    pairs = _instances(plan, factory)
+    roots = {p.machine_name(): p for p in props}
+    fired = {p.machine_name(): [] for p in props}
+    for event in events:
+        hits = set()
+        for machine, inst in pairs:
+            if inst.on_event(event) and machine.name in roots:
+                hits.add(machine.name)
+        for name in fired:
+            fired[name].append(name in hits)
+    return fired
+
+
+def run_reference(props, events):
+    """The naive oracle: one full-history evaluator per property."""
+    refs = {p.machine_name(): ReferenceMonitor(p.formula) for p in props}
+    fired = {p.machine_name(): [] for p in props}
+    for event in events:
+        for prop in props:
+            value = refs[prop.machine_name()].update(event)
+            fired[prop.machine_name()].append(
+                _triggered(prop, event) and not value)
+    return fired
+
+
+class TestCompiledDagMatchesReference:
+    @given(props=st.lists(temporal_property(), min_size=1, max_size=5),
+           seed=st.integers(min_value=0, max_value=2**32 - 1),
+           length=st.integers(min_value=0, max_value=40))
+    @settings(max_examples=150, deadline=None)
+    def test_shared_dag_fires_exactly_like_the_reference(
+            self, props, seed, length):
+        props = _dedup(props)
+        events = make_stream(seed, length)
+        assert run_compiled(props, events) == run_reference(props, events)
+
+    @given(props=st.lists(temporal_property(), min_size=2, max_size=5),
+           seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_sharing_is_unobservable(self, props, seed):
+        props = _dedup(props)
+        events = make_stream(seed, 30)
+        assert run_compiled(props, events, share=True) \
+            == run_compiled(props, events, share=False)
+
+    @given(props=st.lists(temporal_property(), min_size=1, max_size=4),
+           seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_generated_python_matches_interpreter(self, props, seed):
+        props = _dedup(props)
+        events = make_stream(seed, 30)
+        generated = run_compiled(
+            props, events,
+            factory=lambda m, ext: compile_machine(m)(extern=ext))
+        assert generated == run_compiled(props, events)
+
+
+class TestBatchLockstep:
+    def _backends(self):
+        return ("numpy", "python") if HAVE_NUMPY else ("python",)
+
+    @given(props=st.lists(temporal_property(), min_size=1, max_size=4),
+           seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_batch_kernel_matches_interpreter_on_every_lane(
+            self, props, seed):
+        props = _dedup(props)
+        plan = build_monitor_plan(props)
+        events = make_stream(seed, 25)
+        for backend in self._backends():
+            batch = BatchMachineSet(plan.machines, n_lanes=2,
+                                    backend=backend)
+            pairs = _instances(
+                plan, lambda m, ext: MachineInstance(m, extern=ext))
+            for i, event in enumerate(events):
+                scalar = []
+                for machine, inst in pairs:
+                    scalar.extend((v.machine, v.action, v.path)
+                                  for v in inst.on_event(event))
+                lanes = batch.step(event)
+                for lane in range(2):
+                    got = [(v.machine, v.action, v.path)
+                           for v in lanes.get(lane, [])]
+                    assert got == scalar, (
+                        f"lane {lane} diverged at event {i} on {backend}")
+                for machine, inst in pairs:
+                    for lane in range(2):
+                        lane_vars = batch.lane_store(machine.name, lane)
+                        assert lane_vars["state"] == inst.state
+                        for var in machine.variables:
+                            assert lane_vars[f"var.{var.name}"] \
+                                == inst.get(var.name)
+
+
+def _crowd_spec(n):
+    """``n`` overlapping temporal properties over three tasks: a small
+    pool of stateful subformulas recurs across every property."""
+    windows = ("0, 5s", "0, 30s", "0, 2min")
+    lines = {task: [] for task in TASKS}
+    for i in range(n):
+        anchor, dep = TASKS[i % 3], TASKS[(i + 1) % 3]
+        variant = i % 4
+        if variant == 0:
+            f = f"started({anchor}) -> once ended({dep})"
+        elif variant == 1:
+            f = f"once[{windows[i % 3]}] ended({dep})"
+        elif variant == 2:
+            f = f"not ended({anchor}) since ended({dep})"
+        else:
+            f = (f"once ended({dep}) and "
+                 f"(not ended({anchor}) since ended({dep}))")
+        lines[anchor].append(
+            f"    temporal: {f} at: {'start' if i % 2 else 'end'} "
+            f"label: p{i} onFail: skipPath Path: 1;")
+    blocks = [f"{task}: {{\n" + "\n".join(props) + "\n}"
+              for task, props in lines.items() if props]
+    return "\n\n".join(blocks) + "\n"
+
+
+def _crowd_app():
+    builder = AppBuilder("crowd")
+    for t in TASKS:
+        builder.task(t)
+    return builder.path(1, list(TASKS)).build()
+
+
+class TestSharingAtScale:
+    def test_200_properties_compile_to_a_fraction_of_200_monitors(self):
+        from repro.spec.validator import load_properties
+
+        props = load_properties(_crowd_spec(200), _crowd_app())
+        assert len(props) == 200
+        plan = build_monitor_plan(props)
+        subs = plan.shared_monitors - 200
+        # The stateful-subformula pool is tiny by construction: three
+        # once-ended facts, three bounded variants, three since facts.
+        assert subs <= 12
+        assert plan.shared_monitors < plan.naive_monitors
+        assert plan.naive_monitors >= 200 + 150  # most props are stateful
+        ratio = plan.shared_monitors / plan.naive_monitors
+        assert ratio < 0.65
+
+    def test_crowd_still_matches_reference(self):
+        from repro.spec.validator import load_properties
+
+        props = list(load_properties(_crowd_spec(24), _crowd_app()))
+        events = make_stream(7, 40)
+        assert run_compiled(props, events) == run_reference(props, events)
+
+    def test_compile_cli_reports_the_sharing_ratio(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        app = {"name": "crowd",
+               "tasks": [{"name": t} for t in TASKS],
+               "paths": {"1": list(TASKS)},
+               "costs": {t: {"duration_s": 0.05} for t in TASKS}}
+        app_path = tmp_path / "app.json"
+        app_path.write_text(json.dumps(app))
+        spec_path = tmp_path / "crowd.spec"
+        spec_path.write_text(_crowd_spec(200))
+        rc = main(["compile", str(spec_path), "--app", str(app_path),
+                   "-o", str(tmp_path / "gen")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sharing ratio" in out
+        rc = main(["compile", str(spec_path), "--app", str(app_path),
+                   "-o", str(tmp_path / "gen2"), "--no-share-subformulas"])
+        assert rc == 0
+        out2 = capsys.readouterr().out
+        assert "sharing ratio" not in out2
+
+
+class TestSharedPricing:
+    POWER = PowerModel({t: TaskCost(0.1, 0.002) for t in TASKS},
+                       monitor_call_base_s=0.7e-3,
+                       monitor_per_property_s=0.4e-3)
+
+    def _props(self):
+        # O owns the heavy shared sub; N is a stateless root with the
+        # same trigger, subscriptions, and coverage — identical own
+        # cost, so only the sub attribution can separate them.
+        owner = Temporal(task="A", on_fail=ActionType.SKIP_PATH, path=1,
+                         formula=Once(Ended("B")), label="owner")
+        peer = Temporal(task="A", on_fail=ActionType.SKIP_PATH, path=1,
+                        formula=Once(Ended("B")), at="end", label="peer")
+        neutral = Temporal(task="A", on_fail=ActionType.SKIP_PATH, path=1,
+                           formula=OrF(NotF(Started("A")), Started("A")),
+                           label="neutral")
+        return [owner, peer, neutral]
+
+    def test_sub_monitors_are_bounded_but_not_sheddable(self):
+        props = self._props()
+        report = analyze(_crowd_app(), props, self.POWER)
+        subs = [m for m in report.monitors if m.kind == "tl-sub"]
+        assert len(subs) == 1
+        assert not subs[0].sheddable
+        assert subs[0].run_energy_j > 0
+        assert set(report.sub_owners[subs[0].machine]) == {
+            p.machine_name() for p in props[:2]}
+
+    def test_shared_sub_cost_is_attributed_exactly_once(self):
+        props = self._props()
+        report = analyze(_crowd_app(), props, self.POWER)
+        ranks = derive_priorities(report)
+        by_name = {m.machine: m for m in report.monitors}
+        owners = sorted(
+            report.sub_owners[next(m.machine for m in report.monitors
+                                   if m.kind == "tl-sub")],
+            key=lambda n: (by_name[n].run_energy_j, n))
+        charged, uncharged = owners[0], owners[1]
+        # The charged owner is strictly more expensive than its
+        # identical-cost sibling, so it sheds first; the sibling and
+        # the neutral root keep their unattributed cost.
+        assert ranks[charged] < ranks[uncharged]
+        # No entry for the sub itself: it sheds with its owners, never
+        # on its own.
+        assert all(by_name[name].kind != "tl-sub" for name in ranks)
+
+    def test_priorities_flow_into_machines(self):
+        from repro.analysis import with_derived_priorities
+
+        props = self._props()
+        derived = with_derived_priorities(
+            props_to_set(props), _crowd_app(), self.POWER)
+        ranks = {p.machine_name(): p.priority for p in derived}
+        report = analyze(_crowd_app(), props, self.POWER)
+        assert ranks == derive_priorities(report)
+
+
+def props_to_set(props):
+    from repro.core.properties import PropertySet
+
+    out = PropertySet()
+    for p in props:
+        out.add(p)
+    return out

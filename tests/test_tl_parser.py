@@ -1,0 +1,247 @@
+"""Past-time temporal-logic frontend: parser, printer, diagnostics.
+
+Three layers:
+
+* **Round-trip** — hypothesis draws random formulas over a small
+  alphabet and checks ``parse_formula_text(format_formula(f)) == f``
+  exactly (formula equality ignores source positions by construction).
+  Bounds are drawn from integer second/minute values because
+  ``format_duration``/``parse_duration`` round-trip those exactly.
+* **Diagnostics** — one unit test per rejection the frontend makes
+  sourced and hinted: future-time operators (D1), ill-formed intervals
+  (D2), nonzero lower bounds (D3), unknown tasks (D4), unknown data
+  keys (D5), and a bounded ``since`` (D6). Each asserts the error
+  carries a position and a hint, which is what the ``check`` CLI
+  renders as a caret diagnostic.
+* **Spec round-trip** — temporal properties survive
+  ``load_properties(print_spec(props), app)`` like every other kind.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpecSyntaxError, SpecValidationError
+from repro.spec.printer import print_spec
+from repro.spec.validator import load_properties
+from repro.taskgraph.builder import AppBuilder
+from repro.tl import (
+    AndF,
+    DataCmp,
+    Ended,
+    Historically,
+    Implies,
+    Lit,
+    NotF,
+    Once,
+    OrF,
+    Since,
+    Started,
+    formula_key,
+    format_formula,
+    normalize,
+    parse_formula_text,
+)
+
+TASKS = ("sample", "send")
+KEYS = ("temp", "energy")
+OPS = ("<", "<=", ">", ">=", "==", "!=")
+
+_atom = st.one_of(
+    st.builds(Lit, value=st.booleans()),
+    st.builds(Started, task=st.sampled_from(TASKS)),
+    st.builds(Ended, task=st.sampled_from(TASKS)),
+    st.builds(DataCmp, key=st.sampled_from(KEYS), op=st.sampled_from(OPS),
+              value=st.one_of(
+                  st.integers(min_value=-100, max_value=100).map(float),
+                  st.sampled_from([0.5, 38.5, -2.25]))),
+)
+
+#: Interval bounds in whole seconds/minutes: these survive
+#: format_duration -> parse_duration exactly.
+_hi = st.one_of(st.integers(min_value=1, max_value=590).map(float),
+                st.integers(min_value=1, max_value=9).map(lambda m: m * 60.0))
+
+
+@st.composite
+def _bounds(draw):
+    hi = draw(_hi)
+    lo = draw(st.sampled_from([0.0, hi]) if hi <= 590 else st.just(0.0))
+    return lo, hi
+
+
+def _unary(child):
+    @st.composite
+    def bounded(draw, cls):
+        lo, hi = draw(_bounds())
+        return cls(operand=draw(child), lo=lo, hi=hi)
+
+    return st.one_of(
+        st.builds(NotF, operand=child),
+        st.builds(Once, operand=child),
+        st.builds(Historically, operand=child),
+        bounded(Once),
+        bounded(Historically),
+    )
+
+
+def formulas():
+    """Random surface formulas (pre-normalization language)."""
+    return st.recursive(
+        _atom,
+        lambda child: st.one_of(
+            _unary(child),
+            st.builds(AndF, left=child, right=child),
+            st.builds(OrF, left=child, right=child),
+            st.builds(Implies, left=child, right=child),
+            st.builds(Since, left=child, right=child),
+        ),
+        max_leaves=12,
+    )
+
+
+class TestRoundTrip:
+    @given(f=formulas())
+    @settings(max_examples=300, deadline=None)
+    def test_print_then_parse_is_identity(self, f):
+        text = format_formula(f)
+        assert parse_formula_text(text) == f, text
+
+    @given(f=formulas())
+    @settings(max_examples=200, deadline=None)
+    def test_normalize_is_idempotent(self, f):
+        once = normalize(f)
+        assert normalize(once) == once
+
+    @given(f=formulas())
+    @settings(max_examples=200, deadline=None)
+    def test_normalized_formulas_round_trip_too(self, f):
+        g = normalize(f)
+        assert parse_formula_text(format_formula(g)) == g
+
+    @given(f=formulas())
+    @settings(max_examples=200, deadline=None)
+    def test_formula_key_is_stable_across_round_trip(self, f):
+        assert formula_key(parse_formula_text(format_formula(f))) \
+            == formula_key(f)
+
+    def test_precedence_pins(self):
+        f = parse_formula_text("started(sample) -> not ended(send) "
+                               "or once started(send) and true")
+        # -> is loosest; and binds tighter than or; unary tightest.
+        assert isinstance(f, Implies)
+        assert isinstance(f.right, OrF)
+        assert isinstance(f.right.right, AndF)
+        since = parse_formula_text("not ended(send) since ended(sample)")
+        assert isinstance(since, Since)
+        assert isinstance(since.left, NotF)
+
+
+def _app():
+    return (AppBuilder("demo")
+            .task("sample", monitored_vars=("temp",))
+            .task("send")
+            .path(1, ["sample", "send"])
+            .build())
+
+
+def _load(formula_text, app=None):
+    spec = ("send: {\n"
+            f"    temporal: {formula_text} onFail: skipPath Path: 1;\n"
+            "}\n")
+    return load_properties(spec, app if app is not None else _app())
+
+
+class TestDiagnostics:
+    """One test per sourced rejection; every error carries a position
+    and a hint (the caret-diagnostic contract of the check CLI)."""
+
+    def test_d1_future_operator_rejected_at_parse_time(self):
+        with pytest.raises(SpecSyntaxError) as err:
+            _load("eventually ended(sample)")
+        assert "future-time operator" in str(err.value)
+        assert err.value.line == 2 and err.value.column == 15
+        assert "once" in err.value.hint
+        assert err.value.width == len("eventually")
+
+    @pytest.mark.parametrize("op,dual", [
+        ("always", "historically"), ("globally", "historically"),
+        ("finally", "once"), ("until", "since"),
+    ])
+    def test_d1_covers_every_future_keyword(self, op, dual):
+        with pytest.raises(SpecSyntaxError) as err:
+            parse_formula_text(f"{op} ended(sample)"
+                               if op != "until"
+                               else f"true {op} ended(sample)")
+        assert dual in err.value.hint
+
+    def test_d2_empty_interval_rejected(self):
+        with pytest.raises(SpecSyntaxError) as err:
+            _load("once[5s, 2s] ended(sample)")
+        assert "empty time interval" in str(err.value)
+        assert err.value.hint
+
+    def test_d2_negative_bound_rejected(self):
+        with pytest.raises(SpecSyntaxError):
+            parse_formula_text("once[-1, 2] ended(sample)")
+
+    def test_d3_nonzero_lower_bound_rejected_by_validator(self):
+        with pytest.raises(SpecValidationError) as err:
+            _load("once[2s, 5s] ended(sample)")
+        assert "not monitorable with constant state" in str(err.value)
+        assert err.value.line == 2
+        assert "once[0,5s]" in err.value.hint
+
+    def test_d3_historically_nonzero_lower_bound_rejected(self):
+        with pytest.raises(SpecValidationError) as err:
+            _load("historically[1s, 5s] ended(sample)")
+        assert "historically[0,5s]" in err.value.hint
+
+    def test_d4_unknown_task_rejected(self):
+        with pytest.raises(SpecValidationError) as err:
+            _load("once ended(nosuch)")
+        assert "unknown task" in str(err.value)
+        assert "sample" in err.value.hint  # the hint lists real tasks
+
+    def test_d5_unknown_data_key_rejected(self):
+        with pytest.raises(SpecValidationError) as err:
+            _load("data(nokey) > 3")
+        assert "unknown key" in str(err.value)
+        assert "temp" in err.value.hint
+
+    def test_d5_energy_is_always_a_known_key(self):
+        props = _load("data(energy) > 0.5")
+        assert len(props) == 1
+
+    def test_d6_bounded_since_rejected_at_parse_time(self):
+        with pytest.raises(SpecSyntaxError) as err:
+            parse_formula_text("true since[0, 5s] ended(sample)")
+        assert "does not take a time bound" in str(err.value)
+        assert err.value.hint
+
+
+class TestSpecRoundTrip:
+    SPEC = """
+send: {
+    temporal: started(send) -> once[0, 5min] ended(sample) onFail: restartPath Path: 1;
+    temporal: not ended(send) since ended(sample) at: end label: quiet onFail: skipPath Path: 1;
+    maxTries: 3 onFail: skipPath Path: 1;
+}
+"""
+
+    def test_print_then_load_round_trips(self):
+        app = _app()
+        props = load_properties(self.SPEC, app)
+        reloaded = load_properties(print_spec(props), app)
+        assert [p.machine_name() for p in props] \
+            == [p.machine_name() for p in reloaded]
+        assert [formula_key(p.formula) for p in props
+                if p.kind == "temporal"] \
+            == [formula_key(p.formula) for p in reloaded
+                if p.kind == "temporal"]
+
+    def test_at_and_label_clauses_survive(self):
+        app = _app()
+        props = load_properties(self.SPEC, app)
+        text = print_spec(props)
+        assert "at: end" in text and "label: quiet" in text
